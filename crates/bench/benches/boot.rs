@@ -1,0 +1,32 @@
+//! Criterion benches for E5: boot-storm computation for both firmwares
+//! (paper §2).
+
+use bench::e5_boot::boot_storm;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwx_bios::Firmware;
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_boot_storm");
+    g.sample_size(20);
+    for n in [10u32, 100, 1000] {
+        g.bench_with_input(BenchmarkId::new("linuxbios", n), &n, |b, &n| {
+            b.iter(|| black_box(boot_storm(1, n, Firmware::LinuxBios).last_up_secs))
+        });
+        g.bench_with_input(BenchmarkId::new("legacy", n), &n, |b, &n| {
+            b.iter(|| black_box(boot_storm(1, n, Firmware::LegacyBios).last_up_secs))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = boot;
+    // short windows keep the full suite's wall time bounded; the
+    // measured effects are orders of magnitude, not percent-level
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(boot);

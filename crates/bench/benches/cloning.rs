@@ -1,0 +1,69 @@
+//! Criterion benches for E6: cloning campaigns (paper §4), multicast vs
+//! unicast vs the re-multicast repair ablation, at reduced scale so the
+//! statistics stay cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwx_bios::Firmware;
+use cwx_clone::protocol::{run_clone, CloneConfig, RepairStrategy};
+use cwx_net::FAST_ETHERNET_BPS;
+use std::hint::black_box;
+
+fn cfg(strategy: RepairStrategy) -> CloneConfig {
+    CloneConfig {
+        image_bytes: 32 << 20,
+        chunk_bytes: 1 << 20,
+        pace_bps: 6 << 20,
+        strategy,
+        firmware: Firmware::LinuxBios,
+        ..CloneConfig::default()
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_cloning");
+    g.sample_size(10);
+    for n in [10u32, 40] {
+        g.bench_with_input(BenchmarkId::new("multicast", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(
+                    run_clone(1, n, FAST_ETHERNET_BPS, 0.01, cfg(RepairStrategy::MulticastRoundRobin))
+                        .makespan_secs,
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("unicast_baseline", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(
+                    run_clone(1, n, FAST_ETHERNET_BPS, 0.01, cfg(RepairStrategy::Unicast))
+                        .makespan_secs,
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("remulticast_repair", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(
+                    run_clone(
+                        1,
+                        n,
+                        FAST_ETHERNET_BPS,
+                        0.01,
+                        cfg(RepairStrategy::MulticastRemulticast { rounds: 2 }),
+                    )
+                    .makespan_secs,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = cloning;
+    // short windows keep the full suite's wall time bounded; the
+    // measured effects are orders of magnitude, not percent-level
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(cloning);

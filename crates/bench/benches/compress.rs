@@ -1,0 +1,36 @@
+//! Criterion benches for E8: LZSS compression throughput and ratio on
+//! monitored text (paper §5.3.3).
+
+use bench::e8_compress::{report_corpus, synthetic_proc_corpus};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cwx_util::compress::{compress, decompress};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let stream = synthetic_proc_corpus(20);
+    let report = report_corpus();
+    let stream_packed = compress(&stream);
+
+    let mut g = c.benchmark_group("e8_compress");
+    g.sample_size(40);
+    g.throughput(Throughput::Bytes(stream.len() as u64));
+    g.bench_function("compress_proc_stream", |b| b.iter(|| black_box(compress(&stream)).len()));
+    g.throughput(Throughput::Bytes(stream.len() as u64));
+    g.bench_function("decompress_proc_stream", |b| {
+        b.iter(|| black_box(decompress(&stream_packed).unwrap()).len())
+    });
+    g.throughput(Throughput::Bytes(report.len() as u64));
+    g.bench_function("compress_single_report", |b| b.iter(|| black_box(compress(&report)).len()));
+    g.finish();
+}
+
+criterion_group!{
+    name = compress_benches;
+    // short windows keep the full suite's wall time bounded; the
+    // measured effects are orders of magnitude, not percent-level
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(compress_benches);

@@ -1,0 +1,79 @@
+//! Criterion benches for E9: event-engine evaluation throughput (how
+//! many monitor observations per second the server-side engine absorbs)
+//! and the notifier's episode machinery (paper §5.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cwx_events::engine::{default_rules, EventEngine};
+use cwx_events::notify::Notifier;
+use cwx_monitor::monitor::MonitorKey;
+use cwx_util::time::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_events");
+    g.sample_size(40);
+
+    // evaluation throughput with the default rule set over a quiet value
+    g.bench_function("observe_no_fire", |b| {
+        let mut engine = EventEngine::new();
+        for r in default_rules() {
+            engine.add(r);
+        }
+        let key = MonitorKey::new("temp.cpu");
+        let mut node = 0u32;
+        b.iter(|| {
+            node = (node + 1) % 1024;
+            black_box(engine.observe(SimTime::ZERO, node, &key, 45.0).0.len())
+        })
+    });
+
+    // fire/clear churn: alternating hot and cold observations
+    g.bench_function("observe_fire_clear_cycle", |b| {
+        let mut engine = EventEngine::new();
+        for r in default_rules() {
+            engine.add(r);
+        }
+        let key = MonitorKey::new("temp.cpu");
+        let mut hot = false;
+        b.iter(|| {
+            hot = !hot;
+            let v = if hot { 80.0 } else { 60.0 };
+            black_box(engine.observe(SimTime::ZERO, 7, &key, v).0.len())
+        })
+    });
+
+    // notifier: a 100-node failure wave into one episode
+    g.bench_function("notifier_100_node_wave", |b| {
+        let defs = default_rules();
+        b.iter(|| {
+            let mut n = Notifier::new("bench", SimDuration::from_secs(30));
+            let mut engine = EventEngine::new();
+            for r in defs.clone() {
+                engine.add(r);
+            }
+            let key = MonitorKey::new("fan.cpu_rpm");
+            for node in 0..100 {
+                let (fired, _) = engine.observe(SimTime::ZERO, node, &key, 0.0);
+                for f in &fired {
+                    let def = defs.iter().find(|d| d.id == f.event).unwrap();
+                    n.on_fire(SimTime::ZERO, def, f);
+                }
+            }
+            let mails = n.flush(SimTime::ZERO + SimDuration::from_secs(60), &defs);
+            black_box(mails.len())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!{
+    name = events;
+    // short windows keep the full suite's wall time bounded; the
+    // measured effects are orders of magnitude, not percent-level
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(events);

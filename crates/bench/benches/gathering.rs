@@ -1,0 +1,87 @@
+//! Criterion benches for E1/E2/E4: the /proc gathering ladder and the
+//! per-file costs (paper §5.3.1). Runs against the real `/proc` when
+//! available, and always against the synthetic backend.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cwx_proc::gather::{
+    GatherLevel, KeepOpenFile, LoadAvgGatherer, MemInfoGatherer, NetDevGatherer, StatGatherer,
+    UptimeGatherer,
+};
+use cwx_proc::source::{ProcSource, RealProc};
+use cwx_proc::synthetic::SyntheticProc;
+
+fn ladder_on<S: ProcSource + Clone + 'static>(c: &mut Criterion, name: &str, src: &S) {
+    let mut g = c.benchmark_group(format!("e1_ladder/{name}"));
+    for level in GatherLevel::ALL {
+        let mut gatherer = MemInfoGatherer::new(src.clone(), level).expect("gatherer");
+        // the naive level is orders of magnitude slower; fewer samples
+        if level == GatherLevel::Naive {
+            g.sample_size(10);
+        } else {
+            g.sample_size(40);
+        }
+        g.bench_function(level.label(), |b| {
+            b.iter(|| black_box(gatherer.sample().unwrap().free_kb))
+        });
+    }
+    g.finish();
+}
+
+fn per_file_on<S: ProcSource + Clone + 'static>(c: &mut Criterion, name: &str, src: &S) {
+    let mut g = c.benchmark_group(format!("e2_per_file/{name}"));
+    g.sample_size(40);
+    let mut mem = MemInfoGatherer::new(src.clone(), GatherLevel::KeepOpen).unwrap();
+    g.bench_function("meminfo", |b| b.iter(|| black_box(mem.sample().unwrap().total_kb)));
+    let mut stat = StatGatherer::new(src).unwrap();
+    g.bench_function("stat", |b| b.iter(|| black_box(stat.sample().unwrap().ctxt)));
+    let mut load = LoadAvgGatherer::new(src).unwrap();
+    g.bench_function("loadavg", |b| b.iter(|| black_box(load.sample().unwrap().one)));
+    let mut up = UptimeGatherer::new(src).unwrap();
+    g.bench_function("uptime", |b| b.iter(|| black_box(up.sample().unwrap().uptime_secs)));
+    let mut net = NetDevGatherer::new(src).unwrap();
+    g.bench_function("netdev", |b| b.iter(|| black_box(net.sample().unwrap().len())));
+    g.finish();
+}
+
+fn impl_comparison_on<S: ProcSource + Clone + 'static>(c: &mut Criterion, name: &str, src: &S) {
+    let mut g = c.benchmark_group(format!("e4_impl/{name}"));
+    g.sample_size(40);
+    let mut opt = MemInfoGatherer::new(src.clone(), GatherLevel::KeepOpen).unwrap();
+    g.bench_function("zero_alloc", |b| b.iter(|| black_box(opt.sample().unwrap().total_kb)));
+    let mut file = KeepOpenFile::open(src, "meminfo").unwrap();
+    g.bench_function("idiomatic_allocating", |b| {
+        b.iter(|| {
+            let bytes = file.read().unwrap();
+            let text = String::from_utf8(bytes.to_vec()).unwrap();
+            black_box(cwx_proc::meminfo::parse_generic(&text).unwrap().total_kb)
+        })
+    });
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let synthetic = SyntheticProc::default();
+    ladder_on(c, "synthetic", &synthetic);
+    per_file_on(c, "synthetic", &synthetic);
+    impl_comparison_on(c, "synthetic", &synthetic);
+
+    let real = RealProc::new();
+    if real.available() {
+        ladder_on(c, "real_proc", &real);
+        per_file_on(c, "real_proc", &real);
+        impl_comparison_on(c, "real_proc", &real);
+    }
+}
+
+criterion_group!{
+    name = gathering;
+    // short windows keep the full suite's wall time bounded; the
+    // measured effects are orders of magnitude, not percent-level
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(gathering);

@@ -1,0 +1,50 @@
+//! Criterion benches for E7: the agent's gather→consolidate→transmit
+//! tick, with and without consolidation/compression (paper §5.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cwx_monitor::agent::{Agent, AgentConfig};
+use cwx_monitor::snapshot::Sensors;
+use cwx_proc::synthetic::SyntheticProc;
+use cwx_util::time::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn agent_tick_bench(c: &mut Criterion, label: &str, delta: bool, compress: bool) {
+    let proc_ = SyntheticProc::default();
+    let mut agent = Agent::new(
+        proc_.clone(),
+        AgentConfig { delta_enabled: delta, compress, ..AgentConfig::default() },
+    )
+    .unwrap();
+    let mut now = SimTime::ZERO;
+    let mut g = c.benchmark_group("e7_agent_tick");
+    g.sample_size(40);
+    g.bench_function(label, |b| {
+        b.iter(|| {
+            now += SimDuration::from_secs(5);
+            proc_.with_state(|s| s.tick(5.0, 0.4));
+            let out = agent
+                .tick(now, Sensors { cpu_temp_c: 45.0, udp_echo_ok: true, ..Default::default() })
+                .unwrap();
+            black_box(out.wire_len)
+        })
+    });
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    agent_tick_bench(c, "full_raw", false, false);
+    agent_tick_bench(c, "full_compressed", false, true);
+    agent_tick_bench(c, "delta_raw", true, false);
+    agent_tick_bench(c, "delta_compressed_product", true, true);
+}
+
+criterion_group!{
+    name = pipeline;
+    // short windows keep the full suite's wall time bounded; the
+    // measured effects are orders of magnitude, not percent-level
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(pipeline);

@@ -1,0 +1,38 @@
+//! Criterion benches for E11: how much host CPU one simulated minute of
+//! cluster monitoring costs at different cluster sizes (the simulator's
+//! own scalability, which bounds the experiment sizes we can sweep).
+
+use clusterworx::{Cluster, ClusterConfig, WorkloadMix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwx_util::time::SimDuration;
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_sim_minute");
+    g.sample_size(10);
+    for n in [16u32, 64] {
+        g.bench_with_input(BenchmarkId::new("nodes", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Cluster::build(ClusterConfig {
+                    n_nodes: n,
+                    workload: WorkloadMix::Mixed,
+                    ..Default::default()
+                });
+                sim.run_for(SimDuration::from_secs(60));
+                black_box(sim.world().server.stats().reports_rx)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = scale;
+    // short windows keep the full suite's wall time bounded; the
+    // measured effects are orders of magnitude, not percent-level
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(scale);

@@ -1,0 +1,56 @@
+//! Criterion benches for E12: scheduler pass cost and full-trace runs
+//! for FIFO vs backfill (paper §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cwx_util::rng::rng;
+use slurm_lite::trace::{generate, run_trace, TraceConfig};
+use slurm_lite::{Controller, SchedulerKind};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let cfg = TraceConfig { cluster_nodes: 64, mean_interarrival_secs: 45.0, ..Default::default() };
+    let trace = generate(&mut rng(1), &cfg, 300);
+
+    let mut g = c.benchmark_group("e12_slurm_trace");
+    g.sample_size(20);
+    for kind in [SchedulerKind::Fifo, SchedulerKind::Backfill] {
+        g.bench_with_input(BenchmarkId::new("policy", format!("{kind:?}")), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut ctl = Controller::new(64, kind);
+                black_box(run_trace(&mut ctl, &trace).as_secs_f64())
+            })
+        });
+    }
+    g.finish();
+
+    // the cost of one scheduling pass with a deep queue
+    let mut g = c.benchmark_group("e12_schedule_pass");
+    g.sample_size(30);
+    g.bench_function("deep_queue_backfill", |b| {
+        b.iter(|| {
+            let mut ctl = Controller::new(64, SchedulerKind::Backfill);
+            let now = cwx_util::time::SimTime::ZERO;
+            // fill the machine, then queue 200 more
+            let _ = ctl.submit(now, slurm_lite::JobRequest::batch("w", 64, 10_000, 10_000));
+            ctl.advance(now);
+            for k in 0..200u64 {
+                let _ =
+                    ctl.submit(now, slurm_lite::JobRequest::batch("u", 1 + (k % 8) as u32, 600, 300));
+            }
+            ctl.advance(now);
+            black_box(ctl.queue_len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!{
+    name = slurm;
+    // short windows keep the full suite's wall time bounded; the
+    // measured effects are orders of magnitude, not percent-level
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(slurm);

@@ -1,0 +1,117 @@
+//! E10: ICE Box chassis behaviours (paper §3).
+//!
+//! Two claims: power sequencing "reducing the risk of power spikes",
+//! and the 16 KiB serial buffers enable "post-mortem analysis on what
+//! has happened to a specific node".
+
+use cwx_icebox::chassis::{IceBox, PortEffect, PortId, INLET_CAPACITY_WATTS};
+use cwx_util::time::SimTime;
+
+/// Node inrush model: early-2000s 1U server.
+pub const INRUSH_WATTS: f64 = 300.0;
+/// Inrush duration, seconds.
+pub const INRUSH_SECS: f64 = 0.35;
+
+/// Sequencing experiment result.
+#[derive(Debug, Clone)]
+pub struct SequencingResult {
+    /// Peak inlet wattage with sequencing on.
+    pub sequenced_peak_watts: f64,
+    /// Peak inlet wattage with sequencing off.
+    pub unsequenced_peak_watts: f64,
+    /// The 15 A @ 110 V inlet limit.
+    pub inlet_capacity_watts: f64,
+}
+
+/// Power all five ports of inlet 0 simultaneously, with and without
+/// sequencing, and compare peak inrush.
+pub fn sequencing() -> SequencingResult {
+    let energize = |sequencing: bool| {
+        let mut ib = IceBox::new();
+        ib.set_sequencing(sequencing);
+        (0..5u8)
+            .filter_map(|i| ib.power_on(SimTime::ZERO, PortId(i)))
+            .map(|e| match e {
+                PortEffect::EnergizeAt { port, at } => (port, at),
+                _ => unreachable!(),
+            })
+            .collect::<Vec<_>>()
+    };
+    let seq = energize(true);
+    let unseq = energize(false);
+    SequencingResult {
+        sequenced_peak_watts: IceBox::peak_inlet_watts(&seq, 0, INRUSH_WATTS, INRUSH_SECS),
+        unsequenced_peak_watts: IceBox::peak_inlet_watts(&unseq, 0, INRUSH_WATTS, INRUSH_SECS),
+        inlet_capacity_watts: INLET_CAPACITY_WATTS,
+    }
+}
+
+/// Post-mortem experiment result.
+#[derive(Debug, Clone)]
+pub struct PostMortemResult {
+    /// Total console bytes the crashing node emitted.
+    pub emitted_bytes: u64,
+    /// Bytes retained in the capture buffer.
+    pub retained_bytes: usize,
+    /// Whether the final panic message survived for analysis.
+    pub panic_visible: bool,
+    /// Whether early boot chatter was (correctly) evicted.
+    pub boot_chatter_evicted: bool,
+}
+
+/// A node boots noisily, runs for a while, then panics with a long
+/// stack dump; the administrator reads the capture afterwards.
+pub fn post_mortem() -> PostMortemResult {
+    let mut ib = IceBox::new();
+    let p = PortId(3);
+    // boot chatter
+    for i in 0..500 {
+        ib.feed_console(p, format!("[    {i:4}.000] subsystem {i} initialized ok\n").as_bytes());
+    }
+    // steady-state noise
+    for i in 0..1000 {
+        ib.feed_console(p, format!("nfs: server responding (req {i})\n").as_bytes());
+    }
+    // the crash
+    ib.feed_console(p, b"Oops: kernel NULL pointer dereference\n");
+    for f in 0..40 {
+        ib.feed_console(p, format!("  [<c01{f:03x}00>] do_something+0x{f:x}/0x120\n").as_bytes());
+    }
+    ib.feed_console(p, b"Kernel panic: Attempted to kill init!\n");
+
+    let log = ib.console_log(p);
+    PostMortemResult {
+        emitted_bytes: ib.console_overflow(p) + log.len() as u64,
+        retained_bytes: log.len(),
+        panic_visible: log.contains("Kernel panic") && log.contains("Oops"),
+        boot_chatter_evicted: !log.contains("subsystem 0 initialized"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwx_icebox::chassis::SERIAL_LOG_CAPACITY;
+
+    #[test]
+    fn sequencing_keeps_inrush_under_the_inlet_limit() {
+        let r = sequencing();
+        assert!(
+            r.unsequenced_peak_watts > r.inlet_capacity_watts * 0.9,
+            "five simultaneous inrushes should threaten the 15A limit: {r:?}"
+        );
+        assert!(
+            r.sequenced_peak_watts <= INRUSH_WATTS,
+            "sequenced outlets never overlap inrush: {r:?}"
+        );
+    }
+
+    #[test]
+    fn post_mortem_keeps_the_crash_drops_the_noise() {
+        let r = post_mortem();
+        assert!(r.retained_bytes <= SERIAL_LOG_CAPACITY);
+        assert!(r.emitted_bytes > SERIAL_LOG_CAPACITY as u64, "test must overflow the buffer");
+        assert!(r.panic_visible, "{r:?}");
+        assert!(r.boot_chatter_evicted, "{r:?}");
+    }
+}

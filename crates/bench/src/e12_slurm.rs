@@ -1,0 +1,151 @@
+//! E12: SLURM-lite resource management (paper §6).
+//!
+//! The paper positions SLURM as simple, scalable queue arbitration with
+//! an external-scheduler API and controller fault tolerance. We measure:
+//! scheduler policy comparison (FIFO vs EASY backfill vs the Maui-like
+//! priority hook) on a synthetic trace, and controller failover.
+
+use cwx_util::rng::rng;
+use slurm_lite::sched::maui_like_priority;
+use slurm_lite::trace::{generate, run_trace, TraceConfig};
+use slurm_lite::{Controller, SchedulerKind};
+
+/// One policy's results on the trace.
+#[derive(Debug, Clone)]
+pub struct PolicyRow {
+    /// Policy label.
+    pub policy: &'static str,
+    /// Trace makespan, seconds.
+    pub makespan_secs: f64,
+    /// Mean queue wait, seconds.
+    pub mean_wait_secs: f64,
+    /// Cluster utilisation over the makespan.
+    pub utilization: f64,
+    /// Jobs started by the backfill pass.
+    pub backfilled: u64,
+    /// Jobs completed.
+    pub completed: u64,
+}
+
+/// Compare the three policies on one generated trace.
+pub fn policy_comparison(seed: u64, cluster_nodes: u32, jobs: usize) -> Vec<PolicyRow> {
+    let cfg = TraceConfig {
+        cluster_nodes,
+        mean_interarrival_secs: 45.0,
+        ..TraceConfig::default()
+    };
+    let trace = generate(&mut rng(seed), &cfg, jobs);
+    let run = |label: &'static str, kind, maui: bool| {
+        let mut c = Controller::new(cluster_nodes, kind);
+        if maui {
+            c.set_priority_fn(maui_like_priority);
+        }
+        let makespan = run_trace(&mut c, &trace);
+        let s = c.stats();
+        PolicyRow {
+            policy: label,
+            makespan_secs: makespan.as_secs_f64(),
+            mean_wait_secs: s.total_wait_secs / s.submitted.max(1) as f64,
+            utilization: c.utilization(makespan),
+            backfilled: s.backfilled,
+            completed: s.completed + s.timed_out,
+        }
+    };
+    vec![
+        run("FIFO", SchedulerKind::Fifo, false),
+        run("EASY backfill", SchedulerKind::Backfill, false),
+        run("backfill + Maui-like priority", SchedulerKind::Backfill, true),
+    ]
+}
+
+/// Failover experiment: replicate the controller mid-trace, kill the
+/// primary, and check the replica finishes identically to an
+/// uninterrupted run.
+#[derive(Debug, Clone)]
+pub struct FailoverResult {
+    /// Jobs in the trace.
+    pub jobs: u64,
+    /// Completed under the uninterrupted controller.
+    pub completed_primary: u64,
+    /// Completed under the mid-run replica.
+    pub completed_replica: u64,
+    /// Whether the two runs finished with identical stats.
+    pub identical: bool,
+}
+
+/// Run the failover experiment.
+pub fn failover(seed: u64, cluster_nodes: u32, jobs: usize) -> FailoverResult {
+    let cfg = TraceConfig { cluster_nodes, ..TraceConfig::default() };
+    let trace = generate(&mut rng(seed), &cfg, jobs);
+
+    // uninterrupted reference
+    let mut reference = Controller::new(cluster_nodes, SchedulerKind::Backfill);
+    run_trace(&mut reference, &trace);
+
+    // interrupted run: replicate halfway through the submissions
+    let half = jobs / 2;
+    let mut primary = Controller::new(cluster_nodes, SchedulerKind::Backfill);
+    // process completions between submissions exactly like run_trace so
+    // the replica's event order matches the uninterrupted reference
+    let drain_until = |c: &mut Controller, t| {
+        while let Some(next) = c.next_completion() {
+            if next > t {
+                break;
+            }
+            c.advance(next);
+        }
+    };
+    for j in trace.iter().take(half) {
+        let now = j.submit;
+        drain_until(&mut primary, now);
+        let _ = primary.submit(now, j.request.clone());
+        primary.advance(now);
+    }
+    // continuous replication; primary host dies here
+    let mut replica = primary.clone();
+    drop(primary);
+    for j in trace.iter().skip(half) {
+        let now = j.submit;
+        drain_until(&mut replica, now);
+        let _ = replica.submit(now, j.request.clone());
+        replica.advance(now);
+    }
+    while let Some(next) = replica.next_completion() {
+        replica.advance(next);
+    }
+
+    let a = reference.stats();
+    let b = replica.stats();
+    FailoverResult {
+        jobs: jobs as u64,
+        completed_primary: a.completed + a.timed_out,
+        completed_replica: b.completed + b.timed_out,
+        identical: a.completed == b.completed
+            && a.timed_out == b.timed_out
+            && a.backfilled == b.backfilled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backfill_improves_wait_without_hurting_utilization() {
+        let rows = policy_comparison(11, 64, 400);
+        let fifo = &rows[0];
+        let bf = &rows[1];
+        assert_eq!(fifo.completed, 400);
+        assert_eq!(bf.completed, 400);
+        assert!(bf.backfilled > 0);
+        assert!(bf.mean_wait_secs < fifo.mean_wait_secs, "{bf:?} vs {fifo:?}");
+        assert!(bf.utilization >= fifo.utilization * 0.95);
+    }
+
+    #[test]
+    fn failover_loses_nothing() {
+        let r = failover(13, 32, 200);
+        assert_eq!(r.completed_replica, r.jobs);
+        assert!(r.identical, "{r:?}");
+    }
+}

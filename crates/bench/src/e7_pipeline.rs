@@ -1,0 +1,100 @@
+//! E7: the consolidation + transmission ablation (paper §5.3.2–§5.3.3:
+//! delta transmission "reduces the amount of transferred data
+//! substantially"; compression is "very effective on text input").
+//!
+//! Four agent configurations over the same synthetic node activity:
+//! {delta on/off} × {compression on/off}. The metric is wire bytes per
+//! tick in steady state.
+
+use cwx_monitor::agent::{Agent, AgentConfig};
+use cwx_monitor::snapshot::Sensors;
+use cwx_proc::synthetic::SyntheticProc;
+use cwx_util::time::{SimDuration, SimTime};
+
+/// One configuration's result.
+#[derive(Debug, Clone)]
+pub struct PipelineRow {
+    /// Configuration label.
+    pub label: &'static str,
+    /// Delta consolidation on?
+    pub delta: bool,
+    /// Compression on?
+    pub compress: bool,
+    /// Mean wire bytes per steady-state tick.
+    pub bytes_per_tick: f64,
+    /// Mean values transmitted per steady-state tick.
+    pub values_per_tick: f64,
+}
+
+/// Run the four-way ablation for `ticks` steady-state ticks.
+pub fn ablation(ticks: u32) -> Vec<PipelineRow> {
+    let configs = [
+        ("raw text, every value (baseline)", false, false),
+        ("compressed, every value", false, true),
+        ("delta only", true, false),
+        ("delta + compression (product)", true, true),
+    ];
+    configs
+        .into_iter()
+        .map(|(label, delta, compress)| {
+            let proc_ = SyntheticProc::default();
+            let mut agent = Agent::new(
+                proc_.clone(),
+                AgentConfig { delta_enabled: delta, compress, ..AgentConfig::default() },
+            )
+            .expect("agent over synthetic proc");
+            // warm-up tick so statics are sent outside the window
+            let mut now = SimTime::ZERO + SimDuration::from_secs(1);
+            proc_.with_state(|s| s.tick(1.0, 0.3));
+            agent.tick(now, Sensors { udp_echo_ok: true, ..Default::default() }).unwrap();
+
+            let mut bytes = 0u64;
+            let mut values = 0u64;
+            for k in 0..ticks {
+                now += SimDuration::from_secs(5);
+                // moderate activity: some monitors move, most do not
+                proc_.with_state(|s| s.tick(5.0, 0.25 + 0.05 * ((k % 3) as f64)));
+                let sensors = Sensors {
+                    cpu_temp_c: 45.0 + (k % 5) as f64 * 0.3,
+                    board_temp_c: 38.0,
+                    fan_rpm: 6000.0,
+                    power_watts: 130.0,
+                    udp_echo_ok: true,
+                };
+                let out = agent.tick(now, sensors).unwrap();
+                bytes += out.wire_len as u64;
+                values += out.report.values.len() as u64;
+            }
+            PipelineRow {
+                label,
+                delta,
+                compress,
+                bytes_per_tick: bytes as f64 / ticks as f64,
+                values_per_tick: values as f64 / ticks as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_stage_helps_and_product_config_wins() {
+        let rows = ablation(40);
+        let get = |delta: bool, compress: bool| {
+            rows.iter().find(|r| r.delta == delta && r.compress == compress).unwrap()
+        };
+        let baseline = get(false, false);
+        let compressed = get(false, true);
+        let delta = get(true, false);
+        let product = get(true, true);
+        assert!(compressed.bytes_per_tick < baseline.bytes_per_tick * 0.8);
+        assert!(delta.bytes_per_tick < baseline.bytes_per_tick * 0.5);
+        assert!(product.bytes_per_tick < baseline.bytes_per_tick * 0.4);
+        assert!(product.bytes_per_tick <= delta.bytes_per_tick);
+        // delta transmits far fewer values
+        assert!(delta.values_per_tick < baseline.values_per_tick * 0.6);
+    }
+}

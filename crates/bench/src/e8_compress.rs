@@ -1,0 +1,110 @@
+//! E8: compression effectiveness on monitored text (paper §5.3.3).
+//!
+//! Corpora: real `/proc` snapshots when available, synthetic node proc
+//! text, and full agent reports — all "standard ASCII output" of the
+//! kind the paper claims compresses very effectively.
+
+use cwx_monitor::monitor::{MonitorKey, Value};
+use cwx_monitor::transmit::{encode, Report};
+use cwx_proc::synthetic::SyntheticState;
+use cwx_util::compress::{compress, decompress};
+
+/// One corpus result.
+#[derive(Debug, Clone)]
+pub struct CompressRow {
+    /// Corpus name.
+    pub corpus: &'static str,
+    /// Input bytes.
+    pub input_bytes: usize,
+    /// Compressed bytes.
+    pub output_bytes: usize,
+    /// Ratio (output / input).
+    pub ratio: f64,
+}
+
+fn row(corpus: &'static str, data: &[u8]) -> CompressRow {
+    let out = compress(data);
+    debug_assert_eq!(decompress(&out).unwrap(), data);
+    CompressRow {
+        corpus,
+        input_bytes: data.len(),
+        output_bytes: out.len(),
+        ratio: out.len() as f64 / data.len().max(1) as f64,
+    }
+}
+
+/// Synthetic proc text: a node's five files concatenated over several
+/// samples (what an uncompressed stream would carry).
+pub fn synthetic_proc_corpus(samples: usize) -> Vec<u8> {
+    let mut st = SyntheticState::default();
+    let mut out = String::new();
+    let mut buf = String::new();
+    for _ in 0..samples {
+        st.tick(5.0, 0.4);
+        st.render_meminfo(&mut buf);
+        out.push_str(&buf);
+        st.render_stat(&mut buf);
+        out.push_str(&buf);
+        st.render_loadavg(&mut buf);
+        out.push_str(&buf);
+        st.render_uptime(&mut buf);
+        out.push_str(&buf);
+        st.render_netdev(&mut buf);
+        out.push_str(&buf);
+    }
+    out.into_bytes()
+}
+
+/// A realistic full agent report (first tick: every monitor present).
+pub fn report_corpus() -> Vec<u8> {
+    let mut values = Vec::new();
+    for i in 0..48 {
+        values.push((MonitorKey::new(format!("group{}.monitor_{i}", i % 6)), Value::Num(i as f64 * 13.7)));
+    }
+    let r = Report { node: 123, seq: 42, time_secs: 3600.5, values };
+    encode(&r).into_bytes()
+}
+
+/// Run E8 over all corpora.
+pub fn corpora() -> Vec<CompressRow> {
+    let mut rows = Vec::new();
+    if let Ok(mem) = std::fs::read("/proc/meminfo") {
+        let mut real = Vec::new();
+        for _ in 0..20 {
+            real.extend_from_slice(&mem);
+        }
+        if let Ok(stat) = std::fs::read("/proc/stat") {
+            real.extend_from_slice(&stat);
+        }
+        rows.push(row("real /proc stream (20 samples)", &real));
+    }
+    rows.push(row("synthetic /proc stream (20 samples)", &synthetic_proc_corpus(20)));
+    rows.push(row("single full agent report", &report_corpus()));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_text_compresses_very_effectively() {
+        let rows = corpora();
+        let stream = rows
+            .iter()
+            .find(|r| r.corpus.starts_with("synthetic /proc stream"))
+            .unwrap();
+        assert!(
+            stream.ratio < 0.25,
+            "repeated proc text must compress at least 4x: {:.3}",
+            stream.ratio
+        );
+    }
+
+    #[test]
+    fn single_report_still_shrinks() {
+        let rows = corpora();
+        let report = rows.iter().find(|r| r.corpus.contains("agent report")).unwrap();
+        assert!(report.ratio < 0.8, "even one report has key-prefix redundancy: {:.3}", report.ratio);
+    }
+}

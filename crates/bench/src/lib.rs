@@ -1,0 +1,19 @@
+//! Experiment drivers for every quantitative claim in the paper.
+//!
+//! Each module implements one experiment from the index in `DESIGN.md`
+//! and returns structured results; the `experiments` binary renders them
+//! as paper-vs-measured tables (and `--markdown` emits the body of
+//! `EXPERIMENTS.md`), while the Criterion benches in `benches/` reuse the
+//! same drivers at reduced scale for statistically rigorous timing.
+
+pub mod measure;
+
+pub mod e1_gathering;
+pub mod e5_boot;
+pub mod e6_cloning;
+pub mod e7_pipeline;
+pub mod e8_compress;
+pub mod e9_events;
+pub mod e10_icebox;
+pub mod e11_scale;
+pub mod e12_slurm;

@@ -1,0 +1,57 @@
+//! Wall-clock measurement helpers (only the E1–E4 microbenchmarks touch
+//! real time; everything else runs on simulated time).
+
+use std::time::{Duration, Instant};
+
+/// Run `f` repeatedly for at least `window`, returning calls per second.
+/// A short warmup runs first.
+pub fn rate_per_sec(mut f: impl FnMut(), window: Duration) -> f64 {
+    // warmup: a tenth of the window
+    let warm_until = Instant::now() + window / 10;
+    while Instant::now() < warm_until {
+        f();
+    }
+    let start = Instant::now();
+    let mut calls: u64 = 0;
+    loop {
+        f();
+        calls += 1;
+        // check the clock in batches to keep the overhead negligible
+        if calls.is_multiple_of(32) && start.elapsed() >= window {
+            break;
+        }
+    }
+    calls as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Mean microseconds per call of `f` over a measurement window.
+pub fn micros_per_call(f: impl FnMut(), window: Duration) -> f64 {
+    1e6 / rate_per_sec(f, window)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_measures_a_known_cheap_function() {
+        let mut x = 0u64;
+        let r = rate_per_sec(
+            || {
+                x = x.wrapping_add(1);
+                std::hint::black_box(x);
+            },
+            Duration::from_millis(50),
+        );
+        assert!(r > 1_000_000.0, "a no-op should run millions of times/s: {r}");
+    }
+
+    #[test]
+    fn micros_inverts_rate() {
+        let us = micros_per_call(
+            || std::thread::sleep(Duration::from_micros(200)),
+            Duration::from_millis(50),
+        );
+        assert!((150.0..2_000.0).contains(&us), "sleep(200us) should cost ~200us+: {us}");
+    }
+}

@@ -1,0 +1,198 @@
+//! `cwx` — command-line frontend for the ClusterWorX reproduction.
+//!
+//! ```text
+//! cwx simulate --nodes 32 --secs 600 [--seed 42] [--fan-fail 4@300]...
+//! cwx clone    --nodes 100 --image-mb 650 [--loss 0.005] [--unicast]
+//! cwx lite     [--ticks 5]
+//! cwx help
+//! ```
+
+use clusterworx::world::schedule_fault;
+use clusterworx::{dashboard, Cluster, ClusterConfig, LiteMonitor, WorkloadMix};
+use cwx_clone::protocol::{run_clone, CloneConfig, RepairStrategy};
+use cwx_hw::node::Fault;
+use cwx_monitor::snapshot::Sensors;
+use cwx_net::FAST_ETHERNET_BPS;
+use cwx_util::time::{SimDuration, SimTime};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  cwx simulate --nodes N --secs S [--seed X] [--fan-fail NODE@SECS]... [--dump-history FILE --dump-node N]\n  cwx clone --nodes N --image-mb M [--loss P] [--unicast]\n  cwx lite [--ticks N]\n  cwx help"
+    );
+    std::process::exit(2);
+}
+
+/// Tiny flag parser: `--key value` pairs plus repeatable `--fan-fail`.
+struct Args {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Args {
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(key) = a.strip_prefix("--") {
+                if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                    pairs.push((key.to_string(), args[i + 1].clone()));
+                    i += 2;
+                } else {
+                    flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                eprintln!("unexpected argument: {a}");
+                usage();
+            }
+        }
+        Args { pairs, flags }
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn all(&self, key: &str) -> Vec<&str> {
+        self.pairs.iter().filter(|(k, _)| k == key).map(|(_, v)| v.as_str()).collect()
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn cmd_simulate(args: &Args) {
+    let nodes: u32 = args.get("nodes", 16);
+    let secs: u64 = args.get("secs", 600);
+    let seed: u64 = args.get("seed", 42);
+    let mut sim = Cluster::build(ClusterConfig {
+        n_nodes: nodes,
+        seed,
+        workload: WorkloadMix::Mixed,
+        ..Default::default()
+    });
+    for spec in args.all("fan-fail") {
+        let Some((node, at)) = spec.split_once('@') else {
+            eprintln!("--fan-fail wants NODE@SECS, got {spec}");
+            usage();
+        };
+        let (node, at): (u32, u64) = match (node.parse(), at.parse()) {
+            (Ok(n), Ok(a)) => (n, a),
+            _ => usage(),
+        };
+        schedule_fault(&mut sim, SimTime::ZERO + SimDuration::from_secs(at), node, Fault::FanFailure);
+        println!("scheduled fan failure: node{node:03} at t={at}s");
+    }
+    sim.run_for(SimDuration::from_secs(secs));
+    let w = sim.world();
+    println!("{}", dashboard::render(w, sim.now()));
+    let st = w.server.stats();
+    println!(
+        "server: {} reports / {} values / {} B on the wire / {} decode errors",
+        st.reports_rx, st.values_rx, st.bytes_rx, st.decode_errors
+    );
+    if !w.action_log.is_empty() {
+        println!("actions taken:");
+        for a in &w.action_log {
+            println!("  {}: node{:03} {:?}", a.time, a.node, a.action);
+        }
+    }
+    for m in w.server.outbox() {
+        println!("mail: {}", m.subject);
+    }
+    if let Some((_, path)) = args.pairs.iter().find(|(k, _)| k == "dump-history") {
+        let node: u32 = args.get("dump-node", 0);
+        let csv = w.server.history().export_node_csv(node);
+        match std::fs::write(path, &csv) {
+            Ok(()) => println!("wrote {} bytes of node{node:03} history to {path}", csv.len()),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+fn cmd_clone(args: &Args) {
+    let nodes: u32 = args.get("nodes", 100);
+    let image_mb: u64 = args.get("image-mb", 650);
+    let loss: f64 = args.get("loss", 0.005);
+    let seed: u64 = args.get("seed", 42);
+    let strategy =
+        if args.flag("unicast") { RepairStrategy::Unicast } else { RepairStrategy::MulticastRoundRobin };
+    let cfg = CloneConfig { image_bytes: image_mb << 20, strategy, ..CloneConfig::default() };
+    println!(
+        "cloning {image_mb} MiB to {nodes} nodes ({}), {:.2}% chunk loss...",
+        if args.flag("unicast") { "unicast baseline" } else { "reliable multicast" },
+        loss * 100.0
+    );
+    let r = run_clone(seed, nodes, FAST_ETHERNET_BPS, loss, cfg);
+    println!(
+        "stream {:.1}s | all data {:.1}s | all nodes up {:.1} min | wire {:.2} GB | {} repairs | {} failed",
+        r.stream_secs,
+        r.data_complete_secs,
+        r.makespan_secs / 60.0,
+        r.wire_bytes as f64 / 1e9,
+        r.repair_chunks,
+        r.failed_nodes
+    );
+}
+
+fn cmd_lite(args: &Args) {
+    let ticks: u64 = args.get("ticks", 5);
+    let src = cwx_proc::source::RealProc::new();
+    if !src.available() {
+        eprintln!("no /proc on this host; `cwx lite` needs Linux");
+        std::process::exit(1);
+    }
+    let mut lite = LiteMonitor::new(src, "localhost").expect("lite monitor");
+    println!("ClusterWorX Lite on the local /proc ({ticks} ticks, 1 s apart):");
+    let mut now = SimTime::ZERO;
+    for i in 0..ticks {
+        now += SimDuration::from_secs(1);
+        std::thread::sleep(std::time::Duration::from_secs(1));
+        let tick = lite
+            .tick(
+                now,
+                Sensors { fan_rpm: 6000.0, power_watts: 120.0, udp_echo_ok: true, ..Default::default() },
+            )
+            .expect("tick");
+        let load = lite
+            .history()
+            .latest(0, &cwx_monitor::monitor::MonitorKey::new("load.one"))
+            .map(|s| s.value)
+            .unwrap_or(f64::NAN);
+        let memfree = lite
+            .history()
+            .latest(0, &cwx_monitor::monitor::MonitorKey::new("mem.free"))
+            .map(|s| s.value)
+            .unwrap_or(f64::NAN);
+        println!(
+            "  tick {i}: {} changed values | load {load:.2} | mem free {:.0} MB | {} events",
+            tick.changed_values,
+            memfree / 1024.0,
+            tick.fired.len()
+        );
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else { usage() };
+    let args = Args::parse(rest);
+    match cmd.as_str() {
+        "simulate" => cmd_simulate(&args),
+        "clone" => cmd_clone(&args),
+        "lite" => cmd_lite(&args),
+        "help" | "--help" | "-h" => usage(),
+        other => {
+            eprintln!("unknown command: {other}");
+            usage();
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Cluster construction parameters.
+
+use cwx_bios::Firmware;
+use cwx_net::FAST_ETHERNET_BPS;
+use cwx_util::time::SimDuration;
+
+/// How node workloads are assigned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadMix {
+    /// Every node idles.
+    Idle,
+    /// Every node runs at a constant utilisation.
+    Constant(f64),
+    /// A realistic mix: 60% batch jobs, 30% noisy background, 10% idle,
+    /// assigned round-robin by node index.
+    Mixed,
+}
+
+/// Parameters for [`crate::Cluster::build`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of compute nodes.
+    pub n_nodes: u32,
+    /// Experiment seed (drives every random draw).
+    pub seed: u64,
+    /// Hardware/thermal integration step.
+    pub hw_step: SimDuration,
+    /// Monitoring agent sampling interval.
+    pub agent_interval: SimDuration,
+    /// ICE Box probe sampling interval (out-of-band path).
+    pub probe_interval: SimDuration,
+    /// Server housekeeping interval (mail flush, staleness checks).
+    pub housekeeping_interval: SimDuration,
+    /// Notification batching window.
+    pub notify_window: SimDuration,
+    /// Cluster network bandwidth (shared segment), bytes/s.
+    pub bandwidth_bps: u64,
+    /// Per-receiver packet loss on the segment.
+    pub loss: f64,
+    /// Node firmware.
+    pub firmware: Firmware,
+    /// Workload assignment.
+    pub workload: WorkloadMix,
+    /// Delta consolidation in the agents (off = E7 ablation).
+    pub delta_enabled: bool,
+    /// Report compression in the agents.
+    pub compress: bool,
+    /// Power nodes on automatically at t = 0.
+    pub autostart: bool,
+    /// Nodes with a bad DIMM: their boots fail the memory check.
+    /// LinuxBIOS reports the failure on the serial console (captured by
+    /// the ICE Box); a vendor BIOS just beeps at a monitor nobody has.
+    pub bad_memory_nodes: Vec<u32>,
+    /// History retained per series.
+    pub history_capacity: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            n_nodes: 16,
+            seed: 42,
+            hw_step: SimDuration::from_secs(1),
+            agent_interval: SimDuration::from_secs(5),
+            probe_interval: SimDuration::from_secs(5),
+            housekeeping_interval: SimDuration::from_secs(10),
+            notify_window: SimDuration::from_secs(30),
+            bandwidth_bps: FAST_ETHERNET_BPS,
+            loss: 0.0,
+            firmware: Firmware::LinuxBios,
+            workload: WorkloadMix::Mixed,
+            delta_enabled: true,
+            compress: true,
+            autostart: true,
+            bad_memory_nodes: Vec::new(),
+            history_capacity: 720,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ClusterConfig::default();
+        assert!(c.n_nodes > 0);
+        assert!(c.agent_interval.as_secs_f64() >= c.hw_step.as_secs_f64());
+        assert_eq!(c.firmware, Firmware::LinuxBios);
+        assert!(c.delta_enabled && c.compress && c.autostart);
+    }
+}

@@ -1,0 +1,178 @@
+//! Text rendering of the "main monitoring screen".
+//!
+//! The product shipped a Java GUI; the reproduction renders the same
+//! information — a per-node status table and a cluster summary — as
+//! text, which is what the examples print and what a TUI would consume.
+
+use cwx_monitor::monitor::MonitorKey;
+use cwx_util::time::SimTime;
+
+use crate::world::World;
+
+/// One dashboard row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeRow {
+    /// Node index.
+    pub node: u32,
+    /// Status word: `up`, `boot`, `off`, `failed`, `unreachable`.
+    pub status: &'static str,
+    /// Last reported CPU utilisation, %.
+    pub cpu_pct: f64,
+    /// Last reported memory use, %.
+    pub mem_pct: f64,
+    /// Last reported 1-minute load.
+    pub load_one: f64,
+    /// Last probed CPU temperature, °C.
+    pub temp_c: f64,
+    /// Seconds since the last agent report.
+    pub report_age_secs: f64,
+}
+
+/// Build the dashboard rows at `now`.
+pub fn rows(world: &World, now: SimTime) -> Vec<NodeRow> {
+    let mut out = Vec::with_capacity(world.nodes.len());
+    for (i, st) in world.nodes.iter().enumerate() {
+        let node = i as u32;
+        let status = match () {
+            _ if st.hw.health() == cwx_hw::HealthState::Burned => "failed",
+            _ if st.hw.power() == cwx_hw::PowerState::Off => "off",
+            _ if st.hw.is_up() => {
+                if world.server.node_status(node).map(|s| s.reachable).unwrap_or(false) {
+                    "up"
+                } else {
+                    "unreachable"
+                }
+            }
+            _ if st.expected_up => "unreachable",
+            _ => "boot",
+        };
+        let latest = |key: &str| {
+            world
+                .server
+                .history()
+                .latest(node, &MonitorKey::new(key))
+                .map(|s| s.value)
+                .unwrap_or(f64::NAN)
+        };
+        let report_age = world
+            .server
+            .node_status(node)
+            .map(|s| now.since(s.last_report).as_secs_f64())
+            .unwrap_or(f64::INFINITY);
+        out.push(NodeRow {
+            node,
+            status,
+            cpu_pct: latest("cpu.util_pct"),
+            mem_pct: latest("mem.used_pct"),
+            load_one: latest("load.one"),
+            temp_c: latest("temp.cpu"),
+            report_age_secs: report_age,
+        });
+    }
+    out
+}
+
+/// Cluster-wide aggregates for the summary banner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSummary {
+    /// Nodes up / total.
+    pub up: usize,
+    /// Total nodes.
+    pub total: usize,
+    /// Mean CPU utilisation across reporting nodes, %.
+    pub mean_cpu_pct: f64,
+    /// Hottest CPU in the cluster, °C.
+    pub max_temp_c: f64,
+    /// Total power draw, watts (from the chassis probes).
+    pub total_watts: f64,
+}
+
+/// Compute the cluster summary at `now`.
+pub fn summary(world: &World, now: SimTime) -> ClusterSummary {
+    let rows = rows(world, now);
+    let up = rows.iter().filter(|r| r.status == "up").count();
+    let cpus: Vec<f64> = rows.iter().map(|r| r.cpu_pct).filter(|x| x.is_finite()).collect();
+    let temps: Vec<f64> = rows.iter().map(|r| r.temp_c).filter(|x| x.is_finite()).collect();
+    let total_watts: f64 = world.nodes.iter().map(|n| n.hw.power_watts()).sum();
+    ClusterSummary {
+        up,
+        total: rows.len(),
+        mean_cpu_pct: if cpus.is_empty() {
+            f64::NAN
+        } else {
+            cpus.iter().sum::<f64>() / cpus.len() as f64
+        },
+        max_temp_c: temps.iter().copied().fold(f64::NAN, f64::max),
+        total_watts,
+    }
+}
+
+/// Render the table as text.
+pub fn render(world: &World, now: SimTime) -> String {
+    use std::fmt::Write;
+    let rows = rows(world, now);
+    let mut s = String::new();
+    let up = rows.iter().filter(|r| r.status == "up").count();
+    let _ = writeln!(s, "cluster status @ {now}: {up}/{} nodes up", rows.len());
+    let _ = writeln!(
+        s,
+        "{:<8} {:<12} {:>6} {:>6} {:>6} {:>7} {:>8}",
+        "node", "status", "cpu%", "mem%", "load", "temp C", "age s"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            s,
+            "node{:03}  {:<12} {:>6.1} {:>6.1} {:>6.2} {:>7.1} {:>8.1}",
+            r.node, r.status, r.cpu_pct, r.mem_pct, r.load_one, r.temp_c, r.report_age_secs
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::world::Cluster;
+    use cwx_util::time::SimDuration;
+
+    #[test]
+    fn dashboard_reflects_running_cluster() {
+        let mut sim = Cluster::build(ClusterConfig { n_nodes: 4, ..Default::default() });
+        sim.run_for(SimDuration::from_secs(120));
+        let now = sim.now();
+        let table = rows(sim.world(), now);
+        assert_eq!(table.len(), 4);
+        assert!(table.iter().all(|r| r.status == "up"), "{table:?}");
+        assert!(table.iter().all(|r| r.report_age_secs < 30.0));
+        assert!(table.iter().all(|r| r.temp_c > 20.0));
+        let text = render(sim.world(), now);
+        assert!(text.contains("4/4 nodes up"));
+        assert!(text.contains("node003"));
+    }
+
+    #[test]
+    fn summary_aggregates_cluster_state() {
+        let mut sim = Cluster::build(ClusterConfig {
+            n_nodes: 6,
+            workload: crate::config::WorkloadMix::Constant(0.8),
+            ..Default::default()
+        });
+        sim.run_for(SimDuration::from_secs(300));
+        let s = summary(sim.world(), sim.now());
+        assert_eq!((s.up, s.total), (6, 6));
+        assert!(s.mean_cpu_pct > 60.0, "{s:?}");
+        assert!(s.max_temp_c > 40.0, "{s:?}");
+        assert!(s.total_watts > 6.0 * 100.0, "{s:?}");
+    }
+
+    #[test]
+    fn powered_off_nodes_show_off() {
+        let mut sim = Cluster::build(ClusterConfig { n_nodes: 2, ..Default::default() });
+        sim.run_for(SimDuration::from_secs(60));
+        crate::world::power_off_node(&mut sim, 1);
+        let table = rows(sim.world(), sim.now());
+        assert_eq!(table[1].status, "off");
+        assert_eq!(table[0].status, "up");
+    }
+}

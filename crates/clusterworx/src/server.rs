@@ -1,0 +1,318 @@
+//! The ClusterWorX management server.
+//!
+//! The middle tier of the paper's 3-tier design: agents push reports up,
+//! clients (GUI sessions) query downward. The server decodes reports,
+//! feeds the history store, evaluates events and queues the resulting
+//! actions for the chassis layer to execute.
+
+use std::collections::BTreeMap;
+
+use cwx_events::engine::{default_rules, EventDef, EventEngine, Firing};
+use cwx_events::notify::{Email, Notifier};
+use cwx_monitor::history::HistoryStore;
+use cwx_monitor::monitor::{MonitorKey, Value};
+use cwx_monitor::transmit::{self, Report};
+use cwx_util::time::{SimDuration, SimTime};
+
+use cwx_events::Action;
+
+/// Liveness bookkeeping per node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeStatus {
+    /// Last report arrival.
+    pub last_report: SimTime,
+    /// Reports received.
+    pub reports: u64,
+    /// Whether the server currently considers the node reachable.
+    pub reachable: bool,
+}
+
+/// Server-side counters (experiment E11 reads these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Reports received.
+    pub reports_rx: u64,
+    /// Wire bytes received.
+    pub bytes_rx: u64,
+    /// Individual values processed.
+    pub values_rx: u64,
+    /// Reports that failed to decode.
+    pub decode_errors: u64,
+    /// Actions queued for execution.
+    pub actions: u64,
+}
+
+/// An action the event engine wants executed on a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingAction {
+    /// Target node.
+    pub node: u32,
+    /// What to do.
+    pub action: Action,
+    /// The firing that caused it.
+    pub cause: Firing,
+}
+
+/// The management server.
+#[derive(Debug)]
+pub struct Server {
+    history: HistoryStore,
+    engine: EventEngine,
+    notifier: Notifier,
+    status: BTreeMap<u32, NodeStatus>,
+    pending: Vec<PendingAction>,
+    stats: ServerStats,
+    stale_after: SimDuration,
+}
+
+impl Server {
+    /// A server with the paper's default rule set installed.
+    pub fn new(
+        cluster_name: &str,
+        notify_window: SimDuration,
+        history_capacity: usize,
+        stale_after: SimDuration,
+    ) -> Self {
+        let mut engine = EventEngine::new();
+        for rule in default_rules() {
+            engine.add(rule);
+        }
+        Server {
+            history: HistoryStore::new(history_capacity),
+            engine,
+            notifier: Notifier::new(cluster_name, notify_window),
+            status: BTreeMap::new(),
+            pending: Vec::new(),
+            stats: ServerStats::default(),
+            stale_after,
+        }
+    }
+
+    /// The event engine (to add administrator rules).
+    pub fn engine_mut(&mut self) -> &mut EventEngine {
+        &mut self.engine
+    }
+
+    /// The history store (charting queries).
+    pub fn history(&self) -> &HistoryStore {
+        &self.history
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Per-node liveness.
+    pub fn node_status(&self, node: u32) -> Option<NodeStatus> {
+        self.status.get(&node).copied()
+    }
+
+    /// All emails sent so far.
+    pub fn outbox(&self) -> &[Email] {
+        self.notifier.outbox()
+    }
+
+    /// Emails suppressed by episode dedup.
+    pub fn mails_suppressed(&self) -> u64 {
+        self.notifier.suppressed()
+    }
+
+    /// Take the queued actions (the chassis layer executes them).
+    pub fn take_actions(&mut self) -> Vec<PendingAction> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Handle a report datagram arriving from a node agent.
+    pub fn ingest(&mut self, now: SimTime, payload: &[u8]) {
+        self.stats.bytes_rx += payload.len() as u64;
+        let report = match transmit::decode_auto(payload) {
+            Ok(r) => r,
+            Err(_) => {
+                self.stats.decode_errors += 1;
+                return;
+            }
+        };
+        self.ingest_report(now, &report);
+    }
+
+    /// Handle an already-decoded report (used by the simulation driver
+    /// to skip redundant re-encoding when it already accounted bytes).
+    pub fn ingest_report(&mut self, now: SimTime, report: &Report) {
+        self.stats.reports_rx += 1;
+        let entry = self.status.entry(report.node).or_insert(NodeStatus {
+            last_report: now,
+            reports: 0,
+            reachable: true,
+        });
+        entry.last_report = now;
+        entry.reports += 1;
+        entry.reachable = true;
+        for (key, value) in &report.values {
+            self.stats.values_rx += 1;
+            if let Value::Num(x) = value {
+                self.history.record(report.node, key, now, *x);
+                self.observe(now, report.node, key, *x);
+            }
+        }
+    }
+
+    /// Feed one out-of-band observation (ICE Box probe path — works even
+    /// when the node OS is hung).
+    pub fn observe(&mut self, now: SimTime, node: u32, key: &MonitorKey, value: f64) {
+        let (fired, cleared) = self.engine.observe(now, node, key, value);
+        for f in &fired {
+            if let Some(def) = self.engine.defs().iter().find(|d| d.id == f.event) {
+                let def: EventDef = def.clone();
+                self.notifier.on_fire(now, &def, f);
+            }
+            if f.action != Action::None {
+                self.stats.actions += 1;
+                self.pending.push(PendingAction { node, action: f.action.clone(), cause: f.clone() });
+            }
+        }
+        for c in &cleared {
+            self.notifier.on_clear(c);
+        }
+    }
+
+    /// Record a probe reading into history under the sensor keys.
+    pub fn record_probe(&mut self, now: SimTime, node: u32, temp_c: f64, watts: f64, fan_rpm: f64) {
+        for (key, v) in [("temp.cpu", temp_c), ("power.watts", watts), ("fan.cpu_rpm", fan_rpm)] {
+            let k = MonitorKey::new(key);
+            self.history.record(node, &k, now, v);
+            self.observe(now, node, &k, v);
+        }
+    }
+
+    /// Housekeeping: flush due mail, mark silent nodes unreachable.
+    /// Returns the emails sent this round.
+    pub fn housekeeping(&mut self, now: SimTime) -> Vec<Email> {
+        for st in self.status.values_mut() {
+            if now.since(st.last_report) > self.stale_after {
+                st.reachable = false;
+            }
+        }
+        let defs: Vec<EventDef> = self.engine.defs().to_vec();
+        self.notifier.flush(now, &defs)
+    }
+
+    /// The engine lost track of a node (powered down): clear its trigger
+    /// state so the event can re-fire after repair.
+    pub fn forget_node(&mut self, node: u32) {
+        for c in self.engine.forget_node(node) {
+            self.notifier.on_clear(&c);
+        }
+        if let Some(st) = self.status.get_mut(&node) {
+            st.reachable = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwx_monitor::transmit::encode_compressed;
+
+    fn server() -> Server {
+        Server::new("test", SimDuration::from_secs(5), 100, SimDuration::from_secs(30))
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    fn report(node: u32, temp: f64) -> Report {
+        Report {
+            node,
+            seq: 0,
+            time_secs: 0.0,
+            values: vec![
+                (MonitorKey::new("temp.cpu"), Value::Num(temp)),
+                (MonitorKey::new("load.one"), Value::Num(0.5)),
+            ],
+        }
+    }
+
+    #[test]
+    fn ingest_decodes_and_stores_history() {
+        let mut s = server();
+        let payload = encode_compressed(&report(7, 55.0));
+        s.ingest(t(1), &payload);
+        let st = s.stats();
+        assert_eq!(st.reports_rx, 1);
+        assert_eq!(st.values_rx, 2);
+        assert_eq!(st.bytes_rx, payload.len() as u64);
+        let latest = s.history().latest(7, &MonitorKey::new("temp.cpu")).unwrap();
+        assert_eq!(latest.value, 55.0);
+        assert!(s.node_status(7).unwrap().reachable);
+    }
+
+    #[test]
+    fn garbage_counts_as_decode_error() {
+        let mut s = server();
+        s.ingest(t(1), b"definitely not a report");
+        assert_eq!(s.stats().decode_errors, 1);
+        assert_eq!(s.stats().reports_rx, 0);
+    }
+
+    #[test]
+    fn overtemp_report_queues_power_down() {
+        let mut s = server();
+        s.ingest_report(t(1), &report(3, 80.0));
+        let actions = s.take_actions();
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].node, 3);
+        assert_eq!(actions[0].action, Action::PowerDown);
+        // drained
+        assert!(s.take_actions().is_empty());
+    }
+
+    #[test]
+    fn probe_path_catches_hung_nodes() {
+        let mut s = server();
+        // no agent reports at all; the ICE Box probe sees a dead fan
+        s.record_probe(t(1), 5, 60.0, 150.0, 0.0);
+        let actions = s.take_actions();
+        assert!(actions.iter().any(|a| a.action == Action::PowerDown));
+    }
+
+    #[test]
+    fn housekeeping_flushes_mail_and_marks_stale() {
+        let mut s = server();
+        s.ingest_report(t(1), &report(1, 80.0));
+        assert!(s.housekeeping(t(2)).is_empty(), "window not expired");
+        let mails = s.housekeeping(t(10));
+        assert_eq!(mails.len(), 1);
+        assert!(mails[0].subject.contains("cpu-overtemp"));
+        // silence makes the node unreachable
+        assert!(s.node_status(1).unwrap().reachable);
+        s.housekeeping(t(60));
+        assert!(!s.node_status(1).unwrap().reachable);
+    }
+
+    #[test]
+    fn forget_node_allows_refire() {
+        let mut s = server();
+        s.ingest_report(t(1), &report(2, 80.0));
+        assert_eq!(s.take_actions().len(), 1);
+        s.forget_node(2);
+        // node repaired and reports hot again: must re-fire
+        s.ingest_report(t(100), &report(2, 81.0));
+        assert_eq!(s.take_actions().len(), 1);
+    }
+
+    #[test]
+    fn text_values_do_not_hit_the_engine() {
+        let mut s = server();
+        let r = Report {
+            node: 1,
+            seq: 0,
+            time_secs: 0.0,
+            values: vec![(MonitorKey::new("cpu.type"), Value::Text("PIII".into()))],
+        };
+        s.ingest_report(t(1), &r);
+        assert!(s.take_actions().is_empty());
+        assert_eq!(s.stats().values_rx, 1);
+    }
+}

@@ -1,0 +1,883 @@
+//! The simulated cluster world and its event wiring.
+
+use cwx_bios::{BiosChip, MemoryCheck};
+use cwx_events::Action;
+use cwx_hw::node::{Fault, HwEvent, NodeHardware, PowerState, ThermalConfig};
+use cwx_hw::workload::Workload;
+use cwx_hw::NodeId;
+use cwx_icebox::chassis::{IceBox, PortEffect, PortId, ProbeReading, NODE_PORTS};
+use cwx_monitor::agent::{Agent, AgentConfig};
+use cwx_monitor::monitor::MonitorKey;
+use cwx_monitor::snapshot::Sensors;
+use cwx_net::{Network, NodeAddr};
+use cwx_proc::synthetic::SyntheticProc;
+use cwx_util::rng::rng as seeded_rng;
+use cwx_util::sim::Sim;
+use cwx_util::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+
+use crate::config::{ClusterConfig, WorkloadMix};
+use crate::server::Server;
+
+/// What an action plug-in tells the framework to do after it ran (a
+/// site script might drain the node and then ask for a power-cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PluginVerdict {
+    /// Nothing further.
+    Done,
+    /// Power the node down after the script.
+    ThenPowerDown,
+    /// Power-cycle the node after the script.
+    ThenReboot,
+}
+
+/// An executable action plug-in: called with the node the event fired
+/// on. Stands in for the "shell scripts, perl scripts, symbolic links,
+/// programs, and more" the paper allows as actions.
+pub type ActionPlugin = Box<dyn FnMut(u32) -> PluginVerdict>;
+
+/// An executed event action (the audit trail).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionLog {
+    /// When it was executed.
+    pub time: SimTime,
+    /// Target node.
+    pub node: u32,
+    /// What was done.
+    pub action: Action,
+}
+
+/// Per-node state bundle.
+pub struct NodeState {
+    /// The physical node.
+    pub hw: NodeHardware,
+    /// Its firmware.
+    pub bios: BiosChip,
+    /// The monitoring agent (present while the OS is up).
+    pub agent: Option<Agent<SyntheticProc>>,
+    /// Invalidates in-flight boot events when power changes.
+    pub boot_gen: u64,
+    /// The administrator expects this node to be up (set when a boot
+    /// completes, cleared by power-off/halt).
+    pub expected_up: bool,
+    /// When the current OS instance came up (connectivity checks get a
+    /// grace window after boot before the echo probe may fail a node).
+    pub up_since: Option<SimTime>,
+    /// The system image provisioned onto this node (None = factory).
+    pub image: Option<crate::provisioning::InstalledImage>,
+}
+
+/// The whole simulated cluster.
+pub struct World {
+    /// Build parameters.
+    pub cfg: ClusterConfig,
+    /// Compute nodes.
+    pub nodes: Vec<NodeState>,
+    /// One chassis per 10 nodes.
+    pub iceboxes: Vec<IceBox>,
+    /// Shared management network (messages are report payloads).
+    pub net: Network<Vec<u8>>,
+    /// The management server.
+    pub server: Server,
+    /// Executed actions, in order.
+    pub action_log: Vec<ActionLog>,
+    /// Optional SLURM-lite attachment (see [`crate::scheduler`]).
+    pub scheduler: Option<crate::scheduler::SchedulerBridge>,
+    /// Registered action plug-ins by name.
+    action_plugins: std::collections::BTreeMap<String, ActionPlugin>,
+    /// Plug-in executions: (time, plugin name, node).
+    pub plugin_log: Vec<(SimTime, String, u32)>,
+    rng: StdRng,
+}
+
+impl World {
+    /// Chassis + port housing a node.
+    pub fn rack_of(node: u32) -> (usize, PortId) {
+        ((node as usize) / NODE_PORTS, PortId((node % NODE_PORTS as u32) as u8))
+    }
+
+    /// Network address of a node's agent.
+    pub fn addr_of(node: u32) -> NodeAddr {
+        NodeAddr(node + 1)
+    }
+
+    /// Network address of the server.
+    pub const SERVER_ADDR: NodeAddr = NodeAddr(0);
+
+    /// Nodes whose OS is currently up.
+    pub fn up_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.hw.is_up()).count()
+    }
+
+    /// Register an action plug-in under `name`; events with
+    /// `Action::Plugin(name)` will invoke it.
+    pub fn register_action_plugin(&mut self, name: &str, plugin: ActionPlugin) {
+        self.action_plugins.insert(name.to_string(), plugin);
+    }
+}
+
+/// Namespace struct: builds simulated clusters.
+pub struct Cluster;
+
+impl Cluster {
+    /// Wire a cluster world onto a fresh simulator and install its
+    /// recurring events. Drive it with `run_for`/`run_until` (the
+    /// recurring events never drain the queue).
+    pub fn build(cfg: ClusterConfig) -> Sim<World> {
+        let mut rng = seeded_rng(cfg.seed);
+        let n = cfg.n_nodes;
+        let mut nodes = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let workload = match cfg.workload {
+                WorkloadMix::Idle => Workload::Idle,
+                WorkloadMix::Constant(u) => Workload::Constant(u),
+                WorkloadMix::Mixed => match i % 10 {
+                    0..=5 => Workload::Batch {
+                        peak: 0.95,
+                        busy_secs: 240.0 + 30.0 * (i % 4) as f64,
+                        gap_secs: 60.0,
+                    },
+                    6..=8 => Workload::Noisy { mean: 0.35, reversion: 0.2, sigma: 0.25 },
+                    _ => Workload::Idle,
+                },
+            };
+            nodes.push(NodeState {
+                hw: NodeHardware::new(NodeId(i), ThermalConfig::default(), workload),
+                bios: BiosChip::new(cfg.firmware),
+                agent: None,
+                boot_gen: 0,
+                expected_up: false,
+                up_since: None,
+                image: None,
+            });
+        }
+        let n_boxes = (n as usize).div_ceil(NODE_PORTS);
+        let iceboxes = (0..n_boxes).map(|_| IceBox::new()).collect();
+        let net = Network::single_segment(cfg.seed ^ 0xdead_beef, n + 1, cfg.bandwidth_bps, cfg.loss);
+        let server = Server::new(
+            "cluster",
+            cfg.notify_window,
+            cfg.history_capacity,
+            cfg.agent_interval * 4,
+        );
+        let world = World {
+            nodes,
+            iceboxes,
+            net,
+            server,
+            action_log: Vec::new(),
+            scheduler: None,
+            action_plugins: std::collections::BTreeMap::new(),
+            plugin_log: Vec::new(),
+            rng: {
+                // separate stream for hardware noise
+                let _ = &mut rng;
+                seeded_rng(cfg.seed ^ 0x5eed)
+            },
+            cfg,
+        };
+        let mut sim = Sim::new(world);
+        install_recurring_events(&mut sim);
+        if sim.world().cfg.autostart {
+            sim.schedule_at(SimTime::ZERO, |sim| {
+                let n = sim.world().cfg.n_nodes;
+                for i in 0..n {
+                    power_on_node(sim, i);
+                }
+            });
+        }
+        sim
+    }
+}
+
+fn install_recurring_events(sim: &mut Sim<World>) {
+    let hw_step = sim.world().cfg.hw_step;
+    let agent_interval = sim.world().cfg.agent_interval;
+    let probe_interval = sim.world().cfg.probe_interval;
+    let housekeeping = sim.world().cfg.housekeeping_interval;
+
+    sim.schedule_every(hw_step, move |sim| {
+        hw_tick(sim, hw_step.as_secs_f64());
+        true
+    });
+    sim.schedule_every(agent_interval, |sim| {
+        agent_tick(sim);
+        true
+    });
+    sim.schedule_every(probe_interval, |sim| {
+        probe_tick(sim);
+        true
+    });
+    sim.schedule_every(housekeeping, |sim| {
+        housekeeping_tick(sim);
+        true
+    });
+}
+
+/// Advance the physics of every node and route console output.
+fn hw_tick(sim: &mut Sim<World>, dt_secs: f64) {
+    let n = sim.world().nodes.len();
+    for i in 0..n {
+        let events = {
+            let w = sim.world_mut();
+            // split borrows: rng and node
+            let World { nodes, rng, .. } = w;
+            nodes[i].hw.advance(dt_secs, rng)
+        };
+        route_hw_events(sim, i as u32, events);
+    }
+}
+
+fn route_hw_events(sim: &mut Sim<World>, node: u32, events: Vec<HwEvent>) {
+    for e in events {
+        match e {
+            HwEvent::Console(text) => {
+                let (bx, port) = World::rack_of(node);
+                sim.world_mut().iceboxes[bx].feed_console(port, text.as_bytes());
+            }
+            HwEvent::CpuBurned { .. } => {
+                let st = &mut sim.world_mut().nodes[node as usize];
+                st.expected_up = false;
+                st.agent = None;
+            }
+        }
+    }
+}
+
+/// Run every live agent and ship its report to the server.
+fn agent_tick(sim: &mut Sim<World>) {
+    let now = sim.now();
+    let n = sim.world().nodes.len();
+    let mut deliveries = Vec::new();
+    for i in 0..n {
+        let payload = {
+            let w = sim.world_mut();
+            let st = &mut w.nodes[i];
+            if !st.hw.is_up() {
+                continue;
+            }
+            let Some(agent) = st.agent.as_mut() else { continue };
+            let sensors = Sensors {
+                cpu_temp_c: st.hw.temperature_c(),
+                board_temp_c: st.hw.temperature_c() - 8.0,
+                fan_rpm: st.hw.fan_rpm(),
+                power_watts: st.hw.power_watts(),
+                udp_echo_ok: true,
+            };
+            match agent.tick(now, sensors) {
+                Ok(out) => out.payload,
+                Err(_) => continue,
+            }
+        };
+        let size = payload.len() as u64;
+        let ds = sim.world_mut().net.unicast(
+            now,
+            World::addr_of(i as u32),
+            World::SERVER_ADDR,
+            size,
+            payload,
+        );
+        deliveries.extend(ds);
+    }
+    for d in deliveries {
+        sim.schedule_at(d.at, move |sim| {
+            let now = sim.now();
+            sim.world_mut().server.ingest(now, &d.msg);
+            execute_pending_actions(sim);
+        });
+    }
+}
+
+/// Sample the ICE Box probes and feed them to the server out-of-band.
+fn probe_tick(sim: &mut Sim<World>) {
+    let now = sim.now();
+    let n = sim.world().nodes.len();
+    for i in 0..n {
+        let (bx, port) = World::rack_of(i as u32);
+        let (reading, observe) = {
+            let w = sim.world_mut();
+            let st = &w.nodes[i];
+            let reading = ProbeReading {
+                temp_c: st.hw.temperature_c(),
+                watts: st.hw.power_watts(),
+                fan_rpm: st.hw.fan_rpm(),
+            };
+            w.iceboxes[bx].record_probe(port, reading);
+            // Feed the event engine only for nodes that are supposed to
+            // be running: a node mid-boot (or whose outlet is still in
+            // its sequenced energize window) legitimately draws nothing
+            // and must not trip the PSU/fan rules.
+            let relay_on = w.iceboxes[bx].relay_on(port);
+            let settled = w.iceboxes[bx].pending_energize(port).is_none();
+            let st = &w.nodes[i];
+            let expected = st.hw.is_up()
+                || st.expected_up
+                || matches!(
+                    st.hw.health(),
+                    cwx_hw::HealthState::PsuFailed | cwx_hw::HealthState::Burned
+                );
+            (reading, relay_on && settled && expected)
+        };
+        if observe {
+            sim.world_mut().server.record_probe(
+                now,
+                i as u32,
+                reading.temp_c,
+                reading.watts,
+                reading.fan_rpm,
+            );
+        }
+    }
+    execute_pending_actions(sim);
+}
+
+/// Flush mail, check liveness via the UDP echo probe.
+///
+/// The echo travels the same management network the reports do, so the
+/// model uses the evidence the server actually has: a node answers the
+/// echo iff its OS is up *and* its reports have been arriving. A grace
+/// window after boot keeps a freshly started agent from reading as dead
+/// before its first report lands.
+fn housekeeping_tick(sim: &mut Sim<World>) {
+    let now = sim.now();
+    let n = sim.world().nodes.len();
+    let stale = sim.world().cfg.agent_interval * 4;
+    for i in 0..n {
+        let echo = {
+            let w = sim.world();
+            let st = &w.nodes[i];
+            let Some(up_since) = st.up_since else { continue };
+            if now.since(up_since) <= stale {
+                continue; // grace period after boot
+            }
+            let heard_recently = w
+                .server
+                .node_status(i as u32)
+                .map(|s| now.since(s.last_report) <= stale)
+                .unwrap_or(false);
+            st.hw.is_up() && heard_recently
+        };
+        let key = MonitorKey::new("net.connectivity");
+        sim.world_mut().server.observe(now, i as u32, &key, echo as u8 as f64);
+    }
+    execute_pending_actions(sim);
+    sim.world_mut().server.housekeeping(now);
+}
+
+/// Execute actions queued by the event engine through the chassis.
+fn execute_pending_actions(sim: &mut Sim<World>) {
+    let actions = sim.world_mut().server.take_actions();
+    let now = sim.now();
+    for a in actions {
+        // drop no-op power actions (e.g. an in-flight report re-firing
+        // an event against a node that was already switched off)
+        if matches!(a.action, Action::PowerDown | Action::Reboot) {
+            let (bx, port) = World::rack_of(a.node);
+            if !sim.world().iceboxes[bx].relay_on(port) {
+                continue;
+            }
+        }
+        sim.world_mut().action_log.push(ActionLog {
+            time: now,
+            node: a.node,
+            action: a.action.clone(),
+        });
+        match a.action {
+            Action::PowerDown => power_off_node(sim, a.node),
+            Action::Reboot => {
+                power_off_node(sim, a.node);
+                let node = a.node;
+                sim.schedule_in(SimDuration::from_secs(2), move |sim| {
+                    power_on_node(sim, node);
+                });
+            }
+            Action::Halt => {
+                let st = &mut sim.world_mut().nodes[a.node as usize];
+                st.hw.set_booted(false);
+                st.agent = None;
+                st.expected_up = false;
+                st.up_since = None;
+                st.boot_gen += 1;
+            }
+            Action::Plugin(ref name) => {
+                let verdict = {
+                    let w = sim.world_mut();
+                    match w.action_plugins.get_mut(name) {
+                        Some(plugin) => {
+                            let v = plugin(a.node);
+                            w.plugin_log.push((now, name.clone(), a.node));
+                            Some(v)
+                        }
+                        None => None, // unregistered plug-in: logged action only
+                    }
+                };
+                match verdict {
+                    Some(PluginVerdict::ThenPowerDown) => power_off_node(sim, a.node),
+                    Some(PluginVerdict::ThenReboot) => {
+                        power_off_node(sim, a.node);
+                        let node = a.node;
+                        sim.schedule_in(SimDuration::from_secs(2), move |sim| {
+                            power_on_node(sim, node);
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            Action::None => {}
+        }
+    }
+}
+
+/// Cut a node's power through its chassis.
+pub fn power_off_node(sim: &mut Sim<World>, node: u32) {
+    let (bx, port) = World::rack_of(node);
+    let effect = sim.world_mut().iceboxes[bx].power_off(port);
+    if effect.is_some() {
+        let w = sim.world_mut();
+        let st = &mut w.nodes[node as usize];
+        st.hw.set_power(PowerState::Off);
+        st.agent = None;
+        st.expected_up = false;
+        st.up_since = None;
+        st.boot_gen += 1;
+        w.server.forget_node(node);
+    }
+}
+
+/// Power a node on through its chassis (sequenced) and run its boot
+/// sequence, feeding firmware console output into the chassis capture.
+pub fn power_on_node(sim: &mut Sim<World>, node: u32) {
+    let now = sim.now();
+    let (bx, port) = World::rack_of(node);
+    let Some(PortEffect::EnergizeAt { at, .. }) = sim.world_mut().iceboxes[bx].power_on(now, port)
+    else {
+        return; // already on
+    };
+    let gen = {
+        let st = &mut sim.world_mut().nodes[node as usize];
+        st.boot_gen += 1;
+        st.boot_gen
+    };
+    sim.schedule_at(at, move |sim| {
+        let (bx, port) = World::rack_of(node);
+        {
+            let w = sim.world_mut();
+            if w.nodes[node as usize].boot_gen != gen {
+                return; // superseded by a later power change
+            }
+            w.iceboxes[bx].mark_energized(port);
+            w.nodes[node as usize].hw.set_power(PowerState::On);
+        }
+        // firmware boot plan
+        let (plan, memory_ok) = {
+            let w = sim.world_mut();
+            let memory = if w.cfg.bad_memory_nodes.contains(&node) {
+                MemoryCheck::Bad
+            } else {
+                MemoryCheck::Ok
+            };
+            let World { nodes, rng, .. } = w;
+            (nodes[node as usize].bios.begin_boot(rng, memory), memory == MemoryCheck::Ok)
+        };
+        let mut offset = SimDuration::ZERO;
+        for phase in &plan.phases {
+            if !phase.console.is_empty() {
+                let text = phase.console.clone();
+                sim.schedule_in(offset, move |sim| {
+                    let w = sim.world_mut();
+                    if w.nodes[node as usize].boot_gen != gen {
+                        return;
+                    }
+                    let (bx, port) = World::rack_of(node);
+                    w.iceboxes[bx].feed_console(port, text.as_bytes());
+                });
+            }
+            offset += phase.duration;
+        }
+        if memory_ok {
+            sim.schedule_in(offset, move |sim| finish_boot(sim, node, gen));
+        }
+        // a failed memory check halts in firmware: the node never boots,
+        // and only LinuxBIOS told anyone why
+    });
+}
+
+fn finish_boot(sim: &mut Sim<World>, node: u32, gen: u64) {
+    let now = sim.now();
+    let w = sim.world_mut();
+    let st = &mut w.nodes[node as usize];
+    if st.boot_gen != gen || st.hw.power() != PowerState::On {
+        return;
+    }
+    st.hw.set_booted(true);
+    st.expected_up = true;
+    st.up_since = Some(now);
+    let cfg = AgentConfig {
+        node,
+        interfaces: vec!["lo".into(), "eth0".into()],
+        delta_enabled: w.cfg.delta_enabled,
+        compress: w.cfg.compress,
+        cache_ttl_secs: 0.5,
+    };
+    let st = &mut w.nodes[node as usize];
+    st.agent = Agent::new(st.hw.proc_fs().clone(), cfg).ok();
+}
+
+/// Stage a BIOS setting on every node remotely ("changes can be made
+/// remotely to a single node or to all nodes in a cluster system. These
+/// changes become active as soon as the nodes are rebooted"). Returns
+/// `(staged, refused)` — vendor-BIOS nodes refuse remote management.
+pub fn stage_bios_setting_fleet(sim: &mut Sim<World>, key: &str, value: &str) -> (usize, usize) {
+    let w = sim.world_mut();
+    let mut staged = 0;
+    let mut refused = 0;
+    for st in &mut w.nodes {
+        match st.bios.stage_setting(key, value) {
+            Ok(()) => staged += 1,
+            Err(_) => refused += 1,
+        }
+    }
+    (staged, refused)
+}
+
+/// Stage a firmware flash on every node remotely; same semantics as
+/// [`stage_bios_setting_fleet`].
+pub fn stage_bios_flash_fleet(sim: &mut Sim<World>, version: &str) -> (usize, usize) {
+    let w = sim.world_mut();
+    let mut staged = 0;
+    let mut refused = 0;
+    for st in &mut w.nodes {
+        match st.bios.stage_flash(cwx_bios::FlashImage { version: version.to_string() }) {
+            Ok(()) => staged += 1,
+            Err(_) => refused += 1,
+        }
+    }
+    (staged, refused)
+}
+
+/// Power-cycle every node (the "changes become active" step).
+pub fn power_cycle_all(sim: &mut Sim<World>) {
+    let n = sim.world().cfg.n_nodes;
+    for i in 0..n {
+        power_off_node(sim, i);
+    }
+    sim.schedule_in(SimDuration::from_secs(2), move |sim| {
+        for i in 0..n {
+            power_on_node(sim, i);
+        }
+    });
+}
+
+/// Inject a hardware fault at an absolute simulated time.
+pub fn schedule_fault(sim: &mut Sim<World>, at: SimTime, node: u32, fault: Fault) {
+    sim.schedule_at(at, move |sim| {
+        let events = sim.world_mut().nodes[node as usize].hw.inject(fault);
+        route_hw_events(sim, node, events);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cluster(cfg: ClusterConfig, secs: u64) -> Sim<World> {
+        let mut sim = Cluster::build(cfg);
+        sim.run_for(SimDuration::from_secs(secs));
+        sim
+    }
+
+    #[test]
+    fn cluster_boots_and_reports() {
+        let sim = run_cluster(ClusterConfig { n_nodes: 8, ..Default::default() }, 120);
+        let w = sim.world();
+        assert_eq!(w.up_count(), 8);
+        let stats = w.server.stats();
+        assert!(stats.reports_rx > 8 * 10, "agents must be reporting: {}", stats.reports_rx);
+        assert_eq!(stats.decode_errors, 0);
+        // history has data for every node
+        for i in 0..8 {
+            assert!(w.server.history().latest(i, &MonitorKey::new("load.one")).is_some());
+        }
+    }
+
+    #[test]
+    fn linuxbios_cluster_comes_up_much_faster() {
+        let lb = {
+            let mut sim = Cluster::build(ClusterConfig {
+                n_nodes: 4,
+                firmware: cwx_bios::Firmware::LinuxBios,
+                ..Default::default()
+            });
+            let mut t = None;
+            for _ in 0..100_000 {
+                if !sim.step() {
+                    break;
+                }
+                if sim.world().up_count() == 4 {
+                    t = Some(sim.now());
+                    break;
+                }
+            }
+            t.expect("linuxbios cluster must come up")
+        };
+        let legacy = {
+            let mut sim = Cluster::build(ClusterConfig {
+                n_nodes: 4,
+                firmware: cwx_bios::Firmware::LegacyBios,
+                ..Default::default()
+            });
+            let mut t = None;
+            for _ in 0..1_000_000 {
+                if !sim.step() {
+                    break;
+                }
+                if sim.world().up_count() == 4 {
+                    t = Some(sim.now());
+                    break;
+                }
+            }
+            t.expect("legacy cluster must come up")
+        };
+        assert!(
+            legacy.as_secs_f64() > lb.as_secs_f64() + 20.0,
+            "legacy {legacy} vs linuxbios {lb}"
+        );
+    }
+
+    #[test]
+    fn fan_failure_triggers_power_down_before_burn() {
+        let mut sim = Cluster::build(ClusterConfig {
+            n_nodes: 4,
+            workload: WorkloadMix::Constant(1.0),
+            ..Default::default()
+        });
+        // let it boot and warm up, then kill a fan
+        schedule_fault(&mut sim, SimTime::ZERO + SimDuration::from_secs(300), 2, Fault::FanFailure);
+        sim.run_for(SimDuration::from_secs(1200));
+        let w = sim.world();
+        // the event engine must have powered node 2 down
+        assert!(
+            w.action_log.iter().any(|a| a.node == 2 && a.action == Action::PowerDown),
+            "power-down action missing: {:?}",
+            w.action_log
+        );
+        // and the CPU must have survived
+        assert_ne!(w.nodes[2].hw.health(), cwx_hw::HealthState::Burned);
+        // exactly one email about it
+        let mails: Vec<_> =
+            w.server.outbox().iter().filter(|m| m.event == "cpu-fan-failure").collect();
+        assert_eq!(mails.len(), 1, "{:?}", w.server.outbox());
+        assert_eq!(mails[0].nodes, vec![2]);
+    }
+
+    #[test]
+    fn kernel_panic_heals_via_reboot() {
+        let mut sim = Cluster::build(ClusterConfig { n_nodes: 2, ..Default::default() });
+        schedule_fault(&mut sim, SimTime::ZERO + SimDuration::from_secs(120), 1, Fault::KernelPanic);
+        sim.run_for(SimDuration::from_secs(600));
+        let w = sim.world();
+        assert!(
+            w.action_log.iter().any(|a| a.node == 1 && a.action == Action::Reboot),
+            "reboot action missing: {:?}",
+            w.action_log
+        );
+        assert!(w.nodes[1].hw.is_up(), "node must be healed and back up");
+        // the panic spew is in the ICE Box console log for post-mortem
+        let (bx, port) = World::rack_of(1);
+        assert!(w.iceboxes[bx].console_log(port).contains("Kernel panic"));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut sim = Cluster::build(ClusterConfig { n_nodes: 6, seed, ..Default::default() });
+            schedule_fault(
+                &mut sim,
+                SimTime::ZERO + SimDuration::from_secs(100),
+                3,
+                Fault::FanFailure,
+            );
+            sim.run_for(SimDuration::from_secs(400));
+            let w = sim.world();
+            (
+                w.server.stats(),
+                w.action_log.clone(),
+                w.server.outbox().len(),
+            )
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn power_cycle_mid_boot_is_safe() {
+        let mut sim = Cluster::build(ClusterConfig { n_nodes: 1, ..Default::default() });
+        // cut power while the node is still booting, then power on again
+        sim.schedule_at(SimTime::ZERO + SimDuration::from_millis(1500), |sim| {
+            power_off_node(sim, 0);
+        });
+        sim.schedule_at(SimTime::ZERO + SimDuration::from_secs(5), |sim| {
+            power_on_node(sim, 0);
+        });
+        sim.run_for(SimDuration::from_secs(120));
+        assert!(sim.world().nodes[0].hw.is_up(), "second boot must complete cleanly");
+        // exactly one live agent, reporting
+        assert!(sim.world().server.stats().reports_rx > 0);
+    }
+}
+
+#[cfg(test)]
+mod memory_tests {
+    use super::*;
+
+    #[test]
+    fn bad_memory_node_halts_in_firmware_with_serial_diagnosis() {
+        let mut sim = Cluster::build(ClusterConfig {
+            n_nodes: 4,
+            bad_memory_nodes: vec![2],
+            ..Default::default()
+        });
+        sim.run_for(SimDuration::from_secs(120));
+        let w = sim.world();
+        assert_eq!(w.up_count(), 3, "the bad-DIMM node never boots");
+        assert!(!w.nodes[2].hw.is_up());
+        // LinuxBIOS told us why, remotely, on the captured console
+        let (bx, port) = World::rack_of(2);
+        let log = w.iceboxes[bx].console_log(port);
+        assert!(log.contains("Testing DRAM: FAILED"), "console: {log}");
+        // healthy neighbours show the pass message instead
+        let (bx0, port0) = World::rack_of(0);
+        assert!(w.iceboxes[bx0].console_log(port0).contains("Testing DRAM: done"));
+    }
+
+    #[test]
+    fn legacy_bios_bad_memory_is_silent_on_serial() {
+        let mut sim = Cluster::build(ClusterConfig {
+            n_nodes: 2,
+            firmware: cwx_bios::Firmware::LegacyBios,
+            bad_memory_nodes: vec![1],
+            ..Default::default()
+        });
+        sim.run_for(SimDuration::from_secs(200));
+        let w = sim.world();
+        assert!(!w.nodes[1].hw.is_up());
+        let (bx, port) = World::rack_of(1);
+        // the administrator gets nothing: the paper's §2 complaint
+        assert!(!w.iceboxes[bx].console_log(port).contains("FAILED"));
+    }
+}
+
+#[cfg(test)]
+mod plugin_action_tests {
+    use super::*;
+    use cwx_events::engine::{Comparison, EventDef, EventId, Threshold};
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    fn hot_rule(action: Action) -> EventDef {
+        EventDef {
+            id: EventId(100),
+            name: "site-overtemp-script".into(),
+            threshold: Threshold {
+                monitor: MonitorKey::new("temp.cpu"),
+                cmp: Comparison::GreaterThan,
+                value: 50.0,
+                hysteresis: 5.0,
+            },
+            action,
+            notify: false,
+        }
+    }
+
+    #[test]
+    fn plugin_action_runs_and_its_verdict_is_applied() {
+        let mut sim = Cluster::build(ClusterConfig {
+            n_nodes: 3,
+            seed: 31,
+            workload: WorkloadMix::Constant(1.0),
+            ..Default::default()
+        });
+        // replace the default overtemp power-down with a site script
+        // that records the call and then asks for a power-down
+        sim.world_mut().server.engine_mut().remove(cwx_events::engine::EventId(1));
+        sim.world_mut()
+            .server
+            .engine_mut()
+            .add(hot_rule(Action::Plugin("drain-then-off.sh".into())));
+        let calls = Arc::new(AtomicU32::new(0));
+        let calls2 = Arc::clone(&calls);
+        sim.world_mut().register_action_plugin(
+            "drain-then-off.sh",
+            Box::new(move |_node| {
+                calls2.fetch_add(1, Ordering::Relaxed);
+                PluginVerdict::ThenPowerDown
+            }),
+        );
+        sim.run_for(SimDuration::from_secs(900));
+        let w = sim.world();
+        assert!(calls.load(Ordering::Relaxed) >= 1, "plugin must run");
+        assert!(!w.plugin_log.is_empty());
+        // the verdict powered the hot nodes down
+        assert!(w.nodes.iter().any(|n| n.hw.power() == PowerState::Off));
+    }
+
+    #[test]
+    fn unregistered_plugin_is_logged_but_harmless() {
+        let mut sim = Cluster::build(ClusterConfig {
+            n_nodes: 2,
+            seed: 32,
+            workload: WorkloadMix::Constant(1.0),
+            ..Default::default()
+        });
+        sim.world_mut().server.engine_mut().remove(cwx_events::engine::EventId(1));
+        sim.world_mut().server.engine_mut().add(hot_rule(Action::Plugin("missing.sh".into())));
+        sim.run_for(SimDuration::from_secs(600));
+        let w = sim.world();
+        // action recorded in the audit trail, nothing executed, nodes on
+        assert!(w.action_log.iter().any(|a| matches!(a.action, Action::Plugin(_))));
+        assert!(w.plugin_log.is_empty());
+        assert_eq!(w.up_count(), 2);
+    }
+}
+
+#[cfg(test)]
+mod bios_mgmt_tests {
+    use super::*;
+
+    #[test]
+    fn fleet_settings_and_flash_apply_at_reboot() {
+        let mut sim = Cluster::build(ClusterConfig { n_nodes: 5, seed: 61, ..Default::default() });
+        sim.run_for(SimDuration::from_secs(120));
+        assert_eq!(sim.world().up_count(), 5);
+
+        let (staged, refused) = stage_bios_setting_fleet(&mut sim, "boot_source", "ethernet");
+        assert_eq!((staged, refused), (5, 0));
+        let (staged, _) = stage_bios_flash_fleet(&mut sim, "linuxbios-1.1.8");
+        assert_eq!(staged, 5);
+        // not active yet
+        assert_eq!(sim.world().nodes[0].bios.boot_source(), cwx_bios::BootSource::Disk);
+        assert_eq!(sim.world().nodes[0].bios.version(), "linuxbios-1.0.0");
+
+        power_cycle_all(&mut sim);
+        sim.run_for(SimDuration::from_secs(120));
+        let w = sim.world();
+        assert_eq!(w.up_count(), 5, "everyone back after the rolling cycle");
+        for (i, st) in w.nodes.iter().enumerate() {
+            assert_eq!(st.bios.boot_source(), cwx_bios::BootSource::Ethernet, "node{i}");
+            assert_eq!(st.bios.version(), "linuxbios-1.1.8", "node{i}");
+        }
+        // the netboot shows on the captured consoles
+        let (bx, port) = World::rack_of(0);
+        assert!(w.iceboxes[bx].console_log(port).contains("etherboot"));
+    }
+
+    #[test]
+    fn vendor_bios_fleet_refuses_remote_management() {
+        let mut sim = Cluster::build(ClusterConfig {
+            n_nodes: 3,
+            firmware: cwx_bios::Firmware::LegacyBios,
+            ..Default::default()
+        });
+        let (staged, refused) = stage_bios_setting_fleet(&mut sim, "boot_source", "ethernet");
+        assert_eq!((staged, refused), (0, 3), "walk to every node with a keyboard instead");
+    }
+}

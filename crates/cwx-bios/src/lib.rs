@@ -1,0 +1,454 @@
+//! LinuxBIOS vs. commercial BIOS boot model (paper §2).
+//!
+//! The paper's claims about LinuxBIOS are timing and manageability
+//! claims:
+//!
+//! * it "initializes the hardware, activates serial console output,
+//!   checks for valid memory, and starts loading the operating system —
+//!   only it does it in about 3 seconds, whereas most commercial BIOS
+//!   alternatives require about 30 to 60 seconds",
+//! * it "reports all detected errors and hardware failures using the
+//!   serial console" (captured by the ICE Box for post-mortem analysis),
+//! * it can boot over the network or local disk, and
+//! * settings and firmware images can be changed remotely, taking effect
+//!   at the next reboot.
+//!
+//! [`BiosChip`] models one node's firmware: a phase-by-phase boot plan
+//! with era-plausible durations and serial output, a settings store, and
+//! a deferred flash slot. The legacy-BIOS baseline has the same surface
+//! but a 30–60 s plan, no serial output until the bootloader, and no
+//! remote reconfiguration — exactly the deficiencies §2 lists.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use cwx_util::rng::normal_clamped;
+use cwx_util::time::SimDuration;
+use rand::rngs::StdRng;
+
+/// Which firmware a node carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Firmware {
+    /// The LinuxBIOS replacement firmware (a Linux kernel in flash).
+    LinuxBios,
+    /// A vendor BIOS — the baseline.
+    LegacyBios,
+}
+
+/// Where the kernel comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BootSource {
+    /// Local hard disk.
+    Disk,
+    /// Network boot over Ethernet (DHCP + TFTP-style).
+    Ethernet,
+    /// Network boot over a high-speed interconnect (Myrinet/Quadrics/SCI
+    /// — possible *because* Linux is the boot mechanism).
+    Interconnect,
+    /// Root over NFS.
+    Nfs,
+}
+
+/// One step of a boot sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootPhase {
+    /// Phase name.
+    pub name: &'static str,
+    /// How long the phase takes.
+    pub duration: SimDuration,
+    /// Serial console output emitted at the start of the phase (empty
+    /// for phases that are silent — the legacy BIOS mostly is).
+    pub console: String,
+}
+
+/// A concrete boot plan for one power-on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootPlan {
+    /// Firmware that produced the plan.
+    pub firmware: Firmware,
+    /// The phases in order.
+    pub phases: Vec<BootPhase>,
+}
+
+impl BootPlan {
+    /// Total time from power-good to kernel handoff.
+    pub fn firmware_time(&self) -> SimDuration {
+        self.phases
+            .iter()
+            .filter(|p| !p.name.starts_with("os:"))
+            .fold(SimDuration::ZERO, |acc, p| acc + p.duration)
+    }
+
+    /// Total time from power-good to a fully booted OS.
+    pub fn total_time(&self) -> SimDuration {
+        self.phases.iter().fold(SimDuration::ZERO, |acc, p| acc + p.duration)
+    }
+}
+
+/// Outcome of a memory check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryCheck {
+    /// RAM is fine.
+    Ok,
+    /// A DIMM is bad; LinuxBIOS reports it on the console and halts.
+    Bad,
+}
+
+/// A firmware image that can be flashed remotely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlashImage {
+    /// Version string, e.g. `"linuxbios-1.1.8"`.
+    pub version: String,
+}
+
+/// Errors from firmware management operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BiosError {
+    /// The operation needs LinuxBIOS ("changes can be made remotely"
+    /// only because the firmware is an OS; a vendor BIOS wants a
+    /// keyboard and monitor walked to the node).
+    RequiresLinuxBios,
+}
+
+impl std::fmt::Display for BiosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BiosError::RequiresLinuxBios => {
+                write!(f, "remote firmware management requires LinuxBIOS")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BiosError {}
+
+/// Per-node firmware state.
+#[derive(Debug, Clone)]
+pub struct BiosChip {
+    firmware: Firmware,
+    version: String,
+    settings: BTreeMap<String, String>,
+    pending_flash: Option<FlashImage>,
+    pending_settings: BTreeMap<String, String>,
+    boots: u64,
+}
+
+impl BiosChip {
+    /// A chip with the given firmware installed.
+    pub fn new(firmware: Firmware) -> Self {
+        let version = match firmware {
+            Firmware::LinuxBios => "linuxbios-1.0.0".to_string(),
+            Firmware::LegacyBios => "vendor-bios-4.51PG".to_string(),
+        };
+        let mut settings = BTreeMap::new();
+        settings.insert("boot_source".to_string(), "disk".to_string());
+        settings.insert("console_baud".to_string(), "115200".to_string());
+        BiosChip {
+            firmware,
+            version,
+            settings,
+            pending_flash: None,
+            pending_settings: BTreeMap::new(),
+            boots: 0,
+        }
+    }
+
+    /// Installed firmware kind.
+    pub fn firmware(&self) -> Firmware {
+        self.firmware
+    }
+
+    /// Installed firmware version.
+    pub fn version(&self) -> &str {
+        &self.version
+    }
+
+    /// Number of completed boots.
+    pub fn boots(&self) -> u64 {
+        self.boots
+    }
+
+    /// Read a setting.
+    pub fn setting(&self, key: &str) -> Option<&str> {
+        self.settings.get(key).map(String::as_str)
+    }
+
+    /// The configured boot source.
+    pub fn boot_source(&self) -> BootSource {
+        match self.setting("boot_source") {
+            Some("ethernet") => BootSource::Ethernet,
+            Some("interconnect") => BootSource::Interconnect,
+            Some("nfs") => BootSource::Nfs,
+            _ => BootSource::Disk,
+        }
+    }
+
+    /// Stage a settings change remotely ("changes become active as soon
+    /// as the nodes are rebooted"). LinuxBIOS only.
+    pub fn stage_setting(&mut self, key: &str, value: &str) -> Result<(), BiosError> {
+        if self.firmware != Firmware::LinuxBios {
+            return Err(BiosError::RequiresLinuxBios);
+        }
+        self.pending_settings.insert(key.to_string(), value.to_string());
+        Ok(())
+    }
+
+    /// Stage a firmware flash remotely. LinuxBIOS only.
+    pub fn stage_flash(&mut self, image: FlashImage) -> Result<(), BiosError> {
+        if self.firmware != Firmware::LinuxBios {
+            return Err(BiosError::RequiresLinuxBios);
+        }
+        self.pending_flash = Some(image);
+        Ok(())
+    }
+
+    /// Local (walk-up) settings change — works on any firmware; this is
+    /// the "keyboard and monitor to every one of the 1000 nodes" path.
+    pub fn set_setting_local(&mut self, key: &str, value: &str) {
+        self.settings.insert(key.to_string(), value.to_string());
+    }
+
+    /// Begin a boot: applies staged flash/settings, then produces the
+    /// phase plan. `rng` drives the legacy BIOS's 30–60 s variability;
+    /// `memory` lets tests exercise the error-reporting path.
+    pub fn begin_boot(&mut self, rng: &mut StdRng, memory: MemoryCheck) -> BootPlan {
+        // staged changes activate at reboot
+        if let Some(img) = self.pending_flash.take() {
+            self.version = img.version;
+        }
+        if !self.pending_settings.is_empty() {
+            let staged = std::mem::take(&mut self.pending_settings);
+            self.settings.extend(staged);
+        }
+        self.boots += 1;
+        match self.firmware {
+            Firmware::LinuxBios => self.linuxbios_plan(memory),
+            Firmware::LegacyBios => self.legacy_plan(rng, memory),
+        }
+    }
+
+    fn linuxbios_plan(&self, memory: MemoryCheck) -> BootPlan {
+        let mut phases = vec![
+            BootPhase {
+                name: "hw-init",
+                duration: SimDuration::from_millis(400),
+                console: format!("{}: ram_set_registers done\n", self.version),
+            },
+            BootPhase {
+                name: "serial-console",
+                duration: SimDuration::from_millis(50),
+                console: "ttyS0 at 0x3f8 (irq = 4) is a 16550A\n".to_string(),
+            },
+        ];
+        match memory {
+            MemoryCheck::Ok => {
+                phases.push(BootPhase {
+                    name: "memory-check",
+                    duration: SimDuration::from_millis(550),
+                    console: "Testing DRAM: done\n".to_string(),
+                });
+                let (name, dur, line) = match self.boot_source() {
+                    BootSource::Disk => {
+                        ("load-kernel-disk", 1400, "Jumping to image loaded from hda1\n")
+                    }
+                    BootSource::Ethernet => {
+                        ("load-kernel-net", 1600, "etherboot: DHCP... TFTP vmlinuz ok\n")
+                    }
+                    BootSource::Interconnect => {
+                        ("load-kernel-ic", 900, "elan3: kernel image received over interconnect\n")
+                    }
+                    BootSource::Nfs => {
+                        ("load-kernel-nfs", 1700, "nfsroot: mounted root from server\n")
+                    }
+                };
+                phases.push(BootPhase {
+                    name,
+                    duration: SimDuration::from_millis(dur),
+                    console: line.to_string(),
+                });
+                // OS bring-up after the kernel starts (same for both
+                // firmwares; separated so firmware_time() isolates §2's claim)
+                phases.push(BootPhase {
+                    name: "os:kernel+init",
+                    duration: SimDuration::from_secs(20),
+                    console: "INIT: version 2.78 booting\n".to_string(),
+                });
+            }
+            MemoryCheck::Bad => {
+                phases.push(BootPhase {
+                    name: "memory-check-failed",
+                    duration: SimDuration::from_millis(550),
+                    console: "Testing DRAM: FAILED at bank 1 — halting\n".to_string(),
+                });
+            }
+        }
+        BootPlan { firmware: Firmware::LinuxBios, phases }
+    }
+
+    fn legacy_plan(&self, rng: &mut StdRng, memory: MemoryCheck) -> BootPlan {
+        // 30–60 s of POST, silent on serial (video only)
+        let scale = normal_clamped(rng, 1.0, 0.15, 0.75, 1.5);
+        let ms = |base: u64| SimDuration::from_millis((base as f64 * scale) as u64);
+        let mut phases = vec![
+            BootPhase { name: "post", duration: ms(9_000), console: String::new() },
+            BootPhase { name: "video-init", duration: ms(2_500), console: String::new() },
+            BootPhase { name: "memory-count", duration: ms(8_000), console: String::new() },
+        ];
+        if memory == MemoryCheck::Bad {
+            // beeps at the video console; serial stays dark — the
+            // unmaintainability §2 complains about
+            phases.push(BootPhase {
+                name: "memory-failed-beep",
+                duration: ms(1_000),
+                console: String::new(),
+            });
+            return BootPlan { firmware: Firmware::LegacyBios, phases };
+        }
+        phases.extend([
+            BootPhase { name: "floppy-seek", duration: ms(4_000), console: String::new() },
+            BootPhase { name: "ide-scan", duration: ms(7_500), console: String::new() },
+            BootPhase { name: "option-roms", duration: ms(6_000), console: String::new() },
+            BootPhase {
+                name: "bootloader",
+                duration: ms(4_500),
+                console: "LILO boot:\n".to_string(),
+            },
+            BootPhase {
+                name: "os:kernel+init",
+                duration: SimDuration::from_secs(20),
+                console: "INIT: version 2.78 booting\n".to_string(),
+            },
+        ]);
+        BootPlan { firmware: Firmware::LegacyBios, phases }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwx_util::rng::rng;
+
+    #[test]
+    fn linuxbios_firmware_time_is_about_3s() {
+        let mut chip = BiosChip::new(Firmware::LinuxBios);
+        let mut r = rng(1);
+        let plan = chip.begin_boot(&mut r, MemoryCheck::Ok);
+        let t = plan.firmware_time().as_secs_f64();
+        assert!((2.0..=4.0).contains(&t), "LinuxBIOS should reach the kernel in ~3 s, got {t}");
+    }
+
+    #[test]
+    fn legacy_bios_takes_30_to_60s() {
+        let mut chip = BiosChip::new(Firmware::LegacyBios);
+        let mut r = rng(42);
+        for _ in 0..50 {
+            let plan = chip.begin_boot(&mut r, MemoryCheck::Ok);
+            let t = plan.firmware_time().as_secs_f64();
+            assert!((28.0..=65.0).contains(&t), "legacy POST time out of band: {t}");
+        }
+    }
+
+    #[test]
+    fn linuxbios_is_an_order_of_magnitude_faster() {
+        let mut lb = BiosChip::new(Firmware::LinuxBios);
+        let mut legacy = BiosChip::new(Firmware::LegacyBios);
+        let mut r = rng(7);
+        let a = lb.begin_boot(&mut r, MemoryCheck::Ok).firmware_time();
+        let b = legacy.begin_boot(&mut r, MemoryCheck::Ok).firmware_time();
+        assert!(b.as_nanos() >= a.as_nanos() * 10);
+    }
+
+    #[test]
+    fn linuxbios_talks_on_serial_from_the_start_legacy_does_not() {
+        let mut lb = BiosChip::new(Firmware::LinuxBios);
+        let mut legacy = BiosChip::new(Firmware::LegacyBios);
+        let mut r = rng(7);
+        let lb_plan = lb.begin_boot(&mut r, MemoryCheck::Ok);
+        assert!(!lb_plan.phases[0].console.is_empty(), "LinuxBIOS serial from power-on");
+        let legacy_plan = legacy.begin_boot(&mut r, MemoryCheck::Ok);
+        let silent_prefix: Vec<_> =
+            legacy_plan.phases.iter().take(3).filter(|p| p.console.is_empty()).collect();
+        assert_eq!(silent_prefix.len(), 3, "vendor BIOS is silent on serial during POST");
+    }
+
+    #[test]
+    fn bad_memory_reported_on_serial_only_by_linuxbios() {
+        let mut lb = BiosChip::new(Firmware::LinuxBios);
+        let mut legacy = BiosChip::new(Firmware::LegacyBios);
+        let mut r = rng(7);
+        let lb_plan = lb.begin_boot(&mut r, MemoryCheck::Bad);
+        assert!(lb_plan.phases.last().unwrap().console.contains("FAILED"));
+        let legacy_plan = legacy.begin_boot(&mut r, MemoryCheck::Bad);
+        assert!(legacy_plan.phases.iter().all(|p| !p.console.contains("FAILED")));
+    }
+
+    #[test]
+    fn staged_settings_apply_at_reboot() {
+        let mut chip = BiosChip::new(Firmware::LinuxBios);
+        chip.stage_setting("boot_source", "ethernet").unwrap();
+        // not yet active
+        assert_eq!(chip.boot_source(), BootSource::Disk);
+        let mut r = rng(1);
+        let plan = chip.begin_boot(&mut r, MemoryCheck::Ok);
+        assert_eq!(chip.boot_source(), BootSource::Ethernet);
+        assert!(plan.phases.iter().any(|p| p.name == "load-kernel-net"));
+    }
+
+    #[test]
+    fn staged_flash_applies_at_reboot() {
+        let mut chip = BiosChip::new(Firmware::LinuxBios);
+        chip.stage_flash(FlashImage { version: "linuxbios-1.1.8".into() }).unwrap();
+        assert_eq!(chip.version(), "linuxbios-1.0.0");
+        let mut r = rng(1);
+        chip.begin_boot(&mut r, MemoryCheck::Ok);
+        assert_eq!(chip.version(), "linuxbios-1.1.8");
+    }
+
+    #[test]
+    fn legacy_bios_rejects_remote_management() {
+        let mut chip = BiosChip::new(Firmware::LegacyBios);
+        assert_eq!(
+            chip.stage_setting("boot_source", "ethernet"),
+            Err(BiosError::RequiresLinuxBios)
+        );
+        assert_eq!(
+            chip.stage_flash(FlashImage { version: "x".into() }),
+            Err(BiosError::RequiresLinuxBios)
+        );
+        // but a walk-up change works
+        chip.set_setting_local("boot_source", "ethernet");
+        assert_eq!(chip.boot_source(), BootSource::Ethernet);
+    }
+
+    #[test]
+    fn interconnect_boot_is_fastest_kernel_load() {
+        let mut r = rng(1);
+        let time_for = |src: &str| {
+            let mut chip = BiosChip::new(Firmware::LinuxBios);
+            chip.stage_setting("boot_source", src).unwrap();
+            chip.begin_boot(&mut rng(1), MemoryCheck::Ok).firmware_time()
+        };
+        let _ = &mut r;
+        assert!(time_for("interconnect") < time_for("disk"));
+        assert!(time_for("disk") < time_for("ethernet"));
+    }
+
+    #[test]
+    fn boots_counter_increments() {
+        let mut chip = BiosChip::new(Firmware::LinuxBios);
+        let mut r = rng(1);
+        assert_eq!(chip.boots(), 0);
+        chip.begin_boot(&mut r, MemoryCheck::Ok);
+        chip.begin_boot(&mut r, MemoryCheck::Ok);
+        assert_eq!(chip.boots(), 2);
+    }
+
+    #[test]
+    fn total_time_includes_os_bringup() {
+        let mut chip = BiosChip::new(Firmware::LinuxBios);
+        let mut r = rng(1);
+        let plan = chip.begin_boot(&mut r, MemoryCheck::Ok);
+        assert!(plan.total_time() > plan.firmware_time() + SimDuration::from_secs(15));
+    }
+}

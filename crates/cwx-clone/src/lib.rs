@@ -1,0 +1,34 @@
+//! Disk image management and reliable-multicast cloning (paper §4).
+//!
+//! "Disk cloning allows the administrator to load or update the operating
+//! system on single nodes, or the entire cluster at one time using
+//! reliable multicast technology. Using a multicast mechanism, even a
+//! single fast ethernet is sufficient to clone several hundred nodes
+//! simultaneously. [footnote: It took about 12 min. to clone and reboot
+//! over 400 nodes of the Lawrence Livermore cluster.]"
+//!
+//! The protocol, straight from the paper's description:
+//!
+//! 1. all participating nodes listen to the multicast stream, buffering
+//!    received chunks locally;
+//! 2. once the stream is spread out, nodes acknowledge reception **in a
+//!    round-robin fashion controlled by the cloning host**;
+//! 3. a node still lacking image data has the missing parts transferred
+//!    during the acknowledging phase **peer-to-peer with the master**;
+//! 4. a node with all the data clones the image to disk and reboots
+//!    itself to operational mode.
+//!
+//! [`protocol`] implements this as a real message-passing state machine
+//! over the simulated network (`cwx-net`) and discrete-event simulator,
+//! along with the unicast baseline (concurrent per-node pushes, the
+//! pre-multicast state of the art) and a re-multicast repair ablation.
+//! [`image`] is the Image Manager: named images, versions, checksums,
+//! hard-disk vs NFS-boot flavours, and image builds.
+
+#![warn(missing_docs)]
+
+pub mod image;
+pub mod protocol;
+
+pub use image::{Image, ImageId, ImageKind, ImageManager};
+pub use protocol::{run_clone, CloneConfig, CloneReport, RepairStrategy};

@@ -1,0 +1,488 @@
+//! Threshold evaluation and trigger state.
+
+use std::collections::BTreeMap;
+
+use cwx_monitor::monitor::MonitorKey;
+use cwx_util::time::SimTime;
+
+/// Identifies an event definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u32);
+
+/// Threshold comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Comparison {
+    /// Fire when the value exceeds the threshold.
+    GreaterThan,
+    /// Fire when the value drops below the threshold.
+    LessThan,
+    /// Fire when the value equals the threshold (within 1e-9).
+    Equal,
+}
+
+/// A threshold on a monitored value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Threshold {
+    /// Which monitor the rule watches.
+    pub monitor: MonitorKey,
+    /// Operator.
+    pub cmp: Comparison,
+    /// Threshold value.
+    pub value: f64,
+    /// Hysteresis band for clearing: a `GreaterThan 90` rule with
+    /// hysteresis 5 fires above 90 and clears below 85, preventing
+    /// flapping.
+    pub hysteresis: f64,
+}
+
+impl Threshold {
+    /// Does `x` trip the rule?
+    pub fn fires(&self, x: f64) -> bool {
+        match self.cmp {
+            Comparison::GreaterThan => x > self.value,
+            Comparison::LessThan => x < self.value,
+            Comparison::Equal => (x - self.value).abs() < 1e-9,
+        }
+    }
+
+    /// Has `x` receded far enough to re-arm?
+    pub fn clears(&self, x: f64) -> bool {
+        match self.cmp {
+            Comparison::GreaterThan => x <= self.value - self.hysteresis,
+            Comparison::LessThan => x >= self.value + self.hysteresis,
+            Comparison::Equal => (x - self.value).abs() >= 1e-9 + self.hysteresis,
+        }
+    }
+}
+
+/// What the engine does when an event fires. "Default actions include
+/// node power down and node reboot"; plug-in actions cover "shell
+/// scripts, perl scripts, symbolic links, programs, and more".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Notify only.
+    None,
+    /// Power the node down through the ICE Box.
+    PowerDown,
+    /// Power-cycle the node.
+    Reboot,
+    /// Halt the OS (leave power on).
+    Halt,
+    /// Run an administrator-defined plug-in by name.
+    Plugin(String),
+}
+
+/// An administrator-defined event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventDef {
+    /// Id.
+    pub id: EventId,
+    /// Human name (appears in notifications).
+    pub name: String,
+    /// The rule.
+    pub threshold: Threshold,
+    /// Action taken automatically on firing.
+    pub action: Action,
+    /// Whether the administrator wants an email.
+    pub notify: bool,
+}
+
+/// A fired event instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Firing {
+    /// Which event.
+    pub event: EventId,
+    /// Which node.
+    pub node: u32,
+    /// When.
+    pub time: SimTime,
+    /// The observed value that tripped the rule.
+    pub value: f64,
+    /// Action to execute.
+    pub action: Action,
+}
+
+/// A cleared (recovered) event instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Clearing {
+    /// Which event.
+    pub event: EventId,
+    /// Which node.
+    pub node: u32,
+}
+
+/// The evaluation engine.
+#[derive(Debug, Default)]
+pub struct EventEngine {
+    defs: Vec<EventDef>,
+    /// (event, node) pairs currently triggered
+    triggered: BTreeMap<(EventId, u32), f64>,
+    firings: u64,
+    clearings: u64,
+}
+
+impl EventEngine {
+    /// An engine with no rules.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a rule.
+    pub fn add(&mut self, def: EventDef) {
+        self.defs.push(def);
+    }
+
+    /// Remove a rule; clears its trigger state. Returns true if found.
+    pub fn remove(&mut self, id: EventId) -> bool {
+        let before = self.defs.len();
+        self.defs.retain(|d| d.id != id);
+        self.triggered.retain(|(e, _), _| *e != id);
+        self.defs.len() != before
+    }
+
+    /// Registered rules.
+    pub fn defs(&self) -> &[EventDef] {
+        &self.defs
+    }
+
+    /// Total firings / clearings so far.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.firings, self.clearings)
+    }
+
+    /// Is `(event, node)` currently triggered?
+    pub fn is_triggered(&self, event: EventId, node: u32) -> bool {
+        self.triggered.contains_key(&(event, node))
+    }
+
+    /// Feed one observed value; returns any state transitions.
+    pub fn observe(
+        &mut self,
+        now: SimTime,
+        node: u32,
+        key: &MonitorKey,
+        value: f64,
+    ) -> (Vec<Firing>, Vec<Clearing>) {
+        let mut fired = Vec::new();
+        let mut cleared = Vec::new();
+        for def in &self.defs {
+            if def.threshold.monitor != *key {
+                continue;
+            }
+            let state_key = (def.id, node);
+            let active = self.triggered.contains_key(&state_key);
+            if !active && def.threshold.fires(value) {
+                self.triggered.insert(state_key, value);
+                self.firings += 1;
+                fired.push(Firing {
+                    event: def.id,
+                    node,
+                    time: now,
+                    value,
+                    action: def.action.clone(),
+                });
+            } else if active && def.threshold.clears(value) {
+                self.triggered.remove(&state_key);
+                self.clearings += 1;
+                cleared.push(Clearing { event: def.id, node });
+            }
+        }
+        (fired, cleared)
+    }
+
+    /// Forget all trigger state for a node (it was powered down or
+    /// removed); returns clearings for episode bookkeeping.
+    pub fn forget_node(&mut self, node: u32) -> Vec<Clearing> {
+        let keys: Vec<(EventId, u32)> =
+            self.triggered.keys().filter(|(_, n)| *n == node).copied().collect();
+        let mut out = Vec::new();
+        for k in keys {
+            self.triggered.remove(&k);
+            self.clearings += 1;
+            out.push(Clearing { event: k.0, node });
+        }
+        out
+    }
+}
+
+/// The canonical rule set the paper motivates: overheat protection,
+/// fan-failure power-down, overload notification, dead-network alarm.
+pub fn default_rules() -> Vec<EventDef> {
+    vec![
+        EventDef {
+            id: EventId(1),
+            name: "cpu-overtemp".into(),
+            threshold: Threshold {
+                monitor: MonitorKey::new("temp.cpu"),
+                cmp: Comparison::GreaterThan,
+                value: 75.0,
+                hysteresis: 10.0,
+            },
+            action: Action::PowerDown,
+            notify: true,
+        },
+        EventDef {
+            id: EventId(2),
+            name: "cpu-fan-failure".into(),
+            threshold: Threshold {
+                monitor: MonitorKey::new("fan.cpu_rpm"),
+                cmp: Comparison::LessThan,
+                value: 1000.0,
+                hysteresis: 500.0,
+            },
+            action: Action::PowerDown,
+            notify: true,
+        },
+        EventDef {
+            id: EventId(3),
+            name: "load-too-high".into(),
+            threshold: Threshold {
+                monitor: MonitorKey::new("load.one"),
+                cmp: Comparison::GreaterThan,
+                value: 8.0,
+                hysteresis: 2.0,
+            },
+            action: Action::None,
+            notify: true,
+        },
+        EventDef {
+            id: EventId(6),
+            name: "swap-pressure".into(),
+            threshold: Threshold {
+                // a healthy node never touches swap; serious swap use
+                // means runaway memory — warn the administrator before
+                // the OOM killer decides for them
+                monitor: MonitorKey::new("swap.free"),
+                cmp: Comparison::LessThan,
+                value: 1_048_576.0, // half of the 2 GiB swap gone
+                hysteresis: 524_288.0,
+            },
+            action: Action::None,
+            notify: true,
+        },
+        EventDef {
+            id: EventId(5),
+            name: "psu-failure".into(),
+            threshold: Threshold {
+                // "The power probe is used to detect failing power
+                // supplies": a relay that is on but draws nothing means
+                // the supply is dead.
+                monitor: MonitorKey::new("power.watts"),
+                cmp: Comparison::LessThan,
+                value: 20.0,
+                hysteresis: 20.0,
+            },
+            action: Action::PowerDown,
+            notify: true,
+        },
+        EventDef {
+            id: EventId(4),
+            name: "network-unreachable".into(),
+            threshold: Threshold {
+                monitor: MonitorKey::new("net.connectivity"),
+                cmp: Comparison::LessThan,
+                value: 0.5,
+                hysteresis: 0.0,
+            },
+            action: Action::Reboot,
+            notify: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> SimTime {
+        SimTime::ZERO
+    }
+
+    fn temp_rule() -> EventDef {
+        EventDef {
+            id: EventId(1),
+            name: "overtemp".into(),
+            threshold: Threshold {
+                monitor: MonitorKey::new("temp.cpu"),
+                cmp: Comparison::GreaterThan,
+                value: 75.0,
+                hysteresis: 10.0,
+            },
+            action: Action::PowerDown,
+            notify: true,
+        }
+    }
+
+    #[test]
+    fn fires_once_above_threshold() {
+        let mut e = EventEngine::new();
+        e.add(temp_rule());
+        let key = MonitorKey::new("temp.cpu");
+        let (f, _) = e.observe(t(), 3, &key, 70.0);
+        assert!(f.is_empty());
+        let (f, _) = e.observe(t(), 3, &key, 80.0);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].action, Action::PowerDown);
+        assert_eq!(f[0].node, 3);
+        // stays triggered, no duplicate firing
+        let (f, _) = e.observe(t(), 3, &key, 85.0);
+        assert!(f.is_empty());
+        assert!(e.is_triggered(EventId(1), 3));
+    }
+
+    #[test]
+    fn hysteresis_governs_clearing() {
+        let mut e = EventEngine::new();
+        e.add(temp_rule());
+        let key = MonitorKey::new("temp.cpu");
+        e.observe(t(), 1, &key, 80.0);
+        // inside the hysteresis band: still triggered
+        let (_, c) = e.observe(t(), 1, &key, 70.0);
+        assert!(c.is_empty());
+        assert!(e.is_triggered(EventId(1), 1));
+        // below value - hysteresis: clears
+        let (_, c) = e.observe(t(), 1, &key, 64.0);
+        assert_eq!(c.len(), 1);
+        assert!(!e.is_triggered(EventId(1), 1));
+    }
+
+    #[test]
+    fn refires_after_recovery() {
+        let mut e = EventEngine::new();
+        e.add(temp_rule());
+        let key = MonitorKey::new("temp.cpu");
+        assert_eq!(e.observe(t(), 1, &key, 80.0).0.len(), 1);
+        assert_eq!(e.observe(t(), 1, &key, 60.0).1.len(), 1);
+        // "fails again later, the event re-fires automatically"
+        assert_eq!(e.observe(t(), 1, &key, 80.0).0.len(), 1);
+        assert_eq!(e.counts(), (2, 1));
+    }
+
+    #[test]
+    fn per_node_state_is_independent() {
+        let mut e = EventEngine::new();
+        e.add(temp_rule());
+        let key = MonitorKey::new("temp.cpu");
+        assert_eq!(e.observe(t(), 1, &key, 80.0).0.len(), 1);
+        assert_eq!(e.observe(t(), 2, &key, 80.0).0.len(), 1);
+        assert!(e.is_triggered(EventId(1), 1));
+        assert!(e.is_triggered(EventId(1), 2));
+        e.observe(t(), 1, &key, 60.0);
+        assert!(!e.is_triggered(EventId(1), 1));
+        assert!(e.is_triggered(EventId(1), 2));
+    }
+
+    #[test]
+    fn less_than_rules() {
+        let mut e = EventEngine::new();
+        e.add(EventDef {
+            id: EventId(2),
+            name: "fan-dead".into(),
+            threshold: Threshold {
+                monitor: MonitorKey::new("fan.cpu_rpm"),
+                cmp: Comparison::LessThan,
+                value: 1000.0,
+                hysteresis: 500.0,
+            },
+            action: Action::PowerDown,
+            notify: true,
+        });
+        let key = MonitorKey::new("fan.cpu_rpm");
+        assert!(e.observe(t(), 1, &key, 6000.0).0.is_empty());
+        assert_eq!(e.observe(t(), 1, &key, 0.0).0.len(), 1);
+        // needs to exceed value + hysteresis to clear
+        assert!(e.observe(t(), 1, &key, 1200.0).1.is_empty());
+        assert_eq!(e.observe(t(), 1, &key, 1600.0).1.len(), 1);
+    }
+
+    #[test]
+    fn equal_rule_with_epsilon() {
+        let th = Threshold {
+            monitor: MonitorKey::new("x"),
+            cmp: Comparison::Equal,
+            value: 1.0,
+            hysteresis: 0.0,
+        };
+        assert!(th.fires(1.0));
+        assert!(!th.fires(1.1));
+        assert!(th.clears(1.1));
+    }
+
+    #[test]
+    fn unrelated_monitors_are_ignored() {
+        let mut e = EventEngine::new();
+        e.add(temp_rule());
+        let (f, c) = e.observe(t(), 1, &MonitorKey::new("mem.free"), 0.0);
+        assert!(f.is_empty() && c.is_empty());
+    }
+
+    #[test]
+    fn plugin_actions_carry_their_name() {
+        let mut e = EventEngine::new();
+        e.add(EventDef {
+            id: EventId(9),
+            name: "custom".into(),
+            threshold: Threshold {
+                monitor: MonitorKey::new("site.queue_depth"),
+                cmp: Comparison::GreaterThan,
+                value: 100.0,
+                hysteresis: 0.0,
+            },
+            action: Action::Plugin("drain-queue.sh".into()),
+            notify: false,
+        });
+        let f = e.observe(t(), 1, &MonitorKey::new("site.queue_depth"), 200.0).0;
+        assert_eq!(f[0].action, Action::Plugin("drain-queue.sh".into()));
+    }
+
+    #[test]
+    fn forget_node_clears_state() {
+        let mut e = EventEngine::new();
+        e.add(temp_rule());
+        let key = MonitorKey::new("temp.cpu");
+        e.observe(t(), 1, &key, 80.0);
+        e.observe(t(), 2, &key, 80.0);
+        let cleared = e.forget_node(1);
+        assert_eq!(cleared.len(), 1);
+        assert!(!e.is_triggered(EventId(1), 1));
+        assert!(e.is_triggered(EventId(1), 2));
+    }
+
+    #[test]
+    fn remove_rule() {
+        let mut e = EventEngine::new();
+        e.add(temp_rule());
+        e.observe(t(), 1, &MonitorKey::new("temp.cpu"), 80.0);
+        assert!(e.remove(EventId(1)));
+        assert!(!e.remove(EventId(1)));
+        assert!(!e.is_triggered(EventId(1), 1));
+        assert!(e.observe(t(), 1, &MonitorKey::new("temp.cpu"), 90.0).0.is_empty());
+    }
+
+    #[test]
+    fn default_rules_cover_the_papers_scenarios() {
+        let rules = default_rules();
+        assert!(rules.iter().any(|r| r.name == "cpu-fan-failure" && r.action == Action::PowerDown));
+        assert!(rules.iter().any(|r| r.name == "cpu-overtemp" && r.action == Action::PowerDown));
+        assert!(rules.iter().any(|r| r.name == "load-too-high"));
+        assert!(rules.iter().any(|r| r.name == "psu-failure" && r.action == Action::PowerDown));
+        assert!(rules.iter().any(|r| r.name == "swap-pressure" && r.action == Action::None));
+        assert!(rules.iter().any(|r| r.name == "network-unreachable" && r.action == Action::Reboot));
+    }
+
+    #[test]
+    fn psu_rule_ignores_healthy_draw() {
+        let mut e = EventEngine::new();
+        for r in default_rules() {
+            e.add(r);
+        }
+        let key = MonitorKey::new("power.watts");
+        assert!(e.observe(SimTime::ZERO, 1, &key, 85.0).0.is_empty());
+        let fired = e.observe(SimTime::ZERO, 1, &key, 0.0).0;
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].action, Action::PowerDown);
+        // recovers only after a real supply is back (> 40 W)
+        assert!(e.observe(SimTime::ZERO, 1, &key, 30.0).1.is_empty());
+        assert_eq!(e.observe(SimTime::ZERO, 1, &key, 85.0).1.len(), 1);
+    }
+}

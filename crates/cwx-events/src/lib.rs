@@ -1,0 +1,30 @@
+//! The ClusterWorX event and notification engine (paper §5.2).
+//!
+//! "When cluster problems arise, administrators can customize ClusterWorX
+//! to automatically take action, e.g. power down, reboot, or halt any
+//! malfunctioning node. This is accomplished through an event engine
+//! that allows administrators to set thresholds on any value monitored.
+//! ... If the administrator-defined threshold is exceeded, ClusterWorX
+//! automatically triggers an action."
+//!
+//! And the notification algebra: "Using a smart notification algorithm,
+//! ClusterWorX notifies administrators of problems without swamping them
+//! with unnecessary e-mails. ... Only one email is sent per triggered
+//! event, even if multiple nodes are involved. If a node is fixed by an
+//! administrator but fails again later, the event re-fires
+//! automatically, without administrative interventions."
+//!
+//! * [`engine`] — threshold rules over monitor values, per-(event, node)
+//!   trigger state with hysteresis, automatic re-arm on recovery, and
+//!   the action to take ([`Action`]).
+//! * [`notify`] — the episode-based mailer: one email per triggered
+//!   event per episode regardless of node count, new episode (and new
+//!   email) after recovery.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod notify;
+
+pub use engine::{Action, Comparison, EventDef, EventEngine, EventId, Firing, Threshold};
+pub use notify::{Email, Notifier};

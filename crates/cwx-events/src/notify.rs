@@ -1,0 +1,321 @@
+//! Episode-based smart notification.
+//!
+//! "The email informs the administrator which cluster is malfunctioning,
+//! the name of the triggered event, the node(s) which are experiencing
+//! the problem, and the action (if any) that was taken. Only one email
+//! is sent per triggered event, even if multiple nodes are involved. ...
+//! For those who desire, email can be directed to most wireless devices
+//! such as pagers and cell phones."
+//!
+//! Mechanism: per event id the notifier keeps an *episode*. The first
+//! firing opens the episode and schedules one email after a short
+//! batching window (so a failure wave lands in a single message). Nodes
+//! firing while the episode is open are folded in; no further mail is
+//! sent. The episode closes when every involved node has cleared; the
+//! next firing opens a new episode — and a new email.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cwx_util::time::{SimDuration, SimTime};
+
+use crate::engine::{Action, Clearing, EventDef, EventId, Firing};
+
+/// A rendered notification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Email {
+    /// Send time.
+    pub at: SimTime,
+    /// Cluster name.
+    pub cluster: String,
+    /// Event name.
+    pub event: String,
+    /// Nodes involved at send time.
+    pub nodes: Vec<u32>,
+    /// Action description.
+    pub action: String,
+    /// Subject line.
+    pub subject: String,
+    /// Body text.
+    pub body: String,
+}
+
+impl Email {
+    /// The truncated form "directed to most wireless devices such as
+    /// pagers and cell phones": one line, hard 120-character cap (the
+    /// era's alphanumeric pager budget).
+    pub fn pager_text(&self) -> String {
+        let mut line = format!(
+            "{}:{} {}node(s) {}",
+            self.cluster,
+            self.event,
+            self.nodes.len(),
+            self.action
+        );
+        if line.len() > 120 {
+            line.truncate(117);
+            line.push_str("...");
+        }
+        line
+    }
+}
+
+#[derive(Debug)]
+struct Episode {
+    nodes: BTreeSet<u32>,
+    active_nodes: BTreeSet<u32>,
+    first_value: f64,
+    action: Action,
+    mail_due: Option<SimTime>,
+}
+
+/// The smart notifier.
+#[derive(Debug)]
+pub struct Notifier {
+    cluster: String,
+    window: SimDuration,
+    episodes: BTreeMap<EventId, Episode>,
+    outbox: Vec<Email>,
+    suppressed: u64,
+}
+
+fn action_text(a: &Action) -> String {
+    match a {
+        Action::None => "none".to_string(),
+        Action::PowerDown => "node powered down".to_string(),
+        Action::Reboot => "node rebooted".to_string(),
+        Action::Halt => "node halted".to_string(),
+        Action::Plugin(p) => format!("ran plug-in {p}"),
+    }
+}
+
+impl Notifier {
+    /// A notifier for `cluster` batching firings for `window` before
+    /// mailing.
+    pub fn new(cluster: impl Into<String>, window: SimDuration) -> Self {
+        Notifier {
+            cluster: cluster.into(),
+            window,
+            episodes: BTreeMap::new(),
+            outbox: Vec::new(),
+            suppressed: 0,
+        }
+    }
+
+    /// Firings folded into an already-notified episode (the mails the
+    /// administrator did NOT get — the savings the paper touts).
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Record a firing. `def` must be the definition that fired.
+    pub fn on_fire(&mut self, now: SimTime, def: &EventDef, firing: &Firing) {
+        if !def.notify {
+            return;
+        }
+        let window = self.window;
+        let ep = self.episodes.entry(def.id).or_insert_with(|| Episode {
+            nodes: BTreeSet::new(),
+            active_nodes: BTreeSet::new(),
+            first_value: firing.value,
+            action: firing.action.clone(),
+            mail_due: Some(now + window),
+        });
+        if ep.mail_due.is_none() {
+            // mail already sent for this episode
+            self.suppressed += 1;
+        }
+        ep.nodes.insert(firing.node);
+        ep.active_nodes.insert(firing.node);
+    }
+
+    /// Record a clearing; closes the episode when the last node clears.
+    pub fn on_clear(&mut self, clearing: &Clearing) {
+        if let Some(ep) = self.episodes.get_mut(&clearing.event) {
+            ep.active_nodes.remove(&clearing.node);
+            if ep.active_nodes.is_empty() && ep.mail_due.is_none() {
+                // episode over — the next firing opens a fresh one
+                self.episodes.remove(&clearing.event);
+            }
+        }
+    }
+
+    /// Emit any emails whose batching window has expired. Call
+    /// periodically (the server's housekeeping tick).
+    pub fn flush(&mut self, now: SimTime, defs: &[EventDef]) -> Vec<Email> {
+        let mut sent = Vec::new();
+        let mut finished: Vec<EventId> = Vec::new();
+        for (&id, ep) in self.episodes.iter_mut() {
+            let Some(due) = ep.mail_due else { continue };
+            if due > now {
+                continue;
+            }
+            let name = defs
+                .iter()
+                .find(|d| d.id == id)
+                .map(|d| d.name.clone())
+                .unwrap_or_else(|| format!("event-{}", id.0));
+            let nodes: Vec<u32> = ep.nodes.iter().copied().collect();
+            let action = action_text(&ep.action);
+            let subject = format!("[{}] {} on {} node(s)", self.cluster, name, nodes.len());
+            let node_list =
+                nodes.iter().map(|n| format!("node{n:03}")).collect::<Vec<_>>().join(", ");
+            let body = format!(
+                "Cluster: {}\nEvent: {}\nNodes: {}\nTriggering value: {}\nAction taken: {}\n",
+                self.cluster, name, node_list, ep.first_value, action
+            );
+            let email = Email {
+                at: now,
+                cluster: self.cluster.clone(),
+                event: name,
+                nodes,
+                action,
+                subject,
+                body,
+            };
+            sent.push(email);
+            ep.mail_due = None;
+            if ep.active_nodes.is_empty() {
+                finished.push(id);
+            }
+        }
+        for id in finished {
+            self.episodes.remove(&id);
+        }
+        self.outbox.extend(sent.iter().cloned());
+        sent
+    }
+
+    /// All emails ever sent (the recording sink for tests/experiments).
+    pub fn outbox(&self) -> &[Email] {
+        &self.outbox
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Comparison, Threshold};
+    use cwx_monitor::monitor::MonitorKey;
+
+    fn def() -> EventDef {
+        EventDef {
+            id: EventId(1),
+            name: "cpu-fan-failure".into(),
+            threshold: Threshold {
+                monitor: MonitorKey::new("fan.cpu_rpm"),
+                cmp: Comparison::LessThan,
+                value: 1000.0,
+                hysteresis: 500.0,
+            },
+            action: Action::PowerDown,
+            notify: true,
+        }
+    }
+
+    fn firing(node: u32, t: SimTime) -> Firing {
+        Firing { event: EventId(1), node, time: t, value: 0.0, action: Action::PowerDown }
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn one_email_for_many_nodes() {
+        let d = def();
+        let mut n = Notifier::new("llnl", SimDuration::from_secs(30));
+        for node in 0..50 {
+            n.on_fire(t(1), &d, &firing(node, t(1)));
+        }
+        assert!(n.flush(t(10), std::slice::from_ref(&d)).is_empty(), "window not expired yet");
+        let mails = n.flush(t(31), std::slice::from_ref(&d));
+        assert_eq!(mails.len(), 1, "one email per triggered event");
+        assert_eq!(mails[0].nodes.len(), 50);
+        assert!(mails[0].subject.contains("cpu-fan-failure"));
+        assert!(mails[0].body.contains("node049"));
+        assert!(mails[0].body.contains("powered down"));
+    }
+
+    #[test]
+    fn late_joiners_do_not_generate_more_mail() {
+        let d = def();
+        let mut n = Notifier::new("c", SimDuration::from_secs(10));
+        n.on_fire(t(0), &d, &firing(1, t(0)));
+        assert_eq!(n.flush(t(11), std::slice::from_ref(&d)).len(), 1);
+        // node 2 fails while the episode is still open
+        n.on_fire(t(20), &d, &firing(2, t(20)));
+        assert!(n.flush(t(60), std::slice::from_ref(&d)).is_empty());
+        assert_eq!(n.suppressed(), 1);
+        assert_eq!(n.outbox().len(), 1);
+    }
+
+    #[test]
+    fn refire_after_full_recovery_sends_new_mail() {
+        let d = def();
+        let mut n = Notifier::new("c", SimDuration::from_secs(10));
+        n.on_fire(t(0), &d, &firing(1, t(0)));
+        n.flush(t(11), std::slice::from_ref(&d));
+        // fixed...
+        n.on_clear(&Clearing { event: EventId(1), node: 1 });
+        // ...fails again later: re-fires automatically with a new email
+        n.on_fire(t(100), &d, &firing(1, t(100)));
+        let mails = n.flush(t(111), std::slice::from_ref(&d));
+        assert_eq!(mails.len(), 1);
+        assert_eq!(n.outbox().len(), 2);
+    }
+
+    #[test]
+    fn clear_before_mail_still_sends_the_report() {
+        // transient blip: fired and cleared inside the window — the
+        // administrator still learns about it
+        let d = def();
+        let mut n = Notifier::new("c", SimDuration::from_secs(10));
+        n.on_fire(t(0), &d, &firing(1, t(0)));
+        n.on_clear(&Clearing { event: EventId(1), node: 1 });
+        let mails = n.flush(t(11), std::slice::from_ref(&d));
+        assert_eq!(mails.len(), 1);
+        // and the episode is gone afterwards
+        n.on_fire(t(50), &d, &firing(1, t(50)));
+        assert_eq!(n.flush(t(61), std::slice::from_ref(&d)).len(), 1);
+    }
+
+    #[test]
+    fn notify_false_events_are_silent() {
+        let mut d = def();
+        d.notify = false;
+        let mut n = Notifier::new("c", SimDuration::from_secs(1));
+        n.on_fire(t(0), &d, &firing(1, t(0)));
+        assert!(n.flush(t(100), &[d]).is_empty());
+    }
+
+    #[test]
+    fn distinct_events_get_distinct_mail() {
+        let d1 = def();
+        let mut d2 = def();
+        d2.id = EventId(2);
+        d2.name = "load-too-high".into();
+        let mut n = Notifier::new("c", SimDuration::from_secs(1));
+        n.on_fire(t(0), &d1, &firing(1, t(0)));
+        let mut f2 = firing(1, t(0));
+        f2.event = EventId(2);
+        f2.action = Action::None;
+        n.on_fire(t(0), &d2, &f2);
+        let mails = n.flush(t(2), &[d1, d2]);
+        assert_eq!(mails.len(), 2);
+    }
+
+    #[test]
+    fn pager_text_is_one_short_line() {
+        let d = def();
+        let mut n = Notifier::new("a-cluster-with-a-fairly-long-name", SimDuration::from_secs(1));
+        for node in 0..500 {
+            n.on_fire(t(0), &d, &firing(node, t(0)));
+        }
+        let mails = n.flush(t(2), &[d]);
+        let pager = mails[0].pager_text();
+        assert!(pager.len() <= 120, "{} chars", pager.len());
+        assert!(!pager.contains('\n'));
+        assert!(pager.contains("cpu-fan-failure"));
+        assert!(pager.contains("500"));
+    }
+}

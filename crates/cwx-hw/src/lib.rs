@@ -1,0 +1,38 @@
+//! Simulated cluster-node hardware.
+//!
+//! The paper's management plane observes nodes through two channels:
+//! software counters in `/proc` (gathered by the ClusterWorX agent) and
+//! physical probes wired into the ICE Box (temperature, power, reset).
+//! This crate is the *thing being observed*: a behavioural model of one
+//! compute node with
+//!
+//! * a power state driven externally (the ICE Box relay),
+//! * a CPU activity model ([`Workload`]) that feeds the node's synthetic
+//!   `/proc` ([`cwx_proc::SyntheticState`]),
+//! * a first-order thermal model — CPU temperature relaxes toward a
+//!   target set by ambient, utilisation, and fan health — so that the
+//!   paper's flagship event-engine scenario ("powering down a node on
+//!   CPU fan failure to prevent the CPU from burning") plays out
+//!   physically,
+//! * fault injection ([`Fault`]) for fans, power supplies, and kernel
+//!   panics, and
+//! * a serial console the node prints to (drained into the ICE Box 16 KiB
+//!   capture buffers by the integration layer).
+
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod workload;
+
+pub use node::{Fault, HealthState, HwEvent, NodeHardware, PowerState, ThermalConfig};
+pub use workload::Workload;
+
+/// Identifies a node within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{:03}", self.0)
+    }
+}

@@ -1,0 +1,664 @@
+//! The behavioural model of one compute node.
+
+use cwx_proc::synthetic::SyntheticProc;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::workload::Workload;
+use crate::NodeId;
+
+/// Power relay state (controlled by the ICE Box).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerState {
+    /// Outlet off.
+    Off,
+    /// Outlet energized.
+    On,
+}
+
+/// Physical health of the node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// All components nominal.
+    Healthy,
+    /// CPU fan has stopped; temperature will climb under load.
+    FanFailed,
+    /// Power supply has failed; the node is dark regardless of the relay.
+    PsuFailed,
+    /// The kernel panicked; the node spews console output and stops
+    /// updating /proc, but stays warm.
+    Panicked,
+    /// The CPU exceeded its damage threshold. Permanent until repaired —
+    /// the failure mode the event engine exists to prevent.
+    Burned,
+}
+
+/// Faults the experiment driver can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Stop the CPU fan.
+    FanFailure,
+    /// Kill the power supply.
+    PsuFailure,
+    /// Panic the kernel.
+    KernelPanic,
+    /// A runaway process starts leaking memory; untreated it exhausts
+    /// RAM, then swap, then the node OOM-panics.
+    MemoryLeak,
+}
+
+/// Observable happenings produced while advancing the model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HwEvent {
+    /// Bytes appeared on the serial console.
+    Console(String),
+    /// CPU crossed the damage threshold and is now ruined.
+    CpuBurned {
+        /// Temperature at the moment of damage.
+        temp_c: f64,
+    },
+}
+
+/// Thermal/electrical constants for a node.
+#[derive(Debug, Clone, Copy)]
+pub struct ThermalConfig {
+    /// Machine-room ambient, °C.
+    pub ambient_c: f64,
+    /// Added °C at 100% utilisation with a working fan.
+    pub util_heating_c: f64,
+    /// Added °C when the fan is dead (on top of utilisation heating).
+    pub no_fan_heating_c: f64,
+    /// Relaxation time constant, seconds.
+    pub tau_secs: f64,
+    /// Temperature at which the CPU is permanently damaged, °C.
+    pub burn_threshold_c: f64,
+    /// Nominal fan speed, RPM.
+    pub fan_nominal_rpm: f64,
+    /// Idle power draw, watts.
+    pub idle_watts: f64,
+    /// Additional draw at 100% utilisation, watts.
+    pub load_watts: f64,
+}
+
+impl Default for ThermalConfig {
+    fn default() -> Self {
+        ThermalConfig {
+            ambient_c: 22.0,
+            util_heating_c: 30.0,
+            no_fan_heating_c: 48.0,
+            tau_secs: 45.0,
+            burn_threshold_c: 95.0,
+            fan_nominal_rpm: 6000.0,
+            idle_watts: 85.0,
+            load_watts: 125.0,
+        }
+    }
+}
+
+/// One simulated compute node.
+#[derive(Debug)]
+pub struct NodeHardware {
+    id: NodeId,
+    config: ThermalConfig,
+    power: PowerState,
+    health: HealthState,
+    workload: Workload,
+    workload_state: f64,
+    cpu_temp_c: f64,
+    util: f64,
+    booted: bool,
+    /// kB leaked so far by a runaway process (see [`Fault::MemoryLeak`]).
+    leak_kb: u64,
+    leaking: bool,
+    proc_: SyntheticProc,
+    /// seconds of simulated life (drives workload phase)
+    age_secs: f64,
+}
+
+impl NodeHardware {
+    /// A healthy, powered-off node.
+    pub fn new(id: NodeId, config: ThermalConfig, workload: Workload) -> Self {
+        let proc_ = SyntheticProc::default();
+        NodeHardware {
+            id,
+            config,
+            power: PowerState::Off,
+            health: HealthState::Healthy,
+            workload,
+            workload_state: 0.0,
+            cpu_temp_c: config.ambient_c,
+            util: 0.0,
+            booted: false,
+            leak_kb: 0,
+            leaking: false,
+            proc_,
+            age_secs: 0.0,
+        }
+    }
+
+    /// Node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current power relay state.
+    pub fn power(&self) -> PowerState {
+        self.power
+    }
+
+    /// Current health.
+    pub fn health(&self) -> HealthState {
+        self.health
+    }
+
+    /// Whether the OS has finished booting and the agent is running.
+    /// (Set by the boot model in `cwx-bios` via [`NodeHardware::set_booted`].)
+    pub fn is_up(&self) -> bool {
+        self.booted
+            && self.power == PowerState::On
+            && matches!(self.health, HealthState::Healthy | HealthState::FanFailed)
+    }
+
+    /// Mark the OS as up (the boot sequence completed) or down.
+    pub fn set_booted(&mut self, booted: bool) {
+        self.booted = booted;
+        if booted {
+            self.proc_.with_state(|s| s.uptime_secs = 0.0);
+        }
+    }
+
+    /// The node's synthetic /proc (what the monitoring agent reads).
+    pub fn proc_fs(&self) -> &SyntheticProc {
+        &self.proc_
+    }
+
+    /// Instantaneous CPU utilisation, `[0,1]`.
+    pub fn utilization(&self) -> f64 {
+        self.util
+    }
+
+    /// Replace the workload model (e.g. when a scheduler places a job).
+    pub fn set_workload(&mut self, w: Workload) {
+        self.workload = w;
+    }
+
+    // ---- probe surface (what the ICE Box measures) ----
+
+    /// CPU temperature probe, °C.
+    pub fn temperature_c(&self) -> f64 {
+        self.cpu_temp_c
+    }
+
+    /// Fan tachometer, RPM.
+    pub fn fan_rpm(&self) -> f64 {
+        match self.health {
+            HealthState::FanFailed | HealthState::Burned => 0.0,
+            _ if self.power == PowerState::Off || matches!(self.health, HealthState::PsuFailed) => {
+                0.0
+            }
+            _ => self.config.fan_nominal_rpm,
+        }
+    }
+
+    /// Power draw probe, watts.
+    pub fn power_watts(&self) -> f64 {
+        if self.power == PowerState::Off
+            || matches!(self.health, HealthState::PsuFailed | HealthState::Burned)
+        {
+            return 0.0;
+        }
+        self.config.idle_watts + self.config.load_watts * self.util
+    }
+
+    // ---- control surface (what the ICE Box relay/reset do) ----
+
+    /// Energize or cut the outlet. Cutting power drops the OS.
+    pub fn set_power(&mut self, p: PowerState) {
+        if p == self.power {
+            return;
+        }
+        self.power = p;
+        if p == PowerState::Off {
+            self.booted = false;
+            self.util = 0.0;
+            self.leaking = false;
+            self.leak_kb = 0;
+            // a kernel panic is software state: cutting power clears it
+            if self.health == HealthState::Panicked {
+                self.health = HealthState::Healthy;
+            }
+        }
+    }
+
+    /// Hardware reset line: drops the OS without cutting power. A
+    /// panicked node recovers through reboot; a burned one does not.
+    pub fn reset(&mut self) {
+        self.booted = false;
+        self.util = 0.0;
+        self.leaking = false;
+        self.leak_kb = 0;
+        if self.health == HealthState::Panicked {
+            self.health = HealthState::Healthy;
+        }
+    }
+
+    /// Replace failed parts (fan/PSU/CPU) — a technician visit. The node
+    /// is left powered off and healthy.
+    pub fn repair(&mut self) {
+        self.health = HealthState::Healthy;
+        self.power = PowerState::Off;
+        self.booted = false;
+        self.cpu_temp_c = self.config.ambient_c;
+        self.util = 0.0;
+    }
+
+    /// Inject a fault.
+    pub fn inject(&mut self, fault: Fault) -> Vec<HwEvent> {
+        match fault {
+            Fault::FanFailure => {
+                if self.health == HealthState::Healthy {
+                    self.health = HealthState::FanFailed;
+                }
+                vec![]
+            }
+            Fault::PsuFailure => {
+                self.health = HealthState::PsuFailed;
+                self.booted = false;
+                self.util = 0.0;
+                vec![]
+            }
+            Fault::MemoryLeak => {
+                if self.is_up() {
+                    self.leaking = true;
+                }
+                vec![]
+            }
+            Fault::KernelPanic => {
+                let mut events = Vec::new();
+                if self.is_up() {
+                    self.health = HealthState::Panicked;
+                    self.booted = false;
+                    events.push(HwEvent::Console(format!(
+                        "Oops: kernel NULL pointer dereference on {id}\nEIP: 0010:[<c01263ba>]\nKernel panic: Attempted to kill init!\n",
+                        id = self.id
+                    )));
+                }
+                events
+            }
+        }
+    }
+
+    /// Advance the physical model by `dt_secs`.
+    pub fn advance(&mut self, dt_secs: f64, rng: &mut StdRng) -> Vec<HwEvent> {
+        let mut events = Vec::new();
+        self.age_secs += dt_secs;
+
+        // utilisation only while the OS runs
+        self.util = if self.is_up() {
+            self.workload.sample(self.age_secs, dt_secs, &mut self.workload_state, rng)
+        } else {
+            0.0
+        };
+
+        // thermal relaxation toward target
+        let powered = self.power == PowerState::On
+            && !matches!(self.health, HealthState::PsuFailed | HealthState::Burned);
+        let target = if powered {
+            let mut t = self.config.ambient_c + 8.0 + self.config.util_heating_c * self.util;
+            if matches!(self.health, HealthState::FanFailed) {
+                t += self.config.no_fan_heating_c;
+            }
+            t
+        } else {
+            self.config.ambient_c
+        };
+        let alpha = 1.0 - (-dt_secs / self.config.tau_secs).exp();
+        self.cpu_temp_c += (target - self.cpu_temp_c) * alpha;
+        // sensor noise
+        self.cpu_temp_c += (rng.random::<f64>() - 0.5) * 0.2;
+
+        if powered && self.cpu_temp_c >= self.config.burn_threshold_c {
+            self.health = HealthState::Burned;
+            self.booted = false;
+            self.util = 0.0;
+            events.push(HwEvent::CpuBurned { temp_c: self.cpu_temp_c });
+            events.push(HwEvent::Console(format!(
+                "CPU0: Temperature above threshold, CPU halted ({:.1} C)\n",
+                self.cpu_temp_c
+            )));
+        }
+
+        // a leaking process claims ~0.7% of RAM per second
+        if self.is_up() && self.leaking {
+            let total = self.proc_.with_state(|s| s.mem_total_kb);
+            self.leak_kb += (total as f64 * 0.007 * dt_secs) as u64;
+        }
+
+        // feed /proc
+        if self.is_up() {
+            let util = self.util;
+            let leak_kb = self.leak_kb;
+            let mut oom = false;
+            self.proc_.with_state(|s| {
+                s.tick(dt_secs, util);
+                // load average chases utilisation * cpus with 1-min lag
+                let ncpu = s.cpus.len() as f64;
+                let target = util * ncpu;
+                let a1 = 1.0 - (-dt_secs / 60.0).exp();
+                s.load_one += (target - s.load_one) * a1;
+                let a5 = 1.0 - (-dt_secs / 300.0).exp();
+                s.load_five += (target - s.load_five) * a5;
+                let a15 = 1.0 - (-dt_secs / 900.0).exp();
+                s.load_fifteen += (target - s.load_fifteen) * a15;
+                // memory tracks utilisation loosely, plus any leak
+                let used_target = 0.15 + 0.7 * util;
+                let used = (s.mem_total_kb as f64 * used_target) as u64 + leak_kb;
+                if used <= s.mem_total_kb {
+                    s.mem_free_kb = s.mem_total_kb - used;
+                    s.swap_free_kb = s.swap_total_kb;
+                } else {
+                    // RAM exhausted: the spill lands in swap
+                    s.mem_free_kb = 0;
+                    let spill = used - s.mem_total_kb;
+                    if spill >= s.swap_total_kb {
+                        s.swap_free_kb = 0;
+                        oom = true;
+                    } else {
+                        s.swap_free_kb = s.swap_total_kb - spill;
+                    }
+                }
+                s.procs_running = 1 + (util * 4.0) as u64;
+                // parallel jobs chatter on the interconnect roughly in
+                // proportion to their compute (MPI halo exchanges)
+                if let Some(eth) = s.interfaces.iter_mut().find(|i| i.name == "eth0") {
+                    let bytes = (dt_secs * (2_000.0 + 2_000_000.0 * util)) as u64;
+                    let pkts = bytes / 900;
+                    eth.rx_bytes += bytes;
+                    eth.tx_bytes += bytes * 9 / 10;
+                    eth.rx_packets += pkts;
+                    eth.tx_packets += pkts * 9 / 10;
+                }
+            });
+            if oom {
+                // swap exhausted: the kernel OOM-panics
+                self.health = HealthState::Panicked;
+                self.booted = false;
+                self.util = 0.0;
+                self.leaking = false;
+                self.leak_kb = 0;
+                events.push(HwEvent::Console(format!(
+                    "Out of Memory: Killed process 4711 (simulated).\nKernel panic: Out of memory and no killable processes on {id}\n",
+                    id = self.id
+                )));
+            }
+        }
+
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwx_util::rng::rng;
+
+    fn node(w: Workload) -> NodeHardware {
+        NodeHardware::new(NodeId(0), ThermalConfig::default(), w)
+    }
+
+    fn boot(n: &mut NodeHardware) {
+        n.set_power(PowerState::On);
+        n.set_booted(true);
+    }
+
+    #[test]
+    fn off_node_is_cold_and_dark() {
+        let mut n = node(Workload::Constant(1.0));
+        let mut r = rng(1);
+        for _ in 0..100 {
+            n.advance(10.0, &mut r);
+        }
+        assert_eq!(n.power_watts(), 0.0);
+        assert_eq!(n.fan_rpm(), 0.0);
+        assert!((n.temperature_c() - 22.0).abs() < 2.0);
+        assert!(!n.is_up());
+    }
+
+    #[test]
+    fn loaded_node_warms_up_but_stays_safe_with_fan() {
+        let mut n = node(Workload::Constant(1.0));
+        boot(&mut n);
+        let mut r = rng(1);
+        for _ in 0..600 {
+            n.advance(1.0, &mut r);
+        }
+        let t = n.temperature_c();
+        assert!(t > 50.0, "hot under load: {t}");
+        assert!(t < 70.0, "but safe with a working fan: {t}");
+        assert_eq!(n.health(), HealthState::Healthy);
+        assert!(n.power_watts() > 150.0);
+    }
+
+    #[test]
+    fn fan_failure_under_load_burns_cpu_if_ignored() {
+        let mut n = node(Workload::Constant(1.0));
+        boot(&mut n);
+        let mut r = rng(1);
+        for _ in 0..300 {
+            n.advance(1.0, &mut r);
+        }
+        n.inject(Fault::FanFailure);
+        assert_eq!(n.fan_rpm(), 0.0);
+        let mut burned = false;
+        for _ in 0..600 {
+            for e in n.advance(1.0, &mut r) {
+                if matches!(e, HwEvent::CpuBurned { .. }) {
+                    burned = true;
+                }
+            }
+        }
+        assert!(burned, "unattended fan failure must destroy the CPU");
+        assert_eq!(n.health(), HealthState::Burned);
+        assert!(!n.is_up());
+    }
+
+    #[test]
+    fn power_down_after_fan_failure_saves_cpu() {
+        let mut n = node(Workload::Constant(1.0));
+        boot(&mut n);
+        let mut r = rng(1);
+        for _ in 0..300 {
+            n.advance(1.0, &mut r);
+        }
+        n.inject(Fault::FanFailure);
+        // the event engine reacts after a short delay
+        for _ in 0..30 {
+            n.advance(1.0, &mut r);
+        }
+        n.set_power(PowerState::Off);
+        for _ in 0..600 {
+            n.advance(1.0, &mut r);
+        }
+        assert_eq!(n.health(), HealthState::FanFailed, "fan still broken but CPU alive");
+        assert!(n.temperature_c() < 40.0, "cooled after power-down");
+    }
+
+    #[test]
+    fn psu_failure_kills_power_draw() {
+        let mut n = node(Workload::Constant(0.5));
+        boot(&mut n);
+        n.inject(Fault::PsuFailure);
+        assert_eq!(n.power_watts(), 0.0);
+        assert!(!n.is_up());
+    }
+
+    #[test]
+    fn panic_emits_console_and_reset_recovers() {
+        let mut n = node(Workload::Constant(0.5));
+        boot(&mut n);
+        let events = n.inject(Fault::KernelPanic);
+        assert!(matches!(&events[0], HwEvent::Console(s) if s.contains("Kernel panic")));
+        assert!(!n.is_up());
+        assert_eq!(n.health(), HealthState::Panicked);
+        n.reset();
+        assert_eq!(n.health(), HealthState::Healthy);
+        n.set_booted(true);
+        assert!(n.is_up());
+    }
+
+    #[test]
+    fn burned_node_needs_repair_not_reset() {
+        let mut n = node(Workload::Constant(1.0));
+        boot(&mut n);
+        let mut r = rng(1);
+        n.inject(Fault::FanFailure);
+        for _ in 0..1200 {
+            n.advance(1.0, &mut r);
+        }
+        assert_eq!(n.health(), HealthState::Burned);
+        n.reset();
+        assert_eq!(n.health(), HealthState::Burned, "reset cannot fix hardware");
+        n.repair();
+        assert_eq!(n.health(), HealthState::Healthy);
+        assert_eq!(n.power(), PowerState::Off);
+    }
+
+    #[test]
+    fn proc_reflects_activity() {
+        let mut n = node(Workload::Constant(0.8));
+        boot(&mut n);
+        let mut r = rng(1);
+        for _ in 0..300 {
+            n.advance(1.0, &mut r);
+        }
+        let (load, free_frac, uptime) = n.proc_fs().with_state(|s| {
+            (s.load_one, s.mem_free_kb as f64 / s.mem_total_kb as f64, s.uptime_secs)
+        });
+        assert!(load > 0.5, "load chases utilisation: {load}");
+        assert!(free_frac < 0.5, "memory fills under load: {free_frac}");
+        assert!((uptime - 300.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn power_cycle_resets_os_state() {
+        let mut n = node(Workload::Constant(0.5));
+        boot(&mut n);
+        assert!(n.is_up());
+        n.set_power(PowerState::Off);
+        assert!(!n.is_up());
+        n.set_power(PowerState::On);
+        assert!(!n.is_up(), "power on does not boot the OS by itself");
+    }
+}
+
+#[cfg(test)]
+mod leak_tests {
+    use super::*;
+    use crate::workload::Workload;
+    use crate::NodeId;
+    use cwx_util::rng::rng;
+
+    fn booted_node() -> NodeHardware {
+        let mut n = NodeHardware::new(NodeId(0), ThermalConfig::default(), Workload::Constant(0.2));
+        n.set_power(PowerState::On);
+        n.set_booted(true);
+        n
+    }
+
+    #[test]
+    fn leak_fills_ram_then_swap_then_ooms() {
+        let mut n = booted_node();
+        let mut r = rng(1);
+        n.inject(Fault::MemoryLeak);
+        let mut saw_ram_exhausted = false;
+        let mut saw_swap_pressure = false;
+        let mut oomed = false;
+        for _ in 0..3000 {
+            for e in n.advance(1.0, &mut r) {
+                if let HwEvent::Console(text) = e {
+                    if text.contains("Out of Memory") {
+                        oomed = true;
+                    }
+                }
+            }
+            let (free, swap_free) = n.proc_fs().with_state(|s| (s.mem_free_kb, s.swap_free_kb));
+            if free == 0 {
+                saw_ram_exhausted = true;
+            }
+            if swap_free < 2_097_152 {
+                saw_swap_pressure = true;
+            }
+            if oomed {
+                break;
+            }
+        }
+        assert!(saw_ram_exhausted, "leak must exhaust RAM first");
+        assert!(saw_swap_pressure, "then eat into swap");
+        assert!(oomed, "and finally OOM-panic");
+        assert_eq!(n.health(), HealthState::Panicked);
+        assert!(!n.is_up());
+    }
+
+    #[test]
+    fn reboot_clears_the_leak() {
+        let mut n = booted_node();
+        let mut r = rng(2);
+        n.inject(Fault::MemoryLeak);
+        for _ in 0..120 {
+            n.advance(1.0, &mut r);
+        }
+        let free_before = n.proc_fs().with_state(|s| s.mem_free_kb);
+        // power cycle: the leaking process dies with the OS
+        n.set_power(PowerState::Off);
+        n.set_power(PowerState::On);
+        n.set_booted(true);
+        for _ in 0..30 {
+            n.advance(1.0, &mut r);
+        }
+        let free_after = n.proc_fs().with_state(|s| s.mem_free_kb);
+        assert!(free_after > free_before, "{free_after} vs {free_before}");
+        assert_eq!(n.health(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn leak_on_a_down_node_is_ignored() {
+        let mut n = NodeHardware::new(NodeId(0), ThermalConfig::default(), Workload::Idle);
+        assert!(n.inject(Fault::MemoryLeak).is_empty());
+        let mut r = rng(3);
+        for _ in 0..100 {
+            n.advance(1.0, &mut r);
+        }
+        assert_eq!(n.health(), HealthState::Healthy);
+    }
+}
+
+#[cfg(test)]
+mod traffic_tests {
+    use super::*;
+    use crate::workload::Workload;
+    use crate::NodeId;
+    use cwx_util::rng::rng;
+
+    #[test]
+    fn loaded_nodes_generate_network_traffic() {
+        let mut busy = NodeHardware::new(NodeId(0), ThermalConfig::default(), Workload::Constant(0.9));
+        let mut idle = NodeHardware::new(NodeId(1), ThermalConfig::default(), Workload::Idle);
+        for n in [&mut busy, &mut idle] {
+            n.set_power(PowerState::On);
+            n.set_booted(true);
+        }
+        let mut r = rng(1);
+        for _ in 0..60 {
+            busy.advance(1.0, &mut r);
+            idle.advance(1.0, &mut r);
+        }
+        let rx = |n: &NodeHardware| {
+            n.proc_fs().with_state(|s| {
+                s.interfaces.iter().find(|i| i.name == "eth0").unwrap().rx_bytes
+            })
+        };
+        assert!(rx(&busy) > 50_000_000, "busy node chatters: {}", rx(&busy));
+        assert!(rx(&idle) < 1_000_000, "idle node mostly quiet: {}", rx(&idle));
+        assert!(rx(&busy) > rx(&idle) * 50);
+    }
+}

@@ -1,0 +1,124 @@
+//! CPU activity models for simulated nodes.
+//!
+//! The monitoring experiments need nodes whose statistics *move*: load
+//! that ramps, memory that fills, traffic that bursts. [`Workload`]
+//! produces a target CPU utilisation as a function of simulated time,
+//! with an optional mean-reverting noise term so no two samples are
+//! identical (which matters for the consolidation experiment E7 — delta
+//! encoding only pays off because *most* monitors are static while a few
+//! churn).
+
+use rand::Rng;
+
+/// A CPU utilisation generator.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// Completely idle (0%).
+    Idle,
+    /// Constant utilisation.
+    Constant(f64),
+    /// A batch job: ramp up, hold, ramp down, repeat with the given
+    /// period (seconds).
+    Batch {
+        /// Utilisation while the job runs.
+        peak: f64,
+        /// Seconds of work per cycle.
+        busy_secs: f64,
+        /// Seconds idle between jobs.
+        gap_secs: f64,
+    },
+    /// Mean-reverting random walk (Ornstein–Uhlenbeck style) around a
+    /// mean, for background-noise nodes.
+    Noisy {
+        /// Long-run mean utilisation.
+        mean: f64,
+        /// Reversion strength per second.
+        reversion: f64,
+        /// Noise magnitude per step.
+        sigma: f64,
+    },
+}
+
+impl Workload {
+    /// Utilisation target at time `t_secs`. `state` carries the walk
+    /// value for [`Workload::Noisy`]; pass the same `&mut f64` across
+    /// calls.
+    pub fn sample(&self, t_secs: f64, dt_secs: f64, state: &mut f64, rng: &mut impl Rng) -> f64 {
+        match *self {
+            Workload::Idle => 0.0,
+            Workload::Constant(u) => u.clamp(0.0, 1.0),
+            Workload::Batch { peak, busy_secs, gap_secs } => {
+                let period = (busy_secs + gap_secs).max(1e-9);
+                let phase = t_secs % period;
+                if phase < busy_secs {
+                    peak.clamp(0.0, 1.0)
+                } else {
+                    0.02 // OS housekeeping between jobs
+                }
+            }
+            Workload::Noisy { mean, reversion, sigma } => {
+                let noise: f64 = rng.random::<f64>() - 0.5;
+                *state += reversion * (mean - *state) * dt_secs + sigma * noise * dt_secs.sqrt();
+                *state = state.clamp(0.0, 1.0);
+                *state
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwx_util::rng::rng;
+
+    #[test]
+    fn idle_is_zero_constant_clamps() {
+        let mut r = rng(1);
+        let mut s = 0.0;
+        assert_eq!(Workload::Idle.sample(10.0, 1.0, &mut s, &mut r), 0.0);
+        assert_eq!(Workload::Constant(1.7).sample(0.0, 1.0, &mut s, &mut r), 1.0);
+        assert_eq!(Workload::Constant(-0.2).sample(0.0, 1.0, &mut s, &mut r), 0.0);
+    }
+
+    #[test]
+    fn batch_alternates_with_period() {
+        let w = Workload::Batch { peak: 0.9, busy_secs: 60.0, gap_secs: 40.0 };
+        let mut r = rng(1);
+        let mut s = 0.0;
+        assert_eq!(w.sample(10.0, 1.0, &mut s, &mut r), 0.9);
+        assert_eq!(w.sample(59.0, 1.0, &mut s, &mut r), 0.9);
+        assert!(w.sample(70.0, 1.0, &mut s, &mut r) < 0.1);
+        // next cycle
+        assert_eq!(w.sample(110.0, 1.0, &mut s, &mut r), 0.9);
+    }
+
+    #[test]
+    fn noisy_stays_in_bounds_and_reverts_to_mean() {
+        let w = Workload::Noisy { mean: 0.4, reversion: 0.5, sigma: 0.3 };
+        let mut r = rng(7);
+        let mut s = 0.0;
+        let mut sum = 0.0;
+        let n = 5000;
+        for i in 0..n {
+            let u = w.sample(i as f64, 1.0, &mut s, &mut r);
+            assert!((0.0..=1.0).contains(&u));
+            if i > 100 {
+                sum += u;
+            }
+        }
+        let mean = sum / (n - 101) as f64;
+        assert!((mean - 0.4).abs() < 0.1, "long-run mean {mean}");
+    }
+
+    #[test]
+    fn noisy_is_deterministic_per_seed() {
+        let w = Workload::Noisy { mean: 0.5, reversion: 0.3, sigma: 0.2 };
+        let run = |seed| {
+            let mut r = rng(seed);
+            let mut s = 0.0;
+            (0..100).map(|i| w.sample(i as f64, 1.0, &mut s, &mut r)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

@@ -1,0 +1,405 @@
+//! Chassis state: outlets, inlets, sequencing, probes, serial capture.
+
+use cwx_util::ring::ByteRing;
+use cwx_util::time::{SimDuration, SimTime};
+
+/// Node ports per chassis (paper: "power to 10 compute nodes").
+pub const NODE_PORTS: usize = 10;
+/// Auxiliary ports per chassis ("two auxiliary devices").
+pub const AUX_PORTS: usize = 2;
+/// Serial capture per port ("buffering (up to 16k)").
+pub const SERIAL_LOG_CAPACITY: usize = 16 * 1024;
+/// Outlets energize this far apart on the same inlet during sequenced
+/// power-up.
+pub const SEQUENCE_STAGGER: SimDuration = SimDuration::from_millis(400);
+/// Inlet capacity: 15 A at 110 V.
+pub const INLET_CAPACITY_WATTS: f64 = 15.0 * 110.0;
+
+/// A node port on a chassis (0..[`NODE_PORTS`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub u8);
+
+/// Latest probe sample for a port (pushed by the integration layer).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ProbeReading {
+    /// CPU temperature, °C.
+    pub temp_c: f64,
+    /// Power draw, watts.
+    pub watts: f64,
+    /// Fan speed, RPM.
+    pub fan_rpm: f64,
+}
+
+/// Physical side-effects the integration layer must apply to nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortEffect {
+    /// Energize the outlet for `port` at `at` (sequenced).
+    EnergizeAt {
+        /// Affected port.
+        port: PortId,
+        /// When the relay closes.
+        at: SimTime,
+    },
+    /// Cut power to `port` immediately.
+    CutPower {
+        /// Affected port.
+        port: PortId,
+    },
+    /// Pulse the reset line of `port`.
+    PulseReset {
+        /// Affected port.
+        port: PortId,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Port {
+    relay_on: bool,
+    /// time the outlet actually energizes (sequencing delay)
+    energize_at: Option<SimTime>,
+    probe: ProbeReading,
+    serial: ByteRing,
+}
+
+impl Port {
+    fn new() -> Self {
+        Port {
+            relay_on: false,
+            energize_at: None,
+            probe: ProbeReading::default(),
+            serial: ByteRing::new(SERIAL_LOG_CAPACITY),
+        }
+    }
+}
+
+/// One ICE Box chassis.
+#[derive(Debug)]
+pub struct IceBox {
+    ports: Vec<Port>,
+    /// per-inlet time before which new energizations must queue
+    inlet_next_slot: [SimTime; 2],
+    /// whether automatic power sequencing is enabled (ablation knob)
+    sequencing: bool,
+    firmware_version: String,
+}
+
+impl IceBox {
+    /// A chassis with all node outlets off and sequencing enabled.
+    pub fn new() -> Self {
+        IceBox {
+            ports: (0..NODE_PORTS).map(|_| Port::new()).collect(),
+            inlet_next_slot: [SimTime::ZERO; 2],
+            sequencing: true,
+            firmware_version: "icebox-fw-2.3".to_string(),
+        }
+    }
+
+    /// Disable/enable automatic power sequencing (for the E10 ablation).
+    pub fn set_sequencing(&mut self, on: bool) {
+        self.sequencing = on;
+    }
+
+    /// Firmware version string.
+    pub fn firmware_version(&self) -> &str {
+        &self.firmware_version
+    }
+
+    /// The inlet feeding a port: ports 0–4 on inlet 0, 5–9 on inlet 1
+    /// ("two 15A power inlets each provide power to five nodes").
+    pub fn inlet_of(port: PortId) -> usize {
+        usize::from(port.0 >= 5)
+    }
+
+    /// Whether an auxiliary outlet is energized. "The auxiliary outlets
+    /// are powered on and stay on as long as the ICE Box is receiving
+    /// power. This is to ensure that host nodes, switches and other
+    /// devices are not powered off by mistake" — so they are always on
+    /// and there is deliberately no API to switch them.
+    pub fn aux_outlet_on(&self, aux: usize) -> bool {
+        aux < AUX_PORTS
+    }
+
+    fn port(&self, p: PortId) -> Option<&Port> {
+        self.ports.get(p.0 as usize)
+    }
+
+    fn port_mut(&mut self, p: PortId) -> Option<&mut Port> {
+        self.ports.get_mut(p.0 as usize)
+    }
+
+    /// Whether the relay for `port` is commanded on.
+    pub fn relay_on(&self, port: PortId) -> bool {
+        self.port(port).is_some_and(|p| p.relay_on)
+    }
+
+    /// When the outlet energizes (None if off or already energized).
+    pub fn pending_energize(&self, port: PortId) -> Option<SimTime> {
+        self.port(port).and_then(|p| p.energize_at)
+    }
+
+    /// Note that an outlet actually energized (integration layer calls
+    /// this when it applies [`PortEffect::EnergizeAt`]).
+    pub fn mark_energized(&mut self, port: PortId) {
+        if let Some(p) = self.port_mut(port) {
+            p.energize_at = None;
+        }
+    }
+
+    /// Command a port on. Returns the energize effect, sequenced per
+    /// inlet so simultaneous power-ups stagger.
+    pub fn power_on(&mut self, now: SimTime, port: PortId) -> Option<PortEffect> {
+        let sequencing = self.sequencing;
+        let inlet = Self::inlet_of(port);
+        let slot = if sequencing {
+            let at = now.max(self.inlet_next_slot[inlet]);
+            self.inlet_next_slot[inlet] = at + SEQUENCE_STAGGER;
+            at
+        } else {
+            now
+        };
+        let p = self.port_mut(port)?;
+        if p.relay_on {
+            return None; // already on
+        }
+        p.relay_on = true;
+        p.energize_at = Some(slot);
+        Some(PortEffect::EnergizeAt { port, at: slot })
+    }
+
+    /// Command a port off (immediate).
+    pub fn power_off(&mut self, port: PortId) -> Option<PortEffect> {
+        let p = self.port_mut(port)?;
+        if !p.relay_on {
+            return None;
+        }
+        p.relay_on = false;
+        p.energize_at = None;
+        Some(PortEffect::CutPower { port })
+    }
+
+    /// Pulse the reset switch ("allows the user to remotely reset any
+    /// standard motherboard — preventing a full power down").
+    pub fn reset(&mut self, port: PortId) -> Option<PortEffect> {
+        let p = self.port_mut(port)?;
+        p.relay_on.then_some(PortEffect::PulseReset { port })
+    }
+
+    /// Latest probe sample for a port.
+    pub fn probe(&self, port: PortId) -> Option<ProbeReading> {
+        self.port(port).map(|p| p.probe)
+    }
+
+    /// Record a probe sample (integration layer, each sampling tick).
+    pub fn record_probe(&mut self, port: PortId, reading: ProbeReading) {
+        if let Some(p) = self.port_mut(port) {
+            p.probe = reading;
+        }
+    }
+
+    /// Append serial console bytes from the node on `port`.
+    pub fn feed_console(&mut self, port: PortId, bytes: &[u8]) {
+        if let Some(p) = self.port_mut(port) {
+            p.serial.write(bytes);
+        }
+    }
+
+    /// The captured console log (most recent ≤16 KiB) — the post-mortem
+    /// view.
+    pub fn console_log(&self, port: PortId) -> String {
+        self.port(port).map(|p| p.serial.snapshot_string()).unwrap_or_default()
+    }
+
+    /// Bytes of console output lost to the 16 KiB cap.
+    pub fn console_overflow(&self, port: PortId) -> u64 {
+        self.port(port).map(|p| p.serial.overwritten()).unwrap_or(0)
+    }
+
+    /// Clear a port's console capture.
+    pub fn clear_console(&mut self, port: PortId) {
+        if let Some(p) = self.port_mut(port) {
+            p.serial.clear();
+        }
+    }
+
+    /// Peak combined inrush wattage on an inlet if the given outlets
+    /// energize at the returned times, assuming each node draws
+    /// `inrush_watts` for `inrush_secs` after energizing. Used by the
+    /// E10 sequencing experiment.
+    pub fn peak_inlet_watts(
+        energize_times: &[(PortId, SimTime)],
+        inlet: usize,
+        inrush_watts: f64,
+        inrush_secs: f64,
+    ) -> f64 {
+        let times: Vec<SimTime> = energize_times
+            .iter()
+            .filter(|(p, _)| Self::inlet_of(*p) == inlet)
+            .map(|&(_, t)| t)
+            .collect();
+        let mut peak = 0.0f64;
+        for &t in &times {
+            // concurrent inrushes at instant t
+            let overlap = times
+                .iter()
+                .filter(|&&u| {
+                    u <= t && t.since(u) < SimDuration::from_secs_f64(inrush_secs)
+                })
+                .count();
+            peak = peak.max(overlap as f64 * inrush_watts);
+        }
+        peak
+    }
+}
+
+impl Default for IceBox {
+    fn default() -> Self {
+        IceBox::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aux_outlets_always_on_and_unswitchable() {
+        let ib = IceBox::new();
+        assert!(ib.aux_outlet_on(0));
+        assert!(ib.aux_outlet_on(1));
+        assert!(!ib.aux_outlet_on(2), "only two aux outlets exist");
+        // node-port commands cannot address them: PortId space is 0..10
+        // and aux outlets have no PortId at all (compile-time absence)
+    }
+
+    #[test]
+    fn ten_ports_two_inlets() {
+        assert_eq!(IceBox::inlet_of(PortId(0)), 0);
+        assert_eq!(IceBox::inlet_of(PortId(4)), 0);
+        assert_eq!(IceBox::inlet_of(PortId(5)), 1);
+        assert_eq!(IceBox::inlet_of(PortId(9)), 1);
+    }
+
+    #[test]
+    fn power_on_sequences_within_an_inlet() {
+        let mut ib = IceBox::new();
+        let now = SimTime::ZERO;
+        let e0 = ib.power_on(now, PortId(0)).unwrap();
+        let e1 = ib.power_on(now, PortId(1)).unwrap();
+        let e2 = ib.power_on(now, PortId(2)).unwrap();
+        let times: Vec<SimTime> = [e0, e1, e2]
+            .iter()
+            .map(|e| match e {
+                PortEffect::EnergizeAt { at, .. } => *at,
+                _ => panic!("expected energize"),
+            })
+            .collect();
+        assert_eq!(times[0], now);
+        assert_eq!(times[1], now + SEQUENCE_STAGGER);
+        assert_eq!(times[2], now + SEQUENCE_STAGGER * 2);
+    }
+
+    #[test]
+    fn inlets_sequence_independently() {
+        let mut ib = IceBox::new();
+        let now = SimTime::ZERO;
+        let PortEffect::EnergizeAt { at: a, .. } = ib.power_on(now, PortId(0)).unwrap() else {
+            panic!()
+        };
+        let PortEffect::EnergizeAt { at: b, .. } = ib.power_on(now, PortId(5)).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a, now);
+        assert_eq!(b, now, "different inlets do not queue behind each other");
+    }
+
+    #[test]
+    fn sequencing_disabled_energizes_immediately() {
+        let mut ib = IceBox::new();
+        ib.set_sequencing(false);
+        let now = SimTime::ZERO;
+        for i in 0..5 {
+            let PortEffect::EnergizeAt { at, .. } = ib.power_on(now, PortId(i)).unwrap() else {
+                panic!()
+            };
+            assert_eq!(at, now);
+        }
+    }
+
+    #[test]
+    fn sequencing_caps_peak_inrush() {
+        let mut seq = IceBox::new();
+        let mut unseq = IceBox::new();
+        unseq.set_sequencing(false);
+        let collect = |ib: &mut IceBox| {
+            (0..5u8)
+                .filter_map(|i| ib.power_on(SimTime::ZERO, PortId(i)))
+                .map(|e| match e {
+                    PortEffect::EnergizeAt { port, at } => (port, at),
+                    _ => panic!(),
+                })
+                .collect::<Vec<_>>()
+        };
+        let seq_times = collect(&mut seq);
+        let unseq_times = collect(&mut unseq);
+        // node inrush: 250 W for 0.3 s
+        let p_seq = IceBox::peak_inlet_watts(&seq_times, 0, 250.0, 0.3);
+        let p_unseq = IceBox::peak_inlet_watts(&unseq_times, 0, 250.0, 0.3);
+        assert_eq!(p_unseq, 1250.0, "all five inrush together without sequencing");
+        assert_eq!(p_seq, 250.0, "staggered inrush never overlaps");
+        assert!(p_unseq > INLET_CAPACITY_WATTS * 0.7, "unsequenced peak approaches the limit");
+    }
+
+    #[test]
+    fn double_power_on_is_idempotent() {
+        let mut ib = IceBox::new();
+        assert!(ib.power_on(SimTime::ZERO, PortId(0)).is_some());
+        assert!(ib.power_on(SimTime::ZERO, PortId(0)).is_none());
+        assert!(ib.relay_on(PortId(0)));
+    }
+
+    #[test]
+    fn power_off_and_reset_semantics() {
+        let mut ib = IceBox::new();
+        // reset on a dark port does nothing
+        assert!(ib.reset(PortId(3)).is_none());
+        ib.power_on(SimTime::ZERO, PortId(3));
+        assert_eq!(ib.reset(PortId(3)), Some(PortEffect::PulseReset { port: PortId(3) }));
+        assert_eq!(ib.power_off(PortId(3)), Some(PortEffect::CutPower { port: PortId(3) }));
+        assert!(ib.power_off(PortId(3)).is_none(), "already off");
+    }
+
+    #[test]
+    fn invalid_port_is_rejected() {
+        let mut ib = IceBox::new();
+        assert!(ib.power_on(SimTime::ZERO, PortId(10)).is_none());
+        assert!(ib.probe(PortId(200)).is_none());
+    }
+
+    #[test]
+    fn console_capture_keeps_last_16k() {
+        let mut ib = IceBox::new();
+        let p = PortId(2);
+        // a crashing node spews 100 KiB
+        for i in 0..2000 {
+            ib.feed_console(p, format!("Oops line {i:05}\n").as_bytes());
+        }
+        let log = ib.console_log(p);
+        assert!(log.len() <= SERIAL_LOG_CAPACITY);
+        assert!(log.contains("Oops line 01999"), "latest output retained");
+        assert!(!log.contains("Oops line 00000"), "oldest output discarded");
+        assert!(ib.console_overflow(p) > 0);
+        ib.clear_console(p);
+        assert!(ib.console_log(p).is_empty());
+    }
+
+    #[test]
+    fn probes_store_latest_reading() {
+        let mut ib = IceBox::new();
+        let p = PortId(7);
+        ib.record_probe(p, ProbeReading { temp_c: 51.0, watts: 180.0, fan_rpm: 6000.0 });
+        ib.record_probe(p, ProbeReading { temp_c: 53.5, watts: 190.0, fan_rpm: 5900.0 });
+        let r = ib.probe(p).unwrap();
+        assert_eq!(r.temp_c, 53.5);
+        assert_eq!(r.fan_rpm, 5900.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! The ICE Box™ chassis model (paper §3).
+//!
+//! "Each ICE Box provides power to 10 compute nodes and two auxiliary
+//! devices. Two 15A power inlets each provide power to five nodes and
+//! one auxiliary device. Whereas the node outlets can be power-cycled on
+//! demand, the auxiliary outlets are powered on and stay on as long as
+//! the ICE Box is receiving power. ... During the power up procedure,
+//! ICE Box also automatically sequences power, reducing the risk of
+//! power spikes."
+//!
+//! Plus per-node capabilities: a temperature probe, a power probe, a
+//! reset switch, and serial console capture with "logging and buffering
+//! (up to 16k) of the output on each serial device" for post-mortem
+//! analysis. All of it is remotely drivable over the SIMP (serial) and
+//! NIMP (network) command protocols and an SNMP-style OID table.
+//!
+//! The chassis is deliberately *stateless about the nodes themselves*:
+//! executing a command yields [`PortEffect`]s (energize outlet X at time
+//! T, pulse reset on port Y) that the cluster integration layer applies
+//! to the simulated [`cwx_hw::NodeHardware`]. That mirrors reality — the
+//! real box switches relays and samples probes; the node is a separate
+//! machine.
+
+#![warn(missing_docs)]
+
+pub mod chassis;
+pub mod protocol;
+pub mod session;
+pub mod snmp;
+
+pub use chassis::{IceBox, PortEffect, PortId, ProbeReading, NODE_PORTS, SERIAL_LOG_CAPACITY};
+pub use protocol::{parse_nimp, parse_simp, render_response, Command, PortSel, ProtoError, Response};
+pub use session::{SessionManager, MGMT_PORT_BASE};

@@ -1,0 +1,266 @@
+//! The SIMP and NIMP command protocols (paper §3.4).
+//!
+//! "There are native command protocols which can be used with ClusterWorX
+//! or other software to control ICE Box remotely. The serial ICE
+//! management protocol SIMP facilitates the serial connection of an ICE
+//! Box and the network ICE management protocol NIMP uses the onboard
+//! ethernet".
+//!
+//! The wire details are not public; we define a faithful-in-spirit text
+//! protocol with two framings over one command set:
+//!
+//! * **SIMP**: a bare command line terminated by CR (`POWER ON 3\r`) —
+//!   what a human on the serial port types.
+//! * **NIMP**: a framed datagram `NIMP1 <seq> <command>\n` carrying a
+//!   sequence number for request/response matching over the network.
+//!
+//! Both decode to [`Command`]; [`render_response`] produces the reply
+//! text in the matching framing.
+
+use std::fmt;
+
+use crate::chassis::{PortId, ProbeReading, NODE_PORTS};
+
+/// Which ports a command addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortSel {
+    /// Every node port.
+    All,
+    /// One port.
+    One(PortId),
+}
+
+/// The ICE Box command set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Energize outlet(s).
+    PowerOn(PortSel),
+    /// Cut outlet(s).
+    PowerOff(PortSel),
+    /// Off then on ("power-cycled on demand").
+    PowerCycle(PortSel),
+    /// Pulse the reset switch.
+    Reset(PortSel),
+    /// Relay + probe status of all ports.
+    Status,
+    /// Temperature readings of all ports.
+    Temps,
+    /// Dump a port's captured console log.
+    Console(PortId),
+    /// Clear a port's console log.
+    ClearLog(PortId),
+    /// Firmware version.
+    Version,
+}
+
+/// Protocol decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Unknown verb.
+    UnknownCommand(String),
+    /// Port out of range or not a number.
+    BadPort(String),
+    /// Command missing its argument.
+    MissingArgument,
+    /// NIMP frame malformed (bad magic or sequence).
+    BadFrame,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::UnknownCommand(c) => write!(f, "unknown command: {c}"),
+            ProtoError::BadPort(p) => write!(f, "bad port: {p}"),
+            ProtoError::MissingArgument => write!(f, "missing argument"),
+            ProtoError::BadFrame => write!(f, "malformed NIMP frame"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// A reply to a command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Command accepted.
+    Ok,
+    /// Status table.
+    Status(Vec<(PortId, bool, ProbeReading)>),
+    /// Temperature table.
+    Temps(Vec<(PortId, f64)>),
+    /// Console dump.
+    Console(String),
+    /// Version string.
+    Version(String),
+    /// Error.
+    Err(String),
+}
+
+fn parse_port(tok: &str) -> Result<PortId, ProtoError> {
+    let n: u8 = tok.parse().map_err(|_| ProtoError::BadPort(tok.to_string()))?;
+    if (n as usize) < NODE_PORTS {
+        Ok(PortId(n))
+    } else {
+        Err(ProtoError::BadPort(tok.to_string()))
+    }
+}
+
+fn parse_sel(tok: Option<&str>) -> Result<PortSel, ProtoError> {
+    match tok {
+        None => Err(ProtoError::MissingArgument),
+        Some(t) if t.eq_ignore_ascii_case("all") => Ok(PortSel::All),
+        Some(t) => Ok(PortSel::One(parse_port(t)?)),
+    }
+}
+
+/// Parse the shared command grammar (already stripped of framing).
+fn parse_command(line: &str) -> Result<Command, ProtoError> {
+    let mut toks = line.split_whitespace();
+    let verb = toks.next().ok_or(ProtoError::MissingArgument)?.to_ascii_uppercase();
+    match verb.as_str() {
+        "POWER" => {
+            let sub = toks.next().ok_or(ProtoError::MissingArgument)?.to_ascii_uppercase();
+            let sel = parse_sel(toks.next())?;
+            match sub.as_str() {
+                "ON" => Ok(Command::PowerOn(sel)),
+                "OFF" => Ok(Command::PowerOff(sel)),
+                "CYCLE" => Ok(Command::PowerCycle(sel)),
+                other => Err(ProtoError::UnknownCommand(format!("POWER {other}"))),
+            }
+        }
+        "RESET" => Ok(Command::Reset(parse_sel(toks.next())?)),
+        "STATUS" => Ok(Command::Status),
+        "TEMPS" => Ok(Command::Temps),
+        "CONSOLE" => {
+            let p = toks.next().ok_or(ProtoError::MissingArgument)?;
+            Ok(Command::Console(parse_port(p)?))
+        }
+        "CLEARLOG" => {
+            let p = toks.next().ok_or(ProtoError::MissingArgument)?;
+            Ok(Command::ClearLog(parse_port(p)?))
+        }
+        "VERSION" => Ok(Command::Version),
+        other => Err(ProtoError::UnknownCommand(other.to_string())),
+    }
+}
+
+/// Decode a SIMP line (serial framing: bare command, CR/LF tolerated).
+pub fn parse_simp(line: &str) -> Result<Command, ProtoError> {
+    parse_command(line.trim_end_matches(['\r', '\n']))
+}
+
+/// Decode a NIMP frame, returning the sequence number and command.
+pub fn parse_nimp(frame: &str) -> Result<(u32, Command), ProtoError> {
+    let frame = frame.trim_end_matches(['\r', '\n']);
+    let rest = frame.strip_prefix("NIMP1 ").ok_or(ProtoError::BadFrame)?;
+    let (seq, cmd) = rest.split_once(' ').ok_or(ProtoError::BadFrame)?;
+    let seq: u32 = seq.parse().map_err(|_| ProtoError::BadFrame)?;
+    Ok((seq, parse_command(cmd)?))
+}
+
+/// Render a response. For NIMP pass the request's sequence number; for
+/// SIMP pass `None`.
+pub fn render_response(seq: Option<u32>, resp: &Response) -> String {
+    let body = match resp {
+        Response::Ok => "OK".to_string(),
+        Response::Err(e) => format!("ERR {e}"),
+        Response::Version(v) => format!("OK VERSION {v}"),
+        Response::Console(log) => format!("OK CONSOLE {} bytes\n{log}", log.len()),
+        Response::Status(rows) => {
+            let mut s = String::from("OK STATUS\n");
+            for (p, on, probe) in rows {
+                s.push_str(&format!(
+                    "port {} relay={} temp={:.1}C power={:.0}W fan={:.0}rpm\n",
+                    p.0,
+                    if *on { "on" } else { "off" },
+                    probe.temp_c,
+                    probe.watts,
+                    probe.fan_rpm
+                ));
+            }
+            s
+        }
+        Response::Temps(rows) => {
+            let mut s = String::from("OK TEMPS\n");
+            for (p, t) in rows {
+                s.push_str(&format!("port {} {:.1}C\n", p.0, t));
+            }
+            s
+        }
+    };
+    match seq {
+        Some(n) => format!("NIMP1 {n} {body}\n"),
+        None => format!("{body}\r\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simp_parses_core_commands() {
+        assert_eq!(parse_simp("POWER ON 3\r").unwrap(), Command::PowerOn(PortSel::One(PortId(3))));
+        assert_eq!(parse_simp("power off all").unwrap(), Command::PowerOff(PortSel::All));
+        assert_eq!(
+            parse_simp("Power Cycle 9").unwrap(),
+            Command::PowerCycle(PortSel::One(PortId(9)))
+        );
+        assert_eq!(parse_simp("RESET 0").unwrap(), Command::Reset(PortSel::One(PortId(0))));
+        assert_eq!(parse_simp("STATUS").unwrap(), Command::Status);
+        assert_eq!(parse_simp("TEMPS").unwrap(), Command::Temps);
+        assert_eq!(parse_simp("CONSOLE 4").unwrap(), Command::Console(PortId(4)));
+        assert_eq!(parse_simp("CLEARLOG 4").unwrap(), Command::ClearLog(PortId(4)));
+        assert_eq!(parse_simp("VERSION").unwrap(), Command::Version);
+    }
+
+    #[test]
+    fn simp_rejects_bad_input() {
+        assert!(matches!(parse_simp("HALT 3"), Err(ProtoError::UnknownCommand(_))));
+        assert!(matches!(parse_simp("POWER ON"), Err(ProtoError::MissingArgument)));
+        assert!(matches!(parse_simp("POWER ON 10"), Err(ProtoError::BadPort(_))));
+        assert!(matches!(parse_simp("POWER ON x"), Err(ProtoError::BadPort(_))));
+        assert!(matches!(parse_simp("POWER FRY 3"), Err(ProtoError::UnknownCommand(_))));
+        assert!(matches!(parse_simp(""), Err(ProtoError::MissingArgument)));
+        assert!(matches!(parse_simp("CONSOLE"), Err(ProtoError::MissingArgument)));
+    }
+
+    #[test]
+    fn nimp_frames_carry_sequence_numbers() {
+        let (seq, cmd) = parse_nimp("NIMP1 77 POWER CYCLE 2\n").unwrap();
+        assert_eq!(seq, 77);
+        assert_eq!(cmd, Command::PowerCycle(PortSel::One(PortId(2))));
+    }
+
+    #[test]
+    fn nimp_rejects_bad_frames() {
+        assert_eq!(parse_nimp("POWER ON 3"), Err(ProtoError::BadFrame));
+        assert_eq!(parse_nimp("NIMP1 abc POWER ON 3"), Err(ProtoError::BadFrame));
+        assert_eq!(parse_nimp("NIMP2 1 POWER ON 3"), Err(ProtoError::BadFrame));
+        assert_eq!(parse_nimp("NIMP1 5"), Err(ProtoError::BadFrame));
+    }
+
+    #[test]
+    fn responses_render_in_both_framings() {
+        let r = Response::Version("icebox-fw-2.3".into());
+        assert_eq!(render_response(None, &r), "OK VERSION icebox-fw-2.3\r\n");
+        assert_eq!(render_response(Some(9), &r), "NIMP1 9 OK VERSION icebox-fw-2.3\n");
+    }
+
+    #[test]
+    fn status_response_renders_rows() {
+        let rows = vec![(
+            PortId(0),
+            true,
+            ProbeReading { temp_c: 48.25, watts: 142.0, fan_rpm: 6000.0 },
+        )];
+        let text = render_response(None, &Response::Status(rows));
+        assert!(text.contains("port 0 relay=on temp=48.2C power=142W fan=6000rpm"));
+    }
+
+    #[test]
+    fn round_trip_command_via_rendered_error() {
+        let text = render_response(Some(3), &Response::Err("bad port".into()));
+        assert!(text.starts_with("NIMP1 3 ERR"));
+    }
+}

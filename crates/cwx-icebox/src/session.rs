@@ -1,0 +1,419 @@
+//! Remote access sessions (paper §3.4).
+//!
+//! "Furthermore, the ICE Box provides access via telnet and ssh (v1 &
+//! v2) and native IP filtering can be used for higher security. Telnet
+//! and ssh connections can be established either with the ICE Box or
+//! with each individual device connected to the ICE Box using specific
+//! port numbers."
+//!
+//! The model: a [`SessionManager`] owns the access policy (IP allowlist,
+//! credentials, protocol enablement) and the TCP port map. Port
+//! [`MGMT_PORT_BASE`] is the box's own command shell (SIMP grammar);
+//! ports `CONSOLE_PORT_BASE + n` attach straight to device `n`'s serial
+//! console. Sessions are typed handles the transport layer (or a test)
+//! drives with lines of input.
+
+use std::collections::BTreeMap;
+
+use crate::chassis::{IceBox, PortId, NODE_PORTS};
+use crate::protocol::{parse_simp, render_response, Command, Response};
+
+/// TCP port of the box's own management shell.
+pub const MGMT_PORT_BASE: u16 = 23;
+/// TCP port attached to device 0's console; device `n` is `+n`.
+pub const CONSOLE_PORT_BASE: u16 = 7001;
+
+/// Transport protocol of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Proto {
+    /// Cleartext telnet.
+    Telnet,
+    /// SSH protocol 1.
+    SshV1,
+    /// SSH protocol 2.
+    SshV2,
+}
+
+/// A client IPv4 address (the filtering subject).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Ip(pub [u8; 4]);
+
+impl Ip {
+    /// Dotted-quad rendering.
+    pub fn to_string_dotted(self) -> String {
+        let [a, b, c, d] = self.0;
+        format!("{a}.{b}.{c}.{d}")
+    }
+}
+
+/// An allowlist rule: address + prefix length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CidrRule {
+    /// Network address.
+    pub addr: Ip,
+    /// Prefix length, 0..=32.
+    pub prefix: u8,
+}
+
+impl CidrRule {
+    /// Does `ip` fall within the rule?
+    pub fn matches(&self, ip: Ip) -> bool {
+        let p = self.prefix.min(32) as u32;
+        if p == 0 {
+            return true;
+        }
+        let a = u32::from_be_bytes(self.addr.0);
+        let b = u32::from_be_bytes(ip.0);
+        let mask = u32::MAX << (32 - p);
+        (a & mask) == (b & mask)
+    }
+}
+
+/// Session rejection reasons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessError {
+    /// Source IP not in the allowlist.
+    IpFiltered(Ip),
+    /// Wrong password.
+    BadCredentials,
+    /// The protocol is administratively disabled.
+    ProtocolDisabled(Proto),
+    /// No such TCP port on the box.
+    NoSuchPort(u16),
+    /// Too many concurrent sessions.
+    TooManySessions,
+}
+
+impl std::fmt::Display for AccessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessError::IpFiltered(ip) => write!(f, "connection from {} filtered", ip.to_string_dotted()),
+            AccessError::BadCredentials => write!(f, "authentication failed"),
+            AccessError::ProtocolDisabled(p) => write!(f, "{p:?} disabled"),
+            AccessError::NoSuchPort(p) => write!(f, "no service on port {p}"),
+            AccessError::TooManySessions => write!(f, "session limit reached"),
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+/// What a session is attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attachment {
+    /// The box's management shell.
+    Management,
+    /// A device's serial console.
+    Console(PortId),
+}
+
+/// An established session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionId(pub u32);
+
+#[derive(Debug)]
+struct Session {
+    attachment: Attachment,
+    proto: Proto,
+    from: Ip,
+}
+
+/// The access layer of one ICE Box.
+#[derive(Debug)]
+pub struct SessionManager {
+    allowlist: Vec<CidrRule>,
+    password: String,
+    telnet_enabled: bool,
+    sshv1_enabled: bool,
+    sshv2_enabled: bool,
+    max_sessions: usize,
+    sessions: BTreeMap<u32, Session>,
+    next_id: u32,
+    rejected: u64,
+}
+
+impl SessionManager {
+    /// Defaults: open allowlist, password `icebox`, all protocols on,
+    /// 16 concurrent sessions.
+    pub fn new() -> Self {
+        SessionManager {
+            allowlist: vec![CidrRule { addr: Ip([0, 0, 0, 0]), prefix: 0 }],
+            password: "icebox".to_string(),
+            telnet_enabled: true,
+            sshv1_enabled: true,
+            sshv2_enabled: true,
+            max_sessions: 16,
+            sessions: BTreeMap::new(),
+            next_id: 1,
+            rejected: 0,
+        }
+    }
+
+    /// Replace the allowlist ("native IP filtering ... for higher
+    /// security"). An empty list denies everything.
+    pub fn set_allowlist(&mut self, rules: Vec<CidrRule>) {
+        self.allowlist = rules;
+    }
+
+    /// Change the password.
+    pub fn set_password(&mut self, pw: &str) {
+        self.password = pw.to_string();
+    }
+
+    /// Enable/disable a protocol (e.g. turn telnet off at secure sites).
+    pub fn set_protocol_enabled(&mut self, proto: Proto, enabled: bool) {
+        match proto {
+            Proto::Telnet => self.telnet_enabled = enabled,
+            Proto::SshV1 => self.sshv1_enabled = enabled,
+            Proto::SshV2 => self.sshv2_enabled = enabled,
+        }
+    }
+
+    /// Sessions currently open.
+    pub fn active_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Who is connected — the "see all, know all" audit view:
+    /// `(id, attachment, protocol, source ip)` rows.
+    pub fn who(&self) -> Vec<(SessionId, Attachment, Proto, Ip)> {
+        self.sessions
+            .iter()
+            .map(|(&id, s)| (SessionId(id), s.attachment, s.proto, s.from))
+            .collect()
+    }
+
+    /// Connections rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Resolve a TCP port to its attachment.
+    pub fn attachment_for(port: u16) -> Option<Attachment> {
+        if port == MGMT_PORT_BASE || port == 22 {
+            return Some(Attachment::Management);
+        }
+        if (CONSOLE_PORT_BASE..CONSOLE_PORT_BASE + NODE_PORTS as u16).contains(&port) {
+            return Some(Attachment::Console(PortId((port - CONSOLE_PORT_BASE) as u8)));
+        }
+        None
+    }
+
+    /// Attempt to open a session.
+    pub fn connect(
+        &mut self,
+        from: Ip,
+        proto: Proto,
+        tcp_port: u16,
+        password: &str,
+    ) -> Result<SessionId, AccessError> {
+        let reject = |this: &mut Self, e: AccessError| {
+            this.rejected += 1;
+            Err(e)
+        };
+        if !self.allowlist.iter().any(|r| r.matches(from)) {
+            return reject(self, AccessError::IpFiltered(from));
+        }
+        let enabled = match proto {
+            Proto::Telnet => self.telnet_enabled,
+            Proto::SshV1 => self.sshv1_enabled,
+            Proto::SshV2 => self.sshv2_enabled,
+        };
+        if !enabled {
+            return reject(self, AccessError::ProtocolDisabled(proto));
+        }
+        let Some(attachment) = Self::attachment_for(tcp_port) else {
+            return reject(self, AccessError::NoSuchPort(tcp_port));
+        };
+        if password != self.password {
+            return reject(self, AccessError::BadCredentials);
+        }
+        if self.sessions.len() >= self.max_sessions {
+            return reject(self, AccessError::TooManySessions);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.sessions.insert(id, Session { attachment, proto, from });
+        Ok(SessionId(id))
+    }
+
+    /// Close a session.
+    pub fn disconnect(&mut self, id: SessionId) -> bool {
+        self.sessions.remove(&id.0).is_some()
+    }
+
+    /// Drive one line of input through a session against a chassis.
+    /// Management sessions speak the SIMP grammar; console sessions
+    /// return the captured log (input on a console session would be
+    /// forwarded to the node's serial RX, which the simulation models as
+    /// a no-op acknowledgement).
+    pub fn input(
+        &mut self,
+        ib: &mut IceBox,
+        now: cwx_util::time::SimTime,
+        id: SessionId,
+        line: &str,
+    ) -> Option<String> {
+        let session = self.sessions.get(&id.0)?;
+        match session.attachment {
+            Attachment::Management => {
+                let out = match parse_simp(line) {
+                    Ok(Command::Status) => {
+                        let rows = (0..NODE_PORTS as u8)
+                            .map(|i| {
+                                let p = PortId(i);
+                                (p, ib.relay_on(p), ib.probe(p).unwrap_or_default())
+                            })
+                            .collect();
+                        render_response(None, &Response::Status(rows))
+                    }
+                    Ok(Command::Version) => {
+                        render_response(None, &Response::Version(ib.firmware_version().into()))
+                    }
+                    Ok(Command::PowerOn(sel)) => {
+                        for p in expand(sel) {
+                            ib.power_on(now, p);
+                        }
+                        render_response(None, &Response::Ok)
+                    }
+                    Ok(Command::PowerOff(sel)) => {
+                        for p in expand(sel) {
+                            ib.power_off(p);
+                        }
+                        render_response(None, &Response::Ok)
+                    }
+                    Ok(Command::Console(p)) => {
+                        render_response(None, &Response::Console(ib.console_log(p)))
+                    }
+                    Ok(_) => render_response(None, &Response::Ok),
+                    Err(e) => render_response(None, &Response::Err(e.to_string())),
+                };
+                Some(out)
+            }
+            Attachment::Console(p) => Some(ib.console_log(p)),
+        }
+    }
+}
+
+fn expand(sel: crate::protocol::PortSel) -> Vec<PortId> {
+    match sel {
+        crate::protocol::PortSel::All => (0..NODE_PORTS as u8).map(PortId).collect(),
+        crate::protocol::PortSel::One(p) => vec![p],
+    }
+}
+
+impl Default for SessionManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwx_util::time::SimTime;
+
+    const HOME: Ip = Ip([10, 0, 0, 5]);
+
+    #[test]
+    fn cidr_matching() {
+        let lab = CidrRule { addr: Ip([10, 0, 0, 0]), prefix: 24 };
+        assert!(lab.matches(Ip([10, 0, 0, 99])));
+        assert!(!lab.matches(Ip([10, 0, 1, 1])));
+        let all = CidrRule { addr: Ip([0, 0, 0, 0]), prefix: 0 };
+        assert!(all.matches(Ip([192, 168, 1, 1])));
+        let host = CidrRule { addr: HOME, prefix: 32 };
+        assert!(host.matches(HOME));
+        assert!(!host.matches(Ip([10, 0, 0, 6])));
+    }
+
+    #[test]
+    fn ip_filtering_rejects_outsiders() {
+        let mut sm = SessionManager::new();
+        sm.set_allowlist(vec![CidrRule { addr: Ip([10, 0, 0, 0]), prefix: 8 }]);
+        assert!(sm.connect(Ip([10, 1, 2, 3]), Proto::SshV2, MGMT_PORT_BASE, "icebox").is_ok());
+        assert_eq!(
+            sm.connect(Ip([192, 168, 0, 1]), Proto::SshV2, MGMT_PORT_BASE, "icebox"),
+            Err(AccessError::IpFiltered(Ip([192, 168, 0, 1])))
+        );
+        assert_eq!(sm.rejected(), 1);
+    }
+
+    #[test]
+    fn credentials_and_protocol_gates() {
+        let mut sm = SessionManager::new();
+        assert_eq!(
+            sm.connect(HOME, Proto::Telnet, MGMT_PORT_BASE, "wrong"),
+            Err(AccessError::BadCredentials)
+        );
+        sm.set_protocol_enabled(Proto::Telnet, false);
+        assert_eq!(
+            sm.connect(HOME, Proto::Telnet, MGMT_PORT_BASE, "icebox"),
+            Err(AccessError::ProtocolDisabled(Proto::Telnet))
+        );
+        // ssh still fine
+        assert!(sm.connect(HOME, Proto::SshV2, MGMT_PORT_BASE, "icebox").is_ok());
+    }
+
+    #[test]
+    fn per_device_ports_attach_to_consoles() {
+        assert_eq!(SessionManager::attachment_for(MGMT_PORT_BASE), Some(Attachment::Management));
+        assert_eq!(SessionManager::attachment_for(22), Some(Attachment::Management));
+        assert_eq!(
+            SessionManager::attachment_for(CONSOLE_PORT_BASE + 3),
+            Some(Attachment::Console(PortId(3)))
+        );
+        assert_eq!(SessionManager::attachment_for(CONSOLE_PORT_BASE + 10), None);
+        assert_eq!(SessionManager::attachment_for(80), None);
+    }
+
+    #[test]
+    fn management_session_executes_commands() {
+        let mut sm = SessionManager::new();
+        let mut ib = IceBox::new();
+        let sid = sm.connect(HOME, Proto::SshV2, MGMT_PORT_BASE, "icebox").unwrap();
+        let out = sm.input(&mut ib, SimTime::ZERO, sid, "POWER ON 4").unwrap();
+        assert!(out.starts_with("OK"));
+        assert!(ib.relay_on(PortId(4)));
+        let out = sm.input(&mut ib, SimTime::ZERO, sid, "BOGUS").unwrap();
+        assert!(out.starts_with("ERR"));
+        assert!(sm.disconnect(sid));
+        assert!(!sm.disconnect(sid));
+        assert!(sm.input(&mut ib, SimTime::ZERO, sid, "STATUS").is_none());
+    }
+
+    #[test]
+    fn console_session_reads_device_output() {
+        let mut sm = SessionManager::new();
+        let mut ib = IceBox::new();
+        ib.feed_console(PortId(2), b"LILO boot:\n");
+        let sid = sm.connect(HOME, Proto::Telnet, CONSOLE_PORT_BASE + 2, "icebox").unwrap();
+        let out = sm.input(&mut ib, SimTime::ZERO, sid, "").unwrap();
+        assert!(out.contains("LILO boot:"));
+    }
+
+    #[test]
+    fn who_lists_active_sessions() {
+        let mut sm = SessionManager::new();
+        let a = sm.connect(HOME, Proto::SshV2, MGMT_PORT_BASE, "icebox").unwrap();
+        let _b = sm.connect(Ip([10, 0, 0, 9]), Proto::Telnet, CONSOLE_PORT_BASE, "icebox").unwrap();
+        let who = sm.who();
+        assert_eq!(who.len(), 2);
+        assert!(who.iter().any(|(id, at, proto, ip)| {
+            *id == a && *at == Attachment::Management && *proto == Proto::SshV2 && *ip == HOME
+        }));
+        assert_eq!(sm.active_sessions(), 2);
+    }
+
+    #[test]
+    fn session_limit_enforced() {
+        let mut sm = SessionManager::new();
+        for _ in 0..16 {
+            sm.connect(HOME, Proto::SshV2, MGMT_PORT_BASE, "icebox").unwrap();
+        }
+        assert_eq!(
+            sm.connect(HOME, Proto::SshV2, MGMT_PORT_BASE, "icebox"),
+            Err(AccessError::TooManySessions)
+        );
+    }
+}

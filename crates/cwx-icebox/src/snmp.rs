@@ -1,0 +1,193 @@
+//! SNMP-style management surface (paper §3.4: "the ICE Box is SNMP
+//! compliant, so ICE Boxes can be controlled through standard SNMP
+//! management software").
+//!
+//! A miniature SNMP agent: a table of OIDs under a private enterprise
+//! prefix, with `get`, `set` and `walk` (get-next iteration). Relay
+//! state is read-write; probes are read-only.
+
+use crate::chassis::{IceBox, PortEffect, PortId, NODE_PORTS};
+use cwx_util::time::SimTime;
+
+/// The enterprise prefix all ICE Box OIDs live under
+/// (`iso.org.dod.internet.private.enterprises.<lnxi>`).
+pub const ENTERPRISE_PREFIX: &str = "1.3.6.1.4.1.7777";
+
+/// Typed SNMP values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnmpValue {
+    /// INTEGER.
+    Int(i64),
+    /// Gauge (floating-point convenience for probes).
+    Gauge(f64),
+    /// OCTET STRING.
+    Str(String),
+}
+
+/// SNMP operation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnmpError {
+    /// OID does not exist.
+    NoSuchObject,
+    /// OID exists but is read-only.
+    NotWritable,
+    /// Value has the wrong type for the OID.
+    WrongType,
+}
+
+impl std::fmt::Display for SnmpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnmpError::NoSuchObject => write!(f, "noSuchObject"),
+            SnmpError::NotWritable => write!(f, "notWritable"),
+            SnmpError::WrongType => write!(f, "wrongType"),
+        }
+    }
+}
+
+impl std::error::Error for SnmpError {}
+
+/// Columns in the port table.
+const COL_RELAY: u32 = 1;
+const COL_TEMP: u32 = 2;
+const COL_WATTS: u32 = 3;
+const COL_FAN: u32 = 4;
+
+fn oid_for(col: u32, port: u8) -> String {
+    format!("{ENTERPRISE_PREFIX}.1.{col}.{port}")
+}
+
+/// Parse `<prefix>.1.<col>.<port>`.
+fn parse_oid(oid: &str) -> Option<(u32, u8)> {
+    let rest = oid.strip_prefix(ENTERPRISE_PREFIX)?.strip_prefix(".1.")?;
+    let (col, port) = rest.split_once('.')?;
+    let col: u32 = col.parse().ok()?;
+    let port: u8 = port.parse().ok()?;
+    ((1..=4).contains(&col) && (port as usize) < NODE_PORTS).then_some((col, port))
+}
+
+/// GET an OID.
+pub fn get(ib: &IceBox, oid: &str) -> Result<SnmpValue, SnmpError> {
+    if oid == format!("{ENTERPRISE_PREFIX}.2.0") {
+        return Ok(SnmpValue::Str(ib.firmware_version().to_string()));
+    }
+    let (col, port) = parse_oid(oid).ok_or(SnmpError::NoSuchObject)?;
+    let p = PortId(port);
+    match col {
+        COL_RELAY => Ok(SnmpValue::Int(ib.relay_on(p) as i64)),
+        COL_TEMP => Ok(SnmpValue::Gauge(ib.probe(p).ok_or(SnmpError::NoSuchObject)?.temp_c)),
+        COL_WATTS => Ok(SnmpValue::Gauge(ib.probe(p).ok_or(SnmpError::NoSuchObject)?.watts)),
+        COL_FAN => Ok(SnmpValue::Gauge(ib.probe(p).ok_or(SnmpError::NoSuchObject)?.fan_rpm)),
+        _ => Err(SnmpError::NoSuchObject),
+    }
+}
+
+/// SET an OID. Only the relay column is writable; returns the effect to
+/// apply (None when the relay is already in the requested state).
+pub fn set(
+    ib: &mut IceBox,
+    now: SimTime,
+    oid: &str,
+    value: &SnmpValue,
+) -> Result<Option<PortEffect>, SnmpError> {
+    let (col, port) = parse_oid(oid).ok_or(SnmpError::NoSuchObject)?;
+    if col != COL_RELAY {
+        return Err(SnmpError::NotWritable);
+    }
+    let SnmpValue::Int(v) = value else {
+        return Err(SnmpError::WrongType);
+    };
+    let p = PortId(port);
+    Ok(match v {
+        0 => ib.power_off(p),
+        _ => ib.power_on(now, p),
+    })
+}
+
+/// Walk the whole port table in OID order: `(oid, value)` pairs.
+pub fn walk(ib: &IceBox) -> Vec<(String, SnmpValue)> {
+    let mut out = Vec::with_capacity(4 * NODE_PORTS + 1);
+    for col in 1..=4u32 {
+        for port in 0..NODE_PORTS as u8 {
+            let oid = oid_for(col, port);
+            if let Ok(v) = get(ib, &oid) {
+                out.push((oid, v));
+            }
+        }
+    }
+    out.push((format!("{ENTERPRISE_PREFIX}.2.0"), SnmpValue::Str(ib.firmware_version().into())));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chassis::ProbeReading;
+
+    #[test]
+    fn get_relay_and_probes() {
+        let mut ib = IceBox::new();
+        ib.power_on(SimTime::ZERO, PortId(3));
+        ib.record_probe(PortId(3), ProbeReading { temp_c: 47.5, watts: 150.0, fan_rpm: 6000.0 });
+        assert_eq!(get(&ib, &oid_for(COL_RELAY, 3)).unwrap(), SnmpValue::Int(1));
+        assert_eq!(get(&ib, &oid_for(COL_TEMP, 3)).unwrap(), SnmpValue::Gauge(47.5));
+        assert_eq!(get(&ib, &oid_for(COL_WATTS, 3)).unwrap(), SnmpValue::Gauge(150.0));
+        assert_eq!(get(&ib, &oid_for(COL_FAN, 3)).unwrap(), SnmpValue::Gauge(6000.0));
+    }
+
+    #[test]
+    fn version_scalar() {
+        let ib = IceBox::new();
+        assert_eq!(
+            get(&ib, "1.3.6.1.4.1.7777.2.0").unwrap(),
+            SnmpValue::Str("icebox-fw-2.3".into())
+        );
+    }
+
+    #[test]
+    fn set_relay_produces_effects() {
+        let mut ib = IceBox::new();
+        let eff = set(&mut ib, SimTime::ZERO, &oid_for(COL_RELAY, 2), &SnmpValue::Int(1)).unwrap();
+        assert!(matches!(eff, Some(PortEffect::EnergizeAt { port: PortId(2), .. })));
+        assert!(ib.relay_on(PortId(2)));
+        let eff = set(&mut ib, SimTime::ZERO, &oid_for(COL_RELAY, 2), &SnmpValue::Int(0)).unwrap();
+        assert_eq!(eff, Some(PortEffect::CutPower { port: PortId(2) }));
+    }
+
+    #[test]
+    fn probes_are_read_only() {
+        let mut ib = IceBox::new();
+        assert_eq!(
+            set(&mut ib, SimTime::ZERO, &oid_for(COL_TEMP, 0), &SnmpValue::Gauge(1.0)),
+            Err(SnmpError::NotWritable)
+        );
+    }
+
+    #[test]
+    fn type_checking_on_set() {
+        let mut ib = IceBox::new();
+        assert_eq!(
+            set(&mut ib, SimTime::ZERO, &oid_for(COL_RELAY, 0), &SnmpValue::Str("on".into())),
+            Err(SnmpError::WrongType)
+        );
+    }
+
+    #[test]
+    fn unknown_oids_rejected() {
+        let ib = IceBox::new();
+        assert_eq!(get(&ib, "1.3.6.1.2.1.1.1.0"), Err(SnmpError::NoSuchObject));
+        assert_eq!(get(&ib, &oid_for(9, 0)), Err(SnmpError::NoSuchObject));
+        assert_eq!(get(&ib, &oid_for(1, 10)), Err(SnmpError::NoSuchObject));
+    }
+
+    #[test]
+    fn walk_covers_full_table() {
+        let ib = IceBox::new();
+        let rows = walk(&ib);
+        assert_eq!(rows.len(), 4 * NODE_PORTS + 1);
+        // ordered by column then port
+        assert_eq!(rows[0].0, oid_for(1, 0));
+        assert_eq!(rows[NODE_PORTS].0, oid_for(2, 0));
+        assert!(matches!(rows.last().unwrap().1, SnmpValue::Str(_)));
+    }
+}

@@ -1,0 +1,184 @@
+//! The consolidation stage (paper §5.3.2).
+//!
+//! "The consolidation stage is responsible for bringing the data from
+//! multiple sources together to determine if values have changed, and
+//! for filtering. In the interest of efficiency this task is exclusively
+//! performed on a node ... The consolidation process distinguishes
+//! between static and dynamic monitoring data and transmits only data
+//! that has changed since the last transmission. This reduces the
+//! amount of transferred data substantially. Furthermore, monitor data
+//! is cached so that simultaneous requests can be served using the same
+//! set of data."
+
+use std::collections::BTreeMap;
+
+use crate::monitor::{MonitorClass, MonitorKey, Value};
+
+/// Counters explaining where the byte savings came from (experiment E7).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConsolidationStats {
+    /// Values evaluated.
+    pub evaluated: u64,
+    /// Values suppressed because they were static and already sent.
+    pub suppressed_static: u64,
+    /// Values suppressed because they had not changed.
+    pub suppressed_unchanged: u64,
+    /// Values passed to transmission.
+    pub emitted: u64,
+    /// Requests served from the snapshot cache without re-gathering.
+    pub cache_hits: u64,
+}
+
+/// Per-monitor change tracking.
+#[derive(Debug, Default)]
+pub struct Consolidator {
+    last_sent: BTreeMap<MonitorKey, Value>,
+    static_sent: BTreeMap<MonitorKey, bool>,
+    delta_enabled: bool,
+    stats: ConsolidationStats,
+}
+
+impl Consolidator {
+    /// A consolidator with delta suppression enabled (the product
+    /// behaviour). Pass `delta_enabled = false` for the E7 ablation
+    /// (every value transmitted every tick).
+    pub fn new(delta_enabled: bool) -> Self {
+        Consolidator { delta_enabled, ..Default::default() }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ConsolidationStats {
+        self.stats
+    }
+
+    /// Record a cache-served request (the agent increments this when a
+    /// second consumer asks within the cache window).
+    pub fn note_cache_hit(&mut self) {
+        self.stats.cache_hits += 1;
+    }
+
+    /// Decide whether `(key, value)` must be transmitted this tick, and
+    /// record it as sent if so.
+    pub fn offer(&mut self, key: &MonitorKey, class: MonitorClass, value: &Value) -> bool {
+        self.stats.evaluated += 1;
+        if !self.delta_enabled {
+            self.stats.emitted += 1;
+            self.last_sent.insert(key.clone(), value.clone());
+            return true;
+        }
+        match class {
+            MonitorClass::Static => {
+                let sent = self.static_sent.entry(key.clone()).or_insert(false);
+                if *sent {
+                    self.stats.suppressed_static += 1;
+                    false
+                } else {
+                    *sent = true;
+                    self.last_sent.insert(key.clone(), value.clone());
+                    self.stats.emitted += 1;
+                    true
+                }
+            }
+            MonitorClass::Dynamic => match self.last_sent.get(key) {
+                Some(prev) if prev.same_as(value) => {
+                    self.stats.suppressed_unchanged += 1;
+                    false
+                }
+                _ => {
+                    self.last_sent.insert(key.clone(), value.clone());
+                    self.stats.emitted += 1;
+                    true
+                }
+            },
+        }
+    }
+
+    /// Forget everything (e.g. after the server asks for a full resync
+    /// or the node reboots): the next tick retransmits every value.
+    pub fn reset(&mut self) {
+        self.last_sent.clear();
+        self.static_sent.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> MonitorKey {
+        MonitorKey::new(s)
+    }
+
+    #[test]
+    fn static_values_sent_exactly_once() {
+        let mut c = Consolidator::new(true);
+        let k = key("mem.total");
+        assert!(c.offer(&k, MonitorClass::Static, &Value::Num(1024.0)));
+        for _ in 0..10 {
+            assert!(!c.offer(&k, MonitorClass::Static, &Value::Num(1024.0)));
+        }
+        assert_eq!(c.stats().suppressed_static, 10);
+        assert_eq!(c.stats().emitted, 1);
+    }
+
+    #[test]
+    fn dynamic_values_sent_on_change_only() {
+        let mut c = Consolidator::new(true);
+        let k = key("mem.free");
+        assert!(c.offer(&k, MonitorClass::Dynamic, &Value::Num(100.0)));
+        assert!(!c.offer(&k, MonitorClass::Dynamic, &Value::Num(100.0)));
+        assert!(c.offer(&k, MonitorClass::Dynamic, &Value::Num(90.0)));
+        assert!(!c.offer(&k, MonitorClass::Dynamic, &Value::Num(90.0)));
+        assert_eq!(c.stats().emitted, 2);
+        assert_eq!(c.stats().suppressed_unchanged, 2);
+    }
+
+    #[test]
+    fn ablation_mode_transmits_everything() {
+        let mut c = Consolidator::new(false);
+        let k = key("mem.free");
+        for _ in 0..5 {
+            assert!(c.offer(&k, MonitorClass::Dynamic, &Value::Num(1.0)));
+        }
+        let k2 = key("mem.total");
+        for _ in 0..5 {
+            assert!(c.offer(&k2, MonitorClass::Static, &Value::Num(1.0)));
+        }
+        assert_eq!(c.stats().emitted, 10);
+        assert_eq!(c.stats().suppressed_unchanged, 0);
+        assert_eq!(c.stats().suppressed_static, 0);
+    }
+
+    #[test]
+    fn reset_forces_full_retransmission() {
+        let mut c = Consolidator::new(true);
+        let ks = key("mem.total");
+        let kd = key("mem.free");
+        assert!(c.offer(&ks, MonitorClass::Static, &Value::Num(1.0)));
+        assert!(c.offer(&kd, MonitorClass::Dynamic, &Value::Num(2.0)));
+        c.reset();
+        assert!(c.offer(&ks, MonitorClass::Static, &Value::Num(1.0)));
+        assert!(c.offer(&kd, MonitorClass::Dynamic, &Value::Num(2.0)));
+    }
+
+    #[test]
+    fn text_values_delta_compare() {
+        let mut c = Consolidator::new(true);
+        let k = key("site.status");
+        assert!(c.offer(&k, MonitorClass::Dynamic, &Value::Text("ok".into())));
+        assert!(!c.offer(&k, MonitorClass::Dynamic, &Value::Text("ok".into())));
+        assert!(c.offer(&k, MonitorClass::Dynamic, &Value::Text("degraded".into())));
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let mut c = Consolidator::new(true);
+        let k = key("x");
+        c.offer(&k, MonitorClass::Dynamic, &Value::Num(1.0));
+        c.offer(&k, MonitorClass::Dynamic, &Value::Num(1.0));
+        c.offer(&k, MonitorClass::Dynamic, &Value::Num(2.0));
+        let s = c.stats();
+        assert_eq!(s.evaluated, 3);
+        assert_eq!(s.emitted + s.suppressed_unchanged + s.suppressed_static, s.evaluated);
+    }
+}

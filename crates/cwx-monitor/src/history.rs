@@ -1,0 +1,277 @@
+//! Server-side time-series storage for historical graphing.
+//!
+//! "Historical graphing allows the administrator to chart monitoring
+//! values over time. The administrator can view cluster use and
+//! performance trends over a selected time interval, analyze the
+//! relationships between monitored values, or compare performance
+//! between nodes." (paper §5.1)
+//!
+//! [`HistoryStore`] keeps a bounded ring of `(time, value)` samples per
+//! `(node, monitor)` series and answers range queries, latest-value
+//! queries and fixed-bucket downsampling (what a chart widget pulls).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use cwx_util::time::SimTime;
+
+use crate::monitor::MonitorKey;
+
+/// One stored sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Sample time.
+    pub time: SimTime,
+    /// Numeric value (text monitors store their last value elsewhere;
+    /// charts are numeric).
+    pub value: f64,
+}
+
+/// A downsampled chart bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// Bucket start time.
+    pub start: SimTime,
+    /// Samples that landed in the bucket.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Mean value.
+    pub mean: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+/// Bounded per-series time-series store.
+#[derive(Debug)]
+pub struct HistoryStore {
+    series: BTreeMap<(u32, MonitorKey), VecDeque<Sample>>,
+    capacity_per_series: usize,
+    total_samples: u64,
+}
+
+impl HistoryStore {
+    /// A store retaining at most `capacity_per_series` samples per
+    /// `(node, monitor)` series.
+    pub fn new(capacity_per_series: usize) -> Self {
+        assert!(capacity_per_series > 0);
+        HistoryStore { series: BTreeMap::new(), capacity_per_series, total_samples: 0 }
+    }
+
+    /// Record a sample (drops the oldest when the series is full).
+    pub fn record(&mut self, node: u32, key: &MonitorKey, time: SimTime, value: f64) {
+        let q = self.series.entry((node, key.clone())).or_default();
+        if q.len() == self.capacity_per_series {
+            q.pop_front();
+        }
+        q.push_back(Sample { time, value });
+        self.total_samples += 1;
+    }
+
+    /// Number of distinct series.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Total samples ever recorded (including evicted ones).
+    pub fn total_samples(&self) -> u64 {
+        self.total_samples
+    }
+
+    /// The latest sample of a series.
+    pub fn latest(&self, node: u32, key: &MonitorKey) -> Option<Sample> {
+        self.series.get(&(node, key.clone())).and_then(|q| q.back().copied())
+    }
+
+    /// Samples within `[from, to]`, oldest first.
+    pub fn range(&self, node: u32, key: &MonitorKey, from: SimTime, to: SimTime) -> Vec<Sample> {
+        self.series
+            .get(&(node, key.clone()))
+            .map(|q| q.iter().filter(|s| s.time >= from && s.time <= to).copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Downsample a range into `buckets` fixed-width buckets (chart
+    /// rendering). Empty buckets are omitted.
+    pub fn downsample(
+        &self,
+        node: u32,
+        key: &MonitorKey,
+        from: SimTime,
+        to: SimTime,
+        buckets: usize,
+    ) -> Vec<Bucket> {
+        if buckets == 0 || to <= from {
+            return Vec::new();
+        }
+        let span = to.since(from).as_nanos();
+        let width = (span / buckets as u64).max(1);
+        let samples = self.range(node, key, from, to);
+        let mut out: Vec<Bucket> = Vec::new();
+        for s in samples {
+            let idx = ((s.time.since(from).as_nanos()) / width).min(buckets as u64 - 1);
+            let start = SimTime::from_nanos(from.as_nanos() + idx * width);
+            match out.last_mut() {
+                Some(b) if b.start == start => {
+                    b.count += 1;
+                    b.min = b.min.min(s.value);
+                    b.max = b.max.max(s.value);
+                    // incremental mean
+                    b.mean += (s.value - b.mean) / b.count as f64;
+                }
+                _ => out.push(Bucket { start, count: 1, min: s.value, mean: s.value, max: s.value }),
+            }
+        }
+        out
+    }
+
+    /// Compare the latest values of one monitor across nodes ("compare
+    /// performance between nodes").
+    pub fn latest_across_nodes(&self, key: &MonitorKey) -> Vec<(u32, Sample)> {
+        self.series
+            .iter()
+            .filter(|((_, k), _)| k == key)
+            .filter_map(|((n, _), q)| q.back().map(|s| (*n, *s)))
+            .collect()
+    }
+
+    /// Drop a node's series (node removed from the cluster).
+    pub fn forget_node(&mut self, node: u32) {
+        self.series.retain(|(n, _), _| *n != node);
+    }
+
+    /// Export one series as CSV (`time_secs,value` rows with a header) —
+    /// the egress path for external charting tools.
+    pub fn export_csv(&self, node: u32, key: &MonitorKey) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("time_secs,value\n");
+        for s in self.range(node, key, SimTime::ZERO, SimTime::MAX) {
+            let _ = writeln!(out, "{:.3},{}", s.time.as_secs_f64(), s.value);
+        }
+        out
+    }
+
+    /// Export every series of a node as CSV (`monitor,time_secs,value`).
+    pub fn export_node_csv(&self, node: u32) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("monitor,time_secs,value\n");
+        for ((n, key), q) in &self.series {
+            if *n != node {
+                continue;
+            }
+            for s in q {
+                let _ = writeln!(out, "{},{:.3},{}", key, s.time.as_secs_f64(), s.value);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwx_util::time::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    fn key() -> MonitorKey {
+        MonitorKey::new("cpu.util_pct")
+    }
+
+    #[test]
+    fn record_and_latest() {
+        let mut h = HistoryStore::new(100);
+        h.record(1, &key(), t(1), 10.0);
+        h.record(1, &key(), t(2), 20.0);
+        let latest = h.latest(1, &key()).unwrap();
+        assert_eq!(latest.time, t(2));
+        assert_eq!(latest.value, 20.0);
+        assert!(h.latest(2, &key()).is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut h = HistoryStore::new(3);
+        for i in 0..5 {
+            h.record(1, &key(), t(i), i as f64);
+        }
+        let all = h.range(1, &key(), t(0), t(100));
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].value, 2.0);
+        assert_eq!(h.total_samples(), 5);
+    }
+
+    #[test]
+    fn range_is_inclusive() {
+        let mut h = HistoryStore::new(100);
+        for i in 0..10 {
+            h.record(1, &key(), t(i), i as f64);
+        }
+        let r = h.range(1, &key(), t(3), t(6));
+        assert_eq!(r.len(), 4);
+        assert_eq!(r[0].value, 3.0);
+        assert_eq!(r[3].value, 6.0);
+    }
+
+    #[test]
+    fn downsample_buckets_min_mean_max() {
+        let mut h = HistoryStore::new(1000);
+        // 100 samples over 100s, values 0..99
+        for i in 0..100 {
+            h.record(1, &key(), t(i), i as f64);
+        }
+        let buckets = h.downsample(1, &key(), t(0), t(100), 10);
+        assert_eq!(buckets.len(), 10);
+        let b0 = &buckets[0];
+        assert_eq!(b0.count, 10);
+        assert_eq!(b0.min, 0.0);
+        assert_eq!(b0.max, 9.0);
+        assert!((b0.mean - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downsample_edge_cases() {
+        let h = HistoryStore::new(10);
+        assert!(h.downsample(1, &key(), t(0), t(10), 0).is_empty());
+        assert!(h.downsample(1, &key(), t(10), t(0), 5).is_empty());
+        assert!(h.downsample(1, &key(), t(0), t(10), 5).is_empty(), "no data -> no buckets");
+    }
+
+    #[test]
+    fn cross_node_comparison() {
+        let mut h = HistoryStore::new(10);
+        h.record(1, &key(), t(1), 10.0);
+        h.record(2, &key(), t(1), 90.0);
+        h.record(2, &MonitorKey::new("mem.free"), t(1), 5.0);
+        let rows = h.latest_across_nodes(&key());
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().any(|(n, s)| *n == 2 && s.value == 90.0));
+    }
+
+    #[test]
+    fn csv_export_round_trips_visually() {
+        let mut h = HistoryStore::new(10);
+        h.record(1, &key(), t(5), 42.5);
+        h.record(1, &key(), t(10), 43.0);
+        h.record(1, &MonitorKey::new("mem.free"), t(5), 1000.0);
+        let csv = h.export_csv(1, &key());
+        assert_eq!(csv, "time_secs,value\n5.000,42.5\n10.000,43\n");
+        let all = h.export_node_csv(1);
+        assert!(all.starts_with("monitor,time_secs,value\n"));
+        assert!(all.contains("cpu.util_pct,5.000,42.5"));
+        assert!(all.contains("mem.free,5.000,1000"));
+        assert_eq!(h.export_csv(9, &key()), "time_secs,value\n");
+    }
+
+    #[test]
+    fn forget_node_removes_series() {
+        let mut h = HistoryStore::new(10);
+        h.record(1, &key(), t(1), 1.0);
+        h.record(2, &key(), t(1), 2.0);
+        h.forget_node(1);
+        assert!(h.latest(1, &key()).is_none());
+        assert!(h.latest(2, &key()).is_some());
+        assert_eq!(h.series_count(), 1);
+    }
+}

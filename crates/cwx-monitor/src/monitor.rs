@@ -1,0 +1,411 @@
+//! The monitor registry: built-in monitors and plug-ins.
+//!
+//! "ClusterWorX can virtually monitor any system function including CPU
+//! usage, CPU type, network bandwidth, memory usage, disk I/O and system
+//! uptime. It comes standard with over 40 monitors built in. ... In
+//! addition, ClusterWorX offers plug-in support so administrators can
+//! include their own monitors. ... as long as it resides in the
+//! ClusterWorX plug-in directory it will be recognized by the system
+//! automatically."
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::snapshot::Snapshot;
+
+/// A monitor's identity, e.g. `"cpu.util"` or `"net.eth0.rx_rate"`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MonitorKey(pub String);
+
+impl MonitorKey {
+    /// Build from anything stringy.
+    pub fn new(s: impl Into<String>) -> Self {
+        MonitorKey(s.into())
+    }
+}
+
+impl fmt::Display for MonitorKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Whether a value ever changes after boot. The consolidation stage
+/// "distinguishes between static and dynamic monitoring data" and sends
+/// static values once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorClass {
+    /// Fixed for the life of the boot (total RAM, CPU count, CPU type).
+    Static,
+    /// Changes over time.
+    Dynamic,
+}
+
+/// A monitored value. Text keeps the platform-independent,
+/// human-readable representation the paper insists on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A numeric reading.
+    Num(f64),
+    /// A textual reading (CPU type, kernel version, ...).
+    Text(String),
+}
+
+impl Value {
+    /// Numeric accessor.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            Value::Text(_) => None,
+        }
+    }
+
+    /// Render for the text wire format.
+    pub fn render(&self) -> String {
+        match self {
+            // trim trailing zeros so unchanged values render identically
+            Value::Num(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    format!("{}", *x as i64)
+                } else {
+                    format!("{x:.3}")
+                }
+            }
+            Value::Text(s) => s.clone(),
+        }
+    }
+
+    /// Equality for change detection (numeric values compare exactly;
+    /// the gatherers produce bit-identical numbers for unchanged
+    /// sources).
+    pub fn same_as(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Num(a), Value::Num(b)) => a == b || (a.is_nan() && b.is_nan()),
+            (Value::Text(a), Value::Text(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// The extraction function of a monitor: a pure function of the
+/// snapshot. Plug-ins are exactly this signature, which models "any
+/// program, script (shell, perl, etc.)" producing a value.
+pub type ExtractFn = Box<dyn FnMut(&Snapshot) -> Option<Value> + Send>;
+
+/// A registered monitor.
+pub struct MonitorDef {
+    /// Identity.
+    pub key: MonitorKey,
+    /// Static/dynamic classification.
+    pub class: MonitorClass,
+    /// Unit label for display ("kB", "%", "°C", ...).
+    pub unit: &'static str,
+    /// Whether this came from the plug-in directory.
+    pub plugin: bool,
+    extract: ExtractFn,
+}
+
+impl fmt::Debug for MonitorDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MonitorDef")
+            .field("key", &self.key)
+            .field("class", &self.class)
+            .field("unit", &self.unit)
+            .field("plugin", &self.plugin)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MonitorDef {
+    /// Evaluate the monitor against a snapshot.
+    pub fn extract(&mut self, snap: &Snapshot) -> Option<Value> {
+        (self.extract)(snap)
+    }
+}
+
+/// The set of monitors an agent evaluates each tick.
+#[derive(Debug, Default)]
+pub struct Registry {
+    monitors: BTreeMap<MonitorKey, MonitorDef>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The registry with all built-in monitors for the given interface
+    /// names (typically `["lo", "eth0"]`).
+    pub fn with_builtins(interfaces: &[&str]) -> Self {
+        let mut r = Self::new();
+        r.install_builtins(interfaces);
+        r
+    }
+
+    /// Number of registered monitors.
+    pub fn len(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// True when no monitors are registered.
+    pub fn is_empty(&self) -> bool {
+        self.monitors.is_empty()
+    }
+
+    /// Iterate (in key order — deterministic wire layout).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut MonitorDef> {
+        self.monitors.values_mut()
+    }
+
+    /// Look up a monitor.
+    pub fn get(&self, key: &str) -> Option<&MonitorDef> {
+        self.monitors.get(&MonitorKey::new(key))
+    }
+
+    /// Register a monitor (replacing any previous one with the key).
+    pub fn register(
+        &mut self,
+        key: &str,
+        class: MonitorClass,
+        unit: &'static str,
+        f: impl FnMut(&Snapshot) -> Option<Value> + Send + 'static,
+    ) {
+        self.monitors.insert(
+            MonitorKey::new(key),
+            MonitorDef { key: MonitorKey::new(key), class, unit, plugin: false, extract: Box::new(f) },
+        );
+    }
+
+    /// Register an administrator plug-in. Identical surface to built-ins
+    /// — "this flexible concept of plug-ins allows ClusterWorX to fit
+    /// the needs of any system".
+    pub fn register_plugin(
+        &mut self,
+        key: &str,
+        class: MonitorClass,
+        unit: &'static str,
+        f: impl FnMut(&Snapshot) -> Option<Value> + Send + 'static,
+    ) {
+        self.monitors.insert(
+            MonitorKey::new(key),
+            MonitorDef { key: MonitorKey::new(key), class, unit, plugin: true, extract: Box::new(f) },
+        );
+    }
+
+    /// Remove a monitor; true if it existed.
+    pub fn unregister(&mut self, key: &str) -> bool {
+        self.monitors.remove(&MonitorKey::new(key)).is_some()
+    }
+
+    fn install_builtins(&mut self, interfaces: &[&str]) {
+        use MonitorClass::{Dynamic, Static};
+        let pct = |x: f64| Value::Num((x * 100.0 * 10.0).round() / 10.0);
+
+        // --- CPU ---
+        self.register("cpu.util_pct", Dynamic, "%", move |s| Some(pct(s.cpu_utilization())));
+        self.register("cpu.user", Dynamic, "jiffies", |s| Some(Value::Num(s.stat.total.user as f64)));
+        self.register("cpu.nice", Dynamic, "jiffies", |s| Some(Value::Num(s.stat.total.nice as f64)));
+        self.register("cpu.system", Dynamic, "jiffies", |s| {
+            Some(Value::Num(s.stat.total.system as f64))
+        });
+        self.register("cpu.idle", Dynamic, "jiffies", |s| Some(Value::Num(s.stat.total.idle as f64)));
+        self.register("cpu.count", Static, "", |s| Some(Value::Num(s.stat.ncpu.max(1) as f64)));
+        self.register("cpu.type", Static, "", |_| {
+            Some(Value::Text("Pentium III (Coppermine) 1000MHz".into()))
+        });
+        self.register("kernel.ctxt_rate", Dynamic, "/s", |s| Some(Value::Num(s.ctxt_rate().round())));
+        self.register("kernel.fork_rate", Dynamic, "/s", |s| Some(Value::Num(s.fork_rate().round())));
+        self.register("kernel.btime", Static, "s", |s| Some(Value::Num(s.stat.btime as f64)));
+
+        // --- load / tasks ---
+        self.register("load.one", Dynamic, "", |s| Some(Value::Num(s.load.one)));
+        self.register("load.five", Dynamic, "", |s| Some(Value::Num(s.load.five)));
+        self.register("load.fifteen", Dynamic, "", |s| Some(Value::Num(s.load.fifteen)));
+        self.register("procs.running", Dynamic, "", |s| Some(Value::Num(s.load.running as f64)));
+        self.register("procs.total", Dynamic, "", |s| Some(Value::Num(s.load.total as f64)));
+        self.register("procs.blocked", Dynamic, "", |s| {
+            Some(Value::Num(s.stat.procs_blocked as f64))
+        });
+        self.register("procs.last_pid", Dynamic, "", |s| Some(Value::Num(s.load.last_pid as f64)));
+
+        // --- memory ---
+        self.register("mem.total", Static, "kB", |s| Some(Value::Num(s.mem.total_kb as f64)));
+        self.register("mem.free", Dynamic, "kB", |s| Some(Value::Num(s.mem.free_kb as f64)));
+        self.register("mem.used", Dynamic, "kB", |s| Some(Value::Num(s.mem.used_kb() as f64)));
+        self.register("mem.used_pct", Dynamic, "%", move |s| Some(pct(s.mem.used_fraction())));
+        self.register("mem.buffers", Dynamic, "kB", |s| Some(Value::Num(s.mem.buffers_kb as f64)));
+        self.register("mem.cached", Dynamic, "kB", |s| Some(Value::Num(s.mem.cached_kb as f64)));
+        self.register("swap.total", Static, "kB", |s| Some(Value::Num(s.mem.swap_total_kb as f64)));
+        self.register("swap.free", Dynamic, "kB", |s| Some(Value::Num(s.mem.swap_free_kb as f64)));
+        self.register("swap.used", Dynamic, "kB", |s| {
+            Some(Value::Num(s.mem.swap_total_kb.saturating_sub(s.mem.swap_free_kb) as f64))
+        });
+
+        // --- uptime ---
+        self.register("uptime.secs", Dynamic, "s", |s| Some(Value::Num(s.uptime.uptime_secs)));
+        self.register("uptime.idle_secs", Dynamic, "s", |s| Some(Value::Num(s.uptime.idle_secs)));
+
+        // --- network, per interface ---
+        for &ifc in interfaces {
+            let name = ifc.to_string();
+            self.register(&format!("net.{ifc}.rx_bytes"), Dynamic, "B", {
+                let name = name.clone();
+                move |s: &Snapshot| {
+                    s.net.iter().find(|i| i.name == name.as_str()).map(|i| Value::Num(i.rx_bytes as f64))
+                }
+            });
+            self.register(&format!("net.{ifc}.tx_bytes"), Dynamic, "B", {
+                let name = name.clone();
+                move |s: &Snapshot| {
+                    s.net.iter().find(|i| i.name == name.as_str()).map(|i| Value::Num(i.tx_bytes as f64))
+                }
+            });
+            self.register(&format!("net.{ifc}.rx_packets"), Dynamic, "", {
+                let name = name.clone();
+                move |s: &Snapshot| {
+                    s.net
+                        .iter()
+                        .find(|i| i.name == name.as_str())
+                        .map(|i| Value::Num(i.rx_packets as f64))
+                }
+            });
+            self.register(&format!("net.{ifc}.tx_packets"), Dynamic, "", {
+                let name = name.clone();
+                move |s: &Snapshot| {
+                    s.net
+                        .iter()
+                        .find(|i| i.name == name.as_str())
+                        .map(|i| Value::Num(i.tx_packets as f64))
+                }
+            });
+            self.register(&format!("net.{ifc}.rx_errs"), Dynamic, "", {
+                let name = name.clone();
+                move |s: &Snapshot| {
+                    s.net.iter().find(|i| i.name == name.as_str()).map(|i| Value::Num(i.rx_errs as f64))
+                }
+            });
+            self.register(&format!("net.{ifc}.tx_errs"), Dynamic, "", {
+                let name = name.clone();
+                move |s: &Snapshot| {
+                    s.net.iter().find(|i| i.name == name.as_str()).map(|i| Value::Num(i.tx_errs as f64))
+                }
+            });
+            self.register(&format!("net.{ifc}.rx_rate"), Dynamic, "B/s", {
+                let name = name.clone();
+                move |s: &Snapshot| Some(Value::Num(s.if_rate(&name, true).round()))
+            });
+            self.register(&format!("net.{ifc}.tx_rate"), Dynamic, "B/s", {
+                let name = name.clone();
+                move |s: &Snapshot| Some(Value::Num(s.if_rate(&name, false).round()))
+            });
+        }
+
+        // --- disk I/O (aggregate over block devices) ---
+        self.register("disk.reads", Dynamic, "", |s| {
+            Some(Value::Num(s.disks.iter().map(|d| d.reads).sum::<u64>() as f64))
+        });
+        self.register("disk.writes", Dynamic, "", |s| {
+            Some(Value::Num(s.disks.iter().map(|d| d.writes).sum::<u64>() as f64))
+        });
+        self.register("disk.io_rate", Dynamic, "ops/s", |s| {
+            Some(Value::Num(s.disk_io_rate().round()))
+        });
+        self.register("disk.byte_rate", Dynamic, "B/s", |s| {
+            Some(Value::Num(s.disk_byte_rate().round()))
+        });
+        self.register("disk.count", Static, "", |s| Some(Value::Num(s.disks.len() as f64)));
+
+        // --- sensors (ICE Box probes / lm_sensors) ---
+        self.register("temp.cpu", Dynamic, "C", |s| {
+            Some(Value::Num((s.sensors.cpu_temp_c * 10.0).round() / 10.0))
+        });
+        self.register("temp.board", Dynamic, "C", |s| {
+            Some(Value::Num((s.sensors.board_temp_c * 10.0).round() / 10.0))
+        });
+        self.register("fan.cpu_rpm", Dynamic, "rpm", |s| Some(Value::Num(s.sensors.fan_rpm.round())));
+        self.register("power.watts", Dynamic, "W", |s| {
+            Some(Value::Num(s.sensors.power_watts.round()))
+        });
+        self.register("net.connectivity", Dynamic, "", |s| {
+            Some(Value::Num(s.sensors.udp_echo_ok as u8 as f64))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_exceed_forty_monitors() {
+        let r = Registry::with_builtins(&["lo", "eth0"]);
+        assert!(r.len() > 40, "paper: 'over 40 monitors built in', got {}", r.len());
+    }
+
+    #[test]
+    fn static_and_dynamic_both_present() {
+        let r = Registry::with_builtins(&["eth0"]);
+        assert_eq!(r.get("mem.total").unwrap().class, MonitorClass::Static);
+        assert_eq!(r.get("mem.free").unwrap().class, MonitorClass::Dynamic);
+        assert_eq!(r.get("cpu.type").unwrap().class, MonitorClass::Static);
+    }
+
+    #[test]
+    fn extraction_reads_snapshot() {
+        let mut r = Registry::with_builtins(&["eth0"]);
+        let mut snap = Snapshot::default();
+        snap.mem.total_kb = 1_048_576;
+        snap.mem.free_kb = 524_288;
+        let mut values = BTreeMap::new();
+        for m in r.iter_mut() {
+            if let Some(v) = m.extract(&snap) {
+                values.insert(m.key.clone(), v);
+            }
+        }
+        assert_eq!(values.get(&MonitorKey::new("mem.total")), Some(&Value::Num(1_048_576.0)));
+        assert_eq!(values.get(&MonitorKey::new("mem.used_pct")), Some(&Value::Num(50.0)));
+    }
+
+    #[test]
+    fn plugin_registration_and_removal() {
+        let mut r = Registry::new();
+        r.register_plugin("site.gpfs_health", MonitorClass::Dynamic, "", |_| {
+            Some(Value::Text("ok".into()))
+        });
+        assert_eq!(r.len(), 1);
+        assert!(r.get("site.gpfs_health").unwrap().plugin);
+        assert!(r.unregister("site.gpfs_health"));
+        assert!(!r.unregister("site.gpfs_health"));
+    }
+
+    #[test]
+    fn value_rendering() {
+        assert_eq!(Value::Num(42.0).render(), "42");
+        assert_eq!(Value::Num(0.5).render(), "0.500");
+        assert_eq!(Value::Text("x y".into()).render(), "x y");
+    }
+
+    #[test]
+    fn value_same_as_semantics() {
+        assert!(Value::Num(1.0).same_as(&Value::Num(1.0)));
+        assert!(!Value::Num(1.0).same_as(&Value::Num(1.0001)));
+        assert!(Value::Num(f64::NAN).same_as(&Value::Num(f64::NAN)));
+        assert!(Value::Text("a".into()).same_as(&Value::Text("a".into())));
+        assert!(!Value::Num(1.0).same_as(&Value::Text("1".into())));
+    }
+
+    #[test]
+    fn missing_interface_yields_none() {
+        let mut r = Registry::with_builtins(&["myri0"]);
+        let snap = Snapshot::default(); // no interfaces at all
+        let mut got_any = false;
+        for m in r.iter_mut() {
+            if m.key.0 == "net.myri0.rx_bytes" {
+                got_any = true;
+                assert!(m.extract(&snap).is_none());
+            }
+        }
+        assert!(got_any);
+    }
+}

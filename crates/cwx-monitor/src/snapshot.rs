@@ -1,0 +1,182 @@
+//! One gathering tick's worth of node state.
+
+use cwx_proc::diskstats::DiskStats;
+use cwx_proc::loadavg::LoadAvg;
+use cwx_proc::meminfo::MemInfo;
+use cwx_proc::netdev::IfStats;
+use cwx_proc::stat::Stat;
+use cwx_proc::uptime::Uptime;
+use cwx_util::time::SimTime;
+
+/// Hardware sensor readings delivered out-of-band (ICE Box probes and
+/// lm_sensors-style on-board sensors; paper §5.1: "in combination with
+/// additional sensor packages it is possible to monitor fans, CPU and
+/// board temperature, although temperature monitoring is usually
+/// accomplished using the ICE Box sensors").
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Sensors {
+    /// CPU temperature, °C.
+    pub cpu_temp_c: f64,
+    /// Board temperature, °C.
+    pub board_temp_c: f64,
+    /// CPU fan speed, RPM.
+    pub fan_rpm: f64,
+    /// Node power draw, watts.
+    pub power_watts: f64,
+    /// Did the UDP echo probe answer? ("The UDP echo port is used to
+    /// ensure network connectivity.")
+    pub udp_echo_ok: bool,
+}
+
+/// Everything the agent gathered in one tick, plus the previous tick for
+/// rate computation. Monitors are pure functions of this struct — that
+/// is what lets the consolidation stage serve "simultaneous requests ...
+/// using the same set of data".
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Gather time.
+    pub time: SimTime,
+    /// Seconds since the previous snapshot (0 on the first).
+    pub dt_secs: f64,
+    /// Parsed `/proc/meminfo`.
+    pub mem: MemInfo,
+    /// Parsed `/proc/stat`.
+    pub stat: Stat,
+    /// Previous tick's `/proc/stat` (for utilisation/rates).
+    pub prev_stat: Stat,
+    /// Parsed `/proc/loadavg`.
+    pub load: LoadAvg,
+    /// Parsed `/proc/uptime`.
+    pub uptime: Uptime,
+    /// Parsed `/proc/net/dev`.
+    pub net: Vec<IfStats>,
+    /// Previous tick's interfaces.
+    pub prev_net: Vec<IfStats>,
+    /// Parsed `/proc/diskstats` (empty when the source has none).
+    pub disks: Vec<DiskStats>,
+    /// Previous tick's disks.
+    pub prev_disks: Vec<DiskStats>,
+    /// Sensor readings.
+    pub sensors: Sensors,
+}
+
+impl Snapshot {
+    /// CPU utilisation since the previous snapshot, `[0,1]`.
+    pub fn cpu_utilization(&self) -> f64 {
+        self.stat.total.utilization_since(&self.prev_stat.total)
+    }
+
+    /// Context switches per second since the previous snapshot.
+    pub fn ctxt_rate(&self) -> f64 {
+        if self.dt_secs <= 0.0 {
+            return 0.0;
+        }
+        self.stat.ctxt.saturating_sub(self.prev_stat.ctxt) as f64 / self.dt_secs
+    }
+
+    /// Forks per second since the previous snapshot.
+    pub fn fork_rate(&self) -> f64 {
+        if self.dt_secs <= 0.0 {
+            return 0.0;
+        }
+        self.stat.processes.saturating_sub(self.prev_stat.processes) as f64 / self.dt_secs
+    }
+
+    /// Aggregate disk operation rate (reads+writes per second).
+    pub fn disk_io_rate(&self) -> f64 {
+        if self.dt_secs <= 0.0 {
+            return 0.0;
+        }
+        let ops = |ds: &[DiskStats]| ds.iter().map(|d| d.reads + d.writes).sum::<u64>();
+        ops(&self.disks).saturating_sub(ops(&self.prev_disks)) as f64 / self.dt_secs
+    }
+
+    /// Aggregate disk throughput in bytes/second (512 B sectors).
+    pub fn disk_byte_rate(&self) -> f64 {
+        if self.dt_secs <= 0.0 {
+            return 0.0;
+        }
+        let sect = |ds: &[DiskStats]| {
+            ds.iter().map(|d| d.sectors_read + d.sectors_written).sum::<u64>()
+        };
+        sect(&self.disks).saturating_sub(sect(&self.prev_disks)) as f64 * 512.0 / self.dt_secs
+    }
+
+    /// Byte rate for an interface column since the previous snapshot.
+    /// `rx` selects receive vs transmit.
+    pub fn if_rate(&self, name: &str, rx: bool) -> f64 {
+        if self.dt_secs <= 0.0 {
+            return 0.0;
+        }
+        let cur = self.net.iter().find(|i| i.name == name);
+        let prev = self.prev_net.iter().find(|i| i.name == name);
+        match (cur, prev) {
+            (Some(c), Some(p)) => {
+                let (a, b) = if rx { (c.rx_bytes, p.rx_bytes) } else { (c.tx_bytes, p.tx_bytes) };
+                a.saturating_sub(b) as f64 / self.dt_secs
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // explicit field setup reads clearer in tests
+mod tests {
+    use super::*;
+    use cwx_proc::netdev::{IfName, IfStats};
+    use cwx_proc::stat::CpuTimes;
+
+    fn iface(name: &str, rx: u64, tx: u64) -> IfStats {
+        IfStats { name: IfName::new(name.as_bytes()), rx_bytes: rx, tx_bytes: tx, ..Default::default() }
+    }
+
+    #[test]
+    fn cpu_utilization_from_deltas() {
+        let mut s = Snapshot::default();
+        s.prev_stat.total = CpuTimes { user: 100, nice: 0, system: 0, idle: 900 };
+        s.stat.total = CpuTimes { user: 150, nice: 0, system: 50, idle: 900 };
+        assert!((s.cpu_utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_need_elapsed_time() {
+        let mut s = Snapshot::default();
+        s.stat.ctxt = 500;
+        s.prev_stat.ctxt = 0;
+        s.dt_secs = 0.0;
+        assert_eq!(s.ctxt_rate(), 0.0);
+        s.dt_secs = 5.0;
+        assert_eq!(s.ctxt_rate(), 100.0);
+    }
+
+    #[test]
+    fn fork_rate_counts_processes() {
+        let mut s = Snapshot::default();
+        s.dt_secs = 2.0;
+        s.prev_stat.processes = 10;
+        s.stat.processes = 20;
+        assert_eq!(s.fork_rate(), 5.0);
+    }
+
+    #[test]
+    fn if_rate_by_name_and_direction() {
+        let mut s = Snapshot::default();
+        s.dt_secs = 2.0;
+        s.prev_net = vec![iface("eth0", 1000, 0), iface("lo", 0, 0)];
+        s.net = vec![iface("eth0", 3000, 500), iface("lo", 10, 10)];
+        assert_eq!(s.if_rate("eth0", true), 1000.0);
+        assert_eq!(s.if_rate("eth0", false), 250.0);
+        assert_eq!(s.if_rate("lo", true), 5.0);
+        assert_eq!(s.if_rate("wlan0", true), 0.0, "unknown interface is 0");
+    }
+
+    #[test]
+    fn counter_reset_saturates_to_zero() {
+        let mut s = Snapshot::default();
+        s.dt_secs = 1.0;
+        s.prev_stat.ctxt = 1000;
+        s.stat.ctxt = 50; // rebooted node
+        assert_eq!(s.ctxt_rate(), 0.0);
+    }
+}

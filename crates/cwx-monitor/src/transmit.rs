@@ -1,0 +1,207 @@
+//! The transmission stage (paper §5.3.3).
+//!
+//! "Since we use the /proc filesystem, monitored data is stored in
+//! human-readable form. Although binary formats require less storage, we
+//! leave the data in text form because of platform independency and the
+//! human-readable nature of the data. Nevertheless, when transmitting
+//! the data, we use data compression techniques, which are known to be
+//! very effective on text input."
+//!
+//! Wire format (one report per datagram):
+//!
+//! ```text
+//! CWX1 node=<u32> seq=<u64> t=<secs>
+//! <key>=<value>
+//! ...
+//! ```
+//!
+//! compressed with the LZSS coder from `cwx-util` when
+//! [`encode_compressed`] is used.
+
+use cwx_util::compress;
+
+use crate::monitor::{MonitorKey, Value};
+
+/// One agent-to-server report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Reporting node.
+    pub node: u32,
+    /// Agent sequence number.
+    pub seq: u64,
+    /// Gather time, seconds.
+    pub time_secs: f64,
+    /// Values that survived consolidation, in key order.
+    pub values: Vec<(MonitorKey, Value)>,
+}
+
+/// Wire decoding errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// Missing or malformed header line.
+    BadHeader,
+    /// A value line without `=`.
+    BadLine(String),
+    /// Compressed envelope failed to decode.
+    BadCompression(String),
+    /// Payload is not UTF-8.
+    NotText,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadHeader => write!(f, "bad report header"),
+            WireError::BadLine(l) => write!(f, "bad report line: {l}"),
+            WireError::BadCompression(e) => write!(f, "bad compression: {e}"),
+            WireError::NotText => write!(f, "report payload is not utf-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Render a report as wire text.
+pub fn encode(report: &Report) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(32 + report.values.len() * 24);
+    let _ = writeln!(s, "CWX1 node={} seq={} t={:.3}", report.node, report.seq, report.time_secs);
+    for (k, v) in &report.values {
+        let _ = writeln!(s, "{}={}", k, v.render());
+    }
+    s
+}
+
+/// Render and LZSS-compress a report.
+pub fn encode_compressed(report: &Report) -> Vec<u8> {
+    compress::compress(encode(report).as_bytes())
+}
+
+/// Parse wire text back into a report. Values that parse as numbers
+/// become [`Value::Num`]; everything else is [`Value::Text`].
+pub fn decode(text: &str) -> Result<Report, WireError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(WireError::BadHeader)?;
+    let rest = header.strip_prefix("CWX1 ").ok_or(WireError::BadHeader)?;
+    let mut node = None;
+    let mut seq = None;
+    let mut time_secs = None;
+    for field in rest.split_whitespace() {
+        let (k, v) = field.split_once('=').ok_or(WireError::BadHeader)?;
+        match k {
+            "node" => node = v.parse::<u32>().ok(),
+            "seq" => seq = v.parse::<u64>().ok(),
+            "t" => time_secs = v.parse::<f64>().ok(),
+            _ => {}
+        }
+    }
+    let (Some(node), Some(seq), Some(time_secs)) = (node, seq, time_secs) else {
+        return Err(WireError::BadHeader);
+    };
+    let mut values = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line.split_once('=').ok_or_else(|| WireError::BadLine(line.to_string()))?;
+        let value = match v.parse::<f64>() {
+            Ok(n) => Value::Num(n),
+            Err(_) => Value::Text(v.to_string()),
+        };
+        values.push((MonitorKey::new(k), value));
+    }
+    Ok(Report { node, seq, time_secs, values })
+}
+
+/// Decode a payload that may or may not be compressed (sniffs the LZSS
+/// magic) — what the server does with arriving datagrams.
+pub fn decode_auto(bytes: &[u8]) -> Result<Report, WireError> {
+    if bytes.starts_with(b"CWZ1") {
+        decode_compressed(bytes)
+    } else {
+        decode(std::str::from_utf8(bytes).map_err(|_| WireError::NotText)?)
+    }
+}
+
+/// Decompress and parse a report.
+pub fn decode_compressed(bytes: &[u8]) -> Result<Report, WireError> {
+    let raw =
+        compress::decompress(bytes).map_err(|e| WireError::BadCompression(e.to_string()))?;
+    let text = std::str::from_utf8(&raw).map_err(|_| WireError::NotText)?;
+    decode(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> Report {
+        Report {
+            node: 17,
+            seq: 42,
+            time_secs: 123.456,
+            values: vec![
+                (MonitorKey::new("mem.free"), Value::Num(524288.0)),
+                (MonitorKey::new("load.one"), Value::Num(0.42)),
+                (MonitorKey::new("cpu.type"), Value::Text("Pentium III".into())),
+            ],
+        }
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let r = report();
+        let text = encode(&r);
+        assert!(text.starts_with("CWX1 node=17 seq=42 t=123.456\n"));
+        assert!(text.contains("mem.free=524288\n"));
+        let back = decode(&text).unwrap();
+        assert_eq!(back.node, 17);
+        assert_eq!(back.seq, 42);
+        assert_eq!(back.values.len(), 3);
+        assert_eq!(back.values[0].1, Value::Num(524288.0));
+        assert_eq!(back.values[2].1, Value::Text("Pentium III".into()));
+    }
+
+    #[test]
+    fn compressed_round_trip_and_shrinks_repetitive_reports() {
+        // a realistic full report: many keys with shared prefixes
+        let mut r = report();
+        for i in 0..50 {
+            r.values.push((MonitorKey::new(format!("net.eth0.counter_{i}")), Value::Num(i as f64)));
+        }
+        let raw = encode(&r);
+        let packed = encode_compressed(&r);
+        assert!(packed.len() < raw.len(), "{} !< {}", packed.len(), raw.len());
+        let back = decode_compressed(&packed).unwrap();
+        assert_eq!(back.values.len(), r.values.len());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(decode(""), Err(WireError::BadHeader));
+        assert_eq!(decode("XYZ node=1"), Err(WireError::BadHeader));
+        assert_eq!(decode("CWX1 node=1 seq=2"), Err(WireError::BadHeader)); // missing t
+        assert!(matches!(decode("CWX1 node=1 seq=2 t=0\nbroken-line"), Err(WireError::BadLine(_))));
+        assert!(matches!(decode_compressed(b"junk"), Err(WireError::BadCompression(_))));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let r = Report { node: 1, seq: 0, time_secs: 0.0, values: vec![] };
+        let back = decode(&encode(&r)).unwrap();
+        assert!(back.values.is_empty());
+    }
+
+    #[test]
+    fn numeric_text_becomes_num_on_decode() {
+        // documented asymmetry of the text format
+        let r = Report {
+            node: 1,
+            seq: 0,
+            time_secs: 0.0,
+            values: vec![(MonitorKey::new("k"), Value::Text("3.5".into()))],
+        };
+        let back = decode(&encode(&r)).unwrap();
+        assert_eq!(back.values[0].1, Value::Num(3.5));
+    }
+}

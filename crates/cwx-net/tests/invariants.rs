@@ -1,0 +1,91 @@
+//! Property tests on the network model's invariants.
+
+use cwx_net::{
+    wire_bytes_for, GroupId, Network, NodeAddr, SegmentId, FAST_ETHERNET_BPS, FRAME_OVERHEAD,
+    FRAME_PAYLOAD,
+};
+use cwx_util::time::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    /// Accounting conservation: every offered packet is either delivered
+    /// or lost, per receiver.
+    #[test]
+    fn conservation_under_random_traffic(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.9,
+        sends in proptest::collection::vec((0u32..8, 0u32..8, 1u64..100_000), 1..80)
+    ) {
+        let mut net: Network<u32> = Network::single_segment(seed, 8, FAST_ETHERNET_BPS, loss);
+        let mut delivered = 0u64;
+        for (i, &(from, to, size)) in sends.iter().enumerate() {
+            if from == to { continue; }
+            delivered += net
+                .unicast(SimTime::ZERO, NodeAddr(from), NodeAddr(to), size, i as u32)
+                .len() as u64;
+        }
+        let s = net.stats();
+        prop_assert_eq!(s.delivered, delivered);
+        prop_assert_eq!(s.delivered + s.lost, s.sent);
+    }
+
+    /// Same-segment FIFO: deliveries from one sender to one receiver
+    /// arrive in send order (the cloning protocol relies on this for the
+    /// repairs-before-poll ordering).
+    #[test]
+    fn fifo_per_segment(sizes in proptest::collection::vec(1u64..50_000, 2..40)) {
+        let mut net: Network<usize> = Network::single_segment(1, 2, FAST_ETHERNET_BPS, 0.0);
+        let mut arrivals = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let ds = net.unicast(SimTime::ZERO, NodeAddr(0), NodeAddr(1), size, i);
+            prop_assert_eq!(ds.len(), 1);
+            arrivals.push((ds[0].at, ds[0].msg));
+        }
+        for w in arrivals.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "later send must not arrive earlier");
+            prop_assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    /// Wire-byte accounting matches the frame model exactly.
+    #[test]
+    fn wire_bytes_match_frame_model(payloads in proptest::collection::vec(0u64..2_000_000, 1..30)) {
+        let mut net: Network<u32> = Network::single_segment(2, 2, FAST_ETHERNET_BPS, 0.0);
+        let mut expect = 0u64;
+        for &p in &payloads {
+            net.unicast(SimTime::ZERO, NodeAddr(0), NodeAddr(1), p, 0);
+            expect += wire_bytes_for(p);
+        }
+        prop_assert_eq!(net.segment(SegmentId(0)).wire_bytes(), expect);
+    }
+
+    /// Multicast beats repeated unicast on wall-clock for any group size
+    /// above one, and uses strictly less wire.
+    #[test]
+    fn multicast_dominates_unicast(n in 2u32..40, payload in 1u64..500_000) {
+        let mut uni: Network<u32> = Network::single_segment(3, n + 1, FAST_ETHERNET_BPS, 0.0);
+        let mut last_uni = SimTime::ZERO;
+        for i in 1..=n {
+            let ds = uni.unicast(SimTime::ZERO, NodeAddr(0), NodeAddr(i), payload, 0);
+            last_uni = last_uni.max(ds[0].at);
+        }
+        let mut mc: Network<u32> = Network::single_segment(3, n + 1, FAST_ETHERNET_BPS, 0.0);
+        let g = GroupId(0);
+        for i in 1..=n {
+            mc.join(g, NodeAddr(i));
+        }
+        let ds = mc.multicast(SimTime::ZERO, NodeAddr(0), g, payload, 0);
+        let last_mc = ds.iter().map(|d| d.at).max().unwrap();
+        prop_assert!(last_mc <= last_uni);
+        prop_assert!(
+            mc.segment(SegmentId(0)).wire_bytes() < uni.segment(SegmentId(0)).wire_bytes()
+        );
+    }
+
+    /// Frame math: overhead grows exactly with the fragment count.
+    #[test]
+    fn fragmentation_overhead_exact(payload in 0u64..10_000_000) {
+        let frames = payload.div_ceil(FRAME_PAYLOAD).max(1);
+        prop_assert_eq!(wire_bytes_for(payload), payload + frames * FRAME_OVERHEAD);
+    }
+}

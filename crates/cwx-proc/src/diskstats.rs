@@ -1,0 +1,266 @@
+//! `/proc/diskstats`-style disk I/O counters.
+//!
+//! The paper lists "disk I/O" among the system functions ClusterWorX
+//! monitors (§5.1). Kernel 2.4 exposed these in `/proc/stat`'s
+//! `disk_io:` line; 2.6 moved them to `/proc/diskstats`. We model the
+//! (cleaner) diskstats shape: one line per block device with read/write
+//! operation and sector counts.
+//!
+//! ```text
+//!    8       0 hda 4672 23000 104 2000
+//! ```
+//!
+//! columns: major, minor, name, reads, sectors_read, writes,
+//! sectors_written (a simplified fixed subset). Real 2.6+ kernels emit
+//! 11+ statistic columns; both parsers detect that shape and map the
+//! right columns (reads = col 0, sectors read = col 2, writes = col 4,
+//! sectors written = col 6), so the gatherers work on a live
+//! `/proc/diskstats` too.
+
+use crate::parse::{next_u64, skip_line};
+
+/// Counters for one block device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskStats {
+    /// Device major number.
+    pub major: u32,
+    /// Device minor number.
+    pub minor: u32,
+    /// Device name, inline (8 bytes is plenty for `hda`/`sda1`).
+    pub name: DiskName,
+    /// Completed read operations.
+    pub reads: u64,
+    /// Sectors read (512 B each).
+    pub sectors_read: u64,
+    /// Completed write operations.
+    pub writes: u64,
+    /// Sectors written.
+    pub sectors_written: u64,
+}
+
+/// A device name stored inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskName {
+    bytes: [u8; 8],
+    len: u8,
+}
+
+impl DiskName {
+    /// Build from bytes (truncating to 8).
+    pub fn new(name: &[u8]) -> Self {
+        let mut bytes = [0u8; 8];
+        let len = name.len().min(8);
+        bytes[..len].copy_from_slice(&name[..len]);
+        DiskName { bytes, len: len as u8 }
+    }
+
+    /// As a string slice.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.bytes[..self.len as usize]).unwrap_or("?")
+    }
+}
+
+impl PartialEq<&str> for DiskName {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl std::fmt::Display for DiskName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Allocating parser.
+pub fn parse_generic(text: &str) -> Option<Vec<DiskStats>> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let major = parts.next()?.parse().ok()?;
+        let minor = parts.next()?.parse().ok()?;
+        let name = parts.next()?;
+        let nums: Vec<u64> = parts.map_while(|p| p.parse().ok()).collect();
+        let (reads, sectors_read, writes, sectors_written) = if nums.len() >= 11 {
+            // real 2.6+ kernel layout
+            (nums[0], nums[2], nums[4], nums[6])
+        } else if nums.len() >= 4 {
+            (nums[0], nums[1], nums[2], nums[3])
+        } else {
+            return None;
+        };
+        out.push(DiskStats {
+            major,
+            minor,
+            name: DiskName::new(name.as_bytes()),
+            reads,
+            sectors_read,
+            writes,
+            sectors_written,
+        });
+    }
+    Some(out)
+}
+
+/// Zero-allocation parser into a reused buffer.
+pub fn parse_apriori(b: &[u8], out: &mut Vec<DiskStats>) -> Option<usize> {
+    out.clear();
+    let mut pos = 0usize;
+    while pos < b.len() {
+        // skip blank lines
+        while pos < b.len() && (b[pos] == b'\n' || b[pos] == b' ') {
+            pos += 1;
+        }
+        if pos >= b.len() {
+            break;
+        }
+        let major = next_u64(b, &mut pos)? as u32;
+        let minor = next_u64(b, &mut pos)? as u32;
+        // device name: skip spaces, take until space
+        while pos < b.len() && b[pos] == b' ' {
+            pos += 1;
+        }
+        let name_start = pos;
+        while pos < b.len() && b[pos] != b' ' && b[pos] != b'\n' {
+            pos += 1;
+        }
+        let mut st = DiskStats {
+            major,
+            minor,
+            name: DiskName::new(&b[name_start..pos]),
+            ..Default::default()
+        };
+        // read all numeric columns up to end of line, then map by count
+        let line_end = b[pos..].iter().position(|&c| c == b'\n').map(|k| pos + k).unwrap_or(b.len());
+        let mut cols = [0u64; 16];
+        let mut ncols = 0;
+        while ncols < 16 {
+            let mut probe = pos;
+            match next_u64(b, &mut probe) {
+                Some(v) if probe <= line_end || b[pos..line_end].iter().any(|c| c.is_ascii_digit()) => {
+                    // ensure the number started before the line end
+                    let mut scan = pos;
+                    while scan < line_end && !b[scan].is_ascii_digit() {
+                        scan += 1;
+                    }
+                    if scan >= line_end {
+                        break;
+                    }
+                    cols[ncols] = v;
+                    ncols += 1;
+                    pos = probe;
+                }
+                _ => break,
+            }
+        }
+        if ncols >= 11 {
+            st.reads = cols[0];
+            st.sectors_read = cols[2];
+            st.writes = cols[4];
+            st.sectors_written = cols[6];
+        } else if ncols >= 4 {
+            st.reads = cols[0];
+            st.sectors_read = cols[1];
+            st.writes = cols[2];
+            st.sectors_written = cols[3];
+        } else {
+            return None;
+        }
+        out.push(st);
+        pos = line_end;
+        if !skip_line(b, &mut pos) {
+            break;
+        }
+    }
+    Some(out.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str =
+        "   3    0 hda 4672 233600 1040 83200\n   3    1 hda1 4600 230000 1000 80000\n   8    0 sda 99 792 7 56\n";
+
+    #[test]
+    fn generic_parses_sample() {
+        let v = parse_generic(SAMPLE).unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0].name, "hda");
+        assert_eq!(v[0].major, 3);
+        assert_eq!(v[0].reads, 4672);
+        assert_eq!(v[0].sectors_written, 83200);
+        assert_eq!(v[2].name, "sda");
+    }
+
+    #[test]
+    fn apriori_agrees_with_generic() {
+        let g = parse_generic(SAMPLE).unwrap();
+        let mut a = Vec::new();
+        assert_eq!(parse_apriori(SAMPLE.as_bytes(), &mut a), Some(3));
+        assert_eq!(a, g);
+    }
+
+    #[test]
+    fn apriori_reuses_buffer() {
+        let mut buf = Vec::with_capacity(8);
+        parse_apriori(SAMPLE.as_bytes(), &mut buf).unwrap();
+        let ptr = buf.as_ptr();
+        for _ in 0..50 {
+            parse_apriori(SAMPLE.as_bytes(), &mut buf).unwrap();
+        }
+        assert_eq!(buf.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn rejects_short_lines() {
+        assert!(parse_generic("3 0 hda 1 2\n").is_none());
+        let mut out = Vec::new();
+        assert!(parse_apriori(b"3 0 hda 1 2", &mut out).is_none());
+    }
+
+    #[test]
+    fn empty_input_is_empty_list() {
+        assert_eq!(parse_generic("").unwrap().len(), 0);
+        let mut out = Vec::new();
+        assert_eq!(parse_apriori(b"", &mut out), Some(0));
+    }
+
+    #[test]
+    fn long_names_truncate() {
+        let n = DiskName::new(b"verylongdevicename");
+        assert_eq!(n.as_str(), "verylong");
+    }
+
+    #[test]
+    fn real_kernel_layout_maps_columns() {
+        let real = "   8       0 sda 100 50 1600 30 200 70 3200 40 0 60 70\n";
+        let g = parse_generic(real).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].reads, 100);
+        assert_eq!(g[0].sectors_read, 1600);
+        assert_eq!(g[0].writes, 200);
+        assert_eq!(g[0].sectors_written, 3200);
+        let mut a = Vec::new();
+        parse_apriori(real.as_bytes(), &mut a).unwrap();
+        assert_eq!(a, g);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn parses_real_proc_diskstats() {
+        let Ok(text) = std::fs::read("/proc/diskstats") else { return };
+        if text.is_empty() {
+            return;
+        }
+        let g = parse_generic(std::str::from_utf8(&text).unwrap());
+        let mut a = Vec::new();
+        let ap = parse_apriori(&text, &mut a);
+        if let (Some(g), Some(_)) = (g, ap) {
+            assert_eq!(a, g);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! `/proc/meminfo` — the file the paper's optimization ladder is built on.
+//!
+//! Two parsers:
+//!
+//! * [`parse_generic`] — the allocating, format-agnostic parser the L0/L1
+//!   gatherers use (splits lines, builds a key map).
+//! * [`parse_apriori`] — the zero-allocation parser of L2/L3. It relies
+//!   on a [`Layout`] learned once from a sample read: proc file layouts
+//!   are fixed per kernel, so after learning *which line* holds each
+//!   field, parsing is a single forward scan that never compares key
+//!   names again.
+
+use crate::parse::{next_u64, parse_key_values, skip_line};
+
+/// Parsed memory statistics, in kB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemInfo {
+    /// Total usable RAM.
+    pub total_kb: u64,
+    /// Free RAM.
+    pub free_kb: u64,
+    /// Buffer cache.
+    pub buffers_kb: u64,
+    /// Page cache.
+    pub cached_kb: u64,
+    /// Total swap.
+    pub swap_total_kb: u64,
+    /// Free swap.
+    pub swap_free_kb: u64,
+}
+
+impl MemInfo {
+    /// RAM in use (total − free), the quantity most monitors chart.
+    pub fn used_kb(&self) -> u64 {
+        self.total_kb.saturating_sub(self.free_kb)
+    }
+
+    /// Fraction of RAM in use, `[0,1]`.
+    pub fn used_fraction(&self) -> f64 {
+        if self.total_kb == 0 {
+            0.0
+        } else {
+            self.used_kb() as f64 / self.total_kb as f64
+        }
+    }
+}
+
+/// Number of fields [`Layout`] tracks.
+const FIELDS: usize = 6;
+const KEYS: [&str; FIELDS] =
+    ["MemTotal:", "MemFree:", "Buffers:", "Cached:", "SwapTotal:", "SwapFree:"];
+
+/// The learned line positions of the six fields within the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// `line_of[f]` = zero-based line index of field `f`.
+    line_of: [u16; FIELDS],
+    /// Highest line index we need to scan to.
+    max_line: u16,
+}
+
+impl Layout {
+    /// Learn the layout from one full read of the file. Returns `None`
+    /// if any of the six keys is missing.
+    pub fn learn(text: &[u8]) -> Option<Layout> {
+        let text = std::str::from_utf8(text).ok()?;
+        let mut line_of = [u16::MAX; FIELDS];
+        for (i, line) in text.lines().enumerate() {
+            for (f, key) in KEYS.iter().enumerate() {
+                if line_of[f] == u16::MAX && line.starts_with(key) {
+                    line_of[f] = i as u16;
+                }
+            }
+        }
+        if line_of.contains(&u16::MAX) {
+            return None;
+        }
+        Some(Layout { line_of, max_line: *line_of.iter().max().unwrap() })
+    }
+}
+
+/// Allocating parser (L0/L1): builds a key map, then extracts fields.
+pub fn parse_generic(text: &str) -> Option<MemInfo> {
+    let map = parse_key_values(text);
+    Some(MemInfo {
+        total_kb: *map.get("MemTotal")?,
+        free_kb: *map.get("MemFree")?,
+        buffers_kb: *map.get("Buffers")?,
+        cached_kb: *map.get("Cached")?,
+        swap_total_kb: *map.get("SwapTotal")?,
+        swap_free_kb: *map.get("SwapFree")?,
+    })
+}
+
+/// Zero-allocation parser (L2/L3): one forward scan picking the number
+/// off each learned line.
+pub fn parse_apriori(b: &[u8], layout: &Layout) -> Option<MemInfo> {
+    let mut values = [0u64; FIELDS];
+    let mut found = 0;
+    let mut pos = 0usize;
+    let mut line: u16 = 0;
+    while line <= layout.max_line {
+        // is this line one of ours?
+        let mut wanted = usize::MAX;
+        for f in 0..FIELDS {
+            if layout.line_of[f] == line {
+                wanted = f;
+                break;
+            }
+        }
+        if wanted != usize::MAX {
+            values[wanted] = next_u64(b, &mut pos)?;
+            found += 1;
+            // next_u64 stopped just past the number; continue to line end
+        }
+        if !skip_line(b, &mut pos) && line < layout.max_line {
+            return None; // file shorter than the learned layout
+        }
+        line += 1;
+    }
+    if found != FIELDS {
+        return None;
+    }
+    Some(MemInfo {
+        total_kb: values[0],
+        free_kb: values[1],
+        buffers_kb: values[2],
+        cached_kb: values[3],
+        swap_total_kb: values[4],
+        swap_free_kb: values[5],
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // explicit field setup reads clearer in tests
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticState;
+
+    fn sample() -> String {
+        let mut s = String::new();
+        let mut st = SyntheticState::default();
+        st.mem_free_kb = 432_100;
+        st.buffers_kb = 11_111;
+        st.cached_kb = 222_222;
+        st.swap_free_kb = 2_000_000;
+        st.render_meminfo(&mut s);
+        s
+    }
+
+    #[test]
+    fn generic_parses_synthetic() {
+        let m = parse_generic(&sample()).unwrap();
+        assert_eq!(m.total_kb, 1_048_576);
+        assert_eq!(m.free_kb, 432_100);
+        assert_eq!(m.buffers_kb, 11_111);
+        assert_eq!(m.cached_kb, 222_222);
+        assert_eq!(m.swap_total_kb, 2_097_152);
+        assert_eq!(m.swap_free_kb, 2_000_000);
+    }
+
+    #[test]
+    fn apriori_agrees_with_generic() {
+        let s = sample();
+        let layout = Layout::learn(s.as_bytes()).unwrap();
+        let a = parse_apriori(s.as_bytes(), &layout).unwrap();
+        let g = parse_generic(&s).unwrap();
+        assert_eq!(a, g);
+    }
+
+    #[test]
+    fn apriori_handles_interleaved_extra_lines() {
+        // modern kernels put many extra keys between ours; the layout
+        // learner must cope
+        let text = "MemTotal: 100 kB\nMemAvailable: 5 kB\nMemFree: 50 kB\nBuffers: 7 kB\nWeird: x\nCached: 9 kB\nSwapCached: 1 kB\nSwapTotal: 200 kB\nSwapFree: 150 kB\nDirty: 3 kB\n";
+        let layout = Layout::learn(text.as_bytes()).unwrap();
+        let m = parse_apriori(text.as_bytes(), &layout).unwrap();
+        assert_eq!(m.total_kb, 100);
+        assert_eq!(m.free_kb, 50);
+        assert_eq!(m.buffers_kb, 7);
+        assert_eq!(m.cached_kb, 9);
+        assert_eq!(m.swap_total_kb, 200);
+        assert_eq!(m.swap_free_kb, 150);
+    }
+
+    #[test]
+    fn learn_fails_on_missing_keys() {
+        assert!(Layout::learn(b"MemTotal: 5 kB\n").is_none());
+    }
+
+    #[test]
+    fn apriori_fails_on_truncated_file() {
+        let s = sample();
+        let layout = Layout::learn(s.as_bytes()).unwrap();
+        let truncated = &s.as_bytes()[..s.len() / 2];
+        assert!(parse_apriori(truncated, &layout).is_none());
+    }
+
+    #[test]
+    fn generic_fails_on_garbage() {
+        assert!(parse_generic("not meminfo at all").is_none());
+    }
+
+    #[test]
+    fn used_fraction_sane() {
+        let m = MemInfo { total_kb: 1000, free_kb: 250, ..Default::default() };
+        assert_eq!(m.used_kb(), 750);
+        assert!((m.used_fraction() - 0.75).abs() < 1e-12);
+        let z = MemInfo::default();
+        assert_eq!(z.used_fraction(), 0.0);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn parses_real_proc_meminfo() {
+        let Ok(text) = std::fs::read("/proc/meminfo") else { return };
+        let layout = Layout::learn(&text).expect("learn layout from real meminfo");
+        let a = parse_apriori(&text, &layout).expect("apriori parse real meminfo");
+        let g = parse_generic(std::str::from_utf8(&text).unwrap()).unwrap();
+        assert_eq!(a, g);
+        assert!(a.total_kb > 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! `/proc/stat` — CPU jiffies and kernel counters (paper: 35 µs/call).
+
+use crate::parse::{next_u64, skip_line};
+
+/// Aggregate CPU jiffie counters (USER_HZ ticks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CpuTimes {
+    /// Time in user mode.
+    pub user: u64,
+    /// Time in user mode at low priority.
+    pub nice: u64,
+    /// Time in kernel mode.
+    pub system: u64,
+    /// Idle time.
+    pub idle: u64,
+}
+
+impl CpuTimes {
+    /// Non-idle jiffies.
+    pub fn busy(&self) -> u64 {
+        self.user + self.nice + self.system
+    }
+
+    /// All jiffies.
+    pub fn total(&self) -> u64 {
+        self.busy() + self.idle
+    }
+
+    /// CPU utilisation between two snapshots, `[0,1]`.
+    ///
+    /// Returns 0 when no time elapsed (or counters went backwards, e.g.
+    /// across a reboot).
+    pub fn utilization_since(&self, earlier: &CpuTimes) -> f64 {
+        let dt = self.total().saturating_sub(earlier.total());
+        if dt == 0 {
+            return 0.0;
+        }
+        let busy = self.busy().saturating_sub(earlier.busy());
+        (busy as f64 / dt as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Parsed `/proc/stat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stat {
+    /// Sum over all CPUs.
+    pub total: CpuTimes,
+    /// Number of `cpuN` lines.
+    pub ncpu: usize,
+    /// Context switches since boot.
+    pub ctxt: u64,
+    /// Boot time, seconds since epoch.
+    pub btime: u64,
+    /// Forks since boot.
+    pub processes: u64,
+    /// Currently runnable tasks (0 on kernels that omit it).
+    pub procs_running: u64,
+    /// Tasks blocked on I/O (0 on kernels that omit it).
+    pub procs_blocked: u64,
+}
+
+/// Allocating parser (the generic path).
+pub fn parse_generic(text: &str) -> Option<Stat> {
+    let mut stat = Stat::default();
+    let mut saw_cpu = false;
+    for line in text.lines() {
+        let mut parts = line.split_whitespace();
+        let Some(tag) = parts.next() else { continue };
+        let nums: Vec<u64> = parts.map_while(|p| p.parse().ok()).collect();
+        match tag {
+            "cpu" => {
+                if nums.len() < 4 {
+                    return None;
+                }
+                stat.total =
+                    CpuTimes { user: nums[0], nice: nums[1], system: nums[2], idle: nums[3] };
+                saw_cpu = true;
+            }
+            t if t.starts_with("cpu") => stat.ncpu += 1,
+            "ctxt" => stat.ctxt = *nums.first()?,
+            "btime" => stat.btime = *nums.first()?,
+            "processes" => stat.processes = *nums.first()?,
+            "procs_running" => stat.procs_running = *nums.first()?,
+            "procs_blocked" => stat.procs_blocked = *nums.first()?,
+            _ => {}
+        }
+    }
+    saw_cpu.then_some(stat)
+}
+
+/// Zero-allocation a-priori parser: the aggregate `cpu` line is always
+/// first, `cpuN` lines follow, keyword lines are identified by their
+/// leading bytes without building strings.
+pub fn parse_apriori(b: &[u8]) -> Option<Stat> {
+    let mut stat = Stat::default();
+    if !b.starts_with(b"cpu ") && !b.starts_with(b"cpu\t") {
+        return None;
+    }
+    let mut pos = 4;
+    stat.total.user = next_u64(b, &mut pos)?;
+    stat.total.nice = next_u64(b, &mut pos)?;
+    stat.total.system = next_u64(b, &mut pos)?;
+    stat.total.idle = next_u64(b, &mut pos)?;
+    if !skip_line(b, &mut pos) {
+        return Some(stat);
+    }
+    loop {
+        let rest = &b[pos..];
+        if rest.is_empty() {
+            break;
+        }
+        if rest.starts_with(b"cpu") {
+            stat.ncpu += 1;
+        } else if rest.starts_with(b"ctxt") {
+            let mut p = pos;
+            stat.ctxt = next_u64(b, &mut p)?;
+        } else if rest.starts_with(b"btime") {
+            let mut p = pos;
+            stat.btime = next_u64(b, &mut p)?;
+        } else if rest.starts_with(b"processes") {
+            let mut p = pos;
+            stat.processes = next_u64(b, &mut p)?;
+        } else if rest.starts_with(b"procs_running") {
+            let mut p = pos;
+            stat.procs_running = next_u64(b, &mut p)?;
+        } else if rest.starts_with(b"procs_blocked") {
+            let mut p = pos;
+            stat.procs_blocked = next_u64(b, &mut p)?;
+        }
+        // "intr", "softirq", "page", "swap", ... all skipped
+        if !skip_line(b, &mut pos) {
+            break;
+        }
+    }
+    Some(stat)
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // explicit field setup reads clearer in tests
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticState;
+
+    fn sample() -> String {
+        let mut st = SyntheticState::default();
+        st.cpus = vec![[100, 5, 30, 865], [120, 2, 40, 838]];
+        st.ctxt = 9999;
+        st.processes = 321;
+        st.procs_running = 3;
+        st.procs_blocked = 1;
+        let mut s = String::new();
+        st.render_stat(&mut s);
+        s
+    }
+
+    #[test]
+    fn generic_parses_synthetic() {
+        let st = parse_generic(&sample()).unwrap();
+        assert_eq!(st.total, CpuTimes { user: 220, nice: 7, system: 70, idle: 1703 });
+        assert_eq!(st.ncpu, 2);
+        assert_eq!(st.ctxt, 9999);
+        assert_eq!(st.processes, 321);
+        assert_eq!(st.procs_running, 3);
+        assert_eq!(st.procs_blocked, 1);
+    }
+
+    #[test]
+    fn apriori_agrees_with_generic() {
+        let s = sample();
+        assert_eq!(parse_apriori(s.as_bytes()).unwrap(), parse_generic(&s).unwrap());
+    }
+
+    #[test]
+    fn apriori_handles_modern_kernel_extras() {
+        let text = "cpu  1 2 3 4 5 6 7 8 9 10\ncpu0 1 2 3 4 5 6 7 8 9 10\nintr 12345 0 1 2\nctxt 777\nbtime 1600000000\nprocesses 42\nprocs_running 2\nprocs_blocked 0\nsoftirq 99 1 2 3\n";
+        let st = parse_apriori(text.as_bytes()).unwrap();
+        assert_eq!(st.total.user, 1);
+        assert_eq!(st.total.idle, 4);
+        assert_eq!(st.ncpu, 1);
+        assert_eq!(st.ctxt, 777);
+        assert_eq!(st.processes, 42);
+    }
+
+    #[test]
+    fn rejects_non_stat_content() {
+        assert!(parse_apriori(b"MemTotal: 5 kB\n").is_none());
+        assert!(parse_generic("MemTotal: 5 kB\n").is_none());
+    }
+
+    #[test]
+    fn utilization_between_snapshots() {
+        let a = CpuTimes { user: 100, nice: 0, system: 50, idle: 850 };
+        let b = CpuTimes { user: 175, nice: 0, system: 75, idle: 950 };
+        // busy delta 100, total delta 200
+        assert!((b.utilization_since(&a) - 0.5).abs() < 1e-12);
+        // reversed order saturates to 0
+        assert_eq!(a.utilization_since(&b), 0.0);
+        // no elapsed time
+        assert_eq!(a.utilization_since(&a), 0.0);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn parses_real_proc_stat() {
+        let Ok(text) = std::fs::read("/proc/stat") else { return };
+        let a = parse_apriori(&text).expect("apriori parse real stat");
+        let g = parse_generic(std::str::from_utf8(&text).unwrap()).unwrap();
+        assert_eq!(a.total, g.total);
+        assert_eq!(a.ncpu, g.ncpu);
+        assert_eq!(a.ctxt, g.ctxt);
+        assert!(a.ncpu >= 1);
+        assert!(a.total.total() > 0);
+    }
+}

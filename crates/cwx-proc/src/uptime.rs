@@ -1,0 +1,56 @@
+//! `/proc/uptime` — 6.2 µs/call in the paper's table.
+
+use crate::parse::next_f64;
+
+/// Parsed `/proc/uptime`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Uptime {
+    /// Seconds since boot.
+    pub uptime_secs: f64,
+    /// Aggregate idle seconds (summed over CPUs).
+    pub idle_secs: f64,
+}
+
+/// Allocating parser.
+pub fn parse_generic(text: &str) -> Option<Uptime> {
+    let mut parts = text.split_whitespace();
+    Some(Uptime {
+        uptime_secs: parts.next()?.parse().ok()?,
+        idle_secs: parts.next()?.parse().ok()?,
+    })
+}
+
+/// Zero-allocation parser.
+pub fn parse_apriori(b: &[u8]) -> Option<Uptime> {
+    let mut pos = 0;
+    Some(Uptime { uptime_secs: next_f64(b, &mut pos)?, idle_secs: next_f64(b, &mut pos)? })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parsers_agree() {
+        let text = "605502.42 589836.24\n";
+        let g = parse_generic(text).unwrap();
+        let a = parse_apriori(text.as_bytes()).unwrap();
+        assert!((g.uptime_secs - a.uptime_secs).abs() < 1e-6);
+        assert!((g.uptime_secs - 605502.42).abs() < 1e-6);
+        assert!((g.idle_secs - 589836.24).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(parse_generic("x y").is_none());
+        assert!(parse_apriori(b"42.0").is_none());
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn parses_real_uptime() {
+        let Ok(text) = std::fs::read("/proc/uptime") else { return };
+        let a = parse_apriori(&text).expect("parse real uptime");
+        assert!(a.uptime_secs > 0.0);
+    }
+}

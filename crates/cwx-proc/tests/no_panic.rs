@@ -1,0 +1,83 @@
+//! Robustness: no parser in this crate may panic on arbitrary input.
+//! The agent runs unattended on a thousand nodes; a malformed file (or a
+//! kernel we never saw) must surface as `None`/`Err`, never as a crash.
+
+use cwx_proc::{diskstats, loadavg, meminfo, netdev, rstatd, stat, uptime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parsers_never_panic_on_bytes(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = stat::parse_apriori(&data);
+        let _ = loadavg::parse_apriori(&data);
+        let _ = uptime::parse_apriori(&data);
+        let mut ifaces = Vec::new();
+        let _ = netdev::parse_apriori(&data, &mut ifaces);
+        let mut disks = Vec::new();
+        let _ = diskstats::parse_apriori(&data, &mut disks);
+        if let Some(layout) = meminfo::Layout::learn(&data) {
+            let _ = meminfo::parse_apriori(&data, &layout);
+        }
+        let _ = rstatd::decode(&data);
+    }
+
+    #[test]
+    fn parsers_never_panic_on_text(text in "\\PC{0,400}") {
+        let _ = stat::parse_generic(&text);
+        let _ = loadavg::parse_generic(&text);
+        let _ = uptime::parse_generic(&text);
+        let _ = netdev::parse_generic(&text);
+        let _ = diskstats::parse_generic(&text);
+        let _ = meminfo::parse_generic(&text);
+    }
+
+    /// Mutated-but-plausible proc files: flip bytes in real renderings.
+    #[test]
+    fn mutated_proc_files_never_panic(
+        idx in 0usize..200,
+        byte in any::<u8>(),
+        which in 0usize..5,
+    ) {
+        use cwx_proc::synthetic::SyntheticState;
+        let mut st = SyntheticState::default();
+        st.tick(100.0, 0.5);
+        let mut text = String::new();
+        match which {
+            0 => st.render_meminfo(&mut text),
+            1 => st.render_stat(&mut text),
+            2 => st.render_loadavg(&mut text),
+            3 => st.render_uptime(&mut text),
+            _ => st.render_netdev(&mut text),
+        }
+        let mut bytes = text.into_bytes();
+        if !bytes.is_empty() {
+            let k = idx % bytes.len();
+            bytes[k] = byte;
+        }
+        let _ = stat::parse_apriori(&bytes);
+        let _ = loadavg::parse_apriori(&bytes);
+        let _ = uptime::parse_apriori(&bytes);
+        let mut ifaces = Vec::new();
+        let _ = netdev::parse_apriori(&bytes, &mut ifaces);
+        if let Some(layout) = meminfo::Layout::learn(&bytes) {
+            let _ = meminfo::parse_apriori(&bytes, &layout);
+        }
+    }
+}
+
+#[test]
+fn wire_decoder_never_panics_on_fuzzed_compressed_input() {
+    use cwx_util::compress::{compress, decompress};
+    // take a valid compressed buffer and flip every byte position once
+    let original = b"CWX1 node=1 seq=2 t=3.0\nmem.free=12345\nload.one=0.5\n";
+    let packed = compress(original);
+    for i in 0..packed.len() {
+        for delta in [1u8, 0x80] {
+            let mut corrupted = packed.clone();
+            corrupted[i] = corrupted[i].wrapping_add(delta);
+            let _ = decompress(&corrupted); // must never panic
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Shared infrastructure for the ClusterWorX reproduction.
+//!
+//! This crate contains the substrate pieces every other crate leans on:
+//!
+//! * [`time`] — simulated time ([`time::SimTime`]) and duration arithmetic.
+//! * [`sim`] — a deterministic discrete-event simulator used to run
+//!   cluster-scale experiments (boot storms, cloning campaigns, monitoring
+//!   traffic) without real hardware.
+//! * [`ring`] — byte ring buffers with overwrite semantics, modelling the
+//!   ICE Box 16 KiB serial capture buffers.
+//! * [`compress`] — an LZSS text compressor used by the monitoring
+//!   transmission stage (paper §5.3.3: "we use data compression
+//!   techniques, which are known to be very effective on text input").
+//! * [`stats`] — summary statistics for the benchmark harness.
+//! * [`rng`] — seeded RNG construction plus the distribution samplers the
+//!   workload generators need (uniform, exponential, normal).
+
+#![warn(missing_docs)]
+
+pub mod compress;
+pub mod ring;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod time;
+
+pub use sim::Sim;
+pub use time::{SimDuration, SimTime};

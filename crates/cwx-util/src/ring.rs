@@ -1,0 +1,187 @@
+//! Fixed-capacity ring buffers with overwrite semantics.
+//!
+//! The ICE Box provides "logging and buffering (up to 16k) of the output
+//! on each serial device" (paper §3.3): when a node floods its console the
+//! chassis keeps only the most recent 16 KiB, which is what makes
+//! post-mortem analysis of a crashed node possible. [`ByteRing`] models
+//! exactly that: a bounded byte buffer where writes never fail and old
+//! data is silently discarded.
+
+/// A bounded byte buffer that discards the oldest bytes on overflow.
+#[derive(Clone, Debug)]
+pub struct ByteRing {
+    buf: Vec<u8>,
+    capacity: usize,
+    /// index of the logical start within `buf`
+    head: usize,
+    len: usize,
+    /// total bytes ever written, including overwritten ones
+    total_written: u64,
+}
+
+impl ByteRing {
+    /// Create a ring holding at most `capacity` bytes.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ByteRing capacity must be nonzero");
+        ByteRing { buf: vec![0; capacity], capacity, head: 0, len: 0, total_written: 0 }
+    }
+
+    /// Maximum number of bytes retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of bytes currently retained.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total bytes ever written, including those already overwritten.
+    pub fn total_written(&self) -> u64 {
+        self.total_written
+    }
+
+    /// Number of bytes lost to overwriting so far.
+    pub fn overwritten(&self) -> u64 {
+        self.total_written - self.len as u64
+    }
+
+    /// Append `data`, overwriting the oldest bytes if needed.
+    pub fn write(&mut self, data: &[u8]) {
+        self.total_written += data.len() as u64;
+        // Only the last `capacity` bytes of data can survive.
+        let data = if data.len() > self.capacity {
+            &data[data.len() - self.capacity..]
+        } else {
+            data
+        };
+        for &b in data {
+            let idx = (self.head + self.len) % self.capacity;
+            self.buf[idx] = b;
+            if self.len < self.capacity {
+                self.len += 1;
+            } else {
+                self.head = (self.head + 1) % self.capacity;
+            }
+        }
+    }
+
+    /// Copy of the retained bytes in write order (oldest first).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            out.push(self.buf[(self.head + i) % self.capacity]);
+        }
+        out
+    }
+
+    /// The retained bytes interpreted as (lossy) UTF-8, for console dumps.
+    pub fn snapshot_string(&self) -> String {
+        String::from_utf8_lossy(&self.snapshot()).into_owned()
+    }
+
+    /// The most recent `n` bytes (fewer if less is retained).
+    pub fn tail(&self, n: usize) -> Vec<u8> {
+        let take = n.min(self.len);
+        let start = self.len - take;
+        let mut out = Vec::with_capacity(take);
+        for i in start..self.len {
+            out.push(self.buf[(self.head + i) % self.capacity]);
+        }
+        out
+    }
+
+    /// Discard all retained bytes (the write counter is preserved).
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn write_within_capacity_keeps_everything() {
+        let mut r = ByteRing::new(16);
+        r.write(b"hello ");
+        r.write(b"world");
+        assert_eq!(r.snapshot(), b"hello world");
+        assert_eq!(r.len(), 11);
+        assert_eq!(r.overwritten(), 0);
+    }
+
+    #[test]
+    fn overflow_discards_oldest() {
+        let mut r = ByteRing::new(8);
+        r.write(b"abcdefgh");
+        r.write(b"XY");
+        assert_eq!(r.snapshot(), b"cdefghXY");
+        assert_eq!(r.overwritten(), 2);
+    }
+
+    #[test]
+    fn single_write_larger_than_capacity_keeps_suffix() {
+        let mut r = ByteRing::new(4);
+        r.write(b"0123456789");
+        assert_eq!(r.snapshot(), b"6789");
+        assert_eq!(r.total_written(), 10);
+        assert_eq!(r.overwritten(), 6);
+    }
+
+    #[test]
+    fn tail_returns_most_recent() {
+        let mut r = ByteRing::new(8);
+        r.write(b"abcdefgh");
+        r.write(b"ij");
+        assert_eq!(r.tail(3), b"hij");
+        assert_eq!(r.tail(100), b"cdefghij");
+    }
+
+    #[test]
+    fn clear_resets_contents_not_counter() {
+        let mut r = ByteRing::new(8);
+        r.write(b"abc");
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.total_written(), 3);
+        r.write(b"xy");
+        assert_eq!(r.snapshot(), b"xy");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        ByteRing::new(0);
+    }
+
+    proptest! {
+        /// The ring always equals the suffix of the concatenated writes.
+        #[test]
+        fn ring_is_suffix_of_stream(
+            cap in 1usize..64,
+            writes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..20)
+        ) {
+            let mut r = ByteRing::new(cap);
+            let mut stream = Vec::new();
+            for w in &writes {
+                r.write(w);
+                stream.extend_from_slice(w);
+            }
+            let keep = stream.len().min(cap);
+            let expect = &stream[stream.len() - keep..];
+            prop_assert_eq!(r.snapshot(), expect);
+            prop_assert_eq!(r.total_written(), stream.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Seeded randomness and the distribution samplers used by workload
+//! generators and failure-injection models.
+//!
+//! Everything random in the simulation flows from a single seeded
+//! [`rand::rngs::StdRng`], so every experiment is reproducible from its
+//! seed. The exponential/normal samplers are implemented here by inverse
+//! transform / Box–Muller rather than pulling in `rand_distr`, keeping the
+//! dependency set to the allowed list.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Construct the deterministic RNG for a given experiment seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Sample an exponential variate with the given rate (events per unit).
+///
+/// Used for failure inter-arrival times and job arrival processes.
+/// Returns 0 for non-positive rates.
+pub fn exponential(rng: &mut impl Rng, rate: f64) -> f64 {
+    if rate <= 0.0 {
+        return 0.0;
+    }
+    // inverse transform; guard the log argument away from 0
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    -u.ln() / rate
+}
+
+/// Sample a normal variate via Box–Muller.
+pub fn normal(rng: &mut impl Rng, mean: f64, std_dev: f64) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + std_dev * z
+}
+
+/// Sample a normal variate truncated to `[lo, hi]` by clamping.
+pub fn normal_clamped(rng: &mut impl Rng, mean: f64, std_dev: f64, lo: f64, hi: f64) -> f64 {
+    normal(rng, mean, std_dev).clamp(lo, hi)
+}
+
+/// Bernoulli trial with probability `p` (clamped to `[0,1]`).
+pub fn chance(rng: &mut impl Rng, p: f64) -> bool {
+    if p <= 0.0 {
+        false
+    } else if p >= 1.0 {
+        true
+    } else {
+        rng.random::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = rng(42);
+        let mut b = rng(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = rng(1);
+        let mut b = rng(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = rng(7);
+        let rate = 0.5;
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut r, rate)).sum();
+        let mean = sum / n as f64;
+        // expected mean = 1/rate = 2.0; generous tolerance
+        assert!((mean - 2.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn exponential_nonpositive_rate_is_zero() {
+        let mut r = rng(7);
+        assert_eq!(exponential(&mut r, 0.0), 0.0);
+        assert_eq!(exponential(&mut r, -3.0), 0.0);
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut r = rng(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 10.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean={mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "sd={}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_clamped_respects_bounds() {
+        let mut r = rng(3);
+        for _ in 0..1000 {
+            let v = normal_clamped(&mut r, 0.0, 100.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = rng(5);
+        assert!(!chance(&mut r, 0.0));
+        assert!(chance(&mut r, 1.0));
+        assert!(!chance(&mut r, -0.5));
+        assert!(chance(&mut r, 1.5));
+    }
+
+    #[test]
+    fn chance_frequency_close() {
+        let mut r = rng(9);
+        let hits = (0..10_000).filter(|_| chance(&mut r, 0.3)).count();
+        assert!((2700..3300).contains(&hits), "hits={hits}");
+    }
+}

@@ -1,0 +1,279 @@
+//! A deterministic discrete-event simulator.
+//!
+//! The reproduction runs every cluster-scale experiment (boot storms,
+//! cloning campaigns, monitoring traffic, failure-injection) on this
+//! engine. The design is the classic event-list simulator:
+//!
+//! * a priority queue of `(time, sequence)`-ordered events,
+//! * each event owns a closure that mutates the world and may schedule
+//!   further events,
+//! * ties at the same timestamp are broken by insertion order, which makes
+//!   runs bit-for-bit reproducible for a fixed seed.
+//!
+//! The world state `W` is owned by the simulator and handed to each event
+//! by `&mut`, so event handlers can freely mutate any component without
+//! interior mutability.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// An event handler: runs at its scheduled time with exclusive access to
+/// the whole simulation.
+type EventFn<W> = Box<dyn FnOnce(&mut Sim<W>)>;
+
+struct Entry<W> {
+    time: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+// Ordering for the BinaryHeap: we wrap entries in `Reverse` at push time,
+// so `Ord` here is the natural (time, seq) order.
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A discrete-event simulation over a world `W`.
+///
+/// ```
+/// use cwx_util::sim::Sim;
+/// use cwx_util::time::SimDuration;
+///
+/// let mut sim = Sim::new(0u32);
+/// sim.schedule_in(SimDuration::from_secs(1), |sim| {
+///     *sim.world_mut() += 1;
+///     sim.schedule_in(SimDuration::from_secs(1), |sim| *sim.world_mut() += 10);
+/// });
+/// sim.run();
+/// assert_eq!(*sim.world(), 11);
+/// assert_eq!(sim.now().as_secs_f64(), 2.0);
+/// ```
+pub struct Sim<W> {
+    world: W,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Entry<W>>>,
+    executed: u64,
+}
+
+impl<W> Sim<W> {
+    /// Create a simulator at time zero owning `world`.
+    pub fn new(world: W) -> Self {
+        Sim { world, now: SimTime::ZERO, seq: 0, queue: BinaryHeap::new(), executed: 0 }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consume the simulator, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Schedule `f` to run at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to "now": the event runs at the
+    /// current time, after already-queued events with the same timestamp.
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Sim<W>) + 'static) {
+        let time = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Entry { time, seq, f: Box::new(f) }));
+    }
+
+    /// Schedule `f` to run `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, f: impl FnOnce(&mut Sim<W>) + 'static) {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedule a recurring event every `period`, starting one period from
+    /// now, until `f` returns `false`.
+    pub fn schedule_every(
+        &mut self,
+        period: SimDuration,
+        f: impl FnMut(&mut Sim<W>) -> bool + 'static,
+    ) {
+        fn tick<W>(
+            sim: &mut Sim<W>,
+            period: SimDuration,
+            mut f: impl FnMut(&mut Sim<W>) -> bool + 'static,
+        ) {
+            if f(sim) {
+                sim.schedule_in(period, move |sim| tick(sim, period, f));
+            }
+        }
+        self.schedule_in(period, move |sim| tick(sim, period, f));
+    }
+
+    /// Execute the next pending event, advancing the clock to its
+    /// timestamp. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(Reverse(entry)) => {
+                debug_assert!(entry.time >= self.now, "event list went backwards");
+                self.now = entry.time;
+                self.executed += 1;
+                (entry.f)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until no events remain.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until no events remain or the clock would pass `deadline`.
+    ///
+    /// Events scheduled exactly at the deadline still execute; the first
+    /// event strictly beyond it is left in the queue and the clock is
+    /// advanced to the deadline.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(entry)) if entry.time <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Run for `span` of simulated time from now.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now + span;
+        self.run_until(deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(());
+        for &t in &[5u64, 1, 3, 2, 4] {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(t), move |_| log.borrow_mut().push(t));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(sim.events_executed(), 5);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(());
+        for i in 0..10u32 {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(7), move |_| log.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut sim = Sim::new(Vec::new());
+        sim.schedule_at(SimTime::from_nanos(100), |sim| {
+            // try to schedule "earlier" — must still run, at t=100
+            sim.schedule_at(SimTime::from_nanos(10), |sim| {
+                let now = sim.now();
+                sim.world_mut().push(now);
+            });
+        });
+        sim.run();
+        assert_eq!(sim.world().len(), 1);
+        assert_eq!(sim.world()[0], SimTime::from_nanos(100));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let mut sim = Sim::new(0u32);
+        sim.schedule_at(SimTime::from_nanos(10), |sim| *sim.world_mut() += 1);
+        sim.schedule_at(SimTime::from_nanos(20), |sim| *sim.world_mut() += 1);
+        sim.schedule_at(SimTime::from_nanos(30), |sim| *sim.world_mut() += 1);
+        sim.run_until(SimTime::from_nanos(20));
+        assert_eq!(*sim.world(), 2); // event at t=20 inclusive
+        assert_eq!(sim.now(), SimTime::from_nanos(20));
+        assert_eq!(sim.events_pending(), 1);
+        sim.run_until(SimTime::from_nanos(25));
+        // nothing ran, but the clock advanced to the deadline
+        assert_eq!(*sim.world(), 2);
+        assert_eq!(sim.now(), SimTime::from_nanos(25));
+    }
+
+    #[test]
+    fn schedule_every_repeats_until_false() {
+        let mut sim = Sim::new(0u32);
+        sim.schedule_every(SimDuration::from_secs(1), |sim| {
+            *sim.world_mut() += 1;
+            *sim.world() < 5
+        });
+        sim.run();
+        assert_eq!(*sim.world(), 5);
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn nested_scheduling_cascades() {
+        // each event schedules the next; 1000 deep
+        fn chain(sim: &mut Sim<u64>, remaining: u64) {
+            *sim.world_mut() += 1;
+            if remaining > 0 {
+                sim.schedule_in(SimDuration::from_nanos(1), move |sim| chain(sim, remaining - 1));
+            }
+        }
+        let mut sim = Sim::new(0u64);
+        sim.schedule_in(SimDuration::ZERO, |sim| chain(sim, 999));
+        sim.run();
+        assert_eq!(*sim.world(), 1000);
+    }
+}

@@ -1,0 +1,168 @@
+//! Summary statistics for experiment reporting.
+//!
+//! The benchmark harness prints paper-style rows (rates, per-call costs,
+//! completion times); [`Summary`] condenses a sample vector into the
+//! moments and percentiles those rows need.
+
+/// Summary statistics over a set of `f64` samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Compute statistics over `samples`. Returns `None` for an empty or
+    /// all-NaN input.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        Some(Summary {
+            count: n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            p50: percentile_sorted(&sorted, 0.50),
+            p95: percentile_sorted(&sorted, 0.95),
+            p99: percentile_sorted(&sorted, 0.99),
+        })
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted, non-empty slice.
+///
+/// `q` is in `[0,1]`; out-of-range values clamp to the extremes.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let q = q.clamp(0.0, 1.0);
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank]
+}
+
+/// A streaming counter of a rate: events per second of simulated time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RateMeter {
+    events: u64,
+    bytes: u64,
+}
+
+impl RateMeter {
+    /// New, empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one event carrying `bytes` of payload.
+    pub fn record(&mut self, bytes: u64) {
+        self.events += 1;
+        self.bytes += bytes;
+    }
+
+    /// Total events recorded.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Total payload bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Events per second over an elapsed window.
+    pub fn event_rate(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / elapsed_secs
+        }
+    }
+
+    /// Bytes per second over an elapsed window.
+    pub fn byte_rate(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / elapsed_secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p50, 3.0);
+        assert!((s.std_dev - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn summary_filters_nan() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0]).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn percentiles_on_larger_set() {
+        let v: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let s = Summary::of(&v).unwrap();
+        // nearest-rank: round(0.5 * 99) = 50 -> the 51st value
+        assert_eq!(s.p50, 51.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+    }
+
+    #[test]
+    fn percentile_clamps_q() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(percentile_sorted(&v, -1.0), 1.0);
+        assert_eq!(percentile_sorted(&v, 2.0), 3.0);
+    }
+
+    #[test]
+    fn rate_meter_rates() {
+        let mut m = RateMeter::new();
+        for _ in 0..10 {
+            m.record(100);
+        }
+        assert_eq!(m.events(), 10);
+        assert_eq!(m.bytes(), 1000);
+        assert_eq!(m.event_rate(2.0), 5.0);
+        assert_eq!(m.byte_rate(2.0), 500.0);
+        assert_eq!(m.event_rate(0.0), 0.0);
+    }
+}

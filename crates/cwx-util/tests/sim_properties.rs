@@ -1,0 +1,88 @@
+//! Property tests on the discrete-event simulator: time monotonicity,
+//! exhaustive execution, deterministic tie-breaking — the invariants the
+//! whole reproduction stands on.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cwx_util::sim::Sim;
+use cwx_util::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Whatever the schedule, events run in nondecreasing time order and
+    /// all of them run.
+    #[test]
+    fn time_never_goes_backwards(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(());
+        for &t in &times {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(t), move |sim| {
+                log.borrow_mut().push(sim.now().as_nanos());
+            });
+        }
+        sim.run();
+        let executed = log.borrow();
+        prop_assert_eq!(executed.len(), times.len());
+        prop_assert!(executed.windows(2).all(|w| w[0] <= w[1]));
+        let mut expect = times.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(&*executed, &expect);
+    }
+
+    /// Events scheduled *during* execution still respect ordering, and
+    /// clamping to "now" never reorders the past.
+    #[test]
+    fn nested_schedules_stay_ordered(
+        seeds in proptest::collection::vec((0u64..1000, 0u64..1000), 1..60)
+    ) {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(());
+        for &(t, child_delay) in &seeds {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(t), move |sim| {
+                let log2 = Rc::clone(&log);
+                log.borrow_mut().push(sim.now());
+                sim.schedule_in(SimDuration::from_nanos(child_delay), move |sim| {
+                    log2.borrow_mut().push(sim.now());
+                });
+            });
+        }
+        sim.run();
+        let executed = log.borrow();
+        prop_assert_eq!(executed.len(), seeds.len() * 2);
+        prop_assert!(executed.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// run_until honours the deadline exactly: nothing beyond it runs,
+    /// and resuming completes the rest identically to a single run.
+    #[test]
+    fn run_until_is_a_clean_pause(
+        times in proptest::collection::vec(0u64..10_000, 1..100),
+        cut in 0u64..10_000,
+    ) {
+        let build = |log: Rc<RefCell<Vec<u64>>>, times: &[u64]| {
+            let mut sim = Sim::new(());
+            for &t in times {
+                let log = Rc::clone(&log);
+                sim.schedule_at(SimTime::from_nanos(t), move |sim| {
+                    log.borrow_mut().push(sim.now().as_nanos());
+                });
+            }
+            sim
+        };
+        // one-shot run
+        let full = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = build(Rc::clone(&full), &times);
+        sim.run();
+        // paused run
+        let paused = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = build(Rc::clone(&paused), &times);
+        sim.run_until(SimTime::from_nanos(cut));
+        prop_assert!(paused.borrow().iter().all(|&t| t <= cut));
+        prop_assert!(sim.now() >= SimTime::from_nanos(cut));
+        sim.run();
+        prop_assert_eq!(&*full.borrow(), &*paused.borrow());
+    }
+}

@@ -1,0 +1,161 @@
+//! Jobs and their lifecycle.
+
+use cwx_util::time::{SimDuration, SimTime};
+
+/// Identifies a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the queue.
+    Pending,
+    /// Executing on its allocation.
+    Running,
+    /// Finished successfully.
+    Completed,
+    /// Hit its time limit and was killed.
+    TimedOut,
+    /// A node in its allocation failed.
+    NodeFail,
+    /// Cancelled by the user.
+    Cancelled,
+}
+
+impl JobState {
+    /// Terminal states never change again.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobState::Pending | JobState::Running)
+    }
+}
+
+/// What a user submits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Submitting user.
+    pub user: String,
+    /// Target partition (empty = default).
+    pub partition: String,
+    /// Nodes required.
+    pub nodes: u32,
+    /// Wall-clock limit the user declared.
+    pub time_limit: SimDuration,
+    /// True runtime (known to the simulator, not the scheduler).
+    pub actual_runtime: SimDuration,
+    /// Exclusive node access (the default; `false` allows sharing —
+    /// "exclusive and/or non-exclusive access").
+    pub exclusive: bool,
+}
+
+impl JobRequest {
+    /// A simple exclusive batch job.
+    pub fn batch(user: &str, nodes: u32, limit_secs: u64, runtime_secs: u64) -> Self {
+        JobRequest {
+            user: user.to_string(),
+            partition: String::new(),
+            nodes,
+            time_limit: SimDuration::from_secs(limit_secs),
+            actual_runtime: SimDuration::from_secs(runtime_secs),
+            exclusive: true,
+        }
+    }
+}
+
+/// A job as tracked by the controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Id.
+    pub id: JobId,
+    /// The request.
+    pub request: JobRequest,
+    /// Current state.
+    pub state: JobState,
+    /// Submission time.
+    pub submitted: SimTime,
+    /// Start time (when allocated).
+    pub started: Option<SimTime>,
+    /// End time (terminal transition).
+    pub ended: Option<SimTime>,
+    /// Allocated node indices.
+    pub allocation: Vec<u32>,
+    /// Whether the backfill pass (not the head-of-queue pass) started it.
+    pub backfilled: bool,
+}
+
+impl Job {
+    /// Queue wait (start − submit); `None` while pending.
+    pub fn wait(&self) -> Option<SimDuration> {
+        self.started.map(|s| s.since(self.submitted))
+    }
+
+    /// When the job will finish if it runs to its actual runtime.
+    pub fn expected_end(&self) -> Option<SimTime> {
+        self.started.map(|s| s + self.request.actual_runtime.min(self.request.time_limit))
+    }
+
+    /// The latest time the scheduler must assume the job holds its
+    /// nodes (start + declared limit).
+    pub fn limit_end(&self) -> Option<SimTime> {
+        self.started.map(|s| s + self.request.time_limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_states() {
+        assert!(!JobState::Pending.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(JobState::Completed.is_terminal());
+        assert!(JobState::TimedOut.is_terminal());
+        assert!(JobState::NodeFail.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+    }
+
+    #[test]
+    fn job_time_accessors() {
+        let mut j = Job {
+            id: JobId(1),
+            request: JobRequest::batch("u", 2, 100, 60),
+            state: JobState::Pending,
+            submitted: SimTime::from_nanos(0),
+            started: None,
+            ended: None,
+            allocation: vec![],
+            backfilled: false,
+        };
+        assert!(j.wait().is_none());
+        j.started = Some(SimTime::ZERO + SimDuration::from_secs(10));
+        assert_eq!(j.wait().unwrap().as_millis(), 10_000);
+        assert_eq!(
+            j.expected_end().unwrap(),
+            SimTime::ZERO + SimDuration::from_secs(70),
+            "actual runtime below the limit"
+        );
+        assert_eq!(j.limit_end().unwrap(), SimTime::ZERO + SimDuration::from_secs(110));
+    }
+
+    #[test]
+    fn runtime_clamped_by_limit() {
+        let j = Job {
+            id: JobId(1),
+            request: JobRequest::batch("u", 1, 50, 500),
+            state: JobState::Running,
+            submitted: SimTime::ZERO,
+            started: Some(SimTime::ZERO),
+            ended: None,
+            allocation: vec![0],
+            backfilled: false,
+        };
+        assert_eq!(j.expected_end().unwrap(), SimTime::ZERO + SimDuration::from_secs(50));
+    }
+}

@@ -1,0 +1,34 @@
+//! SLURM-lite: the Simple Linux Utility for Resource Management the
+//! paper presents as future work (§6), reproduced as a library.
+//!
+//! "SLURM provides three key functions. First, it allocates exclusive
+//! and/or non-exclusive access to resources (compute nodes) to users for
+//! some duration of time so they can perform work. Second, it provides a
+//! framework for starting, executing, and monitoring work (typically a
+//! parallel job) on a set of allocated nodes. Finally, it arbitrates
+//! conflicting requests for resources by managing a queue of pending
+//! work. SLURM is not a sophisticated batch system, but it does provide
+//! an Applications Programming Interface (API) for integration with
+//! external schedulers such as The Maui Scheduler. ... SLURM is highly
+//! tolerant of system failures including failure of the node executing
+//! its control functions."
+//!
+//! * [`job`] — jobs, requests, lifecycle states.
+//! * [`controller`] — the control daemon: node registry, partitions,
+//!   pending queue, allocation, completion, node-failure handling, and
+//!   failover (the controller state is cloneable; a backup resumes from
+//!   a replica).
+//! * [`sched`] — FIFO and EASY-backfill schedulers, plus the external
+//!   scheduler hook (a priority function — the Maui integration point).
+//! * [`trace`] — synthetic job-trace generation for the experiments.
+
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod job;
+pub mod sched;
+pub mod trace;
+
+pub use controller::{Controller, ControllerStats, NodeAllocState, SlurmError};
+pub use job::{JobId, JobRequest, JobState};
+pub use sched::SchedulerKind;

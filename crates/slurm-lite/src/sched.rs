@@ -1,0 +1,80 @@
+//! Scheduling policies and the external-scheduler hook.
+
+use cwx_util::time::SimTime;
+
+use crate::job::Job;
+
+/// Built-in scheduling policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Strict first-in-first-out: the head of the queue blocks everyone
+    /// behind it.
+    Fifo,
+    /// EASY backfill: later jobs may start immediately if they cannot
+    /// delay the head job's reservation.
+    Backfill,
+}
+
+/// The external-scheduler integration point ("an API for integration
+/// with external schedulers such as The Maui Scheduler"): a priority
+/// function over pending jobs. Higher runs earlier; ties break by
+/// submission order. A plain `fn` pointer so controller state stays
+/// `Clone` for failover replication.
+pub type PriorityFn = fn(&Job, SimTime) -> i64;
+
+/// The default priority: pure FIFO (everything ties, submit order
+/// decides).
+pub fn fifo_priority(_job: &Job, _now: SimTime) -> i64 {
+    0
+}
+
+/// A Maui-flavoured example policy: favour short and small jobs, age
+/// waiting jobs upward so nothing starves.
+pub fn maui_like_priority(job: &Job, now: SimTime) -> i64 {
+    let wait_secs = now.since(job.submitted).as_secs_f64();
+    let size_penalty = (job.request.nodes as i64) * 10;
+    let length_penalty = (job.request.time_limit.as_secs_f64() / 60.0) as i64;
+    (wait_secs / 30.0) as i64 * 25 - size_penalty - length_penalty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobId, JobRequest, JobState};
+    use cwx_util::time::SimDuration;
+
+    fn job(nodes: u32, limit: u64, submitted_s: u64) -> Job {
+        Job {
+            id: JobId(1),
+            request: JobRequest::batch("u", nodes, limit, limit),
+            state: JobState::Pending,
+            submitted: SimTime::ZERO + SimDuration::from_secs(submitted_s),
+            started: None,
+            ended: None,
+            allocation: vec![],
+            backfilled: false,
+        }
+    }
+
+    #[test]
+    fn fifo_priority_is_flat() {
+        let now = SimTime::ZERO + SimDuration::from_secs(100);
+        assert_eq!(fifo_priority(&job(1, 60, 0), now), fifo_priority(&job(64, 86_400, 99), now));
+    }
+
+    #[test]
+    fn maui_like_prefers_small_short_jobs() {
+        let now = SimTime::ZERO + SimDuration::from_secs(100);
+        let small = maui_like_priority(&job(1, 600, 50), now);
+        let big = maui_like_priority(&job(32, 86_400, 50), now);
+        assert!(small > big);
+    }
+
+    #[test]
+    fn maui_like_ages_waiting_jobs() {
+        let now = SimTime::ZERO + SimDuration::from_secs(7200);
+        let old = maui_like_priority(&job(32, 3600, 0), now);
+        let new = maui_like_priority(&job(32, 3600, 7100), now);
+        assert!(old > new, "aged job must outrank a fresh identical one");
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests on allocation invariants: whatever the trace, the
+//! controller must never double-book a node, leak an allocation, or
+//! lose a job.
+
+use std::collections::BTreeMap;
+
+use cwx_util::rng::rng;
+use proptest::prelude::*;
+use slurm_lite::controller::NodeAllocState;
+use slurm_lite::trace::{generate, TraceConfig};
+use slurm_lite::{Controller, JobState, SchedulerKind};
+
+/// Check structural invariants at one instant.
+fn check_invariants(c: &Controller, n_nodes: u32) {
+    // 1. exclusive allocations are consistent both ways
+    let mut node_owner: BTreeMap<u32, slurm_lite::JobId> = BTreeMap::new();
+    for (i, st) in c.nodes().iter().enumerate() {
+        if let NodeAllocState::Allocated(id) = st {
+            node_owner.insert(i as u32, *id);
+        }
+    }
+    for job in c.jobs() {
+        match job.state {
+            JobState::Running => {
+                assert_eq!(
+                    job.allocation.len() as u32,
+                    job.request.nodes,
+                    "running job holds exactly what it asked for"
+                );
+                if job.request.exclusive {
+                    for n in &job.allocation {
+                        assert_eq!(
+                            node_owner.get(n),
+                            Some(&job.id),
+                            "exclusive node {n} must map back to {:?}",
+                            job.id
+                        );
+                    }
+                } else {
+                    for n in &job.allocation {
+                        assert!(
+                            c.shared_jobs(*n).contains(&job.id),
+                            "shared slot must list the job"
+                        );
+                        assert!(
+                            !matches!(c.nodes()[*n as usize], NodeAllocState::Allocated(_)),
+                            "shared job on an exclusively-held node"
+                        );
+                    }
+                }
+            }
+            _ => assert!(job.allocation.is_empty(), "non-running jobs hold nothing"),
+        }
+    }
+    // 2. every exclusively-held node's owner is running
+    for (n, id) in &node_owner {
+        let job = c.job(*id).expect("owner exists");
+        assert_eq!(job.state, JobState::Running, "node {n} held by non-running job");
+    }
+    // 3. shared slot lists only running jobs, within capacity
+    for n in 0..n_nodes {
+        for id in c.shared_jobs(n) {
+            assert_eq!(c.job(*id).unwrap().state, JobState::Running);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn random_traces_never_violate_allocation_invariants(
+        seed in any::<u64>(),
+        n_nodes in 4u32..48,
+        jobs in 10usize..80,
+        backfill in any::<bool>(),
+    ) {
+        let cfg = TraceConfig {
+            cluster_nodes: n_nodes,
+            mean_interarrival_secs: 60.0,
+            ..TraceConfig::default()
+        };
+        let trace = generate(&mut rng(seed), &cfg, jobs);
+        let kind = if backfill { SchedulerKind::Backfill } else { SchedulerKind::Fifo };
+        let mut c = Controller::new(n_nodes, kind);
+        let mut i = 0;
+        // interleave submissions and completions, checking at each step
+        loop {
+            let next_submit = trace.get(i).map(|j| j.submit);
+            let next_done = c.next_completion();
+            let now = match (next_submit, next_done) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+            while i < trace.len() && trace[i].submit <= now {
+                let _ = c.submit(now, trace[i].request.clone());
+                i += 1;
+            }
+            c.advance(now);
+            check_invariants(&c, n_nodes);
+        }
+        // drained: everything terminal, all nodes free
+        prop_assert!(c.jobs().all(|j| j.state.is_terminal()));
+        prop_assert!(c.nodes().iter().all(|n| *n == NodeAllocState::Idle));
+        let s = c.stats();
+        prop_assert_eq!(s.completed + s.timed_out + s.cancelled + s.node_failed, s.submitted);
+    }
+
+    #[test]
+    fn random_node_failures_never_strand_jobs(
+        seed in any::<u64>(),
+        failures in proptest::collection::vec((0u32..16, 1u64..5000), 1..10),
+    ) {
+        let cfg = TraceConfig { cluster_nodes: 16, ..TraceConfig::default() };
+        let trace = generate(&mut rng(seed), &cfg, 30);
+        let mut c = Controller::new(16, SchedulerKind::Backfill);
+        let mut i = 0;
+        let mut fail_iter = failures.iter();
+        let mut next_fail = fail_iter.next();
+        loop {
+            let next_submit = trace.get(i).map(|j| j.submit);
+            let next_done = c.next_completion();
+            let now = match (next_submit, next_done) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+            if let Some(&(node, at_secs)) = next_fail {
+                let at = cwx_util::time::SimTime::ZERO
+                    + cwx_util::time::SimDuration::from_secs(at_secs);
+                if at <= now {
+                    c.node_fail(at, node);
+                    c.node_resume(node); // technician swaps it straight away
+                    next_fail = fail_iter.next();
+                    c.advance(now);
+                    check_invariants(&c, 16);
+                    continue;
+                }
+            }
+            while i < trace.len() && trace[i].submit <= now {
+                let _ = c.submit(now, trace[i].request.clone());
+                i += 1;
+            }
+            c.advance(now);
+            check_invariants(&c, 16);
+        }
+        prop_assert!(c.jobs().all(|j| j.state.is_terminal()), "no job left behind");
+    }
+}

@@ -1,0 +1,132 @@
+//! Drive an ICE Box directly over its management protocols (paper §3):
+//! SIMP on the serial line, NIMP over Ethernet, and the SNMP table —
+//! power sequencing, probes, reset, and the 16 KiB console capture.
+//!
+//! ```text
+//! cargo run --release --example icebox_console
+//! ```
+
+use cwx_icebox::chassis::{IceBox, PortEffect, PortId, ProbeReading};
+use cwx_icebox::protocol::{parse_nimp, parse_simp, render_response, Command, PortSel, Response};
+use cwx_icebox::snmp;
+use cwx_util::time::SimTime;
+
+/// A minimal command interpreter: what the embedded controller does with
+/// a decoded command.
+fn execute(ib: &mut IceBox, now: SimTime, cmd: Command) -> (Response, Vec<PortEffect>) {
+    let mut effects = Vec::new();
+    let resp = match cmd {
+        Command::PowerOn(sel) => {
+            for p in ports(sel) {
+                effects.extend(ib.power_on(now, p));
+            }
+            Response::Ok
+        }
+        Command::PowerOff(sel) => {
+            for p in ports(sel) {
+                effects.extend(ib.power_off(p));
+            }
+            Response::Ok
+        }
+        Command::PowerCycle(sel) => {
+            for p in ports(sel) {
+                effects.extend(ib.power_off(p));
+                effects.extend(ib.power_on(now, p));
+            }
+            Response::Ok
+        }
+        Command::Reset(sel) => {
+            for p in ports(sel) {
+                effects.extend(ib.reset(p));
+            }
+            Response::Ok
+        }
+        Command::Status => Response::Status(
+            (0..10u8)
+                .map(|i| {
+                    let p = PortId(i);
+                    (p, ib.relay_on(p), ib.probe(p).unwrap_or_default())
+                })
+                .collect(),
+        ),
+        Command::Temps => Response::Temps(
+            (0..10u8)
+                .map(|i| (PortId(i), ib.probe(PortId(i)).unwrap_or_default().temp_c))
+                .collect(),
+        ),
+        Command::Console(p) => Response::Console(ib.console_log(p)),
+        Command::ClearLog(p) => {
+            ib.clear_console(p);
+            Response::Ok
+        }
+        Command::Version => Response::Version(ib.firmware_version().to_string()),
+    };
+    (resp, effects)
+}
+
+fn ports(sel: PortSel) -> Vec<PortId> {
+    match sel {
+        PortSel::All => (0..10u8).map(PortId).collect(),
+        PortSel::One(p) => vec![p],
+    }
+}
+
+fn main() {
+    let mut ib = IceBox::new();
+    let now = SimTime::ZERO;
+
+    // --- SIMP session (serial) ---
+    println!("SIMP (serial console) session:");
+    for line in ["VERSION\r", "POWER ON ALL\r", "STATUS\r"] {
+        let cmd = parse_simp(line).expect("valid command");
+        let (resp, effects) = execute(&mut ib, now, cmd);
+        print!("  > {}\n  {}", line.trim_end(), render_response(None, &resp));
+        if !effects.is_empty() {
+            println!("  ({} relay effects, sequenced)", effects.len());
+            for e in effects.iter().take(3) {
+                println!("    {e:?}");
+            }
+        }
+    }
+
+    // probes arrive from the backplane
+    for i in 0..10u8 {
+        ib.record_probe(
+            PortId(i),
+            ProbeReading { temp_c: 40.0 + i as f64, watts: 120.0 + 5.0 * i as f64, fan_rpm: 6000.0 },
+        );
+    }
+
+    // --- NIMP session (network) ---
+    println!("\nNIMP (network) session:");
+    for frame in ["NIMP1 1 TEMPS\n", "NIMP1 2 RESET 3\n", "NIMP1 3 POWER CYCLE 9\n"] {
+        let (seq, cmd) = parse_nimp(frame).expect("valid frame");
+        let (resp, _) = execute(&mut ib, now, cmd);
+        print!("  > {}  {}", frame.trim_end(), render_response(Some(seq), &resp));
+    }
+
+    // --- SNMP table ---
+    println!("\nSNMP walk (first rows):");
+    for (oid, value) in snmp::walk(&ib).into_iter().take(6) {
+        println!("  {oid} = {value:?}");
+    }
+
+    // --- console capture / post-mortem ---
+    let victim = PortId(2);
+    for i in 0..40 {
+        ib.feed_console(victim, format!("eth0: NETDEV WATCHDOG: transmit timed out ({i})\n").as_bytes());
+    }
+    ib.feed_console(victim, b"Kernel panic: Aiee, killing interrupt handler!\n");
+    let cmd = parse_simp("CONSOLE 2").unwrap();
+    let (resp, _) = execute(&mut ib, now, cmd);
+    if let Response::Console(log) = &resp {
+        println!("\npost-mortem for port 2 ({} bytes captured):", log.len());
+        for line in log.lines().rev().take(3).collect::<Vec<_>>().iter().rev() {
+            println!("  | {line}");
+        }
+    }
+
+    // error handling on the wire
+    let err = parse_simp("POWER FRY 3").unwrap_err();
+    println!("\nbad command rejected: {err}");
+}

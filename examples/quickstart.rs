@@ -1,0 +1,55 @@
+//! Quickstart: build a simulated 32-node cluster, let ClusterWorX manage
+//! it for ten simulated minutes, and look around.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use clusterworx::{dashboard, Cluster, ClusterConfig, WorkloadMix};
+use cwx_monitor::monitor::MonitorKey;
+use cwx_util::time::SimDuration;
+
+fn main() {
+    // a 32-node cluster with a realistic workload mix, LinuxBIOS
+    // firmware and the monitoring pipeline at product settings
+    let mut sim = Cluster::build(ClusterConfig {
+        n_nodes: 32,
+        seed: 2003,
+        workload: WorkloadMix::Mixed,
+        ..Default::default()
+    });
+
+    // ten simulated minutes: nodes power on (sequenced through the ICE
+    // Boxes), boot, start their agents, and report
+    sim.run_for(SimDuration::from_secs(600));
+
+    let now = sim.now();
+    let world = sim.world();
+
+    println!("{}", dashboard::render(world, now));
+
+    let stats = world.server.stats();
+    println!("server: {} reports, {} values, {} wire bytes, {} decode errors",
+        stats.reports_rx, stats.values_rx, stats.bytes_rx, stats.decode_errors);
+
+    // historical graphing: chart one node's CPU over the run
+    let key = MonitorKey::new("cpu.util_pct");
+    let buckets = world.server.history().downsample(5, &key, cwx_util::time::SimTime::ZERO, now, 12);
+    println!("\nnode005 cpu.util_pct history ({} buckets):", buckets.len());
+    for b in buckets {
+        let bar = "#".repeat((b.mean / 4.0) as usize);
+        println!("  t={:>6.0}s  mean={:>5.1}%  {bar}", b.start.as_secs_f64(), b.mean);
+    }
+
+    // compare performance between nodes (paper: "compare performance
+    // between nodes")
+    let mut rows = world.server.history().latest_across_nodes(&key);
+    rows.sort_by(|a, b| b.1.value.partial_cmp(&a.1.value).unwrap());
+    println!("\nbusiest nodes right now:");
+    for (node, sample) in rows.iter().take(5) {
+        println!("  node{node:03}: {:.1}% cpu", sample.value);
+    }
+
+    println!("\nemails sent: {}", world.server.outbox().len());
+    assert_eq!(world.up_count(), 32, "every node should be up");
+}

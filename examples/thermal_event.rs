@@ -1,0 +1,85 @@
+//! The paper's flagship event-engine scenario (§5.2): a CPU fan fails on
+//! a loaded node; ClusterWorX notices the probe reading, powers the node
+//! down through its ICE Box before the CPU burns, and mails the
+//! administrator exactly once.
+//!
+//! ```text
+//! cargo run --release --example thermal_event
+//! ```
+
+use clusterworx::world::schedule_fault;
+use clusterworx::{Cluster, ClusterConfig, World, WorkloadMix};
+use cwx_hw::node::Fault;
+use cwx_hw::HealthState;
+use cwx_util::time::{SimDuration, SimTime};
+
+fn main() {
+    let mut sim = Cluster::build(ClusterConfig {
+        n_nodes: 10,
+        seed: 7,
+        workload: WorkloadMix::Constant(0.95), // fully loaded cluster
+        ..Default::default()
+    });
+
+    // warm up to thermal steady state
+    sim.run_for(SimDuration::from_secs(400));
+    let victim = 4u32;
+    let t_fault = sim.now() + SimDuration::from_secs(10);
+    println!("injecting fan failure on node{victim:03} at t={t_fault}");
+    schedule_fault(&mut sim, t_fault, victim, Fault::FanFailure);
+
+    // watch the story unfold
+    let mut acted_at: Option<SimTime> = None;
+    for _ in 0..3000 {
+        if !sim.step() {
+            break;
+        }
+        if acted_at.is_none() {
+            if let Some(a) = sim.world().action_log.iter().find(|a| a.node == victim) {
+                acted_at = Some(a.time);
+                let temp = sim.world().nodes[victim as usize].hw.temperature_c();
+                println!(
+                    "t={}: event engine executed {:?} on node{victim:03} (cpu at {temp:.1} C)",
+                    a.time, a.action
+                );
+                break;
+            }
+        }
+    }
+    let acted_at = acted_at.expect("the event engine must act");
+    println!(
+        "detection-to-action latency: {:.1}s",
+        acted_at.since(t_fault).as_secs_f64()
+    );
+
+    // let the mail flush and the node cool down
+    sim.run_for(SimDuration::from_secs(120));
+    let world = sim.world();
+
+    let node = &world.nodes[victim as usize];
+    assert_ne!(node.hw.health(), HealthState::Burned, "CPU must be saved");
+    println!(
+        "node{victim:03}: health={:?}, temperature now {:.1} C (cooling, power off)",
+        node.hw.health(),
+        node.hw.temperature_c()
+    );
+
+    println!("\nadministrator mailbox:");
+    for mail in world.server.outbox() {
+        println!("  subject: {}", mail.subject);
+        for line in mail.body.lines() {
+            println!("    {line}");
+        }
+    }
+    let fan_mails =
+        world.server.outbox().iter().filter(|m| m.event == "cpu-fan-failure").count();
+    assert_eq!(fan_mails, 1, "smart notification: exactly one email");
+
+    // post-mortem: what the ICE Box captured from the node's console
+    let (bx, port) = World::rack_of(victim);
+    let log = world.iceboxes[bx].console_log(port);
+    println!("\nICE Box console capture for node{victim:03} (last lines):");
+    for line in log.lines().rev().take(3).collect::<Vec<_>>().iter().rev() {
+        println!("  | {line}");
+    }
+}

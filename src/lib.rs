@@ -1,0 +1,20 @@
+//! Facade crate for the ClusterWorX reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! integration tests in this repository (and downstream users who just
+//! want "the whole system") can depend on a single crate.
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! full system inventory and experiment index.
+
+pub use clusterworx;
+pub use cwx_bios as bios;
+pub use cwx_clone as clone;
+pub use cwx_events as events;
+pub use cwx_hw as hw;
+pub use cwx_icebox as icebox;
+pub use cwx_monitor as monitor;
+pub use cwx_net as net;
+pub use cwx_proc as procfs;
+pub use cwx_util as util;
+pub use slurm_lite as slurm;
