@@ -20,7 +20,7 @@ fn benches(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = boot;
     // short windows keep the full suite's wall time bounded; the
     // measured effects are orders of magnitude, not percent-level

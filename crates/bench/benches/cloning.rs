@@ -26,8 +26,14 @@ fn benches(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("multicast", n), &n, |b, &n| {
             b.iter(|| {
                 black_box(
-                    run_clone(1, n, FAST_ETHERNET_BPS, 0.01, cfg(RepairStrategy::MulticastRoundRobin))
-                        .makespan_secs,
+                    run_clone(
+                        1,
+                        n,
+                        FAST_ETHERNET_BPS,
+                        0.01,
+                        cfg(RepairStrategy::MulticastRoundRobin),
+                    )
+                    .makespan_secs,
                 )
             })
         });
@@ -57,7 +63,7 @@ fn benches(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = cloning;
     // short windows keep the full suite's wall time bounded; the
     // measured effects are orders of magnitude, not percent-level

@@ -14,17 +14,21 @@ fn benches(c: &mut Criterion) {
     let mut g = c.benchmark_group("e8_compress");
     g.sample_size(40);
     g.throughput(Throughput::Bytes(stream.len() as u64));
-    g.bench_function("compress_proc_stream", |b| b.iter(|| black_box(compress(&stream)).len()));
+    g.bench_function("compress_proc_stream", |b| {
+        b.iter(|| black_box(compress(&stream)).len())
+    });
     g.throughput(Throughput::Bytes(stream.len() as u64));
     g.bench_function("decompress_proc_stream", |b| {
         b.iter(|| black_box(decompress(&stream_packed).unwrap()).len())
     });
     g.throughput(Throughput::Bytes(report.len() as u64));
-    g.bench_function("compress_single_report", |b| b.iter(|| black_box(compress(&report)).len()));
+    g.bench_function("compress_single_report", |b| {
+        b.iter(|| black_box(compress(&report)).len())
+    });
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = compress_benches;
     // short windows keep the full suite's wall time bounded; the
     // measured effects are orders of magnitude, not percent-level

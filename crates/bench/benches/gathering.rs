@@ -33,15 +33,25 @@ fn per_file_on<S: ProcSource + Clone + 'static>(c: &mut Criterion, name: &str, s
     let mut g = c.benchmark_group(format!("e2_per_file/{name}"));
     g.sample_size(40);
     let mut mem = MemInfoGatherer::new(src.clone(), GatherLevel::KeepOpen).unwrap();
-    g.bench_function("meminfo", |b| b.iter(|| black_box(mem.sample().unwrap().total_kb)));
+    g.bench_function("meminfo", |b| {
+        b.iter(|| black_box(mem.sample().unwrap().total_kb))
+    });
     let mut stat = StatGatherer::new(src).unwrap();
-    g.bench_function("stat", |b| b.iter(|| black_box(stat.sample().unwrap().ctxt)));
+    g.bench_function("stat", |b| {
+        b.iter(|| black_box(stat.sample().unwrap().ctxt))
+    });
     let mut load = LoadAvgGatherer::new(src).unwrap();
-    g.bench_function("loadavg", |b| b.iter(|| black_box(load.sample().unwrap().one)));
+    g.bench_function("loadavg", |b| {
+        b.iter(|| black_box(load.sample().unwrap().one))
+    });
     let mut up = UptimeGatherer::new(src).unwrap();
-    g.bench_function("uptime", |b| b.iter(|| black_box(up.sample().unwrap().uptime_secs)));
+    g.bench_function("uptime", |b| {
+        b.iter(|| black_box(up.sample().unwrap().uptime_secs))
+    });
     let mut net = NetDevGatherer::new(src).unwrap();
-    g.bench_function("netdev", |b| b.iter(|| black_box(net.sample().unwrap().len())));
+    g.bench_function("netdev", |b| {
+        b.iter(|| black_box(net.sample().unwrap().len()))
+    });
     g.finish();
 }
 
@@ -49,7 +59,9 @@ fn impl_comparison_on<S: ProcSource + Clone + 'static>(c: &mut Criterion, name: 
     let mut g = c.benchmark_group(format!("e4_impl/{name}"));
     g.sample_size(40);
     let mut opt = MemInfoGatherer::new(src.clone(), GatherLevel::KeepOpen).unwrap();
-    g.bench_function("zero_alloc", |b| b.iter(|| black_box(opt.sample().unwrap().total_kb)));
+    g.bench_function("zero_alloc", |b| {
+        b.iter(|| black_box(opt.sample().unwrap().total_kb))
+    });
     let mut file = KeepOpenFile::open(src, "meminfo").unwrap();
     g.bench_function("idiomatic_allocating", |b| {
         b.iter(|| {
@@ -75,7 +87,7 @@ fn benches(c: &mut Criterion) {
     }
 }
 
-criterion_group!{
+criterion_group! {
     name = gathering;
     // short windows keep the full suite's wall time bounded; the
     // measured effects are orders of magnitude, not percent-level

@@ -12,7 +12,11 @@ fn agent_tick_bench(c: &mut Criterion, label: &str, delta: bool, compress: bool)
     let proc_ = SyntheticProc::default();
     let mut agent = Agent::new(
         proc_.clone(),
-        AgentConfig { delta_enabled: delta, compress, ..AgentConfig::default() },
+        AgentConfig {
+            delta_enabled: delta,
+            compress,
+            ..AgentConfig::default()
+        },
     )
     .unwrap();
     let mut now = SimTime::ZERO;
@@ -23,7 +27,14 @@ fn agent_tick_bench(c: &mut Criterion, label: &str, delta: bool, compress: bool)
             now += SimDuration::from_secs(5);
             proc_.with_state(|s| s.tick(5.0, 0.4));
             let out = agent
-                .tick(now, Sensors { cpu_temp_c: 45.0, udp_echo_ok: true, ..Default::default() })
+                .tick(
+                    now,
+                    Sensors {
+                        cpu_temp_c: 45.0,
+                        udp_echo_ok: true,
+                        ..Default::default()
+                    },
+                )
                 .unwrap();
             black_box(out.wire_len)
         })
@@ -38,7 +49,7 @@ fn benches(c: &mut Criterion) {
     agent_tick_bench(c, "delta_compressed_product", true, true);
 }
 
-criterion_group!{
+criterion_group! {
     name = pipeline;
     // short windows keep the full suite's wall time bounded; the
     // measured effects are orders of magnitude, not percent-level

@@ -26,7 +26,7 @@ fn benches(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = scale;
     // short windows keep the full suite's wall time bounded; the
     // measured effects are orders of magnitude, not percent-level

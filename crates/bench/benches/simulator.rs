@@ -61,7 +61,12 @@ fn benches(c: &mut Criterion) {
         b.iter(|| {
             let mut h = HistoryStore::new(720);
             for i in 0..720u64 {
-                h.record(1, &key, SimTime::ZERO + SimDuration::from_secs(i * 5), (i % 100) as f64);
+                h.record(
+                    1,
+                    &key,
+                    SimTime::ZERO + SimDuration::from_secs(i * 5),
+                    (i % 100) as f64,
+                );
             }
             let buckets = h.downsample(
                 1,
@@ -77,7 +82,7 @@ fn benches(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = simulator;
     // short windows keep the full suite's wall time bounded; the
     // measured effects are orders of magnitude, not percent-level

@@ -8,18 +8,26 @@ use slurm_lite::{Controller, SchedulerKind};
 use std::hint::black_box;
 
 fn benches(c: &mut Criterion) {
-    let cfg = TraceConfig { cluster_nodes: 64, mean_interarrival_secs: 45.0, ..Default::default() };
+    let cfg = TraceConfig {
+        cluster_nodes: 64,
+        mean_interarrival_secs: 45.0,
+        ..Default::default()
+    };
     let trace = generate(&mut rng(1), &cfg, 300);
 
     let mut g = c.benchmark_group("e12_slurm_trace");
     g.sample_size(20);
     for kind in [SchedulerKind::Fifo, SchedulerKind::Backfill] {
-        g.bench_with_input(BenchmarkId::new("policy", format!("{kind:?}")), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut ctl = Controller::new(64, kind);
-                black_box(run_trace(&mut ctl, &trace).as_secs_f64())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("policy", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut ctl = Controller::new(64, kind);
+                    black_box(run_trace(&mut ctl, &trace).as_secs_f64())
+                })
+            },
+        );
     }
     g.finish();
 
@@ -34,8 +42,10 @@ fn benches(c: &mut Criterion) {
             let _ = ctl.submit(now, slurm_lite::JobRequest::batch("w", 64, 10_000, 10_000));
             ctl.advance(now);
             for k in 0..200u64 {
-                let _ =
-                    ctl.submit(now, slurm_lite::JobRequest::batch("u", 1 + (k % 8) as u32, 600, 300));
+                let _ = ctl.submit(
+                    now,
+                    slurm_lite::JobRequest::batch("u", 1 + (k % 8) as u32, 600, 300),
+                );
             }
             ctl.advance(now);
             black_box(ctl.queue_len())
@@ -44,7 +54,7 @@ fn benches(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = slurm;
     // short windows keep the full suite's wall time bounded; the
     // measured effects are orders of magnitude, not percent-level

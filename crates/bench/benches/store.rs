@@ -1,0 +1,149 @@
+//! Criterion benches for the `cwx-store` engine: ingest throughput,
+//! range-query latency and crash-recovery (reopen) time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cwx_store::disk::{DiskStore, StoreConfig};
+use cwx_store::Store;
+use cwx_util::time::SimTime;
+use std::hint::black_box;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn bench_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cwx-store-bench-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fill(store: &DiskStore, nodes: u32, per_series: u64, offset: u64) {
+    for node in 0..nodes {
+        for i in offset..offset + per_series {
+            let t = SimTime::from_nanos(1 + i * 5_000_000_000);
+            store.append(node, "cpu.util_pct", t, (i % 101) as f64);
+            store.append(node, "load.one", t, (i % 7) as f64 * 0.5);
+        }
+    }
+}
+
+fn ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_ingest");
+    const BATCH: u64 = 10_000;
+    g.throughput(Throughput::Elements(BATCH));
+    for threads in [1u32, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("samples", threads),
+            &threads,
+            |b, &threads| {
+                let dir = bench_dir();
+                let store = Arc::new(
+                    DiskStore::open(
+                        &dir,
+                        StoreConfig {
+                            n_shards: 4,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap(),
+                );
+                let tick = AtomicU64::new(0);
+                b.iter(|| {
+                    let base = tick.fetch_add(1, Ordering::Relaxed) * BATCH;
+                    std::thread::scope(|s| {
+                        for th in 0..threads {
+                            let store = Arc::clone(&store);
+                            s.spawn(move || {
+                                // spread writers across shards (10 nodes per group)
+                                let node = th * 10;
+                                for i in 0..BATCH / threads as u64 {
+                                    let t = SimTime::from_nanos(1 + (base + i) * 1_000_000);
+                                    store.append(node, "cpu.util_pct", t, i as f64);
+                                }
+                            });
+                        }
+                    });
+                });
+                drop(store);
+                let _ = std::fs::remove_dir_all(dir);
+            },
+        );
+    }
+    g.finish();
+}
+
+fn query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_query");
+    let dir = bench_dir();
+    let store = DiskStore::open(&dir, StoreConfig::default()).unwrap();
+    fill(&store, 8, 5_000, 0); // 80k samples, segments + tiers on disk
+    store.flush();
+    let mid = SimTime::from_nanos(1 + 2_000 * 5_000_000_000);
+    let end = SimTime::from_nanos(1 + 3_000 * 5_000_000_000);
+    g.bench_function("range_1k_raw", |b| {
+        b.iter(|| black_box(store.range(3, "cpu.util_pct", mid, end).len()))
+    });
+    g.bench_function("range_full_raw", |b| {
+        b.iter(|| {
+            black_box(
+                store
+                    .range(3, "cpu.util_pct", SimTime::ZERO, SimTime::MAX)
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("range_agg_10s", |b| {
+        b.iter(|| {
+            black_box(
+                store
+                    .range_agg(
+                        3,
+                        "cpu.util_pct",
+                        SimTime::ZERO,
+                        SimTime::MAX,
+                        cwx_store::Resolution::TenSeconds,
+                    )
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+    drop(store);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+fn recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_recovery");
+    g.sample_size(10);
+    // a store with durable segments plus an unflushed WAL tail: reopen
+    // replays the tail, the realistic post-crash shape
+    let dir = bench_dir();
+    {
+        let store = DiskStore::open(&dir, StoreConfig::default()).unwrap();
+        fill(&store, 8, 2_000, 0);
+        store.flush();
+        fill(&store, 8, 500, 2_000); // tail stays in the WAL
+    }
+    g.bench_function("reopen_40k_wal_tail", |b| {
+        b.iter(|| {
+            let store = DiskStore::open(&dir, StoreConfig::default()).unwrap();
+            black_box(store.total_samples())
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+criterion_group! {
+    name = store;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = ingest, query, recovery
+}
+criterion_main!(store);

@@ -66,7 +66,10 @@ pub fn post_mortem() -> PostMortemResult {
     let p = PortId(3);
     // boot chatter
     for i in 0..500 {
-        ib.feed_console(p, format!("[    {i:4}.000] subsystem {i} initialized ok\n").as_bytes());
+        ib.feed_console(
+            p,
+            format!("[    {i:4}.000] subsystem {i} initialized ok\n").as_bytes(),
+        );
     }
     // steady-state noise
     for i in 0..1000 {
@@ -75,7 +78,10 @@ pub fn post_mortem() -> PostMortemResult {
     // the crash
     ib.feed_console(p, b"Oops: kernel NULL pointer dereference\n");
     for f in 0..40 {
-        ib.feed_console(p, format!("  [<c01{f:03x}00>] do_something+0x{f:x}/0x120\n").as_bytes());
+        ib.feed_console(
+            p,
+            format!("  [<c01{f:03x}00>] do_something+0x{f:x}/0x120\n").as_bytes(),
+        );
     }
     ib.feed_console(p, b"Kernel panic: Attempted to kill init!\n");
 
@@ -110,7 +116,10 @@ mod tests {
     fn post_mortem_keeps_the_crash_drops_the_noise() {
         let r = post_mortem();
         assert!(r.retained_bytes <= SERIAL_LOG_CAPACITY);
-        assert!(r.emitted_bytes > SERIAL_LOG_CAPACITY as u64, "test must overflow the buffer");
+        assert!(
+            r.emitted_bytes > SERIAL_LOG_CAPACITY as u64,
+            "test must overflow the buffer"
+        );
         assert!(r.panic_visible, "{r:?}");
         assert!(r.boot_chatter_evicted, "{r:?}");
     }

@@ -87,7 +87,10 @@ mod tests {
         // and tiny in absolute terms: even 80 nodes use well under 1% of
         // fast Ethernet
         assert!(b.segment_fraction < 0.01, "{b:?}");
-        assert!(a.reports_per_sec > 20.0 / 5.0 * 0.8, "one report per node per 5s: {a:?}");
+        assert!(
+            a.reports_per_sec > 20.0 / 5.0 * 0.8,
+            "one report per node per 5s: {a:?}"
+        );
     }
 
     #[test]

@@ -54,7 +54,11 @@ pub fn policy_comparison(seed: u64, cluster_nodes: u32, jobs: usize) -> Vec<Poli
     vec![
         run("FIFO", SchedulerKind::Fifo, false),
         run("EASY backfill", SchedulerKind::Backfill, false),
-        run("backfill + Maui-like priority", SchedulerKind::Backfill, true),
+        run(
+            "backfill + Maui-like priority",
+            SchedulerKind::Backfill,
+            true,
+        ),
     ]
 }
 
@@ -75,7 +79,10 @@ pub struct FailoverResult {
 
 /// Run the failover experiment.
 pub fn failover(seed: u64, cluster_nodes: u32, jobs: usize) -> FailoverResult {
-    let cfg = TraceConfig { cluster_nodes, ..TraceConfig::default() };
+    let cfg = TraceConfig {
+        cluster_nodes,
+        ..TraceConfig::default()
+    };
     let trace = generate(&mut rng(seed), &cfg, jobs);
 
     // uninterrupted reference
@@ -138,7 +145,10 @@ mod tests {
         assert_eq!(fifo.completed, 400);
         assert_eq!(bf.completed, 400);
         assert!(bf.backfilled > 0);
-        assert!(bf.mean_wait_secs < fifo.mean_wait_secs, "{bf:?} vs {fifo:?}");
+        assert!(
+            bf.mean_wait_secs < fifo.mean_wait_secs,
+            "{bf:?} vs {fifo:?}"
+        );
         assert!(bf.utilization >= fifo.utilization * 0.95);
     }
 

@@ -54,7 +54,11 @@ pub fn ladder<S: ProcSource + Clone>(source: &S, window: Duration) -> Vec<Ladder
                 },
                 window,
             );
-            LadderRow { level, samples_per_sec: rate, paper_samples_per_sec: paper }
+            LadderRow {
+                level,
+                samples_per_sec: rate,
+                paper_samples_per_sec: paper,
+            }
         })
         .collect()
 }
@@ -90,7 +94,12 @@ pub fn per_file_costs<S: ProcSource + Clone>(source: &S, window: Duration) -> Ve
         let mut g = MemInfoGatherer::new(source.clone(), GatherLevel::KeepOpen).unwrap();
         out.push(PerFileRow {
             file: "meminfo",
-            micros: micros_per_call(|| { std::hint::black_box(g.sample().unwrap().total_kb); }, window),
+            micros: micros_per_call(
+                || {
+                    std::hint::black_box(g.sample().unwrap().total_kb);
+                },
+                window,
+            ),
             paper_micros: 29.5,
         });
     }
@@ -98,7 +107,12 @@ pub fn per_file_costs<S: ProcSource + Clone>(source: &S, window: Duration) -> Ve
         let mut g = StatGatherer::new(source).unwrap();
         out.push(PerFileRow {
             file: "stat",
-            micros: micros_per_call(|| { std::hint::black_box(g.sample().unwrap().ctxt); }, window),
+            micros: micros_per_call(
+                || {
+                    std::hint::black_box(g.sample().unwrap().ctxt);
+                },
+                window,
+            ),
             paper_micros: 35.0,
         });
     }
@@ -106,7 +120,12 @@ pub fn per_file_costs<S: ProcSource + Clone>(source: &S, window: Duration) -> Ve
         let mut g = LoadAvgGatherer::new(source).unwrap();
         out.push(PerFileRow {
             file: "loadavg",
-            micros: micros_per_call(|| { std::hint::black_box(g.sample().unwrap().one); }, window),
+            micros: micros_per_call(
+                || {
+                    std::hint::black_box(g.sample().unwrap().one);
+                },
+                window,
+            ),
             paper_micros: 7.5,
         });
     }
@@ -115,7 +134,9 @@ pub fn per_file_costs<S: ProcSource + Clone>(source: &S, window: Duration) -> Ve
         out.push(PerFileRow {
             file: "uptime",
             micros: micros_per_call(
-                || { std::hint::black_box(g.sample().unwrap().uptime_secs); },
+                || {
+                    std::hint::black_box(g.sample().unwrap().uptime_secs);
+                },
                 window,
             ),
             paper_micros: 6.2,
@@ -173,7 +194,12 @@ impl ImplComparison {
 pub fn impl_comparison<S: ProcSource + Clone>(source: &S, window: Duration) -> ImplComparison {
     let optimized = {
         let mut g = MemInfoGatherer::new(source.clone(), GatherLevel::KeepOpen).unwrap();
-        rate_per_sec(|| { std::hint::black_box(g.sample().unwrap().total_kb); }, window)
+        rate_per_sec(
+            || {
+                std::hint::black_box(g.sample().unwrap().total_kb);
+            },
+            window,
+        )
     };
     let idiomatic = {
         let mut file = KeepOpenFile::open(source, "meminfo").unwrap();
@@ -187,7 +213,10 @@ pub fn impl_comparison<S: ProcSource + Clone>(source: &S, window: Duration) -> I
             window,
         )
     };
-    ImplComparison { optimized_per_sec: optimized, idiomatic_per_sec: idiomatic }
+    ImplComparison {
+        optimized_per_sec: optimized,
+        idiomatic_per_sec: idiomatic,
+    }
 }
 
 /// The rstatd RPC baseline the paper dismisses: samples/second over a
@@ -236,7 +265,9 @@ mod tests {
         assert!(
             rows[3].samples_per_sec > rows[0].samples_per_sec * 10.0,
             "keep-open must crush naive: {:?}",
-            rows.iter().map(|r| r.samples_per_sec as u64).collect::<Vec<_>>()
+            rows.iter()
+                .map(|r| r.samples_per_sec as u64)
+                .collect::<Vec<_>>()
         );
         assert!(rows[1].samples_per_sec > rows[0].samples_per_sec * 4.0);
     }
@@ -247,10 +278,20 @@ mod tests {
         let rows = per_file_costs(&src, FAST);
         assert_eq!(rows.len(), 5);
         for r in &rows {
-            assert!(r.micros > 0.0 && r.micros < 10_000.0, "{}: {}", r.file, r.micros);
+            assert!(
+                r.micros > 0.0 && r.micros < 10_000.0,
+                "{}: {}",
+                r.file,
+                r.micros
+            );
         }
         // loadavg/uptime are tiny files: cheaper than stat, like the paper
-        let get = |name: &str| rows.iter().find(|r| r.file.starts_with(name)).unwrap().micros;
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.file.starts_with(name))
+                .unwrap()
+                .micros
+        };
         assert!(get("loadavg") < get("stat"));
         assert!(get("uptime") < get("stat"));
     }

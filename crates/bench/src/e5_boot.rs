@@ -63,7 +63,11 @@ mod tests {
     #[test]
     fn single_node_matches_paper_bands() {
         let lb = boot_storm(1, 1, Firmware::LinuxBios);
-        assert!((2.0..=4.0).contains(&lb.firmware_secs.mean), "{:?}", lb.firmware_secs);
+        assert!(
+            (2.0..=4.0).contains(&lb.firmware_secs.mean),
+            "{:?}",
+            lb.firmware_secs
+        );
         let legacy = boot_storm(1, 1, Firmware::LegacyBios);
         assert!(
             (28.0..=65.0).contains(&legacy.firmware_secs.mean),
@@ -85,7 +89,10 @@ mod tests {
     #[test]
     fn legacy_variance_is_visible() {
         let legacy = boot_storm(3, 200, Firmware::LegacyBios);
-        assert!(legacy.firmware_secs.std_dev > 1.0, "vendor BIOS POST times vary");
+        assert!(
+            legacy.firmware_secs.std_dev > 1.0,
+            "vendor BIOS POST times vary"
+        );
         let lb = boot_storm(3, 200, Firmware::LinuxBios);
         assert!(lb.firmware_secs.std_dev < 0.5, "LinuxBIOS is deterministic");
     }

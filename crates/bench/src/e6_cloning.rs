@@ -51,7 +51,10 @@ pub fn node_sweep(seed: u64, image_bytes: u64, loss: f64, counts: &[u32]) -> Vec
     counts
         .iter()
         .map(|&n| {
-            let cfg = CloneConfig { image_bytes, ..llnl_config() };
+            let cfg = CloneConfig {
+                image_bytes,
+                ..llnl_config()
+            };
             let multicast = run_clone(seed, n, FAST_ETHERNET_BPS, loss, cfg.clone());
             // unicast cost grows ~N^2 in simulated events; cap it
             let unicast = (n <= 100).then(|| {
@@ -60,10 +63,17 @@ pub fn node_sweep(seed: u64, image_bytes: u64, loss: f64, counts: &[u32]) -> Vec
                     n,
                     FAST_ETHERNET_BPS,
                     loss,
-                    CloneConfig { strategy: RepairStrategy::Unicast, ..cfg },
+                    CloneConfig {
+                        strategy: RepairStrategy::Unicast,
+                        ..cfg
+                    },
                 )
             });
-            SweepPoint { n_nodes: n, multicast, unicast }
+            SweepPoint {
+                n_nodes: n,
+                multicast,
+                unicast,
+            }
         })
         .collect()
 }
@@ -73,7 +83,10 @@ pub fn loss_sweep(seed: u64, n: u32, image_bytes: u64, losses: &[f64]) -> Vec<(f
     losses
         .iter()
         .map(|&loss| {
-            let cfg = CloneConfig { image_bytes, ..llnl_config() };
+            let cfg = CloneConfig {
+                image_bytes,
+                ..llnl_config()
+            };
             (loss, run_clone(seed, n, FAST_ETHERNET_BPS, loss, cfg))
         })
         .collect()
@@ -85,15 +98,27 @@ pub fn chunk_sweep(seed: u64, n: u32, image_bytes: u64, loss: f64) -> Vec<(u64, 
     [256 << 10, 512 << 10, 1 << 20, 4 << 20]
         .into_iter()
         .map(|chunk| {
-            let cfg = CloneConfig { image_bytes, chunk_bytes: chunk, ..llnl_config() };
+            let cfg = CloneConfig {
+                image_bytes,
+                chunk_bytes: chunk,
+                ..llnl_config()
+            };
             (chunk, run_clone(seed, n, FAST_ETHERNET_BPS, loss, cfg))
         })
         .collect()
 }
 
 /// Repair-strategy ablation at fixed loss.
-pub fn repair_ablation(seed: u64, n: u32, image_bytes: u64, loss: f64) -> Vec<(&'static str, CloneReport)> {
-    let base = CloneConfig { image_bytes, ..llnl_config() };
+pub fn repair_ablation(
+    seed: u64,
+    n: u32,
+    image_bytes: u64,
+    loss: f64,
+) -> Vec<(&'static str, CloneReport)> {
+    let base = CloneConfig {
+        image_bytes,
+        ..llnl_config()
+    };
     vec![
         (
             "round-robin unicast repair (paper)",
@@ -137,10 +162,16 @@ mod tests {
         let pts = node_sweep(2, 64 << 20, 0.0, &[5, 20, 50]);
         let mc5 = pts[0].multicast.data_complete_secs;
         let mc50 = pts[2].multicast.data_complete_secs;
-        assert!(mc50 < mc5 * 1.5, "multicast distribution ~independent of N: {mc5} vs {mc50}");
+        assert!(
+            mc50 < mc5 * 1.5,
+            "multicast distribution ~independent of N: {mc5} vs {mc50}"
+        );
         let uni5 = pts[0].unicast.as_ref().unwrap().data_complete_secs;
         let uni50 = pts[2].unicast.as_ref().unwrap().data_complete_secs;
-        assert!(uni50 > uni5 * 5.0, "unicast scales with N: {uni5} vs {uni50}");
+        assert!(
+            uni50 > uni5 * 5.0,
+            "unicast scales with N: {uni5} vs {uni50}"
+        );
     }
 
     #[test]
@@ -159,10 +190,16 @@ mod tests {
         // more repair BYTES even if fewer repair packets
         let small = &rows[0].1;
         let big = &rows[3].1;
-        assert!(small.repair_chunks > big.repair_chunks, "more small chunks lost");
+        assert!(
+            small.repair_chunks > big.repair_chunks,
+            "more small chunks lost"
+        );
         let small_bytes = small.repair_chunks * (256 << 10);
         let big_bytes = big.repair_chunks * (4 << 20);
-        assert!(big_bytes > small_bytes, "but more repair bytes for big chunks");
+        assert!(
+            big_bytes > small_bytes,
+            "but more repair bytes for big chunks"
+        );
         assert!(rows.iter().all(|(_, r)| r.failed_nodes == 0));
     }
 }

@@ -40,13 +40,25 @@ pub fn ablation(ticks: u32) -> Vec<PipelineRow> {
             let proc_ = SyntheticProc::default();
             let mut agent = Agent::new(
                 proc_.clone(),
-                AgentConfig { delta_enabled: delta, compress, ..AgentConfig::default() },
+                AgentConfig {
+                    delta_enabled: delta,
+                    compress,
+                    ..AgentConfig::default()
+                },
             )
             .expect("agent over synthetic proc");
             // warm-up tick so statics are sent outside the window
             let mut now = SimTime::ZERO + SimDuration::from_secs(1);
             proc_.with_state(|s| s.tick(1.0, 0.3));
-            agent.tick(now, Sensors { udp_echo_ok: true, ..Default::default() }).unwrap();
+            agent
+                .tick(
+                    now,
+                    Sensors {
+                        udp_echo_ok: true,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
 
             let mut bytes = 0u64;
             let mut values = 0u64;
@@ -84,7 +96,9 @@ mod tests {
     fn each_stage_helps_and_product_config_wins() {
         let rows = ablation(40);
         let get = |delta: bool, compress: bool| {
-            rows.iter().find(|r| r.delta == delta && r.compress == compress).unwrap()
+            rows.iter()
+                .find(|r| r.delta == delta && r.compress == compress)
+                .unwrap()
         };
         let baseline = get(false, false);
         let compressed = get(false, true);

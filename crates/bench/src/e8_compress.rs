@@ -59,9 +59,17 @@ pub fn synthetic_proc_corpus(samples: usize) -> Vec<u8> {
 pub fn report_corpus() -> Vec<u8> {
     let mut values = Vec::new();
     for i in 0..48 {
-        values.push((MonitorKey::new(format!("group{}.monitor_{i}", i % 6)), Value::Num(i as f64 * 13.7)));
+        values.push((
+            MonitorKey::new(format!("group{}.monitor_{i}", i % 6)),
+            Value::Num(i as f64 * 13.7),
+        ));
     }
-    let r = Report { node: 123, seq: 42, time_secs: 3600.5, values };
+    let r = Report {
+        node: 123,
+        seq: 42,
+        time_secs: 3600.5,
+        values,
+    };
     encode(&r).into_bytes()
 }
 
@@ -78,7 +86,10 @@ pub fn corpora() -> Vec<CompressRow> {
         }
         rows.push(row("real /proc stream (20 samples)", &real));
     }
-    rows.push(row("synthetic /proc stream (20 samples)", &synthetic_proc_corpus(20)));
+    rows.push(row(
+        "synthetic /proc stream (20 samples)",
+        &synthetic_proc_corpus(20),
+    ));
     rows.push(row("single full agent report", &report_corpus()));
     rows
 }
@@ -104,7 +115,14 @@ mod tests {
     #[test]
     fn single_report_still_shrinks() {
         let rows = corpora();
-        let report = rows.iter().find(|r| r.corpus.contains("agent report")).unwrap();
-        assert!(report.ratio < 0.8, "even one report has key-prefix redundancy: {:.3}", report.ratio);
+        let report = rows
+            .iter()
+            .find(|r| r.corpus.contains("agent report"))
+            .unwrap();
+        assert!(
+            report.ratio < 0.8,
+            "even one report has key-prefix redundancy: {:.3}",
+            report.ratio
+        );
     }
 }

@@ -48,8 +48,14 @@ pub fn fan_campaign(seed: u64, n_nodes: u32, failures: u32, disable_engine: bool
         ..Default::default()
     });
     if disable_engine {
-        let ids: Vec<_> =
-            sim.world_mut().server.engine_mut().defs().iter().map(|d| d.id).collect();
+        let ids: Vec<_> = sim
+            .world_mut()
+            .server
+            .engine_mut()
+            .defs()
+            .iter()
+            .map(|d| d.id)
+            .collect();
         for id in ids {
             sim.world_mut().server.engine_mut().remove(id);
         }
@@ -64,7 +70,10 @@ pub fn fan_campaign(seed: u64, n_nodes: u32, failures: u32, disable_engine: bool
         let j = r.random_range(i..victims.len());
         victims.swap(i, j);
     }
-    let victims: Vec<u32> = victims.into_iter().take(failures.min(n_nodes) as usize).collect();
+    let victims: Vec<u32> = victims
+        .into_iter()
+        .take(failures.min(n_nodes) as usize)
+        .collect();
     let mut inject_times = Vec::new();
     for &v in &victims {
         let at = sim.now() + SimDuration::from_secs(r.random_range(0..120));
@@ -87,10 +96,17 @@ pub fn fan_campaign(seed: u64, n_nodes: u32, failures: u32, disable_engine: bool
             latencies.push(a.time.since(at).as_secs_f64());
         }
     }
-    let burned =
-        w.nodes.iter().filter(|n| n.hw.health() == HealthState::Burned).count() as u32;
-    let emails =
-        w.server.outbox().iter().filter(|m| m.event == "cpu-fan-failure").count();
+    let burned = w
+        .nodes
+        .iter()
+        .filter(|n| n.hw.health() == HealthState::Burned)
+        .count() as u32;
+    let emails = w
+        .server
+        .outbox()
+        .iter()
+        .filter(|m| m.event == "cpu-fan-failure")
+        .count();
 
     // baseline: same campaign without the engine
     let burned_without_engine = if disable_engine {
@@ -172,7 +188,10 @@ pub fn mixed_drill(seed: u64, n_nodes: u32) -> Vec<DrillRow> {
 
 /// Detection latency across cluster sizes (does the engine keep up?).
 pub fn latency_scaling(seed: u64, sizes: &[u32]) -> Vec<(u32, Campaign)> {
-    sizes.iter().map(|&n| (n, fan_campaign(seed, n, (n / 8).max(1), false))).collect()
+    sizes
+        .iter()
+        .map(|&n| (n, fan_campaign(seed, n, (n / 8).max(1), false)))
+        .collect()
 }
 
 /// Helper for tests: absolute simulated time.
@@ -190,7 +209,10 @@ mod tests {
         assert_eq!(c.failures, 4);
         assert_eq!(c.power_downs, 4, "every failure must be acted on: {c:?}");
         assert_eq!(c.burned, 0, "the engine prevents burns: {c:?}");
-        assert!(c.burned_without_engine >= 3, "the baseline burns CPUs: {c:?}");
+        assert!(
+            c.burned_without_engine >= 3,
+            "the baseline burns CPUs: {c:?}"
+        );
     }
 
     #[test]

@@ -8,12 +8,12 @@
 
 pub mod measure;
 
+pub mod e10_icebox;
+pub mod e11_scale;
+pub mod e12_slurm;
 pub mod e1_gathering;
 pub mod e5_boot;
 pub mod e6_cloning;
 pub mod e7_pipeline;
 pub mod e8_compress;
 pub mod e9_events;
-pub mod e10_icebox;
-pub mod e11_scale;
-pub mod e12_slurm;

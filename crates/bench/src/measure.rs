@@ -43,7 +43,10 @@ mod tests {
             },
             Duration::from_millis(50),
         );
-        assert!(r > 1_000_000.0, "a no-op should run millions of times/s: {r}");
+        assert!(
+            r > 1_000_000.0,
+            "a no-op should run millions of times/s: {r}"
+        );
     }
 
     #[test]
@@ -52,6 +55,9 @@ mod tests {
             || std::thread::sleep(Duration::from_micros(200)),
             Duration::from_millis(50),
         );
-        assert!((150.0..2_000.0).contains(&us), "sleep(200us) should cost ~200us+: {us}");
+        assert!(
+            (150.0..2_000.0).contains(&us),
+            "sleep(200us) should cost ~200us+: {us}"
+        );
     }
 }

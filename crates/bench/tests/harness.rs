@@ -9,7 +9,12 @@ fn run(args: &[&str]) -> String {
         .args(args)
         .output()
         .expect("run experiments binary");
-    assert!(out.status.success(), "exit: {:?}\n{}", out.status, String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "exit: {:?}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
     String::from_utf8(out.stdout).expect("utf8 output")
 }
 
@@ -36,13 +41,22 @@ fn markdown_mode_emits_tables() {
 #[test]
 fn quick_e7_shows_the_ablation_ordering() {
     let text = run(&["--quick", "e7"]);
-    let base = text.lines().find(|l| l.contains("baseline")).expect("baseline row");
-    let product = text.lines().find(|l| l.contains("(product)")).expect("product row");
+    let base = text
+        .lines()
+        .find(|l| l.contains("baseline"))
+        .expect("baseline row");
+    let product = text
+        .lines()
+        .find(|l| l.contains("(product)"))
+        .expect("product row");
     let bytes = |line: &str| -> f64 {
         line.split_whitespace()
             .filter_map(|t| t.parse::<f64>().ok())
             .next()
             .expect("numeric column")
     };
-    assert!(bytes(product) < bytes(base), "product config cheaper:\n{base}\n{product}");
+    assert!(
+        bytes(product) < bytes(base),
+        "product config cheaper:\n{base}\n{product}"
+    );
 }

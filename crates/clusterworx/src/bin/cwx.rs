@@ -1,9 +1,10 @@
 //! `cwx` — command-line frontend for the ClusterWorX reproduction.
 //!
 //! ```text
-//! cwx simulate --nodes 32 --secs 600 [--seed 42] [--fan-fail 4@300]...
+//! cwx simulate --nodes 32 --secs 600 [--seed 42] [--store DIR] [--fan-fail 4@300]...
 //! cwx clone    --nodes 100 --image-mb 650 [--loss 0.005] [--unicast]
 //! cwx lite     [--ticks 5]
+//! cwx history  --store DIR [--node N --monitor KEY] [--res raw|10s|5m] [--chart]
 //! cwx help
 //! ```
 
@@ -17,7 +18,7 @@ use cwx_util::time::{SimDuration, SimTime};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  cwx simulate --nodes N --secs S [--seed X] [--fan-fail NODE@SECS]... [--dump-history FILE --dump-node N]\n  cwx clone --nodes N --image-mb M [--loss P] [--unicast]\n  cwx lite [--ticks N]\n  cwx help"
+        "usage:\n  cwx simulate --nodes N --secs S [--seed X] [--store DIR] [--fan-fail NODE@SECS]... [--dump-history FILE --dump-node N]\n  cwx clone --nodes N --image-mb M [--loss P] [--unicast]\n  cwx lite [--ticks N]\n  cwx history --store DIR [--node N --monitor KEY] [--from S] [--to S] [--res raw|10s|5m] [--chart]\n  cwx help"
     );
     std::process::exit(2);
 }
@@ -61,7 +62,11 @@ impl Args {
     }
 
     fn all(&self, key: &str) -> Vec<&str> {
-        self.pairs.iter().filter(|(k, _)| k == key).map(|(_, v)| v.as_str()).collect()
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     fn flag(&self, key: &str) -> bool {
@@ -73,10 +78,19 @@ fn cmd_simulate(args: &Args) {
     let nodes: u32 = args.get("nodes", 16);
     let secs: u64 = args.get("secs", 600);
     let seed: u64 = args.get("seed", 42);
+    let store_dir = args
+        .pairs
+        .iter()
+        .find(|(k, _)| k == "store")
+        .map(|(_, v)| std::path::PathBuf::from(v));
+    if let Some(dir) = &store_dir {
+        println!("history persists to {} (reruns recover it)", dir.display());
+    }
     let mut sim = Cluster::build(ClusterConfig {
         n_nodes: nodes,
         seed,
         workload: WorkloadMix::Mixed,
+        store_dir,
         ..Default::default()
     });
     for spec in args.all("fan-fail") {
@@ -88,11 +102,18 @@ fn cmd_simulate(args: &Args) {
             (Ok(n), Ok(a)) => (n, a),
             _ => usage(),
         };
-        schedule_fault(&mut sim, SimTime::ZERO + SimDuration::from_secs(at), node, Fault::FanFailure);
+        schedule_fault(
+            &mut sim,
+            SimTime::ZERO + SimDuration::from_secs(at),
+            node,
+            Fault::FanFailure,
+        );
         println!("scheduled fan failure: node{node:03} at t={at}s");
     }
     sim.run_for(SimDuration::from_secs(secs));
     let w = sim.world();
+    // persistently-backed history: trim WAL replay on the next open
+    w.server.history().flush();
     println!("{}", dashboard::render(w, sim.now()));
     let st = w.server.stats();
     println!(
@@ -112,7 +133,10 @@ fn cmd_simulate(args: &Args) {
         let node: u32 = args.get("dump-node", 0);
         let csv = w.server.history().export_node_csv(node);
         match std::fs::write(path, &csv) {
-            Ok(()) => println!("wrote {} bytes of node{node:03} history to {path}", csv.len()),
+            Ok(()) => println!(
+                "wrote {} bytes of node{node:03} history to {path}",
+                csv.len()
+            ),
             Err(e) => eprintln!("could not write {path}: {e}"),
         }
     }
@@ -123,12 +147,23 @@ fn cmd_clone(args: &Args) {
     let image_mb: u64 = args.get("image-mb", 650);
     let loss: f64 = args.get("loss", 0.005);
     let seed: u64 = args.get("seed", 42);
-    let strategy =
-        if args.flag("unicast") { RepairStrategy::Unicast } else { RepairStrategy::MulticastRoundRobin };
-    let cfg = CloneConfig { image_bytes: image_mb << 20, strategy, ..CloneConfig::default() };
+    let strategy = if args.flag("unicast") {
+        RepairStrategy::Unicast
+    } else {
+        RepairStrategy::MulticastRoundRobin
+    };
+    let cfg = CloneConfig {
+        image_bytes: image_mb << 20,
+        strategy,
+        ..CloneConfig::default()
+    };
     println!(
         "cloning {image_mb} MiB to {nodes} nodes ({}), {:.2}% chunk loss...",
-        if args.flag("unicast") { "unicast baseline" } else { "reliable multicast" },
+        if args.flag("unicast") {
+            "unicast baseline"
+        } else {
+            "reliable multicast"
+        },
         loss * 100.0
     );
     let r = run_clone(seed, nodes, FAST_ETHERNET_BPS, loss, cfg);
@@ -159,7 +194,12 @@ fn cmd_lite(args: &Args) {
         let tick = lite
             .tick(
                 now,
-                Sensors { fan_rpm: 6000.0, power_watts: 120.0, udp_echo_ok: true, ..Default::default() },
+                Sensors {
+                    fan_rpm: 6000.0,
+                    power_watts: 120.0,
+                    udp_echo_ok: true,
+                    ..Default::default()
+                },
             )
             .expect("tick");
         let load = lite
@@ -181,14 +221,135 @@ fn cmd_lite(args: &Args) {
     }
 }
 
+fn cmd_history(args: &Args) {
+    use cwx_monitor::history::HistoryStore;
+    use cwx_monitor::monitor::MonitorKey;
+    use cwx_store::disk::{DiskStore, StoreConfig};
+    use cwx_store::{Resolution, Store};
+
+    let Some((_, dir)) = args.pairs.iter().find(|(k, _)| k == "store") else {
+        eprintln!("`cwx history` needs --store DIR");
+        usage();
+    };
+    // inspection must not create a store that isn't there
+    if !std::path::Path::new(dir).is_dir() {
+        eprintln!("no store at {dir}");
+        std::process::exit(1);
+    }
+    let store = match DiskStore::open(std::path::Path::new(dir), StoreConfig::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("could not open store at {dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let rec = store.recovery();
+    println!(
+        "store {dir}: {} samples in {} segments | recovery: {} WAL records replayed, {} torn bytes truncated, {} segments quarantined",
+        store.total_samples(),
+        rec.segments_loaded,
+        rec.wal_records,
+        rec.wal_truncated_bytes,
+        rec.segments_quarantined
+    );
+
+    let monitor = args
+        .pairs
+        .iter()
+        .rev()
+        .find(|(k, _)| k == "monitor")
+        .map(|(_, v)| v.clone());
+    let node_arg = args
+        .pairs
+        .iter()
+        .rev()
+        .find(|(k, _)| k == "node")
+        .map(|(_, v)| v.clone());
+    let (Some(monitor), Some(node_str)) = (monitor, node_arg) else {
+        // no series selected: list what the store holds
+        println!(
+            "{:<8} {:<20} {:>9} {:>14}",
+            "node", "monitor", "samples", "latest"
+        );
+        for (node, key) in store.series() {
+            let n = store.range(node, &key, SimTime::ZERO, SimTime::MAX).len();
+            let latest = store
+                .latest(node, &key)
+                .map(|s| format!("{:.3}", s.value))
+                .unwrap_or_default();
+            println!("node{node:03}  {key:<20} {n:>9} {latest:>14}");
+        }
+        return;
+    };
+    let node: u32 = node_str.parse().unwrap_or_else(|_| usage());
+    let from = SimTime::ZERO + SimDuration::from_secs(args.get("from", 0u64));
+    let to = match args.pairs.iter().rev().find(|(k, _)| k == "to") {
+        Some((_, v)) => {
+            SimTime::ZERO + SimDuration::from_secs(v.parse().unwrap_or_else(|_| usage()))
+        }
+        None => SimTime::MAX,
+    };
+    let key = MonitorKey::new(monitor.as_str());
+    if args.flag("chart") {
+        let to = if to == SimTime::MAX {
+            store
+                .latest(node, &monitor)
+                .map(|s| s.time)
+                .unwrap_or(SimTime::ZERO)
+        } else {
+            to
+        };
+        let history = HistoryStore::with_backend(Box::new(store));
+        print!(
+            "{}",
+            dashboard::chart(&history, node, &key, from, to, 72, 12)
+        );
+        return;
+    }
+    match args.get::<String>("res", "raw".into()).as_str() {
+        "raw" => {
+            println!("time_secs,value");
+            for s in store.range(node, &monitor, from, to) {
+                println!("{:.3},{}", s.time.as_secs_f64(), s.value);
+            }
+        }
+        tier @ ("10s" | "5m") => {
+            let res = if tier == "10s" {
+                Resolution::TenSeconds
+            } else {
+                Resolution::FiveMinutes
+            };
+            println!("bucket_start_secs,count,min,mean,max,last");
+            for b in store.range_agg(node, &monitor, from, to, res) {
+                println!(
+                    "{:.0},{},{:.4},{:.4},{:.4},{:.4}",
+                    b.start.as_secs_f64(),
+                    b.count,
+                    b.min,
+                    b.mean,
+                    b.max,
+                    b.last
+                );
+            }
+        }
+        other => {
+            eprintln!("--res wants raw, 10s or 5m, got {other}");
+            usage();
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = argv.split_first() else { usage() };
+    let Some((cmd, rest)) = argv.split_first() else {
+        usage()
+    };
     let args = Args::parse(rest);
     match cmd.as_str() {
         "simulate" => cmd_simulate(&args),
         "clone" => cmd_clone(&args),
         "lite" => cmd_lite(&args),
+        "history" => cmd_history(&args),
         "help" | "--help" | "-h" => usage(),
         other => {
             eprintln!("unknown command: {other}");

@@ -53,6 +53,9 @@ pub struct ClusterConfig {
     pub bad_memory_nodes: Vec<u32>,
     /// History retained per series.
     pub history_capacity: usize,
+    /// When set, server history persists to a `cwx-store` directory
+    /// instead of the in-memory ring, surviving server restarts.
+    pub store_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ClusterConfig {
@@ -74,6 +77,7 @@ impl Default for ClusterConfig {
             autostart: true,
             bad_memory_nodes: Vec::new(),
             history_capacity: 720,
+            store_dir: None,
         }
     }
 }

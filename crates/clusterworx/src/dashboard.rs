@@ -4,6 +4,7 @@
 //! information — a per-node status table and a cluster summary — as
 //! text, which is what the examples print and what a TUI would consume.
 
+use cwx_monitor::history::HistoryStore;
 use cwx_monitor::monitor::MonitorKey;
 use cwx_util::time::SimTime;
 
@@ -37,7 +38,12 @@ pub fn rows(world: &World, now: SimTime) -> Vec<NodeRow> {
             _ if st.hw.health() == cwx_hw::HealthState::Burned => "failed",
             _ if st.hw.power() == cwx_hw::PowerState::Off => "off",
             _ if st.hw.is_up() => {
-                if world.server.node_status(node).map(|s| s.reachable).unwrap_or(false) {
+                if world
+                    .server
+                    .node_status(node)
+                    .map(|s| s.reachable)
+                    .unwrap_or(false)
+                {
                     "up"
                 } else {
                     "unreachable"
@@ -91,8 +97,16 @@ pub struct ClusterSummary {
 pub fn summary(world: &World, now: SimTime) -> ClusterSummary {
     let rows = rows(world, now);
     let up = rows.iter().filter(|r| r.status == "up").count();
-    let cpus: Vec<f64> = rows.iter().map(|r| r.cpu_pct).filter(|x| x.is_finite()).collect();
-    let temps: Vec<f64> = rows.iter().map(|r| r.temp_c).filter(|x| x.is_finite()).collect();
+    let cpus: Vec<f64> = rows
+        .iter()
+        .map(|r| r.cpu_pct)
+        .filter(|x| x.is_finite())
+        .collect();
+    let temps: Vec<f64> = rows
+        .iter()
+        .map(|r| r.temp_c)
+        .filter(|x| x.is_finite())
+        .collect();
     let total_watts: f64 = world.nodes.iter().map(|n| n.hw.power_watts()).sum();
     ClusterSummary {
         up,
@@ -129,6 +143,67 @@ pub fn render(world: &World, now: SimTime) -> String {
     s
 }
 
+/// Render one series as an ASCII chart over `[from, to]` — the text
+/// stand-in for the GUI's historical graphing screen (paper §5.1).
+/// Each column is one downsampled bucket; `*` marks the bucket mean and
+/// `·` fills the min–max spread behind it.
+pub fn chart(
+    history: &HistoryStore,
+    node: u32,
+    key: &MonitorKey,
+    from: SimTime,
+    to: SimTime,
+    width: usize,
+    height: usize,
+) -> String {
+    use std::fmt::Write;
+    let width = width.clamp(1, 200);
+    let height = height.clamp(2, 50);
+    let buckets = history.downsample(node, key, from, to, width);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "node{node:03} {key} [{:.0}s..{:.0}s]",
+        from.as_secs_f64(),
+        to.as_secs_f64()
+    );
+    if buckets.is_empty() {
+        s.push_str("(no data)\n");
+        return s;
+    }
+    let lo = buckets.iter().map(|b| b.min).fold(f64::INFINITY, f64::min);
+    let hi = buckets
+        .iter()
+        .map(|b| b.max)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let row_of = |v: f64| {
+        (((v - lo) / span) * (height - 1) as f64)
+            .round()
+            .clamp(0.0, (height - 1) as f64) as usize
+    };
+    let mut grid = vec![vec![' '; width]; height];
+    for (col, b) in buckets.iter().enumerate() {
+        let (rmin, rmax) = (row_of(b.min), row_of(b.max));
+        for row in grid.iter_mut().take(rmax + 1).skip(rmin) {
+            row[col] = '·';
+        }
+        grid[row_of(b.mean)][col] = '*';
+    }
+    for (i, row) in grid.iter().enumerate().rev() {
+        let label = if i == height - 1 {
+            format!("{hi:>9.2}")
+        } else if i == 0 {
+            format!("{lo:>9.2}")
+        } else {
+            " ".repeat(9)
+        };
+        let line: String = row.iter().collect();
+        let _ = writeln!(s, "{label} |{}", line.trim_end());
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,7 +213,10 @@ mod tests {
 
     #[test]
     fn dashboard_reflects_running_cluster() {
-        let mut sim = Cluster::build(ClusterConfig { n_nodes: 4, ..Default::default() });
+        let mut sim = Cluster::build(ClusterConfig {
+            n_nodes: 4,
+            ..Default::default()
+        });
         sim.run_for(SimDuration::from_secs(120));
         let now = sim.now();
         let table = rows(sim.world(), now);
@@ -167,8 +245,44 @@ mod tests {
     }
 
     #[test]
+    fn ascii_chart_renders_series() {
+        let mut sim = Cluster::build(ClusterConfig {
+            n_nodes: 2,
+            ..Default::default()
+        });
+        sim.run_for(SimDuration::from_secs(300));
+        let now = sim.now();
+        let text = chart(
+            sim.world().server.history(),
+            0,
+            &MonitorKey::new("temp.cpu"),
+            SimTime::ZERO,
+            now,
+            40,
+            8,
+        );
+        assert!(text.contains("node000 temp.cpu"), "{text}");
+        assert!(text.contains('*'), "chart plots bucket means:\n{text}");
+        assert_eq!(text.lines().count(), 9, "title + height rows:\n{text}");
+        // an unknown series renders a placeholder, not a panic
+        let empty = chart(
+            sim.world().server.history(),
+            0,
+            &MonitorKey::new("nope"),
+            SimTime::ZERO,
+            now,
+            40,
+            8,
+        );
+        assert!(empty.contains("(no data)"));
+    }
+
+    #[test]
     fn powered_off_nodes_show_off() {
-        let mut sim = Cluster::build(ClusterConfig { n_nodes: 2, ..Default::default() });
+        let mut sim = Cluster::build(ClusterConfig {
+            n_nodes: 2,
+            ..Default::default()
+        });
         sim.run_for(SimDuration::from_secs(60));
         crate::world::power_off_node(&mut sim, 1);
         let table = rows(sim.world(), sim.now());

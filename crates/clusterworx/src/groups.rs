@@ -66,7 +66,10 @@ impl Groups {
 
     /// Members of a group (empty for unknown groups).
     pub fn members(&self, group: &str) -> Vec<u32> {
-        self.map.get(group).map(|s| s.iter().copied().collect()).unwrap_or_default()
+        self.map
+            .get(group)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// All group names.
@@ -76,7 +79,11 @@ impl Groups {
 
     /// Groups a node belongs to.
     pub fn groups_of(&self, node: u32) -> Vec<&str> {
-        self.map.iter().filter(|(_, s)| s.contains(&node)).map(|(k, _)| k.as_str()).collect()
+        self.map
+            .iter()
+            .filter(|(_, s)| s.contains(&node))
+            .map(|(k, _)| k.as_str())
+            .collect()
     }
 }
 
@@ -106,10 +113,20 @@ pub fn summarize(world: &World, groups: &Groups, group: &str) -> GroupSummary {
         .filter(|&&n| world.nodes.get(n as usize).is_some_and(|s| s.hw.is_up()))
         .count();
     let latest = |node: u32, key: &str| {
-        world.server.history().latest(node, &MonitorKey::new(key)).map(|s| s.value)
+        world
+            .server
+            .history()
+            .latest(node, &MonitorKey::new(key))
+            .map(|s| s.value)
     };
-    let cpus: Vec<f64> = members.iter().filter_map(|&n| latest(n, "cpu.util_pct")).collect();
-    let temps: Vec<f64> = members.iter().filter_map(|&n| latest(n, "temp.cpu")).collect();
+    let cpus: Vec<f64> = members
+        .iter()
+        .filter_map(|&n| latest(n, "cpu.util_pct"))
+        .collect();
+    let temps: Vec<f64> = members
+        .iter()
+        .filter_map(|&n| latest(n, "temp.cpu"))
+        .collect();
     GroupSummary {
         name: group.to_string(),
         members: members.len(),

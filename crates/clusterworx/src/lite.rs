@@ -104,7 +104,11 @@ impl<S: ProcSource + Clone> LiteMonitor<S> {
         }
         let defs: Vec<EventDef> = self.engine.defs().to_vec();
         let mail = self.notifier.flush(now, &defs);
-        Ok(LiteTick { changed_values: out.report.values.len(), fired, mail })
+        Ok(LiteTick {
+            changed_values: out.report.values.len(),
+            fired,
+            mail,
+        })
     }
 }
 
@@ -127,7 +131,12 @@ mod tests {
             proc_.with_state(|s| s.tick(5.0, 0.3));
             lite.tick(
                 t(i * 5),
-                Sensors { udp_echo_ok: true, fan_rpm: 6000.0, power_watts: 120.0, ..Default::default() },
+                Sensors {
+                    udp_echo_ok: true,
+                    fan_rpm: 6000.0,
+                    power_watts: 120.0,
+                    ..Default::default()
+                },
             )
             .unwrap();
         }
@@ -169,9 +178,19 @@ mod tests {
             "",
             |_| Some(Value::Num(42.0)),
         );
-        lite.tick(t(5), Sensors { power_watts: 120.0, fan_rpm: 6000.0, ..Default::default() })
+        lite.tick(
+            t(5),
+            Sensors {
+                power_watts: 120.0,
+                fan_rpm: 6000.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let v = lite
+            .history()
+            .latest(0, &MonitorKey::new("site.answer"))
             .unwrap();
-        let v = lite.history().latest(0, &MonitorKey::new("site.answer")).unwrap();
         assert_eq!(v.value, 42.0);
     }
 
@@ -187,10 +206,21 @@ mod tests {
         let tick = lite
             .tick(
                 t(5),
-                Sensors { fan_rpm: 6000.0, udp_echo_ok: true, power_watts: 120.0, ..Default::default() },
+                Sensors {
+                    fan_rpm: 6000.0,
+                    udp_echo_ok: true,
+                    power_watts: 120.0,
+                    ..Default::default()
+                },
             )
             .unwrap();
-        assert!(tick.changed_values > 40, "first tick carries the full monitor set");
-        assert!(lite.history().latest(0, &MonitorKey::new("mem.total")).is_some());
+        assert!(
+            tick.changed_values > 40,
+            "first tick carries the full monitor set"
+        );
+        assert!(lite
+            .history()
+            .latest(0, &MonitorKey::new("mem.total"))
+            .is_some());
     }
 }

@@ -68,7 +68,11 @@ pub fn clone_image_to_group(
         targets.len() as u32,
         bandwidth,
         loss,
-        CloneConfig { image_bytes: image.size_bytes, firmware, ..CloneConfig::default() },
+        CloneConfig {
+            image_bytes: image.size_bytes,
+            firmware,
+            ..CloneConfig::default()
+        },
     );
 
     // replay: targets go dark now...
@@ -129,7 +133,10 @@ pub fn add_node(sim: &mut Sim<World>) -> u32 {
             w.iceboxes.push(cwx_icebox::chassis::IceBox::new());
         }
         // attach to the shared management segment
-        let seg = w.net.segment_of(World::SERVER_ADDR).expect("server attached");
+        let seg = w
+            .net
+            .segment_of(World::SERVER_ADDR)
+            .expect("server attached");
         w.net.attach(World::addr_of(node), seg);
         w.cfg.n_nodes += 1;
         node
@@ -148,17 +155,26 @@ mod tests {
 
     #[test]
     fn group_clone_replays_the_protocol_in_the_world() {
-        let mut sim = Cluster::build(ClusterConfig { n_nodes: 12, seed: 71, ..Default::default() });
+        let mut sim = Cluster::build(ClusterConfig {
+            n_nodes: 12,
+            seed: 71,
+            ..Default::default()
+        });
         sim.run_for(SimDuration::from_secs(120));
         assert_eq!(sim.world().up_count(), 12);
 
         let mut mgr = ImageManager::with_prebuilt();
-        let id = mgr.build("rh73-new", cwx_clone::image::ImageKind::HardDisk, 64 << 20, &["kernel-2.4.20"]);
+        let id = mgr.build(
+            "rh73-new",
+            cwx_clone::image::ImageKind::HardDisk,
+            64 << 20,
+            &["kernel-2.4.20"],
+        );
         let image = mgr.get(id).unwrap().clone();
 
         let groups = Groups::by_rack(12);
-        let outcome =
-            clone_image_to_group(&mut sim, &groups, "rack0", &image, 0.005).expect("nonempty group");
+        let outcome = clone_image_to_group(&mut sim, &groups, "rack0", &image, 0.005)
+            .expect("nonempty group");
         assert_eq!(outcome.targets.len(), 10);
 
         // mid-clone: rack0 is dark, rack1 keeps working
@@ -175,12 +191,19 @@ mod tests {
         }
         assert!(w.nodes[10].image.is_none(), "rack1 untouched");
         // monitoring resumed on recloned nodes
-        assert!(w.server.history().latest(0, &MonitorKey::new("uptime.secs")).is_some());
+        assert!(w
+            .server
+            .history()
+            .latest(0, &MonitorKey::new("uptime.secs"))
+            .is_some());
     }
 
     #[test]
     fn empty_group_clone_is_none() {
-        let mut sim = Cluster::build(ClusterConfig { n_nodes: 2, ..Default::default() });
+        let mut sim = Cluster::build(ClusterConfig {
+            n_nodes: 2,
+            ..Default::default()
+        });
         let mgr = ImageManager::with_prebuilt();
         let image = mgr.find("rh73-compute").unwrap().clone();
         assert!(clone_image_to_group(&mut sim, &Groups::new(), "nope", &image, 0.0).is_none());
@@ -188,7 +211,11 @@ mod tests {
 
     #[test]
     fn hot_added_node_joins_monitoring() {
-        let mut sim = Cluster::build(ClusterConfig { n_nodes: 10, seed: 72, ..Default::default() });
+        let mut sim = Cluster::build(ClusterConfig {
+            n_nodes: 10,
+            seed: 72,
+            ..Default::default()
+        });
         sim.run_for(SimDuration::from_secs(120));
         assert_eq!(sim.world().up_count(), 10);
 
@@ -200,8 +227,16 @@ mod tests {
         sim.run_for(SimDuration::from_secs(120));
         let w = sim.world();
         assert_eq!(w.up_count(), 11);
-        assert!(w.server.node_status(new).map(|s| s.reachable).unwrap_or(false));
-        assert!(w.server.history().latest(new, &MonitorKey::new("load.one")).is_some());
+        assert!(w
+            .server
+            .node_status(new)
+            .map(|s| s.reachable)
+            .unwrap_or(false));
+        assert!(w
+            .server
+            .history()
+            .latest(new, &MonitorKey::new("load.one"))
+            .is_some());
         // and it is probe-covered by its chassis
         let (bx, port) = World::rack_of(new);
         assert!(w.iceboxes[bx].probe(port).is_some());

@@ -4,20 +4,37 @@
 //!
 //! Tier 1: one OS thread per node runs the agent loop against its
 //! (synthetic or real) /proc and ships compressed reports over a
-//! crossbeam channel — the management network stand-in. Tier 2: a server
-//! thread drains the channel into a shared [`Server`] behind a
-//! `parking_lot::RwLock`. Tier 3: any number of client threads read the
-//! lock concurrently ("multiple clients access the ClusterWorX server at
-//! the same time without conflict").
+//! bounded crossbeam channel — the management network stand-in. Tier 2
+//! drains into a shared [`Server`] behind a `parking_lot::RwLock`.
+//! Tier 3: any number of client threads read the lock concurrently
+//! ("multiple clients access the ClusterWorX server at the same time
+//! without conflict").
+//!
+//! Two ingest shapes:
+//!
+//! * **Volatile** (default): a single channel and server thread; history
+//!   lives in the in-memory ring.
+//! * **Persistent** (`persist_dir` set): history goes to a
+//!   [`cwx_store::disk::DiskStore`], and ingest is sharded — one channel
+//!   plus worker thread per store shard, with each agent routed by its
+//!   node group. Workers decode and write samples straight into their
+//!   own shard (per-shard lock, no global contention) and only take the
+//!   server write lock for event evaluation. On restart the same
+//!   `persist_dir` recovers every acknowledged sample.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
 use cwx_monitor::agent::{Agent, AgentConfig};
+use cwx_monitor::history::HistoryStore;
 use cwx_monitor::snapshot::Sensors;
+use cwx_monitor::transmit;
 use cwx_proc::synthetic::SyntheticProc;
+use cwx_store::disk::{DiskStore, StoreConfig};
+use cwx_store::Store;
 use cwx_util::time::{SimDuration, SimTime};
 use parking_lot::RwLock;
 
@@ -26,9 +43,10 @@ use crate::server::Server;
 /// Handle to a running real-time deployment.
 pub struct RealTimeDeployment {
     server: Arc<RwLock<Server>>,
+    store: Option<Arc<DiskStore>>,
     stop: Arc<AtomicBool>,
     agents: Vec<std::thread::JoinHandle<u64>>,
-    server_thread: Option<std::thread::JoinHandle<u64>>,
+    ingest_threads: Vec<std::thread::JoinHandle<u64>>,
 }
 
 /// Parameters for [`RealTimeDeployment::start`].
@@ -40,24 +58,41 @@ pub struct RealTimeConfig {
     pub interval: Duration,
     /// Simulated activity level of the nodes.
     pub util: f64,
+    /// Bound of each report channel; full channels block the sending
+    /// agent (backpressure) rather than dropping reports.
+    pub channel_capacity: usize,
+    /// When set, history persists to a sharded [`DiskStore`] in this
+    /// directory and ingest runs one worker per shard.
+    pub persist_dir: Option<PathBuf>,
+    /// Store shard count for the persistent path.
+    pub shards: usize,
+    /// Test hook: per-report processing delay injected into ingest
+    /// threads, to exercise backpressure.
+    pub ingest_stall: Option<Duration>,
 }
 
 impl Default for RealTimeConfig {
     fn default() -> Self {
-        RealTimeConfig { n_nodes: 8, interval: Duration::from_millis(50), util: 0.4 }
+        RealTimeConfig {
+            n_nodes: 8,
+            interval: Duration::from_millis(50),
+            util: 0.4,
+            channel_capacity: 1024,
+            persist_dir: None,
+            shards: 4,
+            ingest_stall: None,
+        }
     }
 }
 
-fn agent_loop(
-    node: u32,
-    cfg: RealTimeConfig,
-    tx: Sender<Vec<u8>>,
-    stop: Arc<AtomicBool>,
-) -> u64 {
+fn agent_loop(node: u32, cfg: RealTimeConfig, tx: Sender<Vec<u8>>, stop: Arc<AtomicBool>) -> u64 {
     let proc_ = SyntheticProc::default();
     let mut agent = Agent::new(
         proc_.clone(),
-        AgentConfig { node, ..AgentConfig::default() },
+        AgentConfig {
+            node,
+            ..AgentConfig::default()
+        },
     )
     .expect("agent over synthetic proc");
     let started = Instant::now();
@@ -88,43 +123,106 @@ fn agent_loop(
 impl RealTimeDeployment {
     /// Start the threads.
     pub fn start(cfg: RealTimeConfig) -> Self {
-        let server = Arc::new(RwLock::new(Server::new(
+        let store = cfg.persist_dir.as_ref().map(|dir| {
+            let store_cfg = StoreConfig {
+                n_shards: cfg.shards.max(1),
+                ..StoreConfig::default()
+            };
+            Arc::new(DiskStore::open(dir, store_cfg).expect("open persistent store"))
+        });
+        let history = match &store {
+            Some(s) => HistoryStore::with_backend(Box::new(Arc::clone(s))),
+            None => HistoryStore::new(4096),
+        };
+        let server = Arc::new(RwLock::new(Server::with_history(
             "realtime",
             SimDuration::from_secs(5),
-            4096,
+            history,
             SimDuration::from_secs(30),
         )));
         let stop = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = bounded::<Vec<u8>>(1024);
+        let started = Instant::now();
+
+        // one ingest lane per store shard (a single lane without a store)
+        let n_lanes = match &store {
+            Some(s) => s.config().n_shards,
+            None => 1,
+        };
+        let nodes_per_group = match &store {
+            Some(s) => s.config().nodes_per_group,
+            None => u32::MAX,
+        };
+        let mut txs = Vec::with_capacity(n_lanes);
+        let mut rxs = Vec::with_capacity(n_lanes);
+        for _ in 0..n_lanes {
+            let (tx, rx) = bounded::<Vec<u8>>(cfg.channel_capacity.max(1));
+            txs.push(tx);
+            rxs.push(rx);
+        }
 
         let agents: Vec<_> = (0..cfg.n_nodes)
             .map(|node| {
-                let tx = tx.clone();
+                let lane = (node / nodes_per_group.max(1)) as usize % n_lanes;
+                let tx = txs[lane].clone();
                 let stop = Arc::clone(&stop);
                 let cfg = cfg.clone();
                 std::thread::spawn(move || agent_loop(node, cfg, tx, stop))
             })
             .collect();
-        drop(tx); // server sees disconnect once every agent stops
+        drop(txs); // ingest lanes see disconnect once every agent stops
 
-        let server2 = Arc::clone(&server);
-        let started = Instant::now();
-        let server_thread = std::thread::spawn(move || {
-            let mut ingested = 0u64;
-            while let Ok(payload) = rx.recv() {
-                let now =
-                    SimTime::ZERO + SimDuration::from_secs_f64(started.elapsed().as_secs_f64());
-                server2.write().ingest(now, &payload);
-                ingested += 1;
-                // housekeeping piggybacks on traffic; good enough here
-                if ingested.is_multiple_of(64) {
-                    server2.write().housekeeping(now);
-                }
-            }
-            ingested
-        });
+        let ingest_threads: Vec<_> = rxs
+            .into_iter()
+            .map(|rx| {
+                let server = Arc::clone(&server);
+                let store = store.clone();
+                let stall = cfg.ingest_stall;
+                std::thread::spawn(move || {
+                    let mut ingested = 0u64;
+                    while let Ok(payload) = rx.recv() {
+                        if let Some(d) = stall {
+                            std::thread::sleep(d);
+                        }
+                        let now = SimTime::ZERO
+                            + SimDuration::from_secs_f64(started.elapsed().as_secs_f64());
+                        match &store {
+                            None => server.write().ingest(now, &payload),
+                            Some(store) => match transmit::decode_auto(&payload) {
+                                Ok(report) => {
+                                    // storage write on the shard lock only;
+                                    // the server lock covers just events
+                                    for (key, value) in &report.values {
+                                        if let cwx_monitor::monitor::Value::Num(x) = value {
+                                            store.append(report.node, &key.0, now, *x);
+                                        }
+                                    }
+                                    server.write().ingest_report_events_only(
+                                        now,
+                                        &report,
+                                        payload.len(),
+                                    );
+                                }
+                                Err(_) => server.write().note_decode_error(payload.len()),
+                            },
+                        }
+                        ingested += 1;
+                        // housekeeping piggybacks on traffic; good enough here
+                        if ingested.is_multiple_of(64) {
+                            server.write().housekeeping(now);
+                        }
+                    }
+                    ingested
+                })
+            })
+            .collect();
 
-        RealTimeDeployment { server, stop, agents, server_thread: Some(server_thread) }
+        RealTimeDeployment {
+            server,
+            store,
+            stop,
+            agents,
+            ingest_threads,
+        }
     }
 
     /// The shared server — clone the `Arc` for tier-3 clients.
@@ -132,15 +230,27 @@ impl RealTimeDeployment {
         Arc::clone(&self.server)
     }
 
+    /// The persistent store, when the deployment runs with one.
+    pub fn store(&self) -> Option<Arc<DiskStore>> {
+        self.store.clone()
+    }
+
     /// Stop everything; returns `(reports sent, reports ingested)`.
+    /// Persistent deployments flush memtables on the way out (history is
+    /// WAL-recoverable even without this — the flush just trims replay).
     pub fn shutdown(mut self) -> (u64, u64) {
         self.stop.store(true, Ordering::Relaxed);
         let mut sent = 0;
         for h in self.agents.drain(..) {
             sent += h.join().expect("agent thread");
         }
-        let ingested =
-            self.server_thread.take().map(|h| h.join().expect("server thread")).unwrap_or(0);
+        let mut ingested = 0;
+        for h in self.ingest_threads.drain(..) {
+            ingested += h.join().expect("ingest thread");
+        }
+        if let Some(store) = &self.store {
+            let _ = store.flush_all();
+        }
         (sent, ingested)
     }
 }
@@ -156,6 +266,7 @@ mod tests {
             n_nodes: 6,
             interval: Duration::from_millis(20),
             util: 0.5,
+            ..RealTimeConfig::default()
         });
 
         // tier-3 clients read while agents write
@@ -186,5 +297,77 @@ mod tests {
         for node in 0..6 {
             assert!(s.node_status(node).is_some(), "node{node} reported");
         }
+    }
+
+    #[test]
+    fn stalled_server_applies_backpressure_without_drops() {
+        // a tiny channel and a deliberately slow ingest thread: agents
+        // must block in send (not drop, not panic), and the stop flag
+        // must still shut the deployment down cleanly
+        let dep = RealTimeDeployment::start(RealTimeConfig {
+            n_nodes: 4,
+            interval: Duration::from_millis(1),
+            util: 0.3,
+            channel_capacity: 2,
+            ingest_stall: Some(Duration::from_millis(15)),
+            ..RealTimeConfig::default()
+        });
+        std::thread::sleep(Duration::from_millis(300));
+        let server = dep.server();
+        let (sent, ingested) = dep.shutdown();
+        assert!(sent > 0, "agents made progress despite the stall");
+        assert_eq!(sent, ingested, "backpressure means blocked, never dropped");
+        assert_eq!(server.read().stats().reports_rx, ingested);
+        // the channel bound held the backlog: with capacity 2 per lane the
+        // ingest side can lag the senders by at most capacity, so every
+        // report an agent counted was eventually processed, none skipped
+        assert_eq!(server.read().stats().decode_errors, 0);
+    }
+
+    #[test]
+    fn persistent_deployment_recovers_after_restart() {
+        let dir = std::env::temp_dir().join(format!("cwx-rt-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = RealTimeConfig {
+            n_nodes: 8,
+            interval: Duration::from_millis(5),
+            util: 0.5,
+            persist_dir: Some(dir.clone()),
+            shards: 4,
+            ..RealTimeConfig::default()
+        };
+        let dep = RealTimeDeployment::start(cfg.clone());
+        std::thread::sleep(Duration::from_millis(300));
+        let (sent, ingested) = dep.shutdown();
+        assert!(sent > 0);
+        assert_eq!(sent, ingested);
+
+        // "restart": a fresh deployment over the same directory sees the
+        // previous run's history before any new report arrives
+        let dep = RealTimeDeployment::start(cfg);
+        let store = dep.store().unwrap();
+        let recovered = store.total_samples();
+        assert!(recovered > 0, "prior run's samples recovered");
+        let server = dep.server();
+        let key = MonitorKey::new("load.one");
+        {
+            let s = server.read();
+            let mut nodes_with_history = 0;
+            for node in 0..8 {
+                if !s
+                    .history()
+                    .range(node, &key, SimTime::ZERO, SimTime::MAX)
+                    .is_empty()
+                {
+                    nodes_with_history += 1;
+                }
+            }
+            assert!(
+                nodes_with_history >= 4,
+                "history visible for restarted cluster"
+            );
+        }
+        dep.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -65,7 +65,11 @@ pub fn submit_job(
     request: slurm_lite::JobRequest,
 ) -> Result<slurm_lite::JobId, slurm_lite::SlurmError> {
     let now = sim.now();
-    let bridge = sim.world_mut().scheduler.as_mut().expect("scheduler attached");
+    let bridge = sim
+        .world_mut()
+        .scheduler
+        .as_mut()
+        .expect("scheduler attached");
     let id = bridge.controller.submit(now, request)?;
     Ok(id)
 }
@@ -75,7 +79,9 @@ pub fn submit_job(
 pub fn sync_scheduler(sim: &mut Sim<World>) {
     let now = sim.now();
     let w = sim.world_mut();
-    let Some(bridge) = w.scheduler.as_mut() else { return };
+    let Some(bridge) = w.scheduler.as_mut() else {
+        return;
+    };
 
     // 1. node reality -> controller
     for (i, node) in w.nodes.iter().enumerate() {
@@ -130,7 +136,11 @@ mod tests {
             workload: WorkloadMix::Idle, // the scheduler drives the load
             ..Default::default()
         });
-        attach_scheduler(&mut sim, SchedulerKind::Backfill, SimDuration::from_secs(10));
+        attach_scheduler(
+            &mut sim,
+            SchedulerKind::Backfill,
+            SimDuration::from_secs(10),
+        );
         sim
     }
 
@@ -156,7 +166,12 @@ mod tests {
         // idle nodes cold
         let key = MonitorKey::new("cpu.util_pct");
         for i in 0..8u32 {
-            let util = w.server.history().latest(i, &key).map(|s| s.value).unwrap_or(0.0);
+            let util = w
+                .server
+                .history()
+                .latest(i, &key)
+                .map(|s| s.value)
+                .unwrap_or(0.0);
             if running.contains(&i) {
                 assert!(util > 70.0, "allocated node{i} must be loaded: {util}");
             } else {
@@ -203,8 +218,10 @@ mod tests {
         let w = sim.world();
         let ctl = &w.scheduler.as_ref().unwrap().controller;
         assert!(ctl.stats().node_failed >= 1, "{:?}", ctl.stats());
-        let rerun: Vec<&slurm_lite::job::Job> =
-            ctl.jobs().filter(|j| j.state == JobState::Running).collect();
+        let rerun: Vec<&slurm_lite::job::Job> = ctl
+            .jobs()
+            .filter(|j| j.state == JobState::Running)
+            .collect();
         assert_eq!(rerun.len(), 1, "requeued job running again");
         assert!(
             !rerun[0].allocation.contains(&victim),
@@ -212,7 +229,11 @@ mod tests {
             rerun[0].allocation
         );
         // and the administrator got the fan-failure mail as usual
-        assert!(w.server.outbox().iter().any(|m| m.event == "cpu-fan-failure"));
+        assert!(w
+            .server
+            .outbox()
+            .iter()
+            .any(|m| m.event == "cpu-fan-failure"));
     }
 
     #[test]

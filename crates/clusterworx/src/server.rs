@@ -73,12 +73,29 @@ impl Server {
         history_capacity: usize,
         stale_after: SimDuration,
     ) -> Self {
+        Server::with_history(
+            cluster_name,
+            notify_window,
+            HistoryStore::new(history_capacity),
+            stale_after,
+        )
+    }
+
+    /// A server over a caller-supplied history store — pass one backed
+    /// by `cwx_store::disk::DiskStore` and monitoring history (charts,
+    /// range queries) survives a server restart.
+    pub fn with_history(
+        cluster_name: &str,
+        notify_window: SimDuration,
+        history: HistoryStore,
+        stale_after: SimDuration,
+    ) -> Self {
         let mut engine = EventEngine::new();
         for rule in default_rules() {
             engine.add(rule);
         }
         Server {
-            history: HistoryStore::new(history_capacity),
+            history,
             engine,
             notifier: Notifier::new(cluster_name, notify_window),
             status: BTreeMap::new(),
@@ -157,6 +174,37 @@ impl Server {
         }
     }
 
+    /// Handle a report whose samples a sharded ingest worker already
+    /// wrote straight into the shared history backend: account stats
+    /// and liveness and run event evaluation, but skip the (already
+    /// done) history writes. This keeps the expensive storage write
+    /// outside the server lock.
+    pub fn ingest_report_events_only(&mut self, now: SimTime, report: &Report, wire_bytes: usize) {
+        self.stats.bytes_rx += wire_bytes as u64;
+        self.stats.reports_rx += 1;
+        let entry = self.status.entry(report.node).or_insert(NodeStatus {
+            last_report: now,
+            reports: 0,
+            reachable: true,
+        });
+        entry.last_report = now;
+        entry.reports += 1;
+        entry.reachable = true;
+        for (key, value) in &report.values {
+            self.stats.values_rx += 1;
+            if let Value::Num(x) = value {
+                self.observe(now, report.node, key, *x);
+            }
+        }
+    }
+
+    /// Account a datagram that failed to decode in a sharded ingest
+    /// worker (the worker decodes outside the server lock).
+    pub fn note_decode_error(&mut self, wire_bytes: usize) {
+        self.stats.bytes_rx += wire_bytes as u64;
+        self.stats.decode_errors += 1;
+    }
+
     /// Feed one out-of-band observation (ICE Box probe path — works even
     /// when the node OS is hung).
     pub fn observe(&mut self, now: SimTime, node: u32, key: &MonitorKey, value: f64) {
@@ -168,7 +216,11 @@ impl Server {
             }
             if f.action != Action::None {
                 self.stats.actions += 1;
-                self.pending.push(PendingAction { node, action: f.action.clone(), cause: f.clone() });
+                self.pending.push(PendingAction {
+                    node,
+                    action: f.action.clone(),
+                    cause: f.clone(),
+                });
             }
         }
         for c in &cleared {
@@ -178,7 +230,11 @@ impl Server {
 
     /// Record a probe reading into history under the sensor keys.
     pub fn record_probe(&mut self, now: SimTime, node: u32, temp_c: f64, watts: f64, fan_rpm: f64) {
-        for (key, v) in [("temp.cpu", temp_c), ("power.watts", watts), ("fan.cpu_rpm", fan_rpm)] {
+        for (key, v) in [
+            ("temp.cpu", temp_c),
+            ("power.watts", watts),
+            ("fan.cpu_rpm", fan_rpm),
+        ] {
             let k = MonitorKey::new(key);
             self.history.record(node, &k, now, v);
             self.observe(now, node, &k, v);
@@ -215,7 +271,12 @@ mod tests {
     use cwx_monitor::transmit::encode_compressed;
 
     fn server() -> Server {
-        Server::new("test", SimDuration::from_secs(5), 100, SimDuration::from_secs(30))
+        Server::new(
+            "test",
+            SimDuration::from_secs(5),
+            100,
+            SimDuration::from_secs(30),
+        )
     }
 
     fn t(s: u64) -> SimTime {

@@ -93,7 +93,10 @@ pub struct World {
 impl World {
     /// Chassis + port housing a node.
     pub fn rack_of(node: u32) -> (usize, PortId) {
-        ((node as usize) / NODE_PORTS, PortId((node % NODE_PORTS as u32) as u8))
+        (
+            (node as usize) / NODE_PORTS,
+            PortId((node % NODE_PORTS as u32) as u8),
+        )
     }
 
     /// Network address of a node's agent.
@@ -137,7 +140,11 @@ impl Cluster {
                         busy_secs: 240.0 + 30.0 * (i % 4) as f64,
                         gap_secs: 60.0,
                     },
-                    6..=8 => Workload::Noisy { mean: 0.35, reversion: 0.2, sigma: 0.25 },
+                    6..=8 => Workload::Noisy {
+                        mean: 0.35,
+                        reversion: 0.2,
+                        sigma: 0.25,
+                    },
                     _ => Workload::Idle,
                 },
             };
@@ -153,13 +160,29 @@ impl Cluster {
         }
         let n_boxes = (n as usize).div_ceil(NODE_PORTS);
         let iceboxes = (0..n_boxes).map(|_| IceBox::new()).collect();
-        let net = Network::single_segment(cfg.seed ^ 0xdead_beef, n + 1, cfg.bandwidth_bps, cfg.loss);
-        let server = Server::new(
-            "cluster",
-            cfg.notify_window,
-            cfg.history_capacity,
-            cfg.agent_interval * 4,
-        );
+        let net =
+            Network::single_segment(cfg.seed ^ 0xdead_beef, n + 1, cfg.bandwidth_bps, cfg.loss);
+        let server = match &cfg.store_dir {
+            None => Server::new(
+                "cluster",
+                cfg.notify_window,
+                cfg.history_capacity,
+                cfg.agent_interval * 4,
+            ),
+            Some(dir) => {
+                // persistent history: a restarted simulation over the
+                // same directory recovers every recorded sample
+                let disk =
+                    cwx_store::disk::DiskStore::open(dir, cwx_store::disk::StoreConfig::default())
+                        .expect("open persistent history store");
+                Server::with_history(
+                    "cluster",
+                    cfg.notify_window,
+                    cwx_monitor::history::HistoryStore::with_backend(Box::new(disk)),
+                    cfg.agent_interval * 4,
+                )
+            }
+        };
         let world = World {
             nodes,
             iceboxes,
@@ -256,7 +279,9 @@ fn agent_tick(sim: &mut Sim<World>) {
             if !st.hw.is_up() {
                 continue;
             }
-            let Some(agent) = st.agent.as_mut() else { continue };
+            let Some(agent) = st.agent.as_mut() else {
+                continue;
+            };
             let sensors = Sensors {
                 cpu_temp_c: st.hw.temperature_c(),
                 board_temp_c: st.hw.temperature_c() - 8.0,
@@ -346,7 +371,9 @@ fn housekeeping_tick(sim: &mut Sim<World>) {
         let echo = {
             let w = sim.world();
             let st = &w.nodes[i];
-            let Some(up_since) = st.up_since else { continue };
+            let Some(up_since) = st.up_since else {
+                continue;
+            };
             if now.since(up_since) <= stale {
                 continue; // grace period after boot
             }
@@ -358,7 +385,9 @@ fn housekeeping_tick(sim: &mut Sim<World>) {
             st.hw.is_up() && heard_recently
         };
         let key = MonitorKey::new("net.connectivity");
-        sim.world_mut().server.observe(now, i as u32, &key, echo as u8 as f64);
+        sim.world_mut()
+            .server
+            .observe(now, i as u32, &key, echo as u8 as f64);
     }
     execute_pending_actions(sim);
     sim.world_mut().server.housekeeping(now);
@@ -477,7 +506,10 @@ pub fn power_on_node(sim: &mut Sim<World>, node: u32) {
                 MemoryCheck::Ok
             };
             let World { nodes, rng, .. } = w;
-            (nodes[node as usize].bios.begin_boot(rng, memory), memory == MemoryCheck::Ok)
+            (
+                nodes[node as usize].bios.begin_boot(rng, memory),
+                memory == MemoryCheck::Ok,
+            )
         };
         let mut offset = SimDuration::ZERO;
         for phase in &plan.phases {
@@ -547,7 +579,9 @@ pub fn stage_bios_flash_fleet(sim: &mut Sim<World>, version: &str) -> (usize, us
     let mut staged = 0;
     let mut refused = 0;
     for st in &mut w.nodes {
-        match st.bios.stage_flash(cwx_bios::FlashImage { version: version.to_string() }) {
+        match st.bios.stage_flash(cwx_bios::FlashImage {
+            version: version.to_string(),
+        }) {
             Ok(()) => staged += 1,
             Err(_) => refused += 1,
         }
@@ -588,15 +622,29 @@ mod tests {
 
     #[test]
     fn cluster_boots_and_reports() {
-        let sim = run_cluster(ClusterConfig { n_nodes: 8, ..Default::default() }, 120);
+        let sim = run_cluster(
+            ClusterConfig {
+                n_nodes: 8,
+                ..Default::default()
+            },
+            120,
+        );
         let w = sim.world();
         assert_eq!(w.up_count(), 8);
         let stats = w.server.stats();
-        assert!(stats.reports_rx > 8 * 10, "agents must be reporting: {}", stats.reports_rx);
+        assert!(
+            stats.reports_rx > 8 * 10,
+            "agents must be reporting: {}",
+            stats.reports_rx
+        );
         assert_eq!(stats.decode_errors, 0);
         // history has data for every node
         for i in 0..8 {
-            assert!(w.server.history().latest(i, &MonitorKey::new("load.one")).is_some());
+            assert!(w
+                .server
+                .history()
+                .latest(i, &MonitorKey::new("load.one"))
+                .is_some());
         }
     }
 
@@ -652,32 +700,53 @@ mod tests {
             ..Default::default()
         });
         // let it boot and warm up, then kill a fan
-        schedule_fault(&mut sim, SimTime::ZERO + SimDuration::from_secs(300), 2, Fault::FanFailure);
+        schedule_fault(
+            &mut sim,
+            SimTime::ZERO + SimDuration::from_secs(300),
+            2,
+            Fault::FanFailure,
+        );
         sim.run_for(SimDuration::from_secs(1200));
         let w = sim.world();
         // the event engine must have powered node 2 down
         assert!(
-            w.action_log.iter().any(|a| a.node == 2 && a.action == Action::PowerDown),
+            w.action_log
+                .iter()
+                .any(|a| a.node == 2 && a.action == Action::PowerDown),
             "power-down action missing: {:?}",
             w.action_log
         );
         // and the CPU must have survived
         assert_ne!(w.nodes[2].hw.health(), cwx_hw::HealthState::Burned);
         // exactly one email about it
-        let mails: Vec<_> =
-            w.server.outbox().iter().filter(|m| m.event == "cpu-fan-failure").collect();
+        let mails: Vec<_> = w
+            .server
+            .outbox()
+            .iter()
+            .filter(|m| m.event == "cpu-fan-failure")
+            .collect();
         assert_eq!(mails.len(), 1, "{:?}", w.server.outbox());
         assert_eq!(mails[0].nodes, vec![2]);
     }
 
     #[test]
     fn kernel_panic_heals_via_reboot() {
-        let mut sim = Cluster::build(ClusterConfig { n_nodes: 2, ..Default::default() });
-        schedule_fault(&mut sim, SimTime::ZERO + SimDuration::from_secs(120), 1, Fault::KernelPanic);
+        let mut sim = Cluster::build(ClusterConfig {
+            n_nodes: 2,
+            ..Default::default()
+        });
+        schedule_fault(
+            &mut sim,
+            SimTime::ZERO + SimDuration::from_secs(120),
+            1,
+            Fault::KernelPanic,
+        );
         sim.run_for(SimDuration::from_secs(600));
         let w = sim.world();
         assert!(
-            w.action_log.iter().any(|a| a.node == 1 && a.action == Action::Reboot),
+            w.action_log
+                .iter()
+                .any(|a| a.node == 1 && a.action == Action::Reboot),
             "reboot action missing: {:?}",
             w.action_log
         );
@@ -690,7 +759,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = |seed| {
-            let mut sim = Cluster::build(ClusterConfig { n_nodes: 6, seed, ..Default::default() });
+            let mut sim = Cluster::build(ClusterConfig {
+                n_nodes: 6,
+                seed,
+                ..Default::default()
+            });
             schedule_fault(
                 &mut sim,
                 SimTime::ZERO + SimDuration::from_secs(100),
@@ -710,7 +783,10 @@ mod tests {
 
     #[test]
     fn power_cycle_mid_boot_is_safe() {
-        let mut sim = Cluster::build(ClusterConfig { n_nodes: 1, ..Default::default() });
+        let mut sim = Cluster::build(ClusterConfig {
+            n_nodes: 1,
+            ..Default::default()
+        });
         // cut power while the node is still booting, then power on again
         sim.schedule_at(SimTime::ZERO + SimDuration::from_millis(1500), |sim| {
             power_off_node(sim, 0);
@@ -719,7 +795,10 @@ mod tests {
             power_on_node(sim, 0);
         });
         sim.run_for(SimDuration::from_secs(120));
-        assert!(sim.world().nodes[0].hw.is_up(), "second boot must complete cleanly");
+        assert!(
+            sim.world().nodes[0].hw.is_up(),
+            "second boot must complete cleanly"
+        );
         // exactly one live agent, reporting
         assert!(sim.world().server.stats().reports_rx > 0);
     }
@@ -746,7 +825,9 @@ mod memory_tests {
         assert!(log.contains("Testing DRAM: FAILED"), "console: {log}");
         // healthy neighbours show the pass message instead
         let (bx0, port0) = World::rack_of(0);
-        assert!(w.iceboxes[bx0].console_log(port0).contains("Testing DRAM: done"));
+        assert!(w.iceboxes[bx0]
+            .console_log(port0)
+            .contains("Testing DRAM: done"));
     }
 
     #[test]
@@ -798,7 +879,10 @@ mod plugin_action_tests {
         });
         // replace the default overtemp power-down with a site script
         // that records the call and then asks for a power-down
-        sim.world_mut().server.engine_mut().remove(cwx_events::engine::EventId(1));
+        sim.world_mut()
+            .server
+            .engine_mut()
+            .remove(cwx_events::engine::EventId(1));
         sim.world_mut()
             .server
             .engine_mut()
@@ -828,12 +912,21 @@ mod plugin_action_tests {
             workload: WorkloadMix::Constant(1.0),
             ..Default::default()
         });
-        sim.world_mut().server.engine_mut().remove(cwx_events::engine::EventId(1));
-        sim.world_mut().server.engine_mut().add(hot_rule(Action::Plugin("missing.sh".into())));
+        sim.world_mut()
+            .server
+            .engine_mut()
+            .remove(cwx_events::engine::EventId(1));
+        sim.world_mut()
+            .server
+            .engine_mut()
+            .add(hot_rule(Action::Plugin("missing.sh".into())));
         sim.run_for(SimDuration::from_secs(600));
         let w = sim.world();
         // action recorded in the audit trail, nothing executed, nodes on
-        assert!(w.action_log.iter().any(|a| matches!(a.action, Action::Plugin(_))));
+        assert!(w
+            .action_log
+            .iter()
+            .any(|a| matches!(a.action, Action::Plugin(_))));
         assert!(w.plugin_log.is_empty());
         assert_eq!(w.up_count(), 2);
     }
@@ -845,7 +938,11 @@ mod bios_mgmt_tests {
 
     #[test]
     fn fleet_settings_and_flash_apply_at_reboot() {
-        let mut sim = Cluster::build(ClusterConfig { n_nodes: 5, seed: 61, ..Default::default() });
+        let mut sim = Cluster::build(ClusterConfig {
+            n_nodes: 5,
+            seed: 61,
+            ..Default::default()
+        });
         sim.run_for(SimDuration::from_secs(120));
         assert_eq!(sim.world().up_count(), 5);
 
@@ -854,7 +951,10 @@ mod bios_mgmt_tests {
         let (staged, _) = stage_bios_flash_fleet(&mut sim, "linuxbios-1.1.8");
         assert_eq!(staged, 5);
         // not active yet
-        assert_eq!(sim.world().nodes[0].bios.boot_source(), cwx_bios::BootSource::Disk);
+        assert_eq!(
+            sim.world().nodes[0].bios.boot_source(),
+            cwx_bios::BootSource::Disk
+        );
         assert_eq!(sim.world().nodes[0].bios.version(), "linuxbios-1.0.0");
 
         power_cycle_all(&mut sim);
@@ -862,7 +962,11 @@ mod bios_mgmt_tests {
         let w = sim.world();
         assert_eq!(w.up_count(), 5, "everyone back after the rolling cycle");
         for (i, st) in w.nodes.iter().enumerate() {
-            assert_eq!(st.bios.boot_source(), cwx_bios::BootSource::Ethernet, "node{i}");
+            assert_eq!(
+                st.bios.boot_source(),
+                cwx_bios::BootSource::Ethernet,
+                "node{i}"
+            );
             assert_eq!(st.bios.version(), "linuxbios-1.1.8", "node{i}");
         }
         // the netboot shows on the captured consoles
@@ -878,6 +982,10 @@ mod bios_mgmt_tests {
             ..Default::default()
         });
         let (staged, refused) = stage_bios_setting_fleet(&mut sim, "boot_source", "ethernet");
-        assert_eq!((staged, refused), (0, 3), "walk to every node with a keyboard instead");
+        assert_eq!(
+            (staged, refused),
+            (0, 3),
+            "walk to every node with a keyboard instead"
+        );
     }
 }

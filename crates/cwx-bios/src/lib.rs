@@ -82,7 +82,9 @@ impl BootPlan {
 
     /// Total time from power-good to a fully booted OS.
     pub fn total_time(&self) -> SimDuration {
-        self.phases.iter().fold(SimDuration::ZERO, |acc, p| acc + p.duration)
+        self.phases
+            .iter()
+            .fold(SimDuration::ZERO, |acc, p| acc + p.duration)
     }
 }
 
@@ -190,7 +192,8 @@ impl BiosChip {
         if self.firmware != Firmware::LinuxBios {
             return Err(BiosError::RequiresLinuxBios);
         }
-        self.pending_settings.insert(key.to_string(), value.to_string());
+        self.pending_settings
+            .insert(key.to_string(), value.to_string());
         Ok(())
     }
 
@@ -249,18 +252,26 @@ impl BiosChip {
                     console: "Testing DRAM: done\n".to_string(),
                 });
                 let (name, dur, line) = match self.boot_source() {
-                    BootSource::Disk => {
-                        ("load-kernel-disk", 1400, "Jumping to image loaded from hda1\n")
-                    }
-                    BootSource::Ethernet => {
-                        ("load-kernel-net", 1600, "etherboot: DHCP... TFTP vmlinuz ok\n")
-                    }
-                    BootSource::Interconnect => {
-                        ("load-kernel-ic", 900, "elan3: kernel image received over interconnect\n")
-                    }
-                    BootSource::Nfs => {
-                        ("load-kernel-nfs", 1700, "nfsroot: mounted root from server\n")
-                    }
+                    BootSource::Disk => (
+                        "load-kernel-disk",
+                        1400,
+                        "Jumping to image loaded from hda1\n",
+                    ),
+                    BootSource::Ethernet => (
+                        "load-kernel-net",
+                        1600,
+                        "etherboot: DHCP... TFTP vmlinuz ok\n",
+                    ),
+                    BootSource::Interconnect => (
+                        "load-kernel-ic",
+                        900,
+                        "elan3: kernel image received over interconnect\n",
+                    ),
+                    BootSource::Nfs => (
+                        "load-kernel-nfs",
+                        1700,
+                        "nfsroot: mounted root from server\n",
+                    ),
                 };
                 phases.push(BootPhase {
                     name,
@@ -283,7 +294,10 @@ impl BiosChip {
                 });
             }
         }
-        BootPlan { firmware: Firmware::LinuxBios, phases }
+        BootPlan {
+            firmware: Firmware::LinuxBios,
+            phases,
+        }
     }
 
     fn legacy_plan(&self, rng: &mut StdRng, memory: MemoryCheck) -> BootPlan {
@@ -291,9 +305,21 @@ impl BiosChip {
         let scale = normal_clamped(rng, 1.0, 0.15, 0.75, 1.5);
         let ms = |base: u64| SimDuration::from_millis((base as f64 * scale) as u64);
         let mut phases = vec![
-            BootPhase { name: "post", duration: ms(9_000), console: String::new() },
-            BootPhase { name: "video-init", duration: ms(2_500), console: String::new() },
-            BootPhase { name: "memory-count", duration: ms(8_000), console: String::new() },
+            BootPhase {
+                name: "post",
+                duration: ms(9_000),
+                console: String::new(),
+            },
+            BootPhase {
+                name: "video-init",
+                duration: ms(2_500),
+                console: String::new(),
+            },
+            BootPhase {
+                name: "memory-count",
+                duration: ms(8_000),
+                console: String::new(),
+            },
         ];
         if memory == MemoryCheck::Bad {
             // beeps at the video console; serial stays dark — the
@@ -303,12 +329,27 @@ impl BiosChip {
                 duration: ms(1_000),
                 console: String::new(),
             });
-            return BootPlan { firmware: Firmware::LegacyBios, phases };
+            return BootPlan {
+                firmware: Firmware::LegacyBios,
+                phases,
+            };
         }
         phases.extend([
-            BootPhase { name: "floppy-seek", duration: ms(4_000), console: String::new() },
-            BootPhase { name: "ide-scan", duration: ms(7_500), console: String::new() },
-            BootPhase { name: "option-roms", duration: ms(6_000), console: String::new() },
+            BootPhase {
+                name: "floppy-seek",
+                duration: ms(4_000),
+                console: String::new(),
+            },
+            BootPhase {
+                name: "ide-scan",
+                duration: ms(7_500),
+                console: String::new(),
+            },
+            BootPhase {
+                name: "option-roms",
+                duration: ms(6_000),
+                console: String::new(),
+            },
             BootPhase {
                 name: "bootloader",
                 duration: ms(4_500),
@@ -320,7 +361,10 @@ impl BiosChip {
                 console: "INIT: version 2.78 booting\n".to_string(),
             },
         ]);
-        BootPlan { firmware: Firmware::LegacyBios, phases }
+        BootPlan {
+            firmware: Firmware::LegacyBios,
+            phases,
+        }
     }
 }
 
@@ -335,7 +379,10 @@ mod tests {
         let mut r = rng(1);
         let plan = chip.begin_boot(&mut r, MemoryCheck::Ok);
         let t = plan.firmware_time().as_secs_f64();
-        assert!((2.0..=4.0).contains(&t), "LinuxBIOS should reach the kernel in ~3 s, got {t}");
+        assert!(
+            (2.0..=4.0).contains(&t),
+            "LinuxBIOS should reach the kernel in ~3 s, got {t}"
+        );
     }
 
     #[test]
@@ -345,7 +392,10 @@ mod tests {
         for _ in 0..50 {
             let plan = chip.begin_boot(&mut r, MemoryCheck::Ok);
             let t = plan.firmware_time().as_secs_f64();
-            assert!((28.0..=65.0).contains(&t), "legacy POST time out of band: {t}");
+            assert!(
+                (28.0..=65.0).contains(&t),
+                "legacy POST time out of band: {t}"
+            );
         }
     }
 
@@ -365,11 +415,22 @@ mod tests {
         let mut legacy = BiosChip::new(Firmware::LegacyBios);
         let mut r = rng(7);
         let lb_plan = lb.begin_boot(&mut r, MemoryCheck::Ok);
-        assert!(!lb_plan.phases[0].console.is_empty(), "LinuxBIOS serial from power-on");
+        assert!(
+            !lb_plan.phases[0].console.is_empty(),
+            "LinuxBIOS serial from power-on"
+        );
         let legacy_plan = legacy.begin_boot(&mut r, MemoryCheck::Ok);
-        let silent_prefix: Vec<_> =
-            legacy_plan.phases.iter().take(3).filter(|p| p.console.is_empty()).collect();
-        assert_eq!(silent_prefix.len(), 3, "vendor BIOS is silent on serial during POST");
+        let silent_prefix: Vec<_> = legacy_plan
+            .phases
+            .iter()
+            .take(3)
+            .filter(|p| p.console.is_empty())
+            .collect();
+        assert_eq!(
+            silent_prefix.len(),
+            3,
+            "vendor BIOS is silent on serial during POST"
+        );
     }
 
     #[test]
@@ -380,7 +441,10 @@ mod tests {
         let lb_plan = lb.begin_boot(&mut r, MemoryCheck::Bad);
         assert!(lb_plan.phases.last().unwrap().console.contains("FAILED"));
         let legacy_plan = legacy.begin_boot(&mut r, MemoryCheck::Bad);
-        assert!(legacy_plan.phases.iter().all(|p| !p.console.contains("FAILED")));
+        assert!(legacy_plan
+            .phases
+            .iter()
+            .all(|p| !p.console.contains("FAILED")));
     }
 
     #[test]
@@ -398,7 +462,10 @@ mod tests {
     #[test]
     fn staged_flash_applies_at_reboot() {
         let mut chip = BiosChip::new(Firmware::LinuxBios);
-        chip.stage_flash(FlashImage { version: "linuxbios-1.1.8".into() }).unwrap();
+        chip.stage_flash(FlashImage {
+            version: "linuxbios-1.1.8".into(),
+        })
+        .unwrap();
         assert_eq!(chip.version(), "linuxbios-1.0.0");
         let mut r = rng(1);
         chip.begin_boot(&mut r, MemoryCheck::Ok);
@@ -413,7 +480,9 @@ mod tests {
             Err(BiosError::RequiresLinuxBios)
         );
         assert_eq!(
-            chip.stage_flash(FlashImage { version: "x".into() }),
+            chip.stage_flash(FlashImage {
+                version: "x".into()
+            }),
             Err(BiosError::RequiresLinuxBios)
         );
         // but a walk-up change works
@@ -427,7 +496,8 @@ mod tests {
         let time_for = |src: &str| {
             let mut chip = BiosChip::new(Firmware::LinuxBios);
             chip.stage_setting("boot_source", src).unwrap();
-            chip.begin_boot(&mut rng(1), MemoryCheck::Ok).firmware_time()
+            chip.begin_boot(&mut rng(1), MemoryCheck::Ok)
+                .firmware_time()
         };
         let _ = &mut r;
         assert!(time_for("interconnect") < time_for("disk"));

@@ -84,21 +84,50 @@ impl ImageManager {
     /// A manager pre-loaded with the prebuilt images the paper mentions.
     pub fn with_prebuilt() -> Self {
         let mut m = Self::new();
-        m.build("rh73-compute", ImageKind::HardDisk, 650 << 20, &["kernel-2.4.18", "pbs-mom"]);
-        m.build("rh73-diskless", ImageKind::NfsRoot, 350 << 20, &["kernel-2.4.18"]);
-        m.build("rh73-io-node", ImageKind::HardDisk, 900 << 20, &["kernel-2.4.18", "nfs-utils"]);
+        m.build(
+            "rh73-compute",
+            ImageKind::HardDisk,
+            650 << 20,
+            &["kernel-2.4.18", "pbs-mom"],
+        );
+        m.build(
+            "rh73-diskless",
+            ImageKind::NfsRoot,
+            350 << 20,
+            &["kernel-2.4.18"],
+        );
+        m.build(
+            "rh73-io-node",
+            ImageKind::HardDisk,
+            900 << 20,
+            &["kernel-2.4.18", "nfs-utils"],
+        );
         m
     }
 
     /// Build a new image from a package list.
-    pub fn build(&mut self, name: &str, kind: ImageKind, size_bytes: u64, packages: &[&str]) -> ImageId {
+    pub fn build(
+        &mut self,
+        name: &str,
+        kind: ImageKind,
+        size_bytes: u64,
+        packages: &[&str],
+    ) -> ImageId {
         let id = ImageId(self.next_id);
         self.next_id += 1;
         let packages: Vec<String> = packages.iter().map(|s| s.to_string()).collect();
         let checksum = checksum_of(name, kind, size_bytes, 1, &packages);
         self.images.insert(
             id,
-            Image { id, name: name.to_string(), kind, size_bytes, version: 1, checksum, packages },
+            Image {
+                id,
+                name: name.to_string(),
+                kind,
+                size_bytes,
+                version: 1,
+                checksum,
+                packages,
+            },
         );
         id
     }
@@ -122,12 +151,24 @@ impl ImageManager {
     /// update, say). Bumps the version and recomputes the checksum —
     /// "improvements to cloning add the ability to more easily update
     /// the kernel on all nodes ... and update files or packages".
-    pub fn update(&mut self, id: ImageId, added_packages: &[&str], added_bytes: u64) -> Option<u32> {
+    pub fn update(
+        &mut self,
+        id: ImageId,
+        added_packages: &[&str],
+        added_bytes: u64,
+    ) -> Option<u32> {
         let img = self.images.get_mut(&id)?;
-        img.packages.extend(added_packages.iter().map(|s| s.to_string()));
+        img.packages
+            .extend(added_packages.iter().map(|s| s.to_string()));
         img.size_bytes += added_bytes;
         img.version += 1;
-        img.checksum = checksum_of(&img.name, img.kind, img.size_bytes, img.version, &img.packages);
+        img.checksum = checksum_of(
+            &img.name,
+            img.kind,
+            img.size_bytes,
+            img.version,
+            &img.packages,
+        );
         Some(img.version)
     }
 

@@ -218,11 +218,16 @@ fn schedule_deliveries(sim: &mut CloneSim, ds: Vec<Delivery<Msg>>) {
 /// Reliable control send: retransmit on loss after the RTO.
 fn send_ctrl(sim: &mut CloneSim, from: NodeAddr, to: NodeAddr, size: u64, msg: Msg, attempt: u32) {
     let now = sim.now();
-    let ds = sim.world_mut().net.unicast(now, from, to, size, msg.clone());
+    let ds = sim
+        .world_mut()
+        .net
+        .unicast(now, from, to, size, msg.clone());
     if ds.is_empty() {
         if attempt < MAX_CTRL_RETRIES {
             let rto = sim.world().cfg.ctrl_rto;
-            sim.schedule_in(rto, move |sim| send_ctrl(sim, from, to, size, msg, attempt + 1));
+            sim.schedule_in(rto, move |sim| {
+                send_ctrl(sim, from, to, size, msg, attempt + 1)
+            });
         }
         // else: control channel broken; the poll-round cap will abandon
         // the node
@@ -263,7 +268,9 @@ fn on_node_receive(sim: &mut CloneSim, to: NodeAddr, msg: Msg) {
 fn on_master_receive(sim: &mut CloneSim, msg: Msg) {
     match msg {
         Msg::Complete => {
-            let Some(&node) = sim.world().poll_queue.front() else { return };
+            let Some(&node) = sim.world().poll_queue.front() else {
+                return;
+            };
             let now = sim.now();
             {
                 let w = sim.world_mut();
@@ -282,7 +289,9 @@ fn on_master_receive(sim: &mut CloneSim, msg: Msg) {
             poll_next(sim);
         }
         Msg::Nack(missing) => {
-            let Some(&node) = sim.world().poll_queue.front() else { return };
+            let Some(&node) = sim.world().poll_queue.front() else {
+                return;
+            };
             let now = sim.now();
             let chunk = sim.world().cfg.chunk_bytes;
             // repair peer-to-peer with the master, then re-poll; FIFO
@@ -292,8 +301,13 @@ fn on_master_receive(sim: &mut CloneSim, msg: Msg) {
                 let w = sim.world_mut();
                 w.repair_chunks += missing.len() as u64;
                 for idx in missing {
-                    deliveries
-                        .extend(w.net.unicast(now, MASTER, addr_of(node), chunk, Msg::Chunk(idx)));
+                    deliveries.extend(w.net.unicast(
+                        now,
+                        MASTER,
+                        addr_of(node),
+                        chunk,
+                        Msg::Chunk(idx),
+                    ));
                 }
             }
             schedule_deliveries(sim, deliveries);
@@ -308,7 +322,11 @@ fn on_master_receive(sim: &mut CloneSim, msg: Msg) {
 fn finish_node(sim: &mut CloneSim, node: u32) {
     let (disk_secs, firmware, reboot) = {
         let w = sim.world();
-        (w.cfg.image_bytes as f64 / w.cfg.disk_write_bps as f64, w.cfg.firmware, w.cfg.reboot)
+        (
+            w.cfg.image_bytes as f64 / w.cfg.disk_write_bps as f64,
+            w.cfg.firmware,
+            w.cfg.reboot,
+        )
     };
     let boot = if reboot {
         let w = sim.world_mut();
@@ -326,7 +344,9 @@ fn finish_node(sim: &mut CloneSim, node: u32) {
 /// Poll the node at the head of the queue (counting rounds; abandon
 /// after the cap).
 fn poll_current(sim: &mut CloneSim) {
-    let Some(&node) = sim.world().poll_queue.front() else { return };
+    let Some(&node) = sim.world().poll_queue.front() else {
+        return;
+    };
     let now = sim.now();
     let abandoned = {
         let w = sim.world_mut();
@@ -408,7 +428,13 @@ fn remulticast_round(sim: &mut CloneSim) {
     for (k, idx) in union.into_iter().enumerate() {
         sim.schedule_in(interval * k as u64, move |sim| {
             let now = sim.now();
-            let ds = sim.world_mut().net.multicast(now, MASTER, CLONE_GROUP, chunk_bytes, Msg::Chunk(idx));
+            let ds = sim.world_mut().net.multicast(
+                now,
+                MASTER,
+                CLONE_GROUP,
+                chunk_bytes,
+                Msg::Chunk(idx),
+            );
             schedule_deliveries(sim, ds);
         });
     }
@@ -498,8 +524,13 @@ pub fn run_clone(
                 sim.schedule_in(interval * idx as u64, move |sim| {
                     let now = sim.now();
                     let chunk = sim.world().cfg.chunk_bytes;
-                    let ds =
-                        sim.world_mut().net.multicast(now, MASTER, CLONE_GROUP, chunk, Msg::Chunk(idx));
+                    let ds = sim.world_mut().net.multicast(
+                        now,
+                        MASTER,
+                        CLONE_GROUP,
+                        chunk,
+                        Msg::Chunk(idx),
+                    );
                     schedule_deliveries(sim, ds);
                 });
             }
@@ -514,9 +545,17 @@ pub fn run_clone(
     let ops: Vec<f64> = w
         .targets
         .iter()
-        .map(|t| t.operational_at.map(|x| x.as_secs_f64()).unwrap_or(f64::NAN))
+        .map(|t| {
+            t.operational_at
+                .map(|x| x.as_secs_f64())
+                .unwrap_or(f64::NAN)
+        })
         .collect();
-    let makespan = ops.iter().copied().filter(|x| !x.is_nan()).fold(0.0, f64::max);
+    let makespan = ops
+        .iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(0.0, f64::max);
     CloneReport {
         n_nodes: w.n_nodes,
         image_bytes: w.cfg.image_bytes,
@@ -577,7 +616,11 @@ mod tests {
         assert!(r.makespan_secs.is_finite());
         assert!(r.per_node_operational.iter().all(|t| t.is_finite()));
         // stream of 32 MiB at 6 MiB/s ≈ 5.3 s
-        assert!((4.0..=8.0).contains(&r.stream_secs), "stream {}", r.stream_secs);
+        assert!(
+            (4.0..=8.0).contains(&r.stream_secs),
+            "stream {}",
+            r.stream_secs
+        );
     }
 
     #[test]
@@ -586,7 +629,11 @@ mod tests {
         assert_eq!(r.failed_nodes, 0);
         assert!(r.repair_chunks > 0, "5% loss must trigger repairs");
         // expected missing ≈ 5% of 32 chunks × 20 nodes = 32
-        assert!(r.repair_chunks < 200, "repairs should stay proportional: {}", r.repair_chunks);
+        assert!(
+            r.repair_chunks < 200,
+            "repairs should stay proportional: {}",
+            r.repair_chunks
+        );
     }
 
     #[test]
@@ -610,9 +657,17 @@ mod tests {
             20,
             FAST_ETHERNET_BPS,
             0.0,
-            CloneConfig { strategy: RepairStrategy::Unicast, ..small_cfg() },
+            CloneConfig {
+                strategy: RepairStrategy::Unicast,
+                ..small_cfg()
+            },
         );
-        assert!(uni.wire_bytes > mc.wire_bytes * 15, "{} vs {}", uni.wire_bytes, mc.wire_bytes);
+        assert!(
+            uni.wire_bytes > mc.wire_bytes * 15,
+            "{} vs {}",
+            uni.wire_bytes,
+            mc.wire_bytes
+        );
         // data distribution is wire-bound: ~N× slower for unicast (the
         // constant reboot+disk tail dilutes the full-makespan ratio)
         assert!(
@@ -688,11 +743,19 @@ mod tests {
             20,
             FAST_ETHERNET_BPS,
             0.0,
-            CloneConfig { reboot: false, ..small_cfg() },
+            CloneConfig {
+                reboot: false,
+                ..small_cfg()
+            },
         );
         // same data distribution, no boot tail
         assert!((full.data_complete_secs - update.data_complete_secs).abs() < 1.0);
-        assert!(update.makespan_secs + 15.0 < full.makespan_secs, "{} vs {}", update.makespan_secs, full.makespan_secs);
+        assert!(
+            update.makespan_secs + 15.0 < full.makespan_secs,
+            "{} vs {}",
+            update.makespan_secs,
+            full.makespan_secs
+        );
     }
 
     #[test]
@@ -700,6 +763,10 @@ mod tests {
         // a 30 MiB kernel package to 200 nodes in parallel
         let r = run_update(11, 200, FAST_ETHERNET_BPS, 0.005, 30 << 20);
         assert_eq!(r.failed_nodes, 0);
-        assert!(r.makespan_secs < 60.0, "small updates land in seconds: {}", r.makespan_secs);
+        assert!(
+            r.makespan_secs < 60.0,
+            "small updates land in seconds: {}",
+            r.makespan_secs
+        );
     }
 }

@@ -184,7 +184,10 @@ impl EventEngine {
             } else if active && def.threshold.clears(value) {
                 self.triggered.remove(&state_key);
                 self.clearings += 1;
-                cleared.push(Clearing { event: def.id, node });
+                cleared.push(Clearing {
+                    event: def.id,
+                    node,
+                });
             }
         }
         (fired, cleared)
@@ -193,8 +196,12 @@ impl EventEngine {
     /// Forget all trigger state for a node (it was powered down or
     /// removed); returns clearings for episode bookkeeping.
     pub fn forget_node(&mut self, node: u32) -> Vec<Clearing> {
-        let keys: Vec<(EventId, u32)> =
-            self.triggered.keys().filter(|(_, n)| *n == node).copied().collect();
+        let keys: Vec<(EventId, u32)> = self
+            .triggered
+            .keys()
+            .filter(|(_, n)| *n == node)
+            .copied()
+            .collect();
         let mut out = Vec::new();
         for k in keys {
             self.triggered.remove(&k);
@@ -431,7 +438,9 @@ mod tests {
             action: Action::Plugin("drain-queue.sh".into()),
             notify: false,
         });
-        let f = e.observe(t(), 1, &MonitorKey::new("site.queue_depth"), 200.0).0;
+        let f = e
+            .observe(t(), 1, &MonitorKey::new("site.queue_depth"), 200.0)
+            .0;
         assert_eq!(f[0].action, Action::Plugin("drain-queue.sh".into()));
     }
 
@@ -456,18 +465,31 @@ mod tests {
         assert!(e.remove(EventId(1)));
         assert!(!e.remove(EventId(1)));
         assert!(!e.is_triggered(EventId(1), 1));
-        assert!(e.observe(t(), 1, &MonitorKey::new("temp.cpu"), 90.0).0.is_empty());
+        assert!(e
+            .observe(t(), 1, &MonitorKey::new("temp.cpu"), 90.0)
+            .0
+            .is_empty());
     }
 
     #[test]
     fn default_rules_cover_the_papers_scenarios() {
         let rules = default_rules();
-        assert!(rules.iter().any(|r| r.name == "cpu-fan-failure" && r.action == Action::PowerDown));
-        assert!(rules.iter().any(|r| r.name == "cpu-overtemp" && r.action == Action::PowerDown));
+        assert!(rules
+            .iter()
+            .any(|r| r.name == "cpu-fan-failure" && r.action == Action::PowerDown));
+        assert!(rules
+            .iter()
+            .any(|r| r.name == "cpu-overtemp" && r.action == Action::PowerDown));
         assert!(rules.iter().any(|r| r.name == "load-too-high"));
-        assert!(rules.iter().any(|r| r.name == "psu-failure" && r.action == Action::PowerDown));
-        assert!(rules.iter().any(|r| r.name == "swap-pressure" && r.action == Action::None));
-        assert!(rules.iter().any(|r| r.name == "network-unreachable" && r.action == Action::Reboot));
+        assert!(rules
+            .iter()
+            .any(|r| r.name == "psu-failure" && r.action == Action::PowerDown));
+        assert!(rules
+            .iter()
+            .any(|r| r.name == "swap-pressure" && r.action == Action::None));
+        assert!(rules
+            .iter()
+            .any(|r| r.name == "network-unreachable" && r.action == Action::Reboot));
     }
 
     #[test]

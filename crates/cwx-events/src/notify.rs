@@ -157,8 +157,11 @@ impl Notifier {
             let nodes: Vec<u32> = ep.nodes.iter().copied().collect();
             let action = action_text(&ep.action);
             let subject = format!("[{}] {} on {} node(s)", self.cluster, name, nodes.len());
-            let node_list =
-                nodes.iter().map(|n| format!("node{n:03}")).collect::<Vec<_>>().join(", ");
+            let node_list = nodes
+                .iter()
+                .map(|n| format!("node{n:03}"))
+                .collect::<Vec<_>>()
+                .join(", ");
             let body = format!(
                 "Cluster: {}\nEvent: {}\nNodes: {}\nTriggering value: {}\nAction taken: {}\n",
                 self.cluster, name, node_list, ep.first_value, action
@@ -213,7 +216,13 @@ mod tests {
     }
 
     fn firing(node: u32, t: SimTime) -> Firing {
-        Firing { event: EventId(1), node, time: t, value: 0.0, action: Action::PowerDown }
+        Firing {
+            event: EventId(1),
+            node,
+            time: t,
+            value: 0.0,
+            action: Action::PowerDown,
+        }
     }
 
     fn t(s: u64) -> SimTime {
@@ -227,7 +236,10 @@ mod tests {
         for node in 0..50 {
             n.on_fire(t(1), &d, &firing(node, t(1)));
         }
-        assert!(n.flush(t(10), std::slice::from_ref(&d)).is_empty(), "window not expired yet");
+        assert!(
+            n.flush(t(10), std::slice::from_ref(&d)).is_empty(),
+            "window not expired yet"
+        );
         let mails = n.flush(t(31), std::slice::from_ref(&d));
         assert_eq!(mails.len(), 1, "one email per triggered event");
         assert_eq!(mails[0].nodes.len(), 50);
@@ -256,7 +268,10 @@ mod tests {
         n.on_fire(t(0), &d, &firing(1, t(0)));
         n.flush(t(11), std::slice::from_ref(&d));
         // fixed...
-        n.on_clear(&Clearing { event: EventId(1), node: 1 });
+        n.on_clear(&Clearing {
+            event: EventId(1),
+            node: 1,
+        });
         // ...fails again later: re-fires automatically with a new email
         n.on_fire(t(100), &d, &firing(1, t(100)));
         let mails = n.flush(t(111), std::slice::from_ref(&d));
@@ -271,7 +286,10 @@ mod tests {
         let d = def();
         let mut n = Notifier::new("c", SimDuration::from_secs(10));
         n.on_fire(t(0), &d, &firing(1, t(0)));
-        n.on_clear(&Clearing { event: EventId(1), node: 1 });
+        n.on_clear(&Clearing {
+            event: EventId(1),
+            node: 1,
+        });
         let mails = n.flush(t(11), std::slice::from_ref(&d));
         assert_eq!(mails.len(), 1);
         // and the episode is gone afterwards
@@ -307,7 +325,10 @@ mod tests {
     #[test]
     fn pager_text_is_one_short_line() {
         let d = def();
-        let mut n = Notifier::new("a-cluster-with-a-fairly-long-name", SimDuration::from_secs(1));
+        let mut n = Notifier::new(
+            "a-cluster-with-a-fairly-long-name",
+            SimDuration::from_secs(1),
+        );
         for node in 0..500 {
             n.on_fire(t(0), &d, &firing(node, t(0)));
         }

@@ -295,7 +295,8 @@ impl NodeHardware {
 
         // utilisation only while the OS runs
         self.util = if self.is_up() {
-            self.workload.sample(self.age_secs, dt_secs, &mut self.workload_state, rng)
+            self.workload
+                .sample(self.age_secs, dt_secs, &mut self.workload_state, rng)
         } else {
             0.0
         };
@@ -321,7 +322,9 @@ impl NodeHardware {
             self.health = HealthState::Burned;
             self.booted = false;
             self.util = 0.0;
-            events.push(HwEvent::CpuBurned { temp_c: self.cpu_temp_c });
+            events.push(HwEvent::CpuBurned {
+                temp_c: self.cpu_temp_c,
+            });
             events.push(HwEvent::Console(format!(
                 "CPU0: Temperature above threshold, CPU halted ({:.1} C)\n",
                 self.cpu_temp_c
@@ -479,7 +482,11 @@ mod tests {
         for _ in 0..600 {
             n.advance(1.0, &mut r);
         }
-        assert_eq!(n.health(), HealthState::FanFailed, "fan still broken but CPU alive");
+        assert_eq!(
+            n.health(),
+            HealthState::FanFailed,
+            "fan still broken but CPU alive"
+        );
         assert!(n.temperature_c() < 40.0, "cooled after power-down");
     }
 
@@ -532,7 +539,11 @@ mod tests {
             n.advance(1.0, &mut r);
         }
         let (load, free_frac, uptime) = n.proc_fs().with_state(|s| {
-            (s.load_one, s.mem_free_kb as f64 / s.mem_total_kb as f64, s.uptime_secs)
+            (
+                s.load_one,
+                s.mem_free_kb as f64 / s.mem_total_kb as f64,
+                s.uptime_secs,
+            )
         });
         assert!(load > 0.5, "load chases utilisation: {load}");
         assert!(free_frac < 0.5, "memory fills under load: {free_frac}");
@@ -641,7 +652,8 @@ mod traffic_tests {
 
     #[test]
     fn loaded_nodes_generate_network_traffic() {
-        let mut busy = NodeHardware::new(NodeId(0), ThermalConfig::default(), Workload::Constant(0.9));
+        let mut busy =
+            NodeHardware::new(NodeId(0), ThermalConfig::default(), Workload::Constant(0.9));
         let mut idle = NodeHardware::new(NodeId(1), ThermalConfig::default(), Workload::Idle);
         for n in [&mut busy, &mut idle] {
             n.set_power(PowerState::On);
@@ -654,11 +666,19 @@ mod traffic_tests {
         }
         let rx = |n: &NodeHardware| {
             n.proc_fs().with_state(|s| {
-                s.interfaces.iter().find(|i| i.name == "eth0").unwrap().rx_bytes
+                s.interfaces
+                    .iter()
+                    .find(|i| i.name == "eth0")
+                    .unwrap()
+                    .rx_bytes
             })
         };
         assert!(rx(&busy) > 50_000_000, "busy node chatters: {}", rx(&busy));
-        assert!(rx(&idle) < 1_000_000, "idle node mostly quiet: {}", rx(&idle));
+        assert!(
+            rx(&idle) < 1_000_000,
+            "idle node mostly quiet: {}",
+            rx(&idle)
+        );
         assert!(rx(&busy) > rx(&idle) * 50);
     }
 }

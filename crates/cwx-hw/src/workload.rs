@@ -47,7 +47,11 @@ impl Workload {
         match *self {
             Workload::Idle => 0.0,
             Workload::Constant(u) => u.clamp(0.0, 1.0),
-            Workload::Batch { peak, busy_secs, gap_secs } => {
+            Workload::Batch {
+                peak,
+                busy_secs,
+                gap_secs,
+            } => {
                 let period = (busy_secs + gap_secs).max(1e-9);
                 let phase = t_secs % period;
                 if phase < busy_secs {
@@ -56,7 +60,11 @@ impl Workload {
                     0.02 // OS housekeeping between jobs
                 }
             }
-            Workload::Noisy { mean, reversion, sigma } => {
+            Workload::Noisy {
+                mean,
+                reversion,
+                sigma,
+            } => {
                 let noise: f64 = rng.random::<f64>() - 0.5;
                 *state += reversion * (mean - *state) * dt_secs + sigma * noise * dt_secs.sqrt();
                 *state = state.clamp(0.0, 1.0);
@@ -76,13 +84,23 @@ mod tests {
         let mut r = rng(1);
         let mut s = 0.0;
         assert_eq!(Workload::Idle.sample(10.0, 1.0, &mut s, &mut r), 0.0);
-        assert_eq!(Workload::Constant(1.7).sample(0.0, 1.0, &mut s, &mut r), 1.0);
-        assert_eq!(Workload::Constant(-0.2).sample(0.0, 1.0, &mut s, &mut r), 0.0);
+        assert_eq!(
+            Workload::Constant(1.7).sample(0.0, 1.0, &mut s, &mut r),
+            1.0
+        );
+        assert_eq!(
+            Workload::Constant(-0.2).sample(0.0, 1.0, &mut s, &mut r),
+            0.0
+        );
     }
 
     #[test]
     fn batch_alternates_with_period() {
-        let w = Workload::Batch { peak: 0.9, busy_secs: 60.0, gap_secs: 40.0 };
+        let w = Workload::Batch {
+            peak: 0.9,
+            busy_secs: 60.0,
+            gap_secs: 40.0,
+        };
         let mut r = rng(1);
         let mut s = 0.0;
         assert_eq!(w.sample(10.0, 1.0, &mut s, &mut r), 0.9);
@@ -94,7 +112,11 @@ mod tests {
 
     #[test]
     fn noisy_stays_in_bounds_and_reverts_to_mean() {
-        let w = Workload::Noisy { mean: 0.4, reversion: 0.5, sigma: 0.3 };
+        let w = Workload::Noisy {
+            mean: 0.4,
+            reversion: 0.5,
+            sigma: 0.3,
+        };
         let mut r = rng(7);
         let mut s = 0.0;
         let mut sum = 0.0;
@@ -112,11 +134,17 @@ mod tests {
 
     #[test]
     fn noisy_is_deterministic_per_seed() {
-        let w = Workload::Noisy { mean: 0.5, reversion: 0.3, sigma: 0.2 };
+        let w = Workload::Noisy {
+            mean: 0.5,
+            reversion: 0.3,
+            sigma: 0.2,
+        };
         let run = |seed| {
             let mut r = rng(seed);
             let mut s = 0.0;
-            (0..100).map(|i| w.sample(i as f64, 1.0, &mut s, &mut r)).collect::<Vec<_>>()
+            (0..100)
+                .map(|i| w.sample(i as f64, 1.0, &mut s, &mut r))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(3), run(3));
         assert_ne!(run(3), run(4));

@@ -206,7 +206,9 @@ impl IceBox {
     /// The captured console log (most recent ≤16 KiB) — the post-mortem
     /// view.
     pub fn console_log(&self, port: PortId) -> String {
-        self.port(port).map(|p| p.serial.snapshot_string()).unwrap_or_default()
+        self.port(port)
+            .map(|p| p.serial.snapshot_string())
+            .unwrap_or_default()
     }
 
     /// Bytes of console output lost to the 16 KiB cap.
@@ -241,9 +243,7 @@ impl IceBox {
             // concurrent inrushes at instant t
             let overlap = times
                 .iter()
-                .filter(|&&u| {
-                    u <= t && t.since(u) < SimDuration::from_secs_f64(inrush_secs)
-                })
+                .filter(|&&u| u <= t && t.since(u) < SimDuration::from_secs_f64(inrush_secs))
                 .count();
             peak = peak.max(overlap as f64 * inrush_watts);
         }
@@ -344,9 +344,15 @@ mod tests {
         // node inrush: 250 W for 0.3 s
         let p_seq = IceBox::peak_inlet_watts(&seq_times, 0, 250.0, 0.3);
         let p_unseq = IceBox::peak_inlet_watts(&unseq_times, 0, 250.0, 0.3);
-        assert_eq!(p_unseq, 1250.0, "all five inrush together without sequencing");
+        assert_eq!(
+            p_unseq, 1250.0,
+            "all five inrush together without sequencing"
+        );
         assert_eq!(p_seq, 250.0, "staggered inrush never overlaps");
-        assert!(p_unseq > INLET_CAPACITY_WATTS * 0.7, "unsequenced peak approaches the limit");
+        assert!(
+            p_unseq > INLET_CAPACITY_WATTS * 0.7,
+            "unsequenced peak approaches the limit"
+        );
     }
 
     #[test]
@@ -363,8 +369,14 @@ mod tests {
         // reset on a dark port does nothing
         assert!(ib.reset(PortId(3)).is_none());
         ib.power_on(SimTime::ZERO, PortId(3));
-        assert_eq!(ib.reset(PortId(3)), Some(PortEffect::PulseReset { port: PortId(3) }));
-        assert_eq!(ib.power_off(PortId(3)), Some(PortEffect::CutPower { port: PortId(3) }));
+        assert_eq!(
+            ib.reset(PortId(3)),
+            Some(PortEffect::PulseReset { port: PortId(3) })
+        );
+        assert_eq!(
+            ib.power_off(PortId(3)),
+            Some(PortEffect::CutPower { port: PortId(3) })
+        );
         assert!(ib.power_off(PortId(3)).is_none(), "already off");
     }
 
@@ -396,8 +408,22 @@ mod tests {
     fn probes_store_latest_reading() {
         let mut ib = IceBox::new();
         let p = PortId(7);
-        ib.record_probe(p, ProbeReading { temp_c: 51.0, watts: 180.0, fan_rpm: 6000.0 });
-        ib.record_probe(p, ProbeReading { temp_c: 53.5, watts: 190.0, fan_rpm: 5900.0 });
+        ib.record_probe(
+            p,
+            ProbeReading {
+                temp_c: 51.0,
+                watts: 180.0,
+                fan_rpm: 6000.0,
+            },
+        );
+        ib.record_probe(
+            p,
+            ProbeReading {
+                temp_c: 53.5,
+                watts: 190.0,
+                fan_rpm: 5900.0,
+            },
+        );
         let r = ib.probe(p).unwrap();
         assert_eq!(r.temp_c, 53.5);
         assert_eq!(r.fan_rpm, 5900.0);

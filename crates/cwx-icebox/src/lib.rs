@@ -29,5 +29,7 @@ pub mod session;
 pub mod snmp;
 
 pub use chassis::{IceBox, PortEffect, PortId, ProbeReading, NODE_PORTS, SERIAL_LOG_CAPACITY};
-pub use protocol::{parse_nimp, parse_simp, render_response, Command, PortSel, ProtoError, Response};
+pub use protocol::{
+    parse_nimp, parse_simp, render_response, Command, PortSel, ProtoError, Response,
+};
 pub use session::{SessionManager, MGMT_PORT_BASE};

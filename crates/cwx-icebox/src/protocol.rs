@@ -97,7 +97,9 @@ pub enum Response {
 }
 
 fn parse_port(tok: &str) -> Result<PortId, ProtoError> {
-    let n: u8 = tok.parse().map_err(|_| ProtoError::BadPort(tok.to_string()))?;
+    let n: u8 = tok
+        .parse()
+        .map_err(|_| ProtoError::BadPort(tok.to_string()))?;
     if (n as usize) < NODE_PORTS {
         Ok(PortId(n))
     } else {
@@ -116,10 +118,16 @@ fn parse_sel(tok: Option<&str>) -> Result<PortSel, ProtoError> {
 /// Parse the shared command grammar (already stripped of framing).
 fn parse_command(line: &str) -> Result<Command, ProtoError> {
     let mut toks = line.split_whitespace();
-    let verb = toks.next().ok_or(ProtoError::MissingArgument)?.to_ascii_uppercase();
+    let verb = toks
+        .next()
+        .ok_or(ProtoError::MissingArgument)?
+        .to_ascii_uppercase();
     match verb.as_str() {
         "POWER" => {
-            let sub = toks.next().ok_or(ProtoError::MissingArgument)?.to_ascii_uppercase();
+            let sub = toks
+                .next()
+                .ok_or(ProtoError::MissingArgument)?
+                .to_ascii_uppercase();
             let sel = parse_sel(toks.next())?;
             match sub.as_str() {
                 "ON" => Ok(Command::PowerOn(sel)),
@@ -200,29 +208,62 @@ mod tests {
 
     #[test]
     fn simp_parses_core_commands() {
-        assert_eq!(parse_simp("POWER ON 3\r").unwrap(), Command::PowerOn(PortSel::One(PortId(3))));
-        assert_eq!(parse_simp("power off all").unwrap(), Command::PowerOff(PortSel::All));
+        assert_eq!(
+            parse_simp("POWER ON 3\r").unwrap(),
+            Command::PowerOn(PortSel::One(PortId(3)))
+        );
+        assert_eq!(
+            parse_simp("power off all").unwrap(),
+            Command::PowerOff(PortSel::All)
+        );
         assert_eq!(
             parse_simp("Power Cycle 9").unwrap(),
             Command::PowerCycle(PortSel::One(PortId(9)))
         );
-        assert_eq!(parse_simp("RESET 0").unwrap(), Command::Reset(PortSel::One(PortId(0))));
+        assert_eq!(
+            parse_simp("RESET 0").unwrap(),
+            Command::Reset(PortSel::One(PortId(0)))
+        );
         assert_eq!(parse_simp("STATUS").unwrap(), Command::Status);
         assert_eq!(parse_simp("TEMPS").unwrap(), Command::Temps);
-        assert_eq!(parse_simp("CONSOLE 4").unwrap(), Command::Console(PortId(4)));
-        assert_eq!(parse_simp("CLEARLOG 4").unwrap(), Command::ClearLog(PortId(4)));
+        assert_eq!(
+            parse_simp("CONSOLE 4").unwrap(),
+            Command::Console(PortId(4))
+        );
+        assert_eq!(
+            parse_simp("CLEARLOG 4").unwrap(),
+            Command::ClearLog(PortId(4))
+        );
         assert_eq!(parse_simp("VERSION").unwrap(), Command::Version);
     }
 
     #[test]
     fn simp_rejects_bad_input() {
-        assert!(matches!(parse_simp("HALT 3"), Err(ProtoError::UnknownCommand(_))));
-        assert!(matches!(parse_simp("POWER ON"), Err(ProtoError::MissingArgument)));
-        assert!(matches!(parse_simp("POWER ON 10"), Err(ProtoError::BadPort(_))));
-        assert!(matches!(parse_simp("POWER ON x"), Err(ProtoError::BadPort(_))));
-        assert!(matches!(parse_simp("POWER FRY 3"), Err(ProtoError::UnknownCommand(_))));
+        assert!(matches!(
+            parse_simp("HALT 3"),
+            Err(ProtoError::UnknownCommand(_))
+        ));
+        assert!(matches!(
+            parse_simp("POWER ON"),
+            Err(ProtoError::MissingArgument)
+        ));
+        assert!(matches!(
+            parse_simp("POWER ON 10"),
+            Err(ProtoError::BadPort(_))
+        ));
+        assert!(matches!(
+            parse_simp("POWER ON x"),
+            Err(ProtoError::BadPort(_))
+        ));
+        assert!(matches!(
+            parse_simp("POWER FRY 3"),
+            Err(ProtoError::UnknownCommand(_))
+        ));
         assert!(matches!(parse_simp(""), Err(ProtoError::MissingArgument)));
-        assert!(matches!(parse_simp("CONSOLE"), Err(ProtoError::MissingArgument)));
+        assert!(matches!(
+            parse_simp("CONSOLE"),
+            Err(ProtoError::MissingArgument)
+        ));
     }
 
     #[test]
@@ -235,7 +276,10 @@ mod tests {
     #[test]
     fn nimp_rejects_bad_frames() {
         assert_eq!(parse_nimp("POWER ON 3"), Err(ProtoError::BadFrame));
-        assert_eq!(parse_nimp("NIMP1 abc POWER ON 3"), Err(ProtoError::BadFrame));
+        assert_eq!(
+            parse_nimp("NIMP1 abc POWER ON 3"),
+            Err(ProtoError::BadFrame)
+        );
         assert_eq!(parse_nimp("NIMP2 1 POWER ON 3"), Err(ProtoError::BadFrame));
         assert_eq!(parse_nimp("NIMP1 5"), Err(ProtoError::BadFrame));
     }
@@ -244,7 +288,10 @@ mod tests {
     fn responses_render_in_both_framings() {
         let r = Response::Version("icebox-fw-2.3".into());
         assert_eq!(render_response(None, &r), "OK VERSION icebox-fw-2.3\r\n");
-        assert_eq!(render_response(Some(9), &r), "NIMP1 9 OK VERSION icebox-fw-2.3\n");
+        assert_eq!(
+            render_response(Some(9), &r),
+            "NIMP1 9 OK VERSION icebox-fw-2.3\n"
+        );
     }
 
     #[test]
@@ -252,7 +299,11 @@ mod tests {
         let rows = vec![(
             PortId(0),
             true,
-            ProbeReading { temp_c: 48.25, watts: 142.0, fan_rpm: 6000.0 },
+            ProbeReading {
+                temp_c: 48.25,
+                watts: 142.0,
+                fan_rpm: 6000.0,
+            },
         )];
         let text = render_response(None, &Response::Status(rows));
         assert!(text.contains("port 0 relay=on temp=48.2C power=142W fan=6000rpm"));

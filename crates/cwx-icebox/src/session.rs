@@ -87,7 +87,9 @@ pub enum AccessError {
 impl std::fmt::Display for AccessError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AccessError::IpFiltered(ip) => write!(f, "connection from {} filtered", ip.to_string_dotted()),
+            AccessError::IpFiltered(ip) => {
+                write!(f, "connection from {} filtered", ip.to_string_dotted())
+            }
             AccessError::BadCredentials => write!(f, "authentication failed"),
             AccessError::ProtocolDisabled(p) => write!(f, "{p:?} disabled"),
             AccessError::NoSuchPort(p) => write!(f, "no service on port {p}"),
@@ -137,7 +139,10 @@ impl SessionManager {
     /// 16 concurrent sessions.
     pub fn new() -> Self {
         SessionManager {
-            allowlist: vec![CidrRule { addr: Ip([0, 0, 0, 0]), prefix: 0 }],
+            allowlist: vec![CidrRule {
+                addr: Ip([0, 0, 0, 0]),
+                prefix: 0,
+            }],
             password: "icebox".to_string(),
             telnet_enabled: true,
             sshv1_enabled: true,
@@ -194,7 +199,9 @@ impl SessionManager {
             return Some(Attachment::Management);
         }
         if (CONSOLE_PORT_BASE..CONSOLE_PORT_BASE + NODE_PORTS as u16).contains(&port) {
-            return Some(Attachment::Console(PortId((port - CONSOLE_PORT_BASE) as u8)));
+            return Some(Attachment::Console(PortId(
+                (port - CONSOLE_PORT_BASE) as u8,
+            )));
         }
         None
     }
@@ -233,7 +240,14 @@ impl SessionManager {
         }
         let id = self.next_id;
         self.next_id += 1;
-        self.sessions.insert(id, Session { attachment, proto, from });
+        self.sessions.insert(
+            id,
+            Session {
+                attachment,
+                proto,
+                from,
+            },
+        );
         Ok(SessionId(id))
     }
 
@@ -317,12 +331,21 @@ mod tests {
 
     #[test]
     fn cidr_matching() {
-        let lab = CidrRule { addr: Ip([10, 0, 0, 0]), prefix: 24 };
+        let lab = CidrRule {
+            addr: Ip([10, 0, 0, 0]),
+            prefix: 24,
+        };
         assert!(lab.matches(Ip([10, 0, 0, 99])));
         assert!(!lab.matches(Ip([10, 0, 1, 1])));
-        let all = CidrRule { addr: Ip([0, 0, 0, 0]), prefix: 0 };
+        let all = CidrRule {
+            addr: Ip([0, 0, 0, 0]),
+            prefix: 0,
+        };
         assert!(all.matches(Ip([192, 168, 1, 1])));
-        let host = CidrRule { addr: HOME, prefix: 32 };
+        let host = CidrRule {
+            addr: HOME,
+            prefix: 32,
+        };
         assert!(host.matches(HOME));
         assert!(!host.matches(Ip([10, 0, 0, 6])));
     }
@@ -330,8 +353,13 @@ mod tests {
     #[test]
     fn ip_filtering_rejects_outsiders() {
         let mut sm = SessionManager::new();
-        sm.set_allowlist(vec![CidrRule { addr: Ip([10, 0, 0, 0]), prefix: 8 }]);
-        assert!(sm.connect(Ip([10, 1, 2, 3]), Proto::SshV2, MGMT_PORT_BASE, "icebox").is_ok());
+        sm.set_allowlist(vec![CidrRule {
+            addr: Ip([10, 0, 0, 0]),
+            prefix: 8,
+        }]);
+        assert!(sm
+            .connect(Ip([10, 1, 2, 3]), Proto::SshV2, MGMT_PORT_BASE, "icebox")
+            .is_ok());
         assert_eq!(
             sm.connect(Ip([192, 168, 0, 1]), Proto::SshV2, MGMT_PORT_BASE, "icebox"),
             Err(AccessError::IpFiltered(Ip([192, 168, 0, 1])))
@@ -352,13 +380,21 @@ mod tests {
             Err(AccessError::ProtocolDisabled(Proto::Telnet))
         );
         // ssh still fine
-        assert!(sm.connect(HOME, Proto::SshV2, MGMT_PORT_BASE, "icebox").is_ok());
+        assert!(sm
+            .connect(HOME, Proto::SshV2, MGMT_PORT_BASE, "icebox")
+            .is_ok());
     }
 
     #[test]
     fn per_device_ports_attach_to_consoles() {
-        assert_eq!(SessionManager::attachment_for(MGMT_PORT_BASE), Some(Attachment::Management));
-        assert_eq!(SessionManager::attachment_for(22), Some(Attachment::Management));
+        assert_eq!(
+            SessionManager::attachment_for(MGMT_PORT_BASE),
+            Some(Attachment::Management)
+        );
+        assert_eq!(
+            SessionManager::attachment_for(22),
+            Some(Attachment::Management)
+        );
         assert_eq!(
             SessionManager::attachment_for(CONSOLE_PORT_BASE + 3),
             Some(Attachment::Console(PortId(3)))
@@ -371,7 +407,9 @@ mod tests {
     fn management_session_executes_commands() {
         let mut sm = SessionManager::new();
         let mut ib = IceBox::new();
-        let sid = sm.connect(HOME, Proto::SshV2, MGMT_PORT_BASE, "icebox").unwrap();
+        let sid = sm
+            .connect(HOME, Proto::SshV2, MGMT_PORT_BASE, "icebox")
+            .unwrap();
         let out = sm.input(&mut ib, SimTime::ZERO, sid, "POWER ON 4").unwrap();
         assert!(out.starts_with("OK"));
         assert!(ib.relay_on(PortId(4)));
@@ -387,7 +425,9 @@ mod tests {
         let mut sm = SessionManager::new();
         let mut ib = IceBox::new();
         ib.feed_console(PortId(2), b"LILO boot:\n");
-        let sid = sm.connect(HOME, Proto::Telnet, CONSOLE_PORT_BASE + 2, "icebox").unwrap();
+        let sid = sm
+            .connect(HOME, Proto::Telnet, CONSOLE_PORT_BASE + 2, "icebox")
+            .unwrap();
         let out = sm.input(&mut ib, SimTime::ZERO, sid, "").unwrap();
         assert!(out.contains("LILO boot:"));
     }
@@ -395,8 +435,17 @@ mod tests {
     #[test]
     fn who_lists_active_sessions() {
         let mut sm = SessionManager::new();
-        let a = sm.connect(HOME, Proto::SshV2, MGMT_PORT_BASE, "icebox").unwrap();
-        let _b = sm.connect(Ip([10, 0, 0, 9]), Proto::Telnet, CONSOLE_PORT_BASE, "icebox").unwrap();
+        let a = sm
+            .connect(HOME, Proto::SshV2, MGMT_PORT_BASE, "icebox")
+            .unwrap();
+        let _b = sm
+            .connect(
+                Ip([10, 0, 0, 9]),
+                Proto::Telnet,
+                CONSOLE_PORT_BASE,
+                "icebox",
+            )
+            .unwrap();
         let who = sm.who();
         assert_eq!(who.len(), 2);
         assert!(who.iter().any(|(id, at, proto, ip)| {
@@ -409,7 +458,8 @@ mod tests {
     fn session_limit_enforced() {
         let mut sm = SessionManager::new();
         for _ in 0..16 {
-            sm.connect(HOME, Proto::SshV2, MGMT_PORT_BASE, "icebox").unwrap();
+            sm.connect(HOME, Proto::SshV2, MGMT_PORT_BASE, "icebox")
+                .unwrap();
         }
         assert_eq!(
             sm.connect(HOME, Proto::SshV2, MGMT_PORT_BASE, "icebox"),

@@ -75,9 +75,15 @@ pub fn get(ib: &IceBox, oid: &str) -> Result<SnmpValue, SnmpError> {
     let p = PortId(port);
     match col {
         COL_RELAY => Ok(SnmpValue::Int(ib.relay_on(p) as i64)),
-        COL_TEMP => Ok(SnmpValue::Gauge(ib.probe(p).ok_or(SnmpError::NoSuchObject)?.temp_c)),
-        COL_WATTS => Ok(SnmpValue::Gauge(ib.probe(p).ok_or(SnmpError::NoSuchObject)?.watts)),
-        COL_FAN => Ok(SnmpValue::Gauge(ib.probe(p).ok_or(SnmpError::NoSuchObject)?.fan_rpm)),
+        COL_TEMP => Ok(SnmpValue::Gauge(
+            ib.probe(p).ok_or(SnmpError::NoSuchObject)?.temp_c,
+        )),
+        COL_WATTS => Ok(SnmpValue::Gauge(
+            ib.probe(p).ok_or(SnmpError::NoSuchObject)?.watts,
+        )),
+        COL_FAN => Ok(SnmpValue::Gauge(
+            ib.probe(p).ok_or(SnmpError::NoSuchObject)?.fan_rpm,
+        )),
         _ => Err(SnmpError::NoSuchObject),
     }
 }
@@ -115,7 +121,10 @@ pub fn walk(ib: &IceBox) -> Vec<(String, SnmpValue)> {
             }
         }
     }
-    out.push((format!("{ENTERPRISE_PREFIX}.2.0"), SnmpValue::Str(ib.firmware_version().into())));
+    out.push((
+        format!("{ENTERPRISE_PREFIX}.2.0"),
+        SnmpValue::Str(ib.firmware_version().into()),
+    ));
     out
 }
 
@@ -128,11 +137,27 @@ mod tests {
     fn get_relay_and_probes() {
         let mut ib = IceBox::new();
         ib.power_on(SimTime::ZERO, PortId(3));
-        ib.record_probe(PortId(3), ProbeReading { temp_c: 47.5, watts: 150.0, fan_rpm: 6000.0 });
+        ib.record_probe(
+            PortId(3),
+            ProbeReading {
+                temp_c: 47.5,
+                watts: 150.0,
+                fan_rpm: 6000.0,
+            },
+        );
         assert_eq!(get(&ib, &oid_for(COL_RELAY, 3)).unwrap(), SnmpValue::Int(1));
-        assert_eq!(get(&ib, &oid_for(COL_TEMP, 3)).unwrap(), SnmpValue::Gauge(47.5));
-        assert_eq!(get(&ib, &oid_for(COL_WATTS, 3)).unwrap(), SnmpValue::Gauge(150.0));
-        assert_eq!(get(&ib, &oid_for(COL_FAN, 3)).unwrap(), SnmpValue::Gauge(6000.0));
+        assert_eq!(
+            get(&ib, &oid_for(COL_TEMP, 3)).unwrap(),
+            SnmpValue::Gauge(47.5)
+        );
+        assert_eq!(
+            get(&ib, &oid_for(COL_WATTS, 3)).unwrap(),
+            SnmpValue::Gauge(150.0)
+        );
+        assert_eq!(
+            get(&ib, &oid_for(COL_FAN, 3)).unwrap(),
+            SnmpValue::Gauge(6000.0)
+        );
     }
 
     #[test]
@@ -147,10 +172,28 @@ mod tests {
     #[test]
     fn set_relay_produces_effects() {
         let mut ib = IceBox::new();
-        let eff = set(&mut ib, SimTime::ZERO, &oid_for(COL_RELAY, 2), &SnmpValue::Int(1)).unwrap();
-        assert!(matches!(eff, Some(PortEffect::EnergizeAt { port: PortId(2), .. })));
+        let eff = set(
+            &mut ib,
+            SimTime::ZERO,
+            &oid_for(COL_RELAY, 2),
+            &SnmpValue::Int(1),
+        )
+        .unwrap();
+        assert!(matches!(
+            eff,
+            Some(PortEffect::EnergizeAt {
+                port: PortId(2),
+                ..
+            })
+        ));
         assert!(ib.relay_on(PortId(2)));
-        let eff = set(&mut ib, SimTime::ZERO, &oid_for(COL_RELAY, 2), &SnmpValue::Int(0)).unwrap();
+        let eff = set(
+            &mut ib,
+            SimTime::ZERO,
+            &oid_for(COL_RELAY, 2),
+            &SnmpValue::Int(0),
+        )
+        .unwrap();
         assert_eq!(eff, Some(PortEffect::CutPower { port: PortId(2) }));
     }
 
@@ -158,7 +201,12 @@ mod tests {
     fn probes_are_read_only() {
         let mut ib = IceBox::new();
         assert_eq!(
-            set(&mut ib, SimTime::ZERO, &oid_for(COL_TEMP, 0), &SnmpValue::Gauge(1.0)),
+            set(
+                &mut ib,
+                SimTime::ZERO,
+                &oid_for(COL_TEMP, 0),
+                &SnmpValue::Gauge(1.0)
+            ),
             Err(SnmpError::NotWritable)
         );
     }
@@ -167,7 +215,12 @@ mod tests {
     fn type_checking_on_set() {
         let mut ib = IceBox::new();
         assert_eq!(
-            set(&mut ib, SimTime::ZERO, &oid_for(COL_RELAY, 0), &SnmpValue::Str("on".into())),
+            set(
+                &mut ib,
+                SimTime::ZERO,
+                &oid_for(COL_RELAY, 0),
+                &SnmpValue::Str("on".into())
+            ),
             Err(SnmpError::WrongType)
         );
     }

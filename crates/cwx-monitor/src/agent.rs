@@ -132,8 +132,7 @@ impl<S: ProcSource> Agent<S> {
     /// the TTL (the "simultaneous requests" path). `None` when stale or
     /// no snapshot was gathered yet.
     pub fn cached_snapshot(&mut self, now: SimTime) -> Option<&Snapshot> {
-        if self.have_snapshot
-            && now.since(self.snap.time).as_secs_f64() <= self.cfg.cache_ttl_secs
+        if self.have_snapshot && now.since(self.snap.time).as_secs_f64() <= self.cfg.cache_ttl_secs
         {
             self.consolidator.note_cache_hit();
             Some(&self.snap)
@@ -164,13 +163,26 @@ impl<S: ProcSource> Agent<S> {
         };
         self.stats.gather_calls += 5;
 
-        let prev_stat = if self.have_snapshot { self.snap.stat } else { stat };
-        let prev_net =
-            if self.have_snapshot { std::mem::take(&mut self.snap.net) } else { net.clone() };
-        let prev_disks =
-            if self.have_snapshot { std::mem::take(&mut self.snap.disks) } else { disks.clone() };
-        let dt_secs =
-            if self.have_snapshot { now.since(self.snap.time).as_secs_f64() } else { 0.0 };
+        let prev_stat = if self.have_snapshot {
+            self.snap.stat
+        } else {
+            stat
+        };
+        let prev_net = if self.have_snapshot {
+            std::mem::take(&mut self.snap.net)
+        } else {
+            net.clone()
+        };
+        let prev_disks = if self.have_snapshot {
+            std::mem::take(&mut self.snap.disks)
+        } else {
+            disks.clone()
+        };
+        let dt_secs = if self.have_snapshot {
+            now.since(self.snap.time).as_secs_f64()
+        } else {
+            0.0
+        };
         self.snap = Snapshot {
             time: now,
             dt_secs,
@@ -198,8 +210,12 @@ impl<S: ProcSource> Agent<S> {
         }
 
         // --- transmit ---
-        let report =
-            Report { node: self.cfg.node, seq: self.seq, time_secs: now.as_secs_f64(), values };
+        let report = Report {
+            node: self.cfg.node,
+            seq: self.seq,
+            time_secs: now.as_secs_f64(),
+            values,
+        };
         self.seq += 1;
         let raw = transmit::encode(&report);
         let payload = if self.cfg.compress {
@@ -212,7 +228,12 @@ impl<S: ProcSource> Agent<S> {
         self.stats.reports += 1;
         self.stats.raw_bytes += raw.len() as u64;
         self.stats.wire_bytes += wire_len as u64;
-        Ok(AgentOutput { report, raw_len: raw.len(), wire_len, payload })
+        Ok(AgentOutput {
+            report,
+            raw_len: raw.len(),
+            wire_len,
+            payload,
+        })
     }
 }
 
@@ -225,12 +246,20 @@ mod tests {
     fn agent(proc_: &SyntheticProc, delta: bool, compress: bool) -> Agent<SyntheticProc> {
         Agent::new(
             proc_.clone(),
-            AgentConfig { delta_enabled: delta, compress, ..AgentConfig::default() },
+            AgentConfig {
+                delta_enabled: delta,
+                compress,
+                ..AgentConfig::default()
+            },
         )
         .unwrap()
     }
 
-    fn tick_n(agent: &mut Agent<SyntheticProc>, proc_: &SyntheticProc, n: usize) -> Vec<AgentOutput> {
+    fn tick_n(
+        agent: &mut Agent<SyntheticProc>,
+        proc_: &SyntheticProc,
+        n: usize,
+    ) -> Vec<AgentOutput> {
         let mut out = Vec::new();
         for i in 0..n {
             let t = SimTime::ZERO + SimDuration::from_secs(i as u64 + 1);
@@ -245,7 +274,10 @@ mod tests {
         let proc_ = SyntheticProc::default();
         let mut a = agent(&proc_, true, false);
         let out = a.tick(SimTime::ZERO, Sensors::default()).unwrap();
-        assert!(out.report.values.len() > 40, "first tick sends all monitors");
+        assert!(
+            out.report.values.len() > 40,
+            "first tick sends all monitors"
+        );
     }
 
     #[test]
@@ -299,7 +331,12 @@ mod tests {
         let proc_ = SyntheticProc::default();
         let mut a = agent(&proc_, true, true);
         proc_.with_state(|s| s.tick(1.0, 0.5));
-        let out = a.tick(SimTime::ZERO + SimDuration::from_secs(1), Sensors::default()).unwrap();
+        let out = a
+            .tick(
+                SimTime::ZERO + SimDuration::from_secs(1),
+                Sensors::default(),
+            )
+            .unwrap();
         let packed = transmit::encode_compressed(&out.report);
         assert_eq!(packed.len(), out.wire_len);
         let decoded = transmit::decode_compressed(&packed).unwrap();
@@ -312,10 +349,18 @@ mod tests {
         let proc_ = SyntheticProc::default();
         let mut a = agent(&proc_, true, false);
         let t0 = SimTime::ZERO + SimDuration::from_secs(10);
-        assert!(a.cached_snapshot(t0).is_none(), "no snapshot before first tick");
+        assert!(
+            a.cached_snapshot(t0).is_none(),
+            "no snapshot before first tick"
+        );
         a.tick(t0, Sensors::default()).unwrap();
-        assert!(a.cached_snapshot(t0 + SimDuration::from_millis(100)).is_some());
-        assert!(a.cached_snapshot(t0 + SimDuration::from_secs(5)).is_none(), "stale");
+        assert!(a
+            .cached_snapshot(t0 + SimDuration::from_millis(100))
+            .is_some());
+        assert!(
+            a.cached_snapshot(t0 + SimDuration::from_secs(5)).is_none(),
+            "stale"
+        );
         assert_eq!(a.consolidation_stats().cache_hits, 1);
     }
 
@@ -333,11 +378,26 @@ mod tests {
     fn sensors_flow_into_reports() {
         let proc_ = SyntheticProc::default();
         let mut a = agent(&proc_, true, false);
-        let sensors = Sensors { cpu_temp_c: 61.5, fan_rpm: 0.0, udp_echo_ok: true, ..Default::default() };
+        let sensors = Sensors {
+            cpu_temp_c: 61.5,
+            fan_rpm: 0.0,
+            udp_echo_ok: true,
+            ..Default::default()
+        };
         let out = a.tick(SimTime::ZERO, sensors).unwrap();
-        let temp = out.report.values.iter().find(|(k, _)| k.0 == "temp.cpu").unwrap();
+        let temp = out
+            .report
+            .values
+            .iter()
+            .find(|(k, _)| k.0 == "temp.cpu")
+            .unwrap();
         assert_eq!(temp.1.render(), "61.500");
-        let fan = out.report.values.iter().find(|(k, _)| k.0 == "fan.cpu_rpm").unwrap();
+        let fan = out
+            .report
+            .values
+            .iter()
+            .find(|(k, _)| k.0 == "fan.cpu_rpm")
+            .unwrap();
         assert_eq!(fan.1.render(), "0");
     }
 

@@ -43,7 +43,10 @@ impl Consolidator {
     /// behaviour). Pass `delta_enabled = false` for the E7 ablation
     /// (every value transmitted every tick).
     pub fn new(delta_enabled: bool) -> Self {
-        Consolidator { delta_enabled, ..Default::default() }
+        Consolidator {
+            delta_enabled,
+            ..Default::default()
+        }
     }
 
     /// Statistics so far.
@@ -179,6 +182,9 @@ mod tests {
         c.offer(&k, MonitorClass::Dynamic, &Value::Num(2.0));
         let s = c.stats();
         assert_eq!(s.evaluated, 3);
-        assert_eq!(s.emitted + s.suppressed_unchanged + s.suppressed_static, s.evaluated);
+        assert_eq!(
+            s.emitted + s.suppressed_unchanged + s.suppressed_static,
+            s.evaluated
+        );
     }
 }

@@ -6,25 +6,20 @@
 //! relationships between monitored values, or compare performance
 //! between nodes." (paper §5.1)
 //!
-//! [`HistoryStore`] keeps a bounded ring of `(time, value)` samples per
-//! `(node, monitor)` series and answers range queries, latest-value
-//! queries and fixed-bucket downsampling (what a chart widget pulls).
+//! [`HistoryStore`] is a façade over a [`cwx_store::Store`] backend: the
+//! volatile in-memory ring (`HistoryStore::new`, what the deterministic
+//! simulation uses) or the persistent sharded engine
+//! (`HistoryStore::with_backend` over a `cwx_store::disk::DiskStore`,
+//! what real deployments use so history survives a server restart). The
+//! chart-facing API — range queries, latest-value queries, fixed-bucket
+//! downsampling — is identical either way.
 
-use std::collections::{BTreeMap, VecDeque};
-
+use cwx_store::{Resolution, Store};
 use cwx_util::time::SimTime;
 
 use crate::monitor::MonitorKey;
 
-/// One stored sample.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Sample {
-    /// Sample time.
-    pub time: SimTime,
-    /// Numeric value (text monitors store their last value elsewhere;
-    /// charts are numeric).
-    pub value: f64,
-}
+pub use cwx_store::Sample;
 
 /// A downsampled chart bucket.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,59 +34,81 @@ pub struct Bucket {
     pub mean: f64,
     /// Maximum value.
     pub max: f64,
+    /// Last (most recent) value — step-line charts draw this.
+    pub last: f64,
 }
 
-/// Bounded per-series time-series store.
+/// Time-series store behind the server's charting queries.
 #[derive(Debug)]
 pub struct HistoryStore {
-    series: BTreeMap<(u32, MonitorKey), VecDeque<Sample>>,
-    capacity_per_series: usize,
-    total_samples: u64,
+    backend: Box<dyn Store>,
 }
 
 impl HistoryStore {
-    /// A store retaining at most `capacity_per_series` samples per
-    /// `(node, monitor)` series.
+    /// A volatile store retaining at most `capacity_per_series` samples
+    /// per `(node, monitor)` series.
     pub fn new(capacity_per_series: usize) -> Self {
-        assert!(capacity_per_series > 0);
-        HistoryStore { series: BTreeMap::new(), capacity_per_series, total_samples: 0 }
+        HistoryStore {
+            backend: Box::new(cwx_store::mem::MemStore::new(capacity_per_series)),
+        }
     }
 
-    /// Record a sample (drops the oldest when the series is full).
+    /// A store over any [`Store`] backend — pass an
+    /// `Arc<cwx_store::disk::DiskStore>` for durable history.
+    pub fn with_backend(backend: Box<dyn Store>) -> Self {
+        HistoryStore { backend }
+    }
+
+    /// The backend (restart-recovery inspection, tiered queries).
+    pub fn backend(&self) -> &dyn Store {
+        &*self.backend
+    }
+
+    /// Record a sample (volatile backend drops the oldest when a series
+    /// is full; the persistent backend acknowledges durability on
+    /// return).
     pub fn record(&mut self, node: u32, key: &MonitorKey, time: SimTime, value: f64) {
-        let q = self.series.entry((node, key.clone())).or_default();
-        if q.len() == self.capacity_per_series {
-            q.pop_front();
-        }
-        q.push_back(Sample { time, value });
-        self.total_samples += 1;
+        self.backend.append(node, &key.0, time, value);
     }
 
     /// Number of distinct series.
     pub fn series_count(&self) -> usize {
-        self.series.len()
+        self.backend.series().len()
     }
 
     /// Total samples ever recorded (including evicted ones).
     pub fn total_samples(&self) -> u64 {
-        self.total_samples
+        self.backend.total_samples()
     }
 
     /// The latest sample of a series.
     pub fn latest(&self, node: u32, key: &MonitorKey) -> Option<Sample> {
-        self.series.get(&(node, key.clone())).and_then(|q| q.back().copied())
+        self.backend.latest(node, &key.0)
     }
 
     /// Samples within `[from, to]`, oldest first.
     pub fn range(&self, node: u32, key: &MonitorKey, from: SimTime, to: SimTime) -> Vec<Sample> {
-        self.series
-            .get(&(node, key.clone()))
-            .map(|q| q.iter().filter(|s| s.time >= from && s.time <= to).copied().collect())
-            .unwrap_or_default()
+        self.backend.range(node, &key.0, from, to)
     }
 
-    /// Downsample a range into `buckets` fixed-width buckets (chart
-    /// rendering). Empty buckets are omitted.
+    /// Pre-aggregated buckets at a storage tier (persistent backends
+    /// serve compacted tiers; volatile ones aggregate on the fly).
+    pub fn range_agg(
+        &self,
+        node: u32,
+        key: &MonitorKey,
+        from: SimTime,
+        to: SimTime,
+        res: Resolution,
+    ) -> Vec<cwx_store::AggBucket> {
+        self.backend.range_agg(node, &key.0, from, to, res)
+    }
+
+    /// Downsample a range into at most `buckets` fixed-width buckets
+    /// (chart rendering). Empty buckets are omitted; an empty range, a
+    /// zero bucket count or an inverted range yield no buckets, and a
+    /// single-timestamp range (`from == to`) buckets whatever sits at
+    /// that instant.
     pub fn downsample(
         &self,
         node: u32,
@@ -100,10 +117,11 @@ impl HistoryStore {
         to: SimTime,
         buckets: usize,
     ) -> Vec<Bucket> {
-        if buckets == 0 || to <= from {
+        if buckets == 0 || to < from {
             return Vec::new();
         }
         let span = to.since(from).as_nanos();
+        // a degenerate span still gets a well-defined 1ns bucket width
         let width = (span / buckets as u64).max(1);
         let samples = self.range(node, key, from, to);
         let mut out: Vec<Bucket> = Vec::new();
@@ -115,10 +133,18 @@ impl HistoryStore {
                     b.count += 1;
                     b.min = b.min.min(s.value);
                     b.max = b.max.max(s.value);
-                    // incremental mean
+                    // incremental mean: no count*mean products to overflow
                     b.mean += (s.value - b.mean) / b.count as f64;
+                    b.last = s.value;
                 }
-                _ => out.push(Bucket { start, count: 1, min: s.value, mean: s.value, max: s.value }),
+                _ => out.push(Bucket {
+                    start,
+                    count: 1,
+                    min: s.value,
+                    mean: s.value,
+                    max: s.value,
+                    last: s.value,
+                }),
             }
         }
         out
@@ -127,16 +153,23 @@ impl HistoryStore {
     /// Compare the latest values of one monitor across nodes ("compare
     /// performance between nodes").
     pub fn latest_across_nodes(&self, key: &MonitorKey) -> Vec<(u32, Sample)> {
-        self.series
-            .iter()
-            .filter(|((_, k), _)| k == key)
-            .filter_map(|((n, _), q)| q.back().map(|s| (*n, *s)))
+        self.backend
+            .series()
+            .into_iter()
+            .filter(|(_, k)| *k == key.0)
+            .filter_map(|(n, k)| self.backend.latest(n, &k).map(|s| (n, s)))
             .collect()
     }
 
     /// Drop a node's series (node removed from the cluster).
     pub fn forget_node(&mut self, node: u32) {
-        self.series.retain(|(n, _), _| *n != node);
+        self.backend.forget_node(node);
+    }
+
+    /// Flush buffered state to durable storage (no-op for the volatile
+    /// backend).
+    pub fn flush(&self) {
+        self.backend.flush();
     }
 
     /// Export one series as CSV (`time_secs,value` rows with a header) —
@@ -154,11 +187,11 @@ impl HistoryStore {
     pub fn export_node_csv(&self, node: u32) -> String {
         use std::fmt::Write;
         let mut out = String::from("monitor,time_secs,value\n");
-        for ((n, key), q) in &self.series {
-            if *n != node {
+        for (n, key) in self.backend.series() {
+            if n != node {
                 continue;
             }
-            for s in q {
+            for s in self.backend.range(n, &key, SimTime::ZERO, SimTime::MAX) {
                 let _ = writeln!(out, "{},{:.3},{}", key, s.time.as_secs_f64(), s.value);
             }
         }
@@ -215,7 +248,7 @@ mod tests {
     }
 
     #[test]
-    fn downsample_buckets_min_mean_max() {
+    fn downsample_buckets_min_mean_max_last() {
         let mut h = HistoryStore::new(1000);
         // 100 samples over 100s, values 0..99
         for i in 0..100 {
@@ -227,6 +260,7 @@ mod tests {
         assert_eq!(b0.count, 10);
         assert_eq!(b0.min, 0.0);
         assert_eq!(b0.max, 9.0);
+        assert_eq!(b0.last, 9.0);
         assert!((b0.mean - 4.5).abs() < 1e-9);
     }
 
@@ -235,7 +269,39 @@ mod tests {
         let h = HistoryStore::new(10);
         assert!(h.downsample(1, &key(), t(0), t(10), 0).is_empty());
         assert!(h.downsample(1, &key(), t(10), t(0), 5).is_empty());
-        assert!(h.downsample(1, &key(), t(0), t(10), 5).is_empty(), "no data -> no buckets");
+        assert!(
+            h.downsample(1, &key(), t(0), t(10), 5).is_empty(),
+            "no data -> no buckets"
+        );
+    }
+
+    #[test]
+    fn downsample_single_timestamp_range() {
+        let mut h = HistoryStore::new(10);
+        h.record(1, &key(), t(5), 2.0);
+        h.record(1, &key(), t(5), 4.0);
+        // from == to: degenerate span must neither panic nor divide by
+        // zero, and the samples at that instant land in one bucket
+        let buckets = h.downsample(1, &key(), t(5), t(5), 8);
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].count, 2);
+        assert_eq!(
+            (buckets[0].min, buckets[0].max, buckets[0].last),
+            (2.0, 4.0, 4.0)
+        );
+        assert!((buckets[0].mean - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn downsample_more_buckets_than_span_nanos() {
+        let mut h = HistoryStore::new(10);
+        h.record(1, &key(), t(0), 1.0);
+        let a = SimTime::from_nanos(t(0).as_nanos());
+        let b = SimTime::from_nanos(t(0).as_nanos() + 3);
+        // span of 3ns into 10 buckets: width clamps to 1ns, no panic
+        let buckets = h.downsample(1, &key(), a, b, 10);
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].count, 1);
     }
 
     #[test]
@@ -273,5 +339,24 @@ mod tests {
         assert!(h.latest(1, &key()).is_none());
         assert!(h.latest(2, &key()).is_some());
         assert_eq!(h.series_count(), 1);
+    }
+
+    #[test]
+    fn persistent_backend_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("cwx-hist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = cwx_store::disk::StoreConfig::default();
+        {
+            let disk = cwx_store::disk::DiskStore::open(&dir, cfg.clone()).unwrap();
+            let mut h = HistoryStore::with_backend(Box::new(disk));
+            for i in 0..10 {
+                h.record(1, &key(), t(i), i as f64);
+            }
+        }
+        let disk = cwx_store::disk::DiskStore::open(&dir, cfg).unwrap();
+        let h = HistoryStore::with_backend(Box::new(disk));
+        assert_eq!(h.range(1, &key(), t(0), t(100)).len(), 10);
+        assert_eq!(h.latest(1, &key()).unwrap().value, 9.0);
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

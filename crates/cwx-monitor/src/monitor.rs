@@ -173,7 +173,13 @@ impl Registry {
     ) {
         self.monitors.insert(
             MonitorKey::new(key),
-            MonitorDef { key: MonitorKey::new(key), class, unit, plugin: false, extract: Box::new(f) },
+            MonitorDef {
+                key: MonitorKey::new(key),
+                class,
+                unit,
+                plugin: false,
+                extract: Box::new(f),
+            },
         );
     }
 
@@ -189,7 +195,13 @@ impl Registry {
     ) {
         self.monitors.insert(
             MonitorKey::new(key),
-            MonitorDef { key: MonitorKey::new(key), class, unit, plugin: true, extract: Box::new(f) },
+            MonitorDef {
+                key: MonitorKey::new(key),
+                class,
+                unit,
+                plugin: true,
+                extract: Box::new(f),
+            },
         );
     }
 
@@ -203,48 +215,94 @@ impl Registry {
         let pct = |x: f64| Value::Num((x * 100.0 * 10.0).round() / 10.0);
 
         // --- CPU ---
-        self.register("cpu.util_pct", Dynamic, "%", move |s| Some(pct(s.cpu_utilization())));
-        self.register("cpu.user", Dynamic, "jiffies", |s| Some(Value::Num(s.stat.total.user as f64)));
-        self.register("cpu.nice", Dynamic, "jiffies", |s| Some(Value::Num(s.stat.total.nice as f64)));
+        self.register("cpu.util_pct", Dynamic, "%", move |s| {
+            Some(pct(s.cpu_utilization()))
+        });
+        self.register("cpu.user", Dynamic, "jiffies", |s| {
+            Some(Value::Num(s.stat.total.user as f64))
+        });
+        self.register("cpu.nice", Dynamic, "jiffies", |s| {
+            Some(Value::Num(s.stat.total.nice as f64))
+        });
         self.register("cpu.system", Dynamic, "jiffies", |s| {
             Some(Value::Num(s.stat.total.system as f64))
         });
-        self.register("cpu.idle", Dynamic, "jiffies", |s| Some(Value::Num(s.stat.total.idle as f64)));
-        self.register("cpu.count", Static, "", |s| Some(Value::Num(s.stat.ncpu.max(1) as f64)));
+        self.register("cpu.idle", Dynamic, "jiffies", |s| {
+            Some(Value::Num(s.stat.total.idle as f64))
+        });
+        self.register("cpu.count", Static, "", |s| {
+            Some(Value::Num(s.stat.ncpu.max(1) as f64))
+        });
         self.register("cpu.type", Static, "", |_| {
             Some(Value::Text("Pentium III (Coppermine) 1000MHz".into()))
         });
-        self.register("kernel.ctxt_rate", Dynamic, "/s", |s| Some(Value::Num(s.ctxt_rate().round())));
-        self.register("kernel.fork_rate", Dynamic, "/s", |s| Some(Value::Num(s.fork_rate().round())));
-        self.register("kernel.btime", Static, "s", |s| Some(Value::Num(s.stat.btime as f64)));
+        self.register("kernel.ctxt_rate", Dynamic, "/s", |s| {
+            Some(Value::Num(s.ctxt_rate().round()))
+        });
+        self.register("kernel.fork_rate", Dynamic, "/s", |s| {
+            Some(Value::Num(s.fork_rate().round()))
+        });
+        self.register("kernel.btime", Static, "s", |s| {
+            Some(Value::Num(s.stat.btime as f64))
+        });
 
         // --- load / tasks ---
         self.register("load.one", Dynamic, "", |s| Some(Value::Num(s.load.one)));
         self.register("load.five", Dynamic, "", |s| Some(Value::Num(s.load.five)));
-        self.register("load.fifteen", Dynamic, "", |s| Some(Value::Num(s.load.fifteen)));
-        self.register("procs.running", Dynamic, "", |s| Some(Value::Num(s.load.running as f64)));
-        self.register("procs.total", Dynamic, "", |s| Some(Value::Num(s.load.total as f64)));
+        self.register("load.fifteen", Dynamic, "", |s| {
+            Some(Value::Num(s.load.fifteen))
+        });
+        self.register("procs.running", Dynamic, "", |s| {
+            Some(Value::Num(s.load.running as f64))
+        });
+        self.register("procs.total", Dynamic, "", |s| {
+            Some(Value::Num(s.load.total as f64))
+        });
         self.register("procs.blocked", Dynamic, "", |s| {
             Some(Value::Num(s.stat.procs_blocked as f64))
         });
-        self.register("procs.last_pid", Dynamic, "", |s| Some(Value::Num(s.load.last_pid as f64)));
+        self.register("procs.last_pid", Dynamic, "", |s| {
+            Some(Value::Num(s.load.last_pid as f64))
+        });
 
         // --- memory ---
-        self.register("mem.total", Static, "kB", |s| Some(Value::Num(s.mem.total_kb as f64)));
-        self.register("mem.free", Dynamic, "kB", |s| Some(Value::Num(s.mem.free_kb as f64)));
-        self.register("mem.used", Dynamic, "kB", |s| Some(Value::Num(s.mem.used_kb() as f64)));
-        self.register("mem.used_pct", Dynamic, "%", move |s| Some(pct(s.mem.used_fraction())));
-        self.register("mem.buffers", Dynamic, "kB", |s| Some(Value::Num(s.mem.buffers_kb as f64)));
-        self.register("mem.cached", Dynamic, "kB", |s| Some(Value::Num(s.mem.cached_kb as f64)));
-        self.register("swap.total", Static, "kB", |s| Some(Value::Num(s.mem.swap_total_kb as f64)));
-        self.register("swap.free", Dynamic, "kB", |s| Some(Value::Num(s.mem.swap_free_kb as f64)));
+        self.register("mem.total", Static, "kB", |s| {
+            Some(Value::Num(s.mem.total_kb as f64))
+        });
+        self.register("mem.free", Dynamic, "kB", |s| {
+            Some(Value::Num(s.mem.free_kb as f64))
+        });
+        self.register("mem.used", Dynamic, "kB", |s| {
+            Some(Value::Num(s.mem.used_kb() as f64))
+        });
+        self.register("mem.used_pct", Dynamic, "%", move |s| {
+            Some(pct(s.mem.used_fraction()))
+        });
+        self.register("mem.buffers", Dynamic, "kB", |s| {
+            Some(Value::Num(s.mem.buffers_kb as f64))
+        });
+        self.register("mem.cached", Dynamic, "kB", |s| {
+            Some(Value::Num(s.mem.cached_kb as f64))
+        });
+        self.register("swap.total", Static, "kB", |s| {
+            Some(Value::Num(s.mem.swap_total_kb as f64))
+        });
+        self.register("swap.free", Dynamic, "kB", |s| {
+            Some(Value::Num(s.mem.swap_free_kb as f64))
+        });
         self.register("swap.used", Dynamic, "kB", |s| {
-            Some(Value::Num(s.mem.swap_total_kb.saturating_sub(s.mem.swap_free_kb) as f64))
+            Some(Value::Num(
+                s.mem.swap_total_kb.saturating_sub(s.mem.swap_free_kb) as f64,
+            ))
         });
 
         // --- uptime ---
-        self.register("uptime.secs", Dynamic, "s", |s| Some(Value::Num(s.uptime.uptime_secs)));
-        self.register("uptime.idle_secs", Dynamic, "s", |s| Some(Value::Num(s.uptime.idle_secs)));
+        self.register("uptime.secs", Dynamic, "s", |s| {
+            Some(Value::Num(s.uptime.uptime_secs))
+        });
+        self.register("uptime.idle_secs", Dynamic, "s", |s| {
+            Some(Value::Num(s.uptime.idle_secs))
+        });
 
         // --- network, per interface ---
         for &ifc in interfaces {
@@ -252,13 +310,19 @@ impl Registry {
             self.register(&format!("net.{ifc}.rx_bytes"), Dynamic, "B", {
                 let name = name.clone();
                 move |s: &Snapshot| {
-                    s.net.iter().find(|i| i.name == name.as_str()).map(|i| Value::Num(i.rx_bytes as f64))
+                    s.net
+                        .iter()
+                        .find(|i| i.name == name.as_str())
+                        .map(|i| Value::Num(i.rx_bytes as f64))
                 }
             });
             self.register(&format!("net.{ifc}.tx_bytes"), Dynamic, "B", {
                 let name = name.clone();
                 move |s: &Snapshot| {
-                    s.net.iter().find(|i| i.name == name.as_str()).map(|i| Value::Num(i.tx_bytes as f64))
+                    s.net
+                        .iter()
+                        .find(|i| i.name == name.as_str())
+                        .map(|i| Value::Num(i.tx_bytes as f64))
                 }
             });
             self.register(&format!("net.{ifc}.rx_packets"), Dynamic, "", {
@@ -282,13 +346,19 @@ impl Registry {
             self.register(&format!("net.{ifc}.rx_errs"), Dynamic, "", {
                 let name = name.clone();
                 move |s: &Snapshot| {
-                    s.net.iter().find(|i| i.name == name.as_str()).map(|i| Value::Num(i.rx_errs as f64))
+                    s.net
+                        .iter()
+                        .find(|i| i.name == name.as_str())
+                        .map(|i| Value::Num(i.rx_errs as f64))
                 }
             });
             self.register(&format!("net.{ifc}.tx_errs"), Dynamic, "", {
                 let name = name.clone();
                 move |s: &Snapshot| {
-                    s.net.iter().find(|i| i.name == name.as_str()).map(|i| Value::Num(i.tx_errs as f64))
+                    s.net
+                        .iter()
+                        .find(|i| i.name == name.as_str())
+                        .map(|i| Value::Num(i.tx_errs as f64))
                 }
             });
             self.register(&format!("net.{ifc}.rx_rate"), Dynamic, "B/s", {
@@ -303,10 +373,14 @@ impl Registry {
 
         // --- disk I/O (aggregate over block devices) ---
         self.register("disk.reads", Dynamic, "", |s| {
-            Some(Value::Num(s.disks.iter().map(|d| d.reads).sum::<u64>() as f64))
+            Some(Value::Num(
+                s.disks.iter().map(|d| d.reads).sum::<u64>() as f64
+            ))
         });
         self.register("disk.writes", Dynamic, "", |s| {
-            Some(Value::Num(s.disks.iter().map(|d| d.writes).sum::<u64>() as f64))
+            Some(Value::Num(
+                s.disks.iter().map(|d| d.writes).sum::<u64>() as f64
+            ))
         });
         self.register("disk.io_rate", Dynamic, "ops/s", |s| {
             Some(Value::Num(s.disk_io_rate().round()))
@@ -314,7 +388,9 @@ impl Registry {
         self.register("disk.byte_rate", Dynamic, "B/s", |s| {
             Some(Value::Num(s.disk_byte_rate().round()))
         });
-        self.register("disk.count", Static, "", |s| Some(Value::Num(s.disks.len() as f64)));
+        self.register("disk.count", Static, "", |s| {
+            Some(Value::Num(s.disks.len() as f64))
+        });
 
         // --- sensors (ICE Box probes / lm_sensors) ---
         self.register("temp.cpu", Dynamic, "C", |s| {
@@ -323,7 +399,9 @@ impl Registry {
         self.register("temp.board", Dynamic, "C", |s| {
             Some(Value::Num((s.sensors.board_temp_c * 10.0).round() / 10.0))
         });
-        self.register("fan.cpu_rpm", Dynamic, "rpm", |s| Some(Value::Num(s.sensors.fan_rpm.round())));
+        self.register("fan.cpu_rpm", Dynamic, "rpm", |s| {
+            Some(Value::Num(s.sensors.fan_rpm.round()))
+        });
         self.register("power.watts", Dynamic, "W", |s| {
             Some(Value::Num(s.sensors.power_watts.round()))
         });
@@ -340,7 +418,11 @@ mod tests {
     #[test]
     fn builtins_exceed_forty_monitors() {
         let r = Registry::with_builtins(&["lo", "eth0"]);
-        assert!(r.len() > 40, "paper: 'over 40 monitors built in', got {}", r.len());
+        assert!(
+            r.len() > 40,
+            "paper: 'over 40 monitors built in', got {}",
+            r.len()
+        );
     }
 
     #[test]
@@ -363,8 +445,14 @@ mod tests {
                 values.insert(m.key.clone(), v);
             }
         }
-        assert_eq!(values.get(&MonitorKey::new("mem.total")), Some(&Value::Num(1_048_576.0)));
-        assert_eq!(values.get(&MonitorKey::new("mem.used_pct")), Some(&Value::Num(50.0)));
+        assert_eq!(
+            values.get(&MonitorKey::new("mem.total")),
+            Some(&Value::Num(1_048_576.0))
+        );
+        assert_eq!(
+            values.get(&MonitorKey::new("mem.used_pct")),
+            Some(&Value::Num(50.0))
+        );
     }
 
     #[test]

@@ -89,7 +89,9 @@ pub fn parse_manifest(text: &str) -> Result<PluginManifest, PluginError> {
         if line.is_empty() {
             continue;
         }
-        let Some((k, v)) = line.split_once('=') else { continue };
+        let Some((k, v)) = line.split_once('=') else {
+            continue;
+        };
         let (k, v) = (k.trim(), v.trim().trim_matches('"'));
         match k {
             "key" => key = Some(v.to_string()),
@@ -105,7 +107,9 @@ pub fn parse_manifest(text: &str) -> Result<PluginManifest, PluginError> {
             "source" => {
                 source = Some(if let Some(c) = v.strip_prefix("const:") {
                     PluginSource::Const(
-                        c.trim().parse().map_err(|_| PluginError::BadSource(v.to_string()))?,
+                        c.trim()
+                            .parse()
+                            .map_err(|_| PluginError::BadSource(v.to_string()))?,
                     )
                 } else if let Some(p) = v.strip_prefix("file:") {
                     PluginSource::File(PathBuf::from(p.trim()))
@@ -144,8 +148,11 @@ fn eval_expr(name: &str, snap: &Snapshot) -> Option<f64> {
 /// Register a parsed manifest into a registry.
 pub fn register(registry: &mut Registry, manifest: PluginManifest) {
     let source = manifest.source.clone();
-    registry.register_plugin(&manifest.key, manifest.class, manifest.unit, move |snap| {
-        match &source {
+    registry.register_plugin(
+        &manifest.key,
+        manifest.class,
+        manifest.unit,
+        move |snap| match &source {
             PluginSource::Const(v) => Some(Value::Num(*v)),
             PluginSource::Expr(e) => eval_expr(e, snap).map(Value::Num),
             PluginSource::File(path) => {
@@ -156,8 +163,8 @@ pub fn register(registry: &mut Registry, manifest: PluginManifest) {
                     Err(_) => Value::Text(first.to_string()),
                 })
             }
-        }
-    });
+        },
+    );
 }
 
 /// Scan a directory for `*.monitor` manifests and register all of them.
@@ -207,10 +214,8 @@ mod tests {
 
     #[test]
     fn parses_a_full_manifest() {
-        let m = parse_manifest(
-            "# comment\nkey = site.rack\nclass = static\nsource = const:7\n",
-        )
-        .unwrap();
+        let m = parse_manifest("# comment\nkey = site.rack\nclass = static\nsource = const:7\n")
+            .unwrap();
         assert_eq!(m.key, "site.rack");
         assert_eq!(m.class, MonitorClass::Static);
         assert_eq!(m.source, PluginSource::Const(7.0));
@@ -218,8 +223,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_manifests() {
-        assert_eq!(parse_manifest("source = const:1").unwrap_err(), PluginError::Missing("key"));
-        assert_eq!(parse_manifest("key = a").unwrap_err(), PluginError::Missing("source"));
+        assert_eq!(
+            parse_manifest("source = const:1").unwrap_err(),
+            PluginError::Missing("key")
+        );
+        assert_eq!(
+            parse_manifest("key = a").unwrap_err(),
+            PluginError::Missing("source")
+        );
         assert!(matches!(
             parse_manifest("key=a\nclass=sometimes\nsource=const:1"),
             Err(PluginError::BadClass(_))
@@ -284,14 +295,29 @@ mod tests {
     #[test]
     fn load_dir_recognizes_manifests_automatically() {
         let dir = tmpdir("dir");
-        fs::write(dir.join("a_rack.monitor"), "key=site.rack\nclass=static\nsource=const:3").unwrap();
-        fs::write(dir.join("b_temp.monitor"), "key=site.temp\nsource=expr:sensors.cpu_temp_c").unwrap();
+        fs::write(
+            dir.join("a_rack.monitor"),
+            "key=site.rack\nclass=static\nsource=const:3",
+        )
+        .unwrap();
+        fs::write(
+            dir.join("b_temp.monitor"),
+            "key=site.temp\nsource=expr:sensors.cpu_temp_c",
+        )
+        .unwrap();
         fs::write(dir.join("broken.monitor"), "key=only").unwrap();
         fs::write(dir.join("notes.txt"), "not a plugin").unwrap();
         let mut reg = Registry::new();
         let (loaded, errors) = load_dir(&mut reg, &dir);
-        assert_eq!(loaded, vec!["site.rack".to_string(), "site.temp".to_string()]);
-        assert_eq!(errors.len(), 1, "the broken manifest is reported, not fatal");
+        assert_eq!(
+            loaded,
+            vec!["site.rack".to_string(), "site.temp".to_string()]
+        );
+        assert_eq!(
+            errors.len(),
+            1,
+            "the broken manifest is reported, not fatal"
+        );
         assert_eq!(reg.len(), 2);
     }
 

@@ -97,7 +97,9 @@ impl Snapshot {
             return 0.0;
         }
         let sect = |ds: &[DiskStats]| {
-            ds.iter().map(|d| d.sectors_read + d.sectors_written).sum::<u64>()
+            ds.iter()
+                .map(|d| d.sectors_read + d.sectors_written)
+                .sum::<u64>()
         };
         sect(&self.disks).saturating_sub(sect(&self.prev_disks)) as f64 * 512.0 / self.dt_secs
     }
@@ -112,7 +114,11 @@ impl Snapshot {
         let prev = self.prev_net.iter().find(|i| i.name == name);
         match (cur, prev) {
             (Some(c), Some(p)) => {
-                let (a, b) = if rx { (c.rx_bytes, p.rx_bytes) } else { (c.tx_bytes, p.tx_bytes) };
+                let (a, b) = if rx {
+                    (c.rx_bytes, p.rx_bytes)
+                } else {
+                    (c.tx_bytes, p.tx_bytes)
+                };
                 a.saturating_sub(b) as f64 / self.dt_secs
             }
             _ => 0.0,
@@ -128,14 +134,29 @@ mod tests {
     use cwx_proc::stat::CpuTimes;
 
     fn iface(name: &str, rx: u64, tx: u64) -> IfStats {
-        IfStats { name: IfName::new(name.as_bytes()), rx_bytes: rx, tx_bytes: tx, ..Default::default() }
+        IfStats {
+            name: IfName::new(name.as_bytes()),
+            rx_bytes: rx,
+            tx_bytes: tx,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn cpu_utilization_from_deltas() {
         let mut s = Snapshot::default();
-        s.prev_stat.total = CpuTimes { user: 100, nice: 0, system: 0, idle: 900 };
-        s.stat.total = CpuTimes { user: 150, nice: 0, system: 50, idle: 900 };
+        s.prev_stat.total = CpuTimes {
+            user: 100,
+            nice: 0,
+            system: 0,
+            idle: 900,
+        };
+        s.stat.total = CpuTimes {
+            user: 150,
+            nice: 0,
+            system: 50,
+            idle: 900,
+        };
         assert!((s.cpu_utilization() - 1.0).abs() < 1e-12);
     }
 

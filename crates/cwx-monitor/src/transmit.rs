@@ -65,7 +65,11 @@ impl std::error::Error for WireError {}
 pub fn encode(report: &Report) -> String {
     use std::fmt::Write;
     let mut s = String::with_capacity(32 + report.values.len() * 24);
-    let _ = writeln!(s, "CWX1 node={} seq={} t={:.3}", report.node, report.seq, report.time_secs);
+    let _ = writeln!(
+        s,
+        "CWX1 node={} seq={} t={:.3}",
+        report.node, report.seq, report.time_secs
+    );
     for (k, v) in &report.values {
         let _ = writeln!(s, "{}={}", k, v.render());
     }
@@ -103,14 +107,21 @@ pub fn decode(text: &str) -> Result<Report, WireError> {
         if line.is_empty() {
             continue;
         }
-        let (k, v) = line.split_once('=').ok_or_else(|| WireError::BadLine(line.to_string()))?;
+        let (k, v) = line
+            .split_once('=')
+            .ok_or_else(|| WireError::BadLine(line.to_string()))?;
         let value = match v.parse::<f64>() {
             Ok(n) => Value::Num(n),
             Err(_) => Value::Text(v.to_string()),
         };
         values.push((MonitorKey::new(k), value));
     }
-    Ok(Report { node, seq, time_secs, values })
+    Ok(Report {
+        node,
+        seq,
+        time_secs,
+        values,
+    })
 }
 
 /// Decode a payload that may or may not be compressed (sniffs the LZSS
@@ -125,8 +136,7 @@ pub fn decode_auto(bytes: &[u8]) -> Result<Report, WireError> {
 
 /// Decompress and parse a report.
 pub fn decode_compressed(bytes: &[u8]) -> Result<Report, WireError> {
-    let raw =
-        compress::decompress(bytes).map_err(|e| WireError::BadCompression(e.to_string()))?;
+    let raw = compress::decompress(bytes).map_err(|e| WireError::BadCompression(e.to_string()))?;
     let text = std::str::from_utf8(&raw).map_err(|_| WireError::NotText)?;
     decode(text)
 }
@@ -143,7 +153,10 @@ mod tests {
             values: vec![
                 (MonitorKey::new("mem.free"), Value::Num(524288.0)),
                 (MonitorKey::new("load.one"), Value::Num(0.42)),
-                (MonitorKey::new("cpu.type"), Value::Text("Pentium III".into())),
+                (
+                    MonitorKey::new("cpu.type"),
+                    Value::Text("Pentium III".into()),
+                ),
             ],
         }
     }
@@ -167,11 +180,19 @@ mod tests {
         // a realistic full report: many keys with shared prefixes
         let mut r = report();
         for i in 0..50 {
-            r.values.push((MonitorKey::new(format!("net.eth0.counter_{i}")), Value::Num(i as f64)));
+            r.values.push((
+                MonitorKey::new(format!("net.eth0.counter_{i}")),
+                Value::Num(i as f64),
+            ));
         }
         let raw = encode(&r);
         let packed = encode_compressed(&r);
-        assert!(packed.len() < raw.len(), "{} !< {}", packed.len(), raw.len());
+        assert!(
+            packed.len() < raw.len(),
+            "{} !< {}",
+            packed.len(),
+            raw.len()
+        );
         let back = decode_compressed(&packed).unwrap();
         assert_eq!(back.values.len(), r.values.len());
     }
@@ -181,13 +202,24 @@ mod tests {
         assert_eq!(decode(""), Err(WireError::BadHeader));
         assert_eq!(decode("XYZ node=1"), Err(WireError::BadHeader));
         assert_eq!(decode("CWX1 node=1 seq=2"), Err(WireError::BadHeader)); // missing t
-        assert!(matches!(decode("CWX1 node=1 seq=2 t=0\nbroken-line"), Err(WireError::BadLine(_))));
-        assert!(matches!(decode_compressed(b"junk"), Err(WireError::BadCompression(_))));
+        assert!(matches!(
+            decode("CWX1 node=1 seq=2 t=0\nbroken-line"),
+            Err(WireError::BadLine(_))
+        ));
+        assert!(matches!(
+            decode_compressed(b"junk"),
+            Err(WireError::BadCompression(_))
+        ));
     }
 
     #[test]
     fn empty_report_is_valid() {
-        let r = Report { node: 1, seq: 0, time_secs: 0.0, values: vec![] };
+        let r = Report {
+            node: 1,
+            seq: 0,
+            time_secs: 0.0,
+            values: vec![],
+        };
         let back = decode(&encode(&r)).unwrap();
         assert!(back.values.is_empty());
     }

@@ -21,18 +21,28 @@ fn apply(view: &mut BTreeMap<MonitorKey, String>, report: &Report) {
     }
 }
 
-fn run_pair(activity: &[(f64, f64)]) -> (BTreeMap<MonitorKey, String>, BTreeMap<MonitorKey, String>) {
+fn run_pair(
+    activity: &[(f64, f64)],
+) -> (BTreeMap<MonitorKey, String>, BTreeMap<MonitorKey, String>) {
     // two agents over IDENTICAL state evolution: one delta, one full
     let mk = || SyntheticProc::default();
     let (proc_a, proc_b) = (mk(), mk());
     let mut delta_agent = Agent::new(
         proc_a.clone(),
-        AgentConfig { delta_enabled: true, compress: true, ..AgentConfig::default() },
+        AgentConfig {
+            delta_enabled: true,
+            compress: true,
+            ..AgentConfig::default()
+        },
     )
     .unwrap();
     let mut full_agent = Agent::new(
         proc_b.clone(),
-        AgentConfig { delta_enabled: false, compress: false, ..AgentConfig::default() },
+        AgentConfig {
+            delta_enabled: false,
+            compress: false,
+            ..AgentConfig::default()
+        },
     )
     .unwrap();
 
@@ -54,7 +64,10 @@ fn run_pair(activity: &[(f64, f64)]) -> (BTreeMap<MonitorKey, String>, BTreeMap<
         let out = delta_agent.tick(now, sensors).unwrap();
         let decoded = decode_auto(&out.payload).unwrap();
         apply(&mut view_delta, &decoded);
-        apply(&mut view_full, &full_agent.tick(now, sensors).unwrap().report);
+        apply(
+            &mut view_full,
+            &full_agent.tick(now, sensors).unwrap().report,
+        );
     }
     (view_delta, view_full)
 }
@@ -76,7 +89,11 @@ fn reconstruction_after_resync_mid_stream() {
     let proc_ = SyntheticProc::default();
     let mut agent = Agent::new(
         proc_.clone(),
-        AgentConfig { delta_enabled: true, compress: false, ..AgentConfig::default() },
+        AgentConfig {
+            delta_enabled: true,
+            compress: false,
+            ..AgentConfig::default()
+        },
     )
     .unwrap();
     let mut now = SimTime::ZERO;
@@ -84,7 +101,10 @@ fn reconstruction_after_resync_mid_stream() {
     for i in 0..5 {
         now += SimDuration::from_secs(5);
         proc_.with_state(|s| s.tick(5.0, 0.2 + 0.1 * i as f64));
-        apply(&mut view, &agent.tick(now, Sensors::default()).unwrap().report);
+        apply(
+            &mut view,
+            &agent.tick(now, Sensors::default()).unwrap().report,
+        );
     }
     let full_view = view.clone();
 
@@ -94,7 +114,10 @@ fn reconstruction_after_resync_mid_stream() {
     agent.resync();
     now += SimDuration::from_secs(5);
     proc_.with_state(|s| s.tick(5.0, 0.7));
-    apply(&mut fresh, &agent.tick(now, Sensors::default()).unwrap().report);
+    apply(
+        &mut fresh,
+        &agent.tick(now, Sensors::default()).unwrap().report,
+    );
     // after resync a single report restores the complete key set
     assert_eq!(
         fresh.keys().collect::<Vec<_>>(),

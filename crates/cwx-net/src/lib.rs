@@ -184,7 +184,8 @@ impl<M: Clone> Network<M> {
         loss: f64,
     ) -> SegmentId {
         let id = SegmentId(self.segments.len() as u16);
-        self.segments.push(Segment::new(bandwidth_bps, latency, loss));
+        self.segments
+            .push(Segment::new(bandwidth_bps, latency, loss));
         id
     }
 
@@ -331,7 +332,11 @@ impl<M: Clone> Network<M> {
                     self.stats.lost += 1;
                 } else {
                     self.stats.delivered += 1;
-                    out.push(Delivery { at: arrival, to: n, msg: msg.clone() });
+                    out.push(Delivery {
+                        at: arrival,
+                        to: n,
+                        msg: msg.clone(),
+                    });
                 }
             }
         }
@@ -351,8 +356,14 @@ mod tests {
     fn wire_bytes_fragmentation() {
         assert_eq!(wire_bytes_for(0), FRAME_OVERHEAD);
         assert_eq!(wire_bytes_for(100), 100 + FRAME_OVERHEAD);
-        assert_eq!(wire_bytes_for(FRAME_PAYLOAD), FRAME_PAYLOAD + FRAME_OVERHEAD);
-        assert_eq!(wire_bytes_for(FRAME_PAYLOAD + 1), FRAME_PAYLOAD + 1 + 2 * FRAME_OVERHEAD);
+        assert_eq!(
+            wire_bytes_for(FRAME_PAYLOAD),
+            FRAME_PAYLOAD + FRAME_OVERHEAD
+        );
+        assert_eq!(
+            wire_bytes_for(FRAME_PAYLOAD + 1),
+            FRAME_PAYLOAD + 1 + 2 * FRAME_OVERHEAD
+        );
     }
 
     #[test]
@@ -430,14 +441,19 @@ mod tests {
             let mut net: Network<u32> = Network::single_segment(seed, 2, FAST_ETHERNET_BPS, 0.3);
             let mut delivered = 0;
             for _ in 0..1000 {
-                delivered += net.unicast(SimTime::ZERO, NodeAddr(0), NodeAddr(1), 100, 0u32).len();
+                delivered += net
+                    .unicast(SimTime::ZERO, NodeAddr(0), NodeAddr(1), 100, 0u32)
+                    .len();
             }
             (delivered, net.stats())
         };
         let (d1, s1) = run(42);
         let (d2, _) = run(42);
         assert_eq!(d1, d2, "same seed must reproduce");
-        assert!((600..=800).contains(&d1), "expected ~70% delivery, got {d1}");
+        assert!(
+            (600..=800).contains(&d1),
+            "expected ~70% delivery, got {d1}"
+        );
         assert_eq!(s1.delivered + s1.lost, s1.sent);
     }
 
@@ -464,14 +480,20 @@ mod tests {
     #[test]
     fn detached_nodes_cannot_send_or_receive() {
         let mut net = lossless(1);
-        assert!(net.unicast(SimTime::ZERO, NodeAddr(0), NodeAddr(99), 10, 0u32).is_empty());
-        assert!(net.unicast(SimTime::ZERO, NodeAddr(99), NodeAddr(0), 10, 0u32).is_empty());
+        assert!(net
+            .unicast(SimTime::ZERO, NodeAddr(0), NodeAddr(99), 10, 0u32)
+            .is_empty());
+        assert!(net
+            .unicast(SimTime::ZERO, NodeAddr(99), NodeAddr(0), 10, 0u32)
+            .is_empty());
     }
 
     #[test]
     fn empty_group_multicast_is_noop() {
         let mut net = lossless(2);
-        assert!(net.multicast(SimTime::ZERO, NodeAddr(0), GroupId(5), 10, 0u32).is_empty());
+        assert!(net
+            .multicast(SimTime::ZERO, NodeAddr(0), GroupId(5), 10, 0u32)
+            .is_empty());
         assert_eq!(net.stats().sent, 0);
     }
 

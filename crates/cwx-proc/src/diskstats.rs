@@ -51,7 +51,10 @@ impl DiskName {
         let mut bytes = [0u8; 8];
         let len = name.len().min(8);
         bytes[..len].copy_from_slice(&name[..len]);
-        DiskName { bytes, len: len as u8 }
+        DiskName {
+            bytes,
+            len: len as u8,
+        }
     }
 
     /// As a string slice.
@@ -134,13 +137,19 @@ pub fn parse_apriori(b: &[u8], out: &mut Vec<DiskStats>) -> Option<usize> {
             ..Default::default()
         };
         // read all numeric columns up to end of line, then map by count
-        let line_end = b[pos..].iter().position(|&c| c == b'\n').map(|k| pos + k).unwrap_or(b.len());
+        let line_end = b[pos..]
+            .iter()
+            .position(|&c| c == b'\n')
+            .map(|k| pos + k)
+            .unwrap_or(b.len());
         let mut cols = [0u64; 16];
         let mut ncols = 0;
         while ncols < 16 {
             let mut probe = pos;
             match next_u64(b, &mut probe) {
-                Some(v) if probe <= line_end || b[pos..line_end].iter().any(|c| c.is_ascii_digit()) => {
+                Some(v)
+                    if probe <= line_end || b[pos..line_end].iter().any(|c| c.is_ascii_digit()) =>
+                {
                     // ensure the number started before the line end
                     let mut scan = pos;
                     while scan < line_end && !b[scan].is_ascii_digit() {
@@ -252,7 +261,9 @@ mod tests {
     #[test]
     #[cfg(target_os = "linux")]
     fn parses_real_proc_diskstats() {
-        let Ok(text) = std::fs::read("/proc/diskstats") else { return };
+        let Ok(text) = std::fs::read("/proc/diskstats") else {
+            return;
+        };
         if text.is_empty() {
             return;
         }

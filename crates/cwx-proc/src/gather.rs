@@ -37,8 +37,12 @@ pub enum GatherLevel {
 
 impl GatherLevel {
     /// All levels, in ladder order.
-    pub const ALL: [GatherLevel; 4] =
-        [GatherLevel::Naive, GatherLevel::Buffered, GatherLevel::Apriori, GatherLevel::KeepOpen];
+    pub const ALL: [GatherLevel; 4] = [
+        GatherLevel::Naive,
+        GatherLevel::Buffered,
+        GatherLevel::Apriori,
+        GatherLevel::KeepOpen,
+    ];
 
     /// Short label used in benchmark output.
     pub fn label(self) -> &'static str {
@@ -78,7 +82,10 @@ pub struct KeepOpenFile<S: ProcSource> {
 impl<S: ProcSource> KeepOpenFile<S> {
     /// Open `path` once.
     pub fn open(source: &S, path: &str) -> io::Result<Self> {
-        Ok(KeepOpenFile { handle: source.open(path)?, buf: vec![0; 8192] })
+        Ok(KeepOpenFile {
+            handle: source.open(path)?,
+            buf: vec![0; 8192],
+        })
     }
 
     /// Re-read the file from offset 0, returning the fresh contents.
@@ -118,7 +125,13 @@ impl<S: ProcSource> MemInfoGatherer<S> {
     /// Create a gatherer. For the a-priori levels this performs one
     /// learning read to discover the file layout.
     pub fn new(source: S, level: GatherLevel) -> io::Result<Self> {
-        let mut g = MemInfoGatherer { source, level, handle: None, buf: Vec::new(), layout: None };
+        let mut g = MemInfoGatherer {
+            source,
+            level,
+            handle: None,
+            buf: Vec::new(),
+            layout: None,
+        };
         match level {
             GatherLevel::Naive | GatherLevel::Buffered => {}
             GatherLevel::Apriori | GatherLevel::KeepOpen => {
@@ -163,13 +176,19 @@ impl<S: ProcSource> MemInfoGatherer<S> {
             GatherLevel::Apriori => {
                 let mut h = self.source.open("meminfo")?;
                 let n = read_bulk(&mut h, &mut self.buf)?;
-                let layout = self.layout.as_ref().expect("layout learned at construction");
+                let layout = self
+                    .layout
+                    .as_ref()
+                    .expect("layout learned at construction");
                 meminfo::parse_apriori(&self.buf[..n], layout).ok_or_else(|| bad("meminfo parse"))
             }
             GatherLevel::KeepOpen => {
                 let h = self.handle.as_mut().expect("handle kept open");
                 let n = read_bulk(h, &mut self.buf)?;
-                let layout = self.layout.as_ref().expect("layout learned at construction");
+                let layout = self
+                    .layout
+                    .as_ref()
+                    .expect("layout learned at construction");
                 meminfo::parse_apriori(&self.buf[..n], layout).ok_or_else(|| bad("meminfo parse"))
             }
         }
@@ -202,7 +221,9 @@ pub struct StatGatherer<S: ProcSource> {
 impl<S: ProcSource> StatGatherer<S> {
     /// Open once.
     pub fn new(source: &S) -> io::Result<Self> {
-        Ok(StatGatherer { file: KeepOpenFile::open(source, "stat")? })
+        Ok(StatGatherer {
+            file: KeepOpenFile::open(source, "stat")?,
+        })
     }
 
     /// Take one sample.
@@ -221,7 +242,9 @@ pub struct LoadAvgGatherer<S: ProcSource> {
 impl<S: ProcSource> LoadAvgGatherer<S> {
     /// Open once.
     pub fn new(source: &S) -> io::Result<Self> {
-        Ok(LoadAvgGatherer { file: KeepOpenFile::open(source, "loadavg")? })
+        Ok(LoadAvgGatherer {
+            file: KeepOpenFile::open(source, "loadavg")?,
+        })
     }
 
     /// Take one sample.
@@ -240,7 +263,9 @@ pub struct UptimeGatherer<S: ProcSource> {
 impl<S: ProcSource> UptimeGatherer<S> {
     /// Open once.
     pub fn new(source: &S) -> io::Result<Self> {
-        Ok(UptimeGatherer { file: KeepOpenFile::open(source, "uptime")? })
+        Ok(UptimeGatherer {
+            file: KeepOpenFile::open(source, "uptime")?,
+        })
     }
 
     /// Take one sample.
@@ -261,7 +286,10 @@ pub struct NetDevGatherer<S: ProcSource> {
 impl<S: ProcSource> NetDevGatherer<S> {
     /// Open once.
     pub fn new(source: &S) -> io::Result<Self> {
-        Ok(NetDevGatherer { file: KeepOpenFile::open(source, "net/dev")?, ifaces: Vec::new() })
+        Ok(NetDevGatherer {
+            file: KeepOpenFile::open(source, "net/dev")?,
+            ifaces: Vec::new(),
+        })
     }
 
     /// Take one sample; the returned slice is valid until the next call.
@@ -284,7 +312,10 @@ impl<S: ProcSource> DiskStatsGatherer<S> {
     /// Open once. Errors if the source has no `diskstats` file (the
     /// agent treats disk monitoring as optional).
     pub fn new(source: &S) -> io::Result<Self> {
-        Ok(DiskStatsGatherer { file: KeepOpenFile::open(source, "diskstats")?, disks: Vec::new() })
+        Ok(DiskStatsGatherer {
+            file: KeepOpenFile::open(source, "diskstats")?,
+            disks: Vec::new(),
+        })
     }
 
     /// Take one sample; the returned slice is valid until the next call.
@@ -347,7 +378,10 @@ mod tests {
             g.sample().unwrap();
         }
         let per_sample = (proc_.regenerations() - before) as f64 / 100.0;
-        assert!(per_sample <= 1.5, "keep-open should read once per sample, got {per_sample}");
+        assert!(
+            per_sample <= 1.5,
+            "keep-open should read once per sample, got {per_sample}"
+        );
     }
 
     #[test]

@@ -83,7 +83,9 @@ mod tests {
     #[test]
     #[cfg(target_os = "linux")]
     fn parses_real_loadavg() {
-        let Ok(text) = std::fs::read("/proc/loadavg") else { return };
+        let Ok(text) = std::fs::read("/proc/loadavg") else {
+            return;
+        };
         let a = parse_apriori(&text).expect("parse real loadavg");
         let g = parse_generic(std::str::from_utf8(&text).unwrap()).unwrap();
         assert_eq!(a, g);

@@ -47,8 +47,14 @@ impl MemInfo {
 
 /// Number of fields [`Layout`] tracks.
 const FIELDS: usize = 6;
-const KEYS: [&str; FIELDS] =
-    ["MemTotal:", "MemFree:", "Buffers:", "Cached:", "SwapTotal:", "SwapFree:"];
+const KEYS: [&str; FIELDS] = [
+    "MemTotal:",
+    "MemFree:",
+    "Buffers:",
+    "Cached:",
+    "SwapTotal:",
+    "SwapFree:",
+];
 
 /// The learned line positions of the six fields within the file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,7 +81,10 @@ impl Layout {
         if line_of.contains(&u16::MAX) {
             return None;
         }
-        Some(Layout { line_of, max_line: *line_of.iter().max().unwrap() })
+        Some(Layout {
+            line_of,
+            max_line: *line_of.iter().max().unwrap(),
+        })
     }
 }
 
@@ -203,7 +212,11 @@ mod tests {
 
     #[test]
     fn used_fraction_sane() {
-        let m = MemInfo { total_kb: 1000, free_kb: 250, ..Default::default() };
+        let m = MemInfo {
+            total_kb: 1000,
+            free_kb: 250,
+            ..Default::default()
+        };
         assert_eq!(m.used_kb(), 750);
         assert!((m.used_fraction() - 0.75).abs() < 1e-12);
         let z = MemInfo::default();
@@ -213,7 +226,9 @@ mod tests {
     #[test]
     #[cfg(target_os = "linux")]
     fn parses_real_proc_meminfo() {
-        let Ok(text) = std::fs::read("/proc/meminfo") else { return };
+        let Ok(text) = std::fs::read("/proc/meminfo") else {
+            return;
+        };
         let layout = Layout::learn(&text).expect("learn layout from real meminfo");
         let a = parse_apriori(&text, &layout).expect("apriori parse real meminfo");
         let g = parse_generic(std::str::from_utf8(&text).unwrap()).unwrap();

@@ -21,7 +21,10 @@ impl IfName {
         let mut bytes = [0u8; 16];
         let len = name.len().min(16);
         bytes[..len].copy_from_slice(&name[..len]);
-        IfName { bytes, len: len as u8 }
+        IfName {
+            bytes,
+            len: len as u8,
+        }
     }
 
     /// The name as a string slice.
@@ -70,7 +73,10 @@ pub fn parse_generic(text: &str) -> Option<Vec<IfStats>> {
     let mut out = Vec::new();
     for line in text.lines().skip(2) {
         let (name, rest) = line.split_once(':')?;
-        let nums: Vec<u64> = rest.split_whitespace().map_while(|p| p.parse().ok()).collect();
+        let nums: Vec<u64> = rest
+            .split_whitespace()
+            .map_while(|p| p.parse().ok())
+            .collect();
         if nums.len() < 16 {
             return None;
         }
@@ -119,7 +125,10 @@ pub fn parse_apriori(b: &[u8], out: &mut Vec<IfStats>) -> Option<usize> {
         while ns < colon && b[ns] == b' ' {
             ns += 1;
         }
-        let mut st = IfStats { name: IfName::new(&b[ns..colon]), ..Default::default() };
+        let mut st = IfStats {
+            name: IfName::new(&b[ns..colon]),
+            ..Default::default()
+        };
         pos = colon + 1;
         let mut cols = [0u64; 16];
         for col in cols.iter_mut() {
@@ -233,7 +242,9 @@ mod tests {
     #[test]
     #[cfg(target_os = "linux")]
     fn parses_real_netdev() {
-        let Ok(text) = std::fs::read("/proc/net/dev") else { return };
+        let Ok(text) = std::fs::read("/proc/net/dev") else {
+            return;
+        };
         let g = parse_generic(std::str::from_utf8(&text).unwrap()).unwrap();
         let mut a = Vec::new();
         parse_apriori(&text, &mut a).unwrap();

@@ -183,7 +183,11 @@ impl RstatServer {
                 }
             }
         });
-        Ok(RstatServer { addr, stop, handle: Some(handle) })
+        Ok(RstatServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
     }
 
     /// The server's address for clients.
@@ -213,7 +217,10 @@ impl RstatClient {
         let socket = UdpSocket::bind("127.0.0.1:0")?;
         socket.connect(addr)?;
         socket.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
-        Ok(RstatClient { socket, buf: [0; REPLY_BYTES] })
+        Ok(RstatClient {
+            socket,
+            buf: [0; REPLY_BYTES],
+        })
     }
 
     /// One RPC round trip.

@@ -63,7 +63,9 @@ pub struct RealProc {
 impl RealProc {
     /// `/proc` itself.
     pub fn new() -> Self {
-        RealProc { root: PathBuf::from("/proc") }
+        RealProc {
+            root: PathBuf::from("/proc"),
+        }
     }
 
     /// A proc-like tree rooted elsewhere (used by tests with fixture
@@ -100,7 +102,9 @@ impl ProcSource for RealProc {
     type Handle = RealHandle;
 
     fn open(&self, path: &str) -> io::Result<RealHandle> {
-        Ok(RealHandle { file: File::open(self.root.join(path))? })
+        Ok(RealHandle {
+            file: File::open(self.root.join(path))?,
+        })
     }
 }
 
@@ -144,7 +148,9 @@ mod tests {
         let mut buf = Vec::new();
         let n = h.read_to_vec(&mut buf).unwrap();
         assert_eq!(n, buf.len());
-        assert!(String::from_utf8(buf).unwrap().starts_with("MemTotal: 1024 kB"));
+        assert!(String::from_utf8(buf)
+            .unwrap()
+            .starts_with("MemTotal: 1024 kB"));
     }
 
     #[test]

@@ -72,8 +72,12 @@ pub fn parse_generic(text: &str) -> Option<Stat> {
                 if nums.len() < 4 {
                     return None;
                 }
-                stat.total =
-                    CpuTimes { user: nums[0], nice: nums[1], system: nums[2], idle: nums[3] };
+                stat.total = CpuTimes {
+                    user: nums[0],
+                    nice: nums[1],
+                    system: nums[2],
+                    idle: nums[3],
+                };
                 saw_cpu = true;
             }
             t if t.starts_with("cpu") => stat.ncpu += 1,
@@ -156,7 +160,15 @@ mod tests {
     #[test]
     fn generic_parses_synthetic() {
         let st = parse_generic(&sample()).unwrap();
-        assert_eq!(st.total, CpuTimes { user: 220, nice: 7, system: 70, idle: 1703 });
+        assert_eq!(
+            st.total,
+            CpuTimes {
+                user: 220,
+                nice: 7,
+                system: 70,
+                idle: 1703
+            }
+        );
         assert_eq!(st.ncpu, 2);
         assert_eq!(st.ctxt, 9999);
         assert_eq!(st.processes, 321);
@@ -167,7 +179,10 @@ mod tests {
     #[test]
     fn apriori_agrees_with_generic() {
         let s = sample();
-        assert_eq!(parse_apriori(s.as_bytes()).unwrap(), parse_generic(&s).unwrap());
+        assert_eq!(
+            parse_apriori(s.as_bytes()).unwrap(),
+            parse_generic(&s).unwrap()
+        );
     }
 
     #[test]
@@ -189,8 +204,18 @@ mod tests {
 
     #[test]
     fn utilization_between_snapshots() {
-        let a = CpuTimes { user: 100, nice: 0, system: 50, idle: 850 };
-        let b = CpuTimes { user: 175, nice: 0, system: 75, idle: 950 };
+        let a = CpuTimes {
+            user: 100,
+            nice: 0,
+            system: 50,
+            idle: 850,
+        };
+        let b = CpuTimes {
+            user: 175,
+            nice: 0,
+            system: 75,
+            idle: 950,
+        };
         // busy delta 100, total delta 200
         assert!((b.utilization_since(&a) - 0.5).abs() < 1e-12);
         // reversed order saturates to 0
@@ -202,7 +227,9 @@ mod tests {
     #[test]
     #[cfg(target_os = "linux")]
     fn parses_real_proc_stat() {
-        let Ok(text) = std::fs::read("/proc/stat") else { return };
+        let Ok(text) = std::fs::read("/proc/stat") else {
+            return;
+        };
         let a = parse_apriori(&text).expect("apriori parse real stat");
         let g = parse_generic(std::str::from_utf8(&text).unwrap()).unwrap();
         assert_eq!(a.total, g.total);

@@ -189,8 +189,11 @@ impl SyntheticState {
                 total[k] += cpu[k];
             }
         }
-        let _ =
-            writeln!(out, "cpu  {} {} {} {}", total[0], total[1], total[2], total[3]);
+        let _ = writeln!(
+            out,
+            "cpu  {} {} {} {}",
+            total[0], total[1], total[2], total[3]
+        );
         for (i, cpu) in self.cpus.iter().enumerate() {
             let _ = writeln!(out, "cpu{} {} {} {} {}", i, cpu[0], cpu[1], cpu[2], cpu[3]);
         }
@@ -301,7 +304,10 @@ pub struct SyntheticProc {
 impl SyntheticProc {
     /// Wrap a state.
     pub fn new(state: SyntheticState) -> Self {
-        SyntheticProc { state: Arc::new(Mutex::new(state)), regens: Arc::new(Mutex::new(0)) }
+        SyntheticProc {
+            state: Arc::new(Mutex::new(state)),
+            regens: Arc::new(Mutex::new(0)),
+        }
     }
 
     /// Run `f` with exclusive access to the state (how the simulator
@@ -360,7 +366,11 @@ impl ProcSource for SyntheticProc {
                 ))
             }
         };
-        Ok(SyntheticHandle { proc_: self.clone(), kind, scratch: String::new() })
+        Ok(SyntheticHandle {
+            proc_: self.clone(),
+            kind,
+            scratch: String::new(),
+        })
     }
 }
 
@@ -399,7 +409,14 @@ mod tests {
     fn meminfo_renders_expected_keys() {
         let mut s = String::new();
         SyntheticState::default().render_meminfo(&mut s);
-        for key in ["MemTotal:", "MemFree:", "Buffers:", "Cached:", "SwapTotal:", "SwapFree:"] {
+        for key in [
+            "MemTotal:",
+            "MemFree:",
+            "Buffers:",
+            "Cached:",
+            "SwapTotal:",
+            "SwapFree:",
+        ] {
             assert!(s.contains(key), "missing {key} in {s}");
         }
         assert!(s.ends_with('\n'));

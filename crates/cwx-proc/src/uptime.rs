@@ -23,7 +23,10 @@ pub fn parse_generic(text: &str) -> Option<Uptime> {
 /// Zero-allocation parser.
 pub fn parse_apriori(b: &[u8]) -> Option<Uptime> {
     let mut pos = 0;
-    Some(Uptime { uptime_secs: next_f64(b, &mut pos)?, idle_secs: next_f64(b, &mut pos)? })
+    Some(Uptime {
+        uptime_secs: next_f64(b, &mut pos)?,
+        idle_secs: next_f64(b, &mut pos)?,
+    })
 }
 
 #[cfg(test)]
@@ -49,7 +52,9 @@ mod tests {
     #[test]
     #[cfg(target_os = "linux")]
     fn parses_real_uptime() {
-        let Ok(text) = std::fs::read("/proc/uptime") else { return };
+        let Ok(text) = std::fs::read("/proc/uptime") else {
+            return;
+        };
         let a = parse_apriori(&text).expect("parse real uptime");
         assert!(a.uptime_secs > 0.0);
     }

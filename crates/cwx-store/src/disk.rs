@@ -1,0 +1,875 @@
+//! The persistent, sharded disk store.
+//!
+//! Directory layout:
+//!
+//! ```text
+//! <dir>/CONFIG                  sharding parameters (fixed at creation)
+//! <dir>/shard-000/wal.log       the shard's write-ahead log
+//! <dir>/shard-000/seg-00000001-r0.seg   raw segment
+//! <dir>/shard-000/seg-00000005-r1.seg   10-second tier
+//! <dir>/shard-000/seg-00000005-r2.seg   5-minute tier
+//! ```
+//!
+//! Nodes map to shards by node group (`node / nodes_per_group`, the ICE
+//! Box chassis being the natural group), and each shard serializes its
+//! own writes behind its own lock — the whole point: concurrent agent
+//! threads land on different shards and never contend on a global lock.
+//!
+//! Write path: register series → WAL append (durable on return) →
+//! memtable. When a shard's memtable reaches `flush_threshold` samples
+//! it is flushed to an immutable raw segment and the WAL is
+//! checkpointed. When `compact_threshold` raw segments accumulate they
+//! are merged into one (dropping forgotten nodes) and re-downsampled
+//! into the 10-second and 5-minute tiers.
+//!
+//! Recovery path: read and checksum-verify segments (corrupt ones are
+//! quarantined with a `.corrupt` suffix), then replay the WAL, skipping
+//! samples already covered by a segment (the crash-between-flush-and-
+//! checkpoint window) and truncating a torn tail.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cwx_util::time::{SimDuration, SimTime};
+use parking_lot::Mutex;
+
+use crate::segment::{Segment, SeriesData};
+use crate::wal::{Wal, WalRecord};
+use crate::{aggregate, AggBucket, Resolution, Sample, Store, StoreError};
+
+/// Sharding and flush parameters. Sharding fields are fixed at store
+/// creation and read back from disk on reopen.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Number of shards (independent write paths).
+    pub n_shards: usize,
+    /// Nodes per group; a group always lands on one shard.
+    pub nodes_per_group: u32,
+    /// Memtable samples per shard before a segment flush.
+    pub flush_threshold: usize,
+    /// Raw segments per shard before compaction + downsampling.
+    pub compact_threshold: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            n_shards: 4,
+            // ten node ports per ICE Box chassis (paper §3)
+            nodes_per_group: 10,
+            flush_threshold: 4096,
+            compact_threshold: 4,
+        }
+    }
+}
+
+/// What [`DiskStore::open`] found and repaired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Intact segment files loaded.
+    pub segments_loaded: usize,
+    /// Segment files quarantined for bad magic/checksum.
+    pub segments_quarantined: usize,
+    /// WAL records replayed into memtables.
+    pub wal_records: usize,
+    /// Samples rebuilt into memtables from the WAL.
+    pub samples_replayed: u64,
+    /// Torn-tail bytes truncated across shard WALs.
+    pub wal_truncated_bytes: u64,
+}
+
+#[derive(Debug)]
+struct SegmentFile {
+    path: PathBuf,
+    segment: Segment,
+}
+
+#[derive(Debug)]
+struct Shard {
+    dir: PathBuf,
+    wal: Wal,
+    next_seq: u64,
+    /// `(node, monitor)` → shard-local series id.
+    ids: HashMap<(u32, String), u32>,
+    /// series id → `(node, monitor)`.
+    keys: Vec<(u32, String)>,
+    /// series id → buffered samples (time-ordered as appended).
+    mem: Vec<Vec<Sample>>,
+    mem_samples: usize,
+    /// ids whose `AddSeries` is in the current WAL generation.
+    logged: Vec<bool>,
+    /// series id → newest timestamp already in a raw segment.
+    segmented_max: Vec<Option<SimTime>>,
+    raw: Vec<SegmentFile>,
+    tiers: Vec<SegmentFile>,
+    /// Newest raw sample time covered by the tier files.
+    tier_covered: Option<SimTime>,
+    /// Nodes dropped since the last compaction.
+    forgotten: Vec<u32>,
+    flush_threshold: usize,
+    compact_threshold: usize,
+}
+
+impl Shard {
+    fn open(
+        shard_dir: &Path,
+        cfg: &StoreConfig,
+        recovery: &mut RecoveryReport,
+        total: &mut u64,
+    ) -> Result<Shard, StoreError> {
+        // 1. segments, in sequence order, checksum-verified
+        let mut files: Vec<(u64, Resolution, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(shard_dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.ends_with(".tmp") {
+                // a crash mid-flush/compaction left a partial write
+                let _ = std::fs::remove_file(&path);
+                continue;
+            }
+            let Some(rest) = name.strip_prefix("seg-") else {
+                continue;
+            };
+            let Some(rest) = rest.strip_suffix(".seg") else {
+                continue;
+            };
+            let Some((seq, res)) = rest.split_once("-r") else {
+                continue;
+            };
+            let (Ok(seq), Some(res)) =
+                (seq.parse(), res.parse().ok().and_then(Resolution::from_tag))
+            else {
+                continue;
+            };
+            files.push((seq, res, path));
+        }
+        files.sort_by_key(|(seq, res, _)| (*seq, res.tag()));
+
+        let wal_rec = Wal::open(&shard_dir.join("wal.log"))?;
+        let mut shard = Shard {
+            dir: shard_dir.to_path_buf(),
+            wal: wal_rec.wal,
+            next_seq: 1,
+            ids: HashMap::new(),
+            keys: Vec::new(),
+            mem: Vec::new(),
+            mem_samples: 0,
+            logged: Vec::new(),
+            segmented_max: Vec::new(),
+            raw: Vec::new(),
+            tiers: Vec::new(),
+            tier_covered: None,
+            forgotten: Vec::new(),
+            flush_threshold: cfg.flush_threshold.max(1),
+            compact_threshold: cfg.compact_threshold.max(2),
+        };
+
+        for (seq, res, path) in files {
+            shard.next_seq = shard.next_seq.max(seq + 1);
+            let segment = match Segment::read_from(&path) {
+                Ok(s) => s,
+                Err(_) => {
+                    let quarantined = path.with_extension("seg.corrupt");
+                    let _ = std::fs::rename(&path, &quarantined);
+                    recovery.segments_quarantined += 1;
+                    continue;
+                }
+            };
+            recovery.segments_loaded += 1;
+            match res {
+                Resolution::Raw => {
+                    for ((node, monitor), data) in &segment.series {
+                        *total += data.len() as u64;
+                        let id = shard.register(*node, monitor) as usize;
+                        shard.segmented_max[id] = shard.segmented_max[id].max(data.max_time());
+                    }
+                    shard.raw.push(SegmentFile { path, segment });
+                }
+                Resolution::TenSeconds => {
+                    for (_, data) in &segment.series {
+                        shard.tier_covered = shard.tier_covered.max(data.max_time());
+                    }
+                    shard.tiers.push(SegmentFile { path, segment });
+                }
+                Resolution::FiveMinutes => shard.tiers.push(SegmentFile { path, segment }),
+            }
+        }
+
+        // 2. WAL replay on top of the segment state. The open above
+        // already truncated any torn tail and collected the records.
+        recovery.wal_truncated_bytes += wal_rec.truncated_bytes;
+        recovery.wal_records += wal_rec.records.len();
+        let mut wal_to_internal: HashMap<u32, u32> = HashMap::new();
+        for record in wal_rec.records {
+            match record {
+                WalRecord::AddSeries {
+                    series,
+                    node,
+                    monitor,
+                } => {
+                    let id = shard.register(node, &monitor);
+                    // the registration is already in the current log
+                    shard.logged[id as usize] = true;
+                    wal_to_internal.insert(series, id);
+                }
+                WalRecord::Samples { series, samples } => {
+                    let Some(&id) = wal_to_internal.get(&series) else {
+                        continue;
+                    };
+                    let floor = shard.segmented_max[id as usize];
+                    for s in samples {
+                        // skip what a pre-crash flush already segmented
+                        if floor.is_none_or(|f| s.time > f) {
+                            shard.mem[id as usize].push(s);
+                            shard.mem_samples += 1;
+                            recovery.samples_replayed += 1;
+                            *total += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(shard)
+    }
+
+    fn register(&mut self, node: u32, monitor: &str) -> u32 {
+        if let Some(&id) = self.ids.get(&(node, monitor.to_string())) {
+            return id;
+        }
+        let id = self.keys.len() as u32;
+        self.keys.push((node, monitor.to_string()));
+        self.ids.insert((node, monitor.to_string()), id);
+        self.mem.push(Vec::new());
+        self.segmented_max.push(None);
+        self.logged.push(false);
+        id
+    }
+
+    /// Look up or create a series id, logging the registration in the
+    /// current WAL generation if it isn't there yet.
+    fn series_id(&mut self, node: u32, monitor: &str) -> Result<u32, StoreError> {
+        let id = self.register(node, monitor);
+        if !self.logged[id as usize] {
+            let (n, m) = self.keys[id as usize].clone();
+            self.wal.add_series(id, n, &m)?;
+            self.logged[id as usize] = true;
+        }
+        Ok(id)
+    }
+
+    fn flush(&mut self) -> Result<(), StoreError> {
+        if self.mem_samples == 0 {
+            return Ok(());
+        }
+        let mut series: Vec<((u32, String), SeriesData)> = Vec::new();
+        for (id, samples) in self.mem.iter_mut().enumerate() {
+            if samples.is_empty() {
+                continue;
+            }
+            samples.sort_by_key(|s| s.time.as_nanos());
+            series.push((
+                self.keys[id].clone(),
+                SeriesData::Raw(std::mem::take(samples)),
+            ));
+        }
+        series.sort_by(|a, b| a.0.cmp(&b.0));
+        let seg = Segment {
+            resolution: Resolution::Raw,
+            series,
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let path = self.dir.join(segment_name(seq, Resolution::Raw));
+        seg.write_to(&path)?;
+        for ((node, monitor), data) in &seg.series {
+            let id = self.ids[&(*node, monitor.clone())] as usize;
+            self.segmented_max[id] = self.segmented_max[id].max(data.max_time());
+        }
+        self.raw.push(SegmentFile { path, segment: seg });
+        self.mem_samples = 0;
+        // the flushed samples are durable in the segment; restart the log
+        self.wal.checkpoint()?;
+        self.logged.iter_mut().for_each(|l| *l = false);
+        if self.raw.len() >= self.compact_threshold {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    fn compact(&mut self) -> Result<(), StoreError> {
+        // merge every raw segment per series
+        let mut merged: HashMap<(u32, String), Vec<Sample>> = HashMap::new();
+        for sf in &self.raw {
+            for ((node, monitor), data) in &sf.segment.series {
+                if self.forgotten.contains(node) {
+                    continue;
+                }
+                if let SeriesData::Raw(samples) = data {
+                    merged
+                        .entry((*node, monitor.clone()))
+                        .or_default()
+                        .extend_from_slice(samples);
+                }
+            }
+        }
+        let mut sorted_keys: Vec<(u32, String)> = merged.keys().cloned().collect();
+        sorted_keys.sort();
+        let mut raw_series = Vec::with_capacity(sorted_keys.len());
+        let mut ten_series = Vec::with_capacity(sorted_keys.len());
+        let mut five_series = Vec::with_capacity(sorted_keys.len());
+        let mut covered: Option<SimTime> = None;
+        for key in sorted_keys {
+            let mut samples = merged.remove(&key).unwrap();
+            samples.sort_by_key(|s| s.time.as_nanos());
+            covered = covered.max(samples.last().map(|s| s.time));
+            let ten = aggregate(&samples, Resolution::TenSeconds.bucket_nanos().unwrap());
+            let five = merge_buckets(&ten, Resolution::FiveMinutes.bucket_nanos().unwrap());
+            raw_series.push((key.clone(), SeriesData::Raw(samples)));
+            ten_series.push((key.clone(), SeriesData::Buckets(ten)));
+            five_series.push((key, SeriesData::Buckets(five)));
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut new_raw = Vec::new();
+        let mut new_tiers = Vec::new();
+        for (res, series) in [
+            (Resolution::Raw, raw_series),
+            (Resolution::TenSeconds, ten_series),
+            (Resolution::FiveMinutes, five_series),
+        ] {
+            let seg = Segment {
+                resolution: res,
+                series,
+            };
+            let path = self.dir.join(segment_name(seq, res));
+            seg.write_to(&path)?;
+            let sf = SegmentFile { path, segment: seg };
+            if res == Resolution::Raw {
+                new_raw.push(sf);
+            } else {
+                new_tiers.push(sf);
+            }
+        }
+        // the merged files are durable; drop the inputs
+        for sf in self.raw.drain(..).chain(self.tiers.drain(..)) {
+            let _ = std::fs::remove_file(&sf.path);
+        }
+        self.raw = new_raw;
+        self.tiers = new_tiers;
+        self.tier_covered = covered;
+        self.forgotten.clear();
+        Ok(())
+    }
+
+    fn raw_range(&self, node: u32, monitor: &str, from: SimTime, to: SimTime) -> Vec<Sample> {
+        let mut out: Vec<Sample> = Vec::new();
+        for sf in &self.raw {
+            for ((n, m), data) in &sf.segment.series {
+                if *n == node && m == monitor {
+                    if let SeriesData::Raw(samples) = data {
+                        out.extend(samples.iter().filter(|s| s.time >= from && s.time <= to));
+                    }
+                }
+            }
+        }
+        if let Some(&id) = self.ids.get(&(node, monitor.to_string())) {
+            out.extend(
+                self.mem[id as usize]
+                    .iter()
+                    .filter(|s| s.time >= from && s.time <= to),
+            );
+        }
+        out.sort_by_key(|s| s.time.as_nanos());
+        out
+    }
+}
+
+/// Combine fine buckets into wider epoch-aligned buckets.
+fn merge_buckets(fine: &[AggBucket], width_nanos: u64) -> Vec<AggBucket> {
+    let mut out: Vec<AggBucket> = Vec::new();
+    for b in fine {
+        let start = SimTime::from_nanos(b.start.as_nanos() / width_nanos * width_nanos);
+        match out.last_mut() {
+            Some(w) if w.start == start => {
+                let total = w.count + b.count;
+                w.mean = (w.mean * w.count as f64 + b.mean * b.count as f64) / total as f64;
+                w.count = total;
+                w.min = w.min.min(b.min);
+                w.max = w.max.max(b.max);
+                w.last = b.last;
+            }
+            _ => out.push(AggBucket { start, ..*b }),
+        }
+    }
+    out
+}
+
+fn segment_name(seq: u64, res: Resolution) -> String {
+    format!("seg-{seq:08}-r{}.seg", res.tag())
+}
+
+fn floor_to(t: SimTime, width: u64) -> SimTime {
+    let w = width.max(1);
+    SimTime::from_nanos(t.as_nanos() / w * w)
+}
+
+/// The persistent sharded store.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    cfg: StoreConfig,
+    shards: Vec<Mutex<Shard>>,
+    total: AtomicU64,
+    recovery: RecoveryReport,
+}
+
+impl DiskStore {
+    /// Open or create a store at `dir`, recovering any existing state.
+    pub fn open(dir: &Path, mut cfg: StoreConfig) -> Result<DiskStore, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let config_path = dir.join("CONFIG");
+        match std::fs::read_to_string(&config_path) {
+            Ok(text) => {
+                for line in text.lines() {
+                    match line.split_once('=') {
+                        Some(("n_shards", v)) => {
+                            cfg.n_shards = v.trim().parse().unwrap_or(cfg.n_shards)
+                        }
+                        Some(("nodes_per_group", v)) => {
+                            cfg.nodes_per_group = v.trim().parse().unwrap_or(cfg.nodes_per_group)
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Err(_) => {
+                std::fs::write(
+                    &config_path,
+                    format!(
+                        "n_shards={}\nnodes_per_group={}\n",
+                        cfg.n_shards.max(1),
+                        cfg.nodes_per_group.max(1)
+                    ),
+                )?;
+            }
+        }
+        cfg.n_shards = cfg.n_shards.max(1);
+        cfg.nodes_per_group = cfg.nodes_per_group.max(1);
+
+        let mut recovery = RecoveryReport::default();
+        let mut total = 0u64;
+        let mut shards = Vec::with_capacity(cfg.n_shards);
+        for i in 0..cfg.n_shards {
+            let shard_dir = dir.join(format!("shard-{i:03}"));
+            std::fs::create_dir_all(&shard_dir)?;
+            let shard = Shard::open(&shard_dir, &cfg, &mut recovery, &mut total)?;
+            shards.push(Mutex::new(shard));
+        }
+        Ok(DiskStore {
+            dir: dir.to_path_buf(),
+            cfg,
+            shards,
+            total: AtomicU64::new(total),
+            recovery,
+        })
+    }
+
+    /// What recovery found when this handle was opened.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The effective configuration (sharding read back from disk).
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    fn shard_of(&self, node: u32) -> usize {
+        (node / self.cfg.nodes_per_group) as usize % self.shards.len()
+    }
+
+    /// Force-flush every shard's memtable into segments (clean
+    /// shutdown; a crash instead replays the WAL).
+    pub fn flush_all(&self) -> Result<(), StoreError> {
+        for shard in &self.shards {
+            shard.lock().flush()?;
+        }
+        Ok(())
+    }
+
+    /// Force compaction (and tier downsampling) on every shard.
+    pub fn compact_all(&self) -> Result<(), StoreError> {
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            s.flush()?;
+            if !s.raw.is_empty() {
+                s.compact()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Store for DiskStore {
+    fn append(&self, node: u32, monitor: &str, time: SimTime, value: f64) {
+        let mut shard = self.shards[self.shard_of(node)].lock();
+        // storage failures surface as panics: the monitoring server has
+        // no meaningful degraded mode with a dead data directory
+        let id = shard
+            .series_id(node, monitor)
+            .expect("cwx-store: WAL append failed");
+        let sample = Sample { time, value };
+        shard
+            .wal
+            .append_samples(id, &[sample])
+            .expect("cwx-store: WAL append failed");
+        shard.mem[id as usize].push(sample);
+        shard.mem_samples += 1;
+        self.total.fetch_add(1, Ordering::Relaxed);
+        if shard.mem_samples >= shard.flush_threshold {
+            shard.flush().expect("cwx-store: segment flush failed");
+        }
+    }
+
+    fn latest(&self, node: u32, monitor: &str) -> Option<Sample> {
+        let shard = self.shards[self.shard_of(node)].lock();
+        let id = *shard.ids.get(&(node, monitor.to_string()))?;
+        if let Some(s) = shard.mem[id as usize].last() {
+            return Some(*s);
+        }
+        shard
+            .raw_range(node, monitor, SimTime::ZERO, SimTime::MAX)
+            .last()
+            .copied()
+    }
+
+    fn range(&self, node: u32, monitor: &str, from: SimTime, to: SimTime) -> Vec<Sample> {
+        self.shards[self.shard_of(node)]
+            .lock()
+            .raw_range(node, monitor, from, to)
+    }
+
+    fn range_agg(
+        &self,
+        node: u32,
+        monitor: &str,
+        from: SimTime,
+        to: SimTime,
+        res: Resolution,
+    ) -> Vec<AggBucket> {
+        let Some(width) = res.bucket_nanos() else {
+            return self
+                .range(node, monitor, from, to)
+                .into_iter()
+                .map(|s| AggBucket {
+                    start: s.time,
+                    count: 1,
+                    min: s.value,
+                    mean: s.value,
+                    max: s.value,
+                    last: s.value,
+                })
+                .collect();
+        };
+        let shard = self.shards[self.shard_of(node)].lock();
+        let mut out: Vec<AggBucket> = Vec::new();
+        for sf in &shard.tiers {
+            if sf.segment.resolution != res {
+                continue;
+            }
+            for ((n, m), data) in &sf.segment.series {
+                if *n == node && m == monitor {
+                    if let SeriesData::Buckets(buckets) = data {
+                        out.extend(
+                            buckets
+                                .iter()
+                                .filter(|b| b.start >= floor_to(from, width) && b.start <= to),
+                        );
+                    }
+                }
+            }
+        }
+        // aggregate the raw suffix the tiers don't cover yet
+        let suffix_from = match shard.tier_covered {
+            Some(c) => (c + SimDuration::from_nanos(1)).max(from),
+            None => from,
+        };
+        if suffix_from <= to {
+            let raw = shard.raw_range(node, monitor, suffix_from, to);
+            for b in aggregate(&raw, width) {
+                match out.last_mut() {
+                    Some(w) if w.start == b.start => {
+                        let total = w.count + b.count;
+                        w.mean = (w.mean * w.count as f64 + b.mean * b.count as f64) / total as f64;
+                        w.count = total;
+                        w.min = w.min.min(b.min);
+                        w.max = w.max.max(b.max);
+                        w.last = b.last;
+                    }
+                    _ => out.push(b),
+                }
+            }
+        }
+        out.sort_by_key(|b| b.start.as_nanos());
+        out
+    }
+
+    fn series(&self) -> Vec<(u32, String)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().keys.iter().cloned());
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn forget_node(&self, node: u32) {
+        let mut shard = self.shards[self.shard_of(node)].lock();
+        let ids: Vec<u32> = shard
+            .ids
+            .iter()
+            .filter(|((n, _), _)| *n == node)
+            .map(|(_, &id)| id)
+            .collect();
+        let on_disk = shard
+            .raw
+            .iter()
+            .any(|sf| sf.segment.series.iter().any(|((n, _), _)| *n == node));
+        if ids.is_empty() && !on_disk {
+            return;
+        }
+        for id in ids {
+            shard.mem_samples -= shard.mem[id as usize].len();
+            shard.mem[id as usize].clear();
+        }
+        shard.ids.retain(|(n, _), _| *n != node);
+        shard.forgotten.push(node);
+        // rewrite segments without the node so the forget is durable
+        let _ = shard.flush();
+        if !shard.raw.is_empty() {
+            let _ = shard.compact();
+        }
+    }
+
+    fn total_samples(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    fn flush(&self) {
+        let _ = self.flush_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cwx-disk-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_cfg() -> StoreConfig {
+        StoreConfig {
+            n_shards: 2,
+            nodes_per_group: 4,
+            flush_threshold: 64,
+            compact_threshold: 3,
+        }
+    }
+
+    #[test]
+    fn append_query_roundtrip() {
+        let dir = tmp("roundtrip");
+        let store = DiskStore::open(&dir, small_cfg()).unwrap();
+        for i in 0..100u64 {
+            store.append(1, "cpu.util", t(i), i as f64);
+            store.append(9, "cpu.util", t(i), 100.0 - i as f64);
+        }
+        assert_eq!(store.total_samples(), 200);
+        let r = store.range(1, "cpu.util", t(10), t(19));
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0].value, 10.0);
+        assert_eq!(store.latest(9, "cpu.util").unwrap().value, 1.0);
+        assert_eq!(store.series().len(), 2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn survives_drop_without_flush() {
+        let dir = tmp("crash");
+        {
+            let store = DiskStore::open(&dir, small_cfg()).unwrap();
+            for i in 0..50u64 {
+                store.append(2, "load.one", t(i), i as f64);
+            }
+            // no flush: the 50 samples live only in the WAL
+        }
+        let store = DiskStore::open(&dir, small_cfg()).unwrap();
+        assert_eq!(store.recovery().samples_replayed, 50);
+        let r = store.range(2, "load.one", SimTime::ZERO, SimTime::MAX);
+        assert_eq!(r.len(), 50);
+        assert_eq!(r[49].value, 49.0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn survives_flush_then_more_writes_then_drop() {
+        let dir = tmp("mixed");
+        {
+            let store = DiskStore::open(&dir, small_cfg()).unwrap();
+            for i in 0..200u64 {
+                store.append(0, "m", t(i), i as f64); // crosses flush_threshold
+            }
+        }
+        let store = DiskStore::open(&dir, small_cfg()).unwrap();
+        let r = store.range(0, "m", SimTime::ZERO, SimTime::MAX);
+        assert_eq!(r.len(), 200, "segments + WAL replay cover everything");
+        for (i, s) in r.iter().enumerate() {
+            assert_eq!(s.value, i as f64);
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn compaction_merges_and_builds_tiers() {
+        let dir = tmp("compact");
+        let store = DiskStore::open(&dir, small_cfg()).unwrap();
+        for i in 0..1000u64 {
+            store.append(3, "temp.cpu", t(i), (i % 60) as f64);
+        }
+        store.compact_all().unwrap();
+        let buckets = store.range_agg(
+            3,
+            "temp.cpu",
+            SimTime::ZERO,
+            SimTime::MAX,
+            Resolution::TenSeconds,
+        );
+        assert_eq!(buckets.len(), 100);
+        assert_eq!(buckets[0].count, 10);
+        assert_eq!(buckets[0].min, 0.0);
+        assert_eq!(buckets[0].max, 9.0);
+        assert_eq!(buckets[0].last, 9.0);
+        let five = store.range_agg(
+            3,
+            "temp.cpu",
+            SimTime::ZERO,
+            SimTime::MAX,
+            Resolution::FiveMinutes,
+        );
+        assert_eq!(five.len(), 4);
+        assert_eq!(five[0].count, 300);
+        // raw survives compaction in full
+        assert_eq!(
+            store
+                .range(3, "temp.cpu", SimTime::ZERO, SimTime::MAX)
+                .len(),
+            1000
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn tier_query_covers_uncompacted_suffix() {
+        let dir = tmp("suffix");
+        let store = DiskStore::open(&dir, small_cfg()).unwrap();
+        for i in 0..300u64 {
+            store.append(3, "m", t(i), 1.0);
+        }
+        store.compact_all().unwrap();
+        // fresh samples after compaction, still in memtable/raw only
+        for i in 300..350u64 {
+            store.append(3, "m", t(i), 2.0);
+        }
+        let buckets = store.range_agg(3, "m", SimTime::ZERO, SimTime::MAX, Resolution::TenSeconds);
+        let total: u64 = buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, 350, "tiers + raw suffix with no double counting");
+        assert_eq!(buckets.last().unwrap().last, 2.0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn forget_node_is_durable() {
+        let dir = tmp("forget");
+        {
+            let store = DiskStore::open(&dir, small_cfg()).unwrap();
+            for i in 0..100u64 {
+                store.append(1, "m", t(i), 1.0);
+                store.append(2, "m", t(i), 2.0);
+            }
+            store.forget_node(1);
+            assert!(store.range(1, "m", SimTime::ZERO, SimTime::MAX).is_empty());
+            assert_eq!(store.range(2, "m", SimTime::ZERO, SimTime::MAX).len(), 100);
+        }
+        let store = DiskStore::open(&dir, small_cfg()).unwrap();
+        assert!(store.range(1, "m", SimTime::ZERO, SimTime::MAX).is_empty());
+        assert_eq!(store.range(2, "m", SimTime::ZERO, SimTime::MAX).len(), 100);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn sharding_config_persists_across_reopen() {
+        let dir = tmp("cfg");
+        {
+            let store = DiskStore::open(&dir, small_cfg()).unwrap();
+            store.append(0, "m", t(1), 1.0);
+            store.flush_all().unwrap();
+        }
+        // reopen with a different shard count: disk config wins
+        let store = DiskStore::open(
+            &dir,
+            StoreConfig {
+                n_shards: 7,
+                nodes_per_group: 3,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(store.config().n_shards, 2);
+        assert_eq!(store.config().nodes_per_group, 4);
+        assert_eq!(store.range(0, "m", SimTime::ZERO, SimTime::MAX).len(), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn concurrent_shard_writes() {
+        let dir = tmp("concurrent");
+        let store = std::sync::Arc::new(DiskStore::open(&dir, small_cfg()).unwrap());
+        let writers: Vec<_> = (0..8u32)
+            .map(|node| {
+                let store = std::sync::Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        store.append(node, "load.one", t(i), node as f64);
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(store.total_samples(), 8 * 500);
+        for node in 0..8 {
+            assert_eq!(
+                store
+                    .range(node, "load.one", SimTime::ZERO, SimTime::MAX)
+                    .len(),
+                500
+            );
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

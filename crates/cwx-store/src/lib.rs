@@ -1,0 +1,318 @@
+//! `cwx-store` — the embedded time-series storage engine behind
+//! historical graphing (paper §5.1).
+//!
+//! The paper's ClusterWorX server "charts monitoring values over time
+//! ... over a selected time interval"; an operations tool needs that
+//! history to survive restarts and to absorb writes from hundreds of
+//! agents at once. This crate is the durable backend:
+//!
+//! * [`wal`] — an append-only write-ahead log; every record carries a
+//!   CRC32 and recovery replays the log, truncating a torn tail.
+//! * [`segment`] — immutable on-disk segment files flushed from
+//!   in-memory memtables, with delta-of-delta timestamp compression and
+//!   XOR-varint value compression ([`codec`]).
+//! * tiered compaction — raw samples are periodically merged and
+//!   downsampled into 10-second and 5-minute min/mean/max/last tiers,
+//!   so charts over long windows read pre-aggregated data.
+//! * [`disk::DiskStore`] — shard-per-node-group write paths: each
+//!   shard owns its own WAL, memtable and segments behind its own lock,
+//!   so many agent threads ingest in parallel without a global lock.
+//! * [`mem::MemStore`] — the volatile ring-buffer backend, kept for
+//!   deterministic simulation tests.
+//!
+//! Durability contract: a sample is *acknowledged* once `append`
+//! returns, at which point it lives in the shard WAL (OS page cache;
+//! the engine does not fsync). A crash loses nothing acknowledged:
+//! memtables are rebuilt by WAL replay, segments are immutable and
+//! checksummed, and a torn WAL tail is truncated at the last record
+//! whose CRC32 verifies. What is rebuilt rather than stored: memtables
+//! and the series registry (from segment headers + WAL records).
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod disk;
+pub mod mem;
+pub mod segment;
+pub mod wal;
+
+use cwx_util::time::SimTime;
+
+/// One stored sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Sample time.
+    pub time: SimTime,
+    /// Numeric value.
+    pub value: f64,
+}
+
+/// Pre-aggregated bucket stored in the downsampled tiers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggBucket {
+    /// Bucket start time.
+    pub start: SimTime,
+    /// Samples aggregated into the bucket.
+    pub count: u64,
+    /// Minimum value.
+    pub min: f64,
+    /// Mean value.
+    pub mean: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Last (most recent) value — charts draw step lines from this.
+    pub last: f64,
+}
+
+/// Storage resolution tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Resolution {
+    /// Every sample as ingested.
+    Raw,
+    /// 10-second min/mean/max/last buckets.
+    TenSeconds,
+    /// 5-minute min/mean/max/last buckets.
+    FiveMinutes,
+}
+
+impl Resolution {
+    /// Bucket width; `None` for raw.
+    pub fn bucket_nanos(self) -> Option<u64> {
+        match self {
+            Resolution::Raw => None,
+            Resolution::TenSeconds => Some(10 * 1_000_000_000),
+            Resolution::FiveMinutes => Some(300 * 1_000_000_000),
+        }
+    }
+
+    /// The tier tag used in segment files and file names.
+    pub fn tag(self) -> u8 {
+        match self {
+            Resolution::Raw => 0,
+            Resolution::TenSeconds => 1,
+            Resolution::FiveMinutes => 2,
+        }
+    }
+
+    /// Inverse of [`Resolution::tag`].
+    pub fn from_tag(tag: u8) -> Option<Resolution> {
+        match tag {
+            0 => Some(Resolution::Raw),
+            1 => Some(Resolution::TenSeconds),
+            2 => Some(Resolution::FiveMinutes),
+            _ => None,
+        }
+    }
+}
+
+/// Errors surfaced by the persistent store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// A segment file failed validation (bad magic or checksum).
+    CorruptSegment {
+        /// Offending file.
+        path: std::path::PathBuf,
+        /// What failed.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::CorruptSegment { path, reason } => {
+                write!(f, "corrupt segment {}: {reason}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// The interface `cwx-monitor`'s history façade programs against.
+///
+/// Methods take `&self`: backends use interior locking (per-shard for
+/// the disk store), which is what lets many ingest threads write
+/// concurrently.
+pub trait Store: std::fmt::Debug + Send + Sync {
+    /// Record one sample; the sample is durable (per the crate's
+    /// durability contract) when this returns.
+    fn append(&self, node: u32, monitor: &str, time: SimTime, value: f64);
+
+    /// Latest sample of a series.
+    fn latest(&self, node: u32, monitor: &str) -> Option<Sample>;
+
+    /// Samples within `[from, to]`, oldest first.
+    fn range(&self, node: u32, monitor: &str, from: SimTime, to: SimTime) -> Vec<Sample>;
+
+    /// Pre-aggregated buckets within `[from, to]` at a fixed tier.
+    /// Backends without stored tiers aggregate raw samples on the fly.
+    fn range_agg(
+        &self,
+        node: u32,
+        monitor: &str,
+        from: SimTime,
+        to: SimTime,
+        res: Resolution,
+    ) -> Vec<AggBucket> {
+        let Some(width) = res.bucket_nanos() else {
+            return self
+                .range(node, monitor, from, to)
+                .into_iter()
+                .map(|s| AggBucket {
+                    start: s.time,
+                    count: 1,
+                    min: s.value,
+                    mean: s.value,
+                    max: s.value,
+                    last: s.value,
+                })
+                .collect();
+        };
+        aggregate(&self.range(node, monitor, from, to), width)
+    }
+
+    /// Every `(node, monitor)` series known to the store.
+    fn series(&self) -> Vec<(u32, String)>;
+
+    /// Drop all series of a node (node removed from the cluster).
+    fn forget_node(&self, node: u32);
+
+    /// Total samples ever appended (evicted/compacted ones included).
+    fn total_samples(&self) -> u64;
+
+    /// Flush buffered state to durable storage (no-op for volatile
+    /// backends).
+    fn flush(&self) {}
+}
+
+impl<S: Store + ?Sized> Store for std::sync::Arc<S> {
+    fn append(&self, node: u32, monitor: &str, time: SimTime, value: f64) {
+        (**self).append(node, monitor, time, value)
+    }
+    fn latest(&self, node: u32, monitor: &str) -> Option<Sample> {
+        (**self).latest(node, monitor)
+    }
+    fn range(&self, node: u32, monitor: &str, from: SimTime, to: SimTime) -> Vec<Sample> {
+        (**self).range(node, monitor, from, to)
+    }
+    fn range_agg(
+        &self,
+        node: u32,
+        monitor: &str,
+        from: SimTime,
+        to: SimTime,
+        res: Resolution,
+    ) -> Vec<AggBucket> {
+        (**self).range_agg(node, monitor, from, to, res)
+    }
+    fn series(&self) -> Vec<(u32, String)> {
+        (**self).series()
+    }
+    fn forget_node(&self, node: u32) {
+        (**self).forget_node(node)
+    }
+    fn total_samples(&self) -> u64 {
+        (**self).total_samples()
+    }
+    fn flush(&self) {
+        (**self).flush()
+    }
+}
+
+/// Aggregate time-ordered samples into fixed-width buckets aligned to
+/// the epoch (so buckets from different flushes line up).
+pub fn aggregate(samples: &[Sample], width_nanos: u64) -> Vec<AggBucket> {
+    let width = width_nanos.max(1);
+    let mut out: Vec<AggBucket> = Vec::new();
+    for s in samples {
+        let start = SimTime::from_nanos(s.time.as_nanos() / width * width);
+        match out.last_mut() {
+            Some(b) if b.start == start => {
+                b.count += 1;
+                b.min = b.min.min(s.value);
+                b.max = b.max.max(s.value);
+                b.mean += (s.value - b.mean) / b.count as f64;
+                b.last = s.value;
+            }
+            _ => out.push(AggBucket {
+                start,
+                count: 1,
+                min: s.value,
+                mean: s.value,
+                max: s.value,
+                last: s.value,
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwx_util::time::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn aggregate_builds_epoch_aligned_buckets() {
+        let samples: Vec<Sample> = (0..30)
+            .map(|i| Sample {
+                time: t(i),
+                value: i as f64,
+            })
+            .collect();
+        let buckets = aggregate(&samples, 10 * 1_000_000_000);
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0].start, t(0));
+        assert_eq!(buckets[1].start, t(10));
+        assert_eq!(buckets[0].count, 10);
+        assert_eq!(buckets[0].min, 0.0);
+        assert_eq!(buckets[0].max, 9.0);
+        assert_eq!(buckets[0].last, 9.0);
+        assert!((buckets[0].mean - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_single_timestamp_bucket() {
+        let samples = vec![
+            Sample {
+                time: t(7),
+                value: 1.0,
+            },
+            Sample {
+                time: t(7),
+                value: 3.0,
+            },
+        ];
+        let b = aggregate(&samples, 10 * 1_000_000_000);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].count, 2);
+        assert_eq!((b[0].min, b[0].max, b[0].last), (1.0, 3.0, 3.0));
+        assert!((b[0].mean - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resolution_tags_round_trip() {
+        for r in [
+            Resolution::Raw,
+            Resolution::TenSeconds,
+            Resolution::FiveMinutes,
+        ] {
+            assert_eq!(Resolution::from_tag(r.tag()), Some(r));
+        }
+        assert_eq!(Resolution::from_tag(9), None);
+    }
+}

@@ -1,0 +1,148 @@
+//! The volatile in-memory backend.
+//!
+//! A bounded ring of samples per `(node, monitor)` series — the storage
+//! the repository started with, kept as a [`Store`] backend because the
+//! deterministic simulation tests neither need nor want disk state.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use cwx_util::time::SimTime;
+use parking_lot::RwLock;
+
+use crate::{Sample, Store};
+
+/// Bounded per-series in-memory store.
+#[derive(Debug)]
+pub struct MemStore {
+    inner: RwLock<Inner>,
+    capacity_per_series: usize,
+}
+
+#[derive(Debug)]
+struct Inner {
+    series: BTreeMap<(u32, String), VecDeque<Sample>>,
+    total_samples: u64,
+}
+
+impl MemStore {
+    /// A store retaining at most `capacity_per_series` samples per
+    /// series (oldest evicted first).
+    pub fn new(capacity_per_series: usize) -> Self {
+        assert!(capacity_per_series > 0);
+        MemStore {
+            inner: RwLock::new(Inner {
+                series: BTreeMap::new(),
+                total_samples: 0,
+            }),
+            capacity_per_series,
+        }
+    }
+}
+
+impl Store for MemStore {
+    fn append(&self, node: u32, monitor: &str, time: SimTime, value: f64) {
+        let mut inner = self.inner.write();
+        let cap = self.capacity_per_series;
+        let q = inner.series.entry((node, monitor.to_string())).or_default();
+        if q.len() == cap {
+            q.pop_front();
+        }
+        q.push_back(Sample { time, value });
+        inner.total_samples += 1;
+    }
+
+    fn latest(&self, node: u32, monitor: &str) -> Option<Sample> {
+        self.inner
+            .read()
+            .series
+            .get(&(node, monitor.to_string()))
+            .and_then(|q| q.back().copied())
+    }
+
+    fn range(&self, node: u32, monitor: &str, from: SimTime, to: SimTime) -> Vec<Sample> {
+        self.inner
+            .read()
+            .series
+            .get(&(node, monitor.to_string()))
+            .map(|q| {
+                q.iter()
+                    .filter(|s| s.time >= from && s.time <= to)
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn series(&self) -> Vec<(u32, String)> {
+        self.inner.read().series.keys().cloned().collect()
+    }
+
+    fn forget_node(&self, node: u32) {
+        self.inner.write().series.retain(|(n, _), _| *n != node);
+    }
+
+    fn total_samples(&self) -> u64 {
+        self.inner.read().total_samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwx_util::time::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let m = MemStore::new(3);
+        for i in 0..5 {
+            m.append(1, "k", t(i), i as f64);
+        }
+        let all = m.range(1, "k", t(0), t(100));
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].value, 2.0);
+        assert_eq!(m.total_samples(), 5);
+    }
+
+    #[test]
+    fn series_listing_and_forget() {
+        let m = MemStore::new(8);
+        m.append(1, "a", t(1), 1.0);
+        m.append(2, "a", t(1), 2.0);
+        m.append(2, "b", t(1), 3.0);
+        assert_eq!(m.series().len(), 3);
+        m.forget_node(2);
+        assert_eq!(m.series(), vec![(1, "a".to_string())]);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let m = std::sync::Arc::new(MemStore::new(1024));
+        let writers: Vec<_> = (0..4u32)
+            .map(|node| {
+                let m = std::sync::Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        m.append(node, "k", t(i), i as f64);
+                    }
+                })
+            })
+            .collect();
+        let m2 = std::sync::Arc::clone(&m);
+        let reader = std::thread::spawn(move || {
+            let mut seen = 0usize;
+            for _ in 0..100 {
+                seen = seen.max(m2.range(0, "k", t(0), t(1000)).len());
+            }
+            seen
+        });
+        for w in writers {
+            w.join().unwrap();
+        }
+        reader.join().unwrap();
+        assert_eq!(m.total_samples(), 4 * 500);
+    }
+}

@@ -1,0 +1,331 @@
+//! Immutable on-disk segment files.
+//!
+//! A segment holds the samples (or downsampled buckets) of many series
+//! at one resolution. Layout, little-endian:
+//!
+//! ```text
+//! 8B  magic "CWXSEG1\n"
+//! u8  resolution tag (0 raw, 1 ten-second, 2 five-minute)
+//! u32 series count
+//! per series:
+//!   u32 node | u16 name_len | name bytes | u32 count
+//!   raw:  delta-of-delta timestamps, then XOR-varint values
+//!   tier: delta-of-delta bucket starts, varint counts, then XOR-varint
+//!         min / mean / max / last chains
+//! u32 crc32 over everything after the magic
+//! ```
+//!
+//! Segments are written to a temp file and atomically renamed into
+//! place, so a crash mid-flush leaves no partial segment behind. The
+//! reader verifies magic and CRC before parsing anything.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use cwx_util::time::SimTime;
+
+use crate::codec::{
+    crc32, get_timestamps, get_uvarint, get_values, put_timestamps, put_uvarint, put_values,
+};
+use crate::{AggBucket, Resolution, Sample, StoreError};
+
+const MAGIC: &[u8; 8] = b"CWXSEG1\n";
+
+/// One series' payload inside a segment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeriesData {
+    /// Raw samples, time-ordered.
+    Raw(Vec<Sample>),
+    /// Downsampled buckets, time-ordered.
+    Buckets(Vec<AggBucket>),
+}
+
+impl SeriesData {
+    /// Entry count.
+    pub fn len(&self) -> usize {
+        match self {
+            SeriesData::Raw(v) => v.len(),
+            SeriesData::Buckets(v) => v.len(),
+        }
+    }
+
+    /// True when no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Largest timestamp (bucket start for tiers).
+    pub fn max_time(&self) -> Option<SimTime> {
+        match self {
+            SeriesData::Raw(v) => v.last().map(|s| s.time),
+            SeriesData::Buckets(v) => v.last().map(|b| b.start),
+        }
+    }
+}
+
+/// A fully-decoded segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Tier.
+    pub resolution: Resolution,
+    /// Per-series payloads keyed by `(node, monitor)`.
+    pub series: Vec<((u32, String), SeriesData)>,
+}
+
+impl Segment {
+    /// Encode to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        body.push(self.resolution.tag());
+        body.extend_from_slice(&(self.series.len() as u32).to_le_bytes());
+        for ((node, name), data) in &self.series {
+            body.extend_from_slice(&node.to_le_bytes());
+            body.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            body.extend_from_slice(name.as_bytes());
+            body.extend_from_slice(&(data.len() as u32).to_le_bytes());
+            match data {
+                SeriesData::Raw(samples) => {
+                    let times: Vec<u64> = samples.iter().map(|s| s.time.as_nanos()).collect();
+                    let values: Vec<f64> = samples.iter().map(|s| s.value).collect();
+                    put_timestamps(&mut body, &times);
+                    put_values(&mut body, &values);
+                }
+                SeriesData::Buckets(buckets) => {
+                    let starts: Vec<u64> = buckets.iter().map(|b| b.start.as_nanos()).collect();
+                    put_timestamps(&mut body, &starts);
+                    for b in buckets {
+                        put_uvarint(&mut body, b.count);
+                    }
+                    for field in [
+                        |b: &AggBucket| b.min,
+                        |b: &AggBucket| b.mean,
+                        |b: &AggBucket| b.max,
+                        |b: &AggBucket| b.last,
+                    ] {
+                        let vals: Vec<f64> = buckets.iter().map(field).collect();
+                        put_values(&mut body, &vals);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(MAGIC.len() + body.len() + 4);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out
+    }
+
+    /// Decode and validate bytes produced by [`Segment::encode`].
+    pub fn decode(data: &[u8], origin: &Path) -> Result<Segment, StoreError> {
+        let corrupt = |reason| StoreError::CorruptSegment {
+            path: origin.to_path_buf(),
+            reason,
+        };
+        if data.len() < MAGIC.len() + 4 || &data[..MAGIC.len()] != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let body = &data[MAGIC.len()..data.len() - 4];
+        let stored = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+        if crc32(body) != stored {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], StoreError> {
+            let s = body
+                .get(*pos..*pos + n)
+                .ok_or_else(|| StoreError::CorruptSegment {
+                    path: origin.to_path_buf(),
+                    reason: "truncated body",
+                })?;
+            *pos += n;
+            Ok(s)
+        };
+        let resolution = Resolution::from_tag(take(&mut pos, 1)?[0])
+            .ok_or_else(|| corrupt("bad resolution tag"))?;
+        let n_series = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let mut series = Vec::with_capacity(n_series);
+        for _ in 0..n_series {
+            let node = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+            let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+            let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
+                .map_err(|_| corrupt("monitor name not utf-8"))?;
+            let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let decode_err = |_| StoreError::CorruptSegment {
+                path: origin.to_path_buf(),
+                reason: "varint stream truncated",
+            };
+            let data = if resolution == Resolution::Raw {
+                let times = get_timestamps(body, &mut pos, count).map_err(decode_err)?;
+                let values = get_values(body, &mut pos, count).map_err(decode_err)?;
+                SeriesData::Raw(
+                    times
+                        .into_iter()
+                        .zip(values)
+                        .map(|(t, value)| Sample {
+                            time: SimTime::from_nanos(t),
+                            value,
+                        })
+                        .collect(),
+                )
+            } else {
+                let starts = get_timestamps(body, &mut pos, count).map_err(decode_err)?;
+                let mut counts = Vec::with_capacity(count);
+                for _ in 0..count {
+                    counts.push(get_uvarint(body, &mut pos).map_err(decode_err)?);
+                }
+                let min = get_values(body, &mut pos, count).map_err(decode_err)?;
+                let mean = get_values(body, &mut pos, count).map_err(decode_err)?;
+                let max = get_values(body, &mut pos, count).map_err(decode_err)?;
+                let last = get_values(body, &mut pos, count).map_err(decode_err)?;
+                SeriesData::Buckets(
+                    (0..count)
+                        .map(|i| AggBucket {
+                            start: SimTime::from_nanos(starts[i]),
+                            count: counts[i],
+                            min: min[i],
+                            mean: mean[i],
+                            max: max[i],
+                            last: last[i],
+                        })
+                        .collect(),
+                )
+            };
+            series.push(((node, name), data));
+        }
+        Ok(Segment { resolution, series })
+    }
+
+    /// Write atomically to `path` (temp file + rename).
+    pub fn write_to(&self, path: &Path) -> Result<(), StoreError> {
+        let tmp: PathBuf = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&self.encode())?;
+            f.sync_data().ok();
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read and validate the segment at `path`.
+    pub fn read_from(path: &Path) -> Result<Segment, StoreError> {
+        let data = std::fs::read(path)?;
+        Segment::decode(&data, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwx_util::time::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    fn raw_segment() -> Segment {
+        Segment {
+            resolution: Resolution::Raw,
+            series: vec![
+                (
+                    (3, "cpu.util".to_string()),
+                    SeriesData::Raw(
+                        (0..100)
+                            .map(|i| Sample {
+                                time: t(i * 5),
+                                value: i as f64 * 0.5,
+                            })
+                            .collect(),
+                    ),
+                ),
+                ((9, "mem.free".to_string()), SeriesData::Raw(vec![])),
+            ],
+        }
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        let seg = raw_segment();
+        let back = Segment::decode(&seg.encode(), Path::new("mem")).unwrap();
+        assert_eq!(back, seg);
+    }
+
+    #[test]
+    fn tier_round_trip() {
+        let seg = Segment {
+            resolution: Resolution::TenSeconds,
+            series: vec![(
+                (1, "load.one".to_string()),
+                SeriesData::Buckets(
+                    (0..50)
+                        .map(|i| AggBucket {
+                            start: t(i * 10),
+                            count: 10,
+                            min: i as f64,
+                            mean: i as f64 + 0.5,
+                            max: i as f64 + 1.0,
+                            last: i as f64 + 0.25,
+                        })
+                        .collect(),
+                ),
+            )],
+        };
+        let back = Segment::decode(&seg.encode(), Path::new("mem")).unwrap();
+        assert_eq!(back, seg);
+    }
+
+    #[test]
+    fn fixed_interval_series_compress_well() {
+        let seg = raw_segment();
+        let bytes = seg.encode();
+        // 100 samples, mostly 1-byte dd + small value xors, plus headers
+        assert!(
+            bytes.len() < 100 * 16,
+            "{} bytes should beat raw 16B/sample",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn flipped_bit_fails_checksum() {
+        let mut bytes = raw_segment().encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        let err = Segment::decode(&bytes, Path::new("mem")).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::CorruptSegment {
+                reason: "checksum mismatch",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = Segment::decode(b"NOTASEGMENT!", Path::new("mem")).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::CorruptSegment {
+                reason: "bad magic",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn atomic_write_and_read_back() {
+        let dir = std::env::temp_dir().join(format!("cwx-seg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg-00000001-r0.seg");
+        let seg = raw_segment();
+        seg.write_to(&path).unwrap();
+        assert_eq!(Segment::read_from(&path).unwrap(), seg);
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "temp file renamed away"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -97,7 +97,11 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
     out.push(0);
     let mut flag_bit = 0u8;
 
-    let push_token = |out: &mut Vec<u8>, flag_pos: &mut usize, flag_bit: &mut u8, emit: &[u8], is_literal: bool| {
+    let push_token = |out: &mut Vec<u8>,
+                      flag_pos: &mut usize,
+                      flag_bit: &mut u8,
+                      emit: &[u8],
+                      is_literal: bool| {
         if *flag_bit == 8 {
             *flag_pos = out.len();
             out.push(0);
@@ -210,7 +214,10 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DecompressError> {
         }
     }
     if out.len() != declared {
-        return Err(DecompressError::LengthMismatch { declared, produced: out.len() });
+        return Err(DecompressError::LengthMismatch {
+            declared,
+            produced: out.len(),
+        });
     }
     Ok(out)
 }
@@ -246,7 +253,12 @@ mod tests {
         let c = compress(text.as_bytes());
         assert_eq!(decompress(&c).unwrap(), text.as_bytes());
         // highly repetitive: expect at least 5x reduction
-        assert!(c.len() * 5 < text.len(), "only got {} -> {}", text.len(), c.len());
+        assert!(
+            c.len() * 5 < text.len(),
+            "only got {} -> {}",
+            text.len(),
+            c.len()
+        );
     }
 
     #[test]
@@ -255,7 +267,11 @@ mod tests {
         let text = vec![b'a'; 1000];
         let c = compress(&text);
         assert_eq!(decompress(&c).unwrap(), text);
-        assert!(c.len() < 160, "RLE-like input should collapse, got {}", c.len());
+        assert!(
+            c.len() < 160,
+            "RLE-like input should collapse, got {}",
+            c.len()
+        );
     }
 
     #[test]
@@ -288,7 +304,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic() {
-        assert_eq!(decompress(b"NOPE\x00\x00\x00\x00"), Err(DecompressError::BadMagic));
+        assert_eq!(
+            decompress(b"NOPE\x00\x00\x00\x00"),
+            Err(DecompressError::BadMagic)
+        );
     }
 
     #[test]
@@ -300,7 +319,10 @@ mod tests {
     fn rejects_truncated_stream() {
         let mut c = compress(b"hello world hello world hello world");
         c.truncate(c.len() - 3);
-        assert!(matches!(decompress(&c), Err(DecompressError::UnexpectedEnd)));
+        assert!(matches!(
+            decompress(&c),
+            Err(DecompressError::UnexpectedEnd)
+        ));
     }
 
     #[test]
@@ -312,7 +334,10 @@ mod tests {
         c.push(0b0000_0000); // first token: match
         c.push(0xFF); // offset low
         c.push(0xF0); // offset high nibble, len code 0
-        assert!(matches!(decompress(&c), Err(DecompressError::BadOffset { .. })));
+        assert!(matches!(
+            decompress(&c),
+            Err(DecompressError::BadOffset { .. })
+        ));
     }
 
     #[test]

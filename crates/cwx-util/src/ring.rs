@@ -26,7 +26,13 @@ impl ByteRing {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ByteRing capacity must be nonzero");
-        ByteRing { buf: vec![0; capacity], capacity, head: 0, len: 0, total_written: 0 }
+        ByteRing {
+            buf: vec![0; capacity],
+            capacity,
+            head: 0,
+            len: 0,
+            total_written: 0,
+        }
     }
 
     /// Maximum number of bytes retained.

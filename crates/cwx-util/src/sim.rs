@@ -74,7 +74,13 @@ pub struct Sim<W> {
 impl<W> Sim<W> {
     /// Create a simulator at time zero owning `world`.
     pub fn new(world: W) -> Self {
-        Sim { world, now: SimTime::ZERO, seq: 0, queue: BinaryHeap::new(), executed: 0 }
+        Sim {
+            world,
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+        }
     }
 
     /// Current simulated time.
@@ -115,7 +121,11 @@ impl<W> Sim<W> {
         let time = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Entry { time, seq, f: Box::new(f) }));
+        self.queue.push(Reverse(Entry {
+            time,
+            seq,
+            f: Box::new(f),
+        }));
     }
 
     /// Schedule `f` to run `delay` after the current time.
@@ -268,7 +278,9 @@ mod tests {
         fn chain(sim: &mut Sim<u64>, remaining: u64) {
             *sim.world_mut() += 1;
             if remaining > 0 {
-                sim.schedule_in(SimDuration::from_nanos(1), move |sim| chain(sim, remaining - 1));
+                sim.schedule_in(SimDuration::from_nanos(1), move |sim| {
+                    chain(sim, remaining - 1)
+                });
             }
         }
         let mut sim = Sim::new(0u64);

@@ -235,7 +235,10 @@ mod tests {
     fn duration_arithmetic_saturates() {
         let a = SimDuration::from_nanos(u64::MAX);
         assert_eq!((a + a).as_nanos(), u64::MAX);
-        assert_eq!((SimDuration::from_nanos(1) - SimDuration::from_nanos(2)).as_nanos(), 0);
+        assert_eq!(
+            (SimDuration::from_nanos(1) - SimDuration::from_nanos(2)).as_nanos(),
+            0
+        );
         assert_eq!((a * 3).as_nanos(), u64::MAX);
     }
 

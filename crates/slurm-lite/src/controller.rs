@@ -39,8 +39,14 @@ pub enum SlurmError {
 impl std::fmt::Display for SlurmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SlurmError::TooLarge { requested, partition_size } => {
-                write!(f, "job needs {requested} nodes, partition has {partition_size}")
+            SlurmError::TooLarge {
+                requested,
+                partition_size,
+            } => {
+                write!(
+                    f,
+                    "job needs {requested} nodes, partition has {partition_size}"
+                )
             }
             SlurmError::NoSuchPartition(p) => write!(f, "no such partition: {p}"),
             SlurmError::NoSuchJob(id) => write!(f, "no such job: {id}"),
@@ -317,7 +323,9 @@ impl Controller {
                 .nodes
                 .iter()
                 .zip(&self.shared)
-                .filter(|(n, shared)| matches!(n, NodeAllocState::Allocated(_)) || !shared.is_empty())
+                .filter(|(n, shared)| {
+                    matches!(n, NodeAllocState::Allocated(_)) || !shared.is_empty()
+                })
                 .count();
             self.stats.busy_node_secs += busy as f64 * dt;
             self.last_advance = now;
@@ -334,7 +342,11 @@ impl Controller {
         for id in due {
             let job = self.jobs.get_mut(&id).expect("running job exists");
             let timed_out = job.request.actual_runtime > job.request.time_limit;
-            job.state = if timed_out { JobState::TimedOut } else { JobState::Completed };
+            job.state = if timed_out {
+                JobState::TimedOut
+            } else {
+                JobState::Completed
+            };
             job.ended = job.expected_end();
             let allocation = std::mem::take(&mut job.allocation);
             let exclusive = job.request.exclusive;
@@ -393,7 +405,11 @@ impl Controller {
             let id = order[i];
             let (nodes_needed, partition, exclusive) = {
                 let j = &self.jobs[&id];
-                (j.request.nodes, self.partitions[&j.request.partition].clone(), j.request.exclusive)
+                (
+                    j.request.nodes,
+                    self.partitions[&j.request.partition].clone(),
+                    j.request.exclusive,
+                )
             };
             let idle = if exclusive {
                 self.idle_in(&partition)
@@ -447,7 +463,11 @@ impl Controller {
                 if j.request.partition.as_str() != "" && partition.is_empty() {
                     continue;
                 }
-                (j.request.nodes as usize, j.request.time_limit, j.request.exclusive)
+                (
+                    j.request.nodes as usize,
+                    j.request.time_limit,
+                    j.request.exclusive,
+                )
             };
             let idle = if exclusive {
                 self.idle_in(partition)
@@ -488,7 +508,9 @@ mod tests {
     #[test]
     fn submit_and_run_to_completion() {
         let mut c = Controller::new(4, SchedulerKind::Fifo);
-        let id = c.submit(t(0), JobRequest::batch("alice", 2, 100, 60)).unwrap();
+        let id = c
+            .submit(t(0), JobRequest::batch("alice", 2, 100, 60))
+            .unwrap();
         c.advance(t(0));
         assert_eq!(c.job(id).unwrap().state, JobState::Running);
         assert_eq!(c.job(id).unwrap().allocation.len(), 2);
@@ -527,10 +549,12 @@ mod tests {
         let build = |kind| {
             let mut c = Controller::new(4, kind);
             // wide long job takes everything
-            c.submit(t(0), JobRequest::batch("w", 4, 1000, 1000)).unwrap();
+            c.submit(t(0), JobRequest::batch("w", 4, 1000, 1000))
+                .unwrap();
             c.advance(t(0));
             // head needs all 4 nodes -> blocked until t=1000
-            c.submit(t(1), JobRequest::batch("head", 4, 1000, 1000)).unwrap();
+            c.submit(t(1), JobRequest::batch("head", 4, 1000, 1000))
+                .unwrap();
             // a small short job that fits in the shadow... no idle nodes
             // though; free a couple first
             c
@@ -538,32 +562,54 @@ mod tests {
         // variant with idle nodes: wide job takes 2 of 4
         let run = |kind| {
             let mut c = Controller::new(4, kind);
-            c.submit(t(0), JobRequest::batch("w", 2, 1000, 1000)).unwrap();
+            c.submit(t(0), JobRequest::batch("w", 2, 1000, 1000))
+                .unwrap();
             c.advance(t(0));
-            let head = c.submit(t(1), JobRequest::batch("head", 4, 1000, 1000)).unwrap();
-            let small = c.submit(t(2), JobRequest::batch("small", 1, 100, 100)).unwrap();
+            let head = c
+                .submit(t(1), JobRequest::batch("head", 4, 1000, 1000))
+                .unwrap();
+            let small = c
+                .submit(t(2), JobRequest::batch("small", 1, 100, 100))
+                .unwrap();
             c.advance(t(2));
             (c.job(head).unwrap().state, c.job(small).unwrap().state)
         };
         let _ = build;
         let (head_f, small_f) = run(SchedulerKind::Fifo);
         assert_eq!(head_f, JobState::Pending);
-        assert_eq!(small_f, JobState::Pending, "FIFO: blocked head blocks the queue");
+        assert_eq!(
+            small_f,
+            JobState::Pending,
+            "FIFO: blocked head blocks the queue"
+        );
         let (head_b, small_b) = run(SchedulerKind::Backfill);
         assert_eq!(head_b, JobState::Pending);
-        assert_eq!(small_b, JobState::Running, "backfill slips the short job in");
+        assert_eq!(
+            small_b,
+            JobState::Running,
+            "backfill slips the short job in"
+        );
     }
 
     #[test]
     fn backfill_cannot_delay_the_head_job() {
         let mut c = Controller::new(4, SchedulerKind::Backfill);
-        c.submit(t(0), JobRequest::batch("w", 2, 1000, 1000)).unwrap();
+        c.submit(t(0), JobRequest::batch("w", 2, 1000, 1000))
+            .unwrap();
         c.advance(t(0));
-        let head = c.submit(t(1), JobRequest::batch("head", 4, 1000, 1000)).unwrap();
+        let head = c
+            .submit(t(1), JobRequest::batch("head", 4, 1000, 1000))
+            .unwrap();
         // long job that WOULD delay the head (2 nodes, 5000s > shadow)
-        let long = c.submit(t(2), JobRequest::batch("long", 2, 5000, 5000)).unwrap();
+        let long = c
+            .submit(t(2), JobRequest::batch("long", 2, 5000, 5000))
+            .unwrap();
         c.advance(t(2));
-        assert_eq!(c.job(long).unwrap().state, JobState::Pending, "must not delay head");
+        assert_eq!(
+            c.job(long).unwrap().state,
+            JobState::Pending,
+            "must not delay head"
+        );
         // head eventually runs at the shadow time
         c.advance(t(1000));
         assert_eq!(c.job(head).unwrap().state, JobState::Running);
@@ -572,7 +618,9 @@ mod tests {
     #[test]
     fn node_failure_kills_and_requeues() {
         let mut c = Controller::new(3, SchedulerKind::Fifo);
-        let id = c.submit(t(0), JobRequest::batch("a", 2, 1000, 500)).unwrap();
+        let id = c
+            .submit(t(0), JobRequest::batch("a", 2, 1000, 500))
+            .unwrap();
         c.advance(t(0));
         let victim = c.job(id).unwrap().allocation[0];
         c.node_fail(t(100), victim);
@@ -580,8 +628,7 @@ mod tests {
         assert_eq!(c.stats().node_failed, 1);
         // requeued under a new id and running on surviving nodes
         c.advance(t(100));
-        let requeued: Vec<&Job> =
-            c.jobs().filter(|j| j.state == JobState::Running).collect();
+        let requeued: Vec<&Job> = c.jobs().filter(|j| j.state == JobState::Running).collect();
         assert_eq!(requeued.len(), 1);
         assert!(!requeued[0].allocation.contains(&victim));
         // failed node comes back
@@ -598,7 +645,11 @@ mod tests {
         c.cancel(t(10), a).unwrap();
         assert_eq!(c.job(a).unwrap().state, JobState::Cancelled);
         c.advance(t(10));
-        assert_eq!(c.job(b).unwrap().state, JobState::Running, "freed nodes reused");
+        assert_eq!(
+            c.job(b).unwrap().state,
+            JobState::Running,
+            "freed nodes reused"
+        );
         c.cancel(t(20), b).unwrap();
         assert_eq!(c.cancel(t(21), b), Err(SlurmError::AlreadyFinished(b)));
     }
@@ -608,11 +659,17 @@ mod tests {
         let mut c = Controller::new(2, SchedulerKind::Fifo);
         assert!(matches!(
             c.submit(t(0), JobRequest::batch("a", 3, 10, 10)),
-            Err(SlurmError::TooLarge { requested: 3, partition_size: 2 })
+            Err(SlurmError::TooLarge {
+                requested: 3,
+                partition_size: 2
+            })
         ));
         let mut req = JobRequest::batch("a", 1, 10, 10);
         req.partition = "gpu".into();
-        assert!(matches!(c.submit(t(0), req), Err(SlurmError::NoSuchPartition(_))));
+        assert!(matches!(
+            c.submit(t(0), req),
+            Err(SlurmError::NoSuchPartition(_))
+        ));
     }
 
     #[test]
@@ -624,14 +681,19 @@ mod tests {
         let id = c.submit(t(0), req).unwrap();
         c.advance(t(0));
         let alloc = &c.job(id).unwrap().allocation;
-        assert!(alloc.iter().all(|n| *n >= 2), "io partition nodes only: {alloc:?}");
+        assert!(
+            alloc.iter().all(|n| *n >= 2),
+            "io partition nodes only: {alloc:?}"
+        );
     }
 
     #[test]
     fn failover_replica_carries_on() {
         let mut primary = Controller::new(4, SchedulerKind::Backfill);
         for k in 0..6 {
-            primary.submit(t(0), JobRequest::batch("u", 1 + k % 3, 200, 100 + k as u64)).unwrap();
+            primary
+                .submit(t(0), JobRequest::batch("u", 1 + k % 3, 200, 100 + k as u64))
+                .unwrap();
         }
         primary.advance(t(0));
         // replicate to the backup host, then the primary dies
@@ -650,10 +712,16 @@ mod tests {
         let mut c = Controller::new(2, SchedulerKind::Backfill);
         c.set_priority_fn(crate::sched::maui_like_priority);
         // hold the cluster briefly so both submissions queue
-        let hold = c.submit(t(0), JobRequest::batch("hold", 2, 50, 50)).unwrap();
+        let hold = c
+            .submit(t(0), JobRequest::batch("hold", 2, 50, 50))
+            .unwrap();
         c.advance(t(0));
-        let big = c.submit(t(1), JobRequest::batch("big", 2, 10_000, 100)).unwrap();
-        let small = c.submit(t(2), JobRequest::batch("small", 1, 60, 60)).unwrap();
+        let big = c
+            .submit(t(1), JobRequest::batch("big", 2, 10_000, 100))
+            .unwrap();
+        let small = c
+            .submit(t(2), JobRequest::batch("small", 1, 60, 60))
+            .unwrap();
         c.advance(t(50));
         let _ = hold;
         // despite 'big' being first by submission, maui-like priority
@@ -686,7 +754,10 @@ mod shared_tests {
     }
 
     fn shared_req(nodes: u32, limit: u64, runtime: u64) -> JobRequest {
-        JobRequest { exclusive: false, ..JobRequest::batch("s", nodes, limit, runtime) }
+        JobRequest {
+            exclusive: false,
+            ..JobRequest::batch("s", nodes, limit, runtime)
+        }
     }
 
     #[test]
@@ -698,8 +769,16 @@ mod shared_tests {
         let third = c.submit(t(0), shared_req(1, 100, 100)).unwrap();
         c.advance(t(0));
         assert_eq!(c.job(a).unwrap().state, JobState::Running);
-        assert_eq!(c.job(b).unwrap().state, JobState::Running, "two shared jobs on one dual-cpu node");
-        assert_eq!(c.job(third).unwrap().state, JobState::Pending, "no third slot");
+        assert_eq!(
+            c.job(b).unwrap().state,
+            JobState::Running,
+            "two shared jobs on one dual-cpu node"
+        );
+        assert_eq!(
+            c.job(third).unwrap().state,
+            JobState::Pending,
+            "no third slot"
+        );
         assert_eq!(c.shared_jobs(0), &[a, b]);
         // a completes, the third slips in
         c.advance(t(100));
@@ -727,7 +806,9 @@ mod shared_tests {
     #[test]
     fn shared_jobs_cannot_enter_exclusive_nodes() {
         let mut c = Controller::new(1, SchedulerKind::Fifo);
-        let excl = c.submit(t(0), JobRequest::batch("e", 1, 1000, 1000)).unwrap();
+        let excl = c
+            .submit(t(0), JobRequest::batch("e", 1, 1000, 1000))
+            .unwrap();
         c.advance(t(0));
         assert_eq!(c.job(excl).unwrap().state, JobState::Running);
         let sh = c.submit(t(1), shared_req(1, 100, 100)).unwrap();

@@ -97,7 +97,8 @@ impl Job {
 
     /// When the job will finish if it runs to its actual runtime.
     pub fn expected_end(&self) -> Option<SimTime> {
-        self.started.map(|s| s + self.request.actual_runtime.min(self.request.time_limit))
+        self.started
+            .map(|s| s + self.request.actual_runtime.min(self.request.time_limit))
     }
 
     /// The latest time the scheduler must assume the job holds its
@@ -141,7 +142,10 @@ mod tests {
             SimTime::ZERO + SimDuration::from_secs(70),
             "actual runtime below the limit"
         );
-        assert_eq!(j.limit_end().unwrap(), SimTime::ZERO + SimDuration::from_secs(110));
+        assert_eq!(
+            j.limit_end().unwrap(),
+            SimTime::ZERO + SimDuration::from_secs(110)
+        );
     }
 
     #[test]
@@ -156,6 +160,9 @@ mod tests {
             allocation: vec![0],
             backfilled: false,
         };
-        assert_eq!(j.expected_end().unwrap(), SimTime::ZERO + SimDuration::from_secs(50));
+        assert_eq!(
+            j.expected_end().unwrap(),
+            SimTime::ZERO + SimDuration::from_secs(50)
+        );
     }
 }

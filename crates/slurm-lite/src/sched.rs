@@ -59,7 +59,10 @@ mod tests {
     #[test]
     fn fifo_priority_is_flat() {
         let now = SimTime::ZERO + SimDuration::from_secs(100);
-        assert_eq!(fifo_priority(&job(1, 60, 0), now), fifo_priority(&job(64, 86_400, 99), now));
+        assert_eq!(
+            fifo_priority(&job(1, 60, 0), now),
+            fifo_priority(&job(64, 86_400, 99), now)
+        );
     }
 
     #[test]

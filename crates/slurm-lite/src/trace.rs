@@ -91,10 +91,7 @@ pub fn generate(rng: &mut StdRng, cfg: &TraceConfig, n: usize) -> Vec<TraceJob> 
 }
 
 /// Run a trace to completion on a controller; returns the makespan.
-pub fn run_trace(
-    controller: &mut crate::Controller,
-    trace: &[TraceJob],
-) -> SimTime {
+pub fn run_trace(controller: &mut crate::Controller, trace: &[TraceJob]) -> SimTime {
     let mut now = SimTime::ZERO;
     let mut i = 0;
     loop {
@@ -130,17 +127,26 @@ mod tests {
         let b = generate(&mut rng(5), &cfg, 50);
         assert_eq!(a, b);
         assert!(a.windows(2).all(|w| w[0].submit <= w[1].submit));
-        assert!(a.iter().all(|j| j.request.nodes >= 1 && j.request.nodes <= 32));
+        assert!(a
+            .iter()
+            .all(|j| j.request.nodes >= 1 && j.request.nodes <= 32));
     }
 
     #[test]
     fn run_trace_completes_every_job() {
-        let cfg = TraceConfig { cluster_nodes: 16, mean_interarrival_secs: 60.0, ..Default::default() };
+        let cfg = TraceConfig {
+            cluster_nodes: 16,
+            mean_interarrival_secs: 60.0,
+            ..Default::default()
+        };
         let trace = generate(&mut rng(9), &cfg, 100);
         let mut c = Controller::new(16, SchedulerKind::Backfill);
         let makespan = run_trace(&mut c, &trace);
         assert!(makespan > SimTime::ZERO);
-        assert!(c.jobs().all(|j| j.state.is_terminal()), "every job reaches a terminal state");
+        assert!(
+            c.jobs().all(|j| j.state.is_terminal()),
+            "every job reaches a terminal state"
+        );
         let s = c.stats();
         assert_eq!(s.submitted, 100);
         assert_eq!(s.completed + s.timed_out, 100);
@@ -148,7 +154,11 @@ mod tests {
 
     #[test]
     fn backfill_beats_fifo_on_wait_time() {
-        let cfg = TraceConfig { cluster_nodes: 32, mean_interarrival_secs: 30.0, ..Default::default() };
+        let cfg = TraceConfig {
+            cluster_nodes: 32,
+            mean_interarrival_secs: 30.0,
+            ..Default::default()
+        };
         let trace = generate(&mut rng(11), &cfg, 200);
         let run = |kind| {
             let mut c = Controller::new(32, kind);
@@ -168,7 +178,10 @@ mod tests {
 
     #[test]
     fn some_jobs_time_out_by_design() {
-        let cfg = TraceConfig { underestimate_fraction: 0.3, ..Default::default() };
+        let cfg = TraceConfig {
+            underestimate_fraction: 0.3,
+            ..Default::default()
+        };
         let trace = generate(&mut rng(3), &cfg, 100);
         let mut c = Controller::new(64, SchedulerKind::Backfill);
         run_trace(&mut c, &trace);

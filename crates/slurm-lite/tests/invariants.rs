@@ -55,7 +55,11 @@ fn check_invariants(c: &Controller, n_nodes: u32) {
     // 2. every exclusively-held node's owner is running
     for (n, id) in &node_owner {
         let job = c.job(*id).expect("owner exists");
-        assert_eq!(job.state, JobState::Running, "node {n} held by non-running job");
+        assert_eq!(
+            job.state,
+            JobState::Running,
+            "node {n} held by non-running job"
+        );
     }
     // 3. shared slot lists only running jobs, within capacity
     for n in 0..n_nodes {

@@ -35,7 +35,12 @@ fn main() {
     // nodes" then reclone
     mgr.update(custom, &["kernel-2.4.20"], 12 << 20).unwrap();
     let image = mgr.get(custom).unwrap();
-    println!("\ncustom image: {} v{} ({} MiB)", image.name, image.version, image.size_bytes >> 20);
+    println!(
+        "\ncustom image: {} v{} ({} MiB)",
+        image.name,
+        image.version,
+        image.size_bytes >> 20
+    );
 
     let n = 100;
     let cfg = CloneConfig {
@@ -47,7 +52,10 @@ fn main() {
         ..CloneConfig::default()
     };
 
-    println!("\ncloning {} MiB to {n} nodes over one fast Ethernet (0.5% chunk loss)...", image.size_bytes >> 20);
+    println!(
+        "\ncloning {} MiB to {n} nodes over one fast Ethernet (0.5% chunk loss)...",
+        image.size_bytes >> 20
+    );
     let mc = run_clone(42, n, FAST_ETHERNET_BPS, 0.005, cfg.clone());
     println!(
         "  multicast: stream {:.1}s, all data at {:.1}s, all nodes rebooted at {:.1} min",
@@ -69,7 +77,10 @@ fn main() {
         n,
         FAST_ETHERNET_BPS,
         0.005,
-        CloneConfig { strategy: RepairStrategy::Unicast, ..cfg },
+        CloneConfig {
+            strategy: RepairStrategy::Unicast,
+            ..cfg
+        },
     );
     println!(
         "  unicast: all nodes rebooted at {:.1} min, wire {:.2} GB",

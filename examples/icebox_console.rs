@@ -80,7 +80,11 @@ fn main() {
     for line in ["VERSION\r", "POWER ON ALL\r", "STATUS\r"] {
         let cmd = parse_simp(line).expect("valid command");
         let (resp, effects) = execute(&mut ib, now, cmd);
-        print!("  > {}\n  {}", line.trim_end(), render_response(None, &resp));
+        print!(
+            "  > {}\n  {}",
+            line.trim_end(),
+            render_response(None, &resp)
+        );
         if !effects.is_empty() {
             println!("  ({} relay effects, sequenced)", effects.len());
             for e in effects.iter().take(3) {
@@ -93,16 +97,28 @@ fn main() {
     for i in 0..10u8 {
         ib.record_probe(
             PortId(i),
-            ProbeReading { temp_c: 40.0 + i as f64, watts: 120.0 + 5.0 * i as f64, fan_rpm: 6000.0 },
+            ProbeReading {
+                temp_c: 40.0 + i as f64,
+                watts: 120.0 + 5.0 * i as f64,
+                fan_rpm: 6000.0,
+            },
         );
     }
 
     // --- NIMP session (network) ---
     println!("\nNIMP (network) session:");
-    for frame in ["NIMP1 1 TEMPS\n", "NIMP1 2 RESET 3\n", "NIMP1 3 POWER CYCLE 9\n"] {
+    for frame in [
+        "NIMP1 1 TEMPS\n",
+        "NIMP1 2 RESET 3\n",
+        "NIMP1 3 POWER CYCLE 9\n",
+    ] {
         let (seq, cmd) = parse_nimp(frame).expect("valid frame");
         let (resp, _) = execute(&mut ib, now, cmd);
-        print!("  > {}  {}", frame.trim_end(), render_response(Some(seq), &resp));
+        print!(
+            "  > {}  {}",
+            frame.trim_end(),
+            render_response(Some(seq), &resp)
+        );
     }
 
     // --- SNMP table ---
@@ -114,7 +130,10 @@ fn main() {
     // --- console capture / post-mortem ---
     let victim = PortId(2);
     for i in 0..40 {
-        ib.feed_console(victim, format!("eth0: NETDEV WATCHDOG: transmit timed out ({i})\n").as_bytes());
+        ib.feed_console(
+            victim,
+            format!("eth0: NETDEV WATCHDOG: transmit timed out ({i})\n").as_bytes(),
+        );
     }
     ib.feed_console(victim, b"Kernel panic: Aiee, killing interrupt handler!\n");
     let cmd = parse_simp("CONSOLE 2").unwrap();

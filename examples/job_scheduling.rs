@@ -18,12 +18,19 @@ fn main() {
         ..TraceConfig::default()
     };
     let trace = generate(&mut rng(2003), &cfg, 500);
-    println!("generated {} jobs (Poisson arrivals, log-uniform runtimes)", trace.len());
+    println!(
+        "generated {} jobs (Poisson arrivals, log-uniform runtimes)",
+        trace.len()
+    );
 
     for (label, kind, maui) in [
         ("FIFO", SchedulerKind::Fifo, false),
         ("EASY backfill", SchedulerKind::Backfill, false),
-        ("backfill + Maui-like priority", SchedulerKind::Backfill, true),
+        (
+            "backfill + Maui-like priority",
+            SchedulerKind::Backfill,
+            true,
+        ),
     ] {
         let mut ctl = Controller::new(64, kind);
         if maui {
@@ -44,9 +51,15 @@ fn main() {
     println!("\nAPI walkthrough:");
     let mut ctl = Controller::new(8, SchedulerKind::Backfill);
     let t0 = cwx_util::time::SimTime::ZERO;
-    let a = ctl.submit(t0, JobRequest::batch("alice", 4, 3600, 1800)).unwrap();
-    let b = ctl.submit(t0, JobRequest::batch("bob", 8, 3600, 600)).unwrap();
-    let c = ctl.submit(t0, JobRequest::batch("carol", 2, 600, 300)).unwrap();
+    let a = ctl
+        .submit(t0, JobRequest::batch("alice", 4, 3600, 1800))
+        .unwrap();
+    let b = ctl
+        .submit(t0, JobRequest::batch("bob", 8, 3600, 600))
+        .unwrap();
+    let c = ctl
+        .submit(t0, JobRequest::batch("carol", 2, 600, 300))
+        .unwrap();
     ctl.advance(t0);
     for id in [a, b, c] {
         let j = ctl.job(id).unwrap();

@@ -21,7 +21,11 @@ fn main() {
         workload: WorkloadMix::Idle, // jobs provide the load
         ..Default::default()
     });
-    attach_scheduler(&mut sim, SchedulerKind::Backfill, SimDuration::from_secs(10));
+    attach_scheduler(
+        &mut sim,
+        SchedulerKind::Backfill,
+        SimDuration::from_secs(10),
+    );
     sim.run_for(SimDuration::from_secs(120)); // boot
 
     // a small queue: one wide job, several small ones
@@ -56,7 +60,10 @@ fn main() {
     // hardware failure mid-job
     let victim = {
         let ctl = &sim.world().scheduler.as_ref().unwrap().controller;
-        ctl.jobs().find(|j| j.state == JobState::Running).unwrap().allocation[0]
+        ctl.jobs()
+            .find(|j| j.state == JobState::Running)
+            .unwrap()
+            .allocation[0]
     };
     println!("\ninjecting fan failure on allocated node{victim:03}...");
     let at = sim.now() + SimDuration::from_secs(10);
@@ -87,6 +94,10 @@ fn main() {
     }
 
     assert!(ctl.stats().node_failed >= 1);
-    assert!(w.server.outbox().iter().any(|m| m.event == "cpu-fan-failure"));
+    assert!(w
+        .server
+        .outbox()
+        .iter()
+        .any(|m| m.event == "cpu-fan-failure"));
     println!("\njob requeued, node contained, administrator informed — the loop closed.");
 }

@@ -40,7 +40,14 @@ fn drive<S: ProcSource + Clone>(src: S, label: &str) {
         now += SimDuration::from_secs(5);
         std::thread::sleep(Duration::from_millis(150)); // let real counters move
         let out = agent
-            .tick(now, Sensors { udp_echo_ok: true, cpu_temp_c: 47.0, ..Default::default() })
+            .tick(
+                now,
+                Sensors {
+                    udp_echo_ok: true,
+                    cpu_temp_c: 47.0,
+                    ..Default::default()
+                },
+            )
             .expect("tick");
         println!(
             "  tick {tick}: {:>3} values changed, {:>5} B raw -> {:>4} B wire",
@@ -49,7 +56,13 @@ fn drive<S: ProcSource + Clone>(src: S, label: &str) {
             out.wire_len
         );
         if tick == 0 {
-            let interesting = ["mem.total", "mem.free", "load.one", "cpu.count", "uptime.secs"];
+            let interesting = [
+                "mem.total",
+                "mem.free",
+                "load.one",
+                "cpu.count",
+                "uptime.secs",
+            ];
             for (k, v) in &out.report.values {
                 if interesting.contains(&k.0.as_str()) {
                     println!("         {k} = {}", v.render());

@@ -29,16 +29,29 @@ fn main() {
     println!("{}", dashboard::render(world, now));
 
     let stats = world.server.stats();
-    println!("server: {} reports, {} values, {} wire bytes, {} decode errors",
-        stats.reports_rx, stats.values_rx, stats.bytes_rx, stats.decode_errors);
+    println!(
+        "server: {} reports, {} values, {} wire bytes, {} decode errors",
+        stats.reports_rx, stats.values_rx, stats.bytes_rx, stats.decode_errors
+    );
 
     // historical graphing: chart one node's CPU over the run
     let key = MonitorKey::new("cpu.util_pct");
-    let buckets = world.server.history().downsample(5, &key, cwx_util::time::SimTime::ZERO, now, 12);
-    println!("\nnode005 cpu.util_pct history ({} buckets):", buckets.len());
+    let buckets =
+        world
+            .server
+            .history()
+            .downsample(5, &key, cwx_util::time::SimTime::ZERO, now, 12);
+    println!(
+        "\nnode005 cpu.util_pct history ({} buckets):",
+        buckets.len()
+    );
     for b in buckets {
         let bar = "#".repeat((b.mean / 4.0) as usize);
-        println!("  t={:>6.0}s  mean={:>5.1}%  {bar}", b.start.as_secs_f64(), b.mean);
+        println!(
+            "  t={:>6.0}s  mean={:>5.1}%  {bar}",
+            b.start.as_secs_f64(),
+            b.mean
+        );
     }
 
     // compare performance between nodes (paper: "compare performance

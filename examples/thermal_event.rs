@@ -8,7 +8,7 @@
 //! ```
 
 use clusterworx::world::schedule_fault;
-use clusterworx::{Cluster, ClusterConfig, World, WorkloadMix};
+use clusterworx::{Cluster, ClusterConfig, WorkloadMix, World};
 use cwx_hw::node::Fault;
 use cwx_hw::HealthState;
 use cwx_util::time::{SimDuration, SimTime};
@@ -71,8 +71,12 @@ fn main() {
             println!("    {line}");
         }
     }
-    let fan_mails =
-        world.server.outbox().iter().filter(|m| m.event == "cpu-fan-failure").count();
+    let fan_mails = world
+        .server
+        .outbox()
+        .iter()
+        .filter(|m| m.event == "cpu-fan-failure")
+        .count();
     assert_eq!(fan_mails, 1, "smart notification: exactly one email");
 
     // post-mortem: what the ICE Box captured from the node's console

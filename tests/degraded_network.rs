@@ -23,7 +23,10 @@ fn report_loss_degrades_gracefully() {
     // all nodes still up; most reports arrive
     assert_eq!(w.up_count(), 10);
     let st = w.server.stats();
-    assert_eq!(st.decode_errors, 0, "loss drops whole datagrams, never corrupts them");
+    assert_eq!(
+        st.decode_errors, 0,
+        "loss drops whole datagrams, never corrupts them"
+    );
     let net = w.net.stats();
     assert!(net.lost > 0, "the network actually lost traffic: {net:?}");
     // history still accumulates for every node despite holes
@@ -62,14 +65,23 @@ fn total_silence_marks_nodes_unreachable_but_recovers() {
     // server cannot know that, so it reboots nodes trying to heal them
     // (reboot thrash is the correct emergent behaviour of the paper's
     // "UDP echo ... to ensure network connectivity" rule)
-    assert!(w.nodes.iter().all(|n| n.hw.health() == cwx_hw::HealthState::Healthy));
+    assert!(w
+        .nodes
+        .iter()
+        .all(|n| n.hw.health() == cwx_hw::HealthState::Healthy));
     for i in 0..4 {
-        let reachable = w.server.node_status(i).map(|s| s.reachable).unwrap_or(false);
+        let reachable = w
+            .server
+            .node_status(i)
+            .map(|s| s.reachable)
+            .unwrap_or(false);
         assert!(!reachable, "node{i} must read unreachable under total loss");
     }
     // and the UDP-echo rule asked for reboots trying to heal them
     assert!(
-        w.action_log.iter().any(|a| a.action == cwx_events::Action::Reboot),
+        w.action_log
+            .iter()
+            .any(|a| a.action == cwx_events::Action::Reboot),
         "{:?}",
         w.action_log
     );
@@ -77,11 +89,20 @@ fn total_silence_marks_nodes_unreachable_but_recovers() {
 
 #[test]
 fn corrupt_payloads_are_counted_not_fatal() {
-    let mut sim = Cluster::build(ClusterConfig { n_nodes: 3, seed: 19, ..Default::default() });
+    let mut sim = Cluster::build(ClusterConfig {
+        n_nodes: 3,
+        seed: 19,
+        ..Default::default()
+    });
     sim.run_for(SimDuration::from_secs(120));
     // a misbehaving client blasts garbage at the server port
     let now = sim.now();
-    for junk in [&b"total garbage"[..], b"CWZ1\xff\xff\xff\xff", b"", b"CWX1 node=x"] {
+    for junk in [
+        &b"total garbage"[..],
+        b"CWZ1\xff\xff\xff\xff",
+        b"",
+        b"CWX1 node=x",
+    ] {
         sim.world_mut().server.ingest(now, junk);
     }
     sim.run_for(SimDuration::from_secs(60));

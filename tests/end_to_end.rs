@@ -2,7 +2,7 @@
 //! every crate — boot, monitor, fail, heal, observe.
 
 use clusterworx::world::{power_off_node, power_on_node, schedule_fault};
-use clusterworx::{dashboard, Cluster, ClusterConfig, World, WorkloadMix};
+use clusterworx::{dashboard, Cluster, ClusterConfig, WorkloadMix, World};
 use cwx_events::Action;
 use cwx_hw::node::Fault;
 use cwx_hw::HealthState;
@@ -26,21 +26,46 @@ fn full_lifecycle_with_mixed_failures() {
 
     // phase 2: three different failures at once
     let base = sim.now();
-    schedule_fault(&mut sim, base + SimDuration::from_secs(10), 3, Fault::FanFailure);
-    schedule_fault(&mut sim, base + SimDuration::from_secs(20), 7, Fault::KernelPanic);
-    schedule_fault(&mut sim, base + SimDuration::from_secs(30), 11, Fault::PsuFailure);
+    schedule_fault(
+        &mut sim,
+        base + SimDuration::from_secs(10),
+        3,
+        Fault::FanFailure,
+    );
+    schedule_fault(
+        &mut sim,
+        base + SimDuration::from_secs(20),
+        7,
+        Fault::KernelPanic,
+    );
+    schedule_fault(
+        &mut sim,
+        base + SimDuration::from_secs(30),
+        11,
+        Fault::PsuFailure,
+    );
     sim.run_for(SimDuration::from_secs(900));
 
     let w = sim.world();
     // fan failure: powered down before burning
-    assert!(w.action_log.iter().any(|a| a.node == 3 && a.action == Action::PowerDown));
+    assert!(w
+        .action_log
+        .iter()
+        .any(|a| a.node == 3 && a.action == Action::PowerDown));
     assert_ne!(w.nodes[3].hw.health(), HealthState::Burned);
     // kernel panic: rebooted and healthy again
-    assert!(w.action_log.iter().any(|a| a.node == 7 && a.action == Action::Reboot));
+    assert!(w
+        .action_log
+        .iter()
+        .any(|a| a.node == 7 && a.action == Action::Reboot));
     assert!(w.nodes[7].hw.is_up(), "panicked node must be healed");
     // PSU failure: dead silicon — node stays dark, server notices
     assert!(!w.nodes[11].hw.is_up());
-    assert!(!w.server.node_status(11).map(|s| s.reachable).unwrap_or(true));
+    assert!(!w
+        .server
+        .node_status(11)
+        .map(|s| s.reachable)
+        .unwrap_or(true));
 
     // mail went out, bounded by episode dedup
     assert!(!w.server.outbox().is_empty());
@@ -55,13 +80,26 @@ fn full_lifecycle_with_mixed_failures() {
     let hist = w.server.history().range(0, &key, SimTime::ZERO, sim.now());
     assert!(hist.len() > 100, "continuous history: {}", hist.len());
     // while a constant monitor is (correctly) sparse under delta
-    let sparse = w.server.history().range(0, &MonitorKey::new("cpu.util_pct"), SimTime::ZERO, sim.now());
-    assert!(sparse.len() < hist.len() / 4, "delta suppresses constants: {}", sparse.len());
+    let sparse = w.server.history().range(
+        0,
+        &MonitorKey::new("cpu.util_pct"),
+        SimTime::ZERO,
+        sim.now(),
+    );
+    assert!(
+        sparse.len() < hist.len() / 4,
+        "delta suppresses constants: {}",
+        sparse.len()
+    );
 }
 
 #[test]
 fn administrative_power_control_round_trip() {
-    let mut sim = Cluster::build(ClusterConfig { n_nodes: 6, seed: 5, ..Default::default() });
+    let mut sim = Cluster::build(ClusterConfig {
+        n_nodes: 6,
+        seed: 5,
+        ..Default::default()
+    });
     sim.run_for(SimDuration::from_secs(120));
     assert_eq!(sim.world().up_count(), 6);
 
@@ -79,7 +117,10 @@ fn administrative_power_control_round_trip() {
     assert!(sim.world().server.node_status(2).unwrap().reachable);
     // and its second boot is in the console capture
     let log = sim.world().iceboxes[bx].console_log(port);
-    assert!(log.matches("Testing DRAM: done").count() >= 2, "two boots on the console");
+    assert!(
+        log.matches("Testing DRAM: done").count() >= 2,
+        "two boots on the console"
+    );
 }
 
 #[test]
@@ -112,7 +153,12 @@ fn cluster_simulation_is_deterministic() {
             loss: 0.01,
             ..Default::default()
         });
-        schedule_fault(&mut sim, SimTime::ZERO + SimDuration::from_secs(200), 5, Fault::FanFailure);
+        schedule_fault(
+            &mut sim,
+            SimTime::ZERO + SimDuration::from_secs(200),
+            5,
+            Fault::FanFailure,
+        );
         sim.run_for(SimDuration::from_secs(600));
         let w = sim.world();
         (
@@ -143,16 +189,25 @@ fn memory_leak_is_flagged_then_oom_heals_by_reboot() {
         let w = sim.world();
         // the administrator was warned about swap pressure before the OOM
         assert!(
-            w.server.outbox().iter().any(|m| m.event == "swap-pressure" && m.nodes == vec![2]),
+            w.server
+                .outbox()
+                .iter()
+                .any(|m| m.event == "swap-pressure" && m.nodes == vec![2]),
             "swap warning missing: {:?}",
-            w.server.outbox().iter().map(|m| &m.subject).collect::<Vec<_>>()
+            w.server
+                .outbox()
+                .iter()
+                .map(|m| &m.subject)
+                .collect::<Vec<_>>()
         );
     }
     // run long enough for the OOM panic and the connectivity-driven heal
     sim.run_for(SimDuration::from_secs(1200));
     let w = sim.world();
     assert!(
-        w.action_log.iter().any(|a| a.node == 2 && a.action == Action::Reboot),
+        w.action_log
+            .iter()
+            .any(|a| a.node == 2 && a.action == Action::Reboot),
         "OOM panic must be healed by reboot: {:?}",
         w.action_log
     );
@@ -161,6 +216,10 @@ fn memory_leak_is_flagged_then_oom_heals_by_reboot() {
     let (bx, port) = World::rack_of(2);
     assert!(w.iceboxes[bx].console_log(port).contains("Out of Memory"));
     // swap is healthy again, so the episode closed
-    let hist = w.server.history().latest(2, &MonitorKey::new("swap.free")).unwrap();
+    let hist = w
+        .server
+        .history()
+        .latest(2, &MonitorKey::new("swap.free"))
+        .unwrap();
     assert!(hist.value > 1_500_000.0, "swap recovered: {}", hist.value);
 }

@@ -4,7 +4,7 @@
 
 use std::time::Duration;
 
-use bench::{e1_gathering, e10_icebox, e12_slurm, e5_boot, e7_pipeline, e8_compress};
+use bench::{e10_icebox, e12_slurm, e1_gathering, e5_boot, e7_pipeline, e8_compress};
 use cwx_bios::Firmware;
 use cwx_clone::protocol::{run_clone, CloneConfig, RepairStrategy};
 use cwx_net::FAST_ETHERNET_BPS;
@@ -15,7 +15,11 @@ const WIN: Duration = Duration::from_millis(80);
 fn claim_s2_linuxbios_order_of_magnitude_faster() {
     let lb = e5_boot::boot_storm(1, 50, Firmware::LinuxBios);
     let legacy = e5_boot::boot_storm(1, 50, Firmware::LegacyBios);
-    assert!((2.0..=4.0).contains(&lb.firmware_secs.mean), "~3 s: {:?}", lb.firmware_secs);
+    assert!(
+        (2.0..=4.0).contains(&lb.firmware_secs.mean),
+        "~3 s: {:?}",
+        lb.firmware_secs
+    );
     assert!(
         (28.0..=65.0).contains(&legacy.firmware_secs.mean),
         "30-60 s: {:?}",
@@ -46,10 +50,18 @@ fn claim_s4_multicast_clones_hundreds_on_one_ethernet() {
         60,
         FAST_ETHERNET_BPS,
         0.01,
-        CloneConfig { strategy: RepairStrategy::Unicast, ..cfg },
+        CloneConfig {
+            strategy: RepairStrategy::Unicast,
+            ..cfg
+        },
     );
     assert_eq!(mc.failed_nodes, 0);
-    assert!(mc.wire_bytes * 20 < uni.wire_bytes, "{} vs {}", mc.wire_bytes, uni.wire_bytes);
+    assert!(
+        mc.wire_bytes * 20 < uni.wire_bytes,
+        "{} vs {}",
+        mc.wire_bytes,
+        uni.wire_bytes
+    );
     assert!(mc.data_complete_secs * 4.0 < uni.data_complete_secs);
 }
 

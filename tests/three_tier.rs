@@ -18,7 +18,10 @@ fn report(node: u32, seq: u64, load: f64) -> Vec<u8> {
         time_secs: seq as f64,
         values: vec![
             (MonitorKey::new("load.one"), Value::Num(load)),
-            (MonitorKey::new("mem.free"), Value::Num(500_000.0 - seq as f64)),
+            (
+                MonitorKey::new("mem.free"),
+                Value::Num(500_000.0 - seq as f64),
+            ),
         ],
     })
 }

@@ -1,0 +1,322 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the benchmarking API surface this workspace's benches use —
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, the `criterion_group!`/`criterion_main!`
+//! macros and `black_box` — measuring with `std::time::Instant` and
+//! printing a mean time (and derived throughput) per benchmark. No
+//! statistics, plots or baselines; the numbers are indicative, which is
+//! all the offline container can support.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work-per-iteration declaration used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Id that is only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything acceptable as a benchmark id.
+pub trait IntoBenchmarkId {
+    /// Convert into the canonical id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the routine.
+pub struct Bencher<'a> {
+    measurement: Duration,
+    warm_up: Duration,
+    result: &'a mut Option<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, first warming up, then running as many
+    /// iterations as fit the configured measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warm-up and calibration: how many iterations fit the window?
+        let warm_deadline = Instant::now() + self.warm_up.min(Duration::from_millis(300));
+        let mut calibrated = 0u64;
+        let cal_start = Instant::now();
+        loop {
+            black_box(routine());
+            calibrated += 1;
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let per_iter = cal_start.elapsed().as_secs_f64() / calibrated as f64;
+        let window = self.measurement.min(Duration::from_secs(2)).as_secs_f64();
+        let iters = ((window / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        *self.result = Some((start.elapsed(), iters));
+    }
+}
+
+fn report(id: &str, result: Option<(Duration, u64)>, throughput: Option<Throughput>) {
+    let Some((elapsed, iters)) = result else {
+        println!("{id:<52} (no measurement)");
+        return;
+    };
+    let per_iter_ns = elapsed.as_secs_f64() * 1e9 / iters as f64;
+    let time = if per_iter_ns >= 1e9 {
+        format!("{:.3} s", per_iter_ns / 1e9)
+    } else if per_iter_ns >= 1e6 {
+        format!("{:.3} ms", per_iter_ns / 1e6)
+    } else if per_iter_ns >= 1e3 {
+        format!("{:.3} us", per_iter_ns / 1e3)
+    } else {
+        format!("{per_iter_ns:.1} ns")
+    };
+    let thrpt = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            format!(
+                "  thrpt: {:.1} MiB/s",
+                b as f64 / (per_iter_ns / 1e9) / (1 << 20) as f64
+            )
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {:.0} elem/s", n as f64 / (per_iter_ns / 1e9))
+        }
+        None => String::new(),
+    };
+    println!("{id:<52} time: {time}/iter{thrpt}  ({iters} iters)");
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(500),
+            warm_up: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the per-benchmark measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Accepted for CLI compatibility; the stand-in ignores argv.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Set the sample count (accepted, unused: the stand-in times one
+    /// calibrated batch).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        println!("── bench group: {name} ──");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into_id();
+        let mut result = None;
+        f(&mut Bencher {
+            measurement: self.measurement,
+            warm_up: self.warm_up,
+            result: &mut result,
+        });
+        report(&id, result, None);
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (accepted, unused).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement window for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Declare the work per iteration for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into_id();
+        let mut result = None;
+        f(&mut Bencher {
+            measurement: self.criterion.measurement,
+            warm_up: self.criterion.warm_up,
+            result: &mut result,
+        });
+        report(&id, result, self.throughput);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = id.into_id();
+        let mut result = None;
+        f(
+            &mut Bencher {
+                measurement: self.criterion.measurement,
+                warm_up: self.criterion.warm_up,
+                result: &mut result,
+            },
+            input,
+        );
+        report(&id, result, self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Define a group runner function over one or more targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(10);
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+        name = quick;
+        config = Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        targets = target
+    }
+
+    #[test]
+    fn group_runs_to_completion() {
+        quick();
+    }
+}

