@@ -117,6 +117,42 @@ fn query(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(dir);
 }
 
+fn block_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_block_cache");
+    let dir = bench_dir();
+    let store = DiskStore::open(&dir, StoreConfig::default()).unwrap();
+    fill(&store, 8, 5_000, 0);
+    store.flush(); // everything lives in segment files, memtables empty
+    let from = SimTime::from_nanos(1 + 1_000 * 5_000_000_000);
+    let to = SimTime::from_nanos(1 + 4_000 * 5_000_000_000);
+
+    // cold: every iteration drops the decoded blocks, forcing segment
+    // reads + payload CRC + decode
+    g.bench_function("range_3k_cold", |b| {
+        b.iter(|| {
+            store.clear_cache();
+            black_box(store.range(3, "cpu.util_pct", from, to).len())
+        })
+    });
+
+    // warm: the same query served from the decoded-block LRU — the
+    // ≥5x gap over cold is the acceptance target for the cache
+    g.bench_function("range_3k_warm", |b| {
+        store.clear_cache();
+        store.range(3, "cpu.util_pct", from, to); // prime
+        b.iter(|| black_box(store.range(3, "cpu.util_pct", from, to).len()))
+    });
+
+    let stats = store.cache_stats();
+    eprintln!(
+        "block cache after bench: {} hits / {} misses / {} evictions",
+        stats.hits, stats.misses, stats.evictions
+    );
+    g.finish();
+    drop(store);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
 fn recovery(c: &mut Criterion) {
     let mut g = c.benchmark_group("store_recovery");
     g.sample_size(10);
@@ -144,6 +180,6 @@ criterion_group! {
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500));
-    targets = ingest, query, recovery
+    targets = ingest, query, block_cache, recovery
 }
 criterion_main!(store);

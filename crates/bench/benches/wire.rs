@@ -1,0 +1,121 @@
+//! Criterion benches for the agent→server wire formats: the textual
+//! `CWX1` baseline vs the binary `CWB1` delta format, full
+//! encode+decode round trip on a realistic 100-key report. The binary
+//! path must hold a ≥3x advantage — it skips float formatting/parsing
+//! entirely and reuses one buffer, so a regression here means an
+//! allocation or a format step crept back into the hot loop.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cwx_monitor::monitor::{MonitorKey, Value};
+use cwx_monitor::transmit::{self, Report, WireDecoder, WireEncoder};
+use std::hint::black_box;
+
+const KEYS: usize = 100;
+
+fn report(seq: u64) -> Report {
+    Report {
+        node: 42,
+        seq,
+        time_secs: 3600.0 + seq as f64 * 5.0,
+        values: (0..KEYS)
+            .map(|i| {
+                (
+                    MonitorKey::new(format!("group{}.monitor_{i}", i % 6)),
+                    // drift the values so deltas are realistic, not zero
+                    Value::Num((i as u64 * 31 + seq * 7) as f64 * 0.25),
+                )
+            })
+            .collect(),
+    }
+}
+
+fn mutate(r: &mut Report, seq: u64) {
+    r.seq = seq;
+    r.time_secs = 3600.0 + seq as f64 * 5.0;
+    for (i, (_, v)) in r.values.iter_mut().enumerate() {
+        *v = Value::Num((i as u64 * 31 + seq * 7) as f64 * 0.25);
+    }
+}
+
+fn round_trip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_round_trip");
+    g.throughput(Throughput::Elements(KEYS as u64));
+
+    g.bench_function("text_100key", |b| {
+        let mut r = report(0);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            mutate(&mut r, seq);
+            let bytes = transmit::encode(&r);
+            black_box(transmit::decode(&bytes).unwrap().values.len())
+        })
+    });
+
+    g.bench_function("binary_100key", |b| {
+        let mut enc = WireEncoder::new();
+        let mut dec = WireDecoder::new();
+        let mut buf = Vec::new();
+        let mut r = report(0);
+        // negotiate the dictionary once, like a live connection
+        enc.encode_into(&r, &mut buf);
+        dec.decode_auto(&buf).unwrap();
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            mutate(&mut r, seq);
+            enc.encode_into(&r, &mut buf);
+            black_box(dec.decode_auto(&buf).unwrap().values.len())
+        })
+    });
+
+    // the compressed text path, for the E8 storyline: cheaper bytes,
+    // far more CPU than either of the above
+    g.bench_function("lzss_100key", |b| {
+        let mut r = report(0);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            mutate(&mut r, seq);
+            let bytes = transmit::encode_compressed(&r);
+            black_box(transmit::decode_compressed(&bytes).unwrap().values.len())
+        })
+    });
+
+    g.finish();
+}
+
+fn encode_only(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_encode");
+    g.throughput(Throughput::Elements(KEYS as u64));
+
+    g.bench_function("text_100key", |b| {
+        let r = report(7);
+        b.iter(|| black_box(transmit::encode(&r).len()))
+    });
+
+    g.bench_function("binary_100key", |b| {
+        let mut enc = WireEncoder::new();
+        let mut buf = Vec::new();
+        let mut r = report(0);
+        enc.encode_into(&r, &mut buf);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            mutate(&mut r, seq);
+            enc.encode_into(&r, &mut buf);
+            black_box(buf.len())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = wire;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = round_trip, encode_only
+}
+criterion_main!(wire);

@@ -20,6 +20,8 @@ pub struct PipelineRow {
     pub delta: bool,
     /// Compression on?
     pub compress: bool,
+    /// Binary `CWB1` wire format instead of text?
+    pub binary: bool,
     /// Mean wire bytes per steady-state tick.
     pub bytes_per_tick: f64,
     /// Mean values transmitted per steady-state tick.
@@ -29,20 +31,23 @@ pub struct PipelineRow {
 /// Run the four-way ablation for `ticks` steady-state ticks.
 pub fn ablation(ticks: u32) -> Vec<PipelineRow> {
     let configs = [
-        ("raw text, every value (baseline)", false, false),
-        ("compressed, every value", false, true),
-        ("delta only", true, false),
-        ("delta + compression (product)", true, true),
+        ("raw text, every value (baseline)", false, false, false),
+        ("compressed, every value", false, true, false),
+        ("delta only", true, false, false),
+        ("delta + compression (product)", true, true, false),
+        ("binary wire, every value", false, false, true),
+        ("delta + binary wire", true, false, true),
     ];
     configs
         .into_iter()
-        .map(|(label, delta, compress)| {
+        .map(|(label, delta, compress, binary)| {
             let proc_ = SyntheticProc::default();
             let mut agent = Agent::new(
                 proc_.clone(),
                 AgentConfig {
                     delta_enabled: delta,
                     compress,
+                    binary,
                     ..AgentConfig::default()
                 },
             )
@@ -81,6 +86,7 @@ pub fn ablation(ticks: u32) -> Vec<PipelineRow> {
                 label,
                 delta,
                 compress,
+                binary,
                 bytes_per_tick: bytes as f64 / ticks as f64,
                 values_per_tick: values as f64 / ticks as f64,
             }
@@ -95,20 +101,25 @@ mod tests {
     #[test]
     fn each_stage_helps_and_product_config_wins() {
         let rows = ablation(40);
-        let get = |delta: bool, compress: bool| {
+        let get = |delta: bool, compress: bool, binary: bool| {
             rows.iter()
-                .find(|r| r.delta == delta && r.compress == compress)
+                .find(|r| r.delta == delta && r.compress == compress && r.binary == binary)
                 .unwrap()
         };
-        let baseline = get(false, false);
-        let compressed = get(false, true);
-        let delta = get(true, false);
-        let product = get(true, true);
+        let baseline = get(false, false, false);
+        let compressed = get(false, true, false);
+        let delta = get(true, false, false);
+        let product = get(true, true, false);
+        let binary_full = get(false, false, true);
+        let binary_delta = get(true, false, true);
         assert!(compressed.bytes_per_tick < baseline.bytes_per_tick * 0.8);
         assert!(delta.bytes_per_tick < baseline.bytes_per_tick * 0.5);
         assert!(product.bytes_per_tick < baseline.bytes_per_tick * 0.4);
         assert!(product.bytes_per_tick <= delta.bytes_per_tick);
         // delta transmits far fewer values
         assert!(delta.values_per_tick < baseline.values_per_tick * 0.6);
+        // binary frames undercut the equivalent text configuration
+        assert!(binary_full.bytes_per_tick < baseline.bytes_per_tick);
+        assert!(binary_delta.bytes_per_tick < delta.bytes_per_tick);
     }
 }

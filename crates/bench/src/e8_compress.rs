@@ -5,7 +5,7 @@
 //! kind the paper claims compresses very effectively.
 
 use cwx_monitor::monitor::{MonitorKey, Value};
-use cwx_monitor::transmit::{encode, Report};
+use cwx_monitor::transmit::{encode, Report, WireEncoder};
 use cwx_proc::synthetic::SyntheticState;
 use cwx_util::compress::{compress, decompress};
 
@@ -55,8 +55,7 @@ pub fn synthetic_proc_corpus(samples: usize) -> Vec<u8> {
     out.into_bytes()
 }
 
-/// A realistic full agent report (first tick: every monitor present).
-pub fn report_corpus() -> Vec<u8> {
+fn sample_report() -> Report {
     let mut values = Vec::new();
     for i in 0..48 {
         values.push((
@@ -64,13 +63,17 @@ pub fn report_corpus() -> Vec<u8> {
             Value::Num(i as f64 * 13.7),
         ));
     }
-    let r = Report {
+    Report {
         node: 123,
         seq: 42,
         time_secs: 3600.5,
         values,
-    };
-    encode(&r).into_bytes()
+    }
+}
+
+/// A realistic full agent report (first tick: every monitor present).
+pub fn report_corpus() -> Vec<u8> {
+    encode(&sample_report()).into_bytes()
 }
 
 /// Run E8 over all corpora.
@@ -91,6 +94,23 @@ pub fn corpora() -> Vec<CompressRow> {
         &synthetic_proc_corpus(20),
     ));
     rows.push(row("single full agent report", &report_corpus()));
+    // the binary wire format measured against the same report's text
+    // rendering: not LZSS output, but the size the hot path actually
+    // puts on the wire (steady-state frame: dictionary already bound)
+    let text_len = report_corpus().len();
+    let mut enc = WireEncoder::new();
+    let mut r = sample_report();
+    let _first = enc.encode(&r); // binds the dictionary
+    for (i, (_, v)) in r.values.iter_mut().enumerate() {
+        *v = Value::Num(i as f64 * 13.7 + 0.25); // every value moved
+    }
+    let steady = enc.encode(&r);
+    rows.push(CompressRow {
+        corpus: "binary wire frame (same report, steady state)",
+        input_bytes: text_len,
+        output_bytes: steady.len(),
+        ratio: steady.len() as f64 / text_len.max(1) as f64,
+    });
     rows
 }
 

@@ -27,14 +27,15 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use cwx_monitor::agent::{Agent, AgentConfig};
 use cwx_monitor::history::HistoryStore;
+use cwx_monitor::monitor::Value;
 use cwx_monitor::snapshot::Sensors;
-use cwx_monitor::transmit;
+use cwx_monitor::transmit::{self, Report};
 use cwx_proc::synthetic::SyntheticProc;
 use cwx_store::disk::{DiskStore, StoreConfig};
-use cwx_store::Store;
+use cwx_store::{BatchSample, Store};
 use cwx_util::time::{SimDuration, SimTime};
 use parking_lot::RwLock;
 
@@ -66,6 +67,15 @@ pub struct RealTimeConfig {
     pub persist_dir: Option<PathBuf>,
     /// Store shard count for the persistent path.
     pub shards: usize,
+    /// Agents emit the binary CWB1 delta wire format (the textual
+    /// format still decodes; this only selects what agents send).
+    pub binary_wire: bool,
+    /// Persistent path: decoded samples a shard worker buffers before
+    /// batch-appending to the store (one WAL write per batch).
+    pub ingest_batch_samples: usize,
+    /// Persistent path: longest a buffered sample waits before the
+    /// batch is flushed anyway.
+    pub ingest_batch_delay: Duration,
     /// Test hook: per-report processing delay injected into ingest
     /// threads, to exercise backpressure.
     pub ingest_stall: Option<Duration>,
@@ -80,6 +90,9 @@ impl Default for RealTimeConfig {
             channel_capacity: 1024,
             persist_dir: None,
             shards: 4,
+            binary_wire: true,
+            ingest_batch_samples: 512,
+            ingest_batch_delay: Duration::from_millis(25),
             ingest_stall: None,
         }
     }
@@ -91,6 +104,7 @@ fn agent_loop(node: u32, cfg: RealTimeConfig, tx: Sender<Vec<u8>>, stop: Arc<Ato
         proc_.clone(),
         AgentConfig {
             node,
+            binary: cfg.binary_wire,
             ..AgentConfig::default()
         },
     )
@@ -177,38 +191,94 @@ impl RealTimeDeployment {
                 let server = Arc::clone(&server);
                 let store = store.clone();
                 let stall = cfg.ingest_stall;
+                let batch_samples = cfg.ingest_batch_samples.max(1);
+                let batch_delay = cfg.ingest_batch_delay.max(Duration::from_millis(1));
                 std::thread::spawn(move || {
+                    let sim_now = |started: &Instant| {
+                        SimTime::ZERO + SimDuration::from_secs_f64(started.elapsed().as_secs_f64())
+                    };
                     let mut ingested = 0u64;
-                    while let Ok(payload) = rx.recv() {
-                        if let Some(d) = stall {
-                            std::thread::sleep(d);
+                    let Some(store) = store else {
+                        // volatile lane: the server decodes (it keeps the
+                        // per-node binary wire state) and records history
+                        while let Ok(payload) = rx.recv() {
+                            if let Some(d) = stall {
+                                std::thread::sleep(d);
+                            }
+                            let now = sim_now(&started);
+                            server.write().ingest(now, &payload);
+                            ingested += 1;
+                            // housekeeping piggybacks on traffic
+                            if ingested.is_multiple_of(64) {
+                                server.write().housekeeping(now);
+                            }
                         }
-                        let now = SimTime::ZERO
-                            + SimDuration::from_secs_f64(started.elapsed().as_secs_f64());
-                        match &store {
-                            None => server.write().ingest(now, &payload),
-                            Some(store) => match transmit::decode_auto(&payload) {
+                        return ingested;
+                    };
+                    // persistent lane: decode here (per-lane decoder —
+                    // agents are routed to lanes by node group, so each
+                    // node's frames always hit the same decoder), buffer,
+                    // and batch-append so each batch costs one WAL write
+                    // per shard and one server lock
+                    let mut decoder = transmit::WireDecoder::new();
+                    let mut pending: Vec<(SimTime, Report, usize)> = Vec::new();
+                    let mut pending_samples = 0usize;
+                    let mut oldest: Option<Instant> = None;
+                    loop {
+                        let msg = rx.recv_timeout(batch_delay);
+                        let now = sim_now(&started);
+                        let disconnected = matches!(msg, Err(RecvTimeoutError::Disconnected));
+                        if let Ok(payload) = msg {
+                            if let Some(d) = stall {
+                                std::thread::sleep(d);
+                            }
+                            ingested += 1;
+                            match decoder.decode_auto(&payload) {
                                 Ok(report) => {
-                                    // storage write on the shard lock only;
-                                    // the server lock covers just events
-                                    for (key, value) in &report.values {
-                                        if let cwx_monitor::monitor::Value::Num(x) = value {
-                                            store.append(report.node, &key.0, now, *x);
-                                        }
-                                    }
-                                    server.write().ingest_report_events_only(
-                                        now,
-                                        &report,
-                                        payload.len(),
-                                    );
+                                    pending_samples += report
+                                        .values
+                                        .iter()
+                                        .filter(|(_, v)| matches!(v, Value::Num(_)))
+                                        .count();
+                                    pending.push((now, report, payload.len()));
+                                    oldest.get_or_insert_with(Instant::now);
                                 }
                                 Err(_) => server.write().note_decode_error(payload.len()),
-                            },
+                            }
                         }
-                        ingested += 1;
-                        // housekeeping piggybacks on traffic; good enough here
-                        if ingested.is_multiple_of(64) {
-                            server.write().housekeeping(now);
+                        let due = pending_samples >= batch_samples
+                            || oldest.is_some_and(|t| t.elapsed() >= batch_delay)
+                            || disconnected;
+                        if due && !pending.is_empty() {
+                            let mut batch = Vec::with_capacity(pending_samples);
+                            for (at, report, _) in &pending {
+                                for (key, value) in &report.values {
+                                    if let Value::Num(x) = value {
+                                        batch.push(BatchSample {
+                                            node: report.node,
+                                            monitor: &key.0,
+                                            time: *at,
+                                            value: *x,
+                                        });
+                                    }
+                                }
+                            }
+                            // storage writes on the shard lock only; the
+                            // server lock covers just events + liveness
+                            store.append_batch(&batch);
+                            drop(batch);
+                            let mut srv = server.write();
+                            for (at, report, wire) in &pending {
+                                srv.ingest_report_events_only(*at, report, *wire);
+                            }
+                            srv.housekeeping(now);
+                            drop(srv);
+                            pending.clear();
+                            pending_samples = 0;
+                            oldest = None;
+                        }
+                        if disconnected {
+                            break;
                         }
                     }
                     ingested
@@ -297,6 +367,22 @@ mod tests {
         for node in 0..6 {
             assert!(s.node_status(node).is_some(), "node{node} reported");
         }
+    }
+
+    #[test]
+    fn text_wire_still_flows_end_to_end() {
+        let dep = RealTimeDeployment::start(RealTimeConfig {
+            n_nodes: 3,
+            interval: Duration::from_millis(10),
+            binary_wire: false,
+            ..RealTimeConfig::default()
+        });
+        std::thread::sleep(Duration::from_millis(150));
+        let server = dep.server();
+        let (sent, ingested) = dep.shutdown();
+        assert!(sent > 0);
+        assert_eq!(sent, ingested);
+        assert_eq!(server.read().stats().decode_errors, 0);
     }
 
     #[test]

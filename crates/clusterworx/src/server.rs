@@ -63,6 +63,9 @@ pub struct Server {
     pending: Vec<PendingAction>,
     stats: ServerStats,
     stale_after: SimDuration,
+    /// Per-node binary wire state (dictionaries, XOR chains) for agents
+    /// that send the CWB1 format.
+    decoder: transmit::WireDecoder,
 }
 
 impl Server {
@@ -102,6 +105,7 @@ impl Server {
             pending: Vec::new(),
             stats: ServerStats::default(),
             stale_after,
+            decoder: transmit::WireDecoder::new(),
         }
     }
 
@@ -143,7 +147,7 @@ impl Server {
     /// Handle a report datagram arriving from a node agent.
     pub fn ingest(&mut self, now: SimTime, payload: &[u8]) {
         self.stats.bytes_rx += payload.len() as u64;
-        let report = match transmit::decode_auto(payload) {
+        let report = match self.decoder.decode_auto(payload) {
             Ok(r) => r,
             Err(_) => {
                 self.stats.decode_errors += 1;

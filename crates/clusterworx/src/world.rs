@@ -549,6 +549,7 @@ fn finish_boot(sim: &mut Sim<World>, node: u32, gen: u64) {
         interfaces: vec!["lo".into(), "eth0".into()],
         delta_enabled: w.cfg.delta_enabled,
         compress: w.cfg.compress,
+        binary: false,
         cache_ttl_secs: 0.5,
     };
     let st = &mut w.nodes[node as usize];

@@ -130,10 +130,70 @@ enum Msg {
     Complete,
 }
 
+/// Dense bitmap tracking which image chunks a node has received.
+#[derive(Debug, Clone)]
+pub struct ChunkBitmap {
+    words: Vec<u64>,
+    nchunks: u32,
+    count: u32,
+}
+
+impl ChunkBitmap {
+    /// An empty bitmap over `nchunks` chunks.
+    pub fn new(nchunks: u32) -> Self {
+        ChunkBitmap {
+            words: vec![0; (nchunks as usize).div_ceil(64)],
+            nchunks,
+            count: 0,
+        }
+    }
+
+    /// Record chunk `idx` as received.
+    pub fn mark(&mut self, idx: u32) {
+        let (w, b) = (idx as usize / 64, idx % 64);
+        if self.words[w] & (1 << b) == 0 {
+            self.words[w] |= 1 << b;
+            self.count += 1;
+        }
+    }
+
+    /// Whether chunk `idx` has been received.
+    pub fn has(&self, idx: u32) -> bool {
+        self.words[idx as usize / 64] & (1 << (idx % 64)) != 0
+    }
+
+    /// Chunks received so far.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Up to `cap` missing chunk indices, ascending. Scans a word at a
+    /// time with `trailing_zeros`, so a NACK over a mostly-complete
+    /// image costs one inspection per 64 chunks, not one per chunk.
+    pub fn missing(&self, cap: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        'words: for (w, &word) in self.words.iter().enumerate() {
+            let base = (w * 64) as u32;
+            let mut inv = !word;
+            let tail = self.nchunks - base;
+            if tail < 64 {
+                inv &= (1u64 << tail) - 1;
+            }
+            while inv != 0 {
+                out.push(base + inv.trailing_zeros());
+                if out.len() >= cap {
+                    break 'words;
+                }
+                inv &= inv - 1;
+            }
+        }
+        out
+    }
+}
+
 #[derive(Debug)]
 struct Target {
-    have: Vec<u64>,
-    have_count: u32,
+    have: ChunkBitmap,
     complete_at: Option<SimTime>,
     operational_at: Option<SimTime>,
     failed: bool,
@@ -142,37 +202,11 @@ struct Target {
 impl Target {
     fn new(nchunks: u32) -> Self {
         Target {
-            have: vec![0; (nchunks as usize).div_ceil(64)],
-            have_count: 0,
+            have: ChunkBitmap::new(nchunks),
             complete_at: None,
             operational_at: None,
             failed: false,
         }
-    }
-
-    fn mark(&mut self, idx: u32) {
-        let (w, b) = (idx as usize / 64, idx % 64);
-        if self.have[w] & (1 << b) == 0 {
-            self.have[w] |= 1 << b;
-            self.have_count += 1;
-        }
-    }
-
-    fn has(&self, idx: u32) -> bool {
-        self.have[idx as usize / 64] & (1 << (idx % 64)) != 0
-    }
-
-    fn missing(&self, nchunks: u32, cap: usize) -> Vec<u32> {
-        let mut out = Vec::new();
-        for idx in 0..nchunks {
-            if !self.has(idx) {
-                out.push(idx);
-                if out.len() >= cap {
-                    break;
-                }
-            }
-        }
-        out
     }
 }
 
@@ -248,15 +282,15 @@ fn on_node_receive(sim: &mut CloneSim, to: NodeAddr, msg: Msg) {
     let node = node_of(to);
     match msg {
         Msg::Chunk(idx) => {
-            sim.world_mut().targets[node as usize].mark(idx);
+            sim.world_mut().targets[node as usize].have.mark(idx);
         }
         Msg::Poll => {
             let nchunks = sim.world().nchunks;
             let target = &sim.world().targets[node as usize];
-            if target.have_count == nchunks {
+            if target.have.count() == nchunks {
                 send_ctrl(sim, to, MASTER, CTRL_BYTES, Msg::Complete, 0);
             } else {
-                let missing = target.missing(nchunks, NACK_LIST_CAP);
+                let missing = target.have.missing(NACK_LIST_CAP);
                 let size = CTRL_BYTES + 4 * missing.len() as u64;
                 send_ctrl(sim, to, MASTER, size, Msg::Nack(missing), 0);
             }
@@ -406,7 +440,7 @@ fn remulticast_round(sim: &mut CloneSim) {
     {
         let w = sim.world();
         for idx in 0..nchunks {
-            if w.targets.iter().any(|t| !t.has(idx)) {
+            if w.targets.iter().any(|t| !t.have.has(idx)) {
                 union.push(idx);
             }
         }
@@ -606,6 +640,44 @@ mod tests {
             pace_bps: 6 << 20,
             ..CloneConfig::default()
         }
+    }
+
+    #[test]
+    fn bitmap_missing_matches_naive_scan() {
+        // 150 chunks spans two full words plus a 22-bit tail
+        let mut bm = ChunkBitmap::new(150);
+        for idx in (0..150).filter(|i| i % 3 != 0 && *i != 64 && *i != 128) {
+            bm.mark(idx);
+        }
+        let naive: Vec<u32> = (0..150).filter(|&i| !bm.has(i)).collect();
+        assert_eq!(bm.missing(usize::MAX), naive);
+        assert_eq!(bm.count() as usize, 150 - naive.len());
+        // bits past nchunks in the last word must never be reported
+        assert!(bm.missing(usize::MAX).iter().all(|&i| i < 150));
+    }
+
+    #[test]
+    fn bitmap_missing_cap_truncates_at_word_boundaries() {
+        let mut bm = ChunkBitmap::new(200);
+        // everything missing: the cap cuts mid-word and exactly on a
+        // word boundary
+        assert_eq!(bm.missing(5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bm.missing(64).len(), 64);
+        assert_eq!(bm.missing(64).last(), Some(&63));
+        assert_eq!(bm.missing(65).last(), Some(&64));
+        // fill word 0 entirely; the first misses now start at 64
+        for idx in 0..64 {
+            bm.mark(idx);
+        }
+        assert_eq!(bm.missing(3), vec![64, 65, 66]);
+        // leave exactly one hole at the very end
+        for idx in 64..199 {
+            bm.mark(idx);
+        }
+        assert_eq!(bm.missing(1024), vec![199]);
+        bm.mark(199);
+        assert!(bm.missing(1024).is_empty());
+        assert_eq!(bm.count(), 200);
     }
 
     #[test]

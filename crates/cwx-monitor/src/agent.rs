@@ -25,6 +25,9 @@ pub struct AgentConfig {
     pub delta_enabled: bool,
     /// LZSS-compress reports (product behaviour) or send raw text.
     pub compress: bool,
+    /// Emit the binary `CWB1` delta wire format instead of text
+    /// (overrides `compress`; the binary format is already compact).
+    pub binary: bool,
     /// Serve repeat requests from the snapshot cache within this window.
     pub cache_ttl_secs: f64,
 }
@@ -36,6 +39,7 @@ impl Default for AgentConfig {
             interfaces: vec!["lo".into(), "eth0".into()],
             delta_enabled: true,
             compress: true,
+            binary: false,
             cache_ttl_secs: 0.5,
         }
     }
@@ -82,6 +86,8 @@ pub struct Agent<S: ProcSource> {
     disk: Option<DiskStatsGatherer<S>>,
     registry: Registry,
     consolidator: Consolidator,
+    encoder: transmit::WireEncoder,
+    wire_buf: Vec<u8>,
     snap: Snapshot,
     have_snapshot: bool,
     seq: u64,
@@ -105,6 +111,8 @@ impl<S: ProcSource> Agent<S> {
             disk: DiskStatsGatherer::new(&source).ok(),
             registry: Registry::with_builtins(&ifaces),
             consolidator: Consolidator::new(cfg.delta_enabled),
+            encoder: transmit::WireEncoder::new(),
+            wire_buf: Vec::new(),
             snap: Snapshot::default(),
             have_snapshot: false,
             seq: 0,
@@ -142,8 +150,10 @@ impl<S: ProcSource> Agent<S> {
     }
 
     /// Force a full retransmission on the next tick (server resync).
+    /// The wire dictionary is renegotiated along with the values.
     pub fn resync(&mut self) {
         self.consolidator.reset();
+        self.encoder.reset();
     }
 
     /// Run one gather/consolidate/transmit cycle.
@@ -217,20 +227,28 @@ impl<S: ProcSource> Agent<S> {
             values,
         };
         self.seq += 1;
-        let raw = transmit::encode(&report);
-        let payload = if self.cfg.compress {
-            transmit::encode_compressed(&report)
+        let (raw_len, payload) = if self.cfg.binary {
+            // binary frames are handed out as-is; raw == wire
+            self.encoder.encode_into(&report, &mut self.wire_buf);
+            (self.wire_buf.len(), self.wire_buf.clone())
         } else {
-            raw.clone().into_bytes()
+            let raw = transmit::encode(&report);
+            let raw_len = raw.len();
+            let payload = if self.cfg.compress {
+                transmit::encode_compressed(&report)
+            } else {
+                raw.into_bytes()
+            };
+            (raw_len, payload)
         };
         let wire_len = payload.len();
         self.stats.ticks += 1;
         self.stats.reports += 1;
-        self.stats.raw_bytes += raw.len() as u64;
+        self.stats.raw_bytes += raw_len as u64;
         self.stats.wire_bytes += wire_len as u64;
         Ok(AgentOutput {
             report,
-            raw_len: raw.len(),
+            raw_len,
             wire_len,
             payload,
         })
@@ -342,6 +360,40 @@ mod tests {
         let decoded = transmit::decode_compressed(&packed).unwrap();
         assert_eq!(decoded.node, out.report.node);
         assert_eq!(decoded.values.len(), out.report.values.len());
+    }
+
+    #[test]
+    fn binary_agent_reports_decode_and_beat_text() {
+        let proc_ = SyntheticProc::default();
+        let mut bin = Agent::new(
+            proc_.clone(),
+            AgentConfig {
+                binary: true,
+                compress: false,
+                ..AgentConfig::default()
+            },
+        )
+        .unwrap();
+        let mut txt = agent(&proc_, true, false);
+        let mut dec = transmit::WireDecoder::new();
+        let mut bin_bytes = 0usize;
+        let mut txt_bytes = 0usize;
+        for i in 0..10 {
+            let t = SimTime::ZERO + SimDuration::from_secs(i + 1);
+            proc_.with_state(|s| s.tick(1.0, 0.3));
+            let out = bin.tick(t, Sensors::default()).unwrap();
+            let decoded = dec.decode_auto(&out.payload).unwrap();
+            assert_eq!(decoded, out.report, "binary frame round-trips");
+            bin_bytes += out.wire_len;
+            txt_bytes += txt.tick(t, Sensors::default()).unwrap().wire_len;
+        }
+        // Changed floats XOR-delta to near-full-width varints, so the
+        // byte win over text is modest; the real payoff (measured in
+        // benches/wire.rs) is skipping float formatting and parsing.
+        assert!(
+            bin_bytes < txt_bytes,
+            "binary wire must undercut raw text: {bin_bytes} vs {txt_bytes}"
+        );
     }
 
     #[test]

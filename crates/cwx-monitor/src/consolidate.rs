@@ -10,7 +10,7 @@
 //! is cached so that simultaneous requests can be served using the same
 //! set of data."
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 use crate::monitor::{MonitorClass, MonitorKey, Value};
 
@@ -30,10 +30,20 @@ pub struct ConsolidationStats {
 }
 
 /// Per-monitor change tracking.
+///
+/// Keys are interned once into a dense id space; the steady-state
+/// [`Consolidator::offer`] path is a hash lookup plus two `Vec` index
+/// reads and performs no cloning or allocation when the sample is
+/// suppressed (the overwhelmingly common case — see the
+/// `alloc_regression` integration test).
 #[derive(Debug, Default)]
 pub struct Consolidator {
-    last_sent: BTreeMap<MonitorKey, Value>,
-    static_sent: BTreeMap<MonitorKey, bool>,
+    /// Key → dense id, populated on first sight of a key.
+    ids: HashMap<MonitorKey, u32>,
+    /// id → last transmitted value.
+    last_sent: Vec<Option<Value>>,
+    /// id → whether the static value was already sent.
+    static_sent: Vec<bool>,
     delta_enabled: bool,
     stats: ConsolidationStats,
 }
@@ -61,34 +71,42 @@ impl Consolidator {
     }
 
     /// Decide whether `(key, value)` must be transmitted this tick, and
-    /// record it as sent if so.
+    /// record it as sent if so. Suppressed offers clone nothing.
     pub fn offer(&mut self, key: &MonitorKey, class: MonitorClass, value: &Value) -> bool {
         self.stats.evaluated += 1;
         if !self.delta_enabled {
             self.stats.emitted += 1;
-            self.last_sent.insert(key.clone(), value.clone());
             return true;
         }
+        let id = match self.ids.get(key) {
+            Some(&id) => id as usize,
+            None => {
+                let id = self.last_sent.len();
+                self.ids.insert(key.clone(), id as u32);
+                self.last_sent.push(None);
+                self.static_sent.push(false);
+                id
+            }
+        };
         match class {
             MonitorClass::Static => {
-                let sent = self.static_sent.entry(key.clone()).or_insert(false);
-                if *sent {
+                if self.static_sent[id] {
                     self.stats.suppressed_static += 1;
                     false
                 } else {
-                    *sent = true;
-                    self.last_sent.insert(key.clone(), value.clone());
+                    self.static_sent[id] = true;
+                    self.last_sent[id] = Some(value.clone());
                     self.stats.emitted += 1;
                     true
                 }
             }
-            MonitorClass::Dynamic => match self.last_sent.get(key) {
+            MonitorClass::Dynamic => match &self.last_sent[id] {
                 Some(prev) if prev.same_as(value) => {
                     self.stats.suppressed_unchanged += 1;
                     false
                 }
                 _ => {
-                    self.last_sent.insert(key.clone(), value.clone());
+                    self.last_sent[id] = Some(value.clone());
                     self.stats.emitted += 1;
                     true
                 }
@@ -96,11 +114,13 @@ impl Consolidator {
         }
     }
 
-    /// Forget everything (e.g. after the server asks for a full resync
-    /// or the node reboots): the next tick retransmits every value.
+    /// Forget everything sent (e.g. after the server asks for a full
+    /// resync or the node reboots): the next tick retransmits every
+    /// value. The key interner survives — ids are stable for the life
+    /// of the consolidator.
     pub fn reset(&mut self) {
-        self.last_sent.clear();
-        self.static_sent.clear();
+        self.last_sent.iter_mut().for_each(|v| *v = None);
+        self.static_sent.iter_mut().for_each(|s| *s = false);
     }
 }
 

@@ -7,7 +7,7 @@
 //! the data, we use data compression techniques, which are known to be
 //! very effective on text input."
 //!
-//! Wire format (one report per datagram):
+//! Text wire format (one report per datagram):
 //!
 //! ```text
 //! CWX1 node=<u32> seq=<u64> t=<secs>
@@ -17,10 +17,49 @@
 //!
 //! compressed with the LZSS coder from `cwx-util` when
 //! [`encode_compressed`] is used.
+//!
+//! # Binary wire format (`CWB1`)
+//!
+//! The text format is kept as the interoperable baseline, but the hot
+//! ingest path uses a binary delta format built on the same varint
+//! primitives as the storage engine (`cwx_store::codec`). A
+//! [`WireEncoder`]/[`WireDecoder`] pair shares per-connection state: a
+//! monitor-key dictionary (keys are transmitted once, then referenced
+//! by a small integer id) and a per-key XOR chain over `f64` bit
+//! patterns (an unchanged exponent/sign costs one or two bytes).
+//!
+//! Frame layout, little-endian:
+//!
+//! ```text
+//! 4B   magic "CWB1"
+//! u8   flags (bit 0: receiver must reset this node's dictionary)
+//! uvarint node | uvarint seq | uvarint f64-bits(time_secs)
+//! uvarint n_bindings, then per new key:
+//!   uvarint id | uvarint name_len | name bytes
+//! uvarint n_values, then per value:
+//!   uvarint key_id | u8 tag
+//!   tag 0 (Num):  uvarint (prev_bits XOR bits)
+//!   tag 1 (Text): uvarint len | bytes
+//! u32  crc32 over everything after the magic
+//! ```
+//!
+//! [`decode_auto`] (and [`WireDecoder::decode_auto`]) sniffs the magic
+//! and dispatches, so binary, compressed and plain-text senders can
+//! coexist on one channel. A decoder keyed by the frame's node id is
+//! kept per connection; the stateless free function only decodes
+//! self-contained binary frames (first frame after a reset).
 
+use std::collections::HashMap;
+
+use cwx_store::codec::{self, CodecError};
 use cwx_util::compress;
 
 use crate::monitor::{MonitorKey, Value};
+
+const BINARY_MAGIC: &[u8; 4] = b"CWB1";
+const FLAG_RESET: u8 = 1;
+const TAG_NUM: u8 = 0;
+const TAG_TEXT: u8 = 1;
 
 /// One agent-to-server report.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +85,14 @@ pub enum WireError {
     BadCompression(String),
     /// Payload is not UTF-8.
     NotText,
+    /// A binary frame ended early or carried a malformed varint.
+    Truncated,
+    /// A binary frame's CRC32 did not match its contents.
+    BadChecksum,
+    /// A binary frame referenced a key id the connection never bound.
+    UnknownKey(u32),
+    /// A binary frame bound a key id out of sequence.
+    BadBinding,
 }
 
 impl std::fmt::Display for WireError {
@@ -55,11 +102,21 @@ impl std::fmt::Display for WireError {
             WireError::BadLine(l) => write!(f, "bad report line: {l}"),
             WireError::BadCompression(e) => write!(f, "bad compression: {e}"),
             WireError::NotText => write!(f, "report payload is not utf-8"),
+            WireError::Truncated => write!(f, "binary frame truncated or malformed"),
+            WireError::BadChecksum => write!(f, "binary frame checksum mismatch"),
+            WireError::UnknownKey(id) => write!(f, "binary frame references unbound key id {id}"),
+            WireError::BadBinding => write!(f, "binary frame binds a key id out of sequence"),
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+impl From<CodecError> for WireError {
+    fn from(_: CodecError) -> Self {
+        WireError::Truncated
+    }
+}
 
 /// Render a report as wire text.
 pub fn encode(report: &Report) -> String {
@@ -124,13 +181,226 @@ pub fn decode(text: &str) -> Result<Report, WireError> {
     })
 }
 
-/// Decode a payload that may or may not be compressed (sniffs the LZSS
-/// magic) — what the server does with arriving datagrams.
+/// Decode a payload in any of the three wire formats (binary `CWB1`,
+/// LZSS `CWZ1`, plain text) by sniffing the magic. Stateless: binary
+/// frames decode only when self-contained (every referenced key bound
+/// in the frame itself, i.e. the first frame after an encoder reset);
+/// continuation frames need a per-connection [`WireDecoder`].
 pub fn decode_auto(bytes: &[u8]) -> Result<Report, WireError> {
-    if bytes.starts_with(b"CWZ1") {
+    if bytes.starts_with(BINARY_MAGIC) {
+        WireDecoder::new().decode_binary(bytes)
+    } else if bytes.starts_with(b"CWZ1") {
         decode_compressed(bytes)
     } else {
         decode(std::str::from_utf8(bytes).map_err(|_| WireError::NotText)?)
+    }
+}
+
+/// Stateful binary encoder for one agent connection.
+///
+/// Keeps the key dictionary and per-key XOR chains between frames, so
+/// steady-state frames carry only small integer ids and short deltas.
+/// [`WireEncoder::encode_into`] reuses the caller's buffer: after the
+/// first few frames the encoder performs no allocation per report.
+#[derive(Debug, Default)]
+pub struct WireEncoder {
+    ids: HashMap<String, u32>,
+    last_bits: Vec<u64>,
+    pending_reset: bool,
+    /// Scratch: indices into `report.values` whose keys are new.
+    fresh: Vec<usize>,
+}
+
+impl WireEncoder {
+    /// A fresh encoder. Its first frame carries the reset flag so a
+    /// receiver with stale state (agent restart) resynchronizes.
+    pub fn new() -> Self {
+        WireEncoder {
+            pending_reset: true,
+            ..WireEncoder::default()
+        }
+    }
+
+    /// Drop the negotiated dictionary; the next frame rebinds every key
+    /// it carries and tells the receiver to do the same.
+    pub fn reset(&mut self) {
+        self.ids.clear();
+        self.last_bits.clear();
+        self.pending_reset = true;
+    }
+
+    /// Encode a frame into `out` (cleared first). The buffer is the
+    /// caller's to reuse across reports.
+    pub fn encode_into(&mut self, report: &Report, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend_from_slice(BINARY_MAGIC);
+        out.push(if self.pending_reset { FLAG_RESET } else { 0 });
+        self.pending_reset = false;
+        codec::put_uvarint(out, report.node as u64);
+        codec::put_uvarint(out, report.seq);
+        codec::put_uvarint(out, report.time_secs.to_bits());
+        self.fresh.clear();
+        for (i, (k, _)) in report.values.iter().enumerate() {
+            if !self.ids.contains_key(k.0.as_str()) {
+                self.ids.insert(k.0.clone(), self.last_bits.len() as u32);
+                self.last_bits.push(0);
+                self.fresh.push(i);
+            }
+        }
+        codec::put_uvarint(out, self.fresh.len() as u64);
+        for &i in &self.fresh {
+            let name = &report.values[i].0 .0;
+            codec::put_uvarint(out, self.ids[name.as_str()] as u64);
+            codec::put_uvarint(out, name.len() as u64);
+            out.extend_from_slice(name.as_bytes());
+        }
+        codec::put_uvarint(out, report.values.len() as u64);
+        for (k, v) in &report.values {
+            let id = self.ids[k.0.as_str()];
+            codec::put_uvarint(out, id as u64);
+            match v {
+                Value::Num(x) => {
+                    out.push(TAG_NUM);
+                    let bits = x.to_bits();
+                    let prev = &mut self.last_bits[id as usize];
+                    codec::put_uvarint(out, *prev ^ bits);
+                    *prev = bits;
+                }
+                Value::Text(s) => {
+                    out.push(TAG_TEXT);
+                    codec::put_uvarint(out, s.len() as u64);
+                    out.extend_from_slice(s.as_bytes());
+                }
+            }
+        }
+        let crc = codec::crc32(&out[BINARY_MAGIC.len()..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Convenience wrapper allocating a fresh buffer.
+    pub fn encode(&mut self, report: &Report) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + report.values.len() * 8);
+        self.encode_into(report, &mut out);
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct NodeTable {
+    keys: Vec<MonitorKey>,
+    last_bits: Vec<u64>,
+}
+
+/// Stateful binary decoder for one ingest connection.
+///
+/// Dictionary and XOR-chain state is kept per node id (frames carry the
+/// node), so one decoder serves a channel that multiplexes many agents.
+/// Malformed input of any kind returns a [`WireError`]; the decoder
+/// never panics on wire bytes.
+#[derive(Debug, Default)]
+pub struct WireDecoder {
+    nodes: HashMap<u32, NodeTable>,
+}
+
+impl WireDecoder {
+    /// A decoder with no negotiated state.
+    pub fn new() -> Self {
+        WireDecoder::default()
+    }
+
+    /// Decode any wire payload (binary, compressed or text), updating
+    /// per-node dictionary state for binary frames.
+    pub fn decode_auto(&mut self, bytes: &[u8]) -> Result<Report, WireError> {
+        if bytes.starts_with(BINARY_MAGIC) {
+            self.decode_binary(bytes)
+        } else {
+            decode_auto(bytes)
+        }
+    }
+
+    /// Decode a `CWB1` frame.
+    pub fn decode_binary(&mut self, bytes: &[u8]) -> Result<Report, WireError> {
+        let m = BINARY_MAGIC.len();
+        if bytes.len() < m + 5 || bytes[..m] != *BINARY_MAGIC {
+            return Err(WireError::Truncated);
+        }
+        let body = &bytes[m..bytes.len() - 4];
+        let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        if codec::crc32(body) != stored {
+            return Err(WireError::BadChecksum);
+        }
+        let mut pos = 1usize;
+        let flags = body[0];
+        let node =
+            u32::try_from(codec::get_uvarint(body, &mut pos)?).map_err(|_| WireError::Truncated)?;
+        let seq = codec::get_uvarint(body, &mut pos)?;
+        let time_secs = f64::from_bits(codec::get_uvarint(body, &mut pos)?);
+        let table = self.nodes.entry(node).or_default();
+        if flags & FLAG_RESET != 0 {
+            table.keys.clear();
+            table.last_bits.clear();
+        }
+        let n_bind = codec::get_uvarint(body, &mut pos)? as usize;
+        if n_bind > body.len().saturating_sub(pos) {
+            return Err(WireError::Truncated);
+        }
+        for _ in 0..n_bind {
+            let id = codec::get_uvarint(body, &mut pos)? as usize;
+            if id != table.keys.len() {
+                return Err(WireError::BadBinding);
+            }
+            let len = codec::get_uvarint(body, &mut pos)? as usize;
+            let end = pos.checked_add(len).ok_or(WireError::Truncated)?;
+            let name = body.get(pos..end).ok_or(WireError::Truncated)?;
+            pos = end;
+            let name = std::str::from_utf8(name).map_err(|_| WireError::NotText)?;
+            table.keys.push(MonitorKey::new(name));
+            table.last_bits.push(0);
+        }
+        let n_vals = codec::get_uvarint(body, &mut pos)? as usize;
+        if n_vals > body.len().saturating_sub(pos) {
+            return Err(WireError::Truncated);
+        }
+        let mut values = Vec::with_capacity(n_vals);
+        for _ in 0..n_vals {
+            let id = codec::get_uvarint(body, &mut pos)? as usize;
+            let key = table
+                .keys
+                .get(id)
+                .ok_or(WireError::UnknownKey(id.min(u32::MAX as usize) as u32))?
+                .clone();
+            let tag = *body.get(pos).ok_or(WireError::Truncated)?;
+            pos += 1;
+            let value = match tag {
+                TAG_NUM => {
+                    let bits = table.last_bits[id] ^ codec::get_uvarint(body, &mut pos)?;
+                    table.last_bits[id] = bits;
+                    Value::Num(f64::from_bits(bits))
+                }
+                TAG_TEXT => {
+                    let len = codec::get_uvarint(body, &mut pos)? as usize;
+                    let end = pos.checked_add(len).ok_or(WireError::Truncated)?;
+                    let s = body.get(pos..end).ok_or(WireError::Truncated)?;
+                    pos = end;
+                    Value::Text(
+                        std::str::from_utf8(s)
+                            .map_err(|_| WireError::NotText)?
+                            .to_string(),
+                    )
+                }
+                _ => return Err(WireError::Truncated),
+            };
+            values.push((key, value));
+        }
+        if pos != body.len() {
+            return Err(WireError::Truncated);
+        }
+        Ok(Report {
+            node,
+            seq,
+            time_secs,
+            values,
+        })
     }
 }
 
@@ -222,6 +492,106 @@ mod tests {
         };
         let back = decode(&encode(&r)).unwrap();
         assert!(back.values.is_empty());
+    }
+
+    #[test]
+    fn binary_round_trip_and_steady_state_shrinks() {
+        let mut enc = WireEncoder::new();
+        let mut dec = WireDecoder::new();
+        let mut r = report();
+        let first = enc.encode(&r);
+        assert!(first.starts_with(b"CWB1"));
+        assert_eq!(dec.decode_auto(&first).unwrap(), r);
+        // steady state: same keys, slightly moved values
+        r.seq += 1;
+        r.values[1].1 = Value::Num(0.43);
+        let next = enc.encode(&r);
+        assert_eq!(dec.decode_auto(&next).unwrap(), r);
+        // the continuation frame skips all key bindings
+        assert!(
+            next.len() < first.len(),
+            "dictionary amortized: {} !< {}",
+            next.len(),
+            first.len()
+        );
+    }
+
+    #[test]
+    fn binary_first_frame_is_self_contained() {
+        // the stateless decode_auto handles a frame that binds every key
+        let mut enc = WireEncoder::new();
+        let r = report();
+        let frame = enc.encode(&r);
+        assert_eq!(decode_auto(&frame).unwrap(), r);
+    }
+
+    #[test]
+    fn binary_continuation_needs_state() {
+        let mut enc = WireEncoder::new();
+        let r = report();
+        let _first = enc.encode(&r);
+        let second = enc.encode(&r);
+        assert!(matches!(
+            decode_auto(&second),
+            Err(WireError::UnknownKey(_))
+        ));
+    }
+
+    #[test]
+    fn binary_reset_resynchronizes_a_fresh_decoder() {
+        let mut enc = WireEncoder::new();
+        let r = report();
+        let _ = enc.encode(&r);
+        let _ = enc.encode(&r);
+        enc.reset();
+        let resync = enc.encode(&r);
+        // a decoder that saw none of the earlier frames still decodes
+        let mut dec = WireDecoder::new();
+        assert_eq!(dec.decode_auto(&resync).unwrap(), r);
+    }
+
+    #[test]
+    fn binary_rejects_corruption_without_panicking() {
+        let mut enc = WireEncoder::new();
+        let frame = enc.encode(&report());
+        // every truncation point fails cleanly
+        for n in 0..frame.len() {
+            assert!(decode_auto(&frame[..n]).is_err(), "truncated at {n}");
+        }
+        // a flipped payload bit fails the checksum
+        let mut bad = frame.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        assert!(decode_auto(&bad).is_err());
+        // garbage behind a valid magic is rejected too
+        let mut junk = b"CWB1".to_vec();
+        junk.extend_from_slice(&[0xAB; 32]);
+        assert!(decode_auto(&junk).is_err());
+    }
+
+    #[test]
+    fn binary_preserves_time_bits_exactly() {
+        let mut enc = WireEncoder::new();
+        let r = Report {
+            node: 3,
+            seq: 9,
+            time_secs: 123.456789012345,
+            values: vec![],
+        };
+        let back = decode_auto(&enc.encode(&r)).unwrap();
+        assert_eq!(back.time_secs.to_bits(), r.time_secs.to_bits());
+    }
+
+    #[test]
+    fn text_output_round_trips_through_decode_auto() {
+        // backward compat: the old textual encode still decodes
+        let r = report();
+        let back = decode_auto(encode(&r).as_bytes()).unwrap();
+        assert_eq!(back.node, r.node);
+        assert_eq!(back.seq, r.seq);
+        assert_eq!(back.values.len(), r.values.len());
+        let packed = encode_compressed(&r);
+        assert_eq!(decode_auto(&packed).unwrap().values.len(), r.values.len());
     }
 
     #[test]

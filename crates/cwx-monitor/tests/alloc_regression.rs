@@ -1,0 +1,102 @@
+//! Allocation regression test for the per-tick hot path.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; the
+//! test warms up the consolidator and the binary wire encoder, then
+//! asserts the steady state — suppressed `offer` calls and
+//! `encode_into` onto a reused buffer — performs zero heap
+//! allocations. This pins the two perf properties the interning and
+//! encode-into-buffer work bought: losing either shows up here as a
+//! counted alloc, not as a silent throughput regression.
+//!
+//! Kept as a single `#[test]` so no sibling test thread can allocate
+//! between the counter snapshots.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cwx_monitor::consolidate::Consolidator;
+use cwx_monitor::monitor::{MonitorClass, MonitorKey, Value};
+use cwx_monitor::transmit::{Report, WireEncoder};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counter is side-effect only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_hot_path_does_not_allocate() {
+    const KEYS: usize = 48;
+    let keys: Vec<MonitorKey> = (0..KEYS)
+        .map(|i| MonitorKey::new(format!("group{}.monitor_{i}", i % 5)))
+        .collect();
+
+    // --- consolidator: a suppressed offer must not touch the heap ---
+    let mut cons = Consolidator::new(true);
+    for k in &keys {
+        // warmup binds every key into the interner and sends it once
+        assert!(cons.offer(k, MonitorClass::Dynamic, &Value::Num(1.0)));
+    }
+    let before = allocs();
+    for _ in 0..256 {
+        for k in &keys {
+            let sent = cons.offer(k, MonitorClass::Dynamic, &Value::Num(1.0));
+            assert!(!sent, "unchanged value must be suppressed");
+        }
+    }
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "suppressed offers allocated on the hot path"
+    );
+
+    // --- binary encoder: steady-state frames reuse the caller buffer ---
+    let mut enc = WireEncoder::new();
+    let mut buf = Vec::new();
+    let mut r = Report {
+        node: 3,
+        seq: 0,
+        time_secs: 100.0,
+        values: keys.iter().map(|k| (k.clone(), Value::Num(0.5))).collect(),
+    };
+    // warmup: dictionary negotiation + buffer growth happen here
+    enc.encode_into(&r, &mut buf);
+    let before = allocs();
+    for i in 1..256u64 {
+        r.seq = i;
+        r.time_secs = 100.0 + i as f64;
+        for (j, (_, v)) in r.values.iter_mut().enumerate() {
+            *v = Value::Num(0.5 + (i + j as u64) as f64);
+        }
+        enc.encode_into(&r, &mut buf);
+    }
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state encode_into allocated despite a warm buffer"
+    );
+}

@@ -16,13 +16,20 @@
 //! threads land on different shards and never contend on a global lock.
 //!
 //! Write path: register series → WAL append (durable on return) →
-//! memtable. When a shard's memtable reaches `flush_threshold` samples
-//! it is flushed to an immutable raw segment and the WAL is
-//! checkpointed. When `compact_threshold` raw segments accumulate they
-//! are merged into one (dropping forgotten nodes) and re-downsampled
-//! into the 10-second and 5-minute tiers.
+//! memtable. [`Store::append_batch`] amortizes the shard lock and the
+//! WAL write across a whole ingest batch. When a shard's memtable
+//! reaches `flush_threshold` samples it is flushed to an immutable raw
+//! segment and the WAL is checkpointed. When `compact_threshold` raw
+//! segments accumulate they are merged into one (dropping forgotten
+//! nodes) and re-downsampled into the 10-second and 5-minute tiers.
 //!
-//! Recovery path: read and checksum-verify segments (corrupt ones are
+//! Read path: segments are *not* held decoded in memory. Opening a
+//! shard builds a [`SegmentIndex`] per file (header walk, no payload
+//! decode); queries binary-search the index, prune by the per-series
+//! time bounds, and fetch single series payloads through a shared
+//! [`BlockCache`] so repeated range queries decode each block once.
+//!
+//! Recovery path: index and checksum-verify segments (corrupt ones are
 //! quarantined with a `.corrupt` suffix), then replay the WAL, skipping
 //! samples already covered by a segment (the crash-between-flush-and-
 //! checkpoint window) and truncating a torn tail.
@@ -30,13 +37,15 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use cwx_util::time::{SimDuration, SimTime};
 use parking_lot::Mutex;
 
-use crate::segment::{Segment, SeriesData};
+use crate::cache::{BlockCache, BlockKey, CacheStats};
+use crate::segment::{self, Segment, SegmentIndex, SeriesData, SeriesIndexEntry};
 use crate::wal::{Wal, WalRecord};
-use crate::{aggregate, AggBucket, Resolution, Sample, Store, StoreError};
+use crate::{aggregate, AggBucket, BatchSample, Resolution, Sample, Store, StoreError};
 
 /// Sharding and flush parameters. Sharding fields are fixed at store
 /// creation and read back from disk on reopen.
@@ -50,6 +59,9 @@ pub struct StoreConfig {
     pub flush_threshold: usize,
     /// Raw segments per shard before compaction + downsampling.
     pub compact_threshold: usize,
+    /// Decoded samples the shared block cache may hold (16 B each for
+    /// raw blocks). Tunable per open — not persisted in CONFIG.
+    pub cache_capacity_samples: usize,
 }
 
 impl Default for StoreConfig {
@@ -60,6 +72,8 @@ impl Default for StoreConfig {
             nodes_per_group: 10,
             flush_threshold: 4096,
             compact_threshold: 4,
+            // ~4 MiB of decoded raw samples
+            cache_capacity_samples: 262_144,
         }
     }
 }
@@ -79,15 +93,34 @@ pub struct RecoveryReport {
     pub wal_truncated_bytes: u64,
 }
 
+/// An on-disk segment: path plus its header index. Payloads stay on
+/// disk until a query pulls them through the block cache.
 #[derive(Debug)]
 struct SegmentFile {
     path: PathBuf,
-    segment: Segment,
+    seq: u64,
+    index: SegmentIndex,
+}
+
+/// Locate `(node, monitor)` in an index (entries are sorted).
+fn find_entry<'a>(
+    index: &'a SegmentIndex,
+    node: u32,
+    monitor: &str,
+) -> Option<(usize, &'a SeriesIndexEntry)> {
+    let i = index
+        .entries
+        .partition_point(|e| (e.node, e.monitor.as_str()) < (node, monitor));
+    let e = index.entries.get(i)?;
+    (e.node == node && e.monitor == monitor).then_some((i, e))
 }
 
 #[derive(Debug)]
 struct Shard {
     dir: PathBuf,
+    /// This shard's index within the store (block-cache key space).
+    idx: u32,
+    cache: Arc<BlockCache>,
     wal: Wal,
     next_seq: u64,
     /// `(node, monitor)` → shard-local series id.
@@ -114,11 +147,13 @@ struct Shard {
 impl Shard {
     fn open(
         shard_dir: &Path,
+        idx: u32,
         cfg: &StoreConfig,
+        cache: Arc<BlockCache>,
         recovery: &mut RecoveryReport,
         total: &mut u64,
     ) -> Result<Shard, StoreError> {
-        // 1. segments, in sequence order, checksum-verified
+        // 1. segments, in sequence order, checksum-verified and indexed
         let mut files: Vec<(u64, Resolution, PathBuf)> = Vec::new();
         for entry in std::fs::read_dir(shard_dir)? {
             let path = entry?.path();
@@ -149,6 +184,8 @@ impl Shard {
         let wal_rec = Wal::open(&shard_dir.join("wal.log"))?;
         let mut shard = Shard {
             dir: shard_dir.to_path_buf(),
+            idx,
+            cache,
             wal: wal_rec.wal,
             next_seq: 1,
             ids: HashMap::new(),
@@ -167,8 +204,8 @@ impl Shard {
 
         for (seq, res, path) in files {
             shard.next_seq = shard.next_seq.max(seq + 1);
-            let segment = match Segment::read_from(&path) {
-                Ok(s) => s,
+            let index = match SegmentIndex::read_from(&path) {
+                Ok(i) => i,
                 Err(_) => {
                     let quarantined = path.with_extension("seg.corrupt");
                     let _ = std::fs::rename(&path, &quarantined);
@@ -179,20 +216,24 @@ impl Shard {
             recovery.segments_loaded += 1;
             match res {
                 Resolution::Raw => {
-                    for ((node, monitor), data) in &segment.series {
-                        *total += data.len() as u64;
-                        let id = shard.register(*node, monitor) as usize;
-                        shard.segmented_max[id] = shard.segmented_max[id].max(data.max_time());
+                    for e in &index.entries {
+                        *total += e.count as u64;
+                        let id = shard.register(e.node, &e.monitor) as usize;
+                        if e.count > 0 {
+                            shard.segmented_max[id] = shard.segmented_max[id].max(Some(e.max_time));
+                        }
                     }
-                    shard.raw.push(SegmentFile { path, segment });
+                    shard.raw.push(SegmentFile { path, seq, index });
                 }
                 Resolution::TenSeconds => {
-                    for (_, data) in &segment.series {
-                        shard.tier_covered = shard.tier_covered.max(data.max_time());
+                    for e in &index.entries {
+                        if e.count > 0 {
+                            shard.tier_covered = shard.tier_covered.max(Some(e.max_time));
+                        }
                     }
-                    shard.tiers.push(SegmentFile { path, segment });
+                    shard.tiers.push(SegmentFile { path, seq, index });
                 }
-                Resolution::FiveMinutes => shard.tiers.push(SegmentFile { path, segment }),
+                Resolution::FiveMinutes => shard.tiers.push(SegmentFile { path, seq, index }),
             }
         }
 
@@ -258,6 +299,27 @@ impl Shard {
         Ok(id)
     }
 
+    /// Fetch one series payload, through the cache. The segment read
+    /// happens outside the cache's internal lock.
+    fn read_block(&self, sf: &SegmentFile, series: usize) -> Result<Arc<SeriesData>, StoreError> {
+        let key = BlockKey {
+            shard: self.idx,
+            seq: sf.seq,
+            res: sf.index.resolution.tag(),
+            series: series as u32,
+        };
+        if let Some(block) = self.cache.get(&key) {
+            return Ok(block);
+        }
+        let data = Arc::new(segment::read_series(
+            &sf.path,
+            sf.index.resolution,
+            &sf.index.entries[series],
+        )?);
+        self.cache.insert(key, Arc::clone(&data));
+        Ok(data)
+    }
+
     fn flush(&mut self) -> Result<(), StoreError> {
         if self.mem_samples == 0 {
             return Ok(());
@@ -281,12 +343,14 @@ impl Shard {
         let seq = self.next_seq;
         self.next_seq += 1;
         let path = self.dir.join(segment_name(seq, Resolution::Raw));
-        seg.write_to(&path)?;
-        for ((node, monitor), data) in &seg.series {
-            let id = self.ids[&(*node, monitor.clone())] as usize;
-            self.segmented_max[id] = self.segmented_max[id].max(data.max_time());
+        let index = seg.write_to(&path)?;
+        for e in &index.entries {
+            let id = self.ids[&(e.node, e.monitor.clone())] as usize;
+            if e.count > 0 {
+                self.segmented_max[id] = self.segmented_max[id].max(Some(e.max_time));
+            }
         }
-        self.raw.push(SegmentFile { path, segment: seg });
+        self.raw.push(SegmentFile { path, seq, index });
         self.mem_samples = 0;
         // the flushed samples are durable in the segment; restart the log
         self.wal.checkpoint()?;
@@ -298,18 +362,17 @@ impl Shard {
     }
 
     fn compact(&mut self) -> Result<(), StoreError> {
-        // merge every raw segment per series
+        // merge every raw segment per series (full-file reads: compaction
+        // touches everything anyway, no point going through the cache)
         let mut merged: HashMap<(u32, String), Vec<Sample>> = HashMap::new();
         for sf in &self.raw {
-            for ((node, monitor), data) in &sf.segment.series {
-                if self.forgotten.contains(node) {
+            let segment = Segment::read_from(&sf.path)?;
+            for ((node, monitor), data) in segment.series {
+                if self.forgotten.contains(&node) {
                     continue;
                 }
                 if let SeriesData::Raw(samples) = data {
-                    merged
-                        .entry((*node, monitor.clone()))
-                        .or_default()
-                        .extend_from_slice(samples);
+                    merged.entry((node, monitor)).or_default().extend(samples);
                 }
             }
         }
@@ -343,18 +406,20 @@ impl Shard {
                 series,
             };
             let path = self.dir.join(segment_name(seq, res));
-            seg.write_to(&path)?;
-            let sf = SegmentFile { path, segment: seg };
+            let index = seg.write_to(&path)?;
+            let sf = SegmentFile { path, seq, index };
             if res == Resolution::Raw {
                 new_raw.push(sf);
             } else {
                 new_tiers.push(sf);
             }
         }
-        // the merged files are durable; drop the inputs
+        // the merged files are durable; drop the inputs and any cached
+        // blocks that pointed into them
         for sf in self.raw.drain(..).chain(self.tiers.drain(..)) {
             let _ = std::fs::remove_file(&sf.path);
         }
+        self.cache.evict_shard(self.idx);
         self.raw = new_raw;
         self.tiers = new_tiers;
         self.tier_covered = covered;
@@ -365,12 +430,24 @@ impl Shard {
     fn raw_range(&self, node: u32, monitor: &str, from: SimTime, to: SimTime) -> Vec<Sample> {
         let mut out: Vec<Sample> = Vec::new();
         for sf in &self.raw {
-            for ((n, m), data) in &sf.segment.series {
-                if *n == node && m == monitor {
-                    if let SeriesData::Raw(samples) = data {
-                        out.extend(samples.iter().filter(|s| s.time >= from && s.time <= to));
-                    }
-                }
+            let Some((i, e)) = find_entry(&sf.index, node, monitor) else {
+                continue;
+            };
+            if e.count == 0 || e.min_time > to || e.max_time < from {
+                continue;
+            }
+            // unreadable-after-open blocks degrade to a gap rather than
+            // a panic, matching the quarantine behaviour at open
+            let Ok(block) = self.read_block(sf, i) else {
+                continue;
+            };
+            if let SeriesData::Raw(samples) = &*block {
+                out.extend(
+                    samples
+                        .iter()
+                        .filter(|s| s.time >= from && s.time <= to)
+                        .copied(),
+                );
             }
         }
         if let Some(&id) = self.ids.get(&(node, monitor.to_string())) {
@@ -420,6 +497,7 @@ pub struct DiskStore {
     dir: PathBuf,
     cfg: StoreConfig,
     shards: Vec<Mutex<Shard>>,
+    cache: Arc<BlockCache>,
     total: AtomicU64,
     recovery: RecoveryReport,
 }
@@ -457,19 +535,28 @@ impl DiskStore {
         cfg.n_shards = cfg.n_shards.max(1);
         cfg.nodes_per_group = cfg.nodes_per_group.max(1);
 
+        let cache = Arc::new(BlockCache::new(cfg.cache_capacity_samples));
         let mut recovery = RecoveryReport::default();
         let mut total = 0u64;
         let mut shards = Vec::with_capacity(cfg.n_shards);
         for i in 0..cfg.n_shards {
             let shard_dir = dir.join(format!("shard-{i:03}"));
             std::fs::create_dir_all(&shard_dir)?;
-            let shard = Shard::open(&shard_dir, &cfg, &mut recovery, &mut total)?;
+            let shard = Shard::open(
+                &shard_dir,
+                i as u32,
+                &cfg,
+                Arc::clone(&cache),
+                &mut recovery,
+                &mut total,
+            )?;
             shards.push(Mutex::new(shard));
         }
         Ok(DiskStore {
             dir: dir.to_path_buf(),
             cfg,
             shards,
+            cache,
             total: AtomicU64::new(total),
             recovery,
         })
@@ -488,6 +575,16 @@ impl DiskStore {
     /// The effective configuration (sharding read back from disk).
     pub fn config(&self) -> &StoreConfig {
         &self.cfg
+    }
+
+    /// Block-cache hit/miss/eviction counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop every cached block (benches use this to measure cold reads).
+    pub fn clear_cache(&self) {
+        self.cache.clear()
     }
 
     fn shard_of(&self, node: u32) -> usize {
@@ -537,6 +634,48 @@ impl Store for DiskStore {
         }
     }
 
+    fn append_batch(&self, batch: &[BatchSample<'_>]) {
+        // group by shard so each lock (and each WAL write) is taken once
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, s) in batch.iter().enumerate() {
+            by_shard[self.shard_of(s.node)].push(i);
+        }
+        for (si, idxs) in by_shard.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[si].lock();
+            let mut groups: HashMap<u32, Vec<Sample>> = HashMap::new();
+            for &i in idxs {
+                let s = &batch[i];
+                let id = shard
+                    .series_id(s.node, s.monitor)
+                    .expect("cwx-store: WAL append failed");
+                groups.entry(id).or_default().push(Sample {
+                    time: s.time,
+                    value: s.value,
+                });
+            }
+            let frames: Vec<(u32, &[Sample])> =
+                groups.iter().map(|(&id, v)| (id, v.as_slice())).collect();
+            shard
+                .wal
+                .append_samples_multi(&frames)
+                .expect("cwx-store: WAL append failed");
+            drop(frames);
+            let mut appended = 0u64;
+            for (id, samples) in groups {
+                appended += samples.len() as u64;
+                shard.mem_samples += samples.len();
+                shard.mem[id as usize].extend(samples);
+            }
+            self.total.fetch_add(appended, Ordering::Relaxed);
+            if shard.mem_samples >= shard.flush_threshold {
+                shard.flush().expect("cwx-store: segment flush failed");
+            }
+        }
+    }
+
     fn latest(&self, node: u32, monitor: &str) -> Option<Sample> {
         let shard = self.shards[self.shard_of(node)].lock();
         let id = *shard.ids.get(&(node, monitor.to_string()))?;
@@ -579,20 +718,26 @@ impl Store for DiskStore {
         };
         let shard = self.shards[self.shard_of(node)].lock();
         let mut out: Vec<AggBucket> = Vec::new();
+        let from_floor = floor_to(from, width);
         for sf in &shard.tiers {
-            if sf.segment.resolution != res {
+            if sf.index.resolution != res {
                 continue;
             }
-            for ((n, m), data) in &sf.segment.series {
-                if *n == node && m == monitor {
-                    if let SeriesData::Buckets(buckets) = data {
-                        out.extend(
-                            buckets
-                                .iter()
-                                .filter(|b| b.start >= floor_to(from, width) && b.start <= to),
-                        );
-                    }
-                }
+            let Some((i, e)) = find_entry(&sf.index, node, monitor) else {
+                continue;
+            };
+            if e.count == 0 || e.min_time > to || e.max_time < from_floor {
+                continue;
+            }
+            let Ok(block) = shard.read_block(sf, i) else {
+                continue;
+            };
+            if let SeriesData::Buckets(buckets) = &*block {
+                out.extend(
+                    buckets
+                        .iter()
+                        .filter(|b| b.start >= from_floor && b.start <= to),
+                );
             }
         }
         // aggregate the raw suffix the tiers don't cover yet
@@ -641,7 +786,7 @@ impl Store for DiskStore {
         let on_disk = shard
             .raw
             .iter()
-            .any(|sf| sf.segment.series.iter().any(|((n, _), _)| *n == node));
+            .any(|sf| sf.index.entries.iter().any(|e| e.node == node));
         if ids.is_empty() && !on_disk {
             return;
         }
@@ -687,6 +832,7 @@ mod tests {
             nodes_per_group: 4,
             flush_threshold: 64,
             compact_threshold: 3,
+            cache_capacity_samples: 4096,
         }
     }
 
@@ -704,6 +850,108 @@ mod tests {
         assert_eq!(r[0].value, 10.0);
         assert_eq!(store.latest(9, "cpu.util").unwrap().value, 1.0);
         assert_eq!(store.series().len(), 2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn batch_append_matches_single_appends() {
+        let dir = tmp("batch");
+        {
+            let store = DiskStore::open(&dir, small_cfg()).unwrap();
+            let mut batch = Vec::new();
+            for i in 0..30u64 {
+                for node in [1u32, 9, 21] {
+                    batch.push(BatchSample {
+                        node,
+                        monitor: "cpu.util",
+                        time: t(i),
+                        value: node as f64 + i as f64,
+                    });
+                }
+            }
+            store.append_batch(&batch);
+            assert_eq!(store.total_samples(), 90);
+            for node in [1u32, 9, 21] {
+                let r = store.range(node, "cpu.util", SimTime::ZERO, SimTime::MAX);
+                assert_eq!(r.len(), 30);
+                assert_eq!(r[0].value, node as f64);
+            }
+            // no flush: durability must come from the batched WAL write
+        }
+        let store = DiskStore::open(&dir, small_cfg()).unwrap();
+        assert_eq!(store.recovery().samples_replayed, 90);
+        for node in [1u32, 9, 21] {
+            let r = store.range(node, "cpu.util", SimTime::ZERO, SimTime::MAX);
+            assert_eq!(r.len(), 30);
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn batch_append_crosses_flush_threshold() {
+        let dir = tmp("batchflush");
+        let store = DiskStore::open(&dir, small_cfg()).unwrap();
+        let batch: Vec<BatchSample<'_>> = (0..200u64)
+            .map(|i| BatchSample {
+                node: 0,
+                monitor: "m",
+                time: t(i),
+                value: i as f64,
+            })
+            .collect();
+        store.append_batch(&batch);
+        let r = store.range(0, "m", SimTime::ZERO, SimTime::MAX);
+        assert_eq!(r.len(), 200, "flushed segment + memtable both visible");
+        for (i, s) in r.iter().enumerate() {
+            assert_eq!(s.value, i as f64);
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn warm_queries_hit_the_block_cache() {
+        let dir = tmp("cache");
+        let store = DiskStore::open(&dir, small_cfg()).unwrap();
+        for i in 0..200u64 {
+            store.append(1, "m", t(i), i as f64);
+        }
+        store.flush_all().unwrap();
+        let cold = store.range(1, "m", SimTime::ZERO, SimTime::MAX);
+        assert_eq!(cold.len(), 200);
+        let s1 = store.cache_stats();
+        assert!(s1.misses > 0, "cold query loads blocks");
+        let warm = store.range(1, "m", SimTime::ZERO, SimTime::MAX);
+        assert_eq!(warm, cold);
+        let s2 = store.cache_stats();
+        assert_eq!(s2.misses, s1.misses, "warm query reads nothing from disk");
+        assert!(s2.hits > s1.hits);
+        store.clear_cache();
+        store.range(1, "m", SimTime::ZERO, SimTime::MAX);
+        assert!(
+            store.cache_stats().misses > s2.misses,
+            "cleared cache reloads"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn compaction_evicts_stale_cached_blocks() {
+        let dir = tmp("cacheevict");
+        let store = DiskStore::open(&dir, small_cfg()).unwrap();
+        for i in 0..200u64 {
+            store.append(1, "m", t(i), i as f64);
+        }
+        store.flush_all().unwrap();
+        store.range(1, "m", SimTime::ZERO, SimTime::MAX); // populate cache
+        assert!(store.cache_stats().entries > 0);
+        store.compact_all().unwrap();
+        assert_eq!(
+            store.cache_stats().entries,
+            0,
+            "blocks of deleted segments evicted"
+        );
+        // queries after compaction still see everything
+        assert_eq!(store.range(1, "m", SimTime::ZERO, SimTime::MAX).len(), 200);
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod codec;
 pub mod disk;
 pub mod mem;
@@ -138,6 +139,22 @@ impl From<std::io::Error> for StoreError {
     }
 }
 
+/// One sample in an ingest batch handed to [`Store::append_batch`].
+///
+/// Borrows the monitor name so callers can batch straight out of decoded
+/// reports without interning or cloning strings per sample.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchSample<'a> {
+    /// Node index.
+    pub node: u32,
+    /// Monitor name.
+    pub monitor: &'a str,
+    /// Sample time.
+    pub time: SimTime,
+    /// Numeric value.
+    pub value: f64,
+}
+
 /// The interface `cwx-monitor`'s history façade programs against.
 ///
 /// Methods take `&self`: backends use interior locking (per-shard for
@@ -147,6 +164,17 @@ pub trait Store: std::fmt::Debug + Send + Sync {
     /// Record one sample; the sample is durable (per the crate's
     /// durability contract) when this returns.
     fn append(&self, node: u32, monitor: &str, time: SimTime, value: f64);
+
+    /// Record a batch of samples with the same durability guarantee as
+    /// [`Store::append`] for every sample once this returns.
+    ///
+    /// The default just loops over [`Store::append`]; backends override
+    /// it to amortize locking and WAL writes across the whole batch.
+    fn append_batch(&self, batch: &[BatchSample<'_>]) {
+        for s in batch {
+            self.append(s.node, s.monitor, s.time, s.value);
+        }
+    }
 
     /// Latest sample of a series.
     fn latest(&self, node: u32, monitor: &str) -> Option<Sample>;
@@ -198,6 +226,9 @@ pub trait Store: std::fmt::Debug + Send + Sync {
 impl<S: Store + ?Sized> Store for std::sync::Arc<S> {
     fn append(&self, node: u32, monitor: &str, time: SimTime, value: f64) {
         (**self).append(node, monitor, time, value)
+    }
+    fn append_batch(&self, batch: &[BatchSample<'_>]) {
+        (**self).append_batch(batch)
     }
     fn latest(&self, node: u32, monitor: &str) -> Option<Sample> {
         (**self).latest(node, monitor)

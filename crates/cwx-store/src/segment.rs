@@ -4,22 +4,31 @@
 //! at one resolution. Layout, little-endian:
 //!
 //! ```text
-//! 8B  magic "CWXSEG1\n"
+//! 8B  magic "CWXSEG2\n"
 //! u8  resolution tag (0 raw, 1 ten-second, 2 five-minute)
 //! u32 series count
 //! per series:
 //!   u32 node | u16 name_len | name bytes | u32 count
-//!   raw:  delta-of-delta timestamps, then XOR-varint values
-//!   tier: delta-of-delta bucket starts, varint counts, then XOR-varint
-//!         min / mean / max / last chains
+//!   u32 payload_len | u32 payload_crc32 | u64 min_time | u64 max_time
+//!   payload (payload_len bytes):
+//!     raw:  delta-of-delta timestamps, then XOR-varint values
+//!     tier: delta-of-delta bucket starts, varint counts, then XOR-varint
+//!           min / mean / max / last chains
 //! u32 crc32 over everything after the magic
 //! ```
+//!
+//! Each series header carries the payload length, its own CRC and the
+//! series' time bounds, so a reader can walk the headers once into a
+//! [`SegmentIndex`] and afterwards fetch any single series with one
+//! `seek` + `read_exact` ([`read_series`]) — queries no longer decode
+//! the whole file. The trailing file CRC still guards the full-file
+//! read paths (recovery, compaction).
 //!
 //! Segments are written to a temp file and atomically renamed into
 //! place, so a crash mid-flush leaves no partial segment behind. The
 //! reader verifies magic and CRC before parsing anything.
 
-use std::io::Write;
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use cwx_util::time::SimTime;
@@ -29,7 +38,10 @@ use crate::codec::{
 };
 use crate::{AggBucket, Resolution, Sample, StoreError};
 
-const MAGIC: &[u8; 8] = b"CWXSEG1\n";
+const MAGIC: &[u8; 8] = b"CWXSEG2\n";
+/// Bytes in a per-series header after the variable-length name:
+/// count + payload_len + payload_crc + min_time + max_time.
+const SERIES_HEADER_TAIL: usize = 4 + 4 + 4 + 8 + 8;
 
 /// One series' payload inside a segment.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +66,14 @@ impl SeriesData {
         self.len() == 0
     }
 
+    /// Smallest timestamp (bucket start for tiers).
+    pub fn min_time(&self) -> Option<SimTime> {
+        match self {
+            SeriesData::Raw(v) => v.first().map(|s| s.time),
+            SeriesData::Buckets(v) => v.first().map(|b| b.start),
+        }
+    }
+
     /// Largest timestamp (bucket start for tiers).
     pub fn max_time(&self) -> Option<SimTime> {
         match self {
@@ -61,6 +81,215 @@ impl SeriesData {
             SeriesData::Buckets(v) => v.last().map(|b| b.start),
         }
     }
+}
+
+/// Where one series lives inside a segment file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesIndexEntry {
+    /// Node index.
+    pub node: u32,
+    /// Monitor name.
+    pub monitor: String,
+    /// Entries in the payload (samples or buckets).
+    pub count: u32,
+    /// Smallest timestamp in the payload (0 when empty).
+    pub min_time: SimTime,
+    /// Largest timestamp in the payload (0 when empty).
+    pub max_time: SimTime,
+    /// Absolute file offset of the payload.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// CRC32 of the payload bytes.
+    pub crc: u32,
+}
+
+/// The header walk of a segment file: everything needed to locate and
+/// prune series without decoding any payload.
+///
+/// Entries are in file order, which is sorted by `(node, monitor)` —
+/// the flush and compaction paths both sort before writing — so lookups
+/// can binary-search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentIndex {
+    /// Tier.
+    pub resolution: Resolution,
+    /// Per-series locations, sorted by `(node, monitor)`.
+    pub entries: Vec<SeriesIndexEntry>,
+}
+
+impl SegmentIndex {
+    /// Read the file at `path`, verify its checksum and build the index
+    /// without decoding any series payload.
+    pub fn read_from(path: &Path) -> Result<SegmentIndex, StoreError> {
+        let data = std::fs::read(path)?;
+        let corrupt = |reason| StoreError::CorruptSegment {
+            path: path.to_path_buf(),
+            reason,
+        };
+        if data.len() < MAGIC.len() + 4 || &data[..MAGIC.len()] != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let body = &data[MAGIC.len()..data.len() - 4];
+        let stored = u32::from_le_bytes(data[data.len() - 4..].try_into().unwrap());
+        if crc32(body) != stored {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], StoreError> {
+            let s = body
+                .get(*pos..*pos + n)
+                .ok_or_else(|| StoreError::CorruptSegment {
+                    path: path.to_path_buf(),
+                    reason: "truncated body",
+                })?;
+            *pos += n;
+            Ok(s)
+        };
+        let resolution = Resolution::from_tag(take(&mut pos, 1)?[0])
+            .ok_or_else(|| corrupt("bad resolution tag"))?;
+        let n_series = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let mut entries = Vec::with_capacity(n_series);
+        for _ in 0..n_series {
+            let node = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+            let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+            let monitor = String::from_utf8(take(&mut pos, name_len)?.to_vec())
+                .map_err(|_| corrupt("monitor name not utf-8"))?;
+            let tail = take(&mut pos, SERIES_HEADER_TAIL)?;
+            let count = u32::from_le_bytes(tail[0..4].try_into().unwrap());
+            let len = u32::from_le_bytes(tail[4..8].try_into().unwrap());
+            let crc = u32::from_le_bytes(tail[8..12].try_into().unwrap());
+            let min_time =
+                SimTime::from_nanos(u64::from_le_bytes(tail[12..20].try_into().unwrap()));
+            let max_time =
+                SimTime::from_nanos(u64::from_le_bytes(tail[20..28].try_into().unwrap()));
+            let offset = (MAGIC.len() + pos) as u64;
+            take(&mut pos, len as usize)?;
+            entries.push(SeriesIndexEntry {
+                node,
+                monitor,
+                count,
+                min_time,
+                max_time,
+                offset,
+                len,
+                crc,
+            });
+        }
+        if pos != body.len() {
+            return Err(corrupt("trailing bytes after last series"));
+        }
+        Ok(SegmentIndex {
+            resolution,
+            entries,
+        })
+    }
+}
+
+/// Fetch and decode one series' payload with a single positioned read.
+///
+/// `entry` must come from a [`SegmentIndex`] built over the same file;
+/// the payload CRC recorded in the header is re-verified, so a file
+/// swapped or damaged since indexing is detected, not mis-decoded.
+pub fn read_series(
+    path: &Path,
+    resolution: Resolution,
+    entry: &SeriesIndexEntry,
+) -> Result<SeriesData, StoreError> {
+    let mut f = std::fs::File::open(path)?;
+    f.seek(SeekFrom::Start(entry.offset))?;
+    let mut payload = vec![0u8; entry.len as usize];
+    f.read_exact(&mut payload)?;
+    if crc32(&payload) != entry.crc {
+        return Err(StoreError::CorruptSegment {
+            path: path.to_path_buf(),
+            reason: "series payload checksum mismatch",
+        });
+    }
+    decode_payload(&payload, resolution, entry.count as usize, path)
+}
+
+fn encode_payload(data: &SeriesData, out: &mut Vec<u8>) {
+    match data {
+        SeriesData::Raw(samples) => {
+            let times: Vec<u64> = samples.iter().map(|s| s.time.as_nanos()).collect();
+            let values: Vec<f64> = samples.iter().map(|s| s.value).collect();
+            put_timestamps(out, &times);
+            put_values(out, &values);
+        }
+        SeriesData::Buckets(buckets) => {
+            let starts: Vec<u64> = buckets.iter().map(|b| b.start.as_nanos()).collect();
+            put_timestamps(out, &starts);
+            for b in buckets {
+                put_uvarint(out, b.count);
+            }
+            for field in [
+                |b: &AggBucket| b.min,
+                |b: &AggBucket| b.mean,
+                |b: &AggBucket| b.max,
+                |b: &AggBucket| b.last,
+            ] {
+                let vals: Vec<f64> = buckets.iter().map(field).collect();
+                put_values(out, &vals);
+            }
+        }
+    }
+}
+
+fn decode_payload(
+    payload: &[u8],
+    resolution: Resolution,
+    count: usize,
+    origin: &Path,
+) -> Result<SeriesData, StoreError> {
+    let decode_err = |_| StoreError::CorruptSegment {
+        path: origin.to_path_buf(),
+        reason: "varint stream truncated",
+    };
+    let mut pos = 0usize;
+    let data = if resolution == Resolution::Raw {
+        let times = get_timestamps(payload, &mut pos, count).map_err(decode_err)?;
+        let values = get_values(payload, &mut pos, count).map_err(decode_err)?;
+        SeriesData::Raw(
+            times
+                .into_iter()
+                .zip(values)
+                .map(|(t, value)| Sample {
+                    time: SimTime::from_nanos(t),
+                    value,
+                })
+                .collect(),
+        )
+    } else {
+        let starts = get_timestamps(payload, &mut pos, count).map_err(decode_err)?;
+        let mut counts = Vec::with_capacity(count);
+        for _ in 0..count {
+            counts.push(get_uvarint(payload, &mut pos).map_err(decode_err)?);
+        }
+        let min = get_values(payload, &mut pos, count).map_err(decode_err)?;
+        let mean = get_values(payload, &mut pos, count).map_err(decode_err)?;
+        let max = get_values(payload, &mut pos, count).map_err(decode_err)?;
+        let last = get_values(payload, &mut pos, count).map_err(decode_err)?;
+        SeriesData::Buckets(
+            (0..count)
+                .map(|i| AggBucket {
+                    start: SimTime::from_nanos(starts[i]),
+                    count: counts[i],
+                    min: min[i],
+                    mean: mean[i],
+                    max: max[i],
+                    last: last[i],
+                })
+                .collect(),
+        )
+    };
+    if pos != payload.len() {
+        return Err(StoreError::CorruptSegment {
+            path: origin.to_path_buf(),
+            reason: "trailing bytes in series payload",
+        });
+    }
+    Ok(data)
 }
 
 /// A fully-decoded segment.
@@ -73,46 +302,53 @@ pub struct Segment {
 }
 
 impl Segment {
-    /// Encode to bytes.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Encode to bytes, also returning the index of what was written.
+    pub fn encode_indexed(&self) -> (Vec<u8>, SegmentIndex) {
         let mut body = Vec::new();
         body.push(self.resolution.tag());
         body.extend_from_slice(&(self.series.len() as u32).to_le_bytes());
+        let mut entries = Vec::with_capacity(self.series.len());
+        let mut payload = Vec::new();
         for ((node, name), data) in &self.series {
+            payload.clear();
+            encode_payload(data, &mut payload);
+            let crc = crc32(&payload);
             body.extend_from_slice(&node.to_le_bytes());
             body.extend_from_slice(&(name.len() as u16).to_le_bytes());
             body.extend_from_slice(name.as_bytes());
             body.extend_from_slice(&(data.len() as u32).to_le_bytes());
-            match data {
-                SeriesData::Raw(samples) => {
-                    let times: Vec<u64> = samples.iter().map(|s| s.time.as_nanos()).collect();
-                    let values: Vec<f64> = samples.iter().map(|s| s.value).collect();
-                    put_timestamps(&mut body, &times);
-                    put_values(&mut body, &values);
-                }
-                SeriesData::Buckets(buckets) => {
-                    let starts: Vec<u64> = buckets.iter().map(|b| b.start.as_nanos()).collect();
-                    put_timestamps(&mut body, &starts);
-                    for b in buckets {
-                        put_uvarint(&mut body, b.count);
-                    }
-                    for field in [
-                        |b: &AggBucket| b.min,
-                        |b: &AggBucket| b.mean,
-                        |b: &AggBucket| b.max,
-                        |b: &AggBucket| b.last,
-                    ] {
-                        let vals: Vec<f64> = buckets.iter().map(field).collect();
-                        put_values(&mut body, &vals);
-                    }
-                }
-            }
+            body.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            body.extend_from_slice(&crc.to_le_bytes());
+            let min_time = data.min_time().unwrap_or(SimTime::ZERO);
+            let max_time = data.max_time().unwrap_or(SimTime::ZERO);
+            body.extend_from_slice(&min_time.as_nanos().to_le_bytes());
+            body.extend_from_slice(&max_time.as_nanos().to_le_bytes());
+            entries.push(SeriesIndexEntry {
+                node: *node,
+                monitor: name.clone(),
+                count: data.len() as u32,
+                min_time,
+                max_time,
+                offset: (MAGIC.len() + body.len()) as u64,
+                len: payload.len() as u32,
+                crc,
+            });
+            body.extend_from_slice(&payload);
         }
         let mut out = Vec::with_capacity(MAGIC.len() + body.len() + 4);
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&body);
         out.extend_from_slice(&crc32(&body).to_le_bytes());
-        out
+        let index = SegmentIndex {
+            resolution: self.resolution,
+            entries,
+        };
+        (out, index)
+    }
+
+    /// Encode to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        self.encode_indexed().0
     }
 
     /// Decode and validate bytes produced by [`Segment::encode`].
@@ -149,62 +385,28 @@ impl Segment {
             let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
             let name = String::from_utf8(take(&mut pos, name_len)?.to_vec())
                 .map_err(|_| corrupt("monitor name not utf-8"))?;
-            let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
-            let decode_err = |_| StoreError::CorruptSegment {
-                path: origin.to_path_buf(),
-                reason: "varint stream truncated",
-            };
-            let data = if resolution == Resolution::Raw {
-                let times = get_timestamps(body, &mut pos, count).map_err(decode_err)?;
-                let values = get_values(body, &mut pos, count).map_err(decode_err)?;
-                SeriesData::Raw(
-                    times
-                        .into_iter()
-                        .zip(values)
-                        .map(|(t, value)| Sample {
-                            time: SimTime::from_nanos(t),
-                            value,
-                        })
-                        .collect(),
-                )
-            } else {
-                let starts = get_timestamps(body, &mut pos, count).map_err(decode_err)?;
-                let mut counts = Vec::with_capacity(count);
-                for _ in 0..count {
-                    counts.push(get_uvarint(body, &mut pos).map_err(decode_err)?);
-                }
-                let min = get_values(body, &mut pos, count).map_err(decode_err)?;
-                let mean = get_values(body, &mut pos, count).map_err(decode_err)?;
-                let max = get_values(body, &mut pos, count).map_err(decode_err)?;
-                let last = get_values(body, &mut pos, count).map_err(decode_err)?;
-                SeriesData::Buckets(
-                    (0..count)
-                        .map(|i| AggBucket {
-                            start: SimTime::from_nanos(starts[i]),
-                            count: counts[i],
-                            min: min[i],
-                            mean: mean[i],
-                            max: max[i],
-                            last: last[i],
-                        })
-                        .collect(),
-                )
-            };
+            let tail = take(&mut pos, SERIES_HEADER_TAIL)?;
+            let count = u32::from_le_bytes(tail[0..4].try_into().unwrap()) as usize;
+            let len = u32::from_le_bytes(tail[4..8].try_into().unwrap()) as usize;
+            let payload = take(&mut pos, len)?;
+            let data = decode_payload(payload, resolution, count, origin)?;
             series.push(((node, name), data));
         }
         Ok(Segment { resolution, series })
     }
 
-    /// Write atomically to `path` (temp file + rename).
-    pub fn write_to(&self, path: &Path) -> Result<(), StoreError> {
+    /// Write atomically to `path` (temp file + rename), returning the
+    /// index of the written file so callers need not re-read it.
+    pub fn write_to(&self, path: &Path) -> Result<SegmentIndex, StoreError> {
+        let (bytes, index) = self.encode_indexed();
         let tmp: PathBuf = path.with_extension("tmp");
         {
             let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(&self.encode())?;
+            f.write_all(&bytes)?;
             f.sync_data().ok();
         }
         std::fs::rename(&tmp, path)?;
-        Ok(())
+        Ok(index)
     }
 
     /// Read and validate the segment at `path`.
@@ -320,12 +522,68 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("seg-00000001-r0.seg");
         let seg = raw_segment();
-        seg.write_to(&path).unwrap();
+        let index = seg.write_to(&path).unwrap();
         assert_eq!(Segment::read_from(&path).unwrap(), seg);
         assert!(
             !path.with_extension("tmp").exists(),
             "temp file renamed away"
         );
+        assert_eq!(index, SegmentIndex::read_from(&path).unwrap());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn index_locates_series_for_positioned_reads() {
+        let dir = std::env::temp_dir().join(format!("cwx-seg-idx-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg-00000001-r0.seg");
+        let seg = raw_segment();
+        let index = seg.write_to(&path).unwrap();
+
+        assert_eq!(index.resolution, Resolution::Raw);
+        assert_eq!(index.entries.len(), 2);
+        let e = &index.entries[0];
+        assert_eq!((e.node, e.monitor.as_str()), (3, "cpu.util"));
+        assert_eq!(e.count, 100);
+        assert_eq!(e.min_time, t(0));
+        assert_eq!(e.max_time, t(99 * 5));
+        assert_eq!(
+            read_series(&path, index.resolution, e).unwrap(),
+            seg.series[0].1
+        );
+        // the empty series round-trips too
+        let e = &index.entries[1];
+        assert_eq!(e.count, 0);
+        assert_eq!(
+            read_series(&path, index.resolution, e).unwrap(),
+            SeriesData::Raw(vec![])
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn positioned_read_detects_damaged_payload() {
+        let dir = std::env::temp_dir().join(format!("cwx-seg-dmg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg-00000001-r0.seg");
+        let seg = raw_segment();
+        let index = seg.write_to(&path).unwrap();
+        let e = &index.entries[0];
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[e.offset as usize + 3] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let err = read_series(&path, index.resolution, e).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::CorruptSegment {
+                reason: "series payload checksum mismatch",
+                ..
+            }
+        ));
         let _ = std::fs::remove_dir_all(dir);
     }
 }

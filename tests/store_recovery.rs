@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::thread;
 
 use cwx_store::disk::{DiskStore, StoreConfig};
-use cwx_store::{Sample, Store};
+use cwx_store::{BatchSample, Sample, Store};
 use cwx_util::time::SimTime;
 
 const NODES: u32 = 8;
@@ -40,6 +40,7 @@ fn kill_and_restart_loses_no_acknowledged_sample() {
                     nodes_per_group: 2,
                     flush_threshold: 1024,
                     compact_threshold: 4,
+                    ..StoreConfig::default()
                 },
             )
             .expect("fresh store"),
@@ -101,6 +102,91 @@ fn kill_and_restart_loses_no_acknowledged_sample() {
     let store = DiskStore::open(&dir, StoreConfig::default()).expect("third open");
     let last = store.latest(0, "cpu.util_pct").expect("series survives");
     assert_eq!((last.time, last.value), (late, 42.0));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_mid_batch_preserves_acknowledged_batches() {
+    // Batched ingest writes one WAL frame per series per batch, all in a
+    // single syscall. A crash can tear that write anywhere; everything
+    // before the tear must replay, everything after must vanish cleanly.
+    let dir = std::env::temp_dir().join(format!("cwx-recovery-batch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    const BATCHES: u64 = 10;
+    const PER_BATCH: u64 = 10;
+    let sample = |m: u64, i: u64| Sample {
+        time: SimTime::from_nanos(1_000_000_000 * (i + 1)),
+        value: (m * 1000 + i) as f64,
+    };
+    let cfg = || StoreConfig {
+        n_shards: 1, // one WAL so the tear point is deterministic to hit
+        nodes_per_group: 2,
+        flush_threshold: 1_000_000, // never flush: everything stays in the WAL
+        compact_threshold: 4,
+        ..StoreConfig::default()
+    };
+
+    {
+        let store = DiskStore::open(&dir, cfg()).expect("fresh store");
+        for b in 0..BATCHES {
+            let mut batch = Vec::new();
+            for (m, monitor) in MONITORS.iter().enumerate() {
+                for i in b * PER_BATCH..(b + 1) * PER_BATCH {
+                    batch.push(BatchSample {
+                        node: 0,
+                        monitor,
+                        time: sample(m as u64, i).time,
+                        value: sample(m as u64, i).value,
+                    });
+                }
+            }
+            // returning from append_batch acknowledges the whole batch
+            store.append_batch(&batch);
+        }
+        drop(store); // kill: no flush
+    }
+
+    // tear the WAL mid-frame: the final frame of the last batch loses
+    // its tail, exactly as if the machine died during the write
+    let wal = dir.join("shard-000").join("wal.log");
+    let len = std::fs::metadata(&wal).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
+    f.set_len(len - 9).unwrap();
+    drop(f);
+
+    let store = DiskStore::open(&dir, cfg()).expect("recovered store");
+    let rec = store.recovery();
+    assert!(
+        rec.wal_truncated_bytes > 0,
+        "the torn frame was dropped: {rec:?}"
+    );
+
+    let total_expected = MONITORS.len() as u64 * BATCHES * PER_BATCH;
+    let mut recovered = 0u64;
+    for (m, monitor) in MONITORS.iter().enumerate() {
+        let got = store.range(0, monitor, SimTime::ZERO, SimTime::MAX);
+        // a series lost at most its final-batch frame, never more
+        assert!(
+            got.len() as u64 >= (BATCHES - 1) * PER_BATCH,
+            "{monitor}: acknowledged batches 0..{} must survive, got {}",
+            BATCHES - 1,
+            got.len()
+        );
+        assert!(got.len() as u64 <= BATCHES * PER_BATCH);
+        // and what survived is a bit-exact prefix, in order
+        for (i, s) in got.iter().enumerate() {
+            let e = sample(m as u64, i as u64);
+            assert_eq!(s.time, e.time, "{monitor}[{i}]");
+            assert_eq!(s.value.to_bits(), e.value.to_bits(), "{monitor}[{i}]");
+        }
+        recovered += got.len() as u64;
+    }
+    assert!(
+        recovered < total_expected,
+        "the tear must actually have cost the torn frame"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }
