@@ -28,6 +28,12 @@ pub struct ScaleRow {
     pub bytes_per_node_per_sec: f64,
     /// Fraction of a fast-Ethernet segment the monitoring consumes.
     pub segment_fraction: f64,
+    /// Wall-clock seconds the measured window took to simulate.
+    pub wall_secs: f64,
+    /// Simulation events dispatched per wall-clock second over the
+    /// measured window — the engine-throughput column that shows the
+    /// timing-wheel scheduler holding up as the cluster grows.
+    pub events_per_sec: f64,
 }
 
 /// Simulate `secs` of monitoring on an `n`-node cluster.
@@ -46,9 +52,13 @@ pub fn monitor_load(seed: u64, n: u32, secs: u64, delta: bool) -> ScaleRow {
     sim.run_for(SimDuration::from_secs(60));
     let stats0 = sim.world().server.stats();
     let wire0 = sim.world().net.segment(SegmentId(0)).wire_bytes();
+    let events0 = sim.events_executed();
+    let t0 = std::time::Instant::now();
     sim.run_for(SimDuration::from_secs(secs));
+    let wall_secs = t0.elapsed().as_secs_f64();
     let stats1 = sim.world().server.stats();
     let wire1 = sim.world().net.segment(SegmentId(0)).wire_bytes();
+    let events1 = sim.events_executed();
 
     let dt = secs as f64;
     let wire_rate = (wire1 - wire0) as f64 / dt;
@@ -61,6 +71,8 @@ pub fn monitor_load(seed: u64, n: u32, secs: u64, delta: bool) -> ScaleRow {
         values_per_sec: (stats1.values_rx - stats0.values_rx) as f64 / dt,
         bytes_per_node_per_sec: wire_rate / n as f64,
         segment_fraction: wire_rate / bandwidth,
+        wall_secs,
+        events_per_sec: (events1 - events0) as f64 / wall_secs.max(1e-9),
     }
 }
 

@@ -42,8 +42,11 @@ pub struct SweepPoint {
     pub n_nodes: u32,
     /// Multicast result.
     pub multicast: CloneReport,
-    /// Unicast baseline (None when skipped for scale).
-    pub unicast: Option<CloneReport>,
+    /// Unicast baseline. Runs at every node count — the ~N× event
+    /// volume that used to force a skip above 100 nodes is cheap under
+    /// the timing-wheel engine, so the sweep shows the multicast gap
+    /// all the way out to the paper's 400-node scale.
+    pub unicast: CloneReport,
 }
 
 /// Node-count sweep with a shared image size.
@@ -56,19 +59,16 @@ pub fn node_sweep(seed: u64, image_bytes: u64, loss: f64, counts: &[u32]) -> Vec
                 ..llnl_config()
             };
             let multicast = run_clone(seed, n, FAST_ETHERNET_BPS, loss, cfg.clone());
-            // unicast cost grows ~N^2 in simulated events; cap it
-            let unicast = (n <= 100).then(|| {
-                run_clone(
-                    seed,
-                    n,
-                    FAST_ETHERNET_BPS,
-                    loss,
-                    CloneConfig {
-                        strategy: RepairStrategy::Unicast,
-                        ..cfg
-                    },
-                )
-            });
+            let unicast = run_clone(
+                seed,
+                n,
+                FAST_ETHERNET_BPS,
+                loss,
+                CloneConfig {
+                    strategy: RepairStrategy::Unicast,
+                    ..cfg
+                },
+            );
             SweepPoint {
                 n_nodes: n,
                 multicast,
@@ -166,8 +166,8 @@ mod tests {
             mc50 < mc5 * 1.5,
             "multicast distribution ~independent of N: {mc5} vs {mc50}"
         );
-        let uni5 = pts[0].unicast.as_ref().unwrap().data_complete_secs;
-        let uni50 = pts[2].unicast.as_ref().unwrap().data_complete_secs;
+        let uni5 = pts[0].unicast.data_complete_secs;
+        let uni50 = pts[2].unicast.data_complete_secs;
         assert!(
             uni50 > uni5 * 5.0,
             "unicast scales with N: {uni5} vs {uni50}"

@@ -56,6 +56,28 @@ pub struct ClusterConfig {
     /// When set, server history persists to a `cwx-store` directory
     /// instead of the in-memory ring, surviving server restarts.
     pub store_dir: Option<std::path::PathBuf>,
+    /// Worker shards for the parallel hardware step (and agent
+    /// sampling). `0` = auto: single-threaded below 1024 nodes, then one
+    /// shard per 256 nodes capped at the machine's parallelism. Results
+    /// are bit-identical for every value — see `cwx_hw::fleet`.
+    pub hw_shards: usize,
+}
+
+impl ClusterConfig {
+    /// Resolve [`ClusterConfig::hw_shards`] to a concrete shard count.
+    pub fn effective_hw_shards(&self) -> usize {
+        if self.hw_shards != 0 {
+            return self.hw_shards;
+        }
+        let n = self.n_nodes as usize;
+        if n < 1024 {
+            return 1; // thread setup costs more than it saves
+        }
+        let avail = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        avail.min(n / 256).max(1)
+    }
 }
 
 impl Default for ClusterConfig {
@@ -78,6 +100,7 @@ impl Default for ClusterConfig {
             bad_memory_nodes: Vec::new(),
             history_capacity: 720,
             store_dir: None,
+            hw_shards: 0,
         }
     }
 }
@@ -93,5 +116,15 @@ mod tests {
         assert!(c.agent_interval.as_secs_f64() >= c.hw_step.as_secs_f64());
         assert_eq!(c.firmware, Firmware::LinuxBios);
         assert!(c.delta_enabled && c.compress && c.autostart);
+    }
+
+    #[test]
+    fn shard_auto_scaling() {
+        let mut c = ClusterConfig::default();
+        assert_eq!(c.effective_hw_shards(), 1, "small fleets stay inline");
+        c.n_nodes = 10_000;
+        assert!(c.effective_hw_shards() >= 1);
+        c.hw_shards = 3;
+        assert_eq!(c.effective_hw_shards(), 3, "explicit setting wins");
     }
 }

@@ -122,10 +122,11 @@ pub fn add_node(sim: &mut Sim<World>) -> u32 {
             ),
             bios: cwx_bios::BiosChip::new(w.cfg.firmware),
             agent: None,
-            boot_gen: 0,
+            pending_boot: Vec::new(),
             expected_up: false,
             up_since: None,
             image: None,
+            rng: crate::world::node_rng(w.cfg.seed, node),
         });
         // a new chassis every 10 nodes
         let (bx, _) = World::rack_of(node);

@@ -12,7 +12,7 @@ use cwx_monitor::snapshot::Sensors;
 use cwx_net::{Network, NodeAddr};
 use cwx_proc::synthetic::SyntheticProc;
 use cwx_util::rng::rng as seeded_rng;
-use cwx_util::sim::Sim;
+use cwx_util::sim::{EventId, Sim};
 use cwx_util::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 
@@ -55,8 +55,9 @@ pub struct NodeState {
     pub bios: BiosChip,
     /// The monitoring agent (present while the OS is up).
     pub agent: Option<Agent<SyntheticProc>>,
-    /// Invalidates in-flight boot events when power changes.
-    pub boot_gen: u64,
+    /// In-flight boot-sequence events (energize, console phases, boot
+    /// completion); cancelled wholesale when power changes.
+    pub pending_boot: Vec<EventId>,
     /// The administrator expects this node to be up (set when a boot
     /// completes, cleared by power-off/halt).
     pub expected_up: bool,
@@ -65,6 +66,17 @@ pub struct NodeState {
     pub up_since: Option<SimTime>,
     /// The system image provisioned onto this node (None = factory).
     pub image: Option<crate::provisioning::InstalledImage>,
+    /// This node's private noise stream. Independent per-node RNGs make
+    /// the parallel hardware step deterministic for any shard count.
+    pub rng: StdRng,
+}
+
+/// The private noise stream for one node: derived from the cluster seed
+/// and the node id, independent of every other node's.
+pub fn node_rng(seed: u64, node: u32) -> StdRng {
+    // splitmix-style index mix so adjacent nodes get unrelated streams
+    let mixed = (seed ^ 0x5eed).wrapping_add((node as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    seeded_rng(mixed)
 }
 
 /// The whole simulated cluster.
@@ -152,10 +164,11 @@ impl Cluster {
                 hw: NodeHardware::new(NodeId(i), ThermalConfig::default(), workload),
                 bios: BiosChip::new(cfg.firmware),
                 agent: None,
-                boot_gen: 0,
+                pending_boot: Vec::new(),
                 expected_up: false,
                 up_since: None,
                 image: None,
+                rng: node_rng(cfg.seed, i),
             });
         }
         let n_boxes = (n as usize).div_ceil(NODE_PORTS);
@@ -193,7 +206,8 @@ impl Cluster {
             action_plugins: std::collections::BTreeMap::new(),
             plugin_log: Vec::new(),
             rng: {
-                // separate stream for hardware noise
+                // separate stream for firmware boot-plan randomness
+                // (hardware noise lives in the per-node RNGs)
                 let _ = &mut rng;
                 seeded_rng(cfg.seed ^ 0x5eed)
             },
@@ -238,16 +252,22 @@ fn install_recurring_events(sim: &mut Sim<World>) {
 }
 
 /// Advance the physics of every node and route console output.
+///
+/// One fleet-wide pass, parallelized over shards: each node evolves from
+/// its own RNG, so shards never contend and the merged event stream is
+/// node-id-ordered regardless of shard count. Events route back through
+/// the sim single-threaded, untouched semantics.
 fn hw_tick(sim: &mut Sim<World>, dt_secs: f64) {
-    let n = sim.world().nodes.len();
-    for i in 0..n {
-        let events = {
-            let w = sim.world_mut();
-            // split borrows: rng and node
-            let World { nodes, rng, .. } = w;
-            nodes[i].hw.advance(dt_secs, rng)
-        };
-        route_hw_events(sim, i as u32, events);
+    let shards = sim.world().cfg.effective_hw_shards();
+    let emitted = {
+        let w = sim.world_mut();
+        cwx_hw::fleet::step_fleet(&mut w.nodes, shards, |_, st| {
+            let events = st.hw.advance(dt_secs, &mut st.rng);
+            (!events.is_empty()).then_some(events)
+        })
+    };
+    for (node, events) in emitted {
+        route_hw_events(sim, node, events);
     }
 }
 
@@ -268,20 +288,21 @@ fn route_hw_events(sim: &mut Sim<World>, node: u32, events: Vec<HwEvent>) {
 }
 
 /// Run every live agent and ship its report to the server.
+///
+/// Report *generation* (sampling `/proc`, consolidation, encoding) is
+/// per-node work and runs through the same sharded fleet pass as the
+/// hardware step; the shared network and server stay single-threaded,
+/// fed in node-id order.
 fn agent_tick(sim: &mut Sim<World>) {
     let now = sim.now();
-    let n = sim.world().nodes.len();
-    let mut deliveries = Vec::new();
-    for i in 0..n {
-        let payload = {
-            let w = sim.world_mut();
-            let st = &mut w.nodes[i];
+    let shards = sim.world().cfg.effective_hw_shards();
+    let reports = {
+        let w = sim.world_mut();
+        cwx_hw::fleet::step_fleet(&mut w.nodes, shards, |_, st| {
             if !st.hw.is_up() {
-                continue;
+                return None;
             }
-            let Some(agent) = st.agent.as_mut() else {
-                continue;
-            };
+            let agent = st.agent.as_mut()?;
             let sensors = Sensors {
                 cpu_temp_c: st.hw.temperature_c(),
                 board_temp_c: st.hw.temperature_c() - 8.0,
@@ -289,15 +310,15 @@ fn agent_tick(sim: &mut Sim<World>) {
                 power_watts: st.hw.power_watts(),
                 udp_echo_ok: true,
             };
-            match agent.tick(now, sensors) {
-                Ok(out) => out.payload,
-                Err(_) => continue,
-            }
-        };
+            agent.tick(now, sensors).ok().map(|out| out.payload)
+        })
+    };
+    let mut deliveries = Vec::new();
+    for (node, payload) in reports {
         let size = payload.len() as u64;
         let ds = sim.world_mut().net.unicast(
             now,
-            World::addr_of(i as u32),
+            World::addr_of(node),
             World::SERVER_ADDR,
             size,
             payload,
@@ -314,43 +335,48 @@ fn agent_tick(sim: &mut Sim<World>) {
 }
 
 /// Sample the ICE Box probes and feed them to the server out-of-band.
+///
+/// A single fleet-wide pass over the dense node vector: the chassis,
+/// node, and server borrows are split once instead of re-borrowing the
+/// world per node.
 fn probe_tick(sim: &mut Sim<World>) {
     let now = sim.now();
-    let n = sim.world().nodes.len();
-    for i in 0..n {
-        let (bx, port) = World::rack_of(i as u32);
-        let (reading, observe) = {
-            let w = sim.world_mut();
-            let st = &w.nodes[i];
+    {
+        let World {
+            nodes,
+            iceboxes,
+            server,
+            ..
+        } = sim.world_mut();
+        for (i, st) in nodes.iter().enumerate() {
+            let (bx, port) = World::rack_of(i as u32);
             let reading = ProbeReading {
                 temp_c: st.hw.temperature_c(),
                 watts: st.hw.power_watts(),
                 fan_rpm: st.hw.fan_rpm(),
             };
-            w.iceboxes[bx].record_probe(port, reading);
+            iceboxes[bx].record_probe(port, reading);
             // Feed the event engine only for nodes that are supposed to
             // be running: a node mid-boot (or whose outlet is still in
             // its sequenced energize window) legitimately draws nothing
             // and must not trip the PSU/fan rules.
-            let relay_on = w.iceboxes[bx].relay_on(port);
-            let settled = w.iceboxes[bx].pending_energize(port).is_none();
-            let st = &w.nodes[i];
+            let relay_on = iceboxes[bx].relay_on(port);
+            let settled = iceboxes[bx].pending_energize(port).is_none();
             let expected = st.hw.is_up()
                 || st.expected_up
                 || matches!(
                     st.hw.health(),
                     cwx_hw::HealthState::PsuFailed | cwx_hw::HealthState::Burned
                 );
-            (reading, relay_on && settled && expected)
-        };
-        if observe {
-            sim.world_mut().server.record_probe(
-                now,
-                i as u32,
-                reading.temp_c,
-                reading.watts,
-                reading.fan_rpm,
-            );
+            if relay_on && settled && expected {
+                server.record_probe(
+                    now,
+                    i as u32,
+                    reading.temp_c,
+                    reading.watts,
+                    reading.fan_rpm,
+                );
+            }
         }
     }
     execute_pending_actions(sim);
@@ -365,29 +391,25 @@ fn probe_tick(sim: &mut Sim<World>) {
 /// before its first report lands.
 fn housekeeping_tick(sim: &mut Sim<World>) {
     let now = sim.now();
-    let n = sim.world().nodes.len();
-    let stale = sim.world().cfg.agent_interval * 4;
-    for i in 0..n {
-        let echo = {
-            let w = sim.world();
-            let st = &w.nodes[i];
+    let key = MonitorKey::new("net.connectivity");
+    {
+        let w = sim.world_mut();
+        let stale = w.cfg.agent_interval * 4;
+        let World { nodes, server, .. } = w;
+        for (i, st) in nodes.iter().enumerate() {
             let Some(up_since) = st.up_since else {
                 continue;
             };
             if now.since(up_since) <= stale {
                 continue; // grace period after boot
             }
-            let heard_recently = w
-                .server
+            let heard_recently = server
                 .node_status(i as u32)
                 .map(|s| now.since(s.last_report) <= stale)
                 .unwrap_or(false);
-            st.hw.is_up() && heard_recently
-        };
-        let key = MonitorKey::new("net.connectivity");
-        sim.world_mut()
-            .server
-            .observe(now, i as u32, &key, echo as u8 as f64);
+            let echo = st.hw.is_up() && heard_recently;
+            server.observe(now, i as u32, &key, echo as u8 as f64);
+        }
     }
     execute_pending_actions(sim);
     sim.world_mut().server.housekeeping(now);
@@ -421,12 +443,12 @@ fn execute_pending_actions(sim: &mut Sim<World>) {
                 });
             }
             Action::Halt => {
+                cancel_boot_events(sim, a.node);
                 let st = &mut sim.world_mut().nodes[a.node as usize];
                 st.hw.set_booted(false);
                 st.agent = None;
                 st.expected_up = false;
                 st.up_since = None;
-                st.boot_gen += 1;
             }
             Action::Plugin(ref name) => {
                 let verdict = {
@@ -457,18 +479,29 @@ fn execute_pending_actions(sim: &mut Sim<World>) {
     }
 }
 
+/// Cancel every in-flight boot-sequence event for a node (energize,
+/// console phases, boot completion). O(1) per event in the wheel; stale
+/// ids that already fired are rejected by their generation check, so
+/// draining the whole list is always safe.
+fn cancel_boot_events(sim: &mut Sim<World>, node: u32) {
+    let ids = std::mem::take(&mut sim.world_mut().nodes[node as usize].pending_boot);
+    for id in ids {
+        sim.cancel(id);
+    }
+}
+
 /// Cut a node's power through its chassis.
 pub fn power_off_node(sim: &mut Sim<World>, node: u32) {
     let (bx, port) = World::rack_of(node);
     let effect = sim.world_mut().iceboxes[bx].power_off(port);
     if effect.is_some() {
+        cancel_boot_events(sim, node);
         let w = sim.world_mut();
         let st = &mut w.nodes[node as usize];
         st.hw.set_power(PowerState::Off);
         st.agent = None;
         st.expected_up = false;
         st.up_since = None;
-        st.boot_gen += 1;
         w.server.forget_node(node);
     }
 }
@@ -482,18 +515,12 @@ pub fn power_on_node(sim: &mut Sim<World>, node: u32) {
     else {
         return; // already on
     };
-    let gen = {
-        let st = &mut sim.world_mut().nodes[node as usize];
-        st.boot_gen += 1;
-        st.boot_gen
-    };
-    sim.schedule_at(at, move |sim| {
+    // a re-issued power-on supersedes any boot already in flight
+    cancel_boot_events(sim, node);
+    let energize = sim.schedule_at(at, move |sim| {
         let (bx, port) = World::rack_of(node);
         {
             let w = sim.world_mut();
-            if w.nodes[node as usize].boot_gen != gen {
-                return; // superseded by a later power change
-            }
             w.iceboxes[bx].mark_energized(port);
             w.nodes[node as usize].hw.set_power(PowerState::On);
         }
@@ -512,33 +539,38 @@ pub fn power_on_node(sim: &mut Sim<World>, node: u32) {
             )
         };
         let mut offset = SimDuration::ZERO;
+        let mut chain = Vec::new();
         for phase in &plan.phases {
             if !phase.console.is_empty() {
                 let text = phase.console.clone();
-                sim.schedule_in(offset, move |sim| {
-                    let w = sim.world_mut();
-                    if w.nodes[node as usize].boot_gen != gen {
-                        return;
-                    }
+                chain.push(sim.schedule_in(offset, move |sim| {
                     let (bx, port) = World::rack_of(node);
-                    w.iceboxes[bx].feed_console(port, text.as_bytes());
-                });
+                    sim.world_mut().iceboxes[bx].feed_console(port, text.as_bytes());
+                }));
             }
             offset += phase.duration;
         }
         if memory_ok {
-            sim.schedule_in(offset, move |sim| finish_boot(sim, node, gen));
+            chain.push(sim.schedule_in(offset, move |sim| finish_boot(sim, node)));
         }
         // a failed memory check halts in firmware: the node never boots,
         // and only LinuxBIOS told anyone why
+        sim.world_mut().nodes[node as usize]
+            .pending_boot
+            .extend(chain);
     });
+    sim.world_mut().nodes[node as usize]
+        .pending_boot
+        .push(energize);
 }
 
-fn finish_boot(sim: &mut Sim<World>, node: u32, gen: u64) {
+fn finish_boot(sim: &mut Sim<World>, node: u32) {
     let now = sim.now();
     let w = sim.world_mut();
     let st = &mut w.nodes[node as usize];
-    if st.boot_gen != gen || st.hw.power() != PowerState::On {
+    // the boot sequence is complete: nothing left to cancel
+    st.pending_boot.clear();
+    if st.hw.power() != PowerState::On {
         return;
     }
     st.hw.set_booted(true);
@@ -780,6 +812,51 @@ mod tests {
             )
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn power_off_mid_boot_cancels_the_whole_boot_chain() {
+        let mut sim = Cluster::build(ClusterConfig {
+            n_nodes: 1,
+            autostart: false,
+            ..Default::default()
+        });
+        let idle = sim.events_pending();
+        power_on_node(&mut sim, 0);
+        // let the energize event fire so the console/finish chain exists
+        sim.run_for(SimDuration::from_secs(2));
+        assert!(
+            !sim.world().nodes[0].pending_boot.is_empty(),
+            "boot chain must be tracked"
+        );
+        power_off_node(&mut sim, 0);
+        assert!(sim.world().nodes[0].pending_boot.is_empty());
+        assert_eq!(
+            sim.events_pending(),
+            idle,
+            "cancel must reclaim every in-flight boot event"
+        );
+        sim.run_for(SimDuration::from_secs(120));
+        assert!(
+            !sim.world().nodes[0].hw.is_up(),
+            "cancelled boot must not finish"
+        );
+    }
+
+    #[test]
+    fn completed_boot_leaves_no_cancellable_events() {
+        let mut sim = Cluster::build(ClusterConfig {
+            n_nodes: 2,
+            ..Default::default()
+        });
+        sim.run_for(SimDuration::from_secs(120));
+        assert_eq!(sim.world().up_count(), 2);
+        for st in &sim.world().nodes {
+            assert!(
+                st.pending_boot.is_empty(),
+                "finish_boot must clear the chain"
+            );
+        }
     }
 
     #[test]

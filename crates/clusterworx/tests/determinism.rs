@@ -1,0 +1,75 @@
+//! Fixed-seed determinism: the acceptance contract for the scaled
+//! engine. A seeded run must produce a byte-identical action/audit
+//! trail (a) run-to-run and (b) for any hardware shard count — the
+//! parallel fleet step must be unobservable.
+
+use clusterworx::config::{ClusterConfig, WorkloadMix};
+use clusterworx::world::schedule_fault;
+use clusterworx::Cluster;
+use cwx_hw::Fault;
+use cwx_util::time::{SimDuration, SimTime};
+
+/// Drive a busy little cluster (boots, faults, event-engine actions,
+/// reports) and serialize everything observable about the run.
+fn run_trace(seed: u64, hw_shards: usize) -> String {
+    let mut sim = Cluster::build(ClusterConfig {
+        n_nodes: 24,
+        seed,
+        hw_shards,
+        workload: WorkloadMix::Mixed,
+        ..Default::default()
+    });
+    schedule_fault(
+        &mut sim,
+        SimTime::ZERO + SimDuration::from_secs(120),
+        3,
+        Fault::FanFailure,
+    );
+    schedule_fault(
+        &mut sim,
+        SimTime::ZERO + SimDuration::from_secs(200),
+        17,
+        Fault::KernelPanic,
+    );
+    sim.run_for(SimDuration::from_secs(600));
+    let w = sim.world();
+    let mut out = String::new();
+    use std::fmt::Write;
+    for a in &w.action_log {
+        writeln!(out, "{} node{} {:?}", a.time.as_nanos(), a.node, a.action).unwrap();
+    }
+    writeln!(out, "stats {:?}", w.server.stats()).unwrap();
+    writeln!(out, "outbox {}", w.server.outbox().len()).unwrap();
+    writeln!(out, "up {}", w.up_count()).unwrap();
+    writeln!(out, "events {}", sim.events_executed()).unwrap();
+    for (i, st) in w.nodes.iter().enumerate() {
+        writeln!(
+            out,
+            "node{} temp {:.9} watts {:.9} up {}",
+            i,
+            st.hw.temperature_c(),
+            st.hw.power_watts(),
+            st.hw.is_up()
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[test]
+fn identical_runs_for_identical_seeds() {
+    let a = run_trace(7, 1);
+    let b = run_trace(7, 1);
+    assert_eq!(a, b, "same seed, same shard count, different trace");
+    let c = run_trace(8, 1);
+    assert_ne!(a, c, "different seeds should not collide");
+}
+
+#[test]
+fn shard_count_is_unobservable() {
+    let one = run_trace(7, 1);
+    for shards in [2, 4, 7] {
+        let n = run_trace(7, shards);
+        assert_eq!(one, n, "trace diverged at hw_shards={shards}");
+    }
+}

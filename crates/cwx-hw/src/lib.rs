@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod node;
 pub mod workload;
 

@@ -2,51 +2,107 @@
 //!
 //! The reproduction runs every cluster-scale experiment (boot storms,
 //! cloning campaigns, monitoring traffic, failure-injection) on this
-//! engine. The design is the classic event-list simulator:
+//! engine, so its dispatch rate bounds how large an experiment the
+//! harness can sweep. The design is a hierarchical timing wheel over a
+//! slab of event entries:
 //!
-//! * a priority queue of `(time, sequence)`-ordered events,
-//! * each event owns a closure that mutates the world and may schedule
-//!   further events,
-//! * ties at the same timestamp are broken by insertion order, which makes
-//!   runs bit-for-bit reproducible for a fixed seed.
+//! * events live in a slab (`Vec` + free list) and are addressed by a
+//!   generation-checked [`EventId`], giving O(1) schedule and O(1)
+//!   [`Sim::cancel`] with no ABA hazards,
+//! * the pending set is a hierarchical timing wheel — [`LEVELS`] levels
+//!   of [`SLOTS`] slots, each level covering 64× the span of the one
+//!   below, together spanning the full `u64` nanosecond clock — so
+//!   scheduling is O(1) and dispatch is amortized O(1) (an event
+//!   cascades down at most [`LEVELS`] times over its whole life),
+//! * recurring timers ([`Sim::schedule_every`]) keep one slab entry and
+//!   one closure allocation for their entire life instead of re-boxing
+//!   a fresh closure every period,
+//! * ties at the same timestamp are broken by a global insertion
+//!   sequence number, which makes runs bit-for-bit reproducible for a
+//!   fixed seed — the exact `(time, seq)` order the original
+//!   binary-heap engine produced (kept as [`baseline::HeapSim`] and
+//!   cross-checked against this one in `tests/sim_properties.rs`).
 //!
 //! The world state `W` is owned by the simulator and handed to each event
 //! by `&mut`, so event handlers can freely mutate any component without
 //! interior mutability.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+use std::mem;
 
 use crate::time::{SimDuration, SimTime};
 
-/// An event handler: runs at its scheduled time with exclusive access to
-/// the whole simulation.
-type EventFn<W> = Box<dyn FnOnce(&mut Sim<W>)>;
+/// A one-shot event handler: runs at its scheduled time with exclusive
+/// access to the whole simulation.
+type OnceFn<W> = Box<dyn FnOnce(&mut Sim<W>)>;
+/// A recurring event handler: re-fires every period until it returns
+/// `false` (or is cancelled).
+type EveryFn<W> = Box<dyn FnMut(&mut Sim<W>) -> bool>;
 
+/// Handle to a scheduled event, returned by the `schedule_*` methods.
+///
+/// Stays valid until the event fires (its last firing, for recurring
+/// events) or is cancelled; after that, [`Sim::cancel`] on the stale id
+/// is a safe no-op even if the slab slot has been reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId {
+    idx: u32,
+    gen: u32,
+}
+
+enum Payload<W> {
+    /// One-shot closure.
+    Once(OnceFn<W>),
+    /// Recurring closure; the box is reused across firings.
+    Every { period: SimDuration, f: EveryFn<W> },
+    /// Free slot, cancelled entry, or closure taken out while firing.
+    Empty,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Free,
+    Pending,
+    /// A recurring event whose closure is currently executing.
+    Running,
+    /// Cancelled but still referenced by a wheel slot; reclaimed lazily.
+    Cancelled,
+}
+
+/// The slab entry: just lifecycle state and the closure. Time and seq
+/// travel with the [`Ticket`] instead, so cascading an event between
+/// wheel levels never touches the slab — at millions of pending events
+/// that's the difference between streaming slot lists through the cache
+/// and taking a random-access miss per event per level.
 struct Entry<W> {
-    time: SimTime,
-    seq: u64,
-    f: EventFn<W>,
+    gen: u32,
+    state: State,
+    payload: Payload<W>,
 }
 
-// Ordering for the BinaryHeap: we wrap entries in `Reverse` at push time,
-// so `Ord` here is the natural (time, seq) order.
-impl<W> PartialEq for Entry<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
+/// What wheel slots hold: everything ordering needs, inline.
+#[derive(Debug, Clone, Copy)]
+struct Ticket {
+    /// Absolute firing time, nanoseconds.
+    time: u64,
+    /// Global insertion order; the tie-break at equal times.
+    seq: u64,
+    /// Slab index of the entry.
+    idx: u32,
 }
-impl<W> Eq for Entry<W> {}
-impl<W> PartialOrd for Entry<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<W> Ord for Entry<W> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
+
+/// log2 of the wheel fan-out: 64 slots per level, so each level's
+/// occupancy bitmap is a single word. (A 256-slot variant was measured
+/// and lost: the shallower cascade didn't pay for the larger slot
+/// footprint on the tick-clustered workloads the cluster produces.)
+const SLOT_BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Words of occupancy bitmap per level.
+const OCC_WORDS: usize = SLOTS / 64;
+/// Wheel levels. 11 × 6 = 66 bits ≥ the full `u64` nanosecond clock,
+/// so arbitrarily far-future events need no overflow list.
+const LEVELS: usize = 11;
 
 /// A discrete-event simulation over a world `W`.
 ///
@@ -67,8 +123,24 @@ pub struct Sim<W> {
     world: W,
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Entry<W>>>,
     executed: u64,
+    /// Live (non-cancelled) scheduled events.
+    pending: usize,
+    /// The wheel cursor: never ahead of the earliest pending event, and
+    /// never behind the last dispatched one.
+    wheel_now: u64,
+    /// `LEVELS × SLOTS` slot lists of tickets.
+    slots: Vec<Vec<Ticket>>,
+    /// One occupancy bitmap per level (bit set ⇔ slot list non-empty).
+    occ: [[u64; OCC_WORDS]; LEVELS],
+    /// Events staged for dispatch: one drained level-0 slot, seq-sorted.
+    /// All share the timestamp `due_time`.
+    due: VecDeque<u32>,
+    due_time: u64,
+    entries: Vec<Entry<W>>,
+    free: Vec<u32>,
+    /// Reused drain buffer (keeps the hot path allocation-free).
+    scratch: Vec<Ticket>,
 }
 
 impl<W> Sim<W> {
@@ -78,8 +150,16 @@ impl<W> Sim<W> {
             world,
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
             executed: 0,
+            pending: 0,
+            wheel_now: 0,
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occ: [[0; OCC_WORDS]; LEVELS],
+            due: VecDeque::new(),
+            due_time: 0,
+            entries: Vec::new(),
+            free: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -93,9 +173,9 @@ impl<W> Sim<W> {
         self.executed
     }
 
-    /// Number of events still pending.
+    /// Number of events still pending (cancelled events don't count).
     pub fn events_pending(&self) -> usize {
-        self.queue.len()
+        self.pending
     }
 
     /// Shared access to the world.
@@ -113,57 +193,302 @@ impl<W> Sim<W> {
         self.world
     }
 
+    // ---- slab ----
+
+    fn alloc(&mut self, payload: Payload<W>) -> EventId {
+        self.pending += 1;
+        match self.free.pop() {
+            Some(idx) => {
+                let e = &mut self.entries[idx as usize];
+                debug_assert_eq!(e.state, State::Free);
+                e.state = State::Pending;
+                e.payload = payload;
+                EventId { idx, gen: e.gen }
+            }
+            None => {
+                let idx = self.entries.len() as u32;
+                self.entries.push(Entry {
+                    gen: 0,
+                    state: State::Pending,
+                    payload,
+                });
+                EventId { idx, gen: 0 }
+            }
+        }
+    }
+
+    fn free_entry(&mut self, idx: u32) {
+        let e = &mut self.entries[idx as usize];
+        e.state = State::Free;
+        e.payload = Payload::Empty;
+        e.gen = e.gen.wrapping_add(1);
+        self.free.push(idx);
+    }
+
+    // ---- wheel ----
+
+    /// Level an event at absolute time `t` belongs to, relative to the
+    /// cursor: the level of the highest bit-group in which `t` and the
+    /// cursor differ. Events sharing the cursor's whole prefix (same
+    /// tick) go to level 0.
+    fn level_of(cursor: u64, t: u64) -> usize {
+        let diff = cursor ^ t;
+        if diff == 0 {
+            0
+        } else {
+            ((63 - diff.leading_zeros()) / SLOT_BITS) as usize
+        }
+    }
+
+    fn slot_of(level: usize, t: u64) -> usize {
+        ((t >> (SLOT_BITS as usize * level)) & (SLOTS as u64 - 1)) as usize
+    }
+
+    fn insert_into_wheel(&mut self, ticket: Ticket) {
+        debug_assert!(
+            ticket.time >= self.wheel_now,
+            "event inserted behind the cursor"
+        );
+        let level = Self::level_of(self.wheel_now, ticket.time);
+        let slot = Self::slot_of(level, ticket.time);
+        self.slots[level * SLOTS + slot].push(ticket);
+        self.occ[level][slot >> 6] |= 1 << (slot & 63);
+    }
+
+    /// First occupied slot at `level` at or after slot `cur`, if any.
+    fn first_occupied(&self, level: usize, cur: usize) -> Option<usize> {
+        let mut w = cur >> 6;
+        let mut word = self.occ[level][w] & (!0u64 << (cur & 63));
+        loop {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w == OCC_WORDS {
+                return None;
+            }
+            word = self.occ[level][w];
+        }
+    }
+
+    /// Ensure the front of `due` is a live event with `time <= limit`.
+    /// Cascades higher-level slots down and drains the next level-0 slot
+    /// as needed, without ever moving the cursor past `limit` (so a
+    /// bounded run never corrupts placement of later insertions).
+    fn stage(&mut self, limit: u64) -> bool {
+        loop {
+            // the staged slot: skip lazily-reclaimed cancellations
+            while let Some(&idx) = self.due.front() {
+                match self.entries[idx as usize].state {
+                    State::Cancelled => {
+                        self.due.pop_front();
+                        self.free_entry(idx);
+                    }
+                    State::Pending => return self.due_time <= limit,
+                    State::Free | State::Running => unreachable!("staged event in bad state"),
+                }
+            }
+            if self.pending == 0 {
+                return false;
+            }
+            // find the lowest occupied level; within it, the first
+            // occupied slot at or after the cursor (never before it:
+            // every pending event is in the cursor's future)
+            let mut found = None;
+            for level in 0..LEVELS {
+                let cur = Self::slot_of(level, self.wheel_now);
+                // invariant: nothing occupied behind the cursor at any
+                // level — every pending event is in the cursor's future
+                if let Some(slot) = self.first_occupied(level, cur) {
+                    found = Some((level, slot));
+                    break;
+                }
+            }
+            let Some((level, slot)) = found else {
+                debug_assert!(false, "pending events but an empty wheel");
+                return false;
+            };
+            let shift = SLOT_BITS as usize * level;
+            let list_ix = level * SLOTS + slot;
+            if level == 0 {
+                // a level-0 slot holds events of exactly one timestamp
+                let t = (self.wheel_now >> SLOT_BITS << SLOT_BITS) | slot as u64;
+                if t > limit {
+                    return false;
+                }
+                self.wheel_now = t;
+                self.due_time = t;
+                self.occ[0][slot >> 6] &= !(1 << (slot & 63));
+                mem::swap(&mut self.slots[list_ix], &mut self.scratch);
+                // same tick ⇒ dispatch in insertion (seq) order; direct
+                // inserts and cascades may have interleaved out of order.
+                // Cancelled events ride along as dead tickets; the
+                // front-skip above reclaims them, so staging itself
+                // never touches the slab.
+                self.scratch.sort_unstable_by_key(|tk| tk.seq);
+                self.due.extend(self.scratch.iter().map(|tk| {
+                    debug_assert_eq!(tk.time, t);
+                    tk.idx
+                }));
+                self.scratch.clear();
+                let mut drained = mem::take(&mut self.scratch);
+                mem::swap(&mut self.slots[list_ix], &mut drained);
+                self.scratch = drained;
+            } else {
+                // cascade: advance the cursor to the slot's start and
+                // redistribute its tickets into lower levels — a pure
+                // ticket-list stream, no slab access
+                let above = shift + SLOT_BITS as usize;
+                let high_mask = if above >= 64 { 0 } else { !0u64 << above };
+                let slot_start = (self.wheel_now & high_mask) | ((slot as u64) << shift);
+                if slot_start > limit {
+                    return false;
+                }
+                self.wheel_now = slot_start;
+                self.occ[level][slot >> 6] &= !(1 << (slot & 63));
+                mem::swap(&mut self.slots[list_ix], &mut self.scratch);
+                for k in 0..self.scratch.len() {
+                    let tk = self.scratch[k];
+                    self.insert_into_wheel(tk);
+                }
+                self.scratch.clear();
+                let mut drained = mem::take(&mut self.scratch);
+                mem::swap(&mut self.slots[list_ix], &mut drained);
+                self.scratch = drained;
+            }
+        }
+    }
+
+    /// Pop and execute the front of `due` (must be staged and live).
+    fn dispatch_one(&mut self) {
+        let idx = self.due.pop_front().expect("dispatch without staging");
+        let e = &mut self.entries[idx as usize];
+        debug_assert_eq!(e.state, State::Pending);
+        let t = self.due_time;
+        debug_assert!(t >= self.now.as_nanos(), "event list went backwards");
+        self.now = SimTime::from_nanos(t);
+        self.executed += 1;
+        self.pending -= 1;
+        match mem::replace(&mut e.payload, Payload::Empty) {
+            Payload::Once(f) => {
+                // free before the call: the id is dead, the slot reusable
+                self.free_entry(idx);
+                f(self);
+            }
+            Payload::Every { period, mut f } => {
+                self.entries[idx as usize].state = State::Running;
+                let again = f(self);
+                let e = &mut self.entries[idx as usize];
+                if !again || e.state == State::Cancelled {
+                    self.free_entry(idx);
+                } else {
+                    // reuse the entry and the closure box; fresh seq so
+                    // the next firing ties after anything `f` scheduled
+                    e.state = State::Pending;
+                    e.payload = Payload::Every { period, f };
+                    let seq = self.seq;
+                    self.seq += 1;
+                    self.pending += 1;
+                    self.insert_into_wheel(Ticket {
+                        time: t.saturating_add(period.as_nanos()),
+                        seq,
+                        idx,
+                    });
+                }
+            }
+            Payload::Empty => unreachable!("dispatching an empty event"),
+        }
+    }
+
+    // ---- public scheduling API ----
+
     /// Schedule `f` to run at absolute time `at`.
     ///
     /// Scheduling in the past is clamped to "now": the event runs at the
     /// current time, after already-queued events with the same timestamp.
-    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Sim<W>) + 'static) {
-        let time = at.max(self.now);
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Sim<W>) + 'static) -> EventId {
+        let time = at.max(self.now).as_nanos();
+        let id = self.alloc(Payload::Once(Box::new(f)));
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Entry {
+        self.insert_into_wheel(Ticket {
             time,
             seq,
-            f: Box::new(f),
-        }));
+            idx: id.idx,
+        });
+        id
     }
 
     /// Schedule `f` to run `delay` after the current time.
-    pub fn schedule_in(&mut self, delay: SimDuration, f: impl FnOnce(&mut Sim<W>) + 'static) {
-        self.schedule_at(self.now + delay, f);
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut Sim<W>) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + delay, f)
     }
 
-    /// Schedule a recurring event every `period`, starting one period from
-    /// now, until `f` returns `false`.
+    /// Schedule a recurring event every `period`, starting one period
+    /// from now, until `f` returns `false` (or the event is cancelled).
+    /// One slab entry and one closure allocation serve every firing.
     pub fn schedule_every(
         &mut self,
         period: SimDuration,
         f: impl FnMut(&mut Sim<W>) -> bool + 'static,
-    ) {
-        fn tick<W>(
-            sim: &mut Sim<W>,
-            period: SimDuration,
-            mut f: impl FnMut(&mut Sim<W>) -> bool + 'static,
-        ) {
-            if f(sim) {
-                sim.schedule_in(period, move |sim| tick(sim, period, f));
-            }
-        }
-        self.schedule_in(period, move |sim| tick(sim, period, f));
+    ) -> EventId {
+        let time = (self.now + period).as_nanos();
+        let id = self.alloc(Payload::Every {
+            period,
+            f: Box::new(f),
+        });
+        let seq = self.seq;
+        self.seq += 1;
+        self.insert_into_wheel(Ticket {
+            time,
+            seq,
+            idx: id.idx,
+        });
+        id
     }
 
-    /// Execute the next pending event, advancing the clock to its
-    /// timestamp. Returns `false` when the queue is empty.
-    pub fn step(&mut self) -> bool {
-        match self.queue.pop() {
-            Some(Reverse(entry)) => {
-                debug_assert!(entry.time >= self.now, "event list went backwards");
-                self.now = entry.time;
-                self.executed += 1;
-                (entry.f)(self);
+    /// Cancel a scheduled event in O(1). Returns `true` if the event was
+    /// still pending (or is a recurring event, including mid-firing —
+    /// it will not re-fire); `false` if it already fired, was already
+    /// cancelled, or the id is stale.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        let Some(e) = self.entries.get_mut(id.idx as usize) else {
+            return false;
+        };
+        if e.gen != id.gen {
+            return false;
+        }
+        match e.state {
+            State::Pending => {
+                e.state = State::Cancelled;
+                e.payload = Payload::Empty;
+                self.pending -= 1;
                 true
             }
-            None => false,
+            // a recurring event cancelling itself from inside its own
+            // closure: suppress the re-schedule
+            State::Running => {
+                e.state = State::Cancelled;
+                true
+            }
+            State::Free | State::Cancelled => false,
+        }
+    }
+
+    // ---- driving ----
+
+    /// Execute the next pending event, advancing the clock to its
+    /// timestamp. Returns `false` when no live events remain.
+    pub fn step(&mut self) -> bool {
+        if self.stage(u64::MAX) {
+            self.dispatch_one();
+            true
+        } else {
+            false
         }
     }
 
@@ -178,13 +503,9 @@ impl<W> Sim<W> {
     /// event strictly beyond it is left in the queue and the clock is
     /// advanced to the deadline.
     pub fn run_until(&mut self, deadline: SimTime) {
-        loop {
-            match self.queue.peek() {
-                Some(Reverse(entry)) if entry.time <= deadline => {
-                    self.step();
-                }
-                _ => break,
-            }
+        let limit = deadline.as_nanos();
+        while self.stage(limit) {
+            self.dispatch_one();
         }
         if self.now < deadline {
             self.now = deadline;
@@ -195,6 +516,174 @@ impl<W> Sim<W> {
     pub fn run_for(&mut self, span: SimDuration) {
         let deadline = self.now + span;
         self.run_until(deadline);
+    }
+}
+
+pub mod baseline {
+    //! The pre-wheel event-list engine: a `BinaryHeap` of boxed
+    //! closures ordered by `(time, seq)`.
+    //!
+    //! Kept as the reference implementation: `tests/sim_properties.rs`
+    //! cross-checks the timing wheel against it event-for-event, and
+    //! `bench`'s `benches/sim.rs` measures the wheel's speedup over it.
+    //! Not used by any production path.
+
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    use crate::time::{SimDuration, SimTime};
+
+    type EventFn<W> = Box<dyn FnOnce(&mut HeapSim<W>)>;
+
+    struct Entry<W> {
+        time: SimTime,
+        seq: u64,
+        f: EventFn<W>,
+    }
+
+    impl<W> PartialEq for Entry<W> {
+        fn eq(&self, other: &Self) -> bool {
+            self.time == other.time && self.seq == other.seq
+        }
+    }
+    impl<W> Eq for Entry<W> {}
+    impl<W> PartialOrd for Entry<W> {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<W> Ord for Entry<W> {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            (self.time, self.seq).cmp(&(other.time, other.seq))
+        }
+    }
+
+    /// The binary-heap reference simulator (old engine, same semantics).
+    pub struct HeapSim<W> {
+        world: W,
+        now: SimTime,
+        seq: u64,
+        queue: BinaryHeap<Reverse<Entry<W>>>,
+        executed: u64,
+    }
+
+    impl<W> HeapSim<W> {
+        /// Create a simulator at time zero owning `world`.
+        pub fn new(world: W) -> Self {
+            HeapSim {
+                world,
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                executed: 0,
+            }
+        }
+
+        /// Current simulated time.
+        pub fn now(&self) -> SimTime {
+            self.now
+        }
+
+        /// Number of events executed so far.
+        pub fn events_executed(&self) -> u64 {
+            self.executed
+        }
+
+        /// Number of events still pending.
+        pub fn events_pending(&self) -> usize {
+            self.queue.len()
+        }
+
+        /// Shared access to the world.
+        pub fn world(&self) -> &W {
+            &self.world
+        }
+
+        /// Exclusive access to the world.
+        pub fn world_mut(&mut self) -> &mut W {
+            &mut self.world
+        }
+
+        /// Schedule `f` at absolute time `at` (clamped to now).
+        pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut HeapSim<W>) + 'static) {
+            let time = at.max(self.now);
+            let seq = self.seq;
+            self.seq += 1;
+            self.queue.push(Reverse(Entry {
+                time,
+                seq,
+                f: Box::new(f),
+            }));
+        }
+
+        /// Schedule `f` to run `delay` after the current time.
+        pub fn schedule_in(
+            &mut self,
+            delay: SimDuration,
+            f: impl FnOnce(&mut HeapSim<W>) + 'static,
+        ) {
+            self.schedule_at(self.now + delay, f);
+        }
+
+        /// Recurring event every `period` until `f` returns `false`
+        /// (re-boxes the closure each firing — the churn the wheel's
+        /// native recurring timers eliminate).
+        pub fn schedule_every(
+            &mut self,
+            period: SimDuration,
+            f: impl FnMut(&mut HeapSim<W>) -> bool + 'static,
+        ) {
+            fn tick<W>(
+                sim: &mut HeapSim<W>,
+                period: SimDuration,
+                mut f: impl FnMut(&mut HeapSim<W>) -> bool + 'static,
+            ) {
+                if f(sim) {
+                    sim.schedule_in(period, move |sim| tick(sim, period, f));
+                }
+            }
+            self.schedule_in(period, move |sim| tick(sim, period, f));
+        }
+
+        /// Execute the next pending event.
+        pub fn step(&mut self) -> bool {
+            match self.queue.pop() {
+                Some(Reverse(entry)) => {
+                    debug_assert!(entry.time >= self.now, "event list went backwards");
+                    self.now = entry.time;
+                    self.executed += 1;
+                    (entry.f)(self);
+                    true
+                }
+                None => false,
+            }
+        }
+
+        /// Run until no events remain.
+        pub fn run(&mut self) {
+            while self.step() {}
+        }
+
+        /// Run until the clock would pass `deadline` (inclusive).
+        pub fn run_until(&mut self, deadline: SimTime) {
+            loop {
+                match self.queue.peek() {
+                    Some(Reverse(entry)) if entry.time <= deadline => {
+                        self.step();
+                    }
+                    _ => break,
+                }
+            }
+            if self.now < deadline {
+                self.now = deadline;
+            }
+        }
+
+        /// Run for `span` of simulated time from now.
+        pub fn run_for(&mut self, span: SimDuration) {
+            let deadline = self.now + span;
+            self.run_until(deadline);
+        }
     }
 }
 
@@ -245,6 +734,31 @@ mod tests {
     }
 
     #[test]
+    fn past_clamp_runs_after_queued_same_time_events() {
+        // an event clamped to "now" must run after events already queued
+        // at that timestamp (it has a later seq)
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(());
+        for tag in [1u32, 2] {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(50), move |_| log.borrow_mut().push(tag));
+        }
+        {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(50), move |sim| {
+                log.borrow_mut().push(3);
+                let log = Rc::clone(&log);
+                // clamped: runs at t=50 but after the tag=2 event
+                sim.schedule_at(SimTime::from_nanos(7), move |_| log.borrow_mut().push(4));
+            });
+        }
+        // reorder: the clamping event was scheduled first at seq order 1,2,3
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3, 4]);
+        assert_eq!(sim.now(), SimTime::from_nanos(50));
+    }
+
+    #[test]
     fn run_until_stops_at_deadline_and_advances_clock() {
         let mut sim = Sim::new(0u32);
         sim.schedule_at(SimTime::from_nanos(10), |sim| *sim.world_mut() += 1);
@@ -258,6 +772,24 @@ mod tests {
         // nothing ran, but the clock advanced to the deadline
         assert_eq!(*sim.world(), 2);
         assert_eq!(sim.now(), SimTime::from_nanos(25));
+    }
+
+    #[test]
+    fn bounded_run_then_insert_before_parked_events() {
+        // a paused run must leave the wheel able to accept events earlier
+        // than what is still parked (regression guard for cursor abuse)
+        let mut sim = Sim::new(Vec::new());
+        sim.schedule_at(SimTime::from_secs_n(1000), |sim| sim.world_mut().push(1000));
+        sim.run_until(SimTime::from_secs_n(10));
+        sim.schedule_at(SimTime::from_secs_n(20), |sim| sim.world_mut().push(20));
+        sim.run();
+        assert_eq!(*sim.world(), vec![20, 1000]);
+    }
+
+    impl SimTime {
+        fn from_secs_n(s: u64) -> SimTime {
+            SimTime::ZERO + SimDuration::from_secs(s)
+        }
     }
 
     #[test]
@@ -287,5 +819,134 @@ mod tests {
         sim.schedule_in(SimDuration::ZERO, |sim| chain(sim, 999));
         sim.run();
         assert_eq!(*sim.world(), 1000);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim = Sim::new(0u32);
+        let keep = sim.schedule_at(SimTime::from_nanos(10), |sim| *sim.world_mut() += 1);
+        let kill = sim.schedule_at(SimTime::from_nanos(20), |sim| *sim.world_mut() += 10);
+        assert_eq!(sim.events_pending(), 2);
+        assert!(sim.cancel(kill));
+        assert_eq!(sim.events_pending(), 1);
+        assert!(!sim.cancel(kill), "double cancel is a no-op");
+        sim.run();
+        assert_eq!(*sim.world(), 1);
+        assert_eq!(sim.events_executed(), 1);
+        assert!(!sim.cancel(keep), "fired events cannot be cancelled");
+    }
+
+    #[test]
+    fn cancel_then_fire_same_tick() {
+        // first handler at t cancels the second handler at the same t
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let victim = Rc::new(RefCell::new(None));
+        let mut sim = Sim::new(());
+        {
+            let victim = Rc::clone(&victim);
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(5), move |sim| {
+                log.borrow_mut().push("killer");
+                let id = victim.borrow_mut().take().unwrap();
+                assert!(sim.cancel(id));
+            });
+        }
+        {
+            let log = Rc::clone(&log);
+            let id = sim.schedule_at(SimTime::from_nanos(5), move |_| {
+                log.borrow_mut().push("victim");
+            });
+            *victim.borrow_mut() = Some(id);
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["killer"]);
+        assert_eq!(sim.events_executed(), 1);
+        assert_eq!(sim.events_pending(), 0);
+    }
+
+    #[test]
+    fn cancel_recurring_stops_it_for_good() {
+        let mut sim = Sim::new(0u32);
+        let id = sim.schedule_every(SimDuration::from_secs(1), |sim| {
+            *sim.world_mut() += 1;
+            true
+        });
+        sim.run_for(SimDuration::from_secs(3));
+        assert_eq!(*sim.world(), 3);
+        assert!(sim.cancel(id));
+        sim.run_for(SimDuration::from_secs(10));
+        assert_eq!(*sim.world(), 3);
+        assert_eq!(sim.events_pending(), 0);
+    }
+
+    #[test]
+    fn recurring_can_cancel_itself_mid_firing() {
+        let id_cell: Rc<RefCell<Option<EventId>>> = Rc::new(RefCell::new(None));
+        let id_cell2 = Rc::clone(&id_cell);
+        let mut sim = Sim::new(0u32);
+        let id = sim.schedule_every(SimDuration::from_secs(1), move |sim| {
+            *sim.world_mut() += 1;
+            if *sim.world() == 2 {
+                let id = id_cell2.borrow().unwrap();
+                assert!(sim.cancel(id));
+            }
+            true // says "go on", but the cancellation wins
+        });
+        *id_cell.borrow_mut() = Some(id);
+        sim.run();
+        assert_eq!(*sim.world(), 2);
+    }
+
+    #[test]
+    fn stale_id_on_reused_slot_is_rejected() {
+        let mut sim = Sim::new(0u32);
+        let old = sim.schedule_at(SimTime::from_nanos(1), |sim| *sim.world_mut() += 1);
+        sim.run();
+        // the slab slot is free now; a new event will reuse it
+        let new = sim.schedule_at(SimTime::from_nanos(2), |sim| *sim.world_mut() += 10);
+        assert!(!sim.cancel(old), "stale generation must not cancel");
+        sim.run();
+        assert_eq!(*sim.world(), 11);
+        assert!(!sim.cancel(new));
+    }
+
+    #[test]
+    fn far_future_events_cross_every_wheel_level() {
+        // times spread over 10 orders of magnitude, including one close
+        // to the top wheel level, all dispatch in order
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(());
+        let times: Vec<u64> = (0..12)
+            .map(|k| 7u64 << (5 * k))
+            .chain([u64::MAX - 1])
+            .collect();
+        for &t in times.iter().rev() {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(t), move |_| log.borrow_mut().push(t));
+        }
+        sim.run();
+        let mut expect = times.clone();
+        expect.sort_unstable();
+        assert_eq!(*log.borrow(), expect);
+    }
+
+    #[test]
+    fn interleaved_near_and_far_events() {
+        // a far-future event parked at a high level must not block or
+        // reorder a stream of near events cascading beneath it
+        let mut sim = Sim::new(Vec::new());
+        sim.schedule_at(SimTime::from_nanos(1 << 40), |sim| {
+            sim.world_mut().push(u64::MAX)
+        });
+        sim.schedule_every(SimDuration::from_secs(1), |sim| {
+            let n = sim.now().as_nanos();
+            sim.world_mut().push(n);
+            sim.world().len() < 20
+        });
+        sim.run();
+        let w = sim.world();
+        assert_eq!(w.len(), 21);
+        assert!(w.windows(2).all(|p| p[0] < p[1]));
+        assert_eq!(*w.last().unwrap(), u64::MAX);
     }
 }

@@ -5,9 +5,69 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use cwx_util::sim::Sim;
+use cwx_util::sim::{baseline::HeapSim, Sim};
 use cwx_util::time::{SimDuration, SimTime};
 use proptest::prelude::*;
+
+/// A randomized workload exercising every scheduling shape the two
+/// engines share: one-shots (possibly in the past), nested children,
+/// and recurring timers with bounded repeat counts.
+#[derive(Debug, Clone)]
+struct Scenario {
+    /// (time, tag, child delays) — each child is scheduled from inside
+    /// the parent's handler, so clamping and tie-breaks get exercised.
+    oneshots: Vec<(u64, u32, Vec<u64>)>,
+    /// (period≥1, repeats) recurring timers.
+    recurring: Vec<(u64, u32)>,
+    horizon: u64,
+}
+
+/// Drive a scenario through either engine, recording `(now, tag)` for
+/// every handler invocation. The bodies are textually identical; only
+/// the simulator type differs.
+macro_rules! drive {
+    ($simty:ident, $scn:expr) => {{
+        let scn = $scn;
+        let log: Rc<RefCell<Vec<(u64, u32)>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = $simty::new(());
+        for (i, (t, tag, children)) in scn.oneshots.iter().cloned().enumerate() {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_nanos(t), move |sim| {
+                log.borrow_mut().push((sim.now().as_nanos(), tag));
+                for (j, d) in children.into_iter().enumerate() {
+                    let log = Rc::clone(&log);
+                    let ctag = 10_000 + tag * 10 + j as u32;
+                    // half the children aim at an *absolute* time that may
+                    // be in the past, exercising the clamp path
+                    if j % 2 == 0 {
+                        sim.schedule_in(SimDuration::from_nanos(d), move |sim| {
+                            log.borrow_mut().push((sim.now().as_nanos(), ctag));
+                        });
+                    } else {
+                        sim.schedule_at(SimTime::from_nanos(d), move |sim| {
+                            log.borrow_mut().push((sim.now().as_nanos(), ctag));
+                        });
+                    }
+                }
+            });
+            let _ = i;
+        }
+        for (k, (period, repeats)) in scn.recurring.iter().cloned().enumerate() {
+            let log = Rc::clone(&log);
+            let tag = 50_000 + k as u32;
+            let mut left = repeats;
+            sim.schedule_every(SimDuration::from_nanos(period), move |sim| {
+                log.borrow_mut().push((sim.now().as_nanos(), tag));
+                left -= 1;
+                left > 0
+            });
+        }
+        sim.run_until(SimTime::from_nanos(scn.horizon));
+        sim.run();
+        let out = log.borrow().clone();
+        (out, sim.now().as_nanos(), sim.events_executed())
+    }};
+}
 
 proptest! {
     /// Whatever the schedule, events run in nondecreasing time order and
@@ -84,5 +144,26 @@ proptest! {
         prop_assert!(sim.now() >= SimTime::from_nanos(cut));
         sim.run();
         prop_assert_eq!(&*full.borrow(), &*paused.borrow());
+    }
+
+    /// The timing-wheel engine is event-for-event identical to the old
+    /// binary-heap engine: same handler order, same clock at every
+    /// firing, same final state. This is the cross-check that licensed
+    /// swapping the scheduler under every seeded experiment.
+    #[test]
+    fn wheel_matches_heap_event_for_event(
+        oneshots in proptest::collection::vec(
+            (0u64..5_000, 0u32..1000, proptest::collection::vec(0u64..2_000, 0..4)),
+            1..60,
+        ),
+        recurring in proptest::collection::vec((1u64..700, 1u32..12), 0..6),
+        horizon in 1_000u64..20_000,
+    ) {
+        let scn = Scenario { oneshots, recurring, horizon };
+        let (heap_log, heap_now, heap_n) = drive!(HeapSim, scn.clone());
+        let (wheel_log, wheel_now, wheel_n) = drive!(Sim, scn);
+        prop_assert_eq!(heap_log, wheel_log);
+        prop_assert_eq!(heap_now, wheel_now);
+        prop_assert_eq!(heap_n, wheel_n);
     }
 }

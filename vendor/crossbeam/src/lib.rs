@@ -244,6 +244,67 @@ pub mod channel {
     }
 }
 
+/// Scoped threads (the `crossbeam::thread` subset the workspace uses).
+///
+/// Implements `scope`/`Scope::spawn`/`ScopedJoinHandle` over
+/// `std::thread::scope`. Like the real crate, `scope` returns `Err`
+/// with the panic payload when any unjoined child panicked, instead of
+/// propagating the panic.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::thread as std_thread;
+
+    /// Result of joining a scoped thread: `Err` carries the panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle into a running scope; spawn borrows-capturing threads
+    /// through it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Owns a spawned scoped thread until joined (or until the scope
+    /// ends, which joins it implicitly).
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its result (`Err`
+        /// if it panicked).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread scoped to the enclosing `scope` call; the
+        /// closure receives the scope again so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope that joins every spawned thread before
+    /// returning. Returns `Err` if `f` or any child thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std_thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel::{bounded, unbounded, RecvError};
@@ -311,5 +372,41 @@ mod tests {
         }
         let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
         assert_eq!(total, 1000);
+    }
+}
+
+#[cfg(test)]
+mod thread_tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut parts = vec![0u64; 8];
+        let total: u64 = thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .chunks_mut(3)
+                .enumerate()
+                .map(|(k, chunk)| {
+                    s.spawn(move |_| {
+                        for v in chunk.iter_mut() {
+                            *v = k as u64 + 1;
+                        }
+                        chunk.iter().sum::<u64>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, parts.iter().sum::<u64>());
+        assert_eq!(parts, vec![1, 1, 1, 2, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn panicked_child_surfaces_as_err() {
+        let r = thread::scope(|s| {
+            s.spawn(|_| panic!("shard exploded"));
+        });
+        assert!(r.is_err());
     }
 }
