@@ -1,0 +1,157 @@
+//! E13: control-plane command bus under chassis-command loss.
+//!
+//! The paper's ICE Box speaks a serial/Ethernet management network; the
+//! control plane must survive commands vanishing in transit. We run the
+//! E9 fan-failure campaign with the command-loss fault knob at 0%, 1%
+//! and 10% and measure the event→action *completion* latency (injection
+//! to the chassis confirming the power-down), the retry traffic, and the
+//! bus invariant: every command that went on the wire reaches a terminal
+//! audit state — completed or failed after bounded retries, never
+//! silently dropped.
+
+use clusterworx::world::schedule_fault;
+use clusterworx::{AuditEntry, Cluster, ClusterConfig, PowerCmd, WorkloadMix};
+use cwx_hw::node::Fault;
+use cwx_util::rng::rng;
+use cwx_util::stats::Summary;
+use cwx_util::time::SimDuration;
+use rand::Rng;
+
+/// Result of one lossy-bus campaign.
+#[derive(Debug, Clone)]
+pub struct LossRun {
+    /// Fraction of chassis commands lost in transit.
+    pub loss: f64,
+    /// Fan failures injected.
+    pub failures: u32,
+    /// Commands that went on the wire (first attempts).
+    pub commands_fired: u64,
+    /// Commands the chassis confirmed.
+    pub completed: u64,
+    /// Commands that exhausted their retries.
+    pub failed: u64,
+    /// Retry attempts after transport loss.
+    pub retries: u64,
+    /// Seconds from fault injection to the chassis confirming the
+    /// power-down, per victim that completed.
+    pub completion_latency: Option<Summary>,
+    /// Victims whose power-down never reached a terminal audit state
+    /// (the invariant the bus exists to keep at zero).
+    pub silent_drops: u32,
+}
+
+/// Run the fan-failure campaign once at the given command-loss rate.
+pub fn lossy_campaign(seed: u64, n_nodes: u32, failures: u32, loss: f64) -> LossRun {
+    let mut sim = Cluster::build(ClusterConfig {
+        n_nodes,
+        seed,
+        workload: WorkloadMix::Constant(0.95),
+        icebox_command_loss: loss,
+        ..Default::default()
+    });
+    sim.run_for(SimDuration::from_secs(400));
+
+    let mut r = rng(seed ^ 0x10_55);
+    let mut victims: Vec<u32> = (0..n_nodes).collect();
+    for i in 0..failures.min(n_nodes) as usize {
+        let j = r.random_range(i..victims.len());
+        victims.swap(i, j);
+    }
+    let victims: Vec<u32> = victims
+        .into_iter()
+        .take(failures.min(n_nodes) as usize)
+        .collect();
+    let mut inject_times = Vec::new();
+    for &v in &victims {
+        let at = sim.now() + SimDuration::from_secs(r.random_range(0..120));
+        inject_times.push((v, at));
+        schedule_fault(&mut sim, at, v, Fault::FanFailure);
+    }
+    // room for the full retry envelope (6 attempts, 8 s max backoff)
+    sim.run_for(SimDuration::from_secs(1500));
+
+    let w = sim.world();
+    let stats = w.control.stats();
+    let audit = w.control.audit();
+    let (mut fired, mut completed, mut failed) = (0u64, 0u64, 0u64);
+    for rec in audit {
+        match &rec.entry {
+            AuditEntry::CommandIssued { attempt: 1, .. } => fired += 1,
+            AuditEntry::CommandCompleted { .. } => completed += 1,
+            AuditEntry::CommandFailed { .. } => failed += 1,
+            _ => {}
+        }
+    }
+    let mut latencies = Vec::new();
+    let mut silent_drops = 0u32;
+    for &(v, at) in &inject_times {
+        let done = audit.iter().find(|rec| {
+            rec.node == Some(v)
+                && rec.time >= at
+                && matches!(
+                    rec.entry,
+                    AuditEntry::CommandCompleted {
+                        cmd: PowerCmd::Off,
+                        ..
+                    }
+                )
+        });
+        let terminal_failure = audit.iter().any(|rec| {
+            rec.node == Some(v)
+                && rec.time >= at
+                && matches!(
+                    rec.entry,
+                    AuditEntry::CommandFailed {
+                        cmd: PowerCmd::Off,
+                        ..
+                    }
+                )
+        });
+        match done {
+            Some(rec) => latencies.push(rec.time.since(at).as_secs_f64()),
+            None if terminal_failure => {} // failed, but loudly: it's audited
+            None => silent_drops += 1,
+        }
+    }
+
+    LossRun {
+        loss,
+        failures: victims.len() as u32,
+        commands_fired: fired,
+        completed,
+        failed,
+        retries: stats.retries,
+        completion_latency: Summary::of(&latencies),
+        silent_drops,
+    }
+}
+
+/// The E13 sweep: the same campaign at each loss rate.
+pub fn loss_sweep(seed: u64, n_nodes: u32, failures: u32, losses: &[f64]) -> Vec<LossRun> {
+    losses
+        .iter()
+        .map(|&loss| lossy_campaign(seed, n_nodes, failures, loss))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_bus_never_retries() {
+        let r = lossy_campaign(5, 16, 4, 0.0);
+        assert_eq!(r.retries, 0, "{r:?}");
+        assert_eq!(r.silent_drops, 0, "{r:?}");
+        assert_eq!(r.commands_fired, r.completed + r.failed, "{r:?}");
+        assert!(r.completion_latency.is_some(), "{r:?}");
+    }
+
+    #[test]
+    fn ten_percent_loss_retries_but_drops_nothing() {
+        let r = lossy_campaign(5, 16, 6, 0.10);
+        assert!(r.retries > 0, "loss must cause retries: {r:?}");
+        assert_eq!(r.silent_drops, 0, "no silent drops: {r:?}");
+        assert_eq!(r.commands_fired, r.completed + r.failed, "{r:?}");
+    }
+}

@@ -84,11 +84,11 @@ pub fn fan_campaign(seed: u64, n_nodes: u32, failures: u32, disable_engine: bool
     sim.run_for(SimDuration::from_secs(1500));
 
     let w = sim.world();
+    let action_log = w.action_log();
     let mut latencies = Vec::new();
     let mut power_downs = 0;
     for &(v, at) in &inject_times {
-        if let Some(a) = w
-            .action_log
+        if let Some(a) = action_log
             .iter()
             .find(|a| a.node == v && a.action == Action::PowerDown && a.time >= at)
         {
@@ -167,11 +167,11 @@ pub fn mixed_drill(seed: u64, n_nodes: u32) -> Vec<DrillRow> {
     // the slowest chain (leak -> OOM -> reboot) needs tens of minutes
     sim.run_for(SimDuration::from_secs(2400));
     let w = sim.world();
+    let action_log = w.action_log();
     faults
         .iter()
         .map(|&(name, _, node)| {
-            let action = w
-                .action_log
+            let action = action_log
                 .iter()
                 .find(|a| a.node == node)
                 .map(|a| format!("{:?}", a.action));

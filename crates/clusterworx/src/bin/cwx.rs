@@ -120,9 +120,10 @@ fn cmd_simulate(args: &Args) {
         "server: {} reports / {} values / {} B on the wire / {} decode errors",
         st.reports_rx, st.values_rx, st.bytes_rx, st.decode_errors
     );
-    if !w.action_log.is_empty() {
+    let action_log = w.action_log();
+    if !action_log.is_empty() {
         println!("actions taken:");
-        for a in &w.action_log {
+        for a in &action_log {
             println!("  {}: node{:03} {:?}", a.time, a.node, a.action);
         }
     }

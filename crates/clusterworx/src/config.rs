@@ -61,6 +61,14 @@ pub struct ClusterConfig {
     /// shard per 256 nodes capped at the machine's parallelism. Results
     /// are bit-identical for every value — see `cwx_hw::fleet`.
     pub hw_shards: usize,
+    /// Fraction of ICE Box commands lost in transit (fault injection for
+    /// the control plane's retry machinery). `0.0` = reliable chassis
+    /// link, the default.
+    pub icebox_command_loss: f64,
+    /// How long a SLURM drain may hold a power action on an allocated
+    /// node before the control plane forces it through anyway (the
+    /// hardware is at risk; the job is already lost either way).
+    pub drain_force_after: SimDuration,
 }
 
 impl ClusterConfig {
@@ -101,6 +109,8 @@ impl Default for ClusterConfig {
             history_capacity: 720,
             store_dir: None,
             hw_shards: 0,
+            icebox_command_loss: 0.0,
+            drain_force_after: SimDuration::from_secs(30),
         }
     }
 }

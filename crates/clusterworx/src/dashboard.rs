@@ -15,7 +15,8 @@ use crate::world::World;
 pub struct NodeRow {
     /// Node index.
     pub node: u32,
-    /// Status word: `up`, `boot`, `off`, `failed`, `unreachable`.
+    /// Status word: `up`, `boot`, `off`, `failed`, `unreachable`, or a
+    /// lifecycle word (`cloning`, `halted`, `draining`).
     pub status: &'static str,
     /// Last reported CPU utilisation, %.
     pub cpu_pct: f64,
@@ -32,8 +33,10 @@ pub struct NodeRow {
 /// Build the dashboard rows at `now`.
 pub fn rows(world: &World, now: SimTime) -> Vec<NodeRow> {
     let mut out = Vec::with_capacity(world.nodes.len());
+    let lifecycle = world.control.lifecycle();
     for (i, st) in world.nodes.iter().enumerate() {
         let node = i as u32;
+        let lc = lifecycle.state(node);
         let status = match () {
             _ if st.hw.health() == cwx_hw::HealthState::Burned => "failed",
             _ if st.hw.power() == cwx_hw::PowerState::Off => "off",
@@ -49,8 +52,10 @@ pub fn rows(world: &World, now: SimTime) -> Vec<NodeRow> {
                     "unreachable"
                 }
             }
-            _ if st.expected_up => "unreachable",
-            _ => "boot",
+            // lifecycle says an OS should be answering but the hardware
+            // disagrees: the node wedged or paniced out from under us
+            _ if lc.expects_os() => "unreachable",
+            _ => lc.status_word(),
         };
         let latest = |key: &str| {
             world

@@ -30,18 +30,26 @@
 
 #![warn(missing_docs)]
 
+pub mod actions;
 pub mod config;
 pub mod dashboard;
 pub mod groups;
+pub mod lifecycle;
 pub mod lite;
+mod probes;
 pub mod provisioning;
 pub mod realtime;
 pub mod scheduler;
 pub mod server;
 pub mod world;
 
+pub use actions::{
+    AuditEntry, AuditRecord, CommandTransport, ControlPlane, ControlStats, DrainGate, Effect,
+    IssueOutcome, NoGate, PowerCmd, RetryPolicy, SuppressReason,
+};
 pub use config::{ClusterConfig, WorkloadMix};
 pub use groups::Groups;
+pub use lifecycle::{FailReason, LifecycleState, LifecycleTracker, Transition};
 pub use lite::LiteMonitor;
 pub use provisioning::{add_node, clone_image_to_group};
 pub use realtime::{RealTimeConfig, RealTimeDeployment};

@@ -1,0 +1,321 @@
+//! The per-node lifecycle state machine: the single source of truth for
+//! what each node is doing and which transitions are legal.
+//!
+//! The paper's §5 event loop assumes one authority that knows whether a
+//! node is off, booting, up, draining or failed before it fires a power
+//! action at it. This module is that authority, shared verbatim between
+//! the discrete-event simulation ([`crate::world`]) and the wall-clock
+//! deployment ([`crate::realtime`]): both drive the identical machine
+//! through [`crate::actions::ControlPlane`].
+//!
+//! ```text
+//!          Off ──► PoweringOn ──► Bios ──► Up ──► Draining ──► Off
+//!           ▲          │            │       │ │        │
+//!           │          ▼            ▼       │ ▼        │
+//!           └───────── Off   Failed(..) ◄───┘ Halted ──┘
+//! ```
+//!
+//! `Cloning` overlays the power states during provisioning (the node is
+//! deliberately dark while an image streams to it), and `Failed(reason)`
+//! edges exist from anywhere hardware can break.
+
+use cwx_util::time::SimTime;
+
+/// Why a node landed in [`LifecycleState::Failed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReason {
+    /// The firmware memory check failed; the node halts in BIOS.
+    MemoryCheck,
+    /// The CPU burned (unattended thermal runaway). Needs repair.
+    Burned,
+}
+
+/// Lifecycle state of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleState {
+    /// Outlet relay open; the node draws nothing.
+    Off,
+    /// Relay commanded closed; the outlet is inside its sequenced
+    /// energize window or the firmware has not started yet.
+    PoweringOn,
+    /// Energized, firmware boot in progress.
+    Bios,
+    /// Provisioning: deliberately dark while an image streams to it.
+    Cloning,
+    /// OS up, agent reporting.
+    Up,
+    /// A power action is gated on a scheduler drain; the OS is still up
+    /// until the drain completes (or its force-after deadline passes).
+    Draining,
+    /// OS halted by an administrator action; the relay stays closed.
+    Halted,
+    /// Broken hardware; stays failed until repaired or power-cycled.
+    Failed(FailReason),
+}
+
+impl LifecycleState {
+    /// Whether the administrator expects an OS (and its agent) to be
+    /// running in this state. Drives probe gating and the dashboard.
+    pub fn expects_os(self) -> bool {
+        matches!(self, LifecycleState::Up | LifecycleState::Draining)
+    }
+
+    /// Short status word for dashboards.
+    pub fn status_word(self) -> &'static str {
+        match self {
+            LifecycleState::Off => "off",
+            LifecycleState::PoweringOn | LifecycleState::Bios => "boot",
+            LifecycleState::Cloning => "cloning",
+            LifecycleState::Up => "up",
+            LifecycleState::Draining => "draining",
+            LifecycleState::Halted => "halted",
+            LifecycleState::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Is `from → to` a legal edge of the machine?
+///
+/// The table is deliberately explicit: an illegal request is a bug in
+/// the caller, and [`LifecycleTracker::transition`] refuses it rather
+/// than silently corrupting the node's state.
+pub fn legal_transition(from: LifecycleState, to: LifecycleState) -> bool {
+    use LifecycleState::*;
+    if from == to {
+        return false; // self-loops are caller bugs, not transitions
+    }
+    match (from, to) {
+        // the happy boot path
+        (Off, PoweringOn) | (PoweringOn, Bios) | (Bios, Up) => true,
+        // power cut anywhere before or after the OS is up
+        (PoweringOn, Off) | (Bios, Off) | (Up, Off) | (Halted, Off) | (Draining, Off) => true,
+        // drain gating around a power action on a busy node
+        (Up, Draining) => true,
+        // drain abandoned (command exhausted its retries): node stays up
+        (Draining, Up) => true,
+        // OS halt with the relay still closed
+        (Up, Halted) | (Draining, Halted) => true,
+        // provisioning claims a node from any powered state, and the
+        // node leaves Cloning through a fresh power-on (or stays dark)
+        (Off | PoweringOn | Bios | Up | Draining | Halted, Cloning) => true,
+        (Cloning, PoweringOn) | (Cloning, Off) => true,
+        // failure edges: firmware memory check, burned CPU
+        (PoweringOn | Bios, Failed(FailReason::MemoryCheck)) => true,
+        (_, Failed(FailReason::Burned)) => true,
+        // repair paths out of Failed: power-cycle or replacement
+        (Failed(_), Off) | (Failed(_), PoweringOn) | (Failed(_), Cloning) => true,
+        _ => false,
+    }
+}
+
+/// One recorded transition (the lifecycle slice of the audit trail).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transition {
+    /// When.
+    pub time: SimTime,
+    /// Which node.
+    pub node: u32,
+    /// State left.
+    pub from: LifecycleState,
+    /// State entered.
+    pub to: LifecycleState,
+}
+
+/// Tracks the lifecycle state of every node in a fleet.
+#[derive(Debug, Default)]
+pub struct LifecycleTracker {
+    states: Vec<LifecycleState>,
+    /// when each node entered its current state
+    since: Vec<SimTime>,
+    /// when each node last entered `Up` (None once it truly leaves the
+    /// up family `Up`/`Draining`) — the connectivity grace anchor
+    up_entered: Vec<Option<SimTime>>,
+    log: Vec<Transition>,
+}
+
+impl LifecycleTracker {
+    /// A tracker with `n` nodes, all [`LifecycleState::Off`].
+    pub fn new(n: usize) -> Self {
+        LifecycleTracker {
+            states: vec![LifecycleState::Off; n],
+            since: vec![SimTime::ZERO; n],
+            up_entered: vec![None; n],
+            log: Vec::new(),
+        }
+    }
+
+    /// Grow to cover a hot-added node (starts `Off`).
+    pub fn add_node(&mut self) {
+        self.states.push(LifecycleState::Off);
+        self.since.push(SimTime::ZERO);
+        self.up_entered.push(None);
+    }
+
+    /// Nodes tracked.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the tracker is empty.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Current state of `node`.
+    pub fn state(&self, node: u32) -> LifecycleState {
+        self.states[node as usize]
+    }
+
+    /// When `node` entered its current state.
+    pub fn since(&self, node: u32) -> SimTime {
+        self.since[node as usize]
+    }
+
+    /// When `node` last completed a boot, while it remains in the up
+    /// family (`Up`/`Draining`); `None` otherwise.
+    pub fn up_since(&self, node: u32) -> Option<SimTime> {
+        self.up_entered[node as usize]
+    }
+
+    /// The transition log, in order.
+    pub fn log(&self) -> &[Transition] {
+        &self.log
+    }
+
+    /// Attempt `node → to`. Returns the transition if the edge is legal
+    /// (recording it), `None` if it is not (state unchanged).
+    pub fn transition(
+        &mut self,
+        now: SimTime,
+        node: u32,
+        to: LifecycleState,
+    ) -> Option<Transition> {
+        let from = self.states[node as usize];
+        if !legal_transition(from, to) {
+            return None;
+        }
+        self.apply(now, node, from, to)
+    }
+
+    /// Force `node` into `to` regardless of legality — the escape hatch
+    /// for adopting an already-running fleet ([`crate::realtime`]) and
+    /// for hardware events that outrank the machine. Still logged.
+    pub fn force(&mut self, now: SimTime, node: u32, to: LifecycleState) -> Option<Transition> {
+        let from = self.states[node as usize];
+        if from == to {
+            return None;
+        }
+        self.apply(now, node, from, to)
+    }
+
+    fn apply(
+        &mut self,
+        now: SimTime,
+        node: u32,
+        from: LifecycleState,
+        to: LifecycleState,
+    ) -> Option<Transition> {
+        self.states[node as usize] = to;
+        self.since[node as usize] = now;
+        match to {
+            LifecycleState::Up => self.up_entered[node as usize] = Some(now),
+            LifecycleState::Draining => {} // still up: keep the anchor
+            _ => self.up_entered[node as usize] = None,
+        }
+        let t = Transition {
+            time: now,
+            node,
+            from,
+            to,
+        };
+        self.log.push(t);
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LifecycleState::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + cwx_util::time::SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn happy_path_boot_and_drain() {
+        let mut lc = LifecycleTracker::new(1);
+        assert_eq!(lc.state(0), Off);
+        for (at, to) in [(1, PoweringOn), (2, Bios), (10, Up), (50, Draining)] {
+            assert!(lc.transition(t(at), 0, to).is_some(), "{to:?}");
+        }
+        assert_eq!(lc.up_since(0), Some(t(10)), "draining keeps the anchor");
+        assert!(lc.transition(t(60), 0, Off).is_some());
+        assert_eq!(lc.up_since(0), None);
+        assert_eq!(lc.log().len(), 5);
+    }
+
+    #[test]
+    fn illegal_edges_are_refused_without_corruption() {
+        let mut lc = LifecycleTracker::new(1);
+        assert!(lc.transition(t(1), 0, Up).is_none(), "Off -> Up skips boot");
+        assert!(lc.transition(t(1), 0, Halted).is_none());
+        assert!(lc.transition(t(1), 0, Off).is_none(), "self loop");
+        assert_eq!(lc.state(0), Off, "state untouched by refusals");
+        assert!(lc.log().is_empty());
+    }
+
+    #[test]
+    fn failure_edges_and_repair() {
+        let mut lc = LifecycleTracker::new(1);
+        lc.transition(t(1), 0, PoweringOn).unwrap();
+        lc.transition(t(2), 0, Bios).unwrap();
+        assert!(lc
+            .transition(t(3), 0, Failed(FailReason::MemoryCheck))
+            .is_some());
+        // repair is a power-cycle
+        assert!(lc.transition(t(9), 0, Off).is_some());
+        lc.transition(t(10), 0, PoweringOn).unwrap();
+        lc.transition(t(11), 0, Bios).unwrap();
+        lc.transition(t(12), 0, Up).unwrap();
+        // a burn outranks everything
+        assert!(lc
+            .transition(t(20), 0, Failed(FailReason::Burned))
+            .is_some());
+        assert_eq!(lc.up_since(0), None);
+    }
+
+    #[test]
+    fn cloning_overlays_power_states() {
+        let mut lc = LifecycleTracker::new(2);
+        lc.transition(t(1), 0, PoweringOn).unwrap();
+        lc.transition(t(2), 0, Bios).unwrap();
+        lc.transition(t(3), 0, Up).unwrap();
+        assert!(
+            lc.transition(t(5), 0, Cloning).is_some(),
+            "claim a live node"
+        );
+        assert!(lc.transition(t(9), 0, PoweringOn).is_some(), "boot back");
+        assert!(
+            lc.transition(t(5), 1, Cloning).is_some(),
+            "claim an off node"
+        );
+        assert!(lc.transition(t(9), 1, Off).is_some(), "abandoned clone");
+    }
+
+    #[test]
+    fn force_adopts_running_fleets() {
+        let mut lc = LifecycleTracker::new(3);
+        for n in 0..3 {
+            assert!(
+                lc.force(t(0), n, Up).is_some(),
+                "Off -> Up illegal but forced"
+            );
+        }
+        assert!(
+            lc.force(t(0), 0, Up).is_none(),
+            "forcing a no-op is a no-op"
+        );
+        assert_eq!(lc.up_since(1), Some(t(0)));
+    }
+}

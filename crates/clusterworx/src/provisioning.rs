@@ -75,9 +75,12 @@ pub fn clone_image_to_group(
         },
     );
 
-    // replay: targets go dark now...
+    // replay: targets go dark now, claimed by the provisioning overlay
+    // state (deliberately dark while the image streams)
     for &node in &targets {
         power_off_node(sim, node);
+        let now = sim.now();
+        sim.world_mut().control.note_cloning(now, node);
     }
     // ...and come back at their protocol-determined completion times
     // (power_on_node replays the boot; subtract the boot the protocol
@@ -123,11 +126,10 @@ pub fn add_node(sim: &mut Sim<World>) -> u32 {
             bios: cwx_bios::BiosChip::new(w.cfg.firmware),
             agent: None,
             pending_boot: Vec::new(),
-            expected_up: false,
-            up_since: None,
             image: None,
             rng: crate::world::node_rng(w.cfg.seed, node),
         });
+        w.control.add_node();
         // a new chassis every 10 nodes
         let (bx, _) = World::rack_of(node);
         while w.iceboxes.len() <= bx {

@@ -28,6 +28,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use cwx_icebox::chassis::{IceBox, NodeCommand, PortEffect, PortId, NODE_PORTS};
 use cwx_monitor::agent::{Agent, AgentConfig};
 use cwx_monitor::history::HistoryStore;
 use cwx_monitor::monitor::Value;
@@ -37,17 +38,22 @@ use cwx_proc::synthetic::SyntheticProc;
 use cwx_store::disk::{DiskStore, StoreConfig};
 use cwx_store::{BatchSample, Store};
 use cwx_util::time::{SimDuration, SimTime};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::Rng;
 
+use crate::actions::{CommandTransport, ControlPlane, Effect, IssueOutcome, NoGate, PowerCmd};
 use crate::server::Server;
 
 /// Handle to a running real-time deployment.
 pub struct RealTimeDeployment {
     server: Arc<RwLock<Server>>,
+    control: Arc<Mutex<ControlPlane>>,
     store: Option<Arc<DiskStore>>,
     stop: Arc<AtomicBool>,
     agents: Vec<std::thread::JoinHandle<u64>>,
     ingest_threads: Vec<std::thread::JoinHandle<u64>>,
+    controller: Option<std::thread::JoinHandle<()>>,
 }
 
 /// Parameters for [`RealTimeDeployment::start`].
@@ -79,6 +85,15 @@ pub struct RealTimeConfig {
     /// Test hook: per-report processing delay injected into ingest
     /// threads, to exercise backpressure.
     pub ingest_stall: Option<Duration>,
+    /// How often the controller thread drains the server's queued
+    /// actions into the control plane and pumps the command bus.
+    pub control_interval: Duration,
+    /// Fraction of chassis commands lost in transit (the same fault
+    /// knob as [`crate::ClusterConfig::icebox_command_loss`]).
+    pub command_loss: f64,
+    /// Wall-clock stand-in for a node's firmware+OS boot after its
+    /// outlet energizes.
+    pub boot_delay: Duration,
 }
 
 impl Default for RealTimeConfig {
@@ -94,24 +109,50 @@ impl Default for RealTimeConfig {
             ingest_batch_samples: 512,
             ingest_batch_delay: Duration::from_millis(25),
             ingest_stall: None,
+            control_interval: Duration::from_millis(20),
+            command_loss: 0.0,
+            boot_delay: Duration::from_millis(100),
         }
     }
 }
 
-fn agent_loop(node: u32, cfg: RealTimeConfig, tx: Sender<Vec<u8>>, stop: Arc<AtomicBool>) -> u64 {
+fn agent_loop(
+    node: u32,
+    cfg: RealTimeConfig,
+    tx: Sender<Vec<u8>>,
+    stop: Arc<AtomicBool>,
+    os_up: Arc<Vec<AtomicBool>>,
+    control: Arc<Mutex<ControlPlane>>,
+) -> u64 {
     let proc_ = SyntheticProc::default();
-    let mut agent = Agent::new(
+    let mut agent = match Agent::new(
         proc_.clone(),
         AgentConfig {
             node,
             binary: cfg.binary_wire,
             ..AgentConfig::default()
         },
-    )
-    .expect("agent over synthetic proc");
+    ) {
+        Ok(a) => a,
+        Err(e) => {
+            // recoverable: one node without an agent, audited, no panic
+            control.lock().audit_io_error(
+                SimTime::ZERO,
+                Some(node),
+                format!("agent start failed: {e:?}"),
+            );
+            return 0;
+        }
+    };
     let started = Instant::now();
     let mut sent = 0u64;
     while !stop.load(Ordering::Relaxed) {
+        // a powered-down or halted node reports nothing; the control
+        // plane flips this flag through its lifecycle effects
+        if !os_up[node as usize].load(Ordering::Relaxed) {
+            std::thread::sleep(cfg.interval);
+            continue;
+        }
         proc_.with_state(|s| s.tick(cfg.interval.as_secs_f64(), cfg.util));
         let now = SimTime::ZERO + SimDuration::from_secs_f64(started.elapsed().as_secs_f64());
         let sensors = Sensors {
@@ -134,15 +175,216 @@ fn agent_loop(node: u32, cfg: RealTimeConfig, tx: Sender<Vec<u8>>, stop: Arc<Ato
     sent
 }
 
+/// The wall-clock [`CommandTransport`]: a rack of ICE Boxes owned by the
+/// controller thread, with the same loss injection as the simulation.
+struct ChassisTransport {
+    iceboxes: Vec<IceBox>,
+    loss: f64,
+    rng: StdRng,
+}
+
+impl ChassisTransport {
+    fn rack_of(node: u32) -> (usize, PortId) {
+        (
+            (node / NODE_PORTS as u32) as usize,
+            PortId((node % NODE_PORTS as u32) as u8),
+        )
+    }
+}
+
+impl CommandTransport for ChassisTransport {
+    fn issue(&mut self, now: SimTime, node: u32, cmd: PowerCmd) -> IssueOutcome {
+        if self.loss > 0.0 && self.rng.random::<f64>() < self.loss {
+            return IssueOutcome::Lost;
+        }
+        let (bx, port) = Self::rack_of(node);
+        let Some(icebox) = self.iceboxes.get_mut(bx) else {
+            return IssueOutcome::Rejected;
+        };
+        let chassis_cmd = match cmd {
+            PowerCmd::On => NodeCommand::PowerOn,
+            PowerCmd::Off => NodeCommand::PowerOff,
+        };
+        match icebox.execute(now, port, chassis_cmd) {
+            Ok(Some(PortEffect::EnergizeAt { at, .. })) => IssueOutcome::Applied {
+                energize_at: Some(at),
+            },
+            Ok(Some(_)) => IssueOutcome::Applied { energize_at: None },
+            Ok(None) => IssueOutcome::Noop,
+            Err(_) => IssueOutcome::Rejected,
+        }
+    }
+
+    fn relay_on(&self, node: u32) -> bool {
+        let (bx, port) = Self::rack_of(node);
+        self.iceboxes.get(bx).is_some_and(|ib| ib.relay_on(port))
+    }
+}
+
+/// A node boot in progress on the controller thread's timeline.
+struct PendingBoot {
+    node: u32,
+    energize_at: SimTime,
+    up_at: SimTime,
+    energized: bool,
+}
+
+/// The controller loop: the wall-clock twin of the simulation's
+/// `execute_pending_actions` + `pump_control`. Every `control_interval`
+/// it drains the server's queued actions into the shared
+/// [`ControlPlane`], pumps the command bus through the chassis
+/// transport, and applies the physical effects (power flags, boots,
+/// `forget_node`). Identical state machine, different clock.
+#[allow(clippy::too_many_arguments)]
+fn controller_loop(
+    cfg: RealTimeConfig,
+    server: Arc<RwLock<Server>>,
+    control: Arc<Mutex<ControlPlane>>,
+    os_up: Arc<Vec<AtomicBool>>,
+    stop: Arc<AtomicBool>,
+) {
+    let n_boxes = (cfg.n_nodes as usize).div_ceil(NODE_PORTS);
+    let mut transport = ChassisTransport {
+        iceboxes: (0..n_boxes.max(1)).map(|_| IceBox::new()).collect(),
+        loss: cfg.command_loss,
+        rng: cwx_util::rng::rng(0x1ce_b0c5),
+    };
+    // adopt the running fleet: relays closed, lifecycle forced Up
+    {
+        let mut cp = control.lock();
+        for node in 0..cfg.n_nodes {
+            let (bx, port) = ChassisTransport::rack_of(node);
+            let _ = transport.iceboxes[bx].power_on(SimTime::ZERO, port);
+            transport.iceboxes[bx].mark_energized(port);
+            cp.adopt_up(SimTime::ZERO, node);
+        }
+    }
+    let epoch = Instant::now();
+    let boot_delay = SimDuration::from_secs_f64(cfg.boot_delay.as_secs_f64());
+    let mut boots: Vec<PendingBoot> = Vec::new();
+    loop {
+        let now = SimTime::ZERO + SimDuration::from_secs_f64(epoch.elapsed().as_secs_f64());
+        // boots reach their milestones on the wall clock
+        let mut cp = control.lock();
+        for b in &mut boots {
+            if !b.energized && now >= b.energize_at {
+                let (bx, port) = ChassisTransport::rack_of(b.node);
+                transport.iceboxes[bx].mark_energized(port);
+                cp.note_energized(now, b.node);
+                b.energized = true;
+            }
+            if b.energized && now >= b.up_at {
+                cp.note_boot_complete(now, b.node);
+                os_up[b.node as usize].store(true, Ordering::Relaxed);
+            }
+        }
+        boots.retain(|b| !(b.energized && b.up_at <= now));
+        // drain queued actions, mirroring the simulation driver: pump
+        // after each submission so an applied power-off suppresses later
+        // duplicates in the same batch
+        let actions = server.write().take_actions();
+        for a in actions {
+            let relay_on = transport.relay_on(a.node);
+            let effects = cp.submit_action(now, a.node, &a.action, relay_on, &mut NoGate);
+            for e in effects {
+                apply_rt_effect(e, now, boot_delay, &mut cp, &os_up, &server, &mut boots);
+            }
+            loop {
+                let effects = cp.step(now, &mut transport, &mut NoGate);
+                if effects.is_empty() {
+                    break;
+                }
+                for e in effects {
+                    apply_rt_effect(e, now, boot_delay, &mut cp, &os_up, &server, &mut boots);
+                }
+            }
+        }
+        // pump timed work (retry backoffs, the reboot pause)
+        loop {
+            let effects = cp.step(now, &mut transport, &mut NoGate);
+            if effects.is_empty() {
+                break;
+            }
+            for e in effects {
+                apply_rt_effect(e, now, boot_delay, &mut cp, &os_up, &server, &mut boots);
+            }
+        }
+        let idle = cp.outstanding() == 0 && boots.is_empty();
+        drop(cp);
+        if stop.load(Ordering::Relaxed) && idle {
+            break;
+        }
+        std::thread::sleep(cfg.control_interval);
+    }
+}
+
+/// Apply one control-plane effect on the wall-clock deployment.
+#[allow(clippy::too_many_arguments)]
+fn apply_rt_effect(
+    effect: Effect,
+    now: SimTime,
+    boot_delay: SimDuration,
+    cp: &mut ControlPlane,
+    os_up: &Arc<Vec<AtomicBool>>,
+    server: &Arc<RwLock<Server>>,
+    boots: &mut Vec<PendingBoot>,
+) {
+    match effect {
+        Effect::PowerApplied {
+            node, on: false, ..
+        } => {
+            boots.retain(|b| b.node != node);
+            os_up[node as usize].store(false, Ordering::Relaxed);
+            server.write().forget_node(node);
+        }
+        Effect::PowerApplied {
+            node,
+            on: true,
+            energize_at,
+        } => {
+            boots.retain(|b| b.node != node);
+            let energize_at = energize_at.unwrap_or(now);
+            boots.push(PendingBoot {
+                node,
+                energize_at,
+                up_at: energize_at + boot_delay,
+                energized: false,
+            });
+        }
+        Effect::HaltOs { node } => {
+            boots.retain(|b| b.node != node);
+            os_up[node as usize].store(false, Ordering::Relaxed);
+        }
+        Effect::RunPlugin { node, name } => {
+            // the wall-clock deployment has no plug-in registry yet; the
+            // action itself is already in the audit trail
+            cp.note_plugin_ran(now, node, &name);
+        }
+    }
+}
+
 impl RealTimeDeployment {
     /// Start the threads.
     pub fn start(cfg: RealTimeConfig) -> Self {
-        let store = cfg.persist_dir.as_ref().map(|dir| {
+        let control = Arc::new(Mutex::new(ControlPlane::new(cfg.n_nodes as usize)));
+        let store = cfg.persist_dir.as_ref().and_then(|dir| {
             let store_cfg = StoreConfig {
                 n_shards: cfg.shards.max(1),
                 ..StoreConfig::default()
             };
-            Arc::new(DiskStore::open(dir, store_cfg).expect("open persistent store"))
+            match DiskStore::open(dir, store_cfg) {
+                Ok(s) => Some(Arc::new(s)),
+                Err(e) => {
+                    // degrade to volatile history rather than dying: the
+                    // monitoring plane keeps running, the failure is audited
+                    control.lock().audit_io_error(
+                        SimTime::ZERO,
+                        None,
+                        format!("persistent store open failed, running volatile: {e:?}"),
+                    );
+                    None
+                }
+            }
         });
         let history = match &store {
             Some(s) => HistoryStore::with_backend(Box::new(Arc::clone(s))),
@@ -174,16 +416,32 @@ impl RealTimeDeployment {
             rxs.push(rx);
         }
 
+        // the fleet starts adopted-up; the control plane's effects flip
+        // these flags as nodes power down, halt, or reboot
+        let os_up: Arc<Vec<AtomicBool>> =
+            Arc::new((0..cfg.n_nodes).map(|_| AtomicBool::new(true)).collect());
+
         let agents: Vec<_> = (0..cfg.n_nodes)
             .map(|node| {
                 let lane = (node / nodes_per_group.max(1)) as usize % n_lanes;
                 let tx = txs[lane].clone();
                 let stop = Arc::clone(&stop);
                 let cfg = cfg.clone();
-                std::thread::spawn(move || agent_loop(node, cfg, tx, stop))
+                let os_up = Arc::clone(&os_up);
+                let control = Arc::clone(&control);
+                std::thread::spawn(move || agent_loop(node, cfg, tx, stop, os_up, control))
             })
             .collect();
         drop(txs); // ingest lanes see disconnect once every agent stops
+
+        let controller = {
+            let cfg = cfg.clone();
+            let server = Arc::clone(&server);
+            let control = Arc::clone(&control);
+            let os_up = Arc::clone(&os_up);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || controller_loop(cfg, server, control, os_up, stop))
+        };
 
         let ingest_threads: Vec<_> = rxs
             .into_iter()
@@ -288,16 +546,24 @@ impl RealTimeDeployment {
 
         RealTimeDeployment {
             server,
+            control,
             store,
             stop,
             agents,
             ingest_threads,
+            controller: Some(controller),
         }
     }
 
     /// The shared server — clone the `Arc` for tier-3 clients.
     pub fn server(&self) -> Arc<RwLock<Server>> {
         Arc::clone(&self.server)
+    }
+
+    /// The shared control plane — the same lifecycle machine the
+    /// simulation drives, here fed by the controller thread.
+    pub fn control(&self) -> Arc<Mutex<ControlPlane>> {
+        Arc::clone(&self.control)
     }
 
     /// The persistent store, when the deployment runs with one.
@@ -312,11 +578,34 @@ impl RealTimeDeployment {
         self.stop.store(true, Ordering::Relaxed);
         let mut sent = 0;
         for h in self.agents.drain(..) {
-            sent += h.join().expect("agent thread");
+            match h.join() {
+                Ok(n) => sent += n,
+                Err(_) => self.control.lock().audit_io_error(
+                    SimTime::ZERO,
+                    None,
+                    "agent thread panicked during shutdown".to_string(),
+                ),
+            }
+        }
+        if let Some(controller) = self.controller.take() {
+            if controller.join().is_err() {
+                self.control.lock().audit_io_error(
+                    SimTime::ZERO,
+                    None,
+                    "controller thread panicked during shutdown".to_string(),
+                );
+            }
         }
         let mut ingested = 0;
         for h in self.ingest_threads.drain(..) {
-            ingested += h.join().expect("ingest thread");
+            match h.join() {
+                Ok(n) => ingested += n,
+                Err(_) => self.control.lock().audit_io_error(
+                    SimTime::ZERO,
+                    None,
+                    "ingest thread panicked during shutdown".to_string(),
+                ),
+            }
         }
         if let Some(store) = &self.store {
             let _ = store.flush_all();

@@ -17,10 +17,11 @@
 
 use cwx_hw::workload::Workload;
 use cwx_util::sim::Sim;
-use cwx_util::time::SimDuration;
+use cwx_util::time::{SimDuration, SimTime};
 use slurm_lite::controller::NodeAllocState;
 use slurm_lite::{Controller, SchedulerKind};
 
+use crate::actions::DrainGate;
 use crate::world::World;
 
 /// Scheduler attachment state, stored in [`World::scheduler`].
@@ -44,6 +45,28 @@ impl SchedulerBridge {
             reported_down: vec![false; n_nodes as usize],
             job_util: 0.92,
         }
+    }
+}
+
+/// The control plane drains power-action targets through SLURM before
+/// pulling the plug (paper §6: the resource manager must stop handing
+/// the node work before the chassis cuts it).
+impl DrainGate for SchedulerBridge {
+    fn request_drain(&mut self, _now: SimTime, node: u32) -> bool {
+        if self.controller.node_busy(node) {
+            self.controller.drain_node(node);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn is_drained(&self, node: u32) -> bool {
+        self.controller.is_drained(node)
+    }
+
+    fn release(&mut self, node: u32) {
+        self.controller.undrain_node(node);
     }
 }
 
@@ -113,6 +136,11 @@ pub fn sync_scheduler(sim: &mut Sim<World>) {
             w.nodes[i].hw.set_workload(workload);
         }
     }
+
+    // 4. a job completion may have finished a drain some power command
+    // is gated on — give the control plane a chance to act on it now
+    // rather than at its force-after deadline
+    crate::world::pump_control(sim);
 }
 
 #[cfg(test)]

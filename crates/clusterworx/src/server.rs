@@ -144,6 +144,27 @@ impl Server {
         std::mem::take(&mut self.pending)
     }
 
+    /// Queue an administrator-requested action, exactly as if a rule had
+    /// fired it. This is the scriptable entry point the control-plane
+    /// equivalence tests drive through both deployments.
+    pub fn request_action(&mut self, now: SimTime, node: u32, action: Action) {
+        if action == Action::None {
+            return;
+        }
+        self.stats.actions += 1;
+        self.pending.push(PendingAction {
+            node,
+            action: action.clone(),
+            cause: Firing {
+                event: cwx_events::engine::EventId(0),
+                node,
+                time: now,
+                value: 0.0,
+                action,
+            },
+        });
+    }
+
     /// Handle a report datagram arriving from a node agent.
     pub fn ingest(&mut self, now: SimTime, payload: &[u8]) {
         self.stats.bytes_rx += payload.len() as u64;

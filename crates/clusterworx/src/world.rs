@@ -1,13 +1,19 @@
 //! The simulated cluster world and its event wiring.
+//!
+//! Node orchestration — what is legal, what is queued, what was done —
+//! lives in the control plane ([`crate::lifecycle`] + [`crate::actions`]);
+//! this module is the *driver*: it owns the physical substrates (hardware,
+//! chassis, network, server), translates control-plane [`Effect`]s into
+//! simulation events, and feeds hardware reality back in. The observation
+//! paths (probe sampling, liveness housekeeping) are in `crate::probes`.
 
 use cwx_bios::{BiosChip, MemoryCheck};
 use cwx_events::Action;
 use cwx_hw::node::{Fault, HwEvent, NodeHardware, PowerState, ThermalConfig};
 use cwx_hw::workload::Workload;
 use cwx_hw::NodeId;
-use cwx_icebox::chassis::{IceBox, PortEffect, PortId, ProbeReading, NODE_PORTS};
+use cwx_icebox::chassis::{IceBox, NodeCommand, PortEffect, PortId, NODE_PORTS};
 use cwx_monitor::agent::{Agent, AgentConfig};
-use cwx_monitor::monitor::MonitorKey;
 use cwx_monitor::snapshot::Sensors;
 use cwx_net::{Network, NodeAddr};
 use cwx_proc::synthetic::SyntheticProc;
@@ -15,7 +21,9 @@ use cwx_util::rng::rng as seeded_rng;
 use cwx_util::sim::{EventId, Sim};
 use cwx_util::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
+use rand::Rng;
 
+use crate::actions::{CommandTransport, ControlPlane, Effect, IssueOutcome, NoGate, PowerCmd};
 use crate::config::{ClusterConfig, WorkloadMix};
 use crate::server::Server;
 
@@ -58,12 +66,6 @@ pub struct NodeState {
     /// In-flight boot-sequence events (energize, console phases, boot
     /// completion); cancelled wholesale when power changes.
     pub pending_boot: Vec<EventId>,
-    /// The administrator expects this node to be up (set when a boot
-    /// completes, cleared by power-off/halt).
-    pub expected_up: bool,
-    /// When the current OS instance came up (connectivity checks get a
-    /// grace window after boot before the echo probe may fail a node).
-    pub up_since: Option<SimTime>,
     /// The system image provisioned onto this node (None = factory).
     pub image: Option<crate::provisioning::InstalledImage>,
     /// This node's private noise stream. Independent per-node RNGs make
@@ -91,14 +93,18 @@ pub struct World {
     pub net: Network<Vec<u8>>,
     /// The management server.
     pub server: Server,
-    /// Executed actions, in order.
-    pub action_log: Vec<ActionLog>,
+    /// The node-lifecycle control plane: every chassis action flows
+    /// through its command bus and lands in its audit trail.
+    pub control: ControlPlane,
     /// Optional SLURM-lite attachment (see [`crate::scheduler`]).
     pub scheduler: Option<crate::scheduler::SchedulerBridge>,
     /// Registered action plug-ins by name.
     action_plugins: std::collections::BTreeMap<String, ActionPlugin>,
-    /// Plug-in executions: (time, plugin name, node).
-    pub plugin_log: Vec<(SimTime, String, u32)>,
+    /// One-shot wake event for the control plane's timed work (retry
+    /// backoffs, drain deadlines, reboot pauses): `(when, event)`.
+    control_wake: Option<(SimTime, EventId)>,
+    /// Command-loss draws for the chassis transport.
+    cmd_rng: StdRng,
     rng: StdRng,
 }
 
@@ -128,6 +134,18 @@ impl World {
     /// `Action::Plugin(name)` will invoke it.
     pub fn register_action_plugin(&mut self, name: &str, plugin: ActionPlugin) {
         self.action_plugins.insert(name.to_string(), plugin);
+    }
+
+    /// Executed event actions in order — a projection of the control
+    /// plane's audit trail (formerly a field updated in parallel).
+    pub fn action_log(&self) -> Vec<ActionLog> {
+        self.control.action_log()
+    }
+
+    /// Plug-in executions `(time, plugin name, node)` — also projected
+    /// from the audit trail.
+    pub fn plugin_log(&self) -> Vec<(SimTime, String, u32)> {
+        self.control.plugin_log()
     }
 }
 
@@ -165,8 +183,6 @@ impl Cluster {
                 bios: BiosChip::new(cfg.firmware),
                 agent: None,
                 pending_boot: Vec::new(),
-                expected_up: false,
-                up_since: None,
                 image: None,
                 rng: node_rng(cfg.seed, i),
             });
@@ -196,15 +212,23 @@ impl Cluster {
                 )
             }
         };
+        let control = {
+            let mut c = ControlPlane::new(n as usize);
+            c.set_drain_force_after(cfg.drain_force_after);
+            c
+        };
         let world = World {
             nodes,
             iceboxes,
             net,
             server,
-            action_log: Vec::new(),
+            control,
             scheduler: None,
             action_plugins: std::collections::BTreeMap::new(),
-            plugin_log: Vec::new(),
+            control_wake: None,
+            // command-loss draws get their own stream so enabling loss
+            // injection cannot perturb any other random sequence
+            cmd_rng: seeded_rng(cfg.seed ^ 0x1ce_b0c5),
             rng: {
                 // separate stream for firmware boot-plan randomness
                 // (hardware noise lives in the per-node RNGs)
@@ -242,11 +266,11 @@ fn install_recurring_events(sim: &mut Sim<World>) {
         true
     });
     sim.schedule_every(probe_interval, |sim| {
-        probe_tick(sim);
+        crate::probes::probe_tick(sim);
         true
     });
     sim.schedule_every(housekeeping, |sim| {
-        housekeeping_tick(sim);
+        crate::probes::housekeeping_tick(sim);
         true
     });
 }
@@ -279,9 +303,10 @@ fn route_hw_events(sim: &mut Sim<World>, node: u32, events: Vec<HwEvent>) {
                 sim.world_mut().iceboxes[bx].feed_console(port, text.as_bytes());
             }
             HwEvent::CpuBurned { .. } => {
-                let st = &mut sim.world_mut().nodes[node as usize];
-                st.expected_up = false;
-                st.agent = None;
+                let now = sim.now();
+                let w = sim.world_mut();
+                w.control.note_burned(now, node);
+                w.nodes[node as usize].agent = None;
             }
         }
     }
@@ -334,147 +359,197 @@ fn agent_tick(sim: &mut Sim<World>) {
     }
 }
 
-/// Sample the ICE Box probes and feed them to the server out-of-band.
-///
-/// A single fleet-wide pass over the dense node vector: the chassis,
-/// node, and server borrows are split once instead of re-borrowing the
-/// world per node.
-fn probe_tick(sim: &mut Sim<World>) {
-    let now = sim.now();
-    {
-        let World {
-            nodes,
-            iceboxes,
-            server,
-            ..
-        } = sim.world_mut();
-        for (i, st) in nodes.iter().enumerate() {
-            let (bx, port) = World::rack_of(i as u32);
-            let reading = ProbeReading {
-                temp_c: st.hw.temperature_c(),
-                watts: st.hw.power_watts(),
-                fan_rpm: st.hw.fan_rpm(),
-            };
-            iceboxes[bx].record_probe(port, reading);
-            // Feed the event engine only for nodes that are supposed to
-            // be running: a node mid-boot (or whose outlet is still in
-            // its sequenced energize window) legitimately draws nothing
-            // and must not trip the PSU/fan rules.
-            let relay_on = iceboxes[bx].relay_on(port);
-            let settled = iceboxes[bx].pending_energize(port).is_none();
-            let expected = st.hw.is_up()
-                || st.expected_up
-                || matches!(
-                    st.hw.health(),
-                    cwx_hw::HealthState::PsuFailed | cwx_hw::HealthState::Burned
-                );
-            if relay_on && settled && expected {
-                server.record_probe(
-                    now,
-                    i as u32,
-                    reading.temp_c,
-                    reading.watts,
-                    reading.fan_rpm,
-                );
-            }
-        }
-    }
-    execute_pending_actions(sim);
+/// The simulation-side [`CommandTransport`]: commands land on the
+/// in-world chassis through [`IceBox::execute`], optionally losing a
+/// configured fraction in transit (the E13 fault-injection knob).
+struct SimTransport<'a> {
+    iceboxes: &'a mut Vec<IceBox>,
+    loss: f64,
+    rng: &'a mut StdRng,
 }
 
-/// Flush mail, check liveness via the UDP echo probe.
-///
-/// The echo travels the same management network the reports do, so the
-/// model uses the evidence the server actually has: a node answers the
-/// echo iff its OS is up *and* its reports have been arriving. A grace
-/// window after boot keeps a freshly started agent from reading as dead
-/// before its first report lands.
-fn housekeeping_tick(sim: &mut Sim<World>) {
-    let now = sim.now();
-    let key = MonitorKey::new("net.connectivity");
-    {
-        let w = sim.world_mut();
-        let stale = w.cfg.agent_interval * 4;
-        let World { nodes, server, .. } = w;
-        for (i, st) in nodes.iter().enumerate() {
-            let Some(up_since) = st.up_since else {
-                continue;
-            };
-            if now.since(up_since) <= stale {
-                continue; // grace period after boot
-            }
-            let heard_recently = server
-                .node_status(i as u32)
-                .map(|s| now.since(s.last_report) <= stale)
-                .unwrap_or(false);
-            let echo = st.hw.is_up() && heard_recently;
-            server.observe(now, i as u32, &key, echo as u8 as f64);
+impl CommandTransport for SimTransport<'_> {
+    fn issue(&mut self, now: SimTime, node: u32, cmd: PowerCmd) -> IssueOutcome {
+        // the loss draw comes first: a lost command never reaches the
+        // chassis at all. The draw is skipped entirely at loss 0 so the
+        // reliable-link configurations consume no randomness here.
+        if self.loss > 0.0 && self.rng.random::<f64>() < self.loss {
+            return IssueOutcome::Lost;
+        }
+        let (bx, port) = World::rack_of(node);
+        let Some(icebox) = self.iceboxes.get_mut(bx) else {
+            return IssueOutcome::Rejected;
+        };
+        let chassis_cmd = match cmd {
+            PowerCmd::On => NodeCommand::PowerOn,
+            PowerCmd::Off => NodeCommand::PowerOff,
+        };
+        match icebox.execute(now, port, chassis_cmd) {
+            Ok(Some(PortEffect::EnergizeAt { at, .. })) => IssueOutcome::Applied {
+                energize_at: Some(at),
+            },
+            Ok(Some(_)) => IssueOutcome::Applied { energize_at: None },
+            Ok(None) => IssueOutcome::Noop,
+            Err(_) => IssueOutcome::Rejected,
         }
     }
-    execute_pending_actions(sim);
-    sim.world_mut().server.housekeeping(now);
+
+    fn relay_on(&self, node: u32) -> bool {
+        let (bx, port) = World::rack_of(node);
+        self.iceboxes.get(bx).is_some_and(|ib| ib.relay_on(port))
+    }
 }
 
-/// Execute actions queued by the event engine through the chassis.
-fn execute_pending_actions(sim: &mut Sim<World>) {
+/// Hand actions queued by the event engine to the control plane.
+pub(crate) fn execute_pending_actions(sim: &mut Sim<World>) {
     let actions = sim.world_mut().server.take_actions();
+    if actions.is_empty() {
+        return;
+    }
     let now = sim.now();
     for a in actions {
-        // drop no-op power actions (e.g. an in-flight report re-firing
-        // an event against a node that was already switched off)
-        if matches!(a.action, Action::PowerDown | Action::Reboot) {
+        let relay_on = {
             let (bx, port) = World::rack_of(a.node);
-            if !sim.world().iceboxes[bx].relay_on(port) {
-                continue;
+            sim.world().iceboxes[bx].relay_on(port)
+        };
+        let effects = {
+            let w = sim.world_mut();
+            let World {
+                control, scheduler, ..
+            } = w;
+            match scheduler.as_mut() {
+                Some(bridge) => control.submit_action(now, a.node, &a.action, relay_on, bridge),
+                None => control.submit_action(now, a.node, &a.action, relay_on, &mut NoGate),
+            }
+        };
+        for e in effects {
+            apply_effect(sim, e);
+        }
+        // pump after each submission so a power-down that completes
+        // synchronously suppresses later duplicates in the same batch,
+        // exactly as the pre-bus code did
+        pump_control(sim);
+    }
+}
+
+/// Drive the control plane until it has nothing immediately runnable,
+/// applying every physical effect, then park a wake event at its next
+/// timed deadline (retry backoff, drain force-after, reboot pause).
+pub(crate) fn pump_control(sim: &mut Sim<World>) {
+    loop {
+        let now = sim.now();
+        let effects = {
+            let w = sim.world_mut();
+            let World {
+                iceboxes,
+                control,
+                scheduler,
+                cmd_rng,
+                cfg,
+                ..
+            } = w;
+            let mut transport = SimTransport {
+                iceboxes,
+                loss: cfg.icebox_command_loss,
+                rng: cmd_rng,
+            };
+            match scheduler.as_mut() {
+                Some(bridge) => control.step(now, &mut transport, bridge),
+                None => control.step(now, &mut transport, &mut NoGate),
+            }
+        };
+        if effects.is_empty() {
+            break;
+        }
+        for e in effects {
+            apply_effect(sim, e);
+        }
+    }
+    schedule_control_wake(sim);
+}
+
+/// Keep exactly one wake event parked at the control plane's next
+/// deadline; cancel and re-park when the deadline moves.
+fn schedule_control_wake(sim: &mut Sim<World>) {
+    let want = sim.world().control.next_wakeup();
+    match (want, sim.world().control_wake) {
+        (None, None) => {}
+        (Some(at), Some((parked, _))) if parked == at => {}
+        (want, parked) => {
+            if let Some((_, id)) = parked {
+                sim.cancel(id);
+                sim.world_mut().control_wake = None;
+            }
+            if let Some(at) = want {
+                let at = at.max(sim.now());
+                let id = sim.schedule_at(at, |sim| {
+                    sim.world_mut().control_wake = None;
+                    pump_control(sim);
+                });
+                sim.world_mut().control_wake = Some((at, id));
             }
         }
-        sim.world_mut().action_log.push(ActionLog {
-            time: now,
-            node: a.node,
-            action: a.action.clone(),
-        });
-        match a.action {
-            Action::PowerDown => power_off_node(sim, a.node),
-            Action::Reboot => {
-                power_off_node(sim, a.node);
-                let node = a.node;
-                sim.schedule_in(SimDuration::from_secs(2), move |sim| {
-                    power_on_node(sim, node);
-                });
-            }
-            Action::Halt => {
-                cancel_boot_events(sim, a.node);
-                let st = &mut sim.world_mut().nodes[a.node as usize];
-                st.hw.set_booted(false);
-                st.agent = None;
-                st.expected_up = false;
-                st.up_since = None;
-            }
-            Action::Plugin(ref name) => {
-                let verdict = {
-                    let w = sim.world_mut();
-                    match w.action_plugins.get_mut(name) {
-                        Some(plugin) => {
-                            let v = plugin(a.node);
-                            w.plugin_log.push((now, name.clone(), a.node));
-                            Some(v)
-                        }
-                        None => None, // unregistered plug-in: logged action only
+    }
+}
+
+/// Apply one physical [`Effect`] the control plane emitted.
+fn apply_effect(sim: &mut Sim<World>, effect: Effect) {
+    match effect {
+        Effect::PowerApplied {
+            node, on: false, ..
+        } => {
+            cancel_boot_events(sim, node);
+            let w = sim.world_mut();
+            let st = &mut w.nodes[node as usize];
+            st.hw.set_power(PowerState::Off);
+            st.agent = None;
+            w.server.forget_node(node);
+        }
+        Effect::PowerApplied {
+            node,
+            on: true,
+            energize_at,
+        } => {
+            // a re-issued power-on supersedes any boot already in flight
+            cancel_boot_events(sim, node);
+            let at = energize_at.unwrap_or_else(|| sim.now());
+            let energize = sim.schedule_at(at, move |sim| energize_node(sim, node));
+            sim.world_mut().nodes[node as usize]
+                .pending_boot
+                .push(energize);
+        }
+        Effect::HaltOs { node } => {
+            cancel_boot_events(sim, node);
+            let st = &mut sim.world_mut().nodes[node as usize];
+            st.hw.set_booted(false);
+            st.agent = None;
+        }
+        Effect::RunPlugin { node, name } => {
+            let now = sim.now();
+            let verdict = {
+                let w = sim.world_mut();
+                match w.action_plugins.get_mut(&name) {
+                    Some(plugin) => {
+                        let v = plugin(node);
+                        w.control.note_plugin_ran(now, node, &name);
+                        Some(v)
                     }
-                };
-                match verdict {
-                    Some(PluginVerdict::ThenPowerDown) => power_off_node(sim, a.node),
-                    Some(PluginVerdict::ThenReboot) => {
-                        power_off_node(sim, a.node);
-                        let node = a.node;
-                        sim.schedule_in(SimDuration::from_secs(2), move |sim| {
-                            power_on_node(sim, node);
-                        });
-                    }
-                    _ => {}
+                    None => None, // unregistered plug-in: audited action only
                 }
+            };
+            match verdict {
+                Some(PluginVerdict::ThenPowerDown) => {
+                    sim.world_mut()
+                        .control
+                        .submit_followup_power(now, node, false);
+                }
+                Some(PluginVerdict::ThenReboot) => {
+                    sim.world_mut()
+                        .control
+                        .submit_followup_power(now, node, true);
+                }
+                _ => {}
             }
-            Action::None => {}
         }
     }
 }
@@ -490,78 +565,79 @@ fn cancel_boot_events(sim: &mut Sim<World>, node: u32) {
     }
 }
 
-/// Cut a node's power through its chassis.
+/// Cut a node's power: an ungated administrator request through the
+/// control plane (the operator outranks the scheduler).
 pub fn power_off_node(sim: &mut Sim<World>, node: u32) {
-    let (bx, port) = World::rack_of(node);
-    let effect = sim.world_mut().iceboxes[bx].power_off(port);
-    if effect.is_some() {
-        cancel_boot_events(sim, node);
-        let w = sim.world_mut();
-        let st = &mut w.nodes[node as usize];
-        st.hw.set_power(PowerState::Off);
-        st.agent = None;
-        st.expected_up = false;
-        st.up_since = None;
-        w.server.forget_node(node);
-    }
+    let now = sim.now();
+    sim.world_mut()
+        .control
+        .request_power(now, node, PowerCmd::Off);
+    pump_control(sim);
 }
 
-/// Power a node on through its chassis (sequenced) and run its boot
-/// sequence, feeding firmware console output into the chassis capture.
+/// Power a node on through the control plane; the chassis sequences the
+/// outlet and the boot sequence runs once it energizes.
 pub fn power_on_node(sim: &mut Sim<World>, node: u32) {
     let now = sim.now();
+    sim.world_mut()
+        .control
+        .request_power(now, node, PowerCmd::On);
+    pump_control(sim);
+}
+
+/// The outlet's sequenced energize window elapsed: apply power to the
+/// node hardware and run its firmware boot sequence, feeding console
+/// output into the chassis capture.
+fn energize_node(sim: &mut Sim<World>, node: u32) {
+    let now = sim.now();
     let (bx, port) = World::rack_of(node);
-    let Some(PortEffect::EnergizeAt { at, .. }) = sim.world_mut().iceboxes[bx].power_on(now, port)
-    else {
-        return; // already on
-    };
-    // a re-issued power-on supersedes any boot already in flight
-    cancel_boot_events(sim, node);
-    let energize = sim.schedule_at(at, move |sim| {
-        let (bx, port) = World::rack_of(node);
-        {
-            let w = sim.world_mut();
-            w.iceboxes[bx].mark_energized(port);
-            w.nodes[node as usize].hw.set_power(PowerState::On);
-        }
-        // firmware boot plan
-        let (plan, memory_ok) = {
-            let w = sim.world_mut();
-            let memory = if w.cfg.bad_memory_nodes.contains(&node) {
-                MemoryCheck::Bad
-            } else {
-                MemoryCheck::Ok
-            };
-            let World { nodes, rng, .. } = w;
-            (
-                nodes[node as usize].bios.begin_boot(rng, memory),
-                memory == MemoryCheck::Ok,
-            )
+    {
+        let w = sim.world_mut();
+        w.iceboxes[bx].mark_energized(port);
+        w.nodes[node as usize].hw.set_power(PowerState::On);
+        w.control.note_energized(now, node);
+    }
+    // firmware boot plan
+    let (plan, memory_ok) = {
+        let w = sim.world_mut();
+        let memory = if w.cfg.bad_memory_nodes.contains(&node) {
+            MemoryCheck::Bad
+        } else {
+            MemoryCheck::Ok
         };
-        let mut offset = SimDuration::ZERO;
-        let mut chain = Vec::new();
-        for phase in &plan.phases {
-            if !phase.console.is_empty() {
-                let text = phase.console.clone();
-                chain.push(sim.schedule_in(offset, move |sim| {
-                    let (bx, port) = World::rack_of(node);
-                    sim.world_mut().iceboxes[bx].feed_console(port, text.as_bytes());
-                }));
-            }
-            offset += phase.duration;
+        let World { nodes, rng, .. } = w;
+        (
+            nodes[node as usize].bios.begin_boot(rng, memory),
+            memory == MemoryCheck::Ok,
+        )
+    };
+    let mut offset = SimDuration::ZERO;
+    let mut chain = Vec::new();
+    for phase in &plan.phases {
+        if !phase.console.is_empty() {
+            let text = phase.console.clone();
+            chain.push(sim.schedule_in(offset, move |sim| {
+                let (bx, port) = World::rack_of(node);
+                sim.world_mut().iceboxes[bx].feed_console(port, text.as_bytes());
+            }));
         }
-        if memory_ok {
-            chain.push(sim.schedule_in(offset, move |sim| finish_boot(sim, node)));
-        }
-        // a failed memory check halts in firmware: the node never boots,
-        // and only LinuxBIOS told anyone why
-        sim.world_mut().nodes[node as usize]
-            .pending_boot
-            .extend(chain);
-    });
+        offset += phase.duration;
+    }
+    if memory_ok {
+        chain.push(sim.schedule_in(offset, move |sim| finish_boot(sim, node)));
+    } else {
+        // a failed memory check halts in firmware: the node never
+        // boots, and only LinuxBIOS told anyone why
+        chain.push(sim.schedule_in(offset, move |sim| {
+            let now = sim.now();
+            let w = sim.world_mut();
+            w.nodes[node as usize].pending_boot.clear();
+            w.control.note_memory_failed(now, node);
+        }));
+    }
     sim.world_mut().nodes[node as usize]
         .pending_boot
-        .push(energize);
+        .extend(chain);
 }
 
 fn finish_boot(sim: &mut Sim<World>, node: u32) {
@@ -574,8 +650,7 @@ fn finish_boot(sim: &mut Sim<World>, node: u32) {
         return;
     }
     st.hw.set_booted(true);
-    st.expected_up = true;
-    st.up_since = Some(now);
+    w.control.note_boot_complete(now, node);
     let cfg = AgentConfig {
         node,
         interfaces: vec!["lo".into(), "eth0".into()],
@@ -646,6 +721,7 @@ pub fn schedule_fault(sim: &mut Sim<World>, at: SimTime, node: u32, fault: Fault
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cwx_monitor::monitor::MonitorKey;
 
     fn run_cluster(cfg: ClusterConfig, secs: u64) -> Sim<World> {
         let mut sim = Cluster::build(cfg);
@@ -743,11 +819,11 @@ mod tests {
         let w = sim.world();
         // the event engine must have powered node 2 down
         assert!(
-            w.action_log
+            w.action_log()
                 .iter()
                 .any(|a| a.node == 2 && a.action == Action::PowerDown),
             "power-down action missing: {:?}",
-            w.action_log
+            w.action_log()
         );
         // and the CPU must have survived
         assert_ne!(w.nodes[2].hw.health(), cwx_hw::HealthState::Burned);
@@ -777,11 +853,11 @@ mod tests {
         sim.run_for(SimDuration::from_secs(600));
         let w = sim.world();
         assert!(
-            w.action_log
+            w.action_log()
                 .iter()
                 .any(|a| a.node == 1 && a.action == Action::Reboot),
             "reboot action missing: {:?}",
-            w.action_log
+            w.action_log()
         );
         assert!(w.nodes[1].hw.is_up(), "node must be healed and back up");
         // the panic spew is in the ICE Box console log for post-mortem
@@ -805,11 +881,7 @@ mod tests {
             );
             sim.run_for(SimDuration::from_secs(400));
             let w = sim.world();
-            (
-                w.server.stats(),
-                w.action_log.clone(),
-                w.server.outbox().len(),
-            )
+            (w.server.stats(), w.action_log(), w.server.outbox().len())
         };
         assert_eq!(run(7), run(7));
     }
@@ -928,7 +1000,10 @@ mod memory_tests {
 #[cfg(test)]
 mod plugin_action_tests {
     use super::*;
+    use crate::actions::AuditEntry;
+    use crate::lifecycle::LifecycleState;
     use cwx_events::engine::{Comparison, EventDef, EventId, Threshold};
+    use cwx_monitor::monitor::MonitorKey;
     use std::sync::atomic::{AtomicU32, Ordering};
     use std::sync::Arc;
 
@@ -977,7 +1052,7 @@ mod plugin_action_tests {
         sim.run_for(SimDuration::from_secs(900));
         let w = sim.world();
         assert!(calls.load(Ordering::Relaxed) >= 1, "plugin must run");
-        assert!(!w.plugin_log.is_empty());
+        assert!(!w.plugin_log().is_empty());
         // the verdict powered the hot nodes down
         assert!(w.nodes.iter().any(|n| n.hw.power() == PowerState::Off));
     }
@@ -1002,11 +1077,67 @@ mod plugin_action_tests {
         let w = sim.world();
         // action recorded in the audit trail, nothing executed, nodes on
         assert!(w
-            .action_log
+            .action_log()
             .iter()
             .any(|a| matches!(a.action, Action::Plugin(_))));
-        assert!(w.plugin_log.is_empty());
+        assert!(w.plugin_log().is_empty());
         assert_eq!(w.up_count(), 2);
+    }
+
+    #[test]
+    fn then_reboot_verdict_power_cycles_the_node() {
+        let mut sim = Cluster::build(ClusterConfig {
+            n_nodes: 3,
+            seed: 33,
+            workload: WorkloadMix::Constant(1.0),
+            ..Default::default()
+        });
+        sim.world_mut()
+            .server
+            .engine_mut()
+            .remove(cwx_events::engine::EventId(1));
+        sim.world_mut()
+            .server
+            .engine_mut()
+            .add(hot_rule(Action::Plugin("cool-then-reboot.sh".into())));
+        let calls = Arc::new(AtomicU32::new(0));
+        let calls2 = Arc::clone(&calls);
+        sim.world_mut().register_action_plugin(
+            "cool-then-reboot.sh",
+            Box::new(move |_node| {
+                calls2.fetch_add(1, Ordering::Relaxed);
+                PluginVerdict::ThenReboot
+            }),
+        );
+        sim.run_for(SimDuration::from_secs(900));
+        let w = sim.world();
+        assert!(calls.load(Ordering::Relaxed) >= 1, "plugin must run");
+        assert!(!w.plugin_log().is_empty());
+        // the verdict chained a full power cycle: the audit shows the
+        // off leg and the on leg both landing on the hot node
+        let cycled = w.plugin_log().iter().any(|(_, _, node)| {
+            let mut saw_off = false;
+            w.control.audit().iter().any(|r| {
+                if r.node != Some(*node) {
+                    return false;
+                }
+                match &r.entry {
+                    AuditEntry::Transition {
+                        to: LifecycleState::Off,
+                        ..
+                    } => {
+                        saw_off = true;
+                        false
+                    }
+                    AuditEntry::Transition {
+                        to: LifecycleState::PoweringOn,
+                        ..
+                    } => saw_off,
+                    _ => false,
+                }
+            })
+        });
+        assert!(cycled, "ThenReboot must power the node off and back on");
     }
 }
 

@@ -35,8 +35,19 @@ fn run_trace(seed: u64, hw_shards: usize) -> String {
     let w = sim.world();
     let mut out = String::new();
     use std::fmt::Write;
-    for a in &w.action_log {
+    for a in &w.action_log() {
         writeln!(out, "{} node{} {:?}", a.time.as_nanos(), a.node, a.action).unwrap();
+    }
+    for r in w.control.audit() {
+        writeln!(
+            out,
+            "audit {} {} {:?} {:?}",
+            r.seq,
+            r.time.as_nanos(),
+            r.node,
+            r.entry
+        )
+        .unwrap();
     }
     writeln!(out, "stats {:?}", w.server.stats()).unwrap();
     writeln!(out, "outbox {}", w.server.outbox().len()).unwrap();

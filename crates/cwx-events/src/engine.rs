@@ -72,6 +72,34 @@ pub enum Action {
     Plugin(String),
 }
 
+impl Action {
+    /// Short label for audit trails and dashboards.
+    pub fn label(&self) -> &str {
+        match self {
+            Action::None => "none",
+            Action::PowerDown => "power-down",
+            Action::Reboot => "reboot",
+            Action::Halt => "halt",
+            Action::Plugin(name) => name,
+        }
+    }
+
+    /// Whether the action drives the chassis power relays (and therefore
+    /// must be gated on a scheduler drain when the node is allocated).
+    pub fn is_power(&self) -> bool {
+        matches!(self, Action::PowerDown | Action::Reboot)
+    }
+
+    /// Whether the action is meaningless against a node whose outlet is
+    /// already dark. Every real variant qualifies: cutting or cycling
+    /// power is redundant, and neither a halt nor a plug-in script can
+    /// reach an OS that is not running. Only `None` (notify-only) has
+    /// nothing to suppress.
+    pub fn noop_when_off(&self) -> bool {
+        !matches!(self, Action::None)
+    }
+}
+
 /// An administrator-defined event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EventDef {
@@ -455,6 +483,59 @@ mod tests {
         assert_eq!(cleared.len(), 1);
         assert!(!e.is_triggered(EventId(1), 1));
         assert!(e.is_triggered(EventId(1), 2));
+    }
+
+    #[test]
+    fn forget_node_returns_one_clearing_per_triggered_rule() {
+        let mut e = EventEngine::new();
+        for r in default_rules() {
+            e.add(r);
+        }
+        // node 3 trips both the overtemp and fan rules
+        e.observe(t(), 3, &MonitorKey::new("temp.cpu"), 90.0);
+        e.observe(t(), 3, &MonitorKey::new("fan.cpu_rpm"), 200.0);
+        let (f0, c0) = e.counts();
+        assert_eq!(f0, 2);
+        let cleared = e.forget_node(3);
+        assert_eq!(cleared.len(), 2, "one Clearing per triggered rule");
+        let mut events: Vec<EventId> = cleared.iter().map(|c| c.event).collect();
+        events.sort();
+        assert_eq!(events, vec![EventId(1), EventId(2)]);
+        assert!(cleared.iter().all(|c| c.node == 3));
+        assert_eq!(e.counts(), (f0, c0 + 2), "clearings counted as episodes");
+        // forgetting again is an idempotent no-op
+        assert!(e.forget_node(3).is_empty());
+        assert_eq!(e.counts(), (f0, c0 + 2));
+    }
+
+    #[test]
+    fn forget_node_rearms_the_rules_for_that_node() {
+        let mut e = EventEngine::new();
+        e.add(temp_rule());
+        let key = MonitorKey::new("temp.cpu");
+        e.observe(t(), 1, &key, 80.0);
+        assert!(e.observe(t(), 1, &key, 82.0).0.is_empty(), "still latched");
+        e.forget_node(1);
+        // the same over-threshold value fires afresh after the forget —
+        // the node rebooted, so its episode history must not suppress it
+        assert_eq!(e.observe(t(), 1, &key, 82.0).0.len(), 1);
+    }
+
+    #[test]
+    fn action_metadata_classifies_the_variants() {
+        assert!(Action::PowerDown.is_power());
+        assert!(Action::Reboot.is_power());
+        assert!(!Action::Halt.is_power());
+        assert!(!Action::Plugin("x.sh".into()).is_power());
+        assert!(!Action::None.is_power());
+        // everything except notify-only is a no-op against a dark node
+        assert!(Action::PowerDown.noop_when_off());
+        assert!(Action::Reboot.noop_when_off());
+        assert!(Action::Halt.noop_when_off());
+        assert!(Action::Plugin("x.sh".into()).noop_when_off());
+        assert!(!Action::None.noop_when_off());
+        assert_eq!(Action::Plugin("clean.sh".into()).label(), "clean.sh");
+        assert_eq!(Action::Reboot.label(), "reboot");
     }
 
     #[test]

@@ -19,6 +19,30 @@ pub const INLET_CAPACITY_WATTS: f64 = 15.0 * 110.0;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PortId(pub u8);
 
+/// A command addressed to one node port, as carried by the control
+/// plane's command bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeCommand {
+    /// Close the outlet relay (sequenced energize).
+    PowerOn,
+    /// Open the outlet relay (immediate).
+    PowerOff,
+    /// Pulse the reset line.
+    Reset,
+}
+
+/// Why a chassis refused a command. Unlike the bare `power_on`/
+/// `power_off` accessors (which return `None` both for "already there"
+/// and "no such port"), [`IceBox::execute`] distinguishes a rejected
+/// command from an idempotent no-op so callers can audit it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandError {
+    /// The addressed port does not exist on this chassis.
+    NoSuchPort(PortId),
+    /// Reset requires a powered port.
+    PortNotPowered(PortId),
+}
+
 /// Latest probe sample for a port (pushed by the integration layer).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ProbeReading {
@@ -182,6 +206,31 @@ impl IceBox {
     pub fn reset(&mut self, port: PortId) -> Option<PortEffect> {
         let p = self.port_mut(port)?;
         p.relay_on.then_some(PortEffect::PulseReset { port })
+    }
+
+    /// Execute a [`NodeCommand`] with typed results: `Ok(Some(effect))`
+    /// when the chassis changed state, `Ok(None)` when it was already in
+    /// the requested state (idempotent no-op), `Err` when the command is
+    /// invalid. The control plane's command bus uses this instead of the
+    /// raw `power_on`/`power_off` pair so a mis-addressed command lands
+    /// in the audit trail as failed rather than vanishing.
+    pub fn execute(
+        &mut self,
+        now: SimTime,
+        port: PortId,
+        cmd: NodeCommand,
+    ) -> Result<Option<PortEffect>, CommandError> {
+        if usize::from(port.0) >= self.ports.len() {
+            return Err(CommandError::NoSuchPort(port));
+        }
+        match cmd {
+            NodeCommand::PowerOn => Ok(self.power_on(now, port)),
+            NodeCommand::PowerOff => Ok(self.power_off(port)),
+            NodeCommand::Reset => match self.reset(port) {
+                Some(e) => Ok(Some(e)),
+                None => Err(CommandError::PortNotPowered(port)),
+            },
+        }
     }
 
     /// Latest probe sample for a port.
@@ -385,6 +434,38 @@ mod tests {
         let mut ib = IceBox::new();
         assert!(ib.power_on(SimTime::ZERO, PortId(10)).is_none());
         assert!(ib.probe(PortId(200)).is_none());
+    }
+
+    #[test]
+    fn execute_distinguishes_noop_from_rejection() {
+        let mut ib = IceBox::new();
+        let now = SimTime::ZERO;
+        // a mis-addressed command is an error, not a silent nothing
+        assert_eq!(
+            ib.execute(now, PortId(10), NodeCommand::PowerOn),
+            Err(CommandError::NoSuchPort(PortId(10)))
+        );
+        // state change reports its effect
+        assert!(matches!(
+            ib.execute(now, PortId(0), NodeCommand::PowerOn),
+            Ok(Some(PortEffect::EnergizeAt { .. }))
+        ));
+        // repeating it is an idempotent Ok(None)
+        assert_eq!(ib.execute(now, PortId(0), NodeCommand::PowerOn), Ok(None));
+        // reset on a powered port pulses; on a dark port it is an error
+        assert!(matches!(
+            ib.execute(now, PortId(0), NodeCommand::Reset),
+            Ok(Some(PortEffect::PulseReset { .. }))
+        ));
+        assert_eq!(
+            ib.execute(now, PortId(1), NodeCommand::Reset),
+            Err(CommandError::PortNotPowered(PortId(1)))
+        );
+        assert!(matches!(
+            ib.execute(now, PortId(0), NodeCommand::PowerOff),
+            Ok(Some(PortEffect::CutPower { .. }))
+        ));
+        assert_eq!(ib.execute(now, PortId(0), NodeCommand::PowerOff), Ok(None));
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub mod protocol;
 pub mod session;
 pub mod snmp;
 
-pub use chassis::{IceBox, PortEffect, PortId, ProbeReading, NODE_PORTS, SERIAL_LOG_CAPACITY};
+pub use chassis::{
+    CommandError, IceBox, NodeCommand, PortEffect, PortId, ProbeReading, NODE_PORTS,
+    SERIAL_LOG_CAPACITY,
+};
 pub use protocol::{
     parse_nimp, parse_simp, render_response, Command, PortSel, ProtoError, Response,
 };

@@ -9,11 +9,11 @@
 //! * events live in a slab (`Vec` + free list) and are addressed by a
 //!   generation-checked [`EventId`], giving O(1) schedule and O(1)
 //!   [`Sim::cancel`] with no ABA hazards,
-//! * the pending set is a hierarchical timing wheel — [`LEVELS`] levels
-//!   of [`SLOTS`] slots, each level covering 64× the span of the one
+//! * the pending set is a hierarchical timing wheel — `LEVELS` levels
+//!   of `SLOTS` slots, each level covering 64× the span of the one
 //!   below, together spanning the full `u64` nanosecond clock — so
 //!   scheduling is O(1) and dispatch is amortized O(1) (an event
-//!   cascades down at most [`LEVELS`] times over its whole life),
+//!   cascades down at most `LEVELS` times over its whole life),
 //! * recurring timers ([`Sim::schedule_every`]) keep one slab entry and
 //!   one closure allocation for their entire life instead of re-boxing
 //!   a fresh closure every period,

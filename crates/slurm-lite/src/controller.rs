@@ -86,6 +86,8 @@ pub struct Controller {
     nodes: Vec<NodeAllocState>,
     /// shared (non-exclusive) occupants per node, one cpu slot each
     shared: Vec<Vec<JobId>>,
+    /// draining nodes: no new work lands; existing work runs out
+    draining: Vec<bool>,
     /// cpu slots per node available to shared jobs
     cpus_per_node: u32,
     partitions: BTreeMap<String, Vec<u32>>,
@@ -108,6 +110,7 @@ impl Controller {
         Controller {
             nodes: vec![NodeAllocState::Idle; n_nodes as usize],
             shared: vec![Vec::new(); n_nodes as usize],
+            draining: vec![false; n_nodes as usize],
             cpus_per_node: 2,
             partitions,
             jobs: BTreeMap::new(),
@@ -173,6 +176,36 @@ impl Controller {
         &self.shared[node as usize]
     }
 
+    /// Whether a node currently holds work (exclusive or shared).
+    pub fn node_busy(&self, node: u32) -> bool {
+        matches!(self.nodes[node as usize], NodeAllocState::Allocated(_))
+            || !self.shared[node as usize].is_empty()
+    }
+
+    /// Start draining a node: the scheduler places no new work on it;
+    /// work already there runs to completion. This is the handshake the
+    /// ClusterWorX control plane uses before power actions on allocated
+    /// nodes (paper §6).
+    pub fn drain_node(&mut self, node: u32) {
+        self.draining[node as usize] = true;
+    }
+
+    /// Return a draining node to scheduling service.
+    pub fn undrain_node(&mut self, node: u32) {
+        self.draining[node as usize] = false;
+    }
+
+    /// Whether a drain has been requested for a node.
+    pub fn is_draining(&self, node: u32) -> bool {
+        self.draining[node as usize]
+    }
+
+    /// Whether a requested drain has completed: the drain mark is set
+    /// and no job (exclusive or shared) remains on the node.
+    pub fn is_drained(&self, node: u32) -> bool {
+        self.draining[node as usize] && !self.node_busy(node)
+    }
+
     /// Nodes in a partition free for an exclusive allocation: idle relay
     /// state and no shared occupants.
     fn idle_in(&self, partition: &[u32]) -> Vec<u32> {
@@ -180,7 +213,9 @@ impl Controller {
             .iter()
             .copied()
             .filter(|&i| {
-                self.nodes[i as usize] == NodeAllocState::Idle && self.shared[i as usize].is_empty()
+                self.nodes[i as usize] == NodeAllocState::Idle
+                    && self.shared[i as usize].is_empty()
+                    && !self.draining[i as usize]
             })
             .collect()
     }
@@ -194,6 +229,7 @@ impl Controller {
             .filter(|&i| {
                 self.nodes[i as usize] == NodeAllocState::Idle
                     && (self.shared[i as usize].len() as u32) < self.cpus_per_node
+                    && !self.draining[i as usize]
             })
             .collect()
     }
@@ -728,6 +764,64 @@ mod tests {
         // runs 'small' first
         assert_eq!(c.job(small).unwrap().state, JobState::Running);
         assert_eq!(c.job(big).unwrap().state, JobState::Pending);
+    }
+
+    #[test]
+    fn drain_completes_when_the_job_leaves() {
+        let mut c = Controller::new(2, SchedulerKind::Fifo);
+        let a = c.submit(t(0), JobRequest::batch("a", 1, 100, 60)).unwrap();
+        c.advance(t(0));
+        let node = c.job(a).unwrap().allocation[0];
+        c.drain_node(node);
+        assert!(c.is_draining(node));
+        assert!(!c.is_drained(node), "job still running");
+        assert!(c.node_busy(node));
+        // no new work lands on a draining node
+        let b = c.submit(t(1), JobRequest::batch("b", 2, 100, 60)).unwrap();
+        c.advance(t(1));
+        assert_eq!(
+            c.job(b).unwrap().state,
+            JobState::Pending,
+            "needs the draining node, must wait"
+        );
+        // the running job finishes; the drain is complete
+        c.advance(t(60));
+        assert!(c.is_drained(node));
+        assert!(!c.node_busy(node));
+        assert_eq!(c.job(b).unwrap().state, JobState::Pending, "still fenced");
+        // undrain returns the node to service
+        c.undrain_node(node);
+        c.advance(t(61));
+        assert_eq!(c.job(b).unwrap().state, JobState::Running);
+    }
+
+    #[test]
+    fn drain_on_an_idle_node_is_immediately_complete() {
+        let mut c = Controller::new(1, SchedulerKind::Fifo);
+        assert!(!c.is_drained(0), "no drain requested");
+        c.drain_node(0);
+        assert!(c.is_drained(0));
+    }
+
+    #[test]
+    fn drain_fences_shared_slots_too() {
+        let mut c = Controller::new(1, SchedulerKind::Fifo);
+        c.set_cpus_per_node(2);
+        let shared = JobRequest {
+            exclusive: false,
+            ..JobRequest::batch("s", 1, 100, 60)
+        };
+        let a = c.submit(t(0), shared.clone()).unwrap();
+        c.advance(t(0));
+        c.drain_node(0);
+        assert!(!c.is_drained(0), "shared occupant still running");
+        // the free shared slot is fenced
+        let b = c.submit(t(1), shared).unwrap();
+        c.advance(t(1));
+        assert_eq!(c.job(b).unwrap().state, JobState::Pending);
+        c.advance(t(60));
+        assert!(c.is_drained(0));
+        let _ = a;
     }
 
     #[test]

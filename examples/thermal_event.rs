@@ -35,7 +35,7 @@ fn main() {
             break;
         }
         if acted_at.is_none() {
-            if let Some(a) = sim.world().action_log.iter().find(|a| a.node == victim) {
+            if let Some(a) = sim.world().action_log().iter().find(|a| a.node == victim) {
                 acted_at = Some(a.time);
                 let temp = sim.world().nodes[victim as usize].hw.temperature_c();
                 println!(

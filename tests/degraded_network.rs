@@ -79,11 +79,11 @@ fn total_silence_marks_nodes_unreachable_but_recovers() {
     }
     // and the UDP-echo rule asked for reboots trying to heal them
     assert!(
-        w.action_log
+        w.action_log()
             .iter()
             .any(|a| a.action == cwx_events::Action::Reboot),
         "{:?}",
-        w.action_log
+        w.action_log()
     );
 }
 

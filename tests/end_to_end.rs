@@ -49,13 +49,13 @@ fn full_lifecycle_with_mixed_failures() {
     let w = sim.world();
     // fan failure: powered down before burning
     assert!(w
-        .action_log
+        .action_log()
         .iter()
         .any(|a| a.node == 3 && a.action == Action::PowerDown));
     assert_ne!(w.nodes[3].hw.health(), HealthState::Burned);
     // kernel panic: rebooted and healthy again
     assert!(w
-        .action_log
+        .action_log()
         .iter()
         .any(|a| a.node == 7 && a.action == Action::Reboot));
     assert!(w.nodes[7].hw.is_up(), "panicked node must be healed");
@@ -163,7 +163,7 @@ fn cluster_simulation_is_deterministic() {
         let w = sim.world();
         (
             w.server.stats(),
-            w.action_log.len(),
+            w.action_log().len(),
             w.server.outbox().len(),
             w.net.stats(),
             sim.events_executed(),
@@ -205,11 +205,11 @@ fn memory_leak_is_flagged_then_oom_heals_by_reboot() {
     sim.run_for(SimDuration::from_secs(1200));
     let w = sim.world();
     assert!(
-        w.action_log
+        w.action_log()
             .iter()
             .any(|a| a.node == 2 && a.action == Action::Reboot),
         "OOM panic must be healed by reboot: {:?}",
-        w.action_log
+        w.action_log()
     );
     assert!(w.nodes[2].hw.is_up(), "node back after the OOM reboot");
     // the OOM kill is on the ICE Box console for post-mortem
