@@ -1,0 +1,41 @@
+//! E14: resilience under deterministic chaos campaigns.
+//!
+//! The paper's pitch is qualitative — failed nodes are noticed, power-
+//! cycled and reported without flooding the administrator. E14 makes it
+//! quantitative: the three canned `cwx-chaos` campaigns (rack
+//! partitions, chassis-controller carnage, flapping nodes) run under
+//! fixed seeds while the invariant checker watches, and we report the
+//! detection latency, mean time to repair, fleet availability and
+//! notification volume each campaign produced — plus the two numbers
+//! that must always be zero and always be equal: invariant violations,
+//! and the audit-hash difference between two runs of the same seed.
+
+use cwx_chaos::{run_campaign, scenario, CampaignReport, SCENARIO_NAMES};
+
+/// One campaign's row in the E14 table.
+#[derive(Debug, Clone)]
+pub struct ChaosRun {
+    /// The campaign's report.
+    pub report: CampaignReport,
+    /// Whether a second run under the same seed produced the same
+    /// audit-trail hash.
+    pub reproducible: bool,
+}
+
+/// Run one canned scenario (twice — the second run checks
+/// reproducibility).
+pub fn canned(name: &str) -> ChaosRun {
+    let c = scenario(name).expect("canned scenario");
+    let report = run_campaign(&c);
+    let again = run_campaign(&c);
+    let reproducible = report.audit_hash == again.audit_hash && report.audit_len == again.audit_len;
+    ChaosRun {
+        report,
+        reproducible,
+    }
+}
+
+/// All three canned campaigns, in presentation order.
+pub fn all_canned() -> Vec<ChaosRun> {
+    SCENARIO_NAMES.iter().map(|n| canned(n)).collect()
+}

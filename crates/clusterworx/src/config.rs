@@ -69,9 +69,37 @@ pub struct ClusterConfig {
     /// node before the control plane forces it through anyway (the
     /// hardware is at risk; the job is already lost either way).
     pub drain_force_after: SimDuration,
+    /// How long after its last report a node is considered unreachable
+    /// by the staleness checks (probes and housekeeping). `None` keeps
+    /// the historical default of four agent intervals.
+    pub probe_stale_after: Option<SimDuration>,
+    /// Flap detection: Up-entries inside [`ClusterConfig::flap_window`]
+    /// that quarantine a node. `0` disables flap detection.
+    pub flap_threshold: u32,
+    /// Flap detection sliding window.
+    pub flap_window: SimDuration,
+    /// Automatic quarantine release delay; `None` = manual release only.
+    pub quarantine_release_after: Option<SimDuration>,
+    /// Boot watchdog: how long a node may sit in `PoweringOn`/`Bios`
+    /// before the control plane power-cycles it.
+    pub boot_deadline: SimDuration,
+    /// Boot watchdog power-cycle retries before marking the node
+    /// `Failed(Unresponsive)`.
+    pub boot_max_retries: u32,
+    /// Build one network segment per chassis bridged by a backbone
+    /// instead of a single shared segment. Rack segments can then be
+    /// partitioned independently (the chaos campaigns' partition
+    /// surface); the flat default keeps existing experiments identical.
+    pub rack_network: bool,
 }
 
 impl ClusterConfig {
+    /// Resolve [`ClusterConfig::probe_stale_after`] to a concrete
+    /// staleness window: the explicit knob, or four agent intervals.
+    pub fn effective_stale_after(&self) -> SimDuration {
+        self.probe_stale_after.unwrap_or(self.agent_interval * 4)
+    }
+
     /// Resolve [`ClusterConfig::hw_shards`] to a concrete shard count.
     pub fn effective_hw_shards(&self) -> usize {
         if self.hw_shards != 0 {
@@ -111,6 +139,13 @@ impl Default for ClusterConfig {
             hw_shards: 0,
             icebox_command_loss: 0.0,
             drain_force_after: SimDuration::from_secs(30),
+            probe_stale_after: None,
+            flap_threshold: 4,
+            flap_window: SimDuration::from_secs(900),
+            quarantine_release_after: None,
+            boot_deadline: SimDuration::from_secs(300),
+            boot_max_retries: 5,
+            rack_network: false,
         }
     }
 }

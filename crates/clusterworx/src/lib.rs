@@ -44,8 +44,8 @@ pub mod server;
 pub mod world;
 
 pub use actions::{
-    AuditEntry, AuditRecord, CommandTransport, ControlPlane, ControlStats, DrainGate, Effect,
-    IssueOutcome, NoGate, PowerCmd, RetryPolicy, SuppressReason,
+    AuditEntry, AuditRecord, BootWatchdog, CommandTransport, ControlPlane, ControlStats, DrainGate,
+    Effect, FlapPolicy, IssueOutcome, NoGate, PowerCmd, RetryPolicy, SuppressReason,
 };
 pub use config::{ClusterConfig, WorkloadMix};
 pub use groups::Groups;
@@ -55,4 +55,6 @@ pub use provisioning::{add_node, clone_image_to_group};
 pub use realtime::{RealTimeConfig, RealTimeDeployment};
 pub use scheduler::{attach_scheduler, submit_job, SchedulerBridge};
 pub use server::{NodeStatus, Server, ServerStats};
-pub use world::{schedule_fault, ActionLog, Cluster, NodeState, World};
+pub use world::{
+    chassis_restart, schedule_fault, set_agent_fault, ActionLog, Cluster, NodeState, World,
+};

@@ -28,6 +28,9 @@ pub enum FailReason {
     MemoryCheck,
     /// The CPU burned (unattended thermal runaway). Needs repair.
     Burned,
+    /// The node stopped answering: a boot that never completed despite
+    /// watchdog retries, or a clone receiver abandoned mid-session.
+    Unresponsive,
 }
 
 /// Lifecycle state of one node.
@@ -49,6 +52,11 @@ pub enum LifecycleState {
     Draining,
     /// OS halted by an administrator action; the relay stays closed.
     Halted,
+    /// Flap-detected: the node cycled Up/Down too many times within the
+    /// flap window and is parked powered-off until an administrator (or
+    /// a configured timer) releases it. No automatic power action
+    /// touches a quarantined node.
+    Quarantined,
     /// Broken hardware; stays failed until repaired or power-cycled.
     Failed(FailReason),
 }
@@ -69,6 +77,7 @@ impl LifecycleState {
             LifecycleState::Up => "up",
             LifecycleState::Draining => "draining",
             LifecycleState::Halted => "halted",
+            LifecycleState::Quarantined => "quarantined",
             LifecycleState::Failed(_) => "failed",
         }
     }
@@ -99,11 +108,21 @@ pub fn legal_transition(from: LifecycleState, to: LifecycleState) -> bool {
         // node leaves Cloning through a fresh power-on (or stays dark)
         (Off | PoweringOn | Bios | Up | Draining | Halted, Cloning) => true,
         (Cloning, PoweringOn) | (Cloning, Off) => true,
-        // failure edges: firmware memory check, burned CPU
+        // failure edges: firmware memory check, burned CPU, watchdog
+        // giving up on a boot that never completes
         (PoweringOn | Bios, Failed(FailReason::MemoryCheck)) => true,
+        (PoweringOn | Bios, Failed(FailReason::Unresponsive)) => true,
+        // a clone receiver evicted mid-session is marked failed
+        (Cloning, Failed(FailReason::Unresponsive)) => true,
         (_, Failed(FailReason::Burned)) => true,
         // repair paths out of Failed: power-cycle or replacement
         (Failed(_), Off) | (Failed(_), PoweringOn) | (Failed(_), Cloning) => true,
+        // flap quarantine: entered from any power/failed state the flap
+        // detector can observe a node in (never mid-drain or mid-clone —
+        // those overlays finish or fail first), left only through an
+        // explicit release (power-cycle or park off)
+        (Off | PoweringOn | Bios | Up | Halted | Failed(_), Quarantined) => true,
+        (Quarantined, Off) | (Quarantined, PoweringOn) => true,
         _ => false,
     }
 }
@@ -301,6 +320,50 @@ mod tests {
             "claim an off node"
         );
         assert!(lc.transition(t(9), 1, Off).is_some(), "abandoned clone");
+    }
+
+    #[test]
+    fn quarantine_edges() {
+        let mut lc = LifecycleTracker::new(1);
+        lc.transition(t(1), 0, PoweringOn).unwrap();
+        lc.transition(t(2), 0, Bios).unwrap();
+        lc.transition(t(3), 0, Up).unwrap();
+        assert!(lc.transition(t(4), 0, Quarantined).is_some());
+        assert_eq!(lc.up_since(0), None, "quarantine drops the up anchor");
+        assert!(!Quarantined.expects_os());
+        assert_eq!(Quarantined.status_word(), "quarantined");
+        // no boot path sneaks out of quarantine without a release
+        assert!(lc.transition(t(5), 0, Up).is_none());
+        assert!(lc.transition(t(5), 0, Bios).is_none());
+        assert!(lc.transition(t(5), 0, Draining).is_none());
+        assert!(lc.transition(t(5), 0, Cloning).is_none());
+        // release: park off or power-cycle back into service
+        assert!(lc.transition(t(6), 0, PoweringOn).is_some());
+        lc.transition(t(7), 0, Bios).unwrap();
+        lc.transition(t(8), 0, Up).unwrap();
+        assert!(lc.transition(t(9), 0, Quarantined).is_some());
+        assert!(lc.transition(t(10), 0, Off).is_some());
+    }
+
+    #[test]
+    fn unresponsive_failures_from_boot_and_clone() {
+        let mut lc = LifecycleTracker::new(2);
+        lc.transition(t(1), 0, PoweringOn).unwrap();
+        assert!(lc
+            .transition(t(2), 0, Failed(FailReason::Unresponsive))
+            .is_some());
+        assert!(lc.transition(t(3), 0, PoweringOn).is_some(), "repairable");
+        lc.transition(t(1), 1, Cloning).unwrap();
+        assert!(lc
+            .transition(t(2), 1, Failed(FailReason::Unresponsive))
+            .is_some());
+        // but never from Up: a running node that stops answering goes
+        // through the power machine, not straight to Failed
+        lc.transition(t(4), 0, Bios).unwrap();
+        lc.transition(t(5), 0, Up).unwrap();
+        assert!(lc
+            .transition(t(6), 0, Failed(FailReason::Unresponsive))
+            .is_none());
     }
 
     #[test]

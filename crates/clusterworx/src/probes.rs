@@ -74,7 +74,7 @@ pub(crate) fn housekeeping_tick(sim: &mut Sim<World>) {
     let key = MonitorKey::new("net.connectivity");
     {
         let w = sim.world_mut();
-        let stale = w.cfg.agent_interval * 4;
+        let stale = w.cfg.effective_stale_after();
         let World {
             nodes,
             server,

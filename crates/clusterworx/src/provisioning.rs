@@ -94,7 +94,15 @@ pub fn clone_image_to_group(
     for (k, &node) in targets.iter().enumerate() {
         let when = report.per_node_operational[k];
         if !when.is_finite() {
-            continue; // protocol abandoned this node; leave it down
+            // the protocol evicted this node (dead receiver / broken
+            // control channel): tell the control plane when the session
+            // wraps up instead of leaving it parked in Cloning forever
+            let at = SimDuration::from_secs_f64(report.makespan_secs.max(0.0));
+            sim.schedule_in(at, move |sim| {
+                let now = sim.now();
+                sim.world_mut().control.note_clone_failed(now, node);
+            });
+            continue;
         }
         let stamp = stamp.clone();
         sim.schedule_in(SimDuration::from_secs_f64(when), move |sim| {
@@ -127,6 +135,7 @@ pub fn add_node(sim: &mut Sim<World>) -> u32 {
             agent: None,
             pending_boot: Vec::new(),
             image: None,
+            agent_fault: None,
             rng: crate::world::node_rng(w.cfg.seed, node),
         });
         w.control.add_node();
@@ -135,11 +144,24 @@ pub fn add_node(sim: &mut Sim<World>) -> u32 {
         while w.iceboxes.len() <= bx {
             w.iceboxes.push(cwx_icebox::chassis::IceBox::new());
         }
-        // attach to the shared management segment
-        let seg = w
-            .net
-            .segment_of(World::SERVER_ADDR)
-            .expect("server attached");
+        // attach to the management network: its rack's segment on the
+        // rack topology (adding one for a fresh chassis), else the
+        // single shared segment
+        let seg = if w.cfg.rack_network {
+            while w.net.segment_count() <= 1 + bx {
+                let (bw, lat, loss) = (
+                    w.cfg.bandwidth_bps,
+                    SimDuration::from_micros(100),
+                    w.cfg.loss,
+                );
+                w.net.add_segment(bw, lat, loss);
+            }
+            w.rack_segment(bx)
+        } else {
+            w.net
+                .segment_of(World::SERVER_ADDR)
+                .expect("server attached")
+        };
         w.net.attach(World::addr_of(node), seg);
         w.cfg.n_nodes += 1;
         node

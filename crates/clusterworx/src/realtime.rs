@@ -94,6 +94,10 @@ pub struct RealTimeConfig {
     /// Wall-clock stand-in for a node's firmware+OS boot after its
     /// outlet energizes.
     pub boot_delay: Duration,
+    /// How long after its last report a node counts as unreachable in
+    /// the server's staleness checks (the same knob as
+    /// [`crate::ClusterConfig::probe_stale_after`]).
+    pub stale_after: Duration,
 }
 
 impl Default for RealTimeConfig {
@@ -112,6 +116,7 @@ impl Default for RealTimeConfig {
             control_interval: Duration::from_millis(20),
             command_loss: 0.0,
             boot_delay: Duration::from_millis(100),
+            stale_after: Duration::from_secs(30),
         }
     }
 }
@@ -394,7 +399,7 @@ impl RealTimeDeployment {
             "realtime",
             SimDuration::from_secs(5),
             history,
-            SimDuration::from_secs(30),
+            SimDuration::from_nanos(cfg.stale_after.as_nanos().min(u64::MAX as u128) as u64),
         )));
         let stop = Arc::new(AtomicBool::new(false));
         let started = Instant::now();

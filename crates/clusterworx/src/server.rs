@@ -139,6 +139,16 @@ impl Server {
         self.notifier.suppressed()
     }
 
+    /// Configure the notifier's event-storm rate limiter.
+    pub fn set_storm_policy(&mut self, policy: cwx_events::StormPolicy) {
+        self.notifier.set_storm_policy(policy);
+    }
+
+    /// Episodes the storm limiter has flagged so far.
+    pub fn storms(&self) -> u64 {
+        self.notifier.storms()
+    }
+
     /// Take the queued actions (the chassis layer executes them).
     pub fn take_actions(&mut self) -> Vec<PendingAction> {
         std::mem::take(&mut self.pending)

@@ -14,6 +14,7 @@ use cwx_hw::workload::Workload;
 use cwx_hw::NodeId;
 use cwx_icebox::chassis::{IceBox, NodeCommand, PortEffect, PortId, NODE_PORTS};
 use cwx_monitor::agent::{Agent, AgentConfig};
+use cwx_monitor::fault::AgentFault;
 use cwx_monitor::snapshot::Sensors;
 use cwx_net::{Network, NodeAddr};
 use cwx_proc::synthetic::SyntheticProc;
@@ -23,7 +24,10 @@ use cwx_util::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::actions::{CommandTransport, ControlPlane, Effect, IssueOutcome, NoGate, PowerCmd};
+use crate::actions::{
+    BootWatchdog, CommandTransport, ControlPlane, Effect, FlapPolicy, IssueOutcome, NoGate,
+    PowerCmd,
+};
 use crate::config::{ClusterConfig, WorkloadMix};
 use crate::server::Server;
 
@@ -68,6 +72,9 @@ pub struct NodeState {
     pub pending_boot: Vec<EventId>,
     /// The system image provisioned onto this node (None = factory).
     pub image: Option<crate::provisioning::InstalledImage>,
+    /// Injected monitoring-daemon fault (chaos campaigns); the node's
+    /// OS and workload keep running underneath a sick agent.
+    pub agent_fault: Option<AgentFault>,
     /// This node's private noise stream. Independent per-node RNGs make
     /// the parallel hardware step deterministic for any shard count.
     pub rng: StdRng,
@@ -130,6 +137,17 @@ impl World {
         self.nodes.iter().filter(|n| n.hw.is_up()).count()
     }
 
+    /// The network segment serving chassis `bx`. With
+    /// [`crate::ClusterConfig::rack_network`] that is the rack's own
+    /// segment; on the flat topology it is the single shared segment.
+    pub fn rack_segment(&self, bx: usize) -> cwx_net::SegmentId {
+        if self.cfg.rack_network {
+            cwx_net::SegmentId((1 + bx) as u16)
+        } else {
+            cwx_net::SegmentId(0)
+        }
+    }
+
     /// Register an action plug-in under `name`; events with
     /// `Action::Plugin(name)` will invoke it.
     pub fn register_action_plugin(&mut self, name: &str, plugin: ActionPlugin) {
@@ -184,19 +202,47 @@ impl Cluster {
                 agent: None,
                 pending_boot: Vec::new(),
                 image: None,
+                agent_fault: None,
                 rng: node_rng(cfg.seed, i),
             });
         }
         let n_boxes = (n as usize).div_ceil(NODE_PORTS);
         let iceboxes = (0..n_boxes).map(|_| IceBox::new()).collect();
-        let net =
-            Network::single_segment(cfg.seed ^ 0xdead_beef, n + 1, cfg.bandwidth_bps, cfg.loss);
+        let net = if cfg.rack_network {
+            // one segment per chassis behind a fat backbone: the server
+            // sits on the backbone, so partitioning one rack's segment
+            // isolates exactly that chassis's nodes
+            let mut net = Network::new(cfg.seed ^ 0xdead_beef);
+            let backbone = net.add_segment(
+                cfg.bandwidth_bps * 10,
+                cwx_util::time::SimDuration::from_micros(100),
+                0.0,
+            );
+            net.set_backbone(backbone);
+            net.attach(World::SERVER_ADDR, backbone);
+            for bx in 0..n_boxes {
+                let seg = net.add_segment(
+                    cfg.bandwidth_bps,
+                    cwx_util::time::SimDuration::from_micros(100),
+                    cfg.loss,
+                );
+                debug_assert_eq!(seg.0 as usize, 1 + bx);
+            }
+            for i in 0..n {
+                let (bx, _) = World::rack_of(i);
+                net.attach(World::addr_of(i), cwx_net::SegmentId((1 + bx) as u16));
+            }
+            net
+        } else {
+            Network::single_segment(cfg.seed ^ 0xdead_beef, n + 1, cfg.bandwidth_bps, cfg.loss)
+        };
+        let stale_after = cfg.effective_stale_after();
         let server = match &cfg.store_dir {
             None => Server::new(
                 "cluster",
                 cfg.notify_window,
                 cfg.history_capacity,
-                cfg.agent_interval * 4,
+                stale_after,
             ),
             Some(dir) => {
                 // persistent history: a restarted simulation over the
@@ -208,13 +254,27 @@ impl Cluster {
                     "cluster",
                     cfg.notify_window,
                     cwx_monitor::history::HistoryStore::with_backend(Box::new(disk)),
-                    cfg.agent_interval * 4,
+                    stale_after,
                 )
             }
         };
         let control = {
             let mut c = ControlPlane::new(n as usize);
             c.set_drain_force_after(cfg.drain_force_after);
+            c.set_flap_policy(FlapPolicy {
+                // threshold 0 disables the detector outright
+                threshold: if cfg.flap_threshold == 0 {
+                    u32::MAX
+                } else {
+                    cfg.flap_threshold
+                },
+                window: cfg.flap_window,
+                release_after: cfg.quarantine_release_after,
+            });
+            c.set_boot_watchdog(BootWatchdog {
+                deadline: cfg.boot_deadline,
+                max_retries: cfg.boot_max_retries,
+            });
             c
         };
         let world = World {
@@ -320,11 +380,28 @@ fn route_hw_events(sim: &mut Sim<World>, node: u32, events: Vec<HwEvent>) {
 /// fed in node-id order.
 fn agent_tick(sim: &mut Sim<World>) {
     let now = sim.now();
+    // clear daemon faults that expired on their own (a timed hang); the
+    // recovered agent resyncs so its next report is a full retransmit
+    {
+        let w = sim.world_mut();
+        for st in &mut w.nodes {
+            if st.agent_fault.is_some_and(|f| f.expired(now)) {
+                st.agent_fault = None;
+                if let Some(a) = st.agent.as_mut() {
+                    a.resync();
+                }
+            }
+        }
+    }
     let shards = sim.world().cfg.effective_hw_shards();
     let reports = {
         let w = sim.world_mut();
         cwx_hw::fleet::step_fleet(&mut w.nodes, shards, |_, st| {
             if !st.hw.is_up() {
+                return None;
+            }
+            // a crashed or hung daemon produces nothing this tick
+            if st.agent_fault.is_some_and(|f| f.silences(now)) {
                 return None;
             }
             let agent = st.agent.as_mut()?;
@@ -338,22 +415,34 @@ fn agent_tick(sim: &mut Sim<World>) {
             agent.tick(now, sensors).ok().map(|out| out.payload)
         })
     };
-    let mut deliveries = Vec::new();
+    let mut deliveries: Vec<(SimTime, Vec<u8>)> = Vec::new();
     for (node, payload) in reports {
-        let size = payload.len() as u64;
-        let ds = sim.world_mut().net.unicast(
-            now,
-            World::addr_of(node),
-            World::SERVER_ADDR,
-            size,
-            payload,
-        );
-        deliveries.extend(ds);
+        let fault = sim.world().nodes[node as usize].agent_fault;
+        let extra = match fault {
+            Some(AgentFault::DelayedReports { extra }) => extra,
+            _ => SimDuration::ZERO,
+        };
+        let copies = if matches!(fault, Some(AgentFault::DuplicatedReports)) {
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let size = payload.len() as u64;
+            let ds = sim.world_mut().net.unicast(
+                now,
+                World::addr_of(node),
+                World::SERVER_ADDR,
+                size,
+                payload.clone(),
+            );
+            deliveries.extend(ds.into_iter().map(|d| (d.at + extra, d.msg)));
+        }
     }
-    for d in deliveries {
-        sim.schedule_at(d.at, move |sim| {
+    for (at, msg) in deliveries {
+        sim.schedule_at(at, move |sim| {
             let now = sim.now();
-            sim.world_mut().server.ingest(now, &d.msg);
+            sim.world_mut().server.ingest(now, &msg);
             execute_pending_actions(sim);
         });
     }
@@ -661,6 +750,8 @@ fn finish_boot(sim: &mut Sim<World>, node: u32) {
     };
     let st = &mut w.nodes[node as usize];
     st.agent = Agent::new(st.hw.proc_fs().clone(), cfg).ok();
+    // the reboot restarted the monitoring daemon too
+    st.agent_fault = None;
 }
 
 /// Stage a BIOS setting on every node remotely ("changes can be made
@@ -716,6 +807,36 @@ pub fn schedule_fault(sim: &mut Sim<World>, at: SimTime, node: u32, fault: Fault
         let events = sim.world_mut().nodes[node as usize].hw.inject(fault);
         route_hw_events(sim, node, events);
     });
+}
+
+/// Set (or clear) a node's monitoring-daemon fault immediately.
+/// Clearing a fault resyncs the daemon so the server regains full
+/// monitor state on its next report.
+pub fn set_agent_fault(sim: &mut Sim<World>, node: u32, fault: Option<AgentFault>) {
+    let st = &mut sim.world_mut().nodes[node as usize];
+    st.agent_fault = fault;
+    if fault.is_none() {
+        if let Some(a) = st.agent.as_mut() {
+            a.resync();
+        }
+    }
+}
+
+/// Restart a chassis controller mid-flight: relay latches survive (the
+/// hardware holds them), but pending energize sequencing is lost — a
+/// node whose outlet was waiting its stagger slot hangs in `PoweringOn`
+/// until the control plane's boot watchdog power-cycles it. The
+/// in-flight energize events are cancelled here, mirroring the lost
+/// chassis state.
+pub fn chassis_restart(sim: &mut Sim<World>, bx: usize) {
+    let now = sim.now();
+    let lost = sim.world_mut().iceboxes[bx].controller_restart(now);
+    for port in lost {
+        let node = (bx * NODE_PORTS + port.0 as usize) as u32;
+        if (node as usize) < sim.world().nodes.len() {
+            cancel_boot_events(sim, node);
+        }
+    }
 }
 
 #[cfg(test)]

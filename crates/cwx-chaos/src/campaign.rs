@@ -1,0 +1,398 @@
+//! Fault campaigns: deterministic, timestamped schedules of faults
+//! across every layer of the simulated cluster.
+//!
+//! A [`Campaign`] is data, not code: a seed, a fleet size, a duration
+//! and a list of [`FaultEvent`]s. The same campaign under the same seed
+//! replays byte-for-byte — [`crate::run_campaign`] hashes the control
+//! plane's audit trail so reproducibility is checkable, not aspirational.
+
+use std::fmt;
+
+/// One injectable fault. The variants span the injection surface the
+/// framework exposes: network segments, ICE Box chassis, monitoring
+/// agents, node hardware, and temperature probes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Unplug a rack segment's uplink (needs the rack topology).
+    PartitionRack(usize),
+    /// Plug the rack back in.
+    HealRack(usize),
+    /// Degrade a rack segment to the given per-receiver loss.
+    RackLoss(usize, f64),
+    /// Renegotiate a rack segment down to the given bandwidth (bytes/s).
+    RackBandwidth(usize, u64),
+    /// Crash and restart a chassis controller: relays hold, pending
+    /// sequenced energizations are lost.
+    ChassisRestart(usize),
+    /// Kill a node's monitoring daemon (a reboot restarts it).
+    AgentCrash(u32),
+    /// Wedge a node's monitoring daemon for the given seconds.
+    AgentHang(u32, f64),
+    /// Delay every report from a node by the given seconds.
+    AgentDelay(u32, f64),
+    /// Duplicate every report from a node.
+    AgentDuplicate(u32),
+    /// Clear any agent fault on a node (daemon restored).
+    AgentRecover(u32),
+    /// Panic a node's kernel.
+    KernelPanic(u32),
+    /// Stop a node's CPU fan.
+    FanFailure(u32),
+    /// Kill a node's power supply.
+    PsuFailure(u32),
+    /// Start a runaway memory leak on a node.
+    MemoryLeak(u32),
+    /// Freeze a node's chassis temperature probe at its last reading.
+    ProbeStuck(u32),
+    /// Skew a node's chassis temperature probe by the given °C.
+    ProbeSkew(u32, f64),
+    /// Repair a node's chassis temperature probe.
+    ProbeClear(u32),
+    /// Spray garbage bytes onto a node's console relay.
+    ConsoleGarbage(u32),
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use FaultKind::*;
+        match self {
+            PartitionRack(r) => write!(f, "partition-rack {r}"),
+            HealRack(r) => write!(f, "heal-rack {r}"),
+            RackLoss(r, l) => write!(f, "rack-loss {r} {l}"),
+            RackBandwidth(r, b) => write!(f, "rack-bandwidth {r} {b}"),
+            ChassisRestart(c) => write!(f, "chassis-restart {c}"),
+            AgentCrash(n) => write!(f, "agent-crash {n}"),
+            AgentHang(n, s) => write!(f, "agent-hang {n} {s}s"),
+            AgentDelay(n, s) => write!(f, "agent-delay {n} {s}s"),
+            AgentDuplicate(n) => write!(f, "agent-duplicate {n}"),
+            AgentRecover(n) => write!(f, "agent-recover {n}"),
+            KernelPanic(n) => write!(f, "kernel-panic {n}"),
+            FanFailure(n) => write!(f, "fan-failure {n}"),
+            PsuFailure(n) => write!(f, "psu-failure {n}"),
+            MemoryLeak(n) => write!(f, "memory-leak {n}"),
+            ProbeStuck(n) => write!(f, "probe-stuck {n}"),
+            ProbeSkew(n, d) => write!(f, "probe-skew {n} {d}C"),
+            ProbeClear(n) => write!(f, "probe-clear {n}"),
+            ConsoleGarbage(n) => write!(f, "console-garbage {n}"),
+        }
+    }
+}
+
+impl FaultKind {
+    /// The node a fault targets, when it targets exactly one.
+    pub fn node(&self) -> Option<u32> {
+        use FaultKind::*;
+        match *self {
+            AgentCrash(n)
+            | AgentHang(n, _)
+            | AgentDelay(n, _)
+            | AgentDuplicate(n)
+            | AgentRecover(n)
+            | KernelPanic(n)
+            | FanFailure(n)
+            | PsuFailure(n)
+            | MemoryLeak(n)
+            | ProbeStuck(n)
+            | ProbeSkew(n, _)
+            | ProbeClear(n)
+            | ConsoleGarbage(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Whether this fault takes a node (or its whole rack) down — the
+    /// kinds the availability/MTTR metrics track.
+    pub fn is_outage(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::KernelPanic(_) | FaultKind::PsuFailure(_) | FaultKind::PartitionRack(_)
+        )
+    }
+}
+
+/// A fault scheduled at a campaign-relative time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Seconds after campaign start.
+    pub at_secs: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault schedule over a simulated fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Campaign {
+    /// Campaign name (reports and the CLI use it).
+    pub name: String,
+    /// Seed for every random draw in the run.
+    pub seed: u64,
+    /// Fleet size.
+    pub n_nodes: u32,
+    /// Active phase: faults must land inside `[0, duration_secs]`.
+    pub duration_secs: f64,
+    /// Quiet tail after the last fault for the cluster to converge
+    /// before the final invariants are checked.
+    pub settle_secs: f64,
+    /// Override the cluster's flap threshold (`0` disables flap
+    /// detection — e.g. for pure network campaigns, where the engine's
+    /// reboot-the-unreachable rule would otherwise thrash partitioned
+    /// racks straight into quarantine).
+    pub flap_threshold: Option<u32>,
+    /// Auto-release quarantined nodes after this many seconds (`None`
+    /// keeps the cluster default: manual release only).
+    pub quarantine_release_secs: Option<f64>,
+    /// The schedule.
+    pub events: Vec<FaultEvent>,
+}
+
+impl Campaign {
+    /// Start an empty campaign.
+    pub fn new(name: &str, seed: u64, n_nodes: u32, duration_secs: f64) -> Campaign {
+        Campaign {
+            name: name.to_string(),
+            seed,
+            n_nodes,
+            duration_secs,
+            settle_secs: 600.0,
+            flap_threshold: None,
+            quarantine_release_secs: None,
+            events: Vec::new(),
+        }
+    }
+
+    /// Builder: schedule `kind` at `at_secs`.
+    pub fn at(mut self, at_secs: f64, kind: FaultKind) -> Campaign {
+        assert!(
+            at_secs.is_finite() && at_secs >= 0.0,
+            "fault time must be a nonnegative number"
+        );
+        self.events.push(FaultEvent { at_secs, kind });
+        self
+    }
+
+    /// Builder: set the settle window.
+    pub fn settle(mut self, secs: f64) -> Campaign {
+        self.settle_secs = secs;
+        self
+    }
+
+    /// Builder: override the flap threshold (`0` disables detection).
+    pub fn flap_threshold(mut self, threshold: u32) -> Campaign {
+        self.flap_threshold = Some(threshold);
+        self
+    }
+
+    /// Builder: auto-release quarantined nodes after `secs`.
+    pub fn release_after(mut self, secs: f64) -> Campaign {
+        self.quarantine_release_secs = Some(secs);
+        self
+    }
+
+    /// Parse a campaign from the TOML subset below (hand-rolled — the
+    /// container builds without a TOML crate):
+    ///
+    /// ```toml
+    /// name = "example"
+    /// seed = 7
+    /// nodes = 40
+    /// duration = 1200
+    /// settle = 300
+    ///
+    /// [[fault]]
+    /// at = 300
+    /// kind = "partition-rack"
+    /// rack = 1
+    ///
+    /// [[fault]]
+    /// at = 500
+    /// kind = "agent-crash"
+    /// node = 12
+    /// ```
+    ///
+    /// Scalar keys per fault: `at`, `kind`, and the kind's operands
+    /// (`rack`, `node`, `secs`, `loss`, `bps`, `delta`).
+    pub fn from_toml(text: &str) -> Result<Campaign, String> {
+        let mut c = Campaign::new("unnamed", 0, 0, 0.0);
+        let mut faults: Vec<RawFault> = Vec::new();
+        let mut in_fault = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[fault]]" {
+                faults.push(RawFault::default());
+                in_fault = true;
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!("line {}: unknown section {line}", lineno + 1));
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected key = value", lineno + 1))?;
+            let key = key.trim();
+            let value = value.trim().trim_matches('"');
+            if in_fault {
+                let f = faults.last_mut().unwrap();
+                match key {
+                    "at" => f.at = Some(parse_f64(key, value)?),
+                    "kind" => f.kind = Some(value.to_string()),
+                    "rack" => f.rack = Some(parse_f64(key, value)? as usize),
+                    "node" => f.node = Some(parse_f64(key, value)? as u32),
+                    "secs" => f.secs = Some(parse_f64(key, value)?),
+                    "loss" => f.loss = Some(parse_f64(key, value)?),
+                    "bps" => f.bps = Some(parse_f64(key, value)? as u64),
+                    "delta" => f.delta = Some(parse_f64(key, value)?),
+                    _ => return Err(format!("line {}: unknown fault key {key}", lineno + 1)),
+                }
+            } else {
+                match key {
+                    "name" => c.name = value.to_string(),
+                    "seed" => c.seed = parse_f64(key, value)? as u64,
+                    "nodes" => c.n_nodes = parse_f64(key, value)? as u32,
+                    "duration" => c.duration_secs = parse_f64(key, value)?,
+                    "settle" => c.settle_secs = parse_f64(key, value)?,
+                    "flap_threshold" => c.flap_threshold = Some(parse_f64(key, value)? as u32),
+                    "release" => c.quarantine_release_secs = Some(parse_f64(key, value)?),
+                    _ => return Err(format!("line {}: unknown key {key}", lineno + 1)),
+                }
+            }
+        }
+        if c.n_nodes == 0 {
+            return Err("campaign needs `nodes > 0`".into());
+        }
+        if c.duration_secs <= 0.0 {
+            return Err("campaign needs `duration > 0`".into());
+        }
+        for f in faults {
+            c.events.push(f.build()?);
+        }
+        Ok(c)
+    }
+}
+
+fn parse_f64(key: &str, value: &str) -> Result<f64, String> {
+    value
+        .parse::<f64>()
+        .map_err(|_| format!("{key}: expected a number, got {value:?}"))
+}
+
+#[derive(Default)]
+struct RawFault {
+    at: Option<f64>,
+    kind: Option<String>,
+    rack: Option<usize>,
+    node: Option<u32>,
+    secs: Option<f64>,
+    loss: Option<f64>,
+    bps: Option<u64>,
+    delta: Option<f64>,
+}
+
+impl RawFault {
+    fn build(self) -> Result<FaultEvent, String> {
+        let at_secs = self.at.ok_or("fault missing `at`")?;
+        let kind = self.kind.as_deref().ok_or("fault missing `kind`")?;
+        let rack = || self.rack.ok_or(format!("{kind} needs `rack`"));
+        let node = || self.node.ok_or(format!("{kind} needs `node`"));
+        let secs = || self.secs.ok_or(format!("{kind} needs `secs`"));
+        let kind = match kind {
+            "partition-rack" => FaultKind::PartitionRack(rack()?),
+            "heal-rack" => FaultKind::HealRack(rack()?),
+            "rack-loss" => FaultKind::RackLoss(rack()?, self.loss.ok_or("rack-loss needs `loss`")?),
+            "rack-bandwidth" => {
+                FaultKind::RackBandwidth(rack()?, self.bps.ok_or("rack-bandwidth needs `bps`")?)
+            }
+            "chassis-restart" => FaultKind::ChassisRestart(rack()?),
+            "agent-crash" => FaultKind::AgentCrash(node()?),
+            "agent-hang" => FaultKind::AgentHang(node()?, secs()?),
+            "agent-delay" => FaultKind::AgentDelay(node()?, secs()?),
+            "agent-duplicate" => FaultKind::AgentDuplicate(node()?),
+            "agent-recover" => FaultKind::AgentRecover(node()?),
+            "kernel-panic" => FaultKind::KernelPanic(node()?),
+            "fan-failure" => FaultKind::FanFailure(node()?),
+            "psu-failure" => FaultKind::PsuFailure(node()?),
+            "memory-leak" => FaultKind::MemoryLeak(node()?),
+            "probe-stuck" => FaultKind::ProbeStuck(node()?),
+            "probe-skew" => {
+                FaultKind::ProbeSkew(node()?, self.delta.ok_or("probe-skew needs `delta`")?)
+            }
+            "probe-clear" => FaultKind::ProbeClear(node()?),
+            "console-garbage" => FaultKind::ConsoleGarbage(node()?),
+            other => return Err(format!("unknown fault kind {other:?}")),
+        };
+        Ok(FaultEvent { at_secs, kind })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_orders_and_records() {
+        let c = Campaign::new("t", 1, 8, 600.0)
+            .at(10.0, FaultKind::AgentCrash(3))
+            .at(20.0, FaultKind::PartitionRack(0))
+            .settle(120.0);
+        assert_eq!(c.events.len(), 2);
+        assert_eq!(c.settle_secs, 120.0);
+        assert_eq!(c.events[1].kind, FaultKind::PartitionRack(0));
+    }
+
+    #[test]
+    fn toml_roundtrip_covers_operand_shapes() {
+        let text = r#"
+# a comment
+name = "demo"
+seed = 9
+nodes = 30
+duration = 900
+settle = 200
+
+[[fault]]
+at = 100
+kind = "partition-rack"
+rack = 2
+
+[[fault]]
+at = 150.5
+kind = "agent-hang"
+node = 4
+secs = 60
+
+[[fault]]
+at = 200
+kind = "rack-loss"
+rack = 1
+loss = 0.2
+
+[[fault]]
+at = 300
+kind = "probe-skew"
+node = 11
+delta = -5
+"#;
+        let c = Campaign::from_toml(text).expect("parses");
+        assert_eq!(c.name, "demo");
+        assert_eq!((c.seed, c.n_nodes), (9, 30));
+        assert_eq!(c.events.len(), 4);
+        assert_eq!(c.events[0].kind, FaultKind::PartitionRack(2));
+        assert_eq!(c.events[1].kind, FaultKind::AgentHang(4, 60.0));
+        assert_eq!(c.events[2].kind, FaultKind::RackLoss(1, 0.2));
+        assert_eq!(c.events[3].kind, FaultKind::ProbeSkew(11, -5.0));
+        assert_eq!(c.events[1].at_secs, 150.5);
+    }
+
+    #[test]
+    fn toml_rejects_nonsense() {
+        assert!(Campaign::from_toml("nodes = 0\nduration = 10").is_err());
+        assert!(Campaign::from_toml("nodes = 4\nduration = 10\n[[fault]]\nat = 1").is_err());
+        assert!(Campaign::from_toml(
+            "nodes = 4\nduration = 10\n[[fault]]\nat = 1\nkind = \"warp-core-breach\""
+        )
+        .is_err());
+        assert!(Campaign::from_toml("gibberish").is_err());
+    }
+}

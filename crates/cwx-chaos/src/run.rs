@@ -1,0 +1,350 @@
+//! Campaign execution: wire a [`Campaign`] onto a simulated cluster,
+//! inject every scheduled fault, run the invariant checker alongside,
+//! and measure how the management plane coped.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use clusterworx::{
+    chassis_restart, schedule_fault, set_agent_fault, Cluster, ClusterConfig, World,
+};
+use cwx_icebox::ProbeFault;
+use cwx_monitor::AgentFault;
+use cwx_util::sim::Sim;
+use cwx_util::time::{SimDuration, SimTime};
+
+use crate::campaign::{Campaign, FaultKind};
+use crate::invariants::{audit_hash, InvariantChecker, InvariantPolicy, Violation};
+
+/// What a campaign run produced.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// Seed used.
+    pub seed: u64,
+    /// Fleet size.
+    pub n_nodes: u32,
+    /// Invariant violations (empty = the management plane kept every
+    /// promise).
+    pub violations: Vec<Violation>,
+    /// FNV-1a fingerprint of the audit trail — identical for identical
+    /// (campaign, seed) pairs.
+    pub audit_hash: u64,
+    /// Audit records written.
+    pub audit_len: usize,
+    /// Mean seconds from an outage fault to the server noticing it
+    /// (NaN when the campaign had no detectable outage).
+    pub detection_latency_secs: f64,
+    /// Mean seconds from an outage fault to the node back up and
+    /// reachable (NaN when nothing recovered).
+    pub mttr_secs: f64,
+    /// Mean fraction of the fleet up, sampled over the whole run.
+    pub availability: f64,
+    /// Nodes with their OS up at the end of the settle window.
+    pub final_up: usize,
+    /// Nodes quarantined by flap detection at the end.
+    pub quarantined: Vec<u32>,
+    /// Emails the notifier actually sent.
+    pub emails: usize,
+    /// Storm episodes the notifier rate-limited.
+    pub storms: u64,
+}
+
+/// Per-outage bookkeeping for the detection/MTTR metrics.
+#[derive(Debug, Clone, Copy)]
+struct Outage {
+    node: u32,
+    t0: SimTime,
+    detected: Option<SimTime>,
+    recovered: Option<SimTime>,
+}
+
+#[derive(Debug, Default)]
+struct Metrics {
+    outages: Vec<Outage>,
+    up_samples: f64,
+    samples: u64,
+}
+
+/// Apply one fault to the running world.
+pub fn apply_fault(sim: &mut Sim<World>, kind: FaultKind) {
+    let now = sim.now();
+    match kind {
+        FaultKind::PartitionRack(r) => {
+            let seg = sim.world().rack_segment(r);
+            sim.world_mut().net.partition(seg);
+        }
+        FaultKind::HealRack(r) => {
+            let seg = sim.world().rack_segment(r);
+            sim.world_mut().net.heal(seg);
+        }
+        FaultKind::RackLoss(r, loss) => {
+            let seg = sim.world().rack_segment(r);
+            sim.world_mut().net.set_loss(seg, loss);
+        }
+        FaultKind::RackBandwidth(r, bps) => {
+            let seg = sim.world().rack_segment(r);
+            sim.world_mut().net.set_bandwidth(seg, bps);
+        }
+        FaultKind::ChassisRestart(c) => chassis_restart(sim, c),
+        FaultKind::AgentCrash(n) => set_agent_fault(sim, n, Some(AgentFault::Crashed)),
+        FaultKind::AgentHang(n, secs) => set_agent_fault(
+            sim,
+            n,
+            Some(AgentFault::Hung {
+                until: Some(now + SimDuration::from_secs_f64(secs)),
+            }),
+        ),
+        FaultKind::AgentDelay(n, secs) => set_agent_fault(
+            sim,
+            n,
+            Some(AgentFault::DelayedReports {
+                extra: SimDuration::from_secs_f64(secs),
+            }),
+        ),
+        FaultKind::AgentDuplicate(n) => {
+            set_agent_fault(sim, n, Some(AgentFault::DuplicatedReports))
+        }
+        FaultKind::AgentRecover(n) => set_agent_fault(sim, n, None),
+        FaultKind::KernelPanic(n) => schedule_fault(sim, now, n, cwx_hw::node::Fault::KernelPanic),
+        FaultKind::FanFailure(n) => schedule_fault(sim, now, n, cwx_hw::node::Fault::FanFailure),
+        FaultKind::PsuFailure(n) => schedule_fault(sim, now, n, cwx_hw::node::Fault::PsuFailure),
+        FaultKind::MemoryLeak(n) => schedule_fault(sim, now, n, cwx_hw::node::Fault::MemoryLeak),
+        FaultKind::ProbeStuck(n) => {
+            let (bx, port) = World::rack_of(n);
+            sim.world_mut().iceboxes[bx].set_probe_fault(port, Some(ProbeFault::Stuck));
+        }
+        FaultKind::ProbeSkew(n, delta) => {
+            let (bx, port) = World::rack_of(n);
+            sim.world_mut().iceboxes[bx]
+                .set_probe_fault(port, Some(ProbeFault::Skewed { delta_c: delta }));
+        }
+        FaultKind::ProbeClear(n) => {
+            let (bx, port) = World::rack_of(n);
+            sim.world_mut().iceboxes[bx].set_probe_fault(port, None);
+        }
+        FaultKind::ConsoleGarbage(n) => {
+            let (bx, port) = World::rack_of(n);
+            let seed = sim.world().cfg.seed ^ (n as u64);
+            sim.world_mut().iceboxes[bx].feed_garbage(port, seed, 256);
+        }
+    }
+}
+
+/// Base cluster configuration for a campaign: the rack topology (so
+/// partitions have a blast radius smaller than "everything") with the
+/// campaign's fleet size and seed. Callers may tweak the result before
+/// [`run_campaign_with`].
+pub fn campaign_config(c: &Campaign) -> ClusterConfig {
+    let mut cfg = ClusterConfig {
+        n_nodes: c.n_nodes,
+        seed: c.seed,
+        rack_network: true,
+        ..ClusterConfig::default()
+    };
+    if let Some(t) = c.flap_threshold {
+        cfg.flap_threshold = t;
+    }
+    if let Some(secs) = c.quarantine_release_secs {
+        cfg.quarantine_release_after = Some(SimDuration::from_secs_f64(secs));
+    }
+    cfg
+}
+
+/// Run `campaign` on a default cluster; see [`run_campaign_with`].
+pub fn run_campaign(campaign: &Campaign) -> CampaignReport {
+    run_campaign_with(
+        campaign,
+        campaign_config(campaign),
+        InvariantPolicy::default(),
+    )
+}
+
+/// Run `campaign` on a cluster built from `cfg`, checking invariants
+/// under `policy` throughout, and report.
+pub fn run_campaign_with(
+    campaign: &Campaign,
+    cfg: ClusterConfig,
+    policy: InvariantPolicy,
+) -> CampaignReport {
+    run_campaign_sim(campaign, cfg, policy).0
+}
+
+/// Like [`run_campaign_with`], but also hand back the finished
+/// simulation so callers (soak tests, the CLI) can dig into the audit
+/// trail, outbox or per-node state beyond what the report summarises.
+pub fn run_campaign_sim(
+    campaign: &Campaign,
+    cfg: ClusterConfig,
+    policy: InvariantPolicy,
+) -> (CampaignReport, Sim<World>) {
+    assert_eq!(
+        cfg.n_nodes, campaign.n_nodes,
+        "config/campaign fleet mismatch"
+    );
+    assert!(
+        cfg.rack_network
+            || !campaign.events.iter().any(|e| {
+                matches!(e.kind, FaultKind::PartitionRack(_) | FaultKind::HealRack(_))
+            }),
+        "rack partitions need cfg.rack_network"
+    );
+    let n = campaign.n_nodes;
+    let mut sim = Cluster::build(cfg);
+
+    let checker = Rc::new(RefCell::new(InvariantChecker::new(n, policy)));
+    let metrics = Rc::new(RefCell::new(Metrics::default()));
+
+    // the fault schedule
+    for ev in &campaign.events {
+        let kind = ev.kind;
+        let checker = Rc::clone(&checker);
+        let metrics = Rc::clone(&metrics);
+        sim.schedule_at(
+            SimTime::ZERO + SimDuration::from_secs_f64(ev.at_secs),
+            move |sim| {
+                if kind.is_outage() {
+                    let now = sim.now();
+                    let mut m = metrics.borrow_mut();
+                    match kind {
+                        FaultKind::PartitionRack(r) => {
+                            for node in rack_nodes(sim.world(), r) {
+                                m.outages.push(Outage {
+                                    node,
+                                    t0: now,
+                                    detected: None,
+                                    recovered: None,
+                                });
+                            }
+                        }
+                        _ => {
+                            if let Some(node) = kind.node() {
+                                m.outages.push(Outage {
+                                    node,
+                                    t0: now,
+                                    detected: None,
+                                    recovered: None,
+                                });
+                            }
+                        }
+                    }
+                }
+                apply_fault(sim, kind);
+                if destructive(kind) {
+                    // the archive must survive every kill
+                    let checker = Rc::clone(&checker);
+                    sim.schedule_in(SimDuration::from_secs(1), move |sim| {
+                        checker
+                            .borrow_mut()
+                            .check_store_readable(sim.now(), sim.world());
+                    });
+                }
+            },
+        );
+    }
+
+    // the runtime scan: stuck-transient checks, metric sampling
+    {
+        let checker = Rc::clone(&checker);
+        let metrics = Rc::clone(&metrics);
+        let every = SimDuration::from_secs_f64(policy.check_every_secs.max(1.0));
+        sim.schedule_every(every, move |sim| {
+            let now = sim.now();
+            let w = sim.world();
+            checker.borrow_mut().scan(now, w);
+            let mut m = metrics.borrow_mut();
+            m.up_samples += w.up_count() as f64 / w.nodes.len().max(1) as f64;
+            m.samples += 1;
+            for o in m.outages.iter_mut() {
+                let hw_up = w.nodes[o.node as usize].hw.is_up();
+                let reachable = w
+                    .server
+                    .node_status(o.node)
+                    .map(|s| s.reachable)
+                    .unwrap_or(false);
+                if o.detected.is_none() && (!reachable || !hw_up) {
+                    o.detected = Some(now);
+                }
+                if o.detected.is_some() && o.recovered.is_none() && hw_up && reachable {
+                    o.recovered = Some(now);
+                }
+            }
+            true
+        });
+    }
+
+    sim.run_for(SimDuration::from_secs_f64(
+        campaign.duration_secs + campaign.settle_secs,
+    ));
+
+    // end-of-run checks over the full record
+    let now = sim.now();
+    {
+        let mut ck = checker.borrow_mut();
+        let w = sim.world();
+        ck.check_transition_legality(w);
+        ck.check_command_accounting(now, w);
+        ck.check_convergence(now, w);
+    }
+
+    let w = sim.world();
+    let m = metrics.borrow();
+    let det: Vec<f64> = m
+        .outages
+        .iter()
+        .filter_map(|o| o.detected.map(|t| t.since(o.t0).as_secs_f64()))
+        .collect();
+    let rec: Vec<f64> = m
+        .outages
+        .iter()
+        .filter_map(|o| o.recovered.map(|t| t.since(o.t0).as_secs_f64()))
+        .collect();
+    let quarantined: Vec<u32> = (0..n).filter(|&i| w.control.quarantined(i)).collect();
+    let violations = checker.borrow().violations().to_vec();
+    let report = CampaignReport {
+        name: campaign.name.clone(),
+        seed: campaign.seed,
+        n_nodes: n,
+        violations,
+        audit_hash: audit_hash(w.control.audit()),
+        audit_len: w.control.audit().len(),
+        detection_latency_secs: mean(&det),
+        mttr_secs: mean(&rec),
+        availability: if m.samples == 0 {
+            f64::NAN
+        } else {
+            m.up_samples / m.samples as f64
+        },
+        final_up: w.up_count(),
+        quarantined,
+        emails: w.server.outbox().len(),
+        storms: w.server.storms(),
+    };
+    drop(m);
+    (report, sim)
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        f64::NAN
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn destructive(kind: FaultKind) -> bool {
+    matches!(
+        kind,
+        FaultKind::KernelPanic(_)
+            | FaultKind::PsuFailure(_)
+            | FaultKind::ChassisRestart(_)
+            | FaultKind::AgentCrash(_)
+    )
+}
+
+fn rack_nodes(w: &World, rack: usize) -> Vec<u32> {
+    (0..w.nodes.len() as u32)
+        .filter(|&n| World::rack_of(n).0 == rack)
+        .collect()
+}

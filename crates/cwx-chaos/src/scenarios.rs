@@ -1,0 +1,163 @@
+//! Canned chaos campaigns: the three scenarios experiment E14 and the
+//! `cwx chaos` CLI ship with.
+//!
+//! Each targets a different layer of the management plane. All use a
+//! 120 s warm-up (autostart boots finish well inside it), inject during
+//! the active phase, heal everything they broke, and leave a settle
+//! window for convergence.
+
+use crate::campaign::{Campaign, FaultKind::*};
+
+/// Names of the canned scenarios, in presentation order.
+pub const SCENARIO_NAMES: [&str; 3] = ["partition-storm", "chassis-carnage", "flaky-fleet"];
+
+/// Look up a canned scenario by name.
+pub fn scenario(name: &str) -> Option<Campaign> {
+    match name {
+        "partition-storm" => Some(partition_storm()),
+        "chassis-carnage" => Some(chassis_carnage()),
+        "flaky-fleet" => Some(flaky_fleet()),
+        "soak" => Some(soak(4001)),
+        _ => None,
+    }
+}
+
+/// Overlapping rack partitions plus degraded links: the network layer
+/// misbehaves while nodes themselves stay healthy. Tests that the
+/// server's liveness view diverges and re-converges without the control
+/// plane inventing failures.
+pub fn partition_storm() -> Campaign {
+    // Flap detection off: the engine reboots unreachable nodes, so a
+    // partitioned rack's nodes re-enter Up several times through no
+    // fault of their own — quarantining them would test the wrong layer.
+    Campaign::new("partition-storm", 1401, 60, 1500.0)
+        .flap_threshold(0)
+        .at(200.0, PartitionRack(1))
+        .at(260.0, RackLoss(3, 0.25)) // lossy, not dead
+        .at(320.0, PartitionRack(2)) // overlaps rack 1's outage
+        .at(500.0, HealRack(1))
+        .at(560.0, PartitionRack(4))
+        .at(700.0, HealRack(2))
+        .at(900.0, HealRack(4))
+        .at(960.0, RackLoss(3, 0.0))
+        .settle(600.0)
+}
+
+/// Chassis controller crashes and probe faults: the out-of-band layer
+/// lies or goes dark. Sequenced energizations are lost mid-boot, probes
+/// stick and skew, consoles fill with garbage.
+pub fn chassis_carnage() -> Campaign {
+    Campaign::new("chassis-carnage", 1402, 60, 1500.0)
+        .at(180.0, ProbeStuck(12))
+        .at(200.0, ChassisRestart(0))
+        .at(240.0, ConsoleGarbage(3))
+        .at(300.0, ProbeSkew(21, 8.0))
+        .at(400.0, ChassisRestart(2))
+        .at(420.0, AgentCrash(22)) // same rack as the restart
+        .at(700.0, ChassisRestart(0)) // again, while recovering
+        .at(800.0, ProbeClear(12))
+        .at(820.0, ProbeClear(21))
+        .at(900.0, AgentRecover(22))
+        .settle(600.0)
+}
+
+/// Node and agent chaos: kernel panics (one node flaps hard enough to
+/// trip quarantine), crashed/hung/duplicating agents. Tests flap
+/// detection, the boot watchdog and notifier rate limiting.
+pub fn flaky_fleet() -> Campaign {
+    Campaign::new("flaky-fleet", 1403, 60, 2400.0)
+        // node 7 flaps: every panic triggers the engine's reboot, and
+        // the third Up-entry inside the window trips quarantine
+        .at(200.0, KernelPanic(7))
+        .at(500.0, KernelPanic(7))
+        .at(800.0, KernelPanic(7))
+        .at(1100.0, KernelPanic(7))
+        // background noise on other racks
+        .at(300.0, AgentCrash(31))
+        .at(350.0, AgentHang(45, 400.0))
+        .at(420.0, AgentDuplicate(18))
+        .at(600.0, AgentDelay(52, 20.0))
+        .at(900.0, KernelPanic(40)) // one-off panic: reboots, stays up
+        .at(1400.0, AgentRecover(31))
+        .at(1500.0, AgentRecover(18))
+        .at(1600.0, AgentRecover(52))
+        .settle(600.0)
+}
+
+/// The big one: a simulated-hour campaign at 400 nodes (40 racks) with
+/// everything at once — overlapping rack partitions, a lossy rack,
+/// chassis-controller restarts (one chassis twice), crashed / hung /
+/// lying agents, one-off panics and a node that flaps hard enough to
+/// trip quarantine. Parameterised by seed so CI can sweep several.
+///
+/// Tuning notes: partitions stay short (≈4 minutes) so the engine's
+/// reboot-the-unreachable loop gives partitioned nodes at most 2–3
+/// Up-entries, below the campaign's flap threshold of 6; the flapper
+/// panics every 150 s, crossing the threshold at its sixth boot. A
+/// 500 s timed release lets the (by then cured) flapper rejoin, so the
+/// fleet converges to all-Up inside the settle window.
+pub fn soak(seed: u64) -> Campaign {
+    Campaign::new("soak", seed, 400, 2600.0)
+        .flap_threshold(6)
+        .release_after(500.0)
+        // the flapper: node 7 panics every 150 s until quarantined
+        .at(240.0, KernelPanic(7))
+        .at(390.0, KernelPanic(7))
+        .at(540.0, KernelPanic(7))
+        .at(690.0, KernelPanic(7))
+        .at(840.0, KernelPanic(7))
+        .at(990.0, KernelPanic(7))
+        .at(1140.0, KernelPanic(7)) // lands while parked dark: no-op
+        .at(1290.0, KernelPanic(7))
+        // overlapping rack partitions
+        .at(300.0, PartitionRack(3))
+        .at(400.0, PartitionRack(17)) // overlaps rack 3's outage
+        .at(520.0, HealRack(3))
+        .at(640.0, HealRack(17))
+        .at(700.0, PartitionRack(8))
+        .at(930.0, HealRack(8))
+        .at(1500.0, PartitionRack(25))
+        .at(1740.0, HealRack(25))
+        // a rack with a bad uplink for ten minutes
+        .at(600.0, RackLoss(30, 0.2))
+        .at(1300.0, RackLoss(30, 0.0))
+        // chassis-controller restarts, one chassis twice
+        .at(450.0, ChassisRestart(5))
+        .at(1000.0, ChassisRestart(12))
+        .at(1900.0, ChassisRestart(5))
+        // agent misbehaviour across the fleet
+        .at(350.0, AgentCrash(101))
+        .at(500.0, AgentDuplicate(55))
+        .at(750.0, AgentDelay(160, 15.0))
+        .at(800.0, AgentCrash(222))
+        .at(900.0, AgentHang(333, 500.0))
+        .at(1600.0, AgentRecover(101))
+        .at(1700.0, AgentRecover(55))
+        .at(1750.0, AgentRecover(160))
+        .at(1800.0, AgentRecover(222))
+        // a one-off panic far from the flapper: reboots, stays up
+        .at(1200.0, KernelPanic(350))
+        .settle(800.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canned_scenarios_resolve_and_fit_their_windows() {
+        for name in SCENARIO_NAMES {
+            let c = scenario(name).expect(name);
+            assert_eq!(c.name, name);
+            assert!(c.n_nodes > 0 && !c.events.is_empty());
+            for ev in &c.events {
+                assert!(
+                    ev.at_secs < c.duration_secs,
+                    "{name}: fault at {} outside active phase",
+                    ev.at_secs
+                );
+            }
+        }
+        assert!(scenario("no-such-thing").is_none());
+    }
+}

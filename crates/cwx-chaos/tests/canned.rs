@@ -1,0 +1,46 @@
+//! The canned scenarios run clean: no invariant violations, sensible
+//! metrics, reproducible audit trails.
+
+use cwx_chaos::{run_campaign, scenario, SCENARIO_NAMES};
+
+#[test]
+fn partition_storm_runs_clean() {
+    let r = run_campaign(&scenario("partition-storm").unwrap());
+    assert_eq!(r.violations, vec![], "violations: {:#?}", r.violations);
+    assert_eq!(r.final_up as u32, r.n_nodes, "everyone back after heals");
+    assert!(
+        r.detection_latency_secs.is_finite(),
+        "partitions must be detected"
+    );
+    assert!(r.availability > 0.5 && r.availability <= 1.0);
+}
+
+#[test]
+fn chassis_carnage_runs_clean() {
+    let r = run_campaign(&scenario("chassis-carnage").unwrap());
+    assert_eq!(r.violations, vec![], "violations: {:#?}", r.violations);
+    assert_eq!(r.final_up as u32, r.n_nodes);
+}
+
+#[test]
+fn flaky_fleet_quarantines_the_flapper() {
+    let r = run_campaign(&scenario("flaky-fleet").unwrap());
+    assert_eq!(r.violations, vec![], "violations: {:#?}", r.violations);
+    assert!(
+        r.quarantined.contains(&7),
+        "the flapper must be quarantined, got {:?}",
+        r.quarantined
+    );
+    assert!(r.mttr_secs.is_finite(), "the one-off panic recovered");
+}
+
+#[test]
+fn same_seed_same_audit_hash() {
+    for name in SCENARIO_NAMES {
+        let c = scenario(name).unwrap();
+        let a = run_campaign(&c);
+        let b = run_campaign(&c);
+        assert_eq!(a.audit_hash, b.audit_hash, "{name} must be reproducible");
+        assert_eq!(a.audit_len, b.audit_len);
+    }
+}

@@ -66,6 +66,16 @@ pub struct CloneConfig {
     /// package/kernel-file update path — "update files or packages on
     /// the nodes in parallel" — where nodes stay up.
     pub reboot: bool,
+    /// Response deadline for a poll, measured from its wire delivery
+    /// time (so queued repair traffic cannot fake a dead receiver).
+    pub poll_timeout: SimDuration,
+    /// Consecutive missed poll deadlines before a receiver is evicted
+    /// as dead and the session moves on for the survivors.
+    pub max_poll_misses: u32,
+    /// Fault injection: receivers that die mid-session, as `(node,
+    /// seconds after campaign start)`. A dead receiver ignores every
+    /// message — chunks, polls, everything.
+    pub dropouts: Vec<(u32, f64)>,
 }
 
 impl Default for CloneConfig {
@@ -80,6 +90,9 @@ impl Default for CloneConfig {
             ctrl_rto: SimDuration::from_millis(200),
             max_poll_rounds: 1000,
             reboot: true,
+            poll_timeout: SimDuration::from_secs(10),
+            max_poll_misses: 5,
+            dropouts: Vec::new(),
         }
     }
 }
@@ -125,9 +138,11 @@ enum Msg {
     /// Master asks a node what it is missing.
     Poll,
     /// Node reports missing chunks (possibly truncated to the cap).
-    Nack(Vec<u32>),
-    /// Node has the full image.
-    Complete,
+    /// Carries the sender so a stale response from an evicted receiver
+    /// cannot be misattributed to the node now at the head.
+    Nack(u32, Vec<u32>),
+    /// Node has the full image (sender id, same reason).
+    Complete(u32),
 }
 
 /// Dense bitmap tracking which image chunks a node has received.
@@ -197,6 +212,8 @@ struct Target {
     complete_at: Option<SimTime>,
     operational_at: Option<SimTime>,
     failed: bool,
+    /// the receiver died mid-session: it ignores everything
+    dead: bool,
 }
 
 impl Target {
@@ -206,6 +223,7 @@ impl Target {
             complete_at: None,
             operational_at: None,
             failed: false,
+            dead: false,
         }
     }
 }
@@ -222,6 +240,11 @@ struct World {
     current_rounds: u32,
     remulticast_rounds_left: u32,
     completed: u32,
+    /// outstanding poll the master is waiting on: `(node, sequence)`
+    awaiting: Option<(u32, u64)>,
+    next_poll_seq: u64,
+    /// consecutive missed poll deadlines for the head node
+    poll_misses: u32,
     // accounting
     stream_done: Option<SimTime>,
     data_complete: Option<SimTime>,
@@ -280,6 +303,9 @@ fn on_receive(sim: &mut CloneSim, to: NodeAddr, msg: Msg) {
 
 fn on_node_receive(sim: &mut CloneSim, to: NodeAddr, msg: Msg) {
     let node = node_of(to);
+    if sim.world().targets[node as usize].dead {
+        return; // a dead receiver ignores everything
+    }
     match msg {
         Msg::Chunk(idx) => {
             sim.world_mut().targets[node as usize].have.mark(idx);
@@ -288,11 +314,11 @@ fn on_node_receive(sim: &mut CloneSim, to: NodeAddr, msg: Msg) {
             let nchunks = sim.world().nchunks;
             let target = &sim.world().targets[node as usize];
             if target.have.count() == nchunks {
-                send_ctrl(sim, to, MASTER, CTRL_BYTES, Msg::Complete, 0);
+                send_ctrl(sim, to, MASTER, CTRL_BYTES, Msg::Complete(node), 0);
             } else {
                 let missing = target.have.missing(NACK_LIST_CAP);
                 let size = CTRL_BYTES + 4 * missing.len() as u64;
-                send_ctrl(sim, to, MASTER, size, Msg::Nack(missing), 0);
+                send_ctrl(sim, to, MASTER, size, Msg::Nack(node, missing), 0);
             }
         }
         _ => {}
@@ -301,13 +327,18 @@ fn on_node_receive(sim: &mut CloneSim, to: NodeAddr, msg: Msg) {
 
 fn on_master_receive(sim: &mut CloneSim, msg: Msg) {
     match msg {
-        Msg::Complete => {
+        Msg::Complete(sender) => {
             let Some(&node) = sim.world().poll_queue.front() else {
                 return;
             };
+            if node != sender {
+                return; // stale response from an evicted receiver
+            }
             let now = sim.now();
             {
                 let w = sim.world_mut();
+                w.awaiting = None;
+                w.poll_misses = 0;
                 w.poll_queue.pop_front();
                 w.current_rounds = 0;
                 let t = &mut w.targets[node as usize];
@@ -322,10 +353,13 @@ fn on_master_receive(sim: &mut CloneSim, msg: Msg) {
             finish_node(sim, node);
             poll_next(sim);
         }
-        Msg::Nack(missing) => {
+        Msg::Nack(sender, missing) => {
             let Some(&node) = sim.world().poll_queue.front() else {
                 return;
             };
+            if node != sender {
+                return; // stale response from an evicted receiver
+            }
             let now = sim.now();
             let chunk = sim.world().cfg.chunk_bytes;
             // repair peer-to-peer with the master, then re-poll; FIFO
@@ -333,6 +367,8 @@ fn on_master_receive(sim: &mut CloneSim, msg: Msg) {
             let mut deliveries = Vec::new();
             {
                 let w = sim.world_mut();
+                w.awaiting = None;
+                w.poll_misses = 0;
                 w.repair_chunks += missing.len() as u64;
                 for idx in missing {
                     deliveries.extend(w.net.unicast(
@@ -402,10 +438,101 @@ fn poll_current(sim: &mut CloneSim) {
         }
     };
     if abandoned {
+        {
+            let w = sim.world_mut();
+            w.awaiting = None;
+            w.poll_misses = 0;
+        }
         poll_next(sim);
     } else {
-        send_ctrl(sim, MASTER, addr_of(node), CTRL_BYTES, Msg::Poll, 0);
+        send_poll(sim, node);
     }
+}
+
+/// Send a poll to `node` and arm its response deadline.
+fn send_poll(sim: &mut CloneSim, node: u32) {
+    let seq = {
+        let w = sim.world_mut();
+        w.next_poll_seq += 1;
+        w.awaiting = Some((node, w.next_poll_seq));
+        w.next_poll_seq
+    };
+    send_poll_attempt(sim, node, seq, 0);
+}
+
+fn send_poll_attempt(sim: &mut CloneSim, node: u32, seq: u64, attempt: u32) {
+    let now = sim.now();
+    let ds = sim
+        .world_mut()
+        .net
+        .unicast(now, MASTER, addr_of(node), CTRL_BYTES, Msg::Poll);
+    if ds.is_empty() {
+        if attempt < MAX_CTRL_RETRIES {
+            let rto = sim.world().cfg.ctrl_rto;
+            sim.schedule_in(rto, move |sim| {
+                send_poll_attempt(sim, node, seq, attempt + 1)
+            });
+        }
+    } else if attempt == 0 {
+        // Deadline measured from the poll's wire delivery, so queued
+        // repair traffic ahead of it cannot fake a dead receiver.
+        let deliver = ds.iter().map(|d| d.at).max().unwrap_or(now);
+        let timeout = sim.world().cfg.poll_timeout;
+        schedule_deliveries(sim, ds);
+        sim.schedule_at(deliver + timeout, move |sim| {
+            check_poll_deadline(sim, node, seq)
+        });
+        return;
+    } else {
+        schedule_deliveries(sim, ds);
+        return;
+    }
+    if attempt == 0 {
+        // first copy lost: arm the deadline anyway so a receiver behind
+        // a fully broken control channel is still evicted
+        let timeout = sim.world().cfg.poll_timeout;
+        sim.schedule_in(timeout, move |sim| check_poll_deadline(sim, node, seq));
+    }
+}
+
+/// The response deadline for poll `seq` to `node` expired.
+///
+/// Re-arms a few times (retransmits or a jammed wire may still produce
+/// the answer); after [`CloneConfig::max_poll_misses`] consecutive
+/// misses the receiver is declared dead and evicted so the session
+/// completes for the survivors.
+fn check_poll_deadline(sim: &mut CloneSim, node: u32, seq: u64) {
+    if sim.world().awaiting != Some((node, seq)) {
+        return; // answered (or the head moved on); stale deadline
+    }
+    let (evict, timeout) = {
+        let w = sim.world_mut();
+        w.poll_misses += 1;
+        (w.poll_misses >= w.cfg.max_poll_misses, w.cfg.poll_timeout)
+    };
+    if !evict {
+        sim.schedule_in(timeout, move |sim| check_poll_deadline(sim, node, seq));
+        return;
+    }
+    let now = sim.now();
+    {
+        let w = sim.world_mut();
+        w.awaiting = None;
+        w.poll_misses = 0;
+        w.current_rounds = 0;
+        let t = &mut w.targets[node as usize];
+        if !t.failed {
+            t.failed = true;
+            w.failed += 1;
+        }
+        w.poll_queue.pop_front();
+        // treat as "done" for termination purposes
+        w.completed += 1;
+        if w.completed == w.n_nodes {
+            w.data_complete = Some(now);
+        }
+    }
+    poll_next(sim);
 }
 
 /// Move to the next node in the round-robin acknowledge phase.
@@ -507,6 +634,9 @@ pub fn run_clone(
             _ => 0,
         },
         completed: 0,
+        awaiting: None,
+        next_poll_seq: 0,
+        poll_misses: 0,
         stream_done: None,
         data_complete: None,
         repair_chunks: 0,
@@ -516,6 +646,14 @@ pub fn run_clone(
         cfg,
     };
     let mut sim = Sim::new(world);
+
+    // fault injection: receivers scheduled to die mid-session
+    for (node, secs) in sim.world().cfg.dropouts.clone() {
+        assert!(node < n_nodes, "dropout names a node outside the group");
+        sim.schedule_in(SimDuration::from_secs_f64(secs), move |sim| {
+            sim.world_mut().targets[node as usize].dead = true;
+        });
+    }
 
     match sim.world().cfg.strategy {
         RepairStrategy::Unicast => {
@@ -840,5 +978,53 @@ mod tests {
             "small updates land in seconds: {}",
             r.makespan_secs
         );
+    }
+
+    #[test]
+    fn dead_receiver_is_evicted_and_survivors_complete() {
+        // node 3 dies one second in — before the 32 MiB / 6 MiBps
+        // stream finishes — and never answers another poll
+        let r = run_clone(
+            12,
+            10,
+            FAST_ETHERNET_BPS,
+            0.02,
+            CloneConfig {
+                dropouts: vec![(3, 1.0)],
+                ..small_cfg()
+            },
+        );
+        assert_eq!(r.failed_nodes, 1, "the dead receiver must be evicted");
+        assert!(r.per_node_operational[3].is_nan());
+        for (k, t) in r.per_node_operational.iter().enumerate() {
+            if k != 3 {
+                assert!(t.is_finite(), "survivor {k} must still complete");
+            }
+        }
+        assert!(
+            r.makespan_secs.is_finite() && r.data_complete_secs.is_finite(),
+            "the session must terminate despite the dropout"
+        );
+        // eviction costs at most max_poll_misses deadline windows
+        let cfg = small_cfg();
+        let bound = cfg.poll_timeout.as_secs_f64() * (cfg.max_poll_misses + 2) as f64 + 60.0;
+        assert!(
+            r.data_complete_secs < bound,
+            "eviction should be prompt: {} vs bound {bound}",
+            r.data_complete_secs
+        );
+    }
+
+    #[test]
+    fn dropout_eviction_is_deterministic() {
+        let cfg = || CloneConfig {
+            dropouts: vec![(0, 2.0), (7, 4.5)],
+            ..small_cfg()
+        };
+        let a = run_clone(13, 12, FAST_ETHERNET_BPS, 0.05, cfg());
+        let b = run_clone(13, 12, FAST_ETHERNET_BPS, 0.05, cfg());
+        // the dead nodes report NaN, so compare formatted (NaN == NaN)
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(a.failed_nodes, 2);
     }
 }

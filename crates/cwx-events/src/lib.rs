@@ -27,4 +27,4 @@ pub mod engine;
 pub mod notify;
 
 pub use engine::{Action, Comparison, EventDef, EventEngine, EventId, Firing, Threshold};
-pub use notify::{Email, Notifier};
+pub use notify::{Email, Notifier, StormPolicy};

@@ -66,6 +66,30 @@ struct Episode {
     first_value: f64,
     action: Action,
     mail_due: Option<SimTime>,
+    /// opened beyond the storm cap: coalesce instead of mailing
+    storm: bool,
+}
+
+/// Event-storm rate limiting: a flapping node re-opens the same episode
+/// over and over (fail → mail, clear, fail → mail, ...). Beyond
+/// `max_reopens` episode openings per event inside `window`, individual
+/// re-open mails stop and at most one coalesced "storm" email per event
+/// per window goes out instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StormPolicy {
+    /// Episode openings per event per window before coalescing starts.
+    pub max_reopens: u32,
+    /// Sliding window for the re-open count (and the storm-mail cap).
+    pub window: SimDuration,
+}
+
+impl Default for StormPolicy {
+    fn default() -> Self {
+        StormPolicy {
+            max_reopens: 3,
+            window: SimDuration::from_secs(3600),
+        }
+    }
 }
 
 /// The smart notifier.
@@ -76,6 +100,12 @@ pub struct Notifier {
     episodes: BTreeMap<EventId, Episode>,
     outbox: Vec<Email>,
     suppressed: u64,
+    storm_policy: StormPolicy,
+    /// per-event episode-opening times, pruned to the storm window
+    reopens: BTreeMap<EventId, Vec<SimTime>>,
+    /// when the last storm email per event went out
+    storm_mailed: BTreeMap<EventId, SimTime>,
+    storms: u64,
 }
 
 fn action_text(a: &Action) -> String {
@@ -98,6 +128,10 @@ impl Notifier {
             episodes: BTreeMap::new(),
             outbox: Vec::new(),
             suppressed: 0,
+            storm_policy: StormPolicy::default(),
+            reopens: BTreeMap::new(),
+            storm_mailed: BTreeMap::new(),
+            storms: 0,
         }
     }
 
@@ -107,19 +141,45 @@ impl Notifier {
         self.suppressed
     }
 
+    /// Override the event-storm rate limit.
+    pub fn set_storm_policy(&mut self, p: StormPolicy) {
+        self.storm_policy = p;
+    }
+
+    /// Episode openings that tripped the storm limiter.
+    pub fn storms(&self) -> u64 {
+        self.storms
+    }
+
     /// Record a firing. `def` must be the definition that fired.
     pub fn on_fire(&mut self, now: SimTime, def: &EventDef, firing: &Firing) {
         if !def.notify {
             return;
         }
         let window = self.window;
-        let ep = self.episodes.entry(def.id).or_insert_with(|| Episode {
-            nodes: BTreeSet::new(),
-            active_nodes: BTreeSet::new(),
-            first_value: firing.value,
-            action: firing.action.clone(),
-            mail_due: Some(now + window),
-        });
+        if !self.episodes.contains_key(&def.id) {
+            // a fresh episode opens: count it against the storm limit
+            let policy = self.storm_policy;
+            let times = self.reopens.entry(def.id).or_default();
+            times.retain(|&t0| t0 + policy.window > now);
+            times.push(now);
+            let storm = times.len() as u32 > policy.max_reopens;
+            if storm {
+                self.storms += 1;
+            }
+            self.episodes.insert(
+                def.id,
+                Episode {
+                    nodes: BTreeSet::new(),
+                    active_nodes: BTreeSet::new(),
+                    first_value: firing.value,
+                    action: firing.action.clone(),
+                    mail_due: Some(now + window),
+                    storm,
+                },
+            );
+        }
+        let ep = self.episodes.get_mut(&def.id).expect("just ensured");
         if ep.mail_due.is_none() {
             // mail already sent for this episode
             self.suppressed += 1;
@@ -156,6 +216,55 @@ impl Notifier {
                 .unwrap_or_else(|| format!("event-{}", id.0));
             let nodes: Vec<u32> = ep.nodes.iter().copied().collect();
             let action = action_text(&ep.action);
+            if ep.storm {
+                // under storm: at most one coalesced mail per window
+                let recently = self
+                    .storm_mailed
+                    .get(&id)
+                    .is_some_and(|&t0| t0 + self.storm_policy.window > now);
+                if recently {
+                    self.suppressed += 1;
+                    ep.mail_due = None;
+                    if ep.active_nodes.is_empty() {
+                        finished.push(id);
+                    }
+                    continue;
+                }
+                self.storm_mailed.insert(id, now);
+                let count = self.reopens.get(&id).map(|v| v.len()).unwrap_or(0);
+                let subject = format!(
+                    "[{}] storm: {} re-fired {} times — further mail coalesced",
+                    self.cluster, name, count
+                );
+                let body = format!(
+                    "Cluster: {}\nEvent: {} (STORM)\nRe-opened {} times within the storm \
+                     window; individual notifications are coalesced until the event \
+                     settles.\nLatest nodes: {}\nAction taken: {}\n",
+                    self.cluster,
+                    name,
+                    count,
+                    nodes
+                        .iter()
+                        .map(|n| format!("node{n:03}"))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    action
+                );
+                sent.push(Email {
+                    at: now,
+                    cluster: self.cluster.clone(),
+                    event: name,
+                    nodes,
+                    action,
+                    subject,
+                    body,
+                });
+                ep.mail_due = None;
+                if ep.active_nodes.is_empty() {
+                    finished.push(id);
+                }
+                continue;
+            }
             let subject = format!("[{}] {} on {} node(s)", self.cluster, name, nodes.len());
             let node_list = nodes
                 .iter()
@@ -320,6 +429,60 @@ mod tests {
         n.on_fire(t(0), &d2, &f2);
         let mails = n.flush(t(2), &[d1, d2]);
         assert_eq!(mails.len(), 2);
+    }
+
+    #[test]
+    fn reopen_storm_is_coalesced_into_one_storm_mail() {
+        let d = def();
+        let mut n = Notifier::new("c", SimDuration::from_secs(5));
+        n.set_storm_policy(StormPolicy {
+            max_reopens: 2,
+            window: SimDuration::from_secs(1000),
+        });
+        // a flapping node re-opens the episode six times
+        let mut now = t(0);
+        for _ in 0..6 {
+            n.on_fire(now, &d, &firing(1, now));
+            let _ = n.flush(now + SimDuration::from_secs(6), std::slice::from_ref(&d));
+            n.on_clear(&Clearing {
+                event: EventId(1),
+                node: 1,
+            });
+            now += SimDuration::from_secs(30);
+        }
+        // opens 1 and 2 mail normally; open 3 trips the storm (one
+        // coalesced mail); opens 4-6 are suppressed outright
+        assert_eq!(n.outbox().len(), 3, "{:#?}", n.outbox());
+        assert!(n.outbox()[2].subject.contains("storm"));
+        assert_eq!(n.storms(), 4, "opens 3-6 all counted as storm opens");
+        assert!(n.suppressed() >= 3, "storm re-opens suppressed");
+    }
+
+    #[test]
+    fn storm_limiter_resets_after_a_quiet_window() {
+        let d = def();
+        let mut n = Notifier::new("c", SimDuration::from_secs(5));
+        n.set_storm_policy(StormPolicy {
+            max_reopens: 1,
+            window: SimDuration::from_secs(100),
+        });
+        let fire_cycle = |n: &mut Notifier, at: SimTime| {
+            n.on_fire(at, &d, &firing(1, at));
+            let mails = n.flush(at + SimDuration::from_secs(6), std::slice::from_ref(&d));
+            n.on_clear(&Clearing {
+                event: EventId(1),
+                node: 1,
+            });
+            mails
+        };
+        assert_eq!(fire_cycle(&mut n, t(0)).len(), 1, "first open mails");
+        let storm = fire_cycle(&mut n, t(20));
+        assert_eq!(storm.len(), 1);
+        assert!(storm[0].subject.contains("storm"), "second open coalesces");
+        // long quiet spell: the window drains and normal mail resumes
+        let later = fire_cycle(&mut n, t(500));
+        assert_eq!(later.len(), 1);
+        assert!(!later[0].subject.contains("storm"));
     }
 
     #[test]

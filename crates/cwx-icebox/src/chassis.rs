@@ -76,12 +76,26 @@ pub enum PortEffect {
     },
 }
 
+/// A fault on a port's temperature probe (chaos-injectable: sensors on
+/// real chassis stick and drift long before they die outright).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbeFault {
+    /// The sensor repeats its last reading forever.
+    Stuck,
+    /// The sensor misreads temperature by a constant offset, °C.
+    Skewed {
+        /// Added to every recorded temperature.
+        delta_c: f64,
+    },
+}
+
 #[derive(Debug, Clone)]
 struct Port {
     relay_on: bool,
     /// time the outlet actually energizes (sequencing delay)
     energize_at: Option<SimTime>,
     probe: ProbeReading,
+    probe_fault: Option<ProbeFault>,
     serial: ByteRing,
 }
 
@@ -91,6 +105,7 @@ impl Port {
             relay_on: false,
             energize_at: None,
             probe: ProbeReading::default(),
+            probe_fault: None,
             serial: ByteRing::new(SERIAL_LOG_CAPACITY),
         }
     }
@@ -239,10 +254,74 @@ impl IceBox {
     }
 
     /// Record a probe sample (integration layer, each sampling tick).
+    /// An injected [`ProbeFault`] distorts what the chassis retains: a
+    /// stuck sensor ignores the new sample, a skewed one shifts it.
     pub fn record_probe(&mut self, port: PortId, reading: ProbeReading) {
         if let Some(p) = self.port_mut(port) {
-            p.probe = reading;
+            match p.probe_fault {
+                Some(ProbeFault::Stuck) => {}
+                Some(ProbeFault::Skewed { delta_c }) => {
+                    p.probe = ProbeReading {
+                        temp_c: reading.temp_c + delta_c,
+                        ..reading
+                    };
+                }
+                None => p.probe = reading,
+            }
         }
+    }
+
+    /// Inject (or with `None`, repair) a temperature-probe fault.
+    pub fn set_probe_fault(&mut self, port: PortId, fault: Option<ProbeFault>) {
+        if let Some(p) = self.port_mut(port) {
+            p.probe_fault = fault;
+        }
+    }
+
+    /// The active probe fault on a port, if any.
+    pub fn probe_fault(&self, port: PortId) -> Option<ProbeFault> {
+        self.port(port).and_then(|p| p.probe_fault)
+    }
+
+    /// Crash and restart the chassis controller. The relay states are
+    /// latched in hardware and survive, but the controller's volatile
+    /// sequencing queue does not: outlets that were commanded on but had
+    /// not energized yet lose their pending energization (the relay is
+    /// considered closed by the restarted firmware, yet the staggered
+    /// close never happens), and the per-inlet sequencing slots reset to
+    /// `now`. Returns the ports whose pending energization was lost so
+    /// the integration layer can cancel the scheduled relay closes.
+    pub fn controller_restart(&mut self, now: SimTime) -> Vec<PortId> {
+        let mut lost = Vec::new();
+        for (i, p) in self.ports.iter_mut().enumerate() {
+            if p.energize_at.take().is_some() {
+                lost.push(PortId(i as u8));
+            }
+        }
+        self.inlet_next_slot = [now; 2];
+        for p in lost.iter() {
+            self.feed_console(
+                *p,
+                b"\n[icebox] controller restart: pending energize lost\n",
+            );
+        }
+        lost
+    }
+
+    /// Spray deterministic garbage bytes onto a port's serial capture —
+    /// what a wedged controller UART does to the console log.
+    pub fn feed_garbage(&mut self, port: PortId, seed: u64, len: usize) {
+        let mut x = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut buf = Vec::with_capacity(len);
+        for _ in 0..len {
+            // splitmix64 step; take the low byte
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            buf.push((z ^ (z >> 31)) as u8);
+        }
+        self.feed_console(port, &buf);
     }
 
     /// Append serial console bytes from the node on `port`.
@@ -483,6 +562,70 @@ mod tests {
         assert!(ib.console_overflow(p) > 0);
         ib.clear_console(p);
         assert!(ib.console_log(p).is_empty());
+    }
+
+    #[test]
+    fn controller_restart_keeps_relays_loses_pending_sequencing() {
+        let mut ib = IceBox::new();
+        let now = SimTime::ZERO;
+        // port 0 energizes immediately; ports 1 and 2 queue behind it
+        ib.power_on(now, PortId(0));
+        ib.mark_energized(PortId(0));
+        ib.power_on(now, PortId(1));
+        ib.power_on(now, PortId(2));
+        assert!(ib.pending_energize(PortId(1)).is_some());
+        let crash_at = now + SimDuration::from_millis(100);
+        let lost = ib.controller_restart(crash_at);
+        assert_eq!(lost, vec![PortId(1), PortId(2)]);
+        // relay latch survives the restart...
+        assert!(ib.relay_on(PortId(0)));
+        assert!(ib.relay_on(PortId(1)));
+        // ...but the sequencing queue does not
+        assert!(ib.pending_energize(PortId(1)).is_none());
+        assert!(ib.console_log(PortId(1)).contains("controller restart"));
+        // sequencing restarts fresh: a new power-on energizes at `now`
+        let PortEffect::EnergizeAt { at, .. } = ib.power_on(crash_at, PortId(3)).unwrap() else {
+            panic!()
+        };
+        assert_eq!(at, crash_at);
+    }
+
+    #[test]
+    fn stuck_and_skewed_probes_distort_recordings() {
+        let mut ib = IceBox::new();
+        let p = PortId(4);
+        let r = |t: f64| ProbeReading {
+            temp_c: t,
+            watts: 100.0,
+            fan_rpm: 6000.0,
+        };
+        ib.record_probe(p, r(40.0));
+        ib.set_probe_fault(p, Some(ProbeFault::Stuck));
+        ib.record_probe(p, r(80.0));
+        assert_eq!(ib.probe(p).unwrap().temp_c, 40.0, "stuck sensor froze");
+        ib.set_probe_fault(p, Some(ProbeFault::Skewed { delta_c: -15.0 }));
+        ib.record_probe(p, r(80.0));
+        assert_eq!(ib.probe(p).unwrap().temp_c, 65.0, "skewed sensor misreads");
+        ib.set_probe_fault(p, None);
+        ib.record_probe(p, r(80.0));
+        assert_eq!(ib.probe(p).unwrap().temp_c, 80.0, "repaired sensor tracks");
+    }
+
+    #[test]
+    fn garbage_bytes_land_in_the_console_capture() {
+        let mut ib = IceBox::new();
+        let p = PortId(6);
+        ib.feed_console(p, b"kernel: ok\n");
+        ib.feed_garbage(p, 7, 256);
+        assert!(ib.console_overflow(p) == 0);
+        let log = ib.console_log(p);
+        assert!(log.contains("kernel: ok"), "real output survives");
+        // identical seeds produce identical garbage (determinism)
+        let mut ib2 = IceBox::new();
+        ib2.feed_garbage(p, 7, 256);
+        let mut ib3 = IceBox::new();
+        ib3.feed_garbage(p, 7, 256);
+        assert_eq!(ib2.console_log(p), ib3.console_log(p));
     }
 
     #[test]

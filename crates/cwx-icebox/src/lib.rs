@@ -29,7 +29,7 @@ pub mod session;
 pub mod snmp;
 
 pub use chassis::{
-    CommandError, IceBox, NodeCommand, PortEffect, PortId, ProbeReading, NODE_PORTS,
+    CommandError, IceBox, NodeCommand, PortEffect, PortId, ProbeFault, ProbeReading, NODE_PORTS,
     SERIAL_LOG_CAPACITY,
 };
 pub use protocol::{

@@ -1,0 +1,84 @@
+//! Agent-process fault model for chaos campaigns.
+//!
+//! The monitoring agent is a user-space daemon; in a real cluster it
+//! crashes, wedges, and falls behind independently of the node it runs
+//! on. The fault state lives here (next to the agent it afflicts) and is
+//! consulted by the integration layer on every agent tick: a faulted
+//! agent's reports are dropped, delayed or duplicated *before* they
+//! reach the wire, exactly like a sick daemon — the node's OS and
+//! workload keep running underneath.
+
+use cwx_util::time::{SimDuration, SimTime};
+
+/// The ways an agent process misbehaves without its node going down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AgentFault {
+    /// The daemon is dead: no reports until the agent restarts (a node
+    /// reboot restarts it, as does an explicit restore).
+    Crashed,
+    /// The daemon is wedged (stuck syscall, livelock): no reports while
+    /// hung; if `until` is set it un-wedges by itself at that time.
+    Hung {
+        /// Self-recovery time; `None` hangs until restored.
+        until: Option<SimTime>,
+    },
+    /// Reports leave the node late by `extra` (paging, CPU starvation).
+    DelayedReports {
+        /// Added to every report's delivery latency.
+        extra: SimDuration,
+    },
+    /// Every report is transmitted twice (retry bug in the daemon's
+    /// sender) — the server must tolerate duplicates.
+    DuplicatedReports,
+}
+
+impl AgentFault {
+    /// Whether the agent produces any report at `now` under this fault.
+    pub fn silences(&self, now: SimTime) -> bool {
+        match self {
+            AgentFault::Crashed => true,
+            AgentFault::Hung { until } => until.map(|t| now < t).unwrap_or(true),
+            _ => false,
+        }
+    }
+
+    /// Whether the fault has expired on its own by `now` (a timed hang
+    /// that un-wedged).
+    pub fn expired(&self, now: SimTime) -> bool {
+        matches!(self, AgentFault::Hung { until: Some(t) } if now >= *t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn crash_and_indefinite_hang_silence_forever() {
+        assert!(AgentFault::Crashed.silences(t(1_000_000)));
+        assert!(AgentFault::Hung { until: None }.silences(t(1_000_000)));
+        assert!(!AgentFault::Crashed.expired(t(1_000_000)));
+    }
+
+    #[test]
+    fn timed_hang_unwedges() {
+        let f = AgentFault::Hung { until: Some(t(60)) };
+        assert!(f.silences(t(59)));
+        assert!(!f.silences(t(60)));
+        assert!(f.expired(t(60)));
+        assert!(!f.expired(t(59)));
+    }
+
+    #[test]
+    fn delay_and_duplicate_do_not_silence() {
+        let d = AgentFault::DelayedReports {
+            extra: SimDuration::from_secs(3),
+        };
+        assert!(!d.silences(t(0)));
+        assert!(!AgentFault::DuplicatedReports.silences(t(0)));
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod agent;
 pub mod consolidate;
+pub mod fault;
 pub mod history;
 pub mod monitor;
 pub mod plugins;
@@ -35,5 +36,6 @@ pub mod snapshot;
 pub mod transmit;
 
 pub use agent::{Agent, AgentConfig, AgentStats};
+pub use fault::AgentFault;
 pub use monitor::{MonitorClass, MonitorDef, MonitorKey, Registry, Value};
 pub use snapshot::{Sensors, Snapshot};

@@ -8,24 +8,31 @@
 //! encode-into-buffer work bought: losing either shows up here as a
 //! counted alloc, not as a silent throughput regression.
 //!
-//! Kept as a single `#[test]` so no sibling test thread can allocate
-//! between the counter snapshots.
+//! The counter is thread-local: the libtest harness's main thread
+//! allocates on its own schedule (output buffering, timing), and a
+//! process-global counter races those allocations into the measurement
+//! window, making the test flaky. Per-thread counting pins the hot
+//! path without seeing the harness. The `const`-initialised `Cell`
+//! registers no TLS destructor, so the allocator may touch it at any
+//! point in a thread's life.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use cwx_monitor::consolidate::Consolidator;
 use cwx_monitor::monitor::{MonitorClass, MonitorKey, Value};
 use cwx_monitor::transmit::{Report, WireEncoder};
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
 
 struct CountingAlloc;
 
 // SAFETY: defers entirely to `System`; the counter is side-effect only.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOCS.with(|c| c.set(c.get() + 1));
         System.alloc(layout)
     }
 
@@ -34,7 +41,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOCS.with(|c| c.set(c.get() + 1));
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -43,7 +50,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 fn allocs() -> u64 {
-    ALLOCS.load(Ordering::Relaxed)
+    ALLOCS.with(|c| c.get())
 }
 
 #[test]

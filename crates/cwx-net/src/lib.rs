@@ -62,6 +62,7 @@ pub struct Segment {
     pub latency: SimDuration,
     /// Independent per-receiver loss probability in `[0,1]`.
     pub loss: f64,
+    partitioned: bool,
     busy_until: SimTime,
     wire_bytes: u64,
     packets: u64,
@@ -74,10 +75,16 @@ impl Segment {
             bandwidth_bps,
             latency,
             loss: loss.clamp(0.0, 1.0),
+            partitioned: false,
             busy_until: SimTime::ZERO,
             wire_bytes: 0,
             packets: 0,
         }
+    }
+
+    /// Whether the segment is currently partitioned from the network.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned
     }
 
     /// Total bytes (incl. framing) this segment has carried.
@@ -211,6 +218,36 @@ impl<M: Clone> Network<M> {
         &self.segments[id.0 as usize]
     }
 
+    /// Number of segments in the network.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Change a segment's per-receiver loss probability at runtime
+    /// (degraded cabling, a dying switch port). Clamped to `[0,1]`.
+    pub fn set_loss(&mut self, id: SegmentId, loss: f64) {
+        self.segments[id.0 as usize].loss = loss.clamp(0.0, 1.0);
+    }
+
+    /// Change a segment's bandwidth at runtime (auto-negotiation
+    /// fallback, half-duplex collapse). Panics on zero.
+    pub fn set_bandwidth(&mut self, id: SegmentId, bandwidth_bps: u64) {
+        assert!(bandwidth_bps > 0, "segment bandwidth must be nonzero");
+        self.segments[id.0 as usize].bandwidth_bps = bandwidth_bps;
+    }
+
+    /// Partition a segment: until [`Network::heal`], every packet that
+    /// would cross it is dropped (uplink unplugged / switch dead).
+    /// Transmissions never start, so nothing is charged to the wire.
+    pub fn partition(&mut self, id: SegmentId) {
+        self.segments[id.0 as usize].partitioned = true;
+    }
+
+    /// Heal a partitioned segment.
+    pub fn heal(&mut self, id: SegmentId) {
+        self.segments[id.0 as usize].partitioned = false;
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> NetStats {
         self.stats
@@ -260,6 +297,14 @@ impl<M: Clone> Network<M> {
             return Vec::new();
         };
         self.stats.sent += 1;
+        if self
+            .route(sa, sb)
+            .iter()
+            .any(|seg| self.segments[seg.0 as usize].partitioned)
+        {
+            self.stats.lost += 1;
+            return Vec::new();
+        }
         let mut t = now;
         let mut ok = true;
         for seg in self.route(sa, sb) {
@@ -306,12 +351,26 @@ impl<M: Clone> Network<M> {
             }
         }
 
+        if self.segments[src_seg.0 as usize].partitioned {
+            // the sender's own segment is cut off: nothing leaves the port
+            self.stats.lost += by_seg.values().map(|v| v.len() as u64).sum::<u64>();
+            return Vec::new();
+        }
+
         // Transmit once on the source segment; remote segments receive a
         // forwarded copy (source tx -> backbone tx -> leaf tx).
         let src_done = self.segments[src_seg.0 as usize].transmit(now, payload);
 
         let mut out = Vec::new();
         for (seg, nodes) in by_seg {
+            if self
+                .route(src_seg, seg)
+                .iter()
+                .any(|s| self.segments[s.0 as usize].partitioned)
+            {
+                self.stats.lost += nodes.len() as u64;
+                continue;
+            }
             // arrival time of the stream on this segment
             let arrival = if seg == src_seg {
                 src_done + self.segments[seg.0 as usize].latency
@@ -495,6 +554,75 @@ mod tests {
             .multicast(SimTime::ZERO, NodeAddr(0), GroupId(5), 10, 0u32)
             .is_empty());
         assert_eq!(net.stats().sent, 0);
+    }
+
+    #[test]
+    fn partition_drops_and_heal_restores() {
+        let mut net = lossless(3);
+        let g = GroupId(0);
+        net.join(g, NodeAddr(1));
+        net.join(g, NodeAddr(2));
+        net.partition(SegmentId(0));
+        assert!(net.segment(SegmentId(0)).is_partitioned());
+        assert!(net
+            .unicast(SimTime::ZERO, NodeAddr(0), NodeAddr(1), 100, 0u32)
+            .is_empty());
+        assert!(net
+            .multicast(SimTime::ZERO, NodeAddr(0), g, 100, 0u32)
+            .is_empty());
+        // partitioned traffic never occupied the wire
+        assert_eq!(net.segment(SegmentId(0)).packets(), 0);
+        let s = net.stats();
+        assert_eq!(s.sent, 2);
+        assert_eq!(s.lost, 3, "1 unicast + 2 multicast receivers lost");
+        net.heal(SegmentId(0));
+        assert_eq!(
+            net.unicast(SimTime::ZERO, NodeAddr(0), NodeAddr(1), 100, 0u32)
+                .len(),
+            1
+        );
+        assert_eq!(
+            net.multicast(SimTime::ZERO, NodeAddr(0), g, 100, 0u32)
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn partitioned_leaf_segment_loses_only_its_receivers() {
+        let mut net: Network<u32> = Network::new(11);
+        let a = net.add_segment(FAST_ETHERNET_BPS, SimDuration::from_micros(50), 0.0);
+        let b = net.add_segment(FAST_ETHERNET_BPS, SimDuration::from_micros(50), 0.0);
+        net.attach(NodeAddr(0), a);
+        net.attach(NodeAddr(1), a);
+        net.attach(NodeAddr(2), b);
+        let g = GroupId(0);
+        net.join(g, NodeAddr(1));
+        net.join(g, NodeAddr(2));
+        net.partition(b);
+        let ds = net.multicast(SimTime::ZERO, NodeAddr(0), g, 100, 0u32);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].to, NodeAddr(1));
+        assert!(net
+            .unicast(SimTime::ZERO, NodeAddr(0), NodeAddr(2), 100, 0u32)
+            .is_empty());
+    }
+
+    #[test]
+    fn runtime_loss_and_bandwidth_mutation_take_effect() {
+        let mut net = lossless(2);
+        net.set_loss(SegmentId(0), 1.0);
+        assert!(net
+            .unicast(SimTime::ZERO, NodeAddr(0), NodeAddr(1), 100, 0u32)
+            .is_empty());
+        net.set_loss(SegmentId(0), 0.0);
+        let before = net.unicast(SimTime::ZERO, NodeAddr(0), NodeAddr(1), 100_000, 0u32);
+        net.set_bandwidth(SegmentId(0), FAST_ETHERNET_BPS / 10);
+        let t0 = net.segment(SegmentId(0)).busy_until;
+        let after = net.unicast(t0, NodeAddr(0), NodeAddr(1), 100_000, 0u32);
+        let fast = before[0].at - SimTime::ZERO;
+        let slow = after[0].at - t0;
+        assert!(slow > fast * 9, "tenth the bandwidth, ~10x the tx time");
     }
 
     #[test]

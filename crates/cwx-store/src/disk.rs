@@ -36,7 +36,7 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cwx_util::time::{SimDuration, SimTime};
@@ -500,6 +500,17 @@ pub struct DiskStore {
     cache: Arc<BlockCache>,
     total: AtomicU64,
     recovery: RecoveryReport,
+    /// The data directory stopped taking writes (disk full, yanked
+    /// mount, …). Ingest keeps running volatile-only: samples still
+    /// land in the memtables and stay readable, they just won't survive
+    /// a restart. Monitoring visibility beats durability here — a blind
+    /// management server is worse than a forgetful one.
+    degraded: AtomicBool,
+    last_error: Mutex<Option<String>>,
+    /// Samples accepted without durability since entering degraded mode.
+    volatile_samples: AtomicU64,
+    /// Test hook: force the next WAL/flush write to fail.
+    fail_inject: AtomicBool,
 }
 
 impl DiskStore {
@@ -559,6 +570,10 @@ impl DiskStore {
             cache,
             total: AtomicU64::new(total),
             recovery,
+            degraded: AtomicBool::new(false),
+            last_error: Mutex::new(None),
+            volatile_samples: AtomicU64::new(0),
+            fail_inject: AtomicBool::new(false),
         })
     }
 
@@ -591,6 +606,47 @@ impl DiskStore {
         (node / self.cfg.nodes_per_group) as usize % self.shards.len()
     }
 
+    /// Has the store fallen back to volatile-only ingest?
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// The write error that pushed the store into degraded mode.
+    pub fn last_error(&self) -> Option<String> {
+        self.last_error.lock().clone()
+    }
+
+    /// Samples accepted without durability since degrading.
+    pub fn volatile_samples(&self) -> u64 {
+        self.volatile_samples.load(Ordering::Relaxed)
+    }
+
+    /// Test hook: make the next durable write fail as if the disk died.
+    #[doc(hidden)]
+    pub fn inject_write_failure(&self) {
+        self.fail_inject.store(true, Ordering::Relaxed);
+    }
+
+    fn degrade(&self, err: StoreError) {
+        self.degraded.store(true, Ordering::Relaxed);
+        let mut last = self.last_error.lock();
+        if last.is_none() {
+            *last = Some(err.to_string());
+        }
+    }
+
+    /// Returns `false` (and records the synthetic error) when the test
+    /// hook armed a failure; clears the hook.
+    fn write_allowed(&self) -> bool {
+        if self.fail_inject.swap(false, Ordering::Relaxed) {
+            self.degrade(StoreError::Io(std::io::Error::other(
+                "injected write failure",
+            )));
+            return false;
+        }
+        !self.degraded()
+    }
+
     /// Force-flush every shard's memtable into segments (clean
     /// shutdown; a crash instead replays the WAL).
     pub fn flush_all(&self) -> Result<(), StoreError> {
@@ -615,26 +671,41 @@ impl DiskStore {
 
 impl Store for DiskStore {
     fn append(&self, node: u32, monitor: &str, time: SimTime, value: f64) {
+        let durable = self.write_allowed();
         let mut shard = self.shards[self.shard_of(node)].lock();
-        // storage failures surface as panics: the monitoring server has
-        // no meaningful degraded mode with a dead data directory
-        let id = shard
-            .series_id(node, monitor)
-            .expect("cwx-store: WAL append failed");
+        // A write error flips the store into degraded (volatile-only)
+        // ingest rather than panicking: the sample still reaches the
+        // memtable so charts and events keep seeing fresh data.
+        let id = if durable {
+            match shard.series_id(node, monitor) {
+                Ok(id) => id,
+                Err(e) => {
+                    self.degrade(e);
+                    shard.register(node, monitor)
+                }
+            }
+        } else {
+            shard.register(node, monitor)
+        };
         let sample = Sample { time, value };
-        shard
-            .wal
-            .append_samples(id, &[sample])
-            .expect("cwx-store: WAL append failed");
+        if self.degraded() {
+            self.volatile_samples.fetch_add(1, Ordering::Relaxed);
+        } else if let Err(e) = shard.wal.append_samples(id, &[sample]) {
+            self.degrade(e);
+            self.volatile_samples.fetch_add(1, Ordering::Relaxed);
+        }
         shard.mem[id as usize].push(sample);
         shard.mem_samples += 1;
         self.total.fetch_add(1, Ordering::Relaxed);
-        if shard.mem_samples >= shard.flush_threshold {
-            shard.flush().expect("cwx-store: segment flush failed");
+        if !self.degraded() && shard.mem_samples >= shard.flush_threshold {
+            if let Err(e) = shard.flush() {
+                self.degrade(e);
+            }
         }
     }
 
     fn append_batch(&self, batch: &[BatchSample<'_>]) {
+        let durable = self.write_allowed();
         // group by shard so each lock (and each WAL write) is taken once
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (i, s) in batch.iter().enumerate() {
@@ -648,21 +719,34 @@ impl Store for DiskStore {
             let mut groups: HashMap<u32, Vec<Sample>> = HashMap::new();
             for &i in idxs {
                 let s = &batch[i];
-                let id = shard
-                    .series_id(s.node, s.monitor)
-                    .expect("cwx-store: WAL append failed");
+                let id = if durable && !self.degraded() {
+                    match shard.series_id(s.node, s.monitor) {
+                        Ok(id) => id,
+                        Err(e) => {
+                            self.degrade(e);
+                            shard.register(s.node, s.monitor)
+                        }
+                    }
+                } else {
+                    shard.register(s.node, s.monitor)
+                };
                 groups.entry(id).or_default().push(Sample {
                     time: s.time,
                     value: s.value,
                 });
             }
-            let frames: Vec<(u32, &[Sample])> =
-                groups.iter().map(|(&id, v)| (id, v.as_slice())).collect();
-            shard
-                .wal
-                .append_samples_multi(&frames)
-                .expect("cwx-store: WAL append failed");
-            drop(frames);
+            if self.degraded() {
+                let n: u64 = groups.values().map(|v| v.len() as u64).sum();
+                self.volatile_samples.fetch_add(n, Ordering::Relaxed);
+            } else {
+                let frames: Vec<(u32, &[Sample])> =
+                    groups.iter().map(|(&id, v)| (id, v.as_slice())).collect();
+                if let Err(e) = shard.wal.append_samples_multi(&frames) {
+                    self.degrade(e);
+                    let n: u64 = frames.iter().map(|(_, v)| v.len() as u64).sum();
+                    self.volatile_samples.fetch_add(n, Ordering::Relaxed);
+                }
+            }
             let mut appended = 0u64;
             for (id, samples) in groups {
                 appended += samples.len() as u64;
@@ -670,8 +754,10 @@ impl Store for DiskStore {
                 shard.mem[id as usize].extend(samples);
             }
             self.total.fetch_add(appended, Ordering::Relaxed);
-            if shard.mem_samples >= shard.flush_threshold {
-                shard.flush().expect("cwx-store: segment flush failed");
+            if !self.degraded() && shard.mem_samples >= shard.flush_threshold {
+                if let Err(e) = shard.flush() {
+                    self.degrade(e);
+                }
             }
         }
     }
@@ -1118,6 +1204,60 @@ mod tests {
                 500
             );
         }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn failed_writer_degrades_to_volatile_ingest() {
+        let dir = tmp("degrade");
+        let store = DiskStore::open(&dir, small_cfg()).unwrap();
+        store.append(0, "cpu.util", t(0), 1.0);
+        assert!(!store.degraded());
+
+        // the disk dies mid-campaign
+        store.inject_write_failure();
+        store.append(0, "cpu.util", t(1), 2.0);
+        assert!(store.degraded(), "a failed WAL write must degrade");
+        assert!(store.last_error().unwrap().contains("injected"));
+
+        // ingest keeps running: new samples (single and batched, new
+        // series included) stay readable from the memtable
+        store.append(0, "cpu.util", t(2), 3.0);
+        store.append_batch(&[
+            BatchSample {
+                node: 1,
+                monitor: "load.one",
+                time: t(2),
+                value: 0.5,
+            },
+            BatchSample {
+                node: 0,
+                monitor: "cpu.util",
+                time: t(3),
+                value: 4.0,
+            },
+        ]);
+        assert_eq!(store.latest(0, "cpu.util").unwrap().value, 4.0);
+        assert_eq!(store.latest(1, "load.one").unwrap().value, 0.5);
+        assert_eq!(store.range(0, "cpu.util", t(0), t(3)).len(), 4);
+        assert_eq!(store.volatile_samples(), 4);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn degraded_samples_do_not_survive_a_restart() {
+        let dir = tmp("degrade-restart");
+        {
+            let store = DiskStore::open(&dir, small_cfg()).unwrap();
+            store.append(3, "m", t(0), 1.0);
+            store.inject_write_failure();
+            store.append(3, "m", t(1), 2.0); // volatile only
+        }
+        let store = DiskStore::open(&dir, small_cfg()).unwrap();
+        assert!(!store.degraded(), "a reopen starts clean");
+        let r = store.range(3, "m", SimTime::ZERO, SimTime::MAX);
+        assert_eq!(r.len(), 1, "only the durable sample came back");
+        assert_eq!(r[0].value, 1.0);
         let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -5,6 +5,7 @@
 //! cwx clone    --nodes 100 --image-mb 650 [--loss 0.005] [--unicast]
 //! cwx lite     [--ticks 5]
 //! cwx history  --store DIR [--node N --monitor KEY] [--res raw|10s|5m] [--chart]
+//! cwx chaos    list | run <scenario> [--seed X] [--toml FILE] [--verbose]
 //! cwx help
 //! ```
 
@@ -18,7 +19,7 @@ use cwx_util::time::{SimDuration, SimTime};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  cwx simulate --nodes N --secs S [--seed X] [--store DIR] [--fan-fail NODE@SECS]... [--dump-history FILE --dump-node N]\n  cwx clone --nodes N --image-mb M [--loss P] [--unicast]\n  cwx lite [--ticks N]\n  cwx history --store DIR [--node N --monitor KEY] [--from S] [--to S] [--res raw|10s|5m] [--chart]\n  cwx help"
+        "usage:\n  cwx simulate --nodes N --secs S [--seed X] [--store DIR] [--fan-fail NODE@SECS]... [--dump-history FILE --dump-node N]\n  cwx clone --nodes N --image-mb M [--loss P] [--unicast]\n  cwx lite [--ticks N]\n  cwx history --store DIR [--node N --monitor KEY] [--from S] [--to S] [--res raw|10s|5m] [--chart]\n  cwx chaos list\n  cwx chaos run SCENARIO [--seed X] [--verbose]\n  cwx chaos run --toml FILE [--seed X] [--verbose]\n  cwx help"
     );
     std::process::exit(2);
 }
@@ -340,11 +341,104 @@ fn cmd_history(args: &Args) {
     }
 }
 
+fn cmd_chaos(rest: &[String]) {
+    use cwx_chaos::{run_campaign, scenario, Campaign, SCENARIO_NAMES};
+
+    match rest.split_first().map(|(s, t)| (s.as_str(), t)) {
+        Some(("list", _)) => {
+            println!(
+                "{:<18} {:>6} {:>8} {:>8} {:>7}",
+                "scenario", "nodes", "active_s", "settle_s", "faults"
+            );
+            for name in SCENARIO_NAMES.iter().copied().chain(["soak"]) {
+                let c = scenario(name).expect("canned scenario");
+                println!(
+                    "{:<18} {:>6} {:>8.0} {:>8.0} {:>7}",
+                    c.name,
+                    c.n_nodes,
+                    c.duration_secs,
+                    c.settle_secs,
+                    c.events.len()
+                );
+            }
+        }
+        Some(("run", tail)) => {
+            // peel an optional bare scenario name before flag parsing
+            // (the flag parser rejects bare words)
+            let (name, flag_args) = match tail.split_first() {
+                Some((first, more)) if !first.starts_with("--") => (Some(first.as_str()), more),
+                _ => (None, tail),
+            };
+            let args = Args::parse(flag_args);
+            let mut campaign: Campaign = match (name, args.pairs.iter().find(|(k, _)| k == "toml"))
+            {
+                (Some(n), None) => scenario(n).unwrap_or_else(|| {
+                    eprintln!("unknown scenario: {n} (try `cwx chaos list`)");
+                    std::process::exit(2);
+                }),
+                (None, Some((_, path))) => {
+                    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                        eprintln!("could not read {path}: {e}");
+                        std::process::exit(1);
+                    });
+                    Campaign::from_toml(&text).unwrap_or_else(|e| {
+                        eprintln!("bad campaign file {path}: {e}");
+                        std::process::exit(1);
+                    })
+                }
+                _ => {
+                    eprintln!("`cwx chaos run` wants a scenario name or --toml FILE");
+                    usage();
+                }
+            };
+            if let Some((_, seed)) = args.pairs.iter().rev().find(|(k, _)| k == "seed") {
+                campaign.seed = seed.parse().unwrap_or_else(|_| usage());
+            }
+            println!(
+                "campaign {} | seed {} | {} nodes | {} faults over {:.0}s (+{:.0}s settle)",
+                campaign.name,
+                campaign.seed,
+                campaign.n_nodes,
+                campaign.events.len(),
+                campaign.duration_secs,
+                campaign.settle_secs
+            );
+            let r = run_campaign(&campaign);
+            println!(
+                "detection latency {:.1}s | MTTR {:.1}s | availability {:.4}",
+                r.detection_latency_secs, r.mttr_secs, r.availability
+            );
+            println!(
+                "final: {}/{} up | quarantined {:?} | {} emails ({} storm-limited) | audit {} records, hash {:016x}",
+                r.final_up, r.n_nodes, r.quarantined, r.emails, r.storms, r.audit_len, r.audit_hash
+            );
+            if args.flag("verbose") {
+                for ev in &campaign.events {
+                    println!("  t={:>7.1}s  {}", ev.at_secs, ev.kind);
+                }
+            }
+            if r.violations.is_empty() {
+                println!("invariants: all held");
+            } else {
+                println!("invariants VIOLATED ({}):", r.violations.len());
+                for v in &r.violations {
+                    println!("  {v}");
+                }
+                std::process::exit(1);
+            }
+        }
+        _ => usage(),
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
         usage()
     };
+    if cmd == "chaos" {
+        return cmd_chaos(rest);
+    }
     let args = Args::parse(rest);
     match cmd.as_str() {
         "simulate" => cmd_simulate(&args),
