@@ -13,6 +13,7 @@ pub mod e11_scale;
 pub mod e12_slurm;
 pub mod e13_control;
 pub mod e14_chaos;
+pub mod e15_federation;
 pub mod e1_gathering;
 pub mod e5_boot;
 pub mod e6_cloning;

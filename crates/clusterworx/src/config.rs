@@ -19,6 +19,10 @@ pub enum WorkloadMix {
 /// Parameters for [`crate::Cluster::build`].
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
+    /// Identity of this cluster inside a federation (prefix on audit
+    /// rows and cluster-qualified event ids). `0` for standalone
+    /// deployments.
+    pub cluster_id: u16,
     /// Number of compute nodes.
     pub n_nodes: u32,
     /// Experiment seed (drives every random draw).
@@ -119,6 +123,7 @@ impl ClusterConfig {
 impl Default for ClusterConfig {
     fn default() -> Self {
         ClusterConfig {
+            cluster_id: 0,
             n_nodes: 16,
             seed: 42,
             hw_step: SimDuration::from_secs(1),

@@ -49,12 +49,12 @@ pub use actions::{
 };
 pub use config::{ClusterConfig, WorkloadMix};
 pub use groups::Groups;
-pub use lifecycle::{FailReason, LifecycleState, LifecycleTracker, Transition};
+pub use lifecycle::{FailReason, LifecycleCounts, LifecycleState, LifecycleTracker, Transition};
 pub use lite::LiteMonitor;
 pub use provisioning::{add_node, clone_image_to_group};
 pub use realtime::{RealTimeConfig, RealTimeDeployment};
 pub use scheduler::{attach_scheduler, submit_job, SchedulerBridge};
-pub use server::{NodeStatus, Server, ServerStats};
+pub use server::{ClusterSnapshot, NodeStatus, Server, ServerStats};
 pub use world::{
     chassis_restart, schedule_fault, set_agent_fault, ActionLog, Cluster, NodeState, World,
 };

@@ -127,6 +127,81 @@ pub fn legal_transition(from: LifecycleState, to: LifecycleState) -> bool {
     }
 }
 
+/// Per-state node tallies — the consolidated lifecycle view a
+/// federation sub-server exports upward (one counter per state instead
+/// of one row per node).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifecycleCounts {
+    /// Nodes in [`LifecycleState::Off`].
+    pub off: u32,
+    /// Nodes in [`LifecycleState::PoweringOn`].
+    pub powering_on: u32,
+    /// Nodes in [`LifecycleState::Bios`].
+    pub bios: u32,
+    /// Nodes in [`LifecycleState::Cloning`].
+    pub cloning: u32,
+    /// Nodes in [`LifecycleState::Up`].
+    pub up: u32,
+    /// Nodes in [`LifecycleState::Draining`].
+    pub draining: u32,
+    /// Nodes in [`LifecycleState::Halted`].
+    pub halted: u32,
+    /// Nodes in [`LifecycleState::Quarantined`].
+    pub quarantined: u32,
+    /// Nodes in any [`LifecycleState::Failed`] state.
+    pub failed: u32,
+}
+
+impl LifecycleCounts {
+    /// Number of counters (the wire array length).
+    pub const N: usize = 9;
+
+    /// Total nodes tallied.
+    pub fn total(&self) -> u32 {
+        let a = self.as_array();
+        a.iter().sum()
+    }
+
+    /// Add another tally in (head-side aggregation across clusters).
+    pub fn accumulate(&mut self, other: &LifecycleCounts) {
+        let mut a = self.as_array();
+        for (x, y) in a.iter_mut().zip(other.as_array()) {
+            *x += y;
+        }
+        *self = LifecycleCounts::from_array(a);
+    }
+
+    /// Fixed-order array form (the federation wire layout).
+    pub fn as_array(&self) -> [u32; Self::N] {
+        [
+            self.off,
+            self.powering_on,
+            self.bios,
+            self.cloning,
+            self.up,
+            self.draining,
+            self.halted,
+            self.quarantined,
+            self.failed,
+        ]
+    }
+
+    /// Rebuild from the fixed-order array form.
+    pub fn from_array(a: [u32; Self::N]) -> LifecycleCounts {
+        LifecycleCounts {
+            off: a[0],
+            powering_on: a[1],
+            bios: a[2],
+            cloning: a[3],
+            up: a[4],
+            draining: a[5],
+            halted: a[6],
+            quarantined: a[7],
+            failed: a[8],
+        }
+    }
+}
+
 /// One recorded transition (the lifecycle slice of the audit trail).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Transition {
@@ -199,6 +274,25 @@ impl LifecycleTracker {
     /// The transition log, in order.
     pub fn log(&self) -> &[Transition] {
         &self.log
+    }
+
+    /// Tally every node by its current state.
+    pub fn counts(&self) -> LifecycleCounts {
+        let mut c = LifecycleCounts::default();
+        for s in &self.states {
+            match s {
+                LifecycleState::Off => c.off += 1,
+                LifecycleState::PoweringOn => c.powering_on += 1,
+                LifecycleState::Bios => c.bios += 1,
+                LifecycleState::Cloning => c.cloning += 1,
+                LifecycleState::Up => c.up += 1,
+                LifecycleState::Draining => c.draining += 1,
+                LifecycleState::Halted => c.halted += 1,
+                LifecycleState::Quarantined => c.quarantined += 1,
+                LifecycleState::Failed(_) => c.failed += 1,
+            }
+        }
+        c
     }
 
     /// Attempt `node → to`. Returns the transition if the edge is legal

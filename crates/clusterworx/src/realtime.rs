@@ -576,6 +576,22 @@ impl RealTimeDeployment {
         self.store.clone()
     }
 
+    /// A point-in-time rollup for federation export — the realtime
+    /// twin of `World::fed_snapshot`, assembled under the shared locks.
+    pub fn fed_snapshot(&self) -> crate::server::ClusterSnapshot {
+        let counts = self.control.lock().lifecycle().counts();
+        let mut server = self.server.write();
+        let (alarms, alarms_dropped) = server.take_alarms();
+        crate::server::ClusterSnapshot {
+            n_nodes: counts.total(),
+            counts,
+            reachable: server.reachable_count(),
+            stats: server.stats(),
+            alarms,
+            alarms_dropped,
+        }
+    }
+
     /// Stop everything; returns `(reports sent, reports ingested)`.
     /// Persistent deployments flush memtables on the way out (history is
     /// WAL-recoverable even without this — the flush just trims replay).

@@ -16,6 +16,12 @@ use cwx_util::time::{SimDuration, SimTime};
 
 use cwx_events::Action;
 
+use crate::lifecycle::LifecycleCounts;
+
+/// Cap on the buffered alarm feed: non-federated deployments never call
+/// [`Server::take_alarms`], so the buffer must stay bounded.
+const ALARM_FEED_CAP: usize = 4096;
+
 /// Liveness bookkeeping per node.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeStatus {
@@ -53,6 +59,25 @@ pub struct PendingAction {
     pub cause: Firing,
 }
 
+/// A point-in-time rollup of one cluster, shaped for export to a
+/// federation head: lifecycle census, liveness, traffic counters and
+/// the alarms raised since the previous snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClusterSnapshot {
+    /// Nodes in the cluster.
+    pub n_nodes: u32,
+    /// Census of nodes by lifecycle state.
+    pub counts: LifecycleCounts,
+    /// Nodes the server currently considers reachable.
+    pub reachable: u32,
+    /// Server-side traffic counters.
+    pub stats: ServerStats,
+    /// Alarms (event firings) drained since the last snapshot.
+    pub alarms: Vec<Firing>,
+    /// Alarms dropped because the feed buffer overflowed.
+    pub alarms_dropped: u64,
+}
+
 /// The management server.
 #[derive(Debug)]
 pub struct Server {
@@ -66,6 +91,9 @@ pub struct Server {
     /// Per-node binary wire state (dictionaries, XOR chains) for agents
     /// that send the CWB1 format.
     decoder: transmit::WireDecoder,
+    /// Firings buffered for federation fan-in (bounded).
+    alarm_feed: Vec<Firing>,
+    alarms_dropped: u64,
 }
 
 impl Server {
@@ -106,6 +134,8 @@ impl Server {
             stats: ServerStats::default(),
             stale_after,
             decoder: transmit::WireDecoder::new(),
+            alarm_feed: Vec::new(),
+            alarms_dropped: 0,
         }
     }
 
@@ -152,6 +182,19 @@ impl Server {
     /// Take the queued actions (the chassis layer executes them).
     pub fn take_actions(&mut self) -> Vec<PendingAction> {
         std::mem::take(&mut self.pending)
+    }
+
+    /// Drain the buffered alarm feed (federation fan-in). Returns the
+    /// firings since the last drain and the count dropped to the
+    /// buffer cap in that window.
+    pub fn take_alarms(&mut self) -> (Vec<Firing>, u64) {
+        let dropped = std::mem::take(&mut self.alarms_dropped);
+        (std::mem::take(&mut self.alarm_feed), dropped)
+    }
+
+    /// Nodes the server currently considers reachable.
+    pub fn reachable_count(&self) -> u32 {
+        self.status.values().filter(|st| st.reachable).count() as u32
     }
 
     /// Queue an administrator-requested action, exactly as if a rule had
@@ -245,6 +288,11 @@ impl Server {
     pub fn observe(&mut self, now: SimTime, node: u32, key: &MonitorKey, value: f64) {
         let (fired, cleared) = self.engine.observe(now, node, key, value);
         for f in &fired {
+            if self.alarm_feed.len() < ALARM_FEED_CAP {
+                self.alarm_feed.push(f.clone());
+            } else {
+                self.alarms_dropped += 1;
+            }
             if let Some(def) = self.engine.defs().iter().find(|d| d.id == f.event) {
                 let def: EventDef = def.clone();
                 self.notifier.on_fire(now, &def, f);

@@ -165,6 +165,22 @@ impl World {
     pub fn plugin_log(&self) -> Vec<(SimTime, String, u32)> {
         self.control.plugin_log()
     }
+
+    /// A point-in-time rollup of this cluster for federation export:
+    /// lifecycle census from the control plane, liveness and traffic
+    /// counters from the server, and the alarms raised since the last
+    /// call (drained from the server's alarm feed).
+    pub fn fed_snapshot(&mut self) -> crate::server::ClusterSnapshot {
+        let (alarms, alarms_dropped) = self.server.take_alarms();
+        crate::server::ClusterSnapshot {
+            n_nodes: self.cfg.n_nodes,
+            counts: self.control.lifecycle().counts(),
+            reachable: self.server.reachable_count(),
+            stats: self.server.stats(),
+            alarms,
+            alarms_dropped,
+        }
+    }
 }
 
 /// Namespace struct: builds simulated clusters.

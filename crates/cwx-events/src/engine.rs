@@ -9,6 +9,23 @@ use cwx_util::time::SimTime;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(pub u32);
 
+/// An event id qualified by the cluster it fired in — what a federation
+/// head records, so merged fan-in logs stay unambiguous when the same
+/// rule fires in several clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClusterEventId {
+    /// Originating cluster.
+    pub cluster: u16,
+    /// Event id within that cluster.
+    pub event: EventId,
+}
+
+impl std::fmt::Display for ClusterEventId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{:03}/e{}", self.cluster, self.event.0)
+    }
+}
+
 /// Threshold comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Comparison {

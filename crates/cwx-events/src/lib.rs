@@ -26,5 +26,7 @@
 pub mod engine;
 pub mod notify;
 
-pub use engine::{Action, Comparison, EventDef, EventEngine, EventId, Firing, Threshold};
+pub use engine::{
+    Action, ClusterEventId, Comparison, EventDef, EventEngine, EventId, Firing, Threshold,
+};
 pub use notify::{Email, Notifier, StormPolicy};

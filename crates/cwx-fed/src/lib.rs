@@ -1,0 +1,41 @@
+//! `cwx-fed` — the federated multi-cluster management plane.
+//!
+//! The ClusterWorX paper (IPPS 2003) manages one cluster with one
+//! server; the scalability literature the roadmap anchors on shows a
+//! flat server topping out well below production density. This crate
+//! adds the hierarchical tier: per-cluster **sub-servers** run the
+//! whole existing stack and export a consolidated rollup upward, and a
+//! **federation head** aggregates the fleet, fans control-plane
+//! commands back down, and degrades gracefully through partitions.
+//!
+//! * [`protocol`] — the `CWF1` frame format. The metrics uplink nests
+//!   the agents' `CWB1` delta codec one tier up (cluster id in the
+//!   node field, per-tier key dictionaries).
+//! * [`sub`] — the sub-server uplink: [`cwx_monitor::consolidate`]
+//!   delta suppression + stateful wire encoding, reset-on-reconnect,
+//!   and idempotent command application.
+//! * [`head`] — the fleet view: lifecycle census aggregation, alarm
+//!   fan-in with cluster-qualified event ids, `Stale(age)` degradation
+//!   instead of forgetting, queued commands with bounded retry, and
+//!   per-cluster append-only audit trails whose head hash composes
+//!   FNV-1a over the ordered per-cluster hashes.
+//! * [`sim`] — N independent cluster worlds stepped in lock-step
+//!   epochs under one seed, byte-deterministic.
+//! * [`net`] — the realtime twin: `CWF1` over length-prefixed TCP for
+//!   `cwx fed serve` / `cwx fed join`.
+
+#![warn(missing_docs)]
+
+pub mod head;
+pub mod net;
+pub mod protocol;
+pub mod sim;
+pub mod sub;
+
+pub use head::{
+    ClusterStatus, ClusterView, FederationHead, FleetView, HeadAuditEntry, HeadAuditRow, HeadStats,
+};
+pub use net::{join_loop, HeadServer, JoinStats};
+pub use protocol::{FedWireError, Frame, WireAlarm};
+pub use sim::{FedLoad, FederationConfig, FederationSim};
+pub use sub::{CommandDelivery, SubLink};

@@ -1,0 +1,315 @@
+//! Realtime transport for the federation: `CWF1` frames over TCP with
+//! a little-endian `u32` length prefix.
+//!
+//! The simulated deployment exchanges frames as byte vectors in
+//! process; this module is the deployment twin that `cwx fed serve`
+//! (head) and `cwx fed join` (sub-server) run as actual processes.
+//! Realtime federation time is wall time since process start projected
+//! onto [`SimTime`], so the head's staleness and retry machinery is
+//! byte-for-byte the code the simulation exercises.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use clusterworx::{RealTimeDeployment, RetryPolicy};
+use cwx_util::time::{SimDuration, SimTime};
+
+use crate::head::FederationHead;
+use crate::protocol::Frame;
+use crate::sub::SubLink;
+
+/// Refuse frames above this size (a corrupt length prefix must not
+/// allocate gigabytes).
+const MAX_FRAME: u32 = 16 << 20;
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    w.write_all(&(frame.len() as u32).to_le_bytes())?;
+    w.write_all(frame)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let n = u32::from_le_bytes(len);
+    if n > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "oversized federation frame",
+        ));
+    }
+    let mut buf = vec![0u8; n as usize];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// The cluster id a sub→head frame speaks for, if any (used by the
+/// head to route command frames back down the right connection).
+fn frame_cluster(bytes: &[u8]) -> Option<u16> {
+    match Frame::decode(bytes).ok()? {
+        Frame::Hello { cluster, .. }
+        | Frame::Metrics { cluster, .. }
+        | Frame::Alarm { cluster, .. }
+        | Frame::Resync { cluster, .. }
+        | Frame::CommandAck { cluster, .. } => Some(cluster),
+        Frame::Command { .. } => None,
+    }
+}
+
+/// A running federation head serving TCP sub-servers.
+pub struct HeadServer {
+    head: Arc<Mutex<FederationHead>>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    addr: SocketAddr,
+    epoch: Instant,
+}
+
+impl HeadServer {
+    /// Bind `listen` (e.g. `127.0.0.1:7411`; port 0 picks a free one)
+    /// and start the accept loop plus the command pump.
+    pub fn start(listen: &str, stale_after: SimDuration, retry: RetryPolicy) -> io::Result<Self> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let head = Arc::new(Mutex::new(FederationHead::new(stale_after, retry)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let routes: Arc<Mutex<std::collections::BTreeMap<u16, TcpStream>>> =
+            Arc::new(Mutex::new(std::collections::BTreeMap::new()));
+        let epoch = Instant::now();
+        let mut threads = Vec::new();
+
+        // accept loop: one reader thread per sub-server connection
+        {
+            let head = Arc::clone(&head);
+            let stop = Arc::clone(&stop);
+            let routes = Arc::clone(&routes);
+            threads.push(thread::spawn(move || {
+                let mut readers: Vec<JoinHandle<()>> = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let head = Arc::clone(&head);
+                            let stop = Arc::clone(&stop);
+                            let routes = Arc::clone(&routes);
+                            readers.push(thread::spawn(move || {
+                                let _ = stream.set_nodelay(true);
+                                let mut rd = match stream.try_clone() {
+                                    Ok(s) => s,
+                                    Err(_) => return,
+                                };
+                                while !stop.load(Ordering::Relaxed) {
+                                    let frame = match read_frame(&mut rd) {
+                                        Ok(f) => f,
+                                        Err(_) => break,
+                                    };
+                                    if let Some(cluster) = frame_cluster(&frame) {
+                                        if let (Ok(mut r), Ok(s)) =
+                                            (routes.lock(), stream.try_clone())
+                                        {
+                                            r.insert(cluster, s);
+                                        }
+                                    }
+                                    let now =
+                                        SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
+                                    let _ = head.lock().unwrap().ingest(now, &frame);
+                                }
+                            }));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for r in readers {
+                    let _ = r.join();
+                }
+            }));
+        }
+
+        // command pump: poll the head and push due frames down the
+        // owning connection
+        {
+            let head = Arc::clone(&head);
+            let stop = Arc::clone(&stop);
+            let routes = Arc::clone(&routes);
+            threads.push(thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let now = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
+                    let due = head.lock().unwrap().poll(now);
+                    for (cluster, frame) in due {
+                        let mut routes = routes.lock().unwrap();
+                        let dead = match routes.get_mut(&cluster) {
+                            Some(stream) => write_frame(stream, &frame).is_err(),
+                            None => false,
+                        };
+                        if dead {
+                            routes.remove(&cluster);
+                        }
+                    }
+                    thread::sleep(Duration::from_millis(100));
+                }
+            }));
+        }
+
+        Ok(HeadServer {
+            head,
+            stop,
+            threads,
+            addr,
+            epoch,
+        })
+    }
+
+    /// The bound address (use after binding port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared head, for fleet-view queries and command injection.
+    pub fn head(&self) -> Arc<Mutex<FederationHead>> {
+        Arc::clone(&self.head)
+    }
+
+    /// Wall time since the head started, projected onto federation
+    /// time (what `aggregate`/`status` expect as `now`).
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// Stop the accept loop and the pump; running reader threads
+    /// unwind when their peers hang up.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Counters a join loop reports on exit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinStats {
+    /// Uplink export rounds performed.
+    pub exports: u64,
+    /// Commands received and applied.
+    pub commands: u64,
+    /// Times the TCP session was re-established (each performed the
+    /// full dictionary-reset resync handshake).
+    pub reconnects: u64,
+}
+
+/// Run a sub-server uplink against `head_addr` until `stop` is set:
+/// export a consolidated rollup every `interval`, apply incoming head
+/// commands to the deployment, and resync after every reconnect.
+pub fn join_loop(
+    dep: &RealTimeDeployment,
+    cluster: u16,
+    head_addr: &str,
+    interval: Duration,
+    stop: &AtomicBool,
+) -> io::Result<JoinStats> {
+    let mut link = SubLink::new(cluster);
+    let mut stats = JoinStats::default();
+    let epoch = Instant::now();
+    let now = |epoch: &Instant| SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
+    let mut first = true;
+
+    'session: while !stop.load(Ordering::Relaxed) {
+        let mut stream = match TcpStream::connect(head_addr) {
+            Ok(s) => s,
+            Err(e) if first => return Err(e),
+            Err(_) => {
+                thread::sleep(interval);
+                continue;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+        let snap = dep.fed_snapshot();
+        let frames = if first {
+            first = false;
+            let mut f = vec![link.hello(snap.n_nodes)];
+            f.extend(link.export(now(&epoch), &snap));
+            f
+        } else {
+            stats.reconnects += 1;
+            link.reconnect(now(&epoch), &snap)
+        };
+        for f in &frames {
+            if write_frame(&mut stream, f).is_err() {
+                continue 'session;
+            }
+        }
+        let mut last_export = Instant::now();
+        while !stop.load(Ordering::Relaxed) {
+            // drain incoming commands until the read window closes
+            match read_frame(&mut stream) {
+                Ok(frame) => {
+                    if let Ok(Some(delivery)) = link.handle_frame(&frame) {
+                        if let Some(action) = delivery.apply {
+                            stats.commands += 1;
+                            dep.server()
+                                .write()
+                                .request_action(now(&epoch), delivery.node, action);
+                        }
+                        if write_frame(&mut stream, &delivery.ack).is_err() {
+                            continue 'session;
+                        }
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(_) => continue 'session,
+            }
+            if last_export.elapsed() >= interval {
+                last_export = Instant::now();
+                stats.exports += 1;
+                let snap = dep.fed_snapshot();
+                for f in link.export(now(&epoch), &snap) {
+                    if write_frame(&mut stream, &f).is_err() {
+                        continue 'session;
+                    }
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_over_a_socket_pair() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            read_frame(&mut s).unwrap()
+        });
+        let mut c = TcpStream::connect(addr).unwrap();
+        let frame = Frame::Hello {
+            cluster: 3,
+            n_nodes: 99,
+        }
+        .encode();
+        write_frame(&mut c, &frame).unwrap();
+        assert_eq!(t.join().unwrap(), frame);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut bytes: &[u8] = &[0xff, 0xff, 0xff, 0xff, 0, 0];
+        assert!(read_frame(&mut bytes).is_err());
+    }
+}

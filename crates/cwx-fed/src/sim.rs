@@ -1,0 +1,320 @@
+//! The federated simulation: N independent cluster worlds stepped in
+//! lock-step epochs under one seed, exchanging federation frames with
+//! an in-process head.
+//!
+//! Determinism discipline: sub-clusters are stepped and drained in
+//! cluster-id order every epoch, per-cluster seeds derive from the
+//! federation seed with a splitmix-style mix, and every head structure
+//! iterates in `BTreeMap` order — so two runs with the same
+//! [`FederationConfig`] produce byte-identical audit trails (the CI
+//! smoke job asserts the hash). Wall-clock load accounting uses
+//! `std::time::Instant` but never feeds back into simulated state.
+
+use std::time::{Duration, Instant};
+
+use clusterworx::{Cluster, ClusterConfig, LifecycleCounts, RetryPolicy, World};
+use cwx_events::Action;
+use cwx_util::sim::Sim;
+use cwx_util::time::{SimDuration, SimTime};
+
+use crate::head::{FederationHead, FleetView};
+use crate::sub::SubLink;
+
+/// Build parameters for [`FederationSim`].
+#[derive(Debug, Clone)]
+pub struct FederationConfig {
+    /// Federation seed; per-cluster seeds derive from it.
+    pub seed: u64,
+    /// One config per sub-cluster. `cluster_id` and `seed` are
+    /// overwritten by the builder to keep identities and streams
+    /// consistent.
+    pub clusters: Vec<ClusterConfig>,
+    /// How often each sub-server exports a rollup upward.
+    pub uplink_interval: SimDuration,
+    /// Head-side staleness window.
+    pub stale_after: SimDuration,
+    /// Head-side command retry policy.
+    pub retry: RetryPolicy,
+}
+
+impl FederationConfig {
+    /// A federation of `n_clusters` identical clusters of `nodes_per`
+    /// nodes each.
+    pub fn uniform(n_clusters: u16, nodes_per: u32, seed: u64) -> Self {
+        let clusters = (0..n_clusters)
+            .map(|_| ClusterConfig {
+                n_nodes: nodes_per,
+                ..ClusterConfig::default()
+            })
+            .collect();
+        FederationConfig {
+            seed,
+            clusters,
+            uplink_interval: SimDuration::from_secs(10),
+            stale_after: SimDuration::from_secs(40),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Per-tier load accounting (experiment E15 reads this).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FedLoad {
+    /// Wall time the head spent ingesting frames and polling commands.
+    pub head_busy: Duration,
+    /// Wall time spent stepping the sub-cluster simulations.
+    pub sub_busy: Duration,
+    /// Simulation events executed across all sub-clusters.
+    pub sub_events: u64,
+}
+
+struct SubEntry {
+    sim: Sim<World>,
+    link: SubLink,
+    connected: bool,
+    /// Needs a full resync on the next connected epoch.
+    resync_due: bool,
+    /// The introduction frame was sent.
+    hello_sent: bool,
+}
+
+/// N cluster worlds plus a federation head, stepped in lock-step.
+pub struct FederationSim {
+    head: FederationHead,
+    subs: Vec<SubEntry>,
+    now: SimTime,
+    uplink: SimDuration,
+    load: FedLoad,
+}
+
+impl FederationSim {
+    /// Wire the federation: one simulated world per cluster config,
+    /// cluster ids assigned by index, per-cluster seeds derived from
+    /// the federation seed.
+    pub fn build(cfg: FederationConfig) -> Self {
+        let subs = cfg
+            .clusters
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut c)| {
+                let id = i as u16;
+                c.cluster_id = id;
+                c.seed = cfg
+                    .seed
+                    .wrapping_add((i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                SubEntry {
+                    sim: Cluster::build(c),
+                    link: SubLink::new(id),
+                    connected: true,
+                    resync_due: false,
+                    hello_sent: false,
+                }
+            })
+            .collect();
+        FederationSim {
+            head: FederationHead::new(cfg.stale_after, cfg.retry),
+            subs,
+            now: SimTime::ZERO,
+            uplink: cfg.uplink_interval,
+            load: FedLoad::default(),
+        }
+    }
+
+    /// Current simulated time (epoch-aligned).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The head (fleet view, audit trails, command entry point).
+    pub fn head(&self) -> &FederationHead {
+        &self.head
+    }
+
+    /// Mutable head access (administrative operations like
+    /// `forget_cluster`).
+    pub fn head_mut(&mut self) -> &mut FederationHead {
+        &mut self.head
+    }
+
+    /// Per-tier load counters so far.
+    pub fn load(&self) -> FedLoad {
+        FedLoad {
+            sub_events: self.subs.iter().map(|s| s.sim.events_executed()).sum(),
+            ..self.load
+        }
+    }
+
+    /// Total uplink traffic across every sub link: `(frames, bytes)`.
+    pub fn uplink_stats(&self) -> (u64, u64) {
+        self.subs.iter().fold((0, 0), |(f, b), s| {
+            let (lf, lb) = s.link.tx_stats();
+            (f + lf, b + lb)
+        })
+    }
+
+    /// One sub-cluster's simulation (assertions, fault injection).
+    pub fn sub_sim(&self, cluster: u16) -> &Sim<World> {
+        &self.subs[cluster as usize].sim
+    }
+
+    /// Mutable access to one sub-cluster's simulation.
+    pub fn sub_sim_mut(&mut self, cluster: u16) -> &mut Sim<World> {
+        &mut self.subs[cluster as usize].sim
+    }
+
+    /// Sever the uplink of `cluster` (sub keeps running; the head
+    /// hears nothing and command frames fall on the floor).
+    pub fn disconnect(&mut self, cluster: u16) {
+        let s = &mut self.subs[cluster as usize];
+        s.connected = false;
+        s.resync_due = true;
+    }
+
+    /// Restore the uplink; the next epoch performs the full resync
+    /// handshake (dictionary reset + `Resync` frame).
+    pub fn heal(&mut self, cluster: u16) {
+        self.subs[cluster as usize].connected = true;
+    }
+
+    /// Queue a command through the head for `node` in `cluster`.
+    pub fn request_action(&mut self, cluster: u16, node: u32, action: Action) -> u64 {
+        self.head.request_action(self.now, cluster, node, action)
+    }
+
+    /// The head's aggregated fleet view as of now.
+    pub fn aggregate(&self) -> FleetView {
+        self.head.aggregate(self.now)
+    }
+
+    /// Ground truth: the summed lifecycle census straight from the
+    /// sub-cluster control planes (what the head's aggregate must
+    /// match while every link is fresh).
+    pub fn sub_counts_sum(&self) -> LifecycleCounts {
+        let mut sum = LifecycleCounts::default();
+        for s in &self.subs {
+            sum.accumulate(&s.sim.world().control.lifecycle().counts());
+        }
+        sum
+    }
+
+    /// Advance the whole federation by `span`, in uplink-interval
+    /// epochs (a final partial epoch covers any remainder).
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now + span;
+        while self.now < deadline {
+            let target = (self.now + self.uplink).min(deadline);
+            self.epoch(target);
+        }
+    }
+
+    fn epoch(&mut self, target: SimTime) {
+        // 1. step every sub-world to the epoch boundary, in id order
+        let t0 = Instant::now();
+        for s in &mut self.subs {
+            s.sim.run_until(target);
+        }
+        self.load.sub_busy += t0.elapsed();
+
+        // 2. connected subs export; the head ingests in id order
+        for s in &mut self.subs {
+            if !s.connected {
+                continue;
+            }
+            let snap = s.sim.world_mut().fed_snapshot();
+            let frames = if s.resync_due {
+                s.resync_due = false;
+                s.hello_sent = true;
+                s.link.reconnect(target, &snap)
+            } else if !s.hello_sent {
+                s.hello_sent = true;
+                let mut f = vec![s.link.hello(snap.n_nodes)];
+                f.extend(s.link.export(target, &snap));
+                f
+            } else {
+                s.link.export(target, &snap)
+            };
+            let t1 = Instant::now();
+            for f in &frames {
+                let _ = self.head.ingest(target, f);
+            }
+            self.load.head_busy += t1.elapsed();
+        }
+
+        // 3. the head marks staleness edges and fans out due commands
+        let t2 = Instant::now();
+        self.head.tick(target);
+        let due = self.head.poll(target);
+        self.load.head_busy += t2.elapsed();
+        for (cluster, frame) in due {
+            let s = &mut self.subs[cluster as usize];
+            if !s.connected {
+                continue; // lost on the dead link; the head will retry
+            }
+            if let Ok(Some(delivery)) = s.link.handle_frame(&frame) {
+                if let Some(action) = delivery.apply {
+                    s.sim
+                        .world_mut()
+                        .server
+                        .request_action(target, delivery.node, action);
+                }
+                let t3 = Instant::now();
+                let _ = self.head.ingest(target, &delivery.ack);
+                self.load.head_busy += t3.elapsed();
+            }
+        }
+
+        self.now = target;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(n_clusters: u16, nodes: u32, seed: u64) -> FederationConfig {
+        let mut cfg = FederationConfig::uniform(n_clusters, nodes, seed);
+        cfg.uplink_interval = SimDuration::from_secs(10);
+        cfg
+    }
+
+    #[test]
+    fn aggregate_matches_sub_sum() {
+        let mut fed = FederationSim::build(small(3, 8, 7));
+        fed.run_for(SimDuration::from_secs(300));
+        let fleet = fed.aggregate();
+        assert_eq!(fleet.clusters, 3);
+        assert_eq!(fleet.stale, 0);
+        assert_eq!(fleet.total_nodes, 24);
+        assert_eq!(fleet.counts, fed.sub_counts_sum());
+        assert!(fleet.counts.up > 0, "clusters must have booted");
+    }
+
+    #[test]
+    fn same_seed_runs_are_byte_identical() {
+        let run = |seed| {
+            let mut fed = FederationSim::build(small(2, 6, seed));
+            fed.run_for(SimDuration::from_secs(240));
+            (fed.head().audit_hash(), fed.aggregate())
+        };
+        let (h1, a1) = run(11);
+        let (h2, a2) = run(11);
+        assert_eq!(h1, h2, "audit hash must reproduce");
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn command_round_trips_through_the_fan_out() {
+        let mut fed = FederationSim::build(small(2, 4, 5));
+        fed.run_for(SimDuration::from_secs(200));
+        assert_eq!(fed.sub_sim(1).world().up_count(), 4);
+        fed.request_action(1, 2, Action::PowerDown);
+        fed.run_for(SimDuration::from_secs(120));
+        assert_eq!(
+            fed.sub_sim(1).world().up_count(),
+            3,
+            "the head's command must land on cluster 1"
+        );
+        assert_eq!(fed.sub_sim(0).world().up_count(), 4, "cluster 0 untouched");
+        assert_eq!(fed.head().stats().commands_delivered, 1);
+    }
+}

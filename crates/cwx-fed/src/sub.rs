@@ -1,0 +1,312 @@
+//! The sub-server side of the federation: exports a cluster's rollup
+//! upward and applies head commands idempotently.
+//!
+//! The uplink reuses the exact agent→server machinery one tier up: a
+//! [`Consolidator`] suppresses unchanged rollup values and a stateful
+//! [`WireEncoder`] delta-encodes what remains into `CWB1` bytes, with
+//! the cluster id standing in for the node id. After a disconnect the
+//! link resets both (`FLAG_RESET` semantics), so the first frame after
+//! reconnect is self-contained — exactly how an agent resynchronises a
+//! restarted server.
+
+use std::collections::BTreeSet;
+
+use clusterworx::{ClusterSnapshot, LifecycleCounts};
+use cwx_events::Action;
+use cwx_monitor::consolidate::Consolidator;
+use cwx_monitor::monitor::{MonitorClass, MonitorKey, Value};
+use cwx_monitor::transmit::{Report, WireEncoder};
+use cwx_util::time::SimTime;
+
+use crate::protocol::{FedWireError, Frame, WireAlarm};
+
+/// Applied-command ids remembered for duplicate detection. Head ids are
+/// monotonic, so a bounded window of recent ids is sufficient.
+const APPLIED_WINDOW: usize = 1024;
+
+/// The rollup keys a sub-server exports, in wire order.
+pub const ROLLUP_KEYS: [&str; 15] = [
+    "fleet.nodes",
+    "fleet.reachable",
+    "lifecycle.off",
+    "lifecycle.powering_on",
+    "lifecycle.bios",
+    "lifecycle.cloning",
+    "lifecycle.up",
+    "lifecycle.draining",
+    "lifecycle.halted",
+    "lifecycle.quarantined",
+    "lifecycle.failed",
+    "server.reports_rx",
+    "server.bytes_rx",
+    "server.values_rx",
+    "server.decode_errors",
+];
+
+/// Flatten a snapshot to `(key, value)` rows in [`ROLLUP_KEYS`] order.
+pub fn rollup_values(snap: &ClusterSnapshot) -> Vec<(MonitorKey, Value)> {
+    let c = snap.counts.as_array();
+    let nums: [f64; 15] = [
+        snap.n_nodes as f64,
+        snap.reachable as f64,
+        c[0] as f64,
+        c[1] as f64,
+        c[2] as f64,
+        c[3] as f64,
+        c[4] as f64,
+        c[5] as f64,
+        c[6] as f64,
+        c[7] as f64,
+        c[8] as f64,
+        snap.stats.reports_rx as f64,
+        snap.stats.bytes_rx as f64,
+        snap.stats.values_rx as f64,
+        snap.stats.decode_errors as f64,
+    ];
+    ROLLUP_KEYS
+        .iter()
+        .zip(nums)
+        .map(|(k, v)| (MonitorKey::new(*k), Value::Num(v)))
+        .collect()
+}
+
+/// Rebuild a lifecycle census from decoded rollup rows (head side).
+pub fn counts_from_rollup(get: impl Fn(&str) -> Option<f64>) -> LifecycleCounts {
+    let mut a = [0u32; LifecycleCounts::N];
+    for (slot, key) in a.iter_mut().zip(&ROLLUP_KEYS[2..2 + LifecycleCounts::N]) {
+        *slot = get(key).unwrap_or(0.0) as u32;
+    }
+    LifecycleCounts::from_array(a)
+}
+
+/// What [`SubLink::handle_frame`] wants the deployment to do.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommandDelivery {
+    /// Target node.
+    pub node: u32,
+    /// The action — `None` when the command was a duplicate the link
+    /// already applied (the ack is still returned).
+    pub apply: Option<Action>,
+    /// The ack frame to send back to the head.
+    pub ack: Vec<u8>,
+}
+
+/// Per-cluster uplink state: consolidation + delta encoding + command
+/// idempotency.
+#[derive(Debug)]
+pub struct SubLink {
+    cluster: u16,
+    consolidator: Consolidator,
+    encoder: WireEncoder,
+    seq: u64,
+    applied: BTreeSet<u64>,
+    frames_tx: u64,
+    bytes_tx: u64,
+}
+
+impl SubLink {
+    /// A fresh link for `cluster`.
+    pub fn new(cluster: u16) -> Self {
+        SubLink {
+            cluster,
+            consolidator: Consolidator::new(true),
+            encoder: WireEncoder::new(),
+            seq: 0,
+            applied: BTreeSet::new(),
+            frames_tx: 0,
+            bytes_tx: 0,
+        }
+    }
+
+    /// The cluster this link speaks for.
+    pub fn cluster(&self) -> u16 {
+        self.cluster
+    }
+
+    /// Uplink frames sent and their total bytes.
+    pub fn tx_stats(&self) -> (u64, u64) {
+        (self.frames_tx, self.bytes_tx)
+    }
+
+    /// The introduction frame (first thing on a fresh connection).
+    pub fn hello(&mut self, n_nodes: u32) -> Vec<u8> {
+        self.track(
+            Frame::Hello {
+                cluster: self.cluster,
+                n_nodes,
+            }
+            .encode(),
+        )
+    }
+
+    /// Export one snapshot: a consolidated metrics frame (omitted when
+    /// every value was suppressed) plus an alarm frame when any fired.
+    pub fn export(&mut self, now: SimTime, snap: &ClusterSnapshot) -> Vec<Vec<u8>> {
+        let mut frames = Vec::with_capacity(2);
+        let mut values = Vec::new();
+        for (key, value) in rollup_values(snap) {
+            if self.consolidator.offer(&key, MonitorClass::Dynamic, &value) {
+                values.push((key, value));
+            }
+        }
+        if !values.is_empty() {
+            let report = Report {
+                node: self.cluster as u32,
+                seq: self.seq,
+                time_secs: now.as_secs_f64(),
+                values,
+            };
+            self.seq += 1;
+            let payload = self.encoder.encode(&report);
+            frames.push(
+                Frame::Metrics {
+                    cluster: self.cluster,
+                    payload,
+                }
+                .encode(),
+            );
+        }
+        if !snap.alarms.is_empty() || snap.alarms_dropped > 0 {
+            frames.push(
+                Frame::Alarm {
+                    cluster: self.cluster,
+                    alarms: snap.alarms.iter().map(WireAlarm::from_firing).collect(),
+                    dropped: snap.alarms_dropped,
+                }
+                .encode(),
+            );
+        }
+        for f in &frames {
+            self.frames_tx += 1;
+            self.bytes_tx += f.len() as u64;
+        }
+        frames
+    }
+
+    /// Reconnect after a partition: reset the consolidator and the wire
+    /// dictionary (the next metrics frame is self-contained), and emit
+    /// `Hello` + `Resync` + a full metrics frame so the head can
+    /// reconcile without waiting for drift.
+    pub fn reconnect(&mut self, now: SimTime, snap: &ClusterSnapshot) -> Vec<Vec<u8>> {
+        self.consolidator.reset();
+        self.encoder.reset();
+        let mut frames = vec![
+            self.hello(snap.n_nodes),
+            self.track(
+                Frame::Resync {
+                    cluster: self.cluster,
+                    n_nodes: snap.n_nodes,
+                    counts: snap.counts,
+                    reachable: snap.reachable,
+                    applied: self.applied.iter().copied().collect(),
+                }
+                .encode(),
+            ),
+        ];
+        frames.extend(self.export(now, snap));
+        frames
+    }
+
+    /// Handle one head→sub frame. Only `Command` is meaningful in this
+    /// direction; anything else decodes but is ignored.
+    pub fn handle_frame(&mut self, bytes: &[u8]) -> Result<Option<CommandDelivery>, FedWireError> {
+        let Frame::Command { id, node, action } = Frame::decode(bytes)? else {
+            return Ok(None);
+        };
+        let fresh = self.applied.insert(id);
+        while self.applied.len() > APPLIED_WINDOW {
+            let oldest = *self.applied.iter().next().unwrap();
+            self.applied.remove(&oldest);
+        }
+        let ack = self.track(
+            Frame::CommandAck {
+                cluster: self.cluster,
+                id,
+                fresh,
+            }
+            .encode(),
+        );
+        Ok(Some(CommandDelivery {
+            node,
+            apply: fresh.then_some(action),
+            ack,
+        }))
+    }
+
+    fn track(&mut self, f: Vec<u8>) -> Vec<u8> {
+        self.frames_tx += 1;
+        self.bytes_tx += f.len() as u64;
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(up: u32, reports: u64) -> ClusterSnapshot {
+        ClusterSnapshot {
+            n_nodes: up,
+            counts: LifecycleCounts {
+                up,
+                ..Default::default()
+            },
+            reachable: up,
+            stats: clusterworx::ServerStats {
+                reports_rx: reports,
+                ..Default::default()
+            },
+            alarms: Vec::new(),
+            alarms_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn unchanged_snapshots_are_suppressed() {
+        let mut link = SubLink::new(3);
+        let first = link.export(SimTime::ZERO, &snap(8, 10));
+        assert_eq!(first.len(), 1, "first export carries everything");
+        let second = link.export(SimTime::ZERO, &snap(8, 10));
+        assert!(second.is_empty(), "identical rollup sends nothing");
+        let third = link.export(SimTime::ZERO, &snap(8, 11));
+        assert_eq!(third.len(), 1, "changed counter resends");
+    }
+
+    #[test]
+    fn duplicate_commands_ack_but_do_not_reapply() {
+        let mut link = SubLink::new(1);
+        let cmd = Frame::Command {
+            id: 9,
+            node: 4,
+            action: Action::Reboot,
+        }
+        .encode();
+        let d1 = link.handle_frame(&cmd).unwrap().unwrap();
+        assert_eq!(d1.apply, Some(Action::Reboot));
+        let d2 = link.handle_frame(&cmd).unwrap().unwrap();
+        assert_eq!(d2.apply, None, "second delivery is a no-op");
+        match Frame::decode(&d2.ack).unwrap() {
+            Frame::CommandAck { fresh, id, .. } => {
+                assert!(!fresh);
+                assert_eq!(id, 9);
+            }
+            other => panic!("unexpected ack {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reconnect_is_self_contained() {
+        let mut link = SubLink::new(2);
+        let _ = link.export(SimTime::ZERO, &snap(4, 1));
+        let frames = link.reconnect(SimTime::ZERO, &snap(4, 2));
+        assert!(frames.len() >= 3, "hello + resync + full metrics");
+        // the metrics frame decodes with a brand-new decoder (receiver
+        // that missed the whole earlier stream)
+        let Frame::Metrics { payload, .. } = Frame::decode(&frames[2]).unwrap() else {
+            panic!("expected metrics");
+        };
+        let mut dec = cwx_monitor::transmit::WireDecoder::new();
+        let report = dec.decode_auto(&payload).unwrap();
+        assert_eq!(report.values.len(), ROLLUP_KEYS.len());
+    }
+}

@@ -1,0 +1,111 @@
+//! Partition-tolerance acceptance: kill a sub-server's uplink
+//! mid-campaign, assert the head serves a `Stale` view (not an empty
+//! one), queues commands without burning retry attempts, and
+//! reconciles on heal with zero silent drops.
+
+use cwx_events::Action;
+use cwx_fed::{ClusterStatus, FederationConfig, FederationSim, HeadAuditEntry};
+use cwx_util::time::SimDuration;
+
+fn fed() -> FederationSim {
+    let mut cfg = FederationConfig::uniform(3, 8, 1729);
+    cfg.uplink_interval = SimDuration::from_secs(10);
+    cfg.stale_after = SimDuration::from_secs(35);
+    FederationSim::build(cfg)
+}
+
+#[test]
+fn kill_heal_cycle_reconciles_without_silent_drops() {
+    let mut f = fed();
+    // boot everything and let the first uplinks land
+    f.run_for(SimDuration::from_secs(300));
+    assert_eq!(f.aggregate().counts.up, 24, "all three clusters booted");
+    let up_before = f.head().cluster(1).unwrap().counts.up;
+
+    // --- kill cluster 1's uplink mid-campaign
+    f.disconnect(1);
+    f.run_for(SimDuration::from_secs(120));
+
+    // the head serves the stale view rather than forgetting the cluster
+    match f.head().status(f.now(), 1) {
+        Some(ClusterStatus::Stale(age)) => {
+            assert!(age >= SimDuration::from_secs(60), "age tracks the outage")
+        }
+        other => panic!("expected a stale view, got {other:?}"),
+    }
+    let view = f.head().cluster(1).expect("view survives the partition");
+    assert_eq!(view.counts.up, up_before, "last known census is served");
+    assert_eq!(f.aggregate().clusters, 3);
+    assert_eq!(f.aggregate().stale, 1);
+
+    // --- commands for the dark cluster queue instead of failing
+    let id = f.request_action(1, 3, Action::PowerDown);
+    f.run_for(SimDuration::from_secs(60));
+    assert_eq!(f.head().outstanding(1), 1, "command held in the queue");
+    assert_eq!(
+        f.head().stats().commands_failed,
+        0,
+        "partition must not burn the retry budget"
+    );
+    assert!(
+        f.head()
+            .cluster_audit(1)
+            .iter()
+            .any(|r| matches!(r.entry, HeadAuditEntry::CommandQueued { id: i, .. } if i == id)),
+        "queueing is audited, not silent"
+    );
+    assert_eq!(
+        f.sub_sim(1).world().up_count(),
+        8,
+        "the dark cluster has not seen the command yet"
+    );
+
+    // --- heal: resync handshake, queued command delivered exactly once
+    f.heal(1);
+    f.run_for(SimDuration::from_secs(120));
+    assert_eq!(f.head().status(f.now(), 1), Some(ClusterStatus::Fresh));
+    assert_eq!(f.head().outstanding(1), 0, "queue drained on heal");
+    assert_eq!(f.head().stats().commands_delivered, 1);
+    assert_eq!(f.head().stats().commands_failed, 0, "zero drops");
+    assert_eq!(
+        f.sub_sim(1).world().up_count(),
+        7,
+        "the queued power-down landed after the heal"
+    );
+    let audit = f.head().cluster_audit(1);
+    assert!(audit
+        .iter()
+        .any(|r| matches!(r.entry, HeadAuditEntry::ClusterResynced { .. })));
+    assert!(audit
+        .iter()
+        .any(|r| matches!(r.entry, HeadAuditEntry::CommandDelivered { id: i, .. } if i == id)));
+
+    // the healed census flows again and the aggregate matches ground truth
+    assert_eq!(f.aggregate().stale, 0);
+    assert_eq!(f.aggregate().counts, f.sub_counts_sum());
+}
+
+#[test]
+fn forget_cluster_removes_view_but_keeps_audit() {
+    let mut f = fed();
+    f.run_for(SimDuration::from_secs(200));
+    assert_eq!(f.aggregate().clusters, 3);
+    let now = f.now();
+    let head = f.head_mut();
+    head.request_action(now, 2, 0, Action::Halt);
+    head.forget_cluster(now, 2);
+    assert!(head.cluster(2).is_none());
+    assert_eq!(head.outstanding(2), 0);
+    let audit = head.cluster_audit(2);
+    assert!(
+        audit
+            .iter()
+            .any(|r| matches!(r.entry, HeadAuditEntry::ClusterForgotten { aborted: 1 })),
+        "forgetting is a loud, audited act"
+    );
+    assert!(
+        !audit.is_empty(),
+        "the per-cluster trail is append-only and survives"
+    );
+    assert_eq!(f.aggregate().clusters, 2);
+}

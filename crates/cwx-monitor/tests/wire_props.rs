@@ -99,6 +99,54 @@ proptest! {
         assert_reports_eq(&decode_auto(&resync).unwrap(), &r);
     }
 
+    /// A session that survives a disconnect/reconnect resets its key
+    /// dictionary correctly: frames encoded during the outage never
+    /// reach the decoder, the reconnecting encoder calls `reset()`, and
+    /// from the resync frame on the old decoder — whose dictionary
+    /// still holds the pre-outage bindings — decodes the entire new
+    /// dictionary epoch bit-exactly. This is the exact sequence the
+    /// federation sub-server performs on uplink loss.
+    #[test]
+    fn reconnect_resets_key_dictionary(
+        before in collection::vec(
+            collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..8),
+            1..5,
+        ),
+        lost in collection::vec(
+            collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..8),
+            1..5,
+        ),
+        after in collection::vec(
+            collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..8),
+            1..5,
+        ),
+    ) {
+        let mut enc = WireEncoder::new();
+        let mut dec = WireDecoder::new();
+        let mut seq = 0u64;
+        // healthy session: decoder tracks the growing dictionary
+        for frame in &before {
+            let r = report(3, seq, frame);
+            assert_reports_eq(&dec.decode_auto(&enc.encode(&r)).unwrap(), &r);
+            seq += 1;
+        }
+        // outage: these frames are encoded but never delivered, so the
+        // encoder's dictionary drifts ahead of the decoder's
+        for frame in &lost {
+            let _ = enc.encode(&report(3, seq, frame));
+            seq += 1;
+        }
+        // reconnect: the session resets and the stale decoder must
+        // follow the whole new epoch, not just the resync frame
+        enc.reset();
+        for frame in &after {
+            let r = report(3, seq, frame);
+            let back = dec.decode_auto(&enc.encode(&r)).unwrap();
+            assert_reports_eq(&back, &r);
+            seq += 1;
+        }
+    }
+
     /// One decoder serves many agents: per-node dictionary state never
     /// bleeds between nodes even when frames interleave arbitrarily.
     #[test]

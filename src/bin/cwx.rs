@@ -5,7 +5,9 @@
 //! cwx clone    --nodes 100 --image-mb 650 [--loss 0.005] [--unicast]
 //! cwx lite     [--ticks 5]
 //! cwx history  --store DIR [--node N --monitor KEY] [--res raw|10s|5m] [--chart]
-//! cwx chaos    list | run <scenario> [--seed X] [--toml FILE] [--verbose]
+//! cwx chaos    list | run <scenario> [--seed X] [--toml FILE] [--verbose] [--report FILE]
+//! cwx fed      sim [--clusters N --nodes M --secs S --seed X]
+//! cwx fed      serve [--listen ADDR --secs S] | join [--head ADDR --cluster C --nodes N]
 //! cwx help
 //! ```
 
@@ -19,7 +21,7 @@ use cwx_util::time::{SimDuration, SimTime};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  cwx simulate --nodes N --secs S [--seed X] [--store DIR] [--fan-fail NODE@SECS]... [--dump-history FILE --dump-node N]\n  cwx clone --nodes N --image-mb M [--loss P] [--unicast]\n  cwx lite [--ticks N]\n  cwx history --store DIR [--node N --monitor KEY] [--from S] [--to S] [--res raw|10s|5m] [--chart]\n  cwx chaos list\n  cwx chaos run SCENARIO [--seed X] [--verbose]\n  cwx chaos run --toml FILE [--seed X] [--verbose]\n  cwx help"
+        "usage:\n  cwx simulate --nodes N --secs S [--seed X] [--store DIR] [--fan-fail NODE@SECS]... [--dump-history FILE --dump-node N]\n  cwx clone --nodes N --image-mb M [--loss P] [--unicast]\n  cwx lite [--ticks N]\n  cwx history --store DIR [--node N --monitor KEY] [--from S] [--to S] [--res raw|10s|5m] [--chart]\n  cwx chaos list\n  cwx chaos run SCENARIO [--seed X] [--verbose] [--report FILE]\n  cwx chaos run --toml FILE [--seed X] [--verbose] [--report FILE]\n  cwx fed sim [--clusters N] [--nodes M] [--secs S] [--seed X] [--uplink SECS]\n  cwx fed serve [--listen ADDR] [--secs S] [--stale-after SECS]\n  cwx fed join [--head ADDR] [--cluster C] [--nodes N] [--secs S] [--interval-ms MS]\n  cwx help"
     );
     std::process::exit(2);
 }
@@ -417,6 +419,22 @@ fn cmd_chaos(rest: &[String]) {
                     println!("  t={:>7.1}s  {}", ev.at_secs, ev.kind);
                 }
             }
+            // --report PATH always writes the machine-readable report;
+            // an invariant failure writes invariant_report.json even
+            // without the flag, so CI never has to grep human output
+            let report_path = args
+                .pairs
+                .iter()
+                .rev()
+                .find(|(k, _)| k == "report")
+                .map(|(_, v)| v.clone());
+            let write_report = |path: &str| match std::fs::write(path, r.to_json()) {
+                Ok(()) => println!("wrote machine-readable report to {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            };
+            if let Some(path) = &report_path {
+                write_report(path);
+            }
             if r.violations.is_empty() {
                 println!("invariants: all held");
             } else {
@@ -424,10 +442,153 @@ fn cmd_chaos(rest: &[String]) {
                 for v in &r.violations {
                     println!("  {v}");
                 }
+                if report_path.is_none() {
+                    write_report("invariant_report.json");
+                }
                 std::process::exit(1);
             }
         }
         _ => usage(),
+    }
+}
+
+fn cmd_fed(rest: &[String]) {
+    use clusterworx::{RealTimeConfig, RealTimeDeployment, RetryPolicy};
+    use cwx_fed::{FederationConfig, FederationSim, HeadServer};
+
+    let Some((sub, tail)) = rest.split_first() else {
+        eprintln!("`cwx fed` wants sim, serve or join");
+        usage();
+    };
+    let args = Args::parse(tail);
+    match sub.as_str() {
+        // deterministic in-process federation: N simulated clusters
+        // under one head, one seed
+        "sim" => {
+            let clusters: u16 = args.get("clusters", 4);
+            let nodes: u32 = args.get("nodes", 16);
+            let secs: u64 = args.get("secs", 600);
+            let seed: u64 = args.get("seed", 42);
+            let mut cfg = FederationConfig::uniform(clusters, nodes, seed);
+            cfg.uplink_interval = SimDuration::from_secs(args.get("uplink", 10u64));
+            let mut fed = FederationSim::build(cfg);
+            fed.run_for(SimDuration::from_secs(secs));
+            let fleet = fed.aggregate();
+            let sum = fed.sub_counts_sum();
+            println!(
+                "federation: {} clusters x {} nodes, {}s simulated (seed {})",
+                clusters, nodes, secs, seed
+            );
+            println!(
+                "head view: {} nodes | up {} | failed {} | reachable {} | {} stale",
+                fleet.total_nodes,
+                fleet.counts.up,
+                fleet.counts.failed,
+                fleet.reachable,
+                fleet.stale
+            );
+            println!(
+                "ground truth sum: up {} | failed {} | match: {}",
+                sum.up,
+                sum.failed,
+                fleet.counts == sum
+            );
+            println!("audit hash {:016x}", fed.head().audit_hash());
+            let load = fed.load();
+            println!(
+                "load: head {:.3}s | subs {:.3}s | {} sub events",
+                load.head_busy.as_secs_f64(),
+                load.sub_busy.as_secs_f64(),
+                load.sub_events
+            );
+            if fleet.counts != sum {
+                eprintln!("AGGREGATION MISMATCH");
+                std::process::exit(1);
+            }
+        }
+        // realtime head process: accept sub-servers over TCP
+        "serve" => {
+            let listen: String = args.get("listen", "127.0.0.1:7411".to_string());
+            let secs: u64 = args.get("secs", 60);
+            let stale: u64 = args.get("stale-after", 10);
+            let head = HeadServer::start(
+                &listen,
+                SimDuration::from_secs(stale),
+                RetryPolicy::default(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("could not bind {listen}: {e}");
+                std::process::exit(1);
+            });
+            println!("federation head on {} for {}s", head.addr(), secs);
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(secs);
+            while std::time::Instant::now() < deadline {
+                std::thread::sleep(
+                    std::time::Duration::from_secs(5)
+                        .min(deadline.saturating_duration_since(std::time::Instant::now())),
+                );
+                let now = head.now();
+                let h = head.head();
+                let guard = h.lock().unwrap();
+                let fleet = guard.aggregate(now);
+                println!(
+                    "t={:>5.0}s  {} clusters ({} stale) | {} nodes | up {} | {} alarms",
+                    now.as_secs_f64(),
+                    fleet.clusters,
+                    fleet.stale,
+                    fleet.total_nodes,
+                    fleet.counts.up,
+                    guard.stats().alarms_rx
+                );
+            }
+            let h = head.head();
+            let hash = h.lock().unwrap().audit_hash();
+            println!("final audit hash {hash:016x}");
+            head.shutdown();
+        }
+        // realtime sub-server process: run a local deployment and
+        // export it to a head
+        "join" => {
+            let head_addr: String = args.get("head", "127.0.0.1:7411".to_string());
+            let cluster: u16 = args.get("cluster", 0);
+            let nodes: u32 = args.get("nodes", 8);
+            let secs: u64 = args.get("secs", 60);
+            let interval_ms: u64 = args.get("interval-ms", 1000);
+            println!("cluster {cluster}: {nodes} nodes joining head {head_addr} for {secs}s");
+            let dep = RealTimeDeployment::start(RealTimeConfig {
+                n_nodes: nodes,
+                ..RealTimeConfig::default()
+            });
+            let stop = std::sync::atomic::AtomicBool::new(false);
+            let stats = std::thread::scope(|s| {
+                let stopper = s.spawn(|| {
+                    std::thread::sleep(std::time::Duration::from_secs(secs));
+                    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                });
+                let r = cwx_fed::join_loop(
+                    &dep,
+                    cluster,
+                    &head_addr,
+                    std::time::Duration::from_millis(interval_ms),
+                    &stop,
+                );
+                let _ = stopper.join();
+                r
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("could not reach head at {head_addr}: {e}");
+                std::process::exit(1);
+            });
+            let (sent, ingested) = dep.shutdown();
+            println!(
+                "done: {} exports | {} commands applied | {} reconnects | local stack {} sent / {} ingested",
+                stats.exports, stats.commands, stats.reconnects, sent, ingested
+            );
+        }
+        other => {
+            eprintln!("unknown fed subcommand: {other}");
+            usage();
+        }
     }
 }
 
@@ -438,6 +599,9 @@ fn main() {
     };
     if cmd == "chaos" {
         return cmd_chaos(rest);
+    }
+    if cmd == "fed" {
+        return cmd_fed(rest);
     }
     let args = Args::parse(rest);
     match cmd.as_str() {
