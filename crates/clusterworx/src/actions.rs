@@ -298,6 +298,22 @@ pub enum AuditEntry {
         /// What failed.
         what: String,
     },
+    /// An ingest lane's flush queue filled: connections feeding it were
+    /// paused (explicit backpressure, never an unbounded buffer or a
+    /// stalled thread).
+    IngestBackpressure {
+        /// The backpressured ingest lane / store shard.
+        lane: usize,
+        /// Batches queued at the moment the bound tripped.
+        queued: usize,
+    },
+    /// An ingest connection was closed by policy rather than by its
+    /// peer (slow consumer, oversized frame, garbage flood). The
+    /// record's `node` carries the agent when it had identified itself.
+    ConnectionEvicted {
+        /// Why the connection was evicted.
+        reason: String,
+    },
 }
 
 /// Physical side-effects the driver (sim or realtime) must apply.
@@ -512,6 +528,28 @@ impl ControlPlane {
     /// Log a recoverable I/O error into the audit trail.
     pub fn audit_io_error(&mut self, now: SimTime, node: Option<u32>, what: impl Into<String>) {
         self.record(now, node, AuditEntry::IoError { what: what.into() });
+    }
+
+    /// Log an ingest-lane backpressure trip (the lane's connections are
+    /// being paused until its flush queue drains).
+    pub fn audit_ingest_backpressure(&mut self, now: SimTime, lane: usize, queued: usize) {
+        self.record(now, None, AuditEntry::IngestBackpressure { lane, queued });
+    }
+
+    /// Log a policy eviction of an ingest connection.
+    pub fn audit_connection_evicted(
+        &mut self,
+        now: SimTime,
+        node: Option<u32>,
+        reason: impl Into<String>,
+    ) {
+        self.record(
+            now,
+            node,
+            AuditEntry::ConnectionEvicted {
+                reason: reason.into(),
+            },
+        );
     }
 
     // ------------------------------------------------------------------

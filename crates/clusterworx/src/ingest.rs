@@ -1,0 +1,1506 @@
+//! Connection-oriented realtime ingest: the TCP front door agents ship
+//! `CWB1` reports through.
+//!
+//! Two implementations sit behind one listener API:
+//!
+//! * [`IngestMode::Reactor`] (the default) — a single readiness-driven
+//!   reactor thread (`cwx_net::reactor`, epoll) owns every agent
+//!   connection: nonblocking accept, per-connection [`FrameConn`]
+//!   state machines that survive partial frames across readiness
+//!   events, and per-connection `CWB1` decoders that decode straight
+//!   out of the reused read buffer. Decoded reports land in per-lane
+//!   batch buffers (one lane per store shard) that flush on size/delay
+//!   bounds to a small pool of flush workers, which batch-append to
+//!   the store ([`Store::append_batch`] → one WAL write per shard per
+//!   batch) and take the server lock once per batch. One thread
+//!   sustains tens of thousands of connections with bounded memory.
+//! * [`IngestMode::ThreadPerConn`] — the classic shape this replaces,
+//!   kept as a differential baseline: one OS thread per accepted
+//!   connection doing blocking reads into the same decode/batch/flush
+//!   path. Same frames in, same store contents out (a test pins this),
+//!   but memory and scheduler load grow with every agent.
+//!
+//! Backpressure is explicit, never an unbounded buffer or a stalled
+//! reactor: when a lane's flush queue fills, the connections feeding
+//! that lane are paused (their read interest is dropped; the kernel's
+//! TCP window then pushes back on the agent), an
+//! [`AuditEntry::IngestBackpressure`](crate::actions::AuditEntry::IngestBackpressure) row is written, and a connection
+//! that stays paused past `evict_pause` — a slow consumer holding the
+//! lane hostage — is evicted with [`AuditEntry::ConnectionEvicted`](crate::actions::AuditEntry::ConnectionEvicted)
+//! while every other lane keeps flowing. Oversized frames,
+//! receive-buffer overflow and garbage floods evict the same way.
+//!
+//! Samples are stamped with the *report's* gather time (`time_secs`),
+//! so identical agent traffic produces identical store contents
+//! regardless of ingest mode, arrival jitter, or batching boundaries —
+//! that property is what the reactor-vs-baseline differential test
+//! asserts. Receive time still drives liveness and event evaluation.
+
+use std::io::{self, Read};
+use std::mem;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use cwx_monitor::monitor::Value;
+use cwx_monitor::transmit::{Report, WireDecoder};
+use cwx_net::frame::{ConnError, ConnLimits, FrameConn, ReadState};
+use cwx_net::reactor::{Event, Interest, Poller, Token, Waker};
+use cwx_store::disk::DiskStore;
+use cwx_store::{BatchSample, Store};
+use cwx_util::time::{SimDuration, SimTime};
+use parking_lot::{Mutex, RwLock};
+
+use crate::actions::ControlPlane;
+use crate::server::Server;
+
+/// Which server architecture accepts agent connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestMode {
+    /// Readiness-driven reactor: one thread, any number of sockets.
+    Reactor,
+    /// One blocking OS thread per connection (differential baseline).
+    ThreadPerConn,
+}
+
+/// Tuning knobs for the ingest plane.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Listen address; port 0 picks a free port.
+    pub listen: String,
+    /// Server architecture.
+    pub mode: IngestMode,
+    /// Ingest lanes (one flush worker each); match the store's shard
+    /// count so each lane's batches hit one WAL.
+    pub n_lanes: usize,
+    /// Node-group width used to route a report's node to a lane
+    /// (matches the store's shard routing).
+    pub nodes_per_group: u32,
+    /// Decoded samples a lane buffers before its batch flushes.
+    pub batch_samples: usize,
+    /// Longest a buffered report waits before the batch flushes anyway.
+    pub batch_delay: Duration,
+    /// Largest accepted wire frame.
+    pub max_frame: usize,
+    /// Per-connection unparsed-byte bound across readiness events.
+    pub conn_read_buffer: usize,
+    /// Bound of each lane's flush queue, in batches; a full queue is a
+    /// backpressure trip, not a bigger buffer.
+    pub lane_queue_batches: usize,
+    /// How long a connection may stay paused under lane backpressure
+    /// before it is evicted as a slow consumer.
+    pub evict_pause: Duration,
+    /// Decode failures tolerated per connection before it is evicted
+    /// as a garbage flood.
+    pub max_decode_errors: u64,
+    /// Baseline mode: how long a connection thread parks on a full
+    /// lane queue before dropping the batch (park-then-drop, audited).
+    pub handoff_timeout: Duration,
+    /// Test hook: per-report flush-worker delay, to force backpressure.
+    pub flush_stall: Option<Duration>,
+    /// Test hook: confine `flush_stall` to one lane (`None` = all).
+    pub stall_lane: Option<usize>,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            listen: "127.0.0.1:0".to_string(),
+            mode: IngestMode::Reactor,
+            n_lanes: 1,
+            nodes_per_group: u32::MAX,
+            batch_samples: 512,
+            batch_delay: Duration::from_millis(25),
+            max_frame: 1 << 20,
+            conn_read_buffer: 1 << 20,
+            lane_queue_batches: 64,
+            evict_pause: Duration::from_secs(30),
+            max_decode_errors: 64,
+            handoff_timeout: Duration::from_secs(30),
+            flush_stall: None,
+            stall_lane: None,
+        }
+    }
+}
+
+/// Point-in-time counters of a running (or finished) ingest server.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestStats {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Connections currently open.
+    pub active: u64,
+    /// Connections closed by policy (slow consumer, oversize, garbage).
+    pub evicted: u64,
+    /// Wire frames received.
+    pub frames: u64,
+    /// Reports decoded and handed to flush workers.
+    pub reports: u64,
+    /// Numeric samples appended to the store.
+    pub samples: u64,
+    /// Frames that failed to decode.
+    pub decode_errors: u64,
+    /// Times a lane's flush queue filled and its connections were
+    /// paused.
+    pub backpressure_trips: u64,
+    /// Baseline mode: reports dropped after a handoff park timed out.
+    pub handoff_drops: u64,
+    /// Wire payload bytes received.
+    pub bytes: u64,
+}
+
+/// Latency summary over ingest flushes (readiness read → store
+/// visible), microseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestLatency {
+    /// Flushed reports measured.
+    pub count: usize,
+    /// Median.
+    pub p50_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Worst observed.
+    pub max_us: f64,
+}
+
+const LATENCY_RESERVOIR: usize = 200_000;
+
+#[derive(Default)]
+struct Shared {
+    drain: AtomicBool,
+    accepted: AtomicU64,
+    active: AtomicU64,
+    evicted: AtomicU64,
+    frames: AtomicU64,
+    reports: AtomicU64,
+    samples: AtomicU64,
+    decode_errors: AtomicU64,
+    backpressure_trips: AtomicU64,
+    handoff_drops: AtomicU64,
+    bytes: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+impl Shared {
+    fn snapshot(&self) -> IngestStats {
+        IngestStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            reports: self.reports.load(Ordering::Relaxed),
+            samples: self.samples.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            backpressure_trips: self.backpressure_trips.load(Ordering::Relaxed),
+            handoff_drops: self.handoff_drops.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One decoded report travelling from a connection to a flush worker.
+struct Decoded {
+    /// Receive time (liveness / event evaluation).
+    recv: SimTime,
+    /// Wall-clock arrival, for the flush-latency histogram.
+    rx_at: Instant,
+    /// Wire bytes of the frame it came from.
+    wire: usize,
+    report: Report,
+}
+
+/// One lane's flush unit.
+struct Batch {
+    reports: Vec<Decoded>,
+    /// Wire sizes of frames that failed to decode (server stats).
+    error_bytes: Vec<usize>,
+}
+
+fn numeric_samples(report: &Report) -> usize {
+    report
+        .values
+        .iter()
+        .filter(|(_, v)| matches!(v, Value::Num(_)))
+        .count()
+}
+
+/// The sample timestamp written to history: the report's own gather
+/// time when it is sane, else the receive time. Using gather time makes
+/// store contents a pure function of the agent traffic — the property
+/// the reactor-vs-baseline differential test pins.
+fn sample_time(d: &Decoded) -> SimTime {
+    let t = d.report.time_secs;
+    if t.is_finite() && t >= 0.0 {
+        SimTime::ZERO + SimDuration::from_secs_f64(t)
+    } else {
+        d.recv
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn flusher_loop(
+    lane: usize,
+    rx: Receiver<Batch>,
+    server: Arc<RwLock<Server>>,
+    store: Option<Arc<DiskStore>>,
+    shared: Arc<Shared>,
+    waker: Waker,
+    epoch: Instant,
+    stall: Option<Duration>,
+) -> u64 {
+    let _ = lane;
+    let mut total = 0u64;
+    while let Ok(batch) = rx.recv() {
+        if let Some(d) = stall {
+            // test hook: a deliberately slow consumer
+            std::thread::sleep(d * batch.reports.len().max(1) as u32);
+        }
+        let now = SimTime::ZERO + SimDuration::from_secs_f64(epoch.elapsed().as_secs_f64());
+        let mut samples = 0u64;
+        if let Some(store) = &store {
+            let mut out: Vec<BatchSample> = Vec::new();
+            for d in &batch.reports {
+                let at = sample_time(d);
+                for (key, value) in &d.report.values {
+                    if let Value::Num(x) = value {
+                        out.push(BatchSample {
+                            node: d.report.node,
+                            monitor: key.as_str(),
+                            time: at,
+                            value: *x,
+                        });
+                    }
+                }
+            }
+            samples = out.len() as u64;
+            // storage writes on the shard lock only; the server lock
+            // below covers just events + liveness
+            store.append_batch(&out);
+            let mut srv = server.write();
+            for d in &batch.reports {
+                srv.ingest_report_events_only(d.recv, &d.report, d.wire);
+            }
+            for &b in &batch.error_bytes {
+                srv.note_decode_error(b);
+            }
+            srv.housekeeping(now);
+        } else {
+            let mut srv = server.write();
+            for d in &batch.reports {
+                samples += numeric_samples(&d.report) as u64;
+                srv.ingest_report_wire(d.recv, &d.report, d.wire);
+            }
+            for &b in &batch.error_bytes {
+                srv.note_decode_error(b);
+            }
+            srv.housekeeping(now);
+        }
+        let done = Instant::now();
+        {
+            let mut lat = shared.latencies_us.lock();
+            for d in &batch.reports {
+                if lat.len() >= LATENCY_RESERVOIR {
+                    break;
+                }
+                lat.push(done.duration_since(d.rx_at).as_micros() as u64);
+            }
+        }
+        total += batch.reports.len() as u64;
+        shared
+            .reports
+            .fetch_add(batch.reports.len() as u64, Ordering::Relaxed);
+        shared.samples.fetch_add(samples, Ordering::Relaxed);
+        // a blocked lane may be waiting on this queue slot
+        waker.wake();
+    }
+    total
+}
+
+/// A running ingest listener (either mode) plus its flush workers.
+pub struct IngestServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    waker: Waker,
+    front: Option<std::thread::JoinHandle<()>>,
+    flushers: Vec<std::thread::JoinHandle<u64>>,
+}
+
+impl IngestServer {
+    /// Bind the listener and start the front end and flush workers.
+    pub fn start(
+        cfg: IngestConfig,
+        server: Arc<RwLock<Server>>,
+        store: Option<Arc<DiskStore>>,
+        control: Arc<Mutex<ControlPlane>>,
+        epoch: Instant,
+    ) -> io::Result<IngestServer> {
+        let listener = TcpListener::bind(&cfg.listen)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        // survive cluster-wide reconnect storms without SYN drops
+        let _ = cwx_net::reactor::widen_listen_backlog(&listener, 4096);
+        let shared = Arc::new(Shared::default());
+        let waker = Waker::new()?;
+
+        let n_lanes = cfg.n_lanes.max(1);
+        let mut txs = Vec::with_capacity(n_lanes);
+        let mut flushers = Vec::with_capacity(n_lanes);
+        for lane in 0..n_lanes {
+            let (tx, rx) = bounded::<Batch>(cfg.lane_queue_batches.max(1));
+            txs.push(tx);
+            let server = Arc::clone(&server);
+            let store = store.clone();
+            let shared = Arc::clone(&shared);
+            let waker = waker.clone();
+            let stall = match (cfg.flush_stall, cfg.stall_lane) {
+                (Some(d), Some(l)) if l == lane => Some(d),
+                (Some(d), None) => Some(d),
+                _ => None,
+            };
+            flushers.push(std::thread::spawn(move || {
+                flusher_loop(lane, rx, server, store, shared, waker, epoch, stall)
+            }));
+        }
+
+        let front = {
+            let cfg = cfg.clone();
+            let shared = Arc::clone(&shared);
+            let waker = waker.clone();
+            match cfg.mode {
+                IngestMode::Reactor => {
+                    let mut reactor =
+                        Reactor::new(cfg, listener, txs, control, shared, waker, epoch)?;
+                    std::thread::spawn(move || reactor.run())
+                }
+                IngestMode::ThreadPerConn => std::thread::spawn(move || {
+                    baseline_accept_loop(cfg, listener, txs, control, shared, waker, epoch)
+                }),
+            }
+        };
+
+        Ok(IngestServer {
+            addr,
+            shared,
+            waker,
+            front: Some(front),
+            flushers,
+        })
+    }
+
+    /// The bound address agents connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> IngestStats {
+        self.shared.snapshot()
+    }
+
+    /// Flush-latency percentiles observed so far.
+    pub fn latency(&self) -> IngestLatency {
+        let lat = self.shared.latencies_us.lock();
+        if lat.is_empty() {
+            return IngestLatency::default();
+        }
+        let mut sorted: Vec<f64> = lat.iter().map(|&v| v as f64).collect();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        IngestLatency {
+            count: sorted.len(),
+            p50_us: cwx_util::stats::percentile_sorted(&sorted, 0.50),
+            p99_us: cwx_util::stats::percentile_sorted(&sorted, 0.99),
+            max_us: *sorted.last().unwrap(),
+        }
+    }
+
+    /// Drain and stop: existing connections are read to EOF (with a
+    /// deadline), buffered batches flush, workers join. Returns the
+    /// total reports ingested.
+    pub fn shutdown(mut self) -> u64 {
+        self.shared.drain.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        if let Some(f) = self.front.take() {
+            let _ = f.join();
+        }
+        let mut total = 0;
+        for f in self.flushers.drain(..) {
+            if let Ok(n) = f.join() {
+                total += n;
+            }
+        }
+        total
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reactor front end
+
+const TOK_LISTENER: Token = Token(0);
+const TOK_WAKER: Token = Token(1);
+const TOK_BASE: usize = 2;
+
+/// How long after drain begins that still-open connections are closed
+/// forcibly.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
+
+struct Conn {
+    fc: FrameConn,
+    decoder: WireDecoder,
+    /// The agent node, learned from its first decoded report.
+    node: Option<u32>,
+    /// The lane that node routes to (pause/resume granularity).
+    lane: Option<usize>,
+    /// Set while paused under lane backpressure.
+    paused_at: Option<Instant>,
+    decode_errors: u64,
+}
+
+struct Lane {
+    tx: Sender<Batch>,
+    pending: Vec<Decoded>,
+    pending_samples: usize,
+    error_bytes: Vec<usize>,
+    oldest: Option<Instant>,
+    blocked: bool,
+}
+
+struct Reactor {
+    cfg: IngestConfig,
+    listener: TcpListener,
+    poller: Poller,
+    waker: Waker,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    lanes: Vec<Lane>,
+    control: Arc<Mutex<ControlPlane>>,
+    shared: Arc<Shared>,
+    epoch: Instant,
+    drain_seen: Option<Instant>,
+    accepting: bool,
+}
+
+impl Reactor {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        cfg: IngestConfig,
+        listener: TcpListener,
+        txs: Vec<Sender<Batch>>,
+        control: Arc<Mutex<ControlPlane>>,
+        shared: Arc<Shared>,
+        waker: Waker,
+        epoch: Instant,
+    ) -> io::Result<Reactor> {
+        let mut poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), TOK_LISTENER, Interest::READABLE)?;
+        poller.register(waker.as_raw_fd(), TOK_WAKER, Interest::READABLE)?;
+        let lanes = txs
+            .into_iter()
+            .map(|tx| Lane {
+                tx,
+                pending: Vec::new(),
+                pending_samples: 0,
+                error_bytes: Vec::new(),
+                oldest: None,
+                blocked: false,
+            })
+            .collect();
+        Ok(Reactor {
+            cfg,
+            listener,
+            poller,
+            waker,
+            conns: Vec::new(),
+            free: Vec::new(),
+            lanes,
+            control,
+            shared,
+            epoch,
+            drain_seen: None,
+            accepting: true,
+        })
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(self.epoch.elapsed().as_secs_f64())
+    }
+
+    fn run(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            let busy = self.lanes.iter().any(|l| l.oldest.is_some() || l.blocked)
+                || self.drain_seen.is_some()
+                || self
+                    .conns
+                    .iter()
+                    .any(|c| c.as_ref().is_some_and(|c| c.paused_at.is_some()));
+            let timeout = if busy {
+                self.cfg.batch_delay.min(Duration::from_millis(20))
+            } else {
+                Duration::from_millis(100)
+            };
+            events.clear();
+            if self.poller.poll(&mut events, Some(timeout)).is_err() {
+                break;
+            }
+            for ev in events.iter().copied() {
+                match ev.token {
+                    TOK_LISTENER => self.accept_ready(),
+                    TOK_WAKER => {
+                        self.waker.drain();
+                        self.retry_blocked_lanes();
+                    }
+                    Token(t) => self.conn_ready(t - TOK_BASE, ev),
+                }
+            }
+            // time-based batch flushes
+            for l in 0..self.lanes.len() {
+                let due = self.lanes[l]
+                    .oldest
+                    .is_some_and(|t| t.elapsed() >= self.cfg.batch_delay);
+                if due {
+                    self.flush_lane(l);
+                }
+            }
+            self.retry_blocked_lanes();
+            self.evict_overdue();
+            if self.drain_tick() {
+                break;
+            }
+        }
+        self.finish();
+    }
+
+    /// Drain bookkeeping; true when the reactor should exit.
+    fn drain_tick(&mut self) -> bool {
+        if !self.shared.drain.load(Ordering::SeqCst) {
+            return false;
+        }
+        let seen = *self.drain_seen.get_or_insert_with(|| {
+            // stop accepting; existing conns get read to EOF
+            self.accepting = false;
+            let _ = self.poller.deregister(self.listener.as_raw_fd());
+            Instant::now()
+        });
+        let live = self.shared.active.load(Ordering::Relaxed);
+        if live == 0 {
+            return true;
+        }
+        if seen.elapsed() >= DRAIN_DEADLINE {
+            // clients that never hung up: close them now
+            for idx in 0..self.conns.len() {
+                if self.conns[idx].is_some() {
+                    self.close_conn(idx);
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Final flush on the way out: everything still pending goes to the
+    /// flush workers with a blocking send (the queues drain as workers
+    /// run), then the lane senders drop so workers exit.
+    fn finish(&mut self) {
+        for lane in &mut self.lanes {
+            if lane.pending.is_empty() && lane.error_bytes.is_empty() {
+                continue;
+            }
+            let batch = Batch {
+                reports: mem::take(&mut lane.pending),
+                error_bytes: mem::take(&mut lane.error_bytes),
+            };
+            let _ = lane.tx.send(batch);
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        while self.accepting {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let limits = ConnLimits {
+                        max_frame: self.cfg.max_frame,
+                        max_read_buffer: self.cfg.conn_read_buffer,
+                        max_write_buffer: 1 << 20,
+                    };
+                    let fc = match FrameConn::new(stream, limits) {
+                        Ok(fc) => fc,
+                        Err(_) => continue,
+                    };
+                    let idx = match self.free.pop() {
+                        Some(i) => i,
+                        None => {
+                            self.conns.push(None);
+                            self.conns.len() - 1
+                        }
+                    };
+                    if self
+                        .poller
+                        .register(
+                            fc.stream().as_raw_fd(),
+                            Token(idx + TOK_BASE),
+                            Interest::READABLE,
+                        )
+                        .is_err()
+                    {
+                        self.free.push(idx);
+                        continue;
+                    }
+                    self.conns[idx] = Some(Conn {
+                        fc,
+                        decoder: WireDecoder::new(),
+                        node: None,
+                        lane: None,
+                        paused_at: None,
+                        decode_errors: 0,
+                    });
+                    self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.shared.active.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, idx: usize, ev: Event) {
+        let Some(mut conn) = self.conns.get_mut(idx).and_then(Option::take) else {
+            return;
+        };
+        if conn.paused_at.is_some() {
+            // stale event raced a pause; ignore until resumed
+            self.conns[idx] = Some(conn);
+            return;
+        }
+        let outcome = if ev.readable || ev.closed {
+            self.read_conn(&mut conn)
+        } else {
+            Ok(ReadState::Drained)
+        };
+        match outcome {
+            Ok(ReadState::Drained) | Ok(ReadState::HasMore) => {
+                // level-triggered poller re-fires on leftover data
+                self.conns[idx] = Some(conn);
+                self.flush_due_lanes();
+            }
+            Ok(ReadState::Eof) => {
+                self.drop_conn(idx, conn);
+                self.flush_due_lanes();
+            }
+            Err(e) => {
+                self.evict(idx, conn, &format!("{e}"));
+                self.flush_due_lanes();
+            }
+        }
+    }
+
+    /// Pull frames off one connection into the lane buffers.
+    fn read_conn(&mut self, conn: &mut Conn) -> Result<ReadState, ConnError> {
+        let now = self.now();
+        let Conn {
+            fc,
+            decoder,
+            node,
+            lane,
+            decode_errors,
+            ..
+        } = conn;
+        let lanes = &mut self.lanes;
+        let shared = &self.shared;
+        let nodes_per_group = self.cfg.nodes_per_group.max(1);
+        let n_lanes = lanes.len();
+        let state = fc.read_frames(|frame| {
+            shared.frames.fetch_add(1, Ordering::Relaxed);
+            shared
+                .bytes
+                .fetch_add(frame.len() as u64, Ordering::Relaxed);
+            match decoder.decode_auto(frame) {
+                Ok(report) => {
+                    let l = (report.node / nodes_per_group) as usize % n_lanes;
+                    *node = Some(report.node);
+                    *lane = Some(l);
+                    let entry = &mut lanes[l];
+                    entry.pending_samples += numeric_samples(&report);
+                    entry.pending.push(Decoded {
+                        recv: now,
+                        rx_at: Instant::now(),
+                        wire: frame.len(),
+                        report,
+                    });
+                    entry.oldest.get_or_insert_with(Instant::now);
+                }
+                Err(_) => {
+                    shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    *decode_errors += 1;
+                    let l = lane.unwrap_or(0);
+                    lanes[l].error_bytes.push(frame.len());
+                    lanes[l].oldest.get_or_insert_with(Instant::now);
+                }
+            }
+        })?;
+        if conn.decode_errors > self.cfg.max_decode_errors {
+            return Err(ConnError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "garbage flood: too many undecodable frames",
+            )));
+        }
+        Ok(state)
+    }
+
+    /// Flush every lane whose size bound tripped.
+    fn flush_due_lanes(&mut self) {
+        for l in 0..self.lanes.len() {
+            if self.lanes[l].pending_samples >= self.cfg.batch_samples {
+                self.flush_lane(l);
+            }
+        }
+    }
+
+    /// Hand one lane's buffered batch to its flush worker; on a full
+    /// queue, trip backpressure and pause the lane's connections.
+    fn flush_lane(&mut self, l: usize) {
+        let lane = &mut self.lanes[l];
+        if lane.pending.is_empty() && lane.error_bytes.is_empty() {
+            lane.oldest = None;
+            return;
+        }
+        let batch = Batch {
+            reports: mem::take(&mut lane.pending),
+            error_bytes: mem::take(&mut lane.error_bytes),
+        };
+        match lane.tx.try_send(batch) {
+            Ok(()) => {
+                lane.pending_samples = 0;
+                lane.oldest = None;
+                if lane.blocked {
+                    lane.blocked = false;
+                    self.resume_lane(l);
+                }
+            }
+            Err(TrySendError::Full(batch)) => {
+                // put the batch back; the waker retries when the worker
+                // frees a slot
+                lane.pending = batch.reports;
+                lane.error_bytes = batch.error_bytes;
+                if !lane.blocked {
+                    lane.blocked = true;
+                    let queued = self.cfg.lane_queue_batches.max(1);
+                    self.shared
+                        .backpressure_trips
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.control
+                        .lock()
+                        .audit_ingest_backpressure(self.now(), l, queued);
+                    self.pause_lane(l);
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                // shutdown race: workers are gone
+                lane.pending_samples = 0;
+                lane.oldest = None;
+            }
+        }
+    }
+
+    fn retry_blocked_lanes(&mut self) {
+        for l in 0..self.lanes.len() {
+            if self.lanes[l].blocked {
+                self.flush_lane(l);
+            }
+        }
+    }
+
+    /// Drop read interest for every connection feeding lane `l`.
+    fn pause_lane(&mut self, l: usize) {
+        for idx in 0..self.conns.len() {
+            if let Some(conn) = &mut self.conns[idx] {
+                if conn.lane == Some(l) && conn.paused_at.is_none() {
+                    conn.paused_at = Some(Instant::now());
+                    let _ = self.poller.reregister(
+                        conn.fc.stream().as_raw_fd(),
+                        Token(idx + TOK_BASE),
+                        Interest::NONE,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Restore read interest after lane `l` unblocked.
+    fn resume_lane(&mut self, l: usize) {
+        for idx in 0..self.conns.len() {
+            if let Some(conn) = &mut self.conns[idx] {
+                if conn.lane == Some(l) && conn.paused_at.is_some() {
+                    conn.paused_at = None;
+                    let _ = self.poller.reregister(
+                        conn.fc.stream().as_raw_fd(),
+                        Token(idx + TOK_BASE),
+                        Interest::READABLE,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Evict connections that sat paused past the bound: a slow
+    /// consumer chain (stalled store / full lane) must shed its
+    /// sources, not stall the fleet.
+    fn evict_overdue(&mut self) {
+        for idx in 0..self.conns.len() {
+            let overdue = self.conns[idx].as_ref().is_some_and(|c| {
+                c.paused_at
+                    .is_some_and(|t| t.elapsed() >= self.cfg.evict_pause)
+            });
+            if overdue {
+                if let Some(conn) = self.conns[idx].take() {
+                    let lane = conn.lane.unwrap_or(0);
+                    self.evict(
+                        idx,
+                        conn,
+                        &format!("slow consumer: lane {lane} backpressured past bound"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn evict(&mut self, idx: usize, conn: Conn, reason: &str) {
+        self.shared.evicted.fetch_add(1, Ordering::Relaxed);
+        self.control
+            .lock()
+            .audit_connection_evicted(self.now(), conn.node, reason);
+        self.drop_conn(idx, conn);
+    }
+
+    fn drop_conn(&mut self, idx: usize, conn: Conn) {
+        let _ = self.poller.deregister(conn.fc.stream().as_raw_fd());
+        self.shared.active.fetch_sub(1, Ordering::Relaxed);
+        self.free.push(idx);
+        drop(conn);
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        if let Some(conn) = self.conns[idx].take() {
+            self.drop_conn(idx, conn);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-per-connection baseline
+
+/// How many worker threads the baseline may hold at once. Every thread
+/// costs the kernel ~4 memory mappings (stack, guard, sigaltstack and
+/// its guard; measured, not guessed); blowing past `vm.max_map_count`
+/// aborts the process from inside a half-started thread, where no
+/// error path can run. Budget ahead of time — a fifth of the map
+/// limit, leaving headroom for the heap and mapped segments — and shed
+/// connections instead.
+fn baseline_thread_budget() -> usize {
+    let max_maps: usize = std::fs::read_to_string("/proc/sys/vm/max_map_count")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(65530);
+    (max_maps / 5).max(256)
+}
+
+fn baseline_accept_loop(
+    cfg: IngestConfig,
+    listener: TcpListener,
+    txs: Vec<Sender<Batch>>,
+    control: Arc<Mutex<ControlPlane>>,
+    shared: Arc<Shared>,
+    waker: Waker,
+    epoch: Instant,
+) {
+    let budget = baseline_thread_budget();
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.drain.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.active.fetch_add(1, Ordering::Relaxed);
+                if workers.len() >= budget {
+                    shared.active.fetch_sub(1, Ordering::Relaxed);
+                    shared.evicted.fetch_add(1, Ordering::Relaxed);
+                    let now =
+                        SimTime::ZERO + SimDuration::from_secs_f64(epoch.elapsed().as_secs_f64());
+                    control.lock().audit_connection_evicted(
+                        now,
+                        None,
+                        "thread-per-conn exhausted: worker thread budget reached",
+                    );
+                    drop(stream);
+                    continue;
+                }
+                let cfg = cfg.clone();
+                let txs = txs.clone();
+                let control = Arc::clone(&control);
+                let conn_control = Arc::clone(&control);
+                let conn_shared = Arc::clone(&shared);
+                let waker = waker.clone();
+                // a modest stack: the conn loop keeps its buffers on
+                // the heap, and default 8 MiB stacks exhaust the
+                // kernel's mmap budget thousands of threads before the
+                // fd limit
+                let spawned = std::thread::Builder::new()
+                    .stack_size(256 * 1024)
+                    .spawn(move || {
+                        baseline_conn_loop(
+                            cfg,
+                            stream,
+                            txs,
+                            conn_control,
+                            &conn_shared,
+                            waker,
+                            epoch,
+                        );
+                        conn_shared.active.fetch_sub(1, Ordering::Relaxed);
+                    });
+                match spawned {
+                    Ok(h) => workers.push(h),
+                    // out of threads IS the baseline's failure mode at
+                    // scale; shed the connection instead of panicking
+                    Err(_) => {
+                        shared.active.fetch_sub(1, Ordering::Relaxed);
+                        shared.evicted.fetch_add(1, Ordering::Relaxed);
+                        let now = SimTime::ZERO
+                            + SimDuration::from_secs_f64(epoch.elapsed().as_secs_f64());
+                        control.lock().audit_connection_evicted(
+                            now,
+                            None,
+                            "thread-per-conn exhausted: cannot spawn worker thread",
+                        );
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// Outcome of one blocking framed read.
+enum BlockingRead {
+    Frame(usize),
+    Eof,
+    /// Read timeout at a frame boundary (safe point for a delay flush).
+    Idle,
+}
+
+/// Blocking length-prefixed read that survives read timeouts without
+/// losing framing: a timeout mid-frame keeps waiting, a timeout at a
+/// frame boundary returns [`BlockingRead::Idle`].
+fn read_frame_blocking(
+    stream: &mut TcpStream,
+    max_frame: usize,
+    buf: &mut Vec<u8>,
+) -> io::Result<BlockingRead> {
+    let mut header = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match stream.read(&mut header[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(BlockingRead::Eof)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "eof inside frame header",
+                    ))
+                }
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if got == 0 {
+                    return Ok(BlockingRead::Idle);
+                }
+                // mid-header: keep waiting, framing depends on it
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > max_frame {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("oversized frame ({len} bytes)"),
+        ));
+    }
+    buf.resize(len, 0);
+    let mut read = 0usize;
+    while read < len {
+        match stream.read(&mut buf[read..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame body",
+                ))
+            }
+            Ok(n) => read += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(BlockingRead::Frame(len))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn baseline_conn_loop(
+    cfg: IngestConfig,
+    mut stream: TcpStream,
+    txs: Vec<Sender<Batch>>,
+    control: Arc<Mutex<ControlPlane>>,
+    shared: &Shared,
+    waker: Waker,
+    epoch: Instant,
+) {
+    let _ = stream.set_nodelay(true);
+    // short timeout only while a partial batch waits on the delay
+    // flush; with nothing pending the thread can block much longer —
+    // at tens of thousands of threads the idle wake rate is what
+    // decides whether this architecture lives or dies
+    let batch_to = cfg.batch_delay.max(Duration::from_millis(1));
+    let idle_to = batch_to.max(Duration::from_millis(500));
+    let _ = stream.set_read_timeout(Some(idle_to));
+    let mut timeout_is_batch = false;
+    let mut decoder = WireDecoder::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut pending: Vec<Decoded> = Vec::new();
+    let mut pending_samples = 0usize;
+    let mut error_bytes: Vec<usize> = Vec::new();
+    let mut oldest: Option<Instant> = None;
+    let mut lane = 0usize;
+    let mut decode_errors = 0u64;
+    let mut drop_audited = false;
+    let nodes_per_group = cfg.nodes_per_group.max(1);
+
+    let handoff = |pending: &mut Vec<Decoded>,
+                   pending_samples: &mut usize,
+                   error_bytes: &mut Vec<usize>,
+                   oldest: &mut Option<Instant>,
+                   lane: usize,
+                   drop_audited: &mut bool| {
+        if pending.is_empty() && error_bytes.is_empty() {
+            return;
+        }
+        let n = pending.len() as u64;
+        let batch = Batch {
+            reports: mem::take(pending),
+            error_bytes: mem::take(error_bytes),
+        };
+        *pending_samples = 0;
+        *oldest = None;
+        // bounded handoff: park up to the timeout, then drop — audited,
+        // never an unbounded wait or an unbounded buffer
+        if txs[lane].send_timeout(batch, cfg.handoff_timeout).is_err() {
+            shared.handoff_drops.fetch_add(n, Ordering::Relaxed);
+            if !*drop_audited {
+                *drop_audited = true;
+                let now = SimTime::ZERO + SimDuration::from_secs_f64(epoch.elapsed().as_secs_f64());
+                control.lock().audit_io_error(
+                    now,
+                    None,
+                    format!("ingest handoff parked past bound; dropping (lane {lane})"),
+                );
+            }
+        } else {
+            waker.wake();
+        }
+    };
+
+    // on drain, keep reading until the stream goes quiet (frame
+    // boundary with nothing buffered) or EOF, bounded by the same
+    // deadline as the reactor — breaking immediately would strand
+    // frames the kernel has already accepted from the agent
+    let mut drain_since: Option<Instant> = None;
+    loop {
+        if drain_since.is_none() && shared.drain.load(Ordering::SeqCst) {
+            drain_since = Some(Instant::now());
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+        }
+        if drain_since.is_some_and(|t| t.elapsed() >= DRAIN_DEADLINE) {
+            break;
+        }
+        let want_batch = !(pending.is_empty() && error_bytes.is_empty());
+        if drain_since.is_none() && want_batch != timeout_is_batch {
+            timeout_is_batch = want_batch;
+            let _ = stream.set_read_timeout(Some(if want_batch { batch_to } else { idle_to }));
+        }
+        match read_frame_blocking(&mut stream, cfg.max_frame, &mut buf) {
+            Ok(BlockingRead::Frame(len)) => {
+                shared.frames.fetch_add(1, Ordering::Relaxed);
+                shared.bytes.fetch_add(len as u64, Ordering::Relaxed);
+                let now = SimTime::ZERO + SimDuration::from_secs_f64(epoch.elapsed().as_secs_f64());
+                match decoder.decode_auto(&buf[..len]) {
+                    Ok(report) => {
+                        lane = (report.node / nodes_per_group) as usize % txs.len();
+                        pending_samples += numeric_samples(&report);
+                        pending.push(Decoded {
+                            recv: now,
+                            rx_at: Instant::now(),
+                            wire: len,
+                            report,
+                        });
+                        oldest.get_or_insert_with(Instant::now);
+                    }
+                    Err(_) => {
+                        shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        decode_errors += 1;
+                        error_bytes.push(len);
+                        oldest.get_or_insert_with(Instant::now);
+                        if decode_errors > cfg.max_decode_errors {
+                            shared.evicted.fetch_add(1, Ordering::Relaxed);
+                            control.lock().audit_connection_evicted(
+                                now,
+                                None,
+                                "garbage flood: too many undecodable frames",
+                            );
+                            break;
+                        }
+                    }
+                }
+                if pending_samples >= cfg.batch_samples {
+                    handoff(
+                        &mut pending,
+                        &mut pending_samples,
+                        &mut error_bytes,
+                        &mut oldest,
+                        lane,
+                        &mut drop_audited,
+                    );
+                }
+            }
+            Ok(BlockingRead::Idle) => {
+                if drain_since.is_some() {
+                    break; // quiet at a frame boundary: drained
+                }
+                if oldest.is_some_and(|t| t.elapsed() >= cfg.batch_delay) {
+                    handoff(
+                        &mut pending,
+                        &mut pending_samples,
+                        &mut error_bytes,
+                        &mut oldest,
+                        lane,
+                        &mut drop_audited,
+                    );
+                }
+            }
+            Ok(BlockingRead::Eof) => break,
+            Err(_) => break,
+        }
+    }
+    handoff(
+        &mut pending,
+        &mut pending_samples,
+        &mut error_bytes,
+        &mut oldest,
+        lane,
+        &mut drop_audited,
+    );
+}
+
+// ---------------------------------------------------------------------
+// Load driver (benchmarks, smoke tests, `cwx ingest drive`)
+
+/// Traffic shape for [`drive`]: `conns` concurrent agent connections
+/// multiplexed over a few writer threads, each sending `frames_per_conn`
+/// scripted `CWB1` reports at `interval` pacing.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Ingest server address.
+    pub addr: String,
+    /// Concurrent connections to hold open.
+    pub conns: usize,
+    /// Node id of the first connection (connection `i` reports as
+    /// `start_node + i`).
+    pub start_node: u32,
+    /// Frames each connection sends.
+    pub frames_per_conn: u64,
+    /// Pacing between a connection's frames.
+    pub interval: Duration,
+    /// OS threads multiplexing the connections.
+    pub writer_threads: usize,
+    /// Numeric monitor keys per report.
+    pub keys: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: String::new(),
+            conns: 100,
+            start_node: 0,
+            frames_per_conn: 10,
+            interval: Duration::from_millis(100),
+            writer_threads: 4,
+            keys: 8,
+        }
+    }
+}
+
+/// What [`drive`] accomplished.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadStats {
+    /// Connections successfully established.
+    pub connected: u64,
+    /// Frames fully written.
+    pub frames_sent: u64,
+    /// Expected numeric samples those frames carried.
+    pub samples_sent: u64,
+    /// Wire payload bytes written (excluding length prefixes).
+    pub bytes_sent: u64,
+    /// Connections lost to write errors (e.g. server eviction).
+    pub write_errors: u64,
+}
+
+/// The deterministic report connection `node` sends as its `seq`-th
+/// frame. Times and values are scripted, so two servers fed the same
+/// `LoadConfig` hold identical store contents — the differential
+/// test's ground truth.
+pub fn scripted_report(node: u32, seq: u64, interval: Duration, keys: usize) -> Report {
+    use cwx_monitor::monitor::MonitorKey;
+    let values = (0..keys)
+        .map(|k| {
+            (
+                MonitorKey::new(format!("bench.m{k}")),
+                Value::Num(node as f64 * 0.001 + seq as f64 + k as f64 * 0.5),
+            )
+        })
+        .collect();
+    Report {
+        node,
+        seq,
+        time_secs: (seq + 1) as f64 * interval.as_secs_f64(),
+        values,
+    }
+}
+
+/// Open `cfg.conns` connections and pump scripted traffic through
+/// them. Blocking writes: a backpressured server slows the driver via
+/// the TCP window rather than ballooning driver memory.
+pub fn drive(cfg: LoadConfig) -> io::Result<LoadStats> {
+    use cwx_monitor::transmit::WireEncoder;
+    let n_threads = cfg.writer_threads.clamp(1, cfg.conns.max(1));
+    let per = cfg.conns.div_ceil(n_threads);
+    let totals = Arc::new(Mutex::new(LoadStats::default()));
+    let mut handles = Vec::new();
+    for t in 0..n_threads {
+        let lo = t * per;
+        let hi = ((t + 1) * per).min(cfg.conns);
+        if lo >= hi {
+            break;
+        }
+        let cfg = cfg.clone();
+        let totals = Arc::clone(&totals);
+        handles.push(std::thread::spawn(move || {
+            let mut stats = LoadStats::default();
+            struct Lane {
+                stream: TcpStream,
+                encoder: WireEncoder,
+                node: u32,
+                dead: bool,
+            }
+            let mut conns: Vec<Lane> = Vec::with_capacity(hi - lo);
+            for i in lo..hi {
+                // a listener backlog can reject a burst of 10k SYNs;
+                // retry with a small pause before giving up
+                let mut attempt = 0;
+                let stream = loop {
+                    match TcpStream::connect(&cfg.addr) {
+                        Ok(s) => break Some(s),
+                        Err(_) if attempt < 50 => {
+                            attempt += 1;
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => break None,
+                    }
+                };
+                let Some(stream) = stream else {
+                    stats.write_errors += 1;
+                    continue;
+                };
+                let _ = stream.set_nodelay(true);
+                stats.connected += 1;
+                conns.push(Lane {
+                    stream,
+                    encoder: WireEncoder::new(),
+                    node: cfg.start_node + i as u32,
+                    dead: false,
+                });
+            }
+            let mut payload = Vec::new();
+            let mut frame = Vec::new();
+            let started = Instant::now();
+            for seq in 0..cfg.frames_per_conn {
+                for lane in conns.iter_mut().filter(|c| !c.dead) {
+                    let report = scripted_report(lane.node, seq, cfg.interval, cfg.keys);
+                    lane.encoder.encode_into(&report, &mut payload);
+                    frame.clear();
+                    cwx_net::frame::put_frame(&mut frame, &payload);
+                    match io::Write::write_all(&mut lane.stream, &frame) {
+                        Ok(()) => {
+                            stats.frames_sent += 1;
+                            stats.samples_sent += cfg.keys as u64;
+                            stats.bytes_sent += payload.len() as u64;
+                        }
+                        Err(_) => {
+                            lane.dead = true;
+                            stats.write_errors += 1;
+                        }
+                    }
+                }
+                // round pacing: each connection averages one frame per
+                // interval
+                let due = cfg.interval * (seq + 1) as u32;
+                let elapsed = started.elapsed();
+                if elapsed < due {
+                    std::thread::sleep(due - elapsed);
+                }
+            }
+            let mut t = totals.lock();
+            t.connected += stats.connected;
+            t.frames_sent += stats.frames_sent;
+            t.samples_sent += stats.samples_sent;
+            t.bytes_sent += stats.bytes_sent;
+            t.write_errors += stats.write_errors;
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let stats = *totals.lock();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cwx_util::time::SimDuration;
+
+    fn harness(mode: IngestMode, cfg_tweak: impl FnOnce(&mut IngestConfig)) -> TestRig {
+        let control = Arc::new(Mutex::new(ControlPlane::new(64)));
+        let server = Arc::new(RwLock::new(Server::new(
+            "ingest-test",
+            SimDuration::from_secs(5),
+            4096,
+            SimDuration::from_secs(30),
+        )));
+        let mut cfg = IngestConfig {
+            mode,
+            batch_delay: Duration::from_millis(10),
+            ..IngestConfig::default()
+        };
+        cfg_tweak(&mut cfg);
+        let ingest = IngestServer::start(
+            cfg,
+            Arc::clone(&server),
+            None,
+            Arc::clone(&control),
+            Instant::now(),
+        )
+        .unwrap();
+        TestRig {
+            server,
+            control,
+            ingest,
+        }
+    }
+
+    struct TestRig {
+        server: Arc<RwLock<Server>>,
+        control: Arc<Mutex<ControlPlane>>,
+        ingest: IngestServer,
+    }
+
+    #[test]
+    fn reactor_ingests_multiplexed_connections() {
+        let rig = harness(IngestMode::Reactor, |_| {});
+        let stats = drive(LoadConfig {
+            addr: rig.ingest.addr().to_string(),
+            conns: 50,
+            frames_per_conn: 5,
+            interval: Duration::from_millis(10),
+            ..LoadConfig::default()
+        })
+        .unwrap();
+        assert_eq!(stats.connected, 50);
+        assert_eq!(stats.frames_sent, 250);
+        assert_eq!(stats.write_errors, 0);
+        // drain: drive() closed its sockets; shutdown reads them to EOF
+        let ingested = rig.ingest.shutdown();
+        assert_eq!(ingested, 250);
+        let srv = rig.server.read();
+        assert_eq!(srv.stats().reports_rx, 250);
+        assert_eq!(srv.stats().decode_errors, 0);
+        assert!(rig.control.lock().audit().is_empty(), "no evictions");
+    }
+
+    #[test]
+    fn baseline_ingests_the_same_traffic() {
+        let rig = harness(IngestMode::ThreadPerConn, |_| {});
+        let stats = drive(LoadConfig {
+            addr: rig.ingest.addr().to_string(),
+            conns: 10,
+            frames_per_conn: 4,
+            interval: Duration::from_millis(5),
+            ..LoadConfig::default()
+        })
+        .unwrap();
+        assert_eq!(stats.frames_sent, 40);
+        let ingested = rig.ingest.shutdown();
+        assert_eq!(ingested, 40);
+        assert_eq!(rig.server.read().stats().reports_rx, 40);
+    }
+
+    #[test]
+    fn garbage_flood_is_evicted_with_audit() {
+        let rig = harness(IngestMode::Reactor, |c| c.max_decode_errors = 5);
+        let mut s = TcpStream::connect(rig.ingest.addr()).unwrap();
+        let mut wire = Vec::new();
+        for _ in 0..50 {
+            cwx_net::frame::put_frame(&mut wire, b"CWB1 this is not a valid frame");
+        }
+        let _ = io::Write::write_all(&mut s, &wire);
+        // server closes us; wait for the eviction to land
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while rig.ingest.stats().evicted == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(rig.ingest.stats().evicted, 1);
+        drop(s);
+        rig.ingest.shutdown();
+        let control = rig.control.lock();
+        assert!(control.audit().iter().any(|r| matches!(
+            &r.entry,
+            crate::actions::AuditEntry::ConnectionEvicted { reason } if reason.contains("garbage")
+        )));
+    }
+
+    #[test]
+    fn oversized_frame_is_evicted_not_allocated() {
+        let rig = harness(IngestMode::Reactor, |c| c.max_frame = 1024);
+        let mut s = TcpStream::connect(rig.ingest.addr()).unwrap();
+        let _ = io::Write::write_all(&mut s, &u32::MAX.to_le_bytes());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while rig.ingest.stats().evicted == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(rig.ingest.stats().evicted, 1);
+        drop(s);
+        rig.ingest.shutdown();
+    }
+}

@@ -34,6 +34,7 @@ pub mod actions;
 pub mod config;
 pub mod dashboard;
 pub mod groups;
+pub mod ingest;
 pub mod lifecycle;
 pub mod lite;
 mod probes;

@@ -3,46 +3,57 @@
 //! discrete-event simulation the experiments use.
 //!
 //! Tier 1: one OS thread per node runs the agent loop against its
-//! (synthetic or real) /proc and ships compressed reports over a
-//! bounded crossbeam channel — the management network stand-in. Tier 2
-//! drains into a shared [`Server`] behind a `parking_lot::RwLock`.
-//! Tier 3: any number of client threads read the lock concurrently
-//! ("multiple clients access the ClusterWorX server at the same time
-//! without conflict").
+//! (synthetic or real) /proc and ships compressed reports over a real
+//! loopback TCP connection — length-prefixed `CWB1` frames into the
+//! [`crate::ingest`] plane, reconnecting (with
+//! [`cwx_monitor::agent::Agent::resync`]) if the link drops. Tier 2 is
+//! the ingest server: a readiness-driven reactor by default
+//! ([`IngestMode::Reactor`]), or the retired thread-per-connection
+//! baseline for differential runs. Decoded reports land in a shared
+//! [`Server`] behind a `parking_lot::RwLock`. Tier 3: any number of
+//! client threads read the lock concurrently ("multiple clients access
+//! the ClusterWorX server at the same time without conflict").
 //!
-//! Two ingest shapes:
+//! Two history shapes:
 //!
-//! * **Volatile** (default): a single channel and server thread; history
-//!   lives in the in-memory ring.
+//! * **Volatile** (default): history lives in the in-memory ring; a
+//!   single ingest lane feeds the server.
 //! * **Persistent** (`persist_dir` set): history goes to a
-//!   [`cwx_store::disk::DiskStore`], and ingest is sharded — one channel
-//!   plus worker thread per store shard, with each agent routed by its
-//!   node group. Workers decode and write samples straight into their
-//!   own shard (per-shard lock, no global contention) and only take the
-//!   server write lock for event evaluation. On restart the same
+//!   [`cwx_store::disk::DiskStore`], and ingest runs one lane (flush
+//!   worker) per store shard, with each agent's connection routed by
+//!   its node group. Lanes batch-append samples straight into their
+//!   own shard (per-shard lock, no global contention) and only take
+//!   the server write lock for event evaluation. On restart the same
 //!   `persist_dir` recovers every acknowledged sample.
+//!
+//! Backpressure is end-to-end and bounded at every hop: lane flush
+//! queues are bounded (a full queue pauses the offending connections
+//! and audits [`crate::actions::AuditEntry::IngestBackpressure`]),
+//! paused sockets push back on agents through the TCP window, and
+//! agents block in `write` rather than dropping or buffering
+//! unboundedly.
 
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use cwx_icebox::chassis::{IceBox, NodeCommand, PortEffect, PortId, NODE_PORTS};
 use cwx_monitor::agent::{Agent, AgentConfig};
 use cwx_monitor::history::HistoryStore;
-use cwx_monitor::monitor::Value;
 use cwx_monitor::snapshot::Sensors;
-use cwx_monitor::transmit::{self, Report};
+use cwx_net::frame::put_frame;
 use cwx_proc::synthetic::SyntheticProc;
 use cwx_store::disk::{DiskStore, StoreConfig};
-use cwx_store::{BatchSample, Store};
 use cwx_util::time::{SimDuration, SimTime};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::actions::{CommandTransport, ControlPlane, Effect, IssueOutcome, NoGate, PowerCmd};
+use crate::ingest::{IngestConfig, IngestLatency, IngestMode, IngestServer, IngestStats};
 use crate::server::Server;
 
 /// Handle to a running real-time deployment.
@@ -52,7 +63,7 @@ pub struct RealTimeDeployment {
     store: Option<Arc<DiskStore>>,
     stop: Arc<AtomicBool>,
     agents: Vec<std::thread::JoinHandle<u64>>,
-    ingest_threads: Vec<std::thread::JoinHandle<u64>>,
+    ingest: Option<IngestServer>,
     controller: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -65,9 +76,25 @@ pub struct RealTimeConfig {
     pub interval: Duration,
     /// Simulated activity level of the nodes.
     pub util: f64,
-    /// Bound of each report channel; full channels block the sending
-    /// agent (backpressure) rather than dropping reports.
+    /// Which ingest front end accepts agent connections. The reactor is
+    /// the default; the thread-per-connection baseline exists for
+    /// differential runs and benchmarks.
+    pub ingest_mode: IngestMode,
+    /// Ingest listen address (port 0 picks a free port; agents connect
+    /// to whatever was bound).
+    pub listen: String,
+    /// Bound of each ingest lane's flush queue, in batches; a full
+    /// queue pauses (backpressures) the connections feeding that lane
+    /// rather than dropping reports.
     pub channel_capacity: usize,
+    /// How long a connection may stay paused under lane backpressure
+    /// before the ingest server evicts it as a slow consumer.
+    pub evict_pause: Duration,
+    /// Baseline mode: bound on a connection thread's park when its
+    /// lane queue is full, before the batch is dropped (audited).
+    pub handoff_timeout: Duration,
+    /// Test hook: confine `ingest_stall` to one lane (`None` = all).
+    pub stall_lane: Option<usize>,
     /// When set, history persists to a sharded [`DiskStore`] in this
     /// directory and ingest runs one worker per shard.
     pub persist_dir: Option<PathBuf>,
@@ -106,7 +133,12 @@ impl Default for RealTimeConfig {
             n_nodes: 8,
             interval: Duration::from_millis(50),
             util: 0.4,
-            channel_capacity: 1024,
+            ingest_mode: IngestMode::Reactor,
+            listen: "127.0.0.1:0".to_string(),
+            channel_capacity: 64,
+            evict_pause: Duration::from_secs(30),
+            handoff_timeout: Duration::from_secs(30),
+            stall_lane: None,
             persist_dir: None,
             shards: 4,
             binary_wire: true,
@@ -124,11 +156,16 @@ impl Default for RealTimeConfig {
 fn agent_loop(
     node: u32,
     cfg: RealTimeConfig,
-    tx: Sender<Vec<u8>>,
+    addr: Option<SocketAddr>,
     stop: Arc<AtomicBool>,
     os_up: Arc<Vec<AtomicBool>>,
     control: Arc<Mutex<ControlPlane>>,
 ) -> u64 {
+    let Some(addr) = addr else {
+        // ingest never came up (bind failure, already audited): the
+        // node exists for lifecycle purposes but has nowhere to report
+        return 0;
+    };
     let proc_ = SyntheticProc::default();
     let mut agent = match Agent::new(
         proc_.clone(),
@@ -151,12 +188,32 @@ fn agent_loop(
     };
     let started = Instant::now();
     let mut sent = 0u64;
+    let mut conn: Option<TcpStream> = None;
+    let mut frame: Vec<u8> = Vec::new();
     while !stop.load(Ordering::Relaxed) {
-        // a powered-down or halted node reports nothing; the control
-        // plane flips this flag through its lifecycle effects
+        // a powered-down or halted node reports nothing (and its link
+        // drops); the control plane flips this flag through its
+        // lifecycle effects
         if !os_up[node as usize].load(Ordering::Relaxed) {
+            conn = None;
             std::thread::sleep(cfg.interval);
             continue;
+        }
+        // (re)connect before gathering, so the first report on a fresh
+        // link carries the full resync state the server-side
+        // per-connection decoder needs
+        if conn.is_none() {
+            match TcpStream::connect(addr) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    agent.resync();
+                    conn = Some(s);
+                }
+                Err(_) => {
+                    std::thread::sleep(cfg.interval);
+                    continue;
+                }
+            }
         }
         proc_.with_state(|s| s.tick(cfg.interval.as_secs_f64(), cfg.util));
         let now = SimTime::ZERO + SimDuration::from_secs_f64(started.elapsed().as_secs_f64());
@@ -168,12 +225,19 @@ fn agent_loop(
             udp_echo_ok: true,
         };
         if let Ok(out) = agent.tick(now, sensors) {
-            // bounded channel: a slow server applies backpressure rather
-            // than ballooning memory
-            if tx.send(out.payload).is_err() {
-                break;
+            frame.clear();
+            put_frame(&mut frame, &out.payload);
+            // blocking write into a bounded pipeline: a backpressured
+            // server pauses this socket and the TCP window blocks us
+            // here — never a drop, never an unbounded buffer
+            match conn.as_mut().unwrap().write_all(&frame) {
+                Ok(()) => sent += 1,
+                Err(_) => {
+                    // evicted or server restart: reconnect + resync
+                    conn = None;
+                    continue;
+                }
             }
-            sent += 1;
         }
         std::thread::sleep(cfg.interval);
     }
@@ -413,13 +477,40 @@ impl RealTimeDeployment {
             Some(s) => s.config().nodes_per_group,
             None => u32::MAX,
         };
-        let mut txs = Vec::with_capacity(n_lanes);
-        let mut rxs = Vec::with_capacity(n_lanes);
-        for _ in 0..n_lanes {
-            let (tx, rx) = bounded::<Vec<u8>>(cfg.channel_capacity.max(1));
-            txs.push(tx);
-            rxs.push(rx);
-        }
+        let ingest = IngestServer::start(
+            IngestConfig {
+                listen: cfg.listen.clone(),
+                mode: cfg.ingest_mode,
+                n_lanes,
+                nodes_per_group,
+                batch_samples: cfg.ingest_batch_samples.max(1),
+                batch_delay: cfg.ingest_batch_delay.max(Duration::from_millis(1)),
+                lane_queue_batches: cfg.channel_capacity.max(1),
+                evict_pause: cfg.evict_pause,
+                handoff_timeout: cfg.handoff_timeout,
+                flush_stall: cfg.ingest_stall,
+                stall_lane: cfg.stall_lane,
+                ..IngestConfig::default()
+            },
+            Arc::clone(&server),
+            store.clone(),
+            Arc::clone(&control),
+            started,
+        );
+        let ingest = match ingest {
+            Ok(i) => Some(i),
+            Err(e) => {
+                // degrade rather than die: lifecycle still runs, the
+                // monitoring feed is down and audited
+                control.lock().audit_io_error(
+                    SimTime::ZERO,
+                    None,
+                    format!("ingest listener failed to start: {e:?}"),
+                );
+                None
+            }
+        };
+        let addr = ingest.as_ref().map(|i| i.addr());
 
         // the fleet starts adopted-up; the control plane's effects flip
         // these flags as nodes power down, halt, or reboot
@@ -428,16 +519,13 @@ impl RealTimeDeployment {
 
         let agents: Vec<_> = (0..cfg.n_nodes)
             .map(|node| {
-                let lane = (node / nodes_per_group.max(1)) as usize % n_lanes;
-                let tx = txs[lane].clone();
                 let stop = Arc::clone(&stop);
                 let cfg = cfg.clone();
                 let os_up = Arc::clone(&os_up);
                 let control = Arc::clone(&control);
-                std::thread::spawn(move || agent_loop(node, cfg, tx, stop, os_up, control))
+                std::thread::spawn(move || agent_loop(node, cfg, addr, stop, os_up, control))
             })
             .collect();
-        drop(txs); // ingest lanes see disconnect once every agent stops
 
         let controller = {
             let cfg = cfg.clone();
@@ -448,114 +536,13 @@ impl RealTimeDeployment {
             std::thread::spawn(move || controller_loop(cfg, server, control, os_up, stop))
         };
 
-        let ingest_threads: Vec<_> = rxs
-            .into_iter()
-            .map(|rx| {
-                let server = Arc::clone(&server);
-                let store = store.clone();
-                let stall = cfg.ingest_stall;
-                let batch_samples = cfg.ingest_batch_samples.max(1);
-                let batch_delay = cfg.ingest_batch_delay.max(Duration::from_millis(1));
-                std::thread::spawn(move || {
-                    let sim_now = |started: &Instant| {
-                        SimTime::ZERO + SimDuration::from_secs_f64(started.elapsed().as_secs_f64())
-                    };
-                    let mut ingested = 0u64;
-                    let Some(store) = store else {
-                        // volatile lane: the server decodes (it keeps the
-                        // per-node binary wire state) and records history
-                        while let Ok(payload) = rx.recv() {
-                            if let Some(d) = stall {
-                                std::thread::sleep(d);
-                            }
-                            let now = sim_now(&started);
-                            server.write().ingest(now, &payload);
-                            ingested += 1;
-                            // housekeeping piggybacks on traffic
-                            if ingested.is_multiple_of(64) {
-                                server.write().housekeeping(now);
-                            }
-                        }
-                        return ingested;
-                    };
-                    // persistent lane: decode here (per-lane decoder —
-                    // agents are routed to lanes by node group, so each
-                    // node's frames always hit the same decoder), buffer,
-                    // and batch-append so each batch costs one WAL write
-                    // per shard and one server lock
-                    let mut decoder = transmit::WireDecoder::new();
-                    let mut pending: Vec<(SimTime, Report, usize)> = Vec::new();
-                    let mut pending_samples = 0usize;
-                    let mut oldest: Option<Instant> = None;
-                    loop {
-                        let msg = rx.recv_timeout(batch_delay);
-                        let now = sim_now(&started);
-                        let disconnected = matches!(msg, Err(RecvTimeoutError::Disconnected));
-                        if let Ok(payload) = msg {
-                            if let Some(d) = stall {
-                                std::thread::sleep(d);
-                            }
-                            ingested += 1;
-                            match decoder.decode_auto(&payload) {
-                                Ok(report) => {
-                                    pending_samples += report
-                                        .values
-                                        .iter()
-                                        .filter(|(_, v)| matches!(v, Value::Num(_)))
-                                        .count();
-                                    pending.push((now, report, payload.len()));
-                                    oldest.get_or_insert_with(Instant::now);
-                                }
-                                Err(_) => server.write().note_decode_error(payload.len()),
-                            }
-                        }
-                        let due = pending_samples >= batch_samples
-                            || oldest.is_some_and(|t| t.elapsed() >= batch_delay)
-                            || disconnected;
-                        if due && !pending.is_empty() {
-                            let mut batch = Vec::with_capacity(pending_samples);
-                            for (at, report, _) in &pending {
-                                for (key, value) in &report.values {
-                                    if let Value::Num(x) = value {
-                                        batch.push(BatchSample {
-                                            node: report.node,
-                                            monitor: &key.0,
-                                            time: *at,
-                                            value: *x,
-                                        });
-                                    }
-                                }
-                            }
-                            // storage writes on the shard lock only; the
-                            // server lock covers just events + liveness
-                            store.append_batch(&batch);
-                            drop(batch);
-                            let mut srv = server.write();
-                            for (at, report, wire) in &pending {
-                                srv.ingest_report_events_only(*at, report, *wire);
-                            }
-                            srv.housekeeping(now);
-                            drop(srv);
-                            pending.clear();
-                            pending_samples = 0;
-                            oldest = None;
-                        }
-                        if disconnected {
-                            break;
-                        }
-                    }
-                    ingested
-                })
-            })
-            .collect();
-
         RealTimeDeployment {
             server,
             control,
             store,
             stop,
             agents,
-            ingest_threads,
+            ingest,
             controller: Some(controller),
         }
     }
@@ -574,6 +561,25 @@ impl RealTimeDeployment {
     /// The persistent store, when the deployment runs with one.
     pub fn store(&self) -> Option<Arc<DiskStore>> {
         self.store.clone()
+    }
+
+    /// The address the ingest listener bound (what agents dial), when
+    /// it came up.
+    pub fn ingest_addr(&self) -> Option<SocketAddr> {
+        self.ingest.as_ref().map(|i| i.addr())
+    }
+
+    /// Live ingest-plane counters (connections, frames, backpressure).
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.ingest.as_ref().map(|i| i.stats()).unwrap_or_default()
+    }
+
+    /// Ingest flush-latency percentiles observed so far.
+    pub fn ingest_latency(&self) -> IngestLatency {
+        self.ingest
+            .as_ref()
+            .map(|i| i.latency())
+            .unwrap_or_default()
     }
 
     /// A point-in-time rollup for federation export — the realtime
@@ -617,17 +623,9 @@ impl RealTimeDeployment {
                 );
             }
         }
-        let mut ingested = 0;
-        for h in self.ingest_threads.drain(..) {
-            match h.join() {
-                Ok(n) => ingested += n,
-                Err(_) => self.control.lock().audit_io_error(
-                    SimTime::ZERO,
-                    None,
-                    "ingest thread panicked during shutdown".to_string(),
-                ),
-            }
-        }
+        // agents have hung up; the ingest server drains their sockets
+        // to EOF and flushes every buffered batch before stopping
+        let ingested = self.ingest.take().map(|i| i.shutdown()).unwrap_or(0);
         if let Some(store) = &self.store {
             let _ = store.flush_all();
         }
@@ -639,6 +637,7 @@ impl RealTimeDeployment {
 mod tests {
     use super::*;
     use cwx_monitor::monitor::MonitorKey;
+    use cwx_store::Store;
 
     #[test]
     fn threaded_pipeline_delivers_everything() {
@@ -697,26 +696,30 @@ mod tests {
 
     #[test]
     fn stalled_server_applies_backpressure_without_drops() {
-        // a tiny channel and a deliberately slow ingest thread: agents
-        // must block in send (not drop, not panic), and the stop flag
-        // must still shut the deployment down cleanly
+        // a tiny lane queue and a deliberately slow flush worker: the
+        // reactor must pause the offending connections (backpressure,
+        // audited) rather than drop or balloon, agents block in the TCP
+        // window, and shutdown still drains every buffered report
         let dep = RealTimeDeployment::start(RealTimeConfig {
             n_nodes: 4,
-            interval: Duration::from_millis(1),
+            interval: Duration::from_millis(5),
             util: 0.3,
             channel_capacity: 2,
-            ingest_stall: Some(Duration::from_millis(15)),
+            ingest_stall: Some(Duration::from_millis(5)),
             ..RealTimeConfig::default()
         });
-        std::thread::sleep(Duration::from_millis(300));
+        std::thread::sleep(Duration::from_millis(250));
         let server = dep.server();
+        let stats = dep.ingest_stats();
         let (sent, ingested) = dep.shutdown();
         assert!(sent > 0, "agents made progress despite the stall");
         assert_eq!(sent, ingested, "backpressure means blocked, never dropped");
         assert_eq!(server.read().stats().reports_rx, ingested);
-        // the channel bound held the backlog: with capacity 2 per lane the
-        // ingest side can lag the senders by at most capacity, so every
-        // report an agent counted was eventually processed, none skipped
+        // the lane bound held the backlog: the flush queue filled and
+        // tripped backpressure instead of buffering without limit, and
+        // nobody was evicted (the pause bound is far away)
+        assert!(stats.backpressure_trips > 0, "lane backpressure tripped");
+        assert_eq!(stats.evicted, 0);
         assert_eq!(server.read().stats().decode_errors, 0);
     }
 

@@ -276,6 +276,14 @@ impl Server {
         }
     }
 
+    /// Handle an already-decoded report from a connection-oriented
+    /// ingest front end that also wants wire-byte accounting: full
+    /// ingest (history + events + liveness) plus `bytes_rx`.
+    pub fn ingest_report_wire(&mut self, now: SimTime, report: &Report, wire_bytes: usize) {
+        self.stats.bytes_rx += wire_bytes as u64;
+        self.ingest_report(now, report);
+    }
+
     /// Account a datagram that failed to decode in a sharded ingest
     /// worker (the worker decodes outside the server lock).
     pub fn note_decode_error(&mut self, wire_bytes: usize) {

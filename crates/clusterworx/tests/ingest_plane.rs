@@ -1,0 +1,349 @@
+//! The connection-oriented ingest plane, attacked from outside the
+//! crate: wire fragmentation, hostile tails, slow consumers, and the
+//! reactor-vs-baseline differential.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use clusterworx::actions::{AuditEntry, ControlPlane};
+use clusterworx::ingest::{
+    drive, scripted_report, IngestConfig, IngestMode, IngestServer, LoadConfig,
+};
+use clusterworx::server::Server;
+use cwx_monitor::monitor::{MonitorKey, Value};
+use cwx_monitor::transmit::{Report, WireDecoder, WireEncoder};
+use cwx_net::frame::{put_frame, FrameBuffer};
+use cwx_store::disk::{DiskStore, StoreConfig};
+use cwx_store::Store;
+use cwx_util::time::{SimDuration, SimTime};
+use parking_lot::{Mutex, RwLock};
+use proptest::prelude::*;
+
+fn test_server() -> Arc<RwLock<Server>> {
+    Arc::new(RwLock::new(Server::new(
+        "ingest-plane-test",
+        SimDuration::from_secs(5),
+        4096,
+        SimDuration::from_secs(60),
+    )))
+}
+
+/// A deterministic report stream for one node, with enough value
+/// variety to exercise the delta chains and dictionary machinery.
+fn report_stream(node: u32, n: usize) -> Vec<Report> {
+    (0..n)
+        .map(|i| {
+            let mut values = vec![
+                (
+                    MonitorKey::new("load.one"),
+                    Value::Num(node as f64 + i as f64 * 0.25),
+                ),
+                (
+                    MonitorKey::new("mem.free"),
+                    Value::Num(1e9 - i as f64 * 4096.0),
+                ),
+            ];
+            if i % 3 == 0 {
+                values.push((MonitorKey::new("net.state"), Value::Text(format!("up-{i}"))));
+            }
+            Report {
+                node,
+                seq: i as u64,
+                time_secs: i as f64 * 0.5,
+                values,
+            }
+        })
+        .collect()
+}
+
+/// Encode a report stream into framed wire bytes, returning both the
+/// wire and the frame payload boundaries.
+fn framed_wire(reports: &[Report]) -> (Vec<u8>, Vec<Vec<u8>>) {
+    let mut enc = WireEncoder::new();
+    let mut wire = Vec::new();
+    let mut payloads = Vec::new();
+    let mut payload = Vec::new();
+    for r in reports {
+        enc.encode_into(r, &mut payload);
+        put_frame(&mut wire, &payload);
+        payloads.push(payload.clone());
+    }
+    (wire, payloads)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Satellite: a CWB1 stream chopped at arbitrary byte boundaries
+    /// decodes to exactly the same reports as a single-shot decode —
+    /// partial frames must survive readiness-event boundaries.
+    #[test]
+    fn fragmented_stream_decodes_identically(
+        node in 0u32..1000,
+        n_reports in 1usize..20,
+        cuts in proptest::collection::vec(0usize..10_000, 0..40),
+    ) {
+        let reports = report_stream(node, n_reports);
+        let (wire, payloads) = framed_wire(&reports);
+
+        // reference: decode each payload whole, in order
+        let mut reference = Vec::new();
+        let mut dec = WireDecoder::new();
+        for p in &payloads {
+            reference.push(dec.decode_auto(p).expect("valid payload"));
+        }
+
+        // fragmented: the same bytes through a FrameBuffer in chunks
+        // cut at arbitrary positions
+        let mut boundaries: Vec<usize> = cuts.iter().map(|c| c % (wire.len() + 1)).collect();
+        boundaries.push(0);
+        boundaries.push(wire.len());
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        let mut fb = FrameBuffer::new(1 << 20);
+        let mut dec = WireDecoder::new();
+        let mut decoded = Vec::new();
+        for w in boundaries.windows(2) {
+            fb.extend(&wire[w[0]..w[1]]);
+            while let Some(frame) = fb.next_frame().expect("no oversize in valid stream") {
+                decoded.push(dec.decode_auto(frame).expect("valid frame"));
+            }
+        }
+        prop_assert_eq!(decoded, reference);
+    }
+
+    /// Satellite: truncating the stream mid-frame and corrupting the
+    /// tail never panics; every frame before the damage still decodes.
+    #[test]
+    fn corrupt_or_truncated_tail_never_panics(
+        node in 0u32..1000,
+        n_reports in 1usize..12,
+        cut_at in 0usize..10_000,
+        flip_pos in 0usize..10_000,
+        flip_xor in 0u8..=255, // 0 = no corruption, just truncation
+    ) {
+        let reports = report_stream(node, n_reports);
+        let (wire, payloads) = framed_wire(&reports);
+        let cut = cut_at % (wire.len() + 1);
+        let mut mangled = wire[..cut].to_vec();
+        let mut damage_from = cut;
+        if flip_xor != 0 && !mangled.is_empty() {
+            let p = flip_pos % mangled.len();
+            mangled[p] ^= flip_xor;
+            damage_from = damage_from.min(p);
+        }
+
+        // frames wholly before the damage must still decode; nothing
+        // may panic after it
+        let mut intact = 0usize;
+        {
+            let mut off = 0;
+            for p in &payloads {
+                let end = off + 4 + p.len();
+                if end <= damage_from {
+                    intact += 1;
+                    off = end;
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut fb = FrameBuffer::new(1 << 20);
+        fb.extend(&mangled);
+        let mut dec = WireDecoder::new();
+        let mut ok = 0usize;
+        loop {
+            match fb.next_frame() {
+                Ok(Some(frame)) => {
+                    // errors allowed (the reactor audits + counts them);
+                    // panics are not
+                    if let Ok(r) = dec.decode_auto(frame) {
+                        if ok < intact {
+                            prop_assert_eq!(&r, &reports[ok]);
+                        }
+                        ok += 1;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => break, // corrupt length prefix: framing lost, conn dies
+            }
+        }
+        prop_assert!(ok >= intact, "frames before the damage decoded");
+    }
+}
+
+/// Satellite: a slow consumer trips lane backpressure (audited), gets
+/// evicted after the pause bound, and never stalls traffic on other
+/// lanes.
+#[test]
+fn slow_consumer_is_evicted_while_other_lanes_flow() {
+    let control = Arc::new(Mutex::new(ControlPlane::new(8)));
+    let server = test_server();
+    let cfg = IngestConfig {
+        n_lanes: 2,
+        nodes_per_group: 1, // node 0 → lane 0, node 1 → lane 1
+        batch_samples: 8,
+        batch_delay: Duration::from_millis(5),
+        lane_queue_batches: 1,
+        evict_pause: Duration::from_millis(100),
+        // one report wedges the lane-1 flusher for far longer than the
+        // eviction bound: a genuinely stuck consumer, not a slow one
+        flush_stall: Some(Duration::from_millis(200)),
+        stall_lane: Some(1),
+        ..IngestConfig::default()
+    };
+    let ingest = IngestServer::start(
+        cfg,
+        Arc::clone(&server),
+        None,
+        Arc::clone(&control),
+        Instant::now(),
+    )
+    .unwrap();
+    let addr = ingest.addr();
+
+    // node 1: drips frames into the stalled lane, holding its socket
+    // open — only eviction may close it
+    let flood = std::thread::spawn(move || {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let mut enc = WireEncoder::new();
+        let mut payload = Vec::new();
+        let mut frame = Vec::new();
+        for seq in 0..30u64 {
+            let r = scripted_report(1, seq, Duration::from_millis(1), 8);
+            enc.encode_into(&r, &mut payload);
+            frame.clear();
+            put_frame(&mut frame, &payload);
+            if s.write_all(&frame).is_err() {
+                break; // evicted — expected
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        std::thread::sleep(Duration::from_millis(300));
+    });
+
+    // node 0: steady traffic on the healthy lane
+    let healthy = std::thread::spawn(move || {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let mut enc = WireEncoder::new();
+        let mut payload = Vec::new();
+        let mut frame = Vec::new();
+        let mut sent = 0u64;
+        for seq in 0..60u64 {
+            let r = scripted_report(0, seq, Duration::from_millis(2), 8);
+            enc.encode_into(&r, &mut payload);
+            frame.clear();
+            put_frame(&mut frame, &payload);
+            if s.write_all(&frame).is_ok() {
+                sent += 1;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        sent
+    });
+
+    let healthy_sent = healthy.join().unwrap();
+    flood.join().unwrap();
+    let stats = ingest.stats();
+    ingest.shutdown();
+
+    assert_eq!(healthy_sent, 60, "healthy lane never blocked the sender");
+    assert!(
+        stats.backpressure_trips >= 1,
+        "stalled lane tripped backpressure: {stats:?}"
+    );
+    assert!(stats.evicted >= 1, "slow consumer was evicted: {stats:?}");
+    let srv = server.read();
+    assert_eq!(
+        srv.node_status(0).map(|s| s.reports),
+        Some(60),
+        "every healthy-lane report was ingested despite the stalled lane"
+    );
+    let control = control.lock();
+    let audit = control.audit();
+    assert!(
+        audit
+            .iter()
+            .any(|r| matches!(r.entry, AuditEntry::IngestBackpressure { lane: 1, .. })),
+        "backpressure audited for the stalled lane"
+    );
+    assert!(
+        audit.iter().any(|r| matches!(
+            &r.entry,
+            AuditEntry::ConnectionEvicted { reason } if reason.contains("slow consumer")
+        )),
+        "eviction audited"
+    );
+}
+
+/// Tentpole acceptance: the reactor and the thread-per-connection
+/// baseline, fed identical scripted traffic, leave byte-identical
+/// sample sets in the store.
+#[test]
+fn reactor_and_baseline_store_identical_contents() {
+    let run = |mode: IngestMode, dir: &std::path::Path| -> Arc<DiskStore> {
+        let store = Arc::new(
+            DiskStore::open(
+                dir,
+                StoreConfig {
+                    n_shards: 2,
+                    nodes_per_group: 4,
+                    ..StoreConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        let control = Arc::new(Mutex::new(ControlPlane::new(8)));
+        let server = test_server();
+        let ingest = IngestServer::start(
+            IngestConfig {
+                mode,
+                n_lanes: 2,
+                nodes_per_group: 4,
+                batch_delay: Duration::from_millis(5),
+                ..IngestConfig::default()
+            },
+            server,
+            Some(Arc::clone(&store)),
+            control,
+            Instant::now(),
+        )
+        .unwrap();
+        let load = LoadConfig {
+            addr: ingest.addr().to_string(),
+            conns: 8,
+            frames_per_conn: 10,
+            interval: Duration::from_millis(2),
+            writer_threads: 4,
+            keys: 4,
+            ..LoadConfig::default()
+        };
+        let sent = drive(load).unwrap();
+        assert_eq!(sent.frames_sent, 80);
+        assert_eq!(sent.write_errors, 0);
+        let ingested = ingest.shutdown();
+        assert_eq!(ingested, 80, "every frame ingested ({mode:?})");
+        store.flush_all().unwrap();
+        store
+    };
+
+    let base = std::env::temp_dir().join(format!("cwx-ingest-diff-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let a = run(IngestMode::Reactor, &base.join("reactor"));
+    let b = run(IngestMode::ThreadPerConn, &base.join("baseline"));
+
+    assert_eq!(a.total_samples(), b.total_samples());
+    assert_eq!(a.total_samples(), 8 * 10 * 4);
+    for node in 0..8u32 {
+        for k in 0..4 {
+            let key = format!("bench.m{k}");
+            let sa = a.range(node, &key, SimTime::ZERO, SimTime::MAX);
+            let sb = b.range(node, &key, SimTime::ZERO, SimTime::MAX);
+            assert_eq!(sa.len(), 10, "node{node} {key} sample count");
+            assert_eq!(sa, sb, "node{node} {key} samples differ across modes");
+        }
+    }
+    let _ = std::fs::remove_dir_all(base);
+}

@@ -309,7 +309,7 @@ impl FederationHead {
                 view.last_seen = now;
                 for (key, value) in &report.values {
                     if let cwx_monitor::monitor::Value::Num(x) = value {
-                        view.metrics.insert(key.0.clone(), *x);
+                        view.metrics.insert(key.to_string(), *x);
                     }
                 }
                 let counts = {

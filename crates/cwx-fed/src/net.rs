@@ -7,15 +7,26 @@
 //! Realtime federation time is wall time since process start projected
 //! onto [`SimTime`], so the head's staleness and retry machinery is
 //! byte-for-byte the code the simulation exercises.
+//!
+//! The head runs on the same readiness-driven reactor as agent ingest
+//! ([`cwx_net::reactor`]): one thread owns every sub-server uplink,
+//! with per-connection [`FrameConn`] state machines and bounded write
+//! queues — a sub-server that stops reading its command stream is
+//! evicted (it reconnects and resyncs; the join side already handles
+//! that), never allowed to wedge the head or balloon its memory.
 
+use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use clusterworx::{RealTimeDeployment, RetryPolicy};
+use cwx_net::frame::{ConnLimits, FrameConn, ReadState};
+use cwx_net::reactor::{Interest, Poller, Token, Waker};
 use cwx_util::time::{SimDuration, SimTime};
 
 use crate::head::FederationHead;
@@ -62,106 +73,232 @@ fn frame_cluster(bytes: &[u8]) -> Option<u16> {
     }
 }
 
+/// How often the head's retry/staleness machinery is pumped even with
+/// no inbound traffic.
+const PUMP_INTERVAL: Duration = Duration::from_millis(100);
+
+const TOK_LISTENER: Token = Token(0);
+const TOK_WAKER: Token = Token(1);
+const TOK_BASE: usize = 2;
+
 /// A running federation head serving TCP sub-servers.
 pub struct HeadServer {
     head: Arc<Mutex<FederationHead>>,
     stop: Arc<AtomicBool>,
+    waker: Waker,
     threads: Vec<JoinHandle<()>>,
     addr: SocketAddr,
     epoch: Instant,
 }
 
+/// One sub-server uplink on the head's reactor.
+struct SubConn {
+    fc: FrameConn,
+    /// The cluster this connection last spoke for (command route).
+    cluster: Option<u16>,
+}
+
+struct HeadReactor {
+    listener: TcpListener,
+    poller: Poller,
+    waker: Waker,
+    head: Arc<Mutex<FederationHead>>,
+    stop: Arc<AtomicBool>,
+    epoch: Instant,
+    conns: Vec<Option<SubConn>>,
+    free: Vec<usize>,
+    /// cluster id → slab index of the owning connection.
+    routes: BTreeMap<u16, usize>,
+}
+
+impl HeadReactor {
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn run(&mut self) {
+        let mut events = Vec::new();
+        let mut last_pump = Instant::now();
+        while !self.stop.load(Ordering::Relaxed) {
+            events.clear();
+            if self.poller.poll(&mut events, Some(PUMP_INTERVAL)).is_err() {
+                break;
+            }
+            for ev in events.iter().copied() {
+                match ev.token {
+                    TOK_LISTENER => self.accept_ready(),
+                    TOK_WAKER => self.waker.drain(),
+                    Token(t) => {
+                        self.conn_ready(t - TOK_BASE, ev.readable || ev.closed, ev.writable)
+                    }
+                }
+            }
+            if last_pump.elapsed() >= PUMP_INTERVAL {
+                last_pump = Instant::now();
+                self.pump_commands();
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let limits = ConnLimits {
+                        max_frame: MAX_FRAME as usize,
+                        max_read_buffer: MAX_FRAME as usize + 64,
+                        // a sub that stops reading may absorb this much
+                        // queued command traffic before eviction
+                        max_write_buffer: 4 << 20,
+                    };
+                    let Ok(fc) = FrameConn::new(stream, limits) else {
+                        continue;
+                    };
+                    let idx = match self.free.pop() {
+                        Some(i) => i,
+                        None => {
+                            self.conns.push(None);
+                            self.conns.len() - 1
+                        }
+                    };
+                    if self
+                        .poller
+                        .register(
+                            fc.stream().as_raw_fd(),
+                            Token(idx + TOK_BASE),
+                            Interest::READABLE,
+                        )
+                        .is_err()
+                    {
+                        self.free.push(idx);
+                        continue;
+                    }
+                    self.conns[idx] = Some(SubConn { fc, cluster: None });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, idx: usize, readable: bool, writable: bool) {
+        let Some(mut conn) = self.conns.get_mut(idx).and_then(Option::take) else {
+            return;
+        };
+        if readable {
+            let now = self.now();
+            let head = &self.head;
+            let routes = &mut self.routes;
+            let cluster = &mut conn.cluster;
+            let outcome = conn.fc.read_frames(|frame| {
+                if let Some(c) = frame_cluster(frame) {
+                    *cluster = Some(c);
+                    routes.insert(c, idx);
+                }
+                let _ = head.lock().unwrap().ingest(now, frame);
+            });
+            match outcome {
+                Ok(ReadState::Drained) | Ok(ReadState::HasMore) => {}
+                Ok(ReadState::Eof) | Err(_) => {
+                    self.close(idx, conn);
+                    return;
+                }
+            }
+        }
+        if writable && self.flush(idx, &mut conn).is_err() {
+            self.close(idx, conn);
+            return;
+        }
+        self.conns[idx] = Some(conn);
+    }
+
+    /// Flush the connection's write queue; adjusts poll interest to
+    /// `READABLE|WRITABLE` only while bytes remain queued.
+    fn flush(&mut self, idx: usize, conn: &mut SubConn) -> io::Result<()> {
+        let done = conn
+            .fc
+            .flush()
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        let interest = if done {
+            Interest::READABLE
+        } else {
+            Interest::BOTH
+        };
+        self.poller.reregister(
+            conn.fc.stream().as_raw_fd(),
+            Token(idx + TOK_BASE),
+            interest,
+        )
+    }
+
+    /// Push due command frames down their owning connections. A route
+    /// whose connection is gone is dropped (the head's retry machinery
+    /// re-queues the command; the sub resyncs on reconnect). A sub
+    /// whose write queue overflows is a slow consumer: evicted.
+    fn pump_commands(&mut self) {
+        let now = self.now();
+        let due = self.head.lock().unwrap().poll(now);
+        for (cluster, frame) in due {
+            let Some(&idx) = self.routes.get(&cluster) else {
+                continue;
+            };
+            let Some(mut conn) = self.conns.get_mut(idx).and_then(Option::take) else {
+                self.routes.remove(&cluster);
+                continue;
+            };
+            let ok = conn.fc.queue_frame(&frame).is_ok() && self.flush(idx, &mut conn).is_ok();
+            if ok {
+                self.conns[idx] = Some(conn);
+            } else {
+                self.close(idx, conn);
+            }
+        }
+    }
+
+    fn close(&mut self, idx: usize, conn: SubConn) {
+        let _ = self.poller.deregister(conn.fc.stream().as_raw_fd());
+        if let Some(c) = conn.cluster {
+            if self.routes.get(&c) == Some(&idx) {
+                self.routes.remove(&c);
+            }
+        }
+        self.free.push(idx);
+        drop(conn);
+    }
+}
+
 impl HeadServer {
     /// Bind `listen` (e.g. `127.0.0.1:7411`; port 0 picks a free one)
-    /// and start the accept loop plus the command pump.
+    /// and start the reactor thread (accept + reads + command pump).
     pub fn start(listen: &str, stale_after: SimDuration, retry: RetryPolicy) -> io::Result<Self> {
         let listener = TcpListener::bind(listen)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        // sub-clusters reconnect in lockstep after a head failover
+        let _ = cwx_net::reactor::widen_listen_backlog(&listener, 1024);
         let head = Arc::new(Mutex::new(FederationHead::new(stale_after, retry)));
         let stop = Arc::new(AtomicBool::new(false));
-        let routes: Arc<Mutex<std::collections::BTreeMap<u16, TcpStream>>> =
-            Arc::new(Mutex::new(std::collections::BTreeMap::new()));
         let epoch = Instant::now();
-        let mut threads = Vec::new();
-
-        // accept loop: one reader thread per sub-server connection
-        {
-            let head = Arc::clone(&head);
-            let stop = Arc::clone(&stop);
-            let routes = Arc::clone(&routes);
-            threads.push(thread::spawn(move || {
-                let mut readers: Vec<JoinHandle<()>> = Vec::new();
-                while !stop.load(Ordering::Relaxed) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            let head = Arc::clone(&head);
-                            let stop = Arc::clone(&stop);
-                            let routes = Arc::clone(&routes);
-                            readers.push(thread::spawn(move || {
-                                let _ = stream.set_nodelay(true);
-                                let mut rd = match stream.try_clone() {
-                                    Ok(s) => s,
-                                    Err(_) => return,
-                                };
-                                while !stop.load(Ordering::Relaxed) {
-                                    let frame = match read_frame(&mut rd) {
-                                        Ok(f) => f,
-                                        Err(_) => break,
-                                    };
-                                    if let Some(cluster) = frame_cluster(&frame) {
-                                        if let (Ok(mut r), Ok(s)) =
-                                            (routes.lock(), stream.try_clone())
-                                        {
-                                            r.insert(cluster, s);
-                                        }
-                                    }
-                                    let now =
-                                        SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
-                                    let _ = head.lock().unwrap().ingest(now, &frame);
-                                }
-                            }));
-                        }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            thread::sleep(Duration::from_millis(20));
-                        }
-                        Err(_) => break,
-                    }
-                }
-                for r in readers {
-                    let _ = r.join();
-                }
-            }));
-        }
-
-        // command pump: poll the head and push due frames down the
-        // owning connection
-        {
-            let head = Arc::clone(&head);
-            let stop = Arc::clone(&stop);
-            let routes = Arc::clone(&routes);
-            threads.push(thread::spawn(move || {
-                while !stop.load(Ordering::Relaxed) {
-                    let now = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
-                    let due = head.lock().unwrap().poll(now);
-                    for (cluster, frame) in due {
-                        let mut routes = routes.lock().unwrap();
-                        let dead = match routes.get_mut(&cluster) {
-                            Some(stream) => write_frame(stream, &frame).is_err(),
-                            None => false,
-                        };
-                        if dead {
-                            routes.remove(&cluster);
-                        }
-                    }
-                    thread::sleep(Duration::from_millis(100));
-                }
-            }));
-        }
-
+        let waker = Waker::new()?;
+        let mut poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), TOK_LISTENER, Interest::READABLE)?;
+        poller.register(waker.as_raw_fd(), TOK_WAKER, Interest::READABLE)?;
+        let mut reactor = HeadReactor {
+            listener,
+            poller,
+            waker: waker.clone(),
+            head: Arc::clone(&head),
+            stop: Arc::clone(&stop),
+            epoch,
+            conns: Vec::new(),
+            free: Vec::new(),
+            routes: BTreeMap::new(),
+        };
+        let threads = vec![thread::spawn(move || reactor.run())];
         Ok(HeadServer {
             head,
             stop,
+            waker,
             threads,
             addr,
             epoch,
@@ -184,10 +321,11 @@ impl HeadServer {
         SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
     }
 
-    /// Stop the accept loop and the pump; running reader threads
-    /// unwind when their peers hang up.
+    /// Stop the reactor; open uplinks are dropped (sub-servers
+    /// reconnect and resync if a new head comes up).
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        self.waker.wake();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }

@@ -312,7 +312,11 @@ mod tests {
             first.report.values.len()
         );
         // static values never reappear
-        assert!(later.report.values.iter().all(|(k, _)| k.0 != "mem.total"));
+        assert!(later
+            .report
+            .values
+            .iter()
+            .all(|(k, _)| k.as_str() != "mem.total"));
     }
 
     #[test]
@@ -423,7 +427,11 @@ mod tests {
         tick_n(&mut a, &proc_, 3);
         a.resync();
         let out = tick_n(&mut a, &proc_, 1);
-        assert!(out[0].report.values.iter().any(|(k, _)| k.0 == "mem.total"));
+        assert!(out[0]
+            .report
+            .values
+            .iter()
+            .any(|(k, _)| k.as_str() == "mem.total"));
     }
 
     #[test]
@@ -441,14 +449,14 @@ mod tests {
             .report
             .values
             .iter()
-            .find(|(k, _)| k.0 == "temp.cpu")
+            .find(|(k, _)| k.as_str() == "temp.cpu")
             .unwrap();
         assert_eq!(temp.1.render(), "61.500");
         let fan = out
             .report
             .values
             .iter()
-            .find(|(k, _)| k.0 == "fan.cpu_rpm")
+            .find(|(k, _)| k.as_str() == "fan.cpu_rpm")
             .unwrap();
         assert_eq!(fan.1.render(), "0");
     }

@@ -68,7 +68,7 @@ impl HistoryStore {
     /// is full; the persistent backend acknowledges durability on
     /// return).
     pub fn record(&mut self, node: u32, key: &MonitorKey, time: SimTime, value: f64) {
-        self.backend.append(node, &key.0, time, value);
+        self.backend.append(node, key.as_str(), time, value);
     }
 
     /// Number of distinct series.
@@ -83,12 +83,12 @@ impl HistoryStore {
 
     /// The latest sample of a series.
     pub fn latest(&self, node: u32, key: &MonitorKey) -> Option<Sample> {
-        self.backend.latest(node, &key.0)
+        self.backend.latest(node, key.as_str())
     }
 
     /// Samples within `[from, to]`, oldest first.
     pub fn range(&self, node: u32, key: &MonitorKey, from: SimTime, to: SimTime) -> Vec<Sample> {
-        self.backend.range(node, &key.0, from, to)
+        self.backend.range(node, key.as_str(), from, to)
     }
 
     /// Pre-aggregated buckets at a storage tier (persistent backends
@@ -101,7 +101,7 @@ impl HistoryStore {
         to: SimTime,
         res: Resolution,
     ) -> Vec<cwx_store::AggBucket> {
-        self.backend.range_agg(node, &key.0, from, to, res)
+        self.backend.range_agg(node, key.as_str(), from, to, res)
     }
 
     /// Downsample a range into at most `buckets` fixed-width buckets
@@ -156,7 +156,7 @@ impl HistoryStore {
         self.backend
             .series()
             .into_iter()
-            .filter(|(_, k)| *k == key.0)
+            .filter(|(_, k)| k.as_str() == key.as_str())
             .filter_map(|(n, k)| self.backend.latest(n, &k).map(|s| (n, s)))
             .collect()
     }

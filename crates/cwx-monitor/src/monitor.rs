@@ -10,17 +10,43 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::snapshot::Snapshot;
 
 /// A monitor's identity, e.g. `"cpu.util"` or `"net.eth0.rx_rate"`.
+///
+/// Internally a shared `Arc<str>`: keys flow through every report, every
+/// per-node last-value map and every decoder dictionary, so cloning them
+/// must be a refcount bump, not a heap allocation — at tens of thousands
+/// of agent connections the difference is tens of megabytes of resident
+/// duplicate strings and an allocation per value on the ingest hot path.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct MonitorKey(pub String);
+pub struct MonitorKey(Arc<str>);
 
 impl MonitorKey {
     /// Build from anything stringy.
-    pub fn new(s: impl Into<String>) -> Self {
-        MonitorKey(s.into())
+    pub fn new(s: impl AsRef<str>) -> Self {
+        MonitorKey(Arc::from(s.as_ref()))
+    }
+
+    /// The key text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for MonitorKey {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::borrow::Borrow<str> for MonitorKey {
+    fn borrow(&self) -> &str {
+        &self.0
     }
 }
 
@@ -489,7 +515,7 @@ mod tests {
         let snap = Snapshot::default(); // no interfaces at all
         let mut got_any = false;
         for m in r.iter_mut() {
-            if m.key.0 == "net.myri0.rx_bytes" {
+            if m.key.as_str() == "net.myri0.rx_bytes" {
                 got_any = true;
                 assert!(m.extract(&snap).is_none());
             }

@@ -260,7 +260,7 @@ mod tests {
         snap.mem.free_kb = 1234;
         let mut got = std::collections::BTreeMap::new();
         for m in reg.iter_mut() {
-            got.insert(m.key.0.clone(), m.extract(&snap));
+            got.insert(m.key.to_string(), m.extract(&snap));
         }
         assert_eq!(got["site.rack"], Some(Value::Num(12.0)));
         assert_eq!(got["site.memfree"], Some(Value::Num(1234.0)));

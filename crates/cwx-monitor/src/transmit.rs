@@ -241,22 +241,22 @@ impl WireEncoder {
         codec::put_uvarint(out, report.time_secs.to_bits());
         self.fresh.clear();
         for (i, (k, _)) in report.values.iter().enumerate() {
-            if !self.ids.contains_key(k.0.as_str()) {
-                self.ids.insert(k.0.clone(), self.last_bits.len() as u32);
+            if !self.ids.contains_key(k.as_str()) {
+                self.ids.insert(k.to_string(), self.last_bits.len() as u32);
                 self.last_bits.push(0);
                 self.fresh.push(i);
             }
         }
         codec::put_uvarint(out, self.fresh.len() as u64);
         for &i in &self.fresh {
-            let name = &report.values[i].0 .0;
-            codec::put_uvarint(out, self.ids[name.as_str()] as u64);
+            let name = report.values[i].0.as_str();
+            codec::put_uvarint(out, self.ids[name] as u64);
             codec::put_uvarint(out, name.len() as u64);
             out.extend_from_slice(name.as_bytes());
         }
         codec::put_uvarint(out, report.values.len() as u64);
         for (k, v) in &report.values {
-            let id = self.ids[k.0.as_str()];
+            let id = self.ids[k.as_str()];
             codec::put_uvarint(out, id as u64);
             match v {
                 Value::Num(x) => {

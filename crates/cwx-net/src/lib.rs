@@ -24,6 +24,9 @@
 
 #![warn(missing_docs)]
 
+pub mod frame;
+pub mod reactor;
+
 use std::collections::{BTreeMap, BTreeSet};
 
 use cwx_util::rng::chance;

@@ -3,8 +3,17 @@
 //! A bounded ring of samples per `(node, monitor)` series — the storage
 //! the repository started with, kept as a [`Store`] backend because the
 //! deterministic simulation tests neither need nor want disk state.
+//!
+//! Layout is tuned for very wide clusters (tens of thousands of nodes ×
+//! dozens of monitors): one map entry per *node*, with that node's rings
+//! side by side and monitor names interned to a shared id table. The
+//! naive `BTreeMap<(u32, String), VecDeque<Sample>>` shape costs ~400
+//! bytes of map, string and deque overhead per series before the first
+//! sample; at 20k nodes × 8 monitors that overhead alone is tens of
+//! megabytes of resident memory on the realtime ingest server.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use cwx_util::time::SimTime;
 use parking_lot::RwLock;
@@ -18,10 +27,83 @@ pub struct MemStore {
     capacity_per_series: usize,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct Inner {
-    series: BTreeMap<(u32, String), VecDeque<Sample>>,
+    /// Interned monitor names; a series stores the 2-byte id.
+    key_ids: HashMap<Arc<str>, u16>,
+    keys: Vec<Arc<str>>,
+    nodes: HashMap<u32, NodeSeries>,
     total_samples: u64,
+}
+
+/// One node's rings, parallel arrays keyed by interned monitor id. A
+/// node has few monitors, so lookups are a short linear scan.
+#[derive(Debug, Default)]
+struct NodeSeries {
+    ids: Vec<u16>,
+    rings: Vec<Ring>,
+}
+
+impl NodeSeries {
+    fn get(&self, id: u16) -> Option<&Ring> {
+        self.ids
+            .iter()
+            .position(|&i| i == id)
+            .map(|p| &self.rings[p])
+    }
+}
+
+/// A bounded ring over a `Vec` that grows to capacity then wraps.
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<Sample>,
+    /// Oldest sample once the ring has wrapped (buf.len() == cap).
+    head: usize,
+}
+
+impl Ring {
+    fn push(&mut self, cap: usize, s: Sample) {
+        if self.buf.len() < cap {
+            self.buf.push(s);
+        } else {
+            self.buf[self.head] = s;
+            self.head = (self.head + 1) % self.buf.len();
+        }
+    }
+
+    fn latest(&self) -> Option<Sample> {
+        if self.buf.is_empty() {
+            None
+        } else if self.head == 0 {
+            self.buf.last().copied()
+        } else {
+            Some(self.buf[self.head - 1])
+        }
+    }
+
+    /// Oldest-first iteration.
+    fn iter(&self) -> impl Iterator<Item = &Sample> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+}
+
+impl Inner {
+    fn key_id(&self, monitor: &str) -> Option<u16> {
+        self.key_ids.get(monitor).copied()
+    }
+
+    fn intern(&mut self, monitor: &str) -> u16 {
+        if let Some(&id) = self.key_ids.get(monitor) {
+            return id;
+        }
+        let id = u16::try_from(self.keys.len()).expect("more than 65k distinct monitor names");
+        let name: Arc<str> = Arc::from(monitor);
+        self.keys.push(Arc::clone(&name));
+        self.key_ids.insert(name, id);
+        id
+    }
 }
 
 impl MemStore {
@@ -30,10 +112,7 @@ impl MemStore {
     pub fn new(capacity_per_series: usize) -> Self {
         assert!(capacity_per_series > 0);
         MemStore {
-            inner: RwLock::new(Inner {
-                series: BTreeMap::new(),
-                total_samples: 0,
-            }),
+            inner: RwLock::new(Inner::default()),
             capacity_per_series,
         }
     }
@@ -42,30 +121,41 @@ impl MemStore {
 impl Store for MemStore {
     fn append(&self, node: u32, monitor: &str, time: SimTime, value: f64) {
         let mut inner = self.inner.write();
+        let id = inner.intern(monitor);
         let cap = self.capacity_per_series;
-        let q = inner.series.entry((node, monitor.to_string())).or_default();
-        if q.len() == cap {
-            q.pop_front();
-        }
-        q.push_back(Sample { time, value });
+        let ns = inner.nodes.entry(node).or_default();
+        let ring = match ns.ids.iter().position(|&i| i == id) {
+            Some(p) => &mut ns.rings[p],
+            None => {
+                ns.ids.push(id);
+                ns.rings.push(Ring {
+                    buf: Vec::new(),
+                    head: 0,
+                });
+                ns.rings.last_mut().unwrap()
+            }
+        };
+        ring.push(cap, Sample { time, value });
         inner.total_samples += 1;
     }
 
     fn latest(&self, node: u32, monitor: &str) -> Option<Sample> {
-        self.inner
-            .read()
-            .series
-            .get(&(node, monitor.to_string()))
-            .and_then(|q| q.back().copied())
+        let inner = self.inner.read();
+        let id = inner.key_id(monitor)?;
+        inner.nodes.get(&node)?.get(id)?.latest()
     }
 
     fn range(&self, node: u32, monitor: &str, from: SimTime, to: SimTime) -> Vec<Sample> {
-        self.inner
-            .read()
-            .series
-            .get(&(node, monitor.to_string()))
-            .map(|q| {
-                q.iter()
+        let inner = self.inner.read();
+        let Some(id) = inner.key_id(monitor) else {
+            return Vec::new();
+        };
+        inner
+            .nodes
+            .get(&node)
+            .and_then(|ns| ns.get(id))
+            .map(|r| {
+                r.iter()
                     .filter(|s| s.time >= from && s.time <= to)
                     .copied()
                     .collect()
@@ -74,11 +164,19 @@ impl Store for MemStore {
     }
 
     fn series(&self) -> Vec<(u32, String)> {
-        self.inner.read().series.keys().cloned().collect()
+        let inner = self.inner.read();
+        let mut out = Vec::new();
+        for (&node, ns) in &inner.nodes {
+            for &id in &ns.ids {
+                out.push((node, inner.keys[id as usize].to_string()));
+            }
+        }
+        out.sort_unstable();
+        out
     }
 
     fn forget_node(&self, node: u32) {
-        self.inner.write().series.retain(|(n, _), _| *n != node);
+        self.inner.write().nodes.remove(&node);
     }
 
     fn total_samples(&self) -> u64 {
@@ -104,7 +202,22 @@ mod tests {
         let all = m.range(1, "k", t(0), t(100));
         assert_eq!(all.len(), 3);
         assert_eq!(all[0].value, 2.0);
+        assert_eq!(all[2].value, 4.0);
         assert_eq!(m.total_samples(), 5);
+        assert_eq!(m.latest(1, "k").unwrap().value, 4.0);
+    }
+
+    #[test]
+    fn wrapped_ring_keeps_time_order() {
+        let m = MemStore::new(4);
+        for i in 0..11 {
+            m.append(7, "k", t(i), i as f64);
+        }
+        let all = m.range(7, "k", t(0), t(100));
+        assert_eq!(
+            all.iter().map(|s| s.value).collect::<Vec<_>>(),
+            vec![7.0, 8.0, 9.0, 10.0]
+        );
     }
 
     #[test]

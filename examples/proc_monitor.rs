@@ -64,7 +64,7 @@ fn drive<S: ProcSource + Clone>(src: S, label: &str) {
                 "uptime.secs",
             ];
             for (k, v) in &out.report.values {
-                if interesting.contains(&k.0.as_str()) {
+                if interesting.contains(&k.as_str()) {
                     println!("         {k} = {}", v.render());
                 }
             }

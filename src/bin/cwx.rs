@@ -8,6 +8,8 @@
 //! cwx chaos    list | run <scenario> [--seed X] [--toml FILE] [--verbose] [--report FILE]
 //! cwx fed      sim [--clusters N --nodes M --secs S --seed X]
 //! cwx fed      serve [--listen ADDR --secs S] | join [--head ADDR --cluster C --nodes N]
+//! cwx ingest   serve [--listen ADDR --secs S --mode reactor|thread --lanes N --store DIR]
+//! cwx ingest   drive [--addr ADDR --conns N --frames N --interval-ms MS --keys K]
 //! cwx help
 //! ```
 
@@ -21,7 +23,7 @@ use cwx_util::time::{SimDuration, SimTime};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  cwx simulate --nodes N --secs S [--seed X] [--store DIR] [--fan-fail NODE@SECS]... [--dump-history FILE --dump-node N]\n  cwx clone --nodes N --image-mb M [--loss P] [--unicast]\n  cwx lite [--ticks N]\n  cwx history --store DIR [--node N --monitor KEY] [--from S] [--to S] [--res raw|10s|5m] [--chart]\n  cwx chaos list\n  cwx chaos run SCENARIO [--seed X] [--verbose] [--report FILE]\n  cwx chaos run --toml FILE [--seed X] [--verbose] [--report FILE]\n  cwx fed sim [--clusters N] [--nodes M] [--secs S] [--seed X] [--uplink SECS]\n  cwx fed serve [--listen ADDR] [--secs S] [--stale-after SECS]\n  cwx fed join [--head ADDR] [--cluster C] [--nodes N] [--secs S] [--interval-ms MS]\n  cwx help"
+        "usage:\n  cwx simulate --nodes N --secs S [--seed X] [--store DIR] [--fan-fail NODE@SECS]... [--dump-history FILE --dump-node N]\n  cwx clone --nodes N --image-mb M [--loss P] [--unicast]\n  cwx lite [--ticks N]\n  cwx history --store DIR [--node N --monitor KEY] [--from S] [--to S] [--res raw|10s|5m] [--chart]\n  cwx chaos list\n  cwx chaos run SCENARIO [--seed X] [--verbose] [--report FILE]\n  cwx chaos run --toml FILE [--seed X] [--verbose] [--report FILE]\n  cwx fed sim [--clusters N] [--nodes M] [--secs S] [--seed X] [--uplink SECS]\n  cwx fed serve [--listen ADDR] [--secs S] [--stale-after SECS]\n  cwx fed join [--head ADDR] [--cluster C] [--nodes N] [--secs S] [--interval-ms MS]\n  cwx ingest serve [--listen ADDR] [--secs S] [--mode reactor|thread] [--lanes N] [--nodes-per-group N] [--retention N] [--store DIR]\n  cwx ingest drive [--addr ADDR] [--conns N] [--frames N] [--interval-ms MS] [--keys K] [--threads T]\n  cwx help"
     );
     std::process::exit(2);
 }
@@ -592,6 +594,140 @@ fn cmd_fed(rest: &[String]) {
     }
 }
 
+fn cmd_ingest(rest: &[String]) {
+    use clusterworx::actions::ControlPlane;
+    use clusterworx::ingest::{drive, IngestConfig, IngestMode, IngestServer, LoadConfig};
+    use clusterworx::server::Server;
+    use cwx_store::disk::{DiskStore, StoreConfig};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let Some((sub, tail)) = rest.split_first() else {
+        eprintln!("`cwx ingest` wants serve or drive");
+        usage();
+    };
+    let args = Args::parse(tail);
+    match sub.as_str() {
+        // realtime ingest front door: accept CWB1 agent streams
+        "serve" => {
+            let listen: String = args.get("listen", "127.0.0.1:7420".to_string());
+            let secs: u64 = args.get("secs", 60);
+            let mode = match args.get::<String>("mode", "reactor".into()).as_str() {
+                "thread" | "thread-per-conn" => IngestMode::ThreadPerConn,
+                _ => IngestMode::Reactor,
+            };
+            let lanes: usize = args.get("lanes", 4);
+            let nodes_per_group: u32 = args.get("nodes-per-group", 10);
+            let retention: usize = args.get("retention", 64);
+            let _ = cwx_net::reactor::raise_nofile_limit();
+            let store = args
+                .pairs
+                .iter()
+                .find(|(k, _)| k == "store")
+                .map(|(_, dir)| {
+                    let cfg = StoreConfig {
+                        n_shards: lanes,
+                        nodes_per_group,
+                        ..StoreConfig::default()
+                    };
+                    Arc::new(
+                        DiskStore::open(std::path::Path::new(dir), cfg).unwrap_or_else(|e| {
+                            eprintln!("could not open store {dir}: {e}");
+                            std::process::exit(1);
+                        }),
+                    )
+                });
+            let server = Arc::new(parking_lot::RwLock::new(Server::new(
+                "ingest",
+                SimDuration::from_secs(5),
+                retention,
+                SimDuration::from_secs(3600),
+            )));
+            let control = Arc::new(parking_lot::Mutex::new(ControlPlane::new(4096)));
+            let ingest = IngestServer::start(
+                IngestConfig {
+                    listen,
+                    mode,
+                    n_lanes: lanes,
+                    nodes_per_group,
+                    ..IngestConfig::default()
+                },
+                server,
+                store,
+                control,
+                Instant::now(),
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("could not start ingest server: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "ingest server ({}) on {} for {}s",
+                match mode {
+                    IngestMode::Reactor => "reactor",
+                    IngestMode::ThreadPerConn => "thread-per-conn",
+                },
+                ingest.addr(),
+                secs
+            );
+            let deadline = Instant::now() + Duration::from_secs(secs);
+            while Instant::now() < deadline {
+                std::thread::sleep(
+                    Duration::from_secs(5).min(deadline.saturating_duration_since(Instant::now())),
+                );
+                let s = ingest.stats();
+                println!(
+                    "conns {} (accepted {}, evicted {}) | frames {} | samples {} | bp {} | decode errs {}",
+                    s.active,
+                    s.accepted,
+                    s.evicted,
+                    s.frames,
+                    s.samples,
+                    s.backpressure_trips,
+                    s.decode_errors
+                );
+            }
+            let lat = ingest.latency();
+            let total = ingest.shutdown();
+            println!(
+                "done: {} reports ingested | ingest latency p50 {:.0}us p99 {:.0}us max {:.0}us",
+                total, lat.p50_us, lat.p99_us, lat.max_us
+            );
+        }
+        // synthetic agent fleet: stream frames at a fixed cadence
+        "drive" => {
+            let addr: String = args.get("addr", "127.0.0.1:7420".to_string());
+            let conns: usize = args.get("conns", 100);
+            let frames: u64 = args.get("frames", 10);
+            let interval_ms: u64 = args.get("interval-ms", 1000);
+            let keys: usize = args.get("keys", 8);
+            let threads: usize = args.get("threads", 8);
+            let _ = cwx_net::reactor::raise_nofile_limit();
+            let stats = drive(LoadConfig {
+                addr: addr.clone(),
+                conns,
+                frames_per_conn: frames,
+                interval: Duration::from_millis(interval_ms),
+                writer_threads: threads,
+                keys,
+                ..LoadConfig::default()
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("could not reach ingest server at {addr}: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "done: {} connected | {} frames / {} samples sent | {} write errors",
+                stats.connected, stats.frames_sent, stats.samples_sent, stats.write_errors
+            );
+        }
+        other => {
+            eprintln!("unknown ingest subcommand: {other}");
+            usage();
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
@@ -602,6 +738,9 @@ fn main() {
     }
     if cmd == "fed" {
         return cmd_fed(rest);
+    }
+    if cmd == "ingest" {
+        return cmd_ingest(rest);
     }
     let args = Args::parse(rest);
     match cmd.as_str() {

@@ -37,6 +37,46 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`]; carries the unsent
+    /// message like the real crate.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
+    /// Error returned by [`Sender::send_timeout`]; carries the unsent
+    /// message like the real crate.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// The channel stayed full for the whole timeout.
+        Timeout(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => write!(f, "timed out sending on a full channel"),
+                SendTimeoutError::Disconnected(_) => {
+                    write!(f, "sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty
     /// and every sender is gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +137,68 @@ pub mod channel {
             drop(st);
             self.shared.not_empty.notify_one();
             Ok(())
+        }
+
+        /// Non-blocking send: fails immediately when the bounded channel
+        /// is full instead of waiting for a receiver.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.shared.state.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = st.cap {
+                if st.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
+                }
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Send, blocking at most `timeout` while the bounded channel
+        /// stays full. Disconnect wins over timeout.
+        pub fn send_timeout(
+            &self,
+            msg: T,
+            timeout: std::time::Duration,
+        ) -> Result<(), SendTimeoutError<T>> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut st = self.shared.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(msg));
+                }
+                match st.cap {
+                    Some(cap) if st.queue.len() >= cap => {
+                        let now = std::time::Instant::now();
+                        if now >= deadline {
+                            return Err(SendTimeoutError::Timeout(msg));
+                        }
+                        st = self
+                            .shared
+                            .not_full
+                            .wait_timeout(st, deadline - now)
+                            .unwrap()
+                            .0;
+                    }
+                    _ => break,
+                }
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// True when a bounded channel is at capacity right now.
+        pub fn is_full(&self) -> bool {
+            let st = self.shared.state.lock().unwrap();
+            match st.cap {
+                Some(cap) => st.queue.len() >= cap,
+                None => false,
+            }
         }
     }
 
