@@ -15,6 +15,7 @@ pub mod e13_control;
 pub mod e14_chaos;
 pub mod e15_federation;
 pub mod e16_ingest;
+pub mod e17_query;
 pub mod e1_gathering;
 pub mod e5_boot;
 pub mod e6_cloning;

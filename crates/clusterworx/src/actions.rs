@@ -314,6 +314,15 @@ pub enum AuditEntry {
         /// Why the connection was evicted.
         reason: String,
     },
+    /// A dashboard query client or query request was shed — the query
+    /// executor's admission queue was full, or accepting the client
+    /// would blow the ingest plane's fd budget. Always reported with a
+    /// row (mirrors [`AuditEntry::ConnectionEvicted`]); never a silent
+    /// clamp.
+    QueryShed {
+        /// Why the query (or its client) was shed.
+        reason: String,
+    },
 }
 
 /// Physical side-effects the driver (sim or realtime) must apply.
@@ -547,6 +556,18 @@ impl ControlPlane {
             now,
             node,
             AuditEntry::ConnectionEvicted {
+                reason: reason.into(),
+            },
+        );
+    }
+
+    /// Log a shed query client or query request (executor overload or
+    /// fd-budget exhaustion on the ingest plane).
+    pub fn audit_query_shed(&mut self, now: SimTime, reason: impl Into<String>) {
+        self.record(
+            now,
+            None,
+            AuditEntry::QueryShed {
                 reason: reason.into(),
             },
         );

@@ -50,7 +50,11 @@ use cwx_monitor::transmit::{Report, WireDecoder};
 use cwx_net::frame::{ConnError, ConnLimits, FrameConn, ReadState};
 use cwx_net::reactor::{Event, Interest, Poller, Token, Waker};
 use cwx_store::disk::DiskStore;
-use cwx_store::{BatchSample, Store};
+use cwx_store::query::ExecutorStats;
+use cwx_store::{
+    AggFunc, BatchSample, QueryError, QueryExecutor, QueryGroup, QueryLimits, QueryResult,
+    QuerySpec, Resolution, Store,
+};
 use cwx_util::time::{SimDuration, SimTime};
 use parking_lot::{Mutex, RwLock};
 
@@ -103,6 +107,19 @@ pub struct IngestConfig {
     pub flush_stall: Option<Duration>,
     /// Test hook: confine `flush_stall` to one lane (`None` = all).
     pub stall_lane: Option<usize>,
+    /// Worker threads of the query executor behind the `CWQ1` endpoint
+    /// (reactor mode with a disk store only).
+    pub query_workers: usize,
+    /// Queries allowed to wait in the executor queue; one more is shed
+    /// with an audit row.
+    pub query_queue: usize,
+    /// Default per-query scanned-entries budget.
+    pub query_max_scan: u64,
+    /// Most connections (agents + query clients) the reactor holds at
+    /// once; `None` derives it from the process fd limit. A client
+    /// accepted past the budget is shed with an audit row — reported,
+    /// never silently clamped.
+    pub conn_budget: Option<usize>,
 }
 
 impl Default for IngestConfig {
@@ -122,6 +139,10 @@ impl Default for IngestConfig {
             handoff_timeout: Duration::from_secs(30),
             flush_stall: None,
             stall_lane: None,
+            query_workers: 2,
+            query_queue: 32,
+            query_max_scan: 8_000_000,
+            conn_budget: None,
         }
     }
 }
@@ -150,6 +171,11 @@ pub struct IngestStats {
     pub handoff_drops: u64,
     /// Wire payload bytes received.
     pub bytes: u64,
+    /// `CWQ1` query requests received on the ingest plane.
+    pub queries: u64,
+    /// Query requests or query clients shed (executor admission control
+    /// or fd budget) — each one also leaves an audit row.
+    pub queries_shed: u64,
 }
 
 /// Latency summary over ingest flushes (readiness read → store
@@ -181,6 +207,8 @@ struct Shared {
     backpressure_trips: AtomicU64,
     handoff_drops: AtomicU64,
     bytes: AtomicU64,
+    queries: AtomicU64,
+    queries_shed: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
 }
 
@@ -197,6 +225,8 @@ impl Shared {
             backpressure_trips: self.backpressure_trips.load(Ordering::Relaxed),
             handoff_drops: self.handoff_drops.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            queries_shed: self.queries_shed.load(Ordering::Relaxed),
         }
     }
 }
@@ -324,6 +354,7 @@ pub struct IngestServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
     waker: Waker,
+    query: Option<Arc<QueryExecutor>>,
     front: Option<std::thread::JoinHandle<()>>,
     flushers: Vec<std::thread::JoinHandle<u64>>,
 }
@@ -365,14 +396,28 @@ impl IngestServer {
             }));
         }
 
+        // query endpoint: reactor front door over a durable store only
+        let query = match (cfg.mode, &store) {
+            (IngestMode::Reactor, Some(store)) => Some(Arc::new(QueryExecutor::new(
+                Arc::clone(store) as Arc<dyn Store>,
+                QueryLimits {
+                    workers: cfg.query_workers.max(1),
+                    max_queue: cfg.query_queue.max(1),
+                    max_scanned_samples: cfg.query_max_scan,
+                },
+            ))),
+            _ => None,
+        };
+
         let front = {
             let cfg = cfg.clone();
             let shared = Arc::clone(&shared);
             let waker = waker.clone();
+            let query = query.clone();
             match cfg.mode {
                 IngestMode::Reactor => {
                     let mut reactor =
-                        Reactor::new(cfg, listener, txs, control, shared, waker, epoch)?;
+                        Reactor::new(cfg, listener, txs, control, shared, waker, epoch, query)?;
                     std::thread::spawn(move || reactor.run())
                 }
                 IngestMode::ThreadPerConn => std::thread::spawn(move || {
@@ -385,9 +430,15 @@ impl IngestServer {
             addr,
             shared,
             waker,
+            query,
             front: Some(front),
             flushers,
         })
+    }
+
+    /// Query-executor counters, when the `CWQ1` endpoint is enabled.
+    pub fn query_stats(&self) -> Option<ExecutorStats> {
+        self.query.as_ref().map(|q| q.stats())
     }
 
     /// The bound address agents connect to.
@@ -436,6 +487,188 @@ impl IngestServer {
 }
 
 // ---------------------------------------------------------------------
+// CWQ1 query wire protocol
+//
+// Dashboard clients share the ingest front door: any frame whose body
+// starts with `CWQ1 ` is a query request, everything else is a `CWB1`
+// report. Requests and replies are plain UTF-8 so any client (and the
+// E17 bench driver) can speak it without the report codec:
+//
+//   CWQ1 <monitor> <agg> <from_ns> <to_ns> <window_ns> <groups> [max_scan]
+//     groups := key:n1,n2,...[;key:...]
+//   CWQR OK tier=<raw|10s|5m|1h> raw=<scanned> buckets=<scanned>
+//   <group>,<window_start_ns>,<value>,<count>     (one line per point)
+//   CWQR ERR <reason>
+
+/// Human name of a resolution tier on the wire.
+fn tier_name(r: Resolution) -> &'static str {
+    match r {
+        Resolution::Raw => "raw",
+        Resolution::TenSeconds => "10s",
+        Resolution::FiveMinutes => "5m",
+        Resolution::OneHour => "1h",
+    }
+}
+
+/// Encode a query spec as one `CWQ1` frame body.
+pub fn encode_query(spec: &QuerySpec) -> Vec<u8> {
+    let groups = spec
+        .groups
+        .iter()
+        .map(|g| {
+            let nodes = g
+                .nodes
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("{}:{}", g.key, nodes)
+        })
+        .collect::<Vec<_>>()
+        .join(";");
+    format!(
+        "CWQ1 {} {} {} {} {} {} {}",
+        spec.monitor,
+        spec.agg.name(),
+        spec.from.as_nanos(),
+        spec.to.as_nanos(),
+        spec.window_nanos,
+        groups,
+        spec.max_scan,
+    )
+    .into_bytes()
+}
+
+/// Parse one `CWQ1` frame body into a query spec.
+pub fn parse_query(frame: &[u8]) -> Result<QuerySpec, String> {
+    let text = std::str::from_utf8(frame).map_err(|_| "request is not UTF-8".to_string())?;
+    let mut it = text.split_ascii_whitespace();
+    if it.next() != Some("CWQ1") {
+        return Err("missing CWQ1 tag".into());
+    }
+    let monitor = it.next().ok_or("missing monitor")?.to_string();
+    let agg_s = it.next().ok_or("missing aggregation")?;
+    let agg = AggFunc::parse(agg_s).ok_or_else(|| format!("unknown aggregation {agg_s:?}"))?;
+    let num = |field: &'static str, v: Option<&str>| -> Result<u64, String> {
+        v.ok_or_else(|| format!("missing {field}"))?
+            .parse::<u64>()
+            .map_err(|_| format!("bad {field}"))
+    };
+    let from = num("from", it.next())?;
+    let to = num("to", it.next())?;
+    let window = num("window", it.next())?;
+    let mut groups = Vec::new();
+    for part in it.next().ok_or("missing groups")?.split(';') {
+        let (key, nodes_s) = part.split_once(':').ok_or("group missing ':'")?;
+        let mut nodes = Vec::new();
+        for n in nodes_s.split(',').filter(|s| !s.is_empty()) {
+            nodes.push(n.parse::<u32>().map_err(|_| format!("bad node {n:?}"))?);
+        }
+        groups.push(QueryGroup {
+            key: key.to_string(),
+            nodes,
+        });
+    }
+    let max_scan = match it.next() {
+        Some(v) => v.parse::<u64>().map_err(|_| "bad max_scan".to_string())?,
+        None => 0,
+    };
+    Ok(QuerySpec {
+        monitor,
+        from: SimTime::from_nanos(from),
+        to: SimTime::from_nanos(to),
+        window_nanos: window,
+        agg,
+        groups,
+        max_scan,
+    })
+}
+
+/// Encode the executor's answer as one `CWQR` frame body.
+fn encode_reply(res: &Result<QueryResult, QueryError>) -> Vec<u8> {
+    match res {
+        Ok(r) => {
+            let mut out = format!(
+                "CWQR OK tier={} raw={} buckets={}",
+                tier_name(r.stats.tier),
+                r.stats.scanned_raw,
+                r.stats.scanned_buckets
+            );
+            for g in &r.groups {
+                for p in &g.points {
+                    out.push('\n');
+                    out.push_str(&format!(
+                        "{},{},{},{}",
+                        g.key,
+                        p.start.as_nanos(),
+                        p.value,
+                        p.count
+                    ));
+                }
+            }
+            out.into_bytes()
+        }
+        Err(e) => format!("CWQR ERR {e}").into_bytes(),
+    }
+}
+
+/// A decoded `CWQR` reply (dashboard clients and the E17 bench).
+#[derive(Debug, Clone, Default)]
+pub struct QueryReply {
+    /// Tier the answer was served from (`raw`, `10s`, `5m`, `1h`).
+    pub tier: String,
+    /// Raw samples scanned.
+    pub scanned_raw: u64,
+    /// Pre-aggregated buckets scanned.
+    pub scanned_buckets: u64,
+    /// `(group, window_start_ns, value, count)` rows.
+    pub points: Vec<(String, u64, f64, u64)>,
+}
+
+/// Parse one `CWQR` frame body; a server-side error comes back as `Err`.
+pub fn parse_reply(frame: &[u8]) -> Result<QueryReply, String> {
+    let text = std::str::from_utf8(frame).map_err(|_| "reply is not UTF-8".to_string())?;
+    let mut lines = text.lines();
+    let head = lines.next().ok_or("empty reply")?;
+    if let Some(err) = head.strip_prefix("CWQR ERR ") {
+        return Err(err.to_string());
+    }
+    let rest = head.strip_prefix("CWQR OK ").ok_or("missing CWQR tag")?;
+    let mut reply = QueryReply::default();
+    for kv in rest.split_ascii_whitespace() {
+        match kv.split_once('=') {
+            Some(("tier", v)) => reply.tier = v.to_string(),
+            Some(("raw", v)) => reply.scanned_raw = v.parse().map_err(|_| "bad raw=")?,
+            Some(("buckets", v)) => {
+                reply.scanned_buckets = v.parse().map_err(|_| "bad buckets=")?
+            }
+            _ => {}
+        }
+    }
+    for line in lines {
+        let mut f = line.splitn(4, ',');
+        let key = f.next().ok_or("short row")?.to_string();
+        let start = f
+            .next()
+            .ok_or("short row")?
+            .parse()
+            .map_err(|_| "bad start")?;
+        let value = f
+            .next()
+            .ok_or("short row")?
+            .parse()
+            .map_err(|_| "bad value")?;
+        let count = f
+            .next()
+            .ok_or("short row")?
+            .parse()
+            .map_err(|_| "bad count")?;
+        reply.points.push((key, start, value, count));
+    }
+    Ok(reply)
+}
+
+// ---------------------------------------------------------------------
 // Reactor front end
 
 const TOK_LISTENER: Token = Token(0);
@@ -456,6 +689,18 @@ struct Conn {
     /// Set while paused under lane backpressure.
     paused_at: Option<Instant>,
     decode_errors: u64,
+    /// Generation stamp: an async query reply addressed to a recycled
+    /// slot must not reach whoever owns the slot now.
+    gen: u64,
+    /// Whether write interest is currently registered.
+    write_interest: bool,
+}
+
+/// A finished query answer on its way back to a connection.
+struct Reply {
+    idx: usize,
+    gen: u64,
+    body: Vec<u8>,
 }
 
 struct Lane {
@@ -480,6 +725,13 @@ struct Reactor {
     epoch: Instant,
     drain_seen: Option<Instant>,
     accepting: bool,
+    /// `CWQ1` query endpoint (present when backed by a disk store).
+    query: Option<Arc<QueryExecutor>>,
+    /// Answers pushed by executor workers, delivered on the next wake.
+    replies: Arc<Mutex<Vec<Reply>>>,
+    /// Most connections held at once (fd budget).
+    conn_budget: usize,
+    next_gen: u64,
 }
 
 impl Reactor {
@@ -492,6 +744,7 @@ impl Reactor {
         shared: Arc<Shared>,
         waker: Waker,
         epoch: Instant,
+        query: Option<Arc<QueryExecutor>>,
     ) -> io::Result<Reactor> {
         let mut poller = Poller::new()?;
         poller.register(listener.as_raw_fd(), TOK_LISTENER, Interest::READABLE)?;
@@ -507,6 +760,13 @@ impl Reactor {
                 blocked: false,
             })
             .collect();
+        // fd budget: the soft RLIMIT_NOFILE minus headroom for the
+        // listener, waker, epoll, WAL/segment files and stdio
+        let conn_budget = cfg.conn_budget.unwrap_or_else(|| {
+            cwx_net::reactor::raise_nofile_limit()
+                .map(|(soft, _)| (soft as usize).saturating_sub(256).max(64))
+                .unwrap_or(usize::MAX)
+        });
         Ok(Reactor {
             cfg,
             listener,
@@ -520,6 +780,10 @@ impl Reactor {
             epoch,
             drain_seen: None,
             accepting: true,
+            query,
+            replies: Arc::new(Mutex::new(Vec::new())),
+            conn_budget,
+            next_gen: 0,
         })
     }
 
@@ -550,6 +814,7 @@ impl Reactor {
                     TOK_LISTENER => self.accept_ready(),
                     TOK_WAKER => {
                         self.waker.drain();
+                        self.deliver_replies();
                         self.retry_blocked_lanes();
                     }
                     Token(t) => self.conn_ready(t - TOK_BASE, ev),
@@ -564,6 +829,7 @@ impl Reactor {
                     self.flush_lane(l);
                 }
             }
+            self.deliver_replies();
             self.retry_blocked_lanes();
             self.evict_overdue();
             if self.drain_tick() {
@@ -620,6 +886,23 @@ impl Reactor {
         while self.accepting {
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    let active = self.shared.active.load(Ordering::Relaxed) as usize;
+                    if active >= self.conn_budget {
+                        // fd budget exhausted: shed the new client with
+                        // an audit row — never a silent clamp
+                        self.shared.queries_shed.fetch_add(1, Ordering::Relaxed);
+                        self.shared.evicted.fetch_add(1, Ordering::Relaxed);
+                        let budget = self.conn_budget;
+                        self.control.lock().audit_query_shed(
+                            self.now(),
+                            format!(
+                                "fd budget exhausted: {active} active connections at \
+                                 budget {budget}; shedding new client"
+                            ),
+                        );
+                        drop(stream);
+                        continue;
+                    }
                     let limits = ConnLimits {
                         max_frame: self.cfg.max_frame,
                         max_read_buffer: self.cfg.conn_read_buffer,
@@ -648,6 +931,7 @@ impl Reactor {
                         self.free.push(idx);
                         continue;
                     }
+                    self.next_gen += 1;
                     self.conns[idx] = Some(Conn {
                         fc,
                         decoder: WireDecoder::new(),
@@ -655,6 +939,8 @@ impl Reactor {
                         lane: None,
                         paused_at: None,
                         decode_errors: 0,
+                        gen: self.next_gen,
+                        write_interest: false,
                     });
                     self.shared.accepted.fetch_add(1, Ordering::Relaxed);
                     self.shared.active.fetch_add(1, Ordering::Relaxed);
@@ -674,15 +960,31 @@ impl Reactor {
             self.conns[idx] = Some(conn);
             return;
         }
+        if ev.writable {
+            // a queued query reply the socket previously refused
+            if let Err(e) = conn.fc.flush() {
+                self.evict(idx, conn, &format!("{e}"));
+                return;
+            }
+        }
+        let mut queries: Vec<Vec<u8>> = Vec::new();
         let outcome = if ev.readable || ev.closed {
-            self.read_conn(&mut conn)
+            self.read_conn(&mut conn, &mut queries)
         } else {
             Ok(ReadState::Drained)
         };
+        for frame in &queries {
+            if let Err(e) = self.handle_query(idx, &mut conn, frame) {
+                self.evict(idx, conn, &format!("{e}"));
+                self.flush_due_lanes();
+                return;
+            }
+        }
         match outcome {
             Ok(ReadState::Drained) | Ok(ReadState::HasMore) => {
                 // level-triggered poller re-fires on leftover data
                 self.conns[idx] = Some(conn);
+                self.update_interest(idx);
                 self.flush_due_lanes();
             }
             Ok(ReadState::Eof) => {
@@ -696,8 +998,15 @@ impl Reactor {
         }
     }
 
-    /// Pull frames off one connection into the lane buffers.
-    fn read_conn(&mut self, conn: &mut Conn) -> Result<ReadState, ConnError> {
+    /// Pull frames off one connection into the lane buffers. `CWQ1`
+    /// query frames are set aside for [`Reactor::handle_query`] (the
+    /// closure below cannot reach the executor while it borrows the
+    /// lanes).
+    fn read_conn(
+        &mut self,
+        conn: &mut Conn,
+        queries: &mut Vec<Vec<u8>>,
+    ) -> Result<ReadState, ConnError> {
         let now = self.now();
         let Conn {
             fc,
@@ -716,6 +1025,10 @@ impl Reactor {
             shared
                 .bytes
                 .fetch_add(frame.len() as u64, Ordering::Relaxed);
+            if frame.starts_with(b"CWQ1 ") {
+                queries.push(frame.to_vec());
+                return;
+            }
             match decoder.decode_auto(frame) {
                 Ok(report) => {
                     let l = (report.node / nodes_per_group) as usize % n_lanes;
@@ -747,6 +1060,97 @@ impl Reactor {
             )));
         }
         Ok(state)
+    }
+
+    /// Admit one `CWQ1` request: parse, submit to the executor, and
+    /// answer refusals immediately on the connection. A shed request is
+    /// counted and audited — the client and the operator both see it.
+    fn handle_query(&mut self, idx: usize, conn: &mut Conn, frame: &[u8]) -> Result<(), ConnError> {
+        self.shared.queries.fetch_add(1, Ordering::Relaxed);
+        let Some(exec) = self.query.clone() else {
+            return conn
+                .fc
+                .queue_frame(b"CWQR ERR query endpoint disabled (no durable store)");
+        };
+        let spec = match parse_query(frame) {
+            Ok(spec) => spec,
+            Err(msg) => {
+                return conn
+                    .fc
+                    .queue_frame(format!("CWQR ERR bad request: {msg}").as_bytes());
+            }
+        };
+        let replies = Arc::clone(&self.replies);
+        let waker = self.waker.clone();
+        let gen = conn.gen;
+        let submitted = exec.try_submit(spec, move |res| {
+            replies.lock().push(Reply {
+                idx,
+                gen,
+                body: encode_reply(&res),
+            });
+            waker.wake();
+        });
+        match submitted {
+            Ok(()) => Ok(()),
+            Err(e @ QueryError::Overloaded { .. }) => {
+                self.shared.queries_shed.fetch_add(1, Ordering::Relaxed);
+                self.control
+                    .lock()
+                    .audit_query_shed(self.now(), format!("query executor overloaded: {e}"));
+                conn.fc
+                    .queue_frame(format!("CWQR ERR shed: {e}").as_bytes())
+            }
+            Err(e) => conn.fc.queue_frame(format!("CWQR ERR {e}").as_bytes()),
+        }
+    }
+
+    /// Deliver answers the executor workers finished since the last
+    /// wake. A reply for a recycled slot (generation mismatch) is
+    /// dropped; a reply that overflows the send queue evicts the slow
+    /// dashboard client.
+    fn deliver_replies(&mut self) {
+        let pending: Vec<Reply> = mem::take(&mut *self.replies.lock());
+        for r in pending {
+            let outcome = match self.conns.get_mut(r.idx).and_then(Option::as_mut) {
+                Some(conn) if conn.gen == r.gen => conn.fc.queue_frame(&r.body),
+                _ => Ok(()), // connection gone; the answer has no home
+            };
+            match outcome {
+                Ok(()) => self.update_interest(r.idx),
+                Err(e) => {
+                    if let Some(conn) = self.conns[r.idx].take() {
+                        self.evict(r.idx, conn, &format!("query reply undeliverable: {e}"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-register write interest to match the connection's outbound
+    /// queue (no-op unless it changed; paused connections keep their
+    /// interest dropped).
+    fn update_interest(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.paused_at.is_some() {
+            return;
+        }
+        let want = conn.fc.wants_write();
+        if want != conn.write_interest {
+            conn.write_interest = want;
+            let interest = if want {
+                Interest::BOTH
+            } else {
+                Interest::READABLE
+            };
+            let _ = self.poller.reregister(
+                conn.fc.stream().as_raw_fd(),
+                Token(idx + TOK_BASE),
+                interest,
+            );
+        }
     }
 
     /// Flush every lane whose size bound tripped.
@@ -834,10 +1238,17 @@ impl Reactor {
             if let Some(conn) = &mut self.conns[idx] {
                 if conn.lane == Some(l) && conn.paused_at.is_some() {
                     conn.paused_at = None;
+                    let want = conn.fc.wants_write();
+                    conn.write_interest = want;
+                    let interest = if want {
+                        Interest::BOTH
+                    } else {
+                        Interest::READABLE
+                    };
                     let _ = self.poller.reregister(
                         conn.fc.stream().as_raw_fd(),
                         Token(idx + TOK_BASE),
-                        Interest::READABLE,
+                        interest,
                     );
                 }
             }
@@ -1488,6 +1899,142 @@ mod tests {
             &r.entry,
             crate::actions::AuditEntry::ConnectionEvicted { reason } if reason.contains("garbage")
         )));
+    }
+
+    fn send_frame(s: &mut TcpStream, body: &[u8]) {
+        let mut wire = Vec::new();
+        cwx_net::frame::put_frame(&mut wire, body);
+        io::Write::write_all(s, &wire).unwrap();
+    }
+
+    fn read_frame(s: &mut TcpStream) -> Vec<u8> {
+        let mut header = [0u8; 4];
+        s.read_exact(&mut header).unwrap();
+        let len = u32::from_le_bytes(header) as usize;
+        let mut body = vec![0u8; len];
+        s.read_exact(&mut body).unwrap();
+        body
+    }
+
+    #[test]
+    fn query_endpoint_answers_over_the_wire() {
+        let dir = std::env::temp_dir().join(format!("cwx-ingest-query-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store =
+            Arc::new(DiskStore::open(&dir, cwx_store::disk::StoreConfig::default()).unwrap());
+        for i in 0..100u64 {
+            store.append(
+                0,
+                "cpu.load",
+                SimTime::ZERO + SimDuration::from_secs(i),
+                i as f64,
+            );
+        }
+        let control = Arc::new(Mutex::new(ControlPlane::new(64)));
+        let server = Arc::new(RwLock::new(Server::new(
+            "ingest-query-test",
+            SimDuration::from_secs(5),
+            4096,
+            SimDuration::from_secs(30),
+        )));
+        let ingest = IngestServer::start(
+            IngestConfig::default(),
+            server,
+            Some(Arc::clone(&store)),
+            Arc::clone(&control),
+            Instant::now(),
+        )
+        .unwrap();
+
+        let mut s = TcpStream::connect(ingest.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let spec = QuerySpec {
+            monitor: "cpu.load".into(),
+            from: SimTime::ZERO,
+            to: SimTime::ZERO + SimDuration::from_secs(99),
+            window_nanos: 10 * 1_000_000_000,
+            agg: AggFunc::Avg,
+            groups: vec![QueryGroup {
+                key: "all".into(),
+                nodes: vec![0],
+            }],
+            max_scan: 0,
+        };
+        send_frame(&mut s, &encode_query(&spec));
+        let reply = parse_reply(&read_frame(&mut s)).unwrap();
+        assert_eq!(reply.points.len(), 10);
+        assert_eq!(reply.points[0].0, "all");
+        assert_eq!(reply.points[0].3, 10);
+        assert!((reply.points[0].2 - 4.5).abs() < 1e-9);
+
+        // a bad request is answered, not dropped
+        send_frame(&mut s, b"CWQ1 cpu.load frobnicate 0 1 1 all:0");
+        let err = parse_reply(&read_frame(&mut s)).unwrap_err();
+        assert!(err.contains("unknown aggregation"), "{err}");
+
+        assert_eq!(ingest.stats().queries, 2);
+        assert_eq!(ingest.query_stats().unwrap().completed, 1);
+        drop(s);
+        ingest.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fd_budget_sheds_new_clients_with_audit_row() {
+        let rig = harness(IngestMode::Reactor, |c| c.conn_budget = Some(2));
+        let _s1 = TcpStream::connect(rig.ingest.addr()).unwrap();
+        let _s2 = TcpStream::connect(rig.ingest.addr()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while rig.ingest.stats().active < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(rig.ingest.stats().active, 2);
+        let _s3 = TcpStream::connect(rig.ingest.addr()).unwrap();
+        while rig.ingest.stats().queries_shed == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(rig.ingest.stats().queries_shed, 1, "third client shed");
+        assert_eq!(rig.ingest.stats().active, 2, "budget holds");
+        rig.ingest.shutdown();
+        let control = rig.control.lock();
+        assert!(
+            control.audit().iter().any(|r| matches!(
+                &r.entry,
+                crate::actions::AuditEntry::QueryShed { reason } if reason.contains("fd budget")
+            )),
+            "shed client must leave an audit row"
+        );
+    }
+
+    #[test]
+    fn query_wire_protocol_round_trips() {
+        let spec = QuerySpec {
+            monitor: "mem.free".into(),
+            from: SimTime::from_nanos(5),
+            to: SimTime::from_nanos(7_000_000_000),
+            window_nanos: 1_000_000_000,
+            agg: AggFunc::P99,
+            groups: vec![
+                QueryGroup {
+                    key: "rack0".into(),
+                    nodes: vec![0, 1, 2],
+                },
+                QueryGroup {
+                    key: "rack1".into(),
+                    nodes: vec![10, 11],
+                },
+            ],
+            max_scan: 1234,
+        };
+        let parsed = parse_query(&encode_query(&spec)).unwrap();
+        assert_eq!(parsed.monitor, spec.monitor);
+        assert_eq!(parsed.agg, spec.agg);
+        assert_eq!(parsed.from, spec.from);
+        assert_eq!(parsed.to, spec.to);
+        assert_eq!(parsed.window_nanos, spec.window_nanos);
+        assert_eq!(parsed.max_scan, spec.max_scan);
+        assert_eq!(parsed.groups.len(), 2);
+        assert_eq!(parsed.groups[1].nodes, vec![10, 11]);
     }
 
     #[test]

@@ -104,6 +104,17 @@ impl HistoryStore {
         self.backend.range_agg(node, key.as_str(), from, to, res)
     }
 
+    /// Run a windowed, grouped aggregation query against the backend.
+    /// Disk-backed stores answer from the coarsest stored tier that
+    /// satisfies the window; volatile backends stream raw samples
+    /// through the same query layer.
+    pub fn query(
+        &self,
+        spec: &cwx_store::QuerySpec,
+    ) -> Result<cwx_store::QueryResult, cwx_store::QueryError> {
+        self.backend.query(spec)
+    }
+
     /// Downsample a range into at most `buckets` fixed-width buckets
     /// (chart rendering). Empty buckets are omitted; an empty range, a
     /// zero bucket count or an inverted range yield no buckets, and a

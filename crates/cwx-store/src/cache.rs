@@ -15,6 +15,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 
 use crate::segment::SeriesData;
+use crate::Resolution;
 
 /// Identifies one decoded series payload of one segment file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -29,12 +30,22 @@ pub struct BlockKey {
     pub series: u32,
 }
 
-/// Counters surfaced through the store stats.
+/// Per-resolution hit/miss counters (E17 attributes warm-vs-cold wins
+/// per tier with these).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
+pub struct TierCacheStats {
     /// Lookups served from the cache.
     pub hits: u64,
     /// Lookups that had to read the segment file.
+    pub misses: u64,
+}
+
+/// Counters surfaced through the store stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache (all tiers).
+    pub hits: u64,
+    /// Lookups that had to read the segment file (all tiers).
     pub misses: u64,
     /// Blocks evicted to stay under the sample budget.
     pub evictions: u64,
@@ -42,6 +53,15 @@ pub struct CacheStats {
     pub entries: u64,
     /// Decoded samples currently cached.
     pub samples: u64,
+    /// Hit/miss split by resolution tag (raw, 10s, 5m, 1h).
+    pub per_tier: [TierCacheStats; 4],
+}
+
+impl CacheStats {
+    /// The hit/miss split of one resolution.
+    pub fn tier(&self, res: Resolution) -> TierCacheStats {
+        self.per_tier[res.tag() as usize]
+    }
 }
 
 #[derive(Debug)]
@@ -61,6 +81,7 @@ struct CacheInner {
     hits: u64,
     misses: u64,
     evictions: u64,
+    per_tier: [TierCacheStats; 4],
 }
 
 /// A sample-budgeted LRU cache of decoded segment blocks, shared by all
@@ -90,6 +111,7 @@ impl BlockCache {
         let mut inner = self.inner.lock().unwrap();
         inner.tick += 1;
         let tick = inner.tick;
+        let tier = (key.res as usize).min(3);
         match inner.map.get_mut(key) {
             Some(block) => {
                 let old = std::mem::replace(&mut block.tick, tick);
@@ -97,10 +119,12 @@ impl BlockCache {
                 inner.lru.remove(&old);
                 inner.lru.insert(tick, *key);
                 inner.hits += 1;
+                inner.per_tier[tier].hits += 1;
                 Some(data)
             }
             None => {
                 inner.misses += 1;
+                inner.per_tier[tier].misses += 1;
                 None
             }
         }
@@ -171,6 +195,7 @@ impl BlockCache {
             evictions: inner.evictions,
             entries: inner.map.len() as u64,
             samples: inner.samples as u64,
+            per_tier: inner.per_tier,
         }
     }
 }
@@ -255,6 +280,36 @@ mod tests {
                 series: 0,
             })
             .is_none());
+    }
+
+    #[test]
+    fn per_tier_counters_and_hour_tier_eviction() {
+        let cache = BlockCache::new(1000);
+        let hour = BlockKey {
+            shard: 2,
+            seq: 1,
+            res: 3,
+            series: 0,
+        };
+        assert!(cache.get(&hour).is_none());
+        cache.insert(hour, block(5));
+        assert!(cache.get(&hour).is_some());
+        cache.get(&key(9)); // raw-tier miss
+        let s = cache.stats();
+        assert_eq!(
+            s.tier(Resolution::OneHour),
+            TierCacheStats { hits: 1, misses: 1 }
+        );
+        assert_eq!(
+            s.tier(Resolution::Raw),
+            TierCacheStats { hits: 0, misses: 1 }
+        );
+        assert_eq!(s.tier(Resolution::FiveMinutes), TierCacheStats::default());
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        // a compaction-triggered shard eviction must cover 1h entries
+        cache.evict_shard(2);
+        assert!(cache.get(&hour).is_none());
     }
 
     #[test]

@@ -43,9 +43,16 @@ use cwx_util::time::{SimDuration, SimTime};
 use parking_lot::Mutex;
 
 use crate::cache::{BlockCache, BlockKey, CacheStats};
+use crate::query::{
+    self, aggregate, floor_to, merge_buckets, BucketCursor, BucketMerge, SampleCursor, SampleMerge,
+    WindowMap,
+};
 use crate::segment::{self, Segment, SegmentIndex, SeriesData, SeriesIndexEntry};
 use crate::wal::{Wal, WalRecord};
-use crate::{aggregate, AggBucket, BatchSample, Resolution, Sample, Store, StoreError};
+use crate::{
+    AggBucket, BatchSample, GroupSeries, QueryError, QueryResult, QuerySpec, QueryStats,
+    Resolution, Sample, Store, StoreError,
+};
 
 /// Sharding and flush parameters. Sharding fields are fixed at store
 /// creation and read back from disk on reopen.
@@ -233,7 +240,9 @@ impl Shard {
                     }
                     shard.tiers.push(SegmentFile { path, seq, index });
                 }
-                Resolution::FiveMinutes => shard.tiers.push(SegmentFile { path, seq, index }),
+                Resolution::FiveMinutes | Resolution::OneHour => {
+                    shard.tiers.push(SegmentFile { path, seq, index })
+                }
             }
         }
 
@@ -381,6 +390,7 @@ impl Shard {
         let mut raw_series = Vec::with_capacity(sorted_keys.len());
         let mut ten_series = Vec::with_capacity(sorted_keys.len());
         let mut five_series = Vec::with_capacity(sorted_keys.len());
+        let mut hour_series = Vec::with_capacity(sorted_keys.len());
         let mut covered: Option<SimTime> = None;
         for key in sorted_keys {
             let mut samples = merged.remove(&key).unwrap();
@@ -388,9 +398,11 @@ impl Shard {
             covered = covered.max(samples.last().map(|s| s.time));
             let ten = aggregate(&samples, Resolution::TenSeconds.bucket_nanos().unwrap());
             let five = merge_buckets(&ten, Resolution::FiveMinutes.bucket_nanos().unwrap());
+            let hour = merge_buckets(&five, Resolution::OneHour.bucket_nanos().unwrap());
             raw_series.push((key.clone(), SeriesData::Raw(samples)));
             ten_series.push((key.clone(), SeriesData::Buckets(ten)));
-            five_series.push((key, SeriesData::Buckets(five)));
+            five_series.push((key.clone(), SeriesData::Buckets(five)));
+            hour_series.push((key, SeriesData::Buckets(hour)));
         }
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -400,6 +412,7 @@ impl Shard {
             (Resolution::Raw, raw_series),
             (Resolution::TenSeconds, ten_series),
             (Resolution::FiveMinutes, five_series),
+            (Resolution::OneHour, hour_series),
         ] {
             let seg = Segment {
                 resolution: res,
@@ -460,35 +473,82 @@ impl Shard {
         out.sort_by_key(|s| s.time.as_nanos());
         out
     }
-}
 
-/// Combine fine buckets into wider epoch-aligned buckets.
-fn merge_buckets(fine: &[AggBucket], width_nanos: u64) -> Vec<AggBucket> {
-    let mut out: Vec<AggBucket> = Vec::new();
-    for b in fine {
-        let start = SimTime::from_nanos(b.start.as_nanos() / width_nanos * width_nanos);
-        match out.last_mut() {
-            Some(w) if w.start == start => {
-                let total = w.count + b.count;
-                w.mean = (w.mean * w.count as f64 + b.mean * b.count as f64) / total as f64;
-                w.count = total;
-                w.min = w.min.min(b.min);
-                w.max = w.max.max(b.max);
-                w.last = b.last;
+    /// Collect streaming cursors over one series' raw sources (segment
+    /// blocks through the cache, plus a sorted memtable snapshot).
+    /// Cursors hold `Arc`s, so folding can happen after the shard lock
+    /// is released. Unreadable blocks degrade to a gap, like
+    /// [`Shard::raw_range`].
+    fn raw_cursors(
+        &self,
+        node: u32,
+        monitor: &str,
+        from: SimTime,
+        to: SimTime,
+        out: &mut Vec<SampleCursor>,
+    ) {
+        for sf in &self.raw {
+            let Some((i, e)) = find_entry(&sf.index, node, monitor) else {
+                continue;
+            };
+            if e.count == 0 || e.min_time > to || e.max_time < from {
+                continue;
             }
-            _ => out.push(AggBucket { start, ..*b }),
+            let Ok(block) = self.read_block(sf, i) else {
+                continue;
+            };
+            out.push(SampleCursor::from_block(block, from, to));
+        }
+        if let Some(&id) = self.ids.get(&(node, monitor.to_string())) {
+            let mut mem: Vec<Sample> = self.mem[id as usize]
+                .iter()
+                .filter(|s| s.time >= from && s.time <= to)
+                .copied()
+                .collect();
+            if !mem.is_empty() {
+                mem.sort_by_key(|s| s.time.as_nanos());
+                out.push(SampleCursor::from_owned(mem, from, to));
+            }
         }
     }
-    out
+
+    /// Collect streaming cursors over one series' stored buckets at
+    /// resolution `res`.
+    fn bucket_cursors(
+        &self,
+        node: u32,
+        monitor: &str,
+        res: Resolution,
+        from: SimTime,
+        to: SimTime,
+        out: &mut Vec<BucketCursor>,
+    ) {
+        for sf in &self.tiers {
+            if sf.index.resolution != res {
+                continue;
+            }
+            let Some((i, e)) = find_entry(&sf.index, node, monitor) else {
+                continue;
+            };
+            if e.count == 0 || e.min_time > to || e.max_time < from {
+                continue;
+            }
+            let Ok(block) = self.read_block(sf, i) else {
+                continue;
+            };
+            out.push(BucketCursor::from_block(block, from, to));
+        }
+    }
+
+    /// Does this shard hold any segment at `res`? (Stores written
+    /// before the 1h tier existed lack `r3` files until recompacted.)
+    fn has_tier(&self, res: Resolution) -> bool {
+        self.tiers.iter().any(|sf| sf.index.resolution == res)
+    }
 }
 
 fn segment_name(seq: u64, res: Resolution) -> String {
     format!("seg-{seq:08}-r{}.seg", res.tag())
-}
-
-fn floor_to(t: SimTime, width: u64) -> SimTime {
-    let w = width.max(1);
-    SimTime::from_nanos(t.as_nanos() / w * w)
 }
 
 /// The persistent sharded store.
@@ -834,21 +894,130 @@ impl Store for DiskStore {
         if suffix_from <= to {
             let raw = shard.raw_range(node, monitor, suffix_from, to);
             for b in aggregate(&raw, width) {
-                match out.last_mut() {
-                    Some(w) if w.start == b.start => {
-                        let total = w.count + b.count;
-                        w.mean = (w.mean * w.count as f64 + b.mean * b.count as f64) / total as f64;
-                        w.count = total;
-                        w.min = w.min.min(b.min);
-                        w.max = w.max.max(b.max);
-                        w.last = b.last;
-                    }
-                    _ => out.push(b),
-                }
+                query::fold_bucket(&mut out, &b, width);
             }
         }
         out.sort_by_key(|b| b.start.as_nanos());
         out
+    }
+
+    fn query(&self, spec: &QuerySpec) -> Result<QueryResult, QueryError> {
+        spec.validate()?;
+        let (from, to) = spec.window_bounds();
+        let budget = if spec.max_scan == 0 {
+            u64::MAX
+        } else {
+            spec.max_scan
+        };
+        let selected = query::select_tier(spec.window_nanos, spec.agg);
+        let mut stats = QueryStats {
+            tier: selected,
+            ..QueryStats::default()
+        };
+        let over = |stats: &QueryStats| {
+            let scanned = stats.scanned_raw + stats.scanned_buckets;
+            (scanned > budget).then_some(QueryError::BudgetExceeded { scanned, budget })
+        };
+        let mut groups_out = Vec::with_capacity(spec.groups.len());
+        for g in &spec.groups {
+            // one pass per shard: collect Arc-backed cursors under the
+            // shard lock, fold after releasing it so long queries never
+            // sit on an ingest shard's lock
+            let mut by_shard: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+            for &node in &g.nodes {
+                by_shard[self.shard_of(node)].push(node);
+            }
+            if selected == Resolution::Raw {
+                // one global k-way merge: sources from every shard are
+                // time-ordered, so percentile/rate windows close in
+                // order and only one window's values stay buffered
+                let mut cursors: Vec<SampleCursor> = Vec::new();
+                for (si, nodes) in by_shard.iter().enumerate() {
+                    if nodes.is_empty() {
+                        continue;
+                    }
+                    let shard = self.shards[si].lock();
+                    for &node in nodes {
+                        shard.raw_cursors(node, &spec.monitor, from, to, &mut cursors);
+                    }
+                }
+                stats.scanned_raw += cursors.iter().map(|c| c.remaining()).sum::<u64>();
+                if let Some(e) = over(&stats) {
+                    return Err(e);
+                }
+                let points =
+                    query::fold_stream(SampleMerge::new(cursors), spec.agg, spec.window_nanos);
+                groups_out.push(GroupSeries {
+                    key: g.key.clone(),
+                    points,
+                });
+            } else {
+                // tier-served: fold buckets (and each shard's raw
+                // suffix) into per-window accumulators; arrival order
+                // across shards doesn't matter for tier-serveable
+                // functions
+                let mut wm = WindowMap::new(spec.window_nanos);
+                for (si, nodes) in by_shard.iter().enumerate() {
+                    if nodes.is_empty() {
+                        continue;
+                    }
+                    let shard = self.shards[si].lock();
+                    // a shard compacted before the 1h tier existed may
+                    // lack the selected resolution; any finer stored
+                    // tier still nests in the window (10s | 5m | 1h)
+                    let eff = if shard.has_tier(selected) {
+                        selected
+                    } else {
+                        stats.fallback_shards += 1;
+                        Resolution::TIERS
+                            .iter()
+                            .rev()
+                            .filter(|r| r.tag() < selected.tag())
+                            .find(|r| shard.has_tier(**r))
+                            .copied()
+                            .unwrap_or(Resolution::Raw)
+                    };
+                    let mut buckets: Vec<BucketCursor> = Vec::new();
+                    let mut raws: Vec<SampleCursor> = Vec::new();
+                    let suffix_from = if eff == Resolution::Raw {
+                        from
+                    } else {
+                        for &node in nodes {
+                            shard.bucket_cursors(node, &spec.monitor, eff, from, to, &mut buckets);
+                        }
+                        match shard.tier_covered {
+                            Some(c) => (c + SimDuration::from_nanos(1)).max(from),
+                            None => from,
+                        }
+                    };
+                    if suffix_from <= to {
+                        for &node in nodes {
+                            shard.raw_cursors(node, &spec.monitor, suffix_from, to, &mut raws);
+                        }
+                    }
+                    drop(shard);
+                    stats.scanned_buckets += buckets.iter().map(|c| c.remaining()).sum::<u64>();
+                    stats.scanned_raw += raws.iter().map(|c| c.remaining()).sum::<u64>();
+                    if let Some(e) = over(&stats) {
+                        return Err(e);
+                    }
+                    for b in BucketMerge::new(buckets) {
+                        wm.fold_bucket(&b);
+                    }
+                    for s in SampleMerge::new(raws) {
+                        wm.fold_sample(s);
+                    }
+                }
+                groups_out.push(GroupSeries {
+                    key: g.key.clone(),
+                    points: wm.finish(spec.agg),
+                });
+            }
+        }
+        Ok(QueryResult {
+            groups: groups_out,
+            stats,
+        })
     }
 
     fn series(&self) -> Vec<(u32, String)> {
@@ -1132,6 +1301,120 @@ mod tests {
         let total: u64 = buckets.iter().map(|b| b.count).sum();
         assert_eq!(total, 350, "tiers + raw suffix with no double counting");
         assert_eq!(buckets.last().unwrap().last, 2.0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn hour_window_query_served_from_hour_tier() {
+        use crate::{AggFunc, QueryGroup, QuerySpec};
+        let dir = tmp("hourtier");
+        let store = DiskStore::open(&dir, small_cfg()).unwrap();
+        for i in 0..7200u64 {
+            store.append(1, "m", t(i), (i % 100) as f64);
+        }
+        store.compact_all().unwrap();
+        store.clear_cache();
+        let spec = QuerySpec {
+            monitor: "m".into(),
+            from: t(0),
+            to: t(7199),
+            window_nanos: 3_600 * 1_000_000_000,
+            agg: AggFunc::Avg,
+            groups: vec![QueryGroup {
+                key: "all".into(),
+                nodes: vec![1],
+            }],
+            max_scan: 0,
+        };
+        let r = store.query(&spec).unwrap();
+        assert_eq!(r.stats.tier, Resolution::OneHour);
+        assert_eq!(r.stats.fallback_shards, 0);
+        let points = &r.groups[0].points;
+        assert_eq!(points.len(), 2);
+        assert_eq!(points.iter().map(|p| p.count).sum::<u64>(), 7200);
+        assert!((points[0].value - 49.5).abs() < 1e-9);
+        // the decoded-bytes proof: only 1h blocks were read from disk
+        let cs = store.cache_stats();
+        assert!(cs.tier(Resolution::OneHour).misses > 0);
+        assert_eq!(cs.tier(Resolution::TenSeconds).misses, 0);
+        assert_eq!(cs.tier(Resolution::FiveMinutes).misses, 0);
+        assert_eq!(cs.tier(Resolution::Raw).misses, 0);
+        assert_eq!(
+            r.stats.scanned_raw, 0,
+            "no raw suffix left after compaction"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn grouped_percentile_query_scans_raw_across_shards() {
+        use crate::{AggFunc, QueryGroup, QuerySpec};
+        let dir = tmp("groupp99");
+        let store = DiskStore::open(&dir, small_cfg()).unwrap();
+        // nodes 0..8 span both shards (nodes_per_group=4, n_shards=2)
+        for i in 0..100u64 {
+            for node in 0..8u32 {
+                store.append(node, "m", t(i), (node * 100 + i as u32) as f64);
+            }
+        }
+        store.flush_all().unwrap();
+        let spec = QuerySpec {
+            monitor: "m".into(),
+            from: t(0),
+            to: t(99),
+            window_nanos: 100 * 1_000_000_000,
+            agg: AggFunc::P99,
+            groups: vec![
+                QueryGroup {
+                    key: "low".into(),
+                    nodes: (0..4).collect(),
+                },
+                QueryGroup {
+                    key: "all".into(),
+                    nodes: (0..8).collect(),
+                },
+            ],
+            max_scan: 0,
+        };
+        let r = store.query(&spec).unwrap();
+        assert_eq!(r.stats.tier, Resolution::Raw);
+        assert_eq!(r.groups[0].points[0].count, 400);
+        assert_eq!(r.groups[1].points[0].count, 800);
+        // values are exactly 0..=799; nearest-rank p99 = index 791
+        assert_eq!(r.groups[1].points[0].value, 791.0);
+        assert_eq!(r.stats.scanned_raw, 400 + 800);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn tier_query_merges_uncompacted_suffix() {
+        use crate::{AggFunc, QueryGroup, QuerySpec};
+        let dir = tmp("querysuffix");
+        let store = DiskStore::open(&dir, small_cfg()).unwrap();
+        for i in 0..300u64 {
+            store.append(3, "m", t(i), 1.0);
+        }
+        store.compact_all().unwrap();
+        for i in 300..350u64 {
+            store.append(3, "m", t(i), 2.0);
+        }
+        let spec = QuerySpec {
+            monitor: "m".into(),
+            from: t(0),
+            to: t(349),
+            window_nanos: 10 * 1_000_000_000,
+            agg: AggFunc::Count,
+            groups: vec![QueryGroup {
+                key: "n3".into(),
+                nodes: vec![3],
+            }],
+            max_scan: 0,
+        };
+        let r = store.query(&spec).unwrap();
+        assert_eq!(r.stats.tier, Resolution::TenSeconds);
+        let total: u64 = r.groups[0].points.iter().map(|p| p.count).sum();
+        assert_eq!(total, 350, "tier buckets + raw suffix, no double counting");
+        assert!(r.stats.scanned_raw >= 50);
         let _ = std::fs::remove_dir_all(dir);
     }
 

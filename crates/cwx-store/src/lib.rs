@@ -34,8 +34,14 @@ pub mod cache;
 pub mod codec;
 pub mod disk;
 pub mod mem;
+pub mod query;
 pub mod segment;
 pub mod wal;
+
+pub use query::{
+    AggFunc, AggPoint, GroupSeries, QueryError, QueryExecutor, QueryGroup, QueryLimits,
+    QueryResult, QuerySpec, QueryStats,
+};
 
 use cwx_util::time::SimTime;
 
@@ -74,15 +80,25 @@ pub enum Resolution {
     TenSeconds,
     /// 5-minute min/mean/max/last buckets.
     FiveMinutes,
+    /// 1-hour min/mean/max/last buckets (dashboard-range queries).
+    OneHour,
 }
 
 impl Resolution {
+    /// Every stored downsampled tier, finest first.
+    pub const TIERS: [Resolution; 3] = [
+        Resolution::TenSeconds,
+        Resolution::FiveMinutes,
+        Resolution::OneHour,
+    ];
+
     /// Bucket width; `None` for raw.
     pub fn bucket_nanos(self) -> Option<u64> {
         match self {
             Resolution::Raw => None,
             Resolution::TenSeconds => Some(10 * 1_000_000_000),
             Resolution::FiveMinutes => Some(300 * 1_000_000_000),
+            Resolution::OneHour => Some(3_600 * 1_000_000_000),
         }
     }
 
@@ -92,6 +108,7 @@ impl Resolution {
             Resolution::Raw => 0,
             Resolution::TenSeconds => 1,
             Resolution::FiveMinutes => 2,
+            Resolution::OneHour => 3,
         }
     }
 
@@ -101,6 +118,7 @@ impl Resolution {
             0 => Some(Resolution::Raw),
             1 => Some(Resolution::TenSeconds),
             2 => Some(Resolution::FiveMinutes),
+            3 => Some(Resolution::OneHour),
             _ => None,
         }
     }
@@ -221,6 +239,18 @@ pub trait Store: std::fmt::Debug + Send + Sync {
     /// Flush buffered state to durable storage (no-op for volatile
     /// backends).
     fn flush(&self) {}
+
+    /// Run an aggregation query (windowed, multi-series, grouped).
+    ///
+    /// The default implementation streams each group's member series
+    /// through the query layer's k-way merge over [`Store::range`];
+    /// backends with stored tiers override it to answer from the
+    /// coarsest tier that satisfies the window.
+    fn query(&self, spec: &QuerySpec) -> Result<QueryResult, QueryError> {
+        query::run_over_ranges(spec, |node, monitor, from, to| {
+            self.range(node, monitor, from, to)
+        })
+    }
 }
 
 impl<S: Store + ?Sized> Store for std::sync::Arc<S> {
@@ -258,35 +288,15 @@ impl<S: Store + ?Sized> Store for std::sync::Arc<S> {
     fn flush(&self) {
         (**self).flush()
     }
+    fn query(&self, spec: &QuerySpec) -> Result<QueryResult, QueryError> {
+        (**self).query(spec)
+    }
 }
 
-/// Aggregate time-ordered samples into fixed-width buckets aligned to
-/// the epoch (so buckets from different flushes line up).
-pub fn aggregate(samples: &[Sample], width_nanos: u64) -> Vec<AggBucket> {
-    let width = width_nanos.max(1);
-    let mut out: Vec<AggBucket> = Vec::new();
-    for s in samples {
-        let start = SimTime::from_nanos(s.time.as_nanos() / width * width);
-        match out.last_mut() {
-            Some(b) if b.start == start => {
-                b.count += 1;
-                b.min = b.min.min(s.value);
-                b.max = b.max.max(s.value);
-                b.mean += (s.value - b.mean) / b.count as f64;
-                b.last = s.value;
-            }
-            _ => out.push(AggBucket {
-                start,
-                count: 1,
-                min: s.value,
-                mean: s.value,
-                max: s.value,
-                last: s.value,
-            }),
-        }
-    }
-    out
-}
+// The windowed fold lives in [`query`] now (one aggregation code path
+// for compaction, `range_agg` suffix merging and the query engine);
+// re-exported here because PR 1 published it at the crate root.
+pub use query::aggregate;
 
 #[cfg(test)]
 mod tests {
@@ -341,6 +351,7 @@ mod tests {
             Resolution::Raw,
             Resolution::TenSeconds,
             Resolution::FiveMinutes,
+            Resolution::OneHour,
         ] {
             assert_eq!(Resolution::from_tag(r.tag()), Some(r));
         }

@@ -1,0 +1,142 @@
+//! Tier-selection correctness: a query answered from the 10s/5min/1h
+//! tiers must be value-identical (within float-merge tolerance) to the
+//! same aggregation computed from raw samples — including at the
+//! tier-uncovered suffix boundary, where part of a window comes from
+//! stored buckets and the rest from raw segments and memtables.
+
+use std::path::PathBuf;
+
+use cwx_store::disk::{DiskStore, StoreConfig};
+use cwx_store::{query, AggFunc, QueryGroup, QuerySpec, Resolution, Store};
+use cwx_util::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cwx-tierq-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn t(s: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(s)
+}
+
+const SEC: u64 = 1_000_000_000;
+
+/// Relative comparison: Avg/Sum merge means count-weighted on the tier
+/// path vs incrementally on the raw path, so demand closeness, not
+/// bit-equality. Min/Max/Count must be exact and are checked exactly.
+fn close(a: f64, b: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= 1e-9 * scale
+}
+
+/// Window widths exercised: every tier boundary plus multiples.
+const WINDOWS_SECS: [u64; 6] = [10, 30, 300, 600, 3_600, 7_200];
+/// Tier-serveable functions (percentiles/rate always go raw and are
+/// trivially identical, so they prove nothing here).
+const AGGS: [AggFunc; 5] = [
+    AggFunc::Avg,
+    AggFunc::Min,
+    AggFunc::Max,
+    AggFunc::Sum,
+    AggFunc::Count,
+];
+
+fn value(seed: u64, i: u64) -> f64 {
+    // deterministic, sign-varied, non-integral values
+    let x = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(i.wrapping_mul(1442695040888963407));
+    ((x >> 16) % 20_000) as f64 / 7.0 - 1_000.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tier_answers_match_raw_computation(
+        step in 1u64..40,
+        compacted in 1usize..400,
+        suffix in 0usize..120,
+        seed in any::<u64>(),
+        window_idx in 0usize..6,
+        agg_idx in 0usize..5,
+    ) {
+        let window_secs = WINDOWS_SECS[window_idx];
+        let agg = AGGS[agg_idx];
+        let dir = tmp_dir("match");
+        let cfg = StoreConfig {
+            n_shards: 2,
+            nodes_per_group: 2,
+            flush_threshold: 97, // off-boundary so memtables stay half full
+            compact_threshold: 2,
+            cache_capacity_samples: 1 << 16,
+        };
+        let store = DiskStore::open(&dir, cfg).unwrap();
+        // two nodes on different shards, merged into one group
+        let nodes = [0u32, 3u32];
+        let mut last = 0u64;
+        for i in 0..compacted as u64 {
+            let ts = i * step + (i % 3); // irregular spacing
+            last = ts;
+            for (k, &n) in nodes.iter().enumerate() {
+                store.append(n, "m", t(ts), value(seed, i * 2 + k as u64));
+            }
+        }
+        store.compact_all().unwrap();
+        for j in 0..suffix as u64 {
+            let ts = last + 1 + j * step;
+            for (k, &n) in nodes.iter().enumerate() {
+                store.append(n, "m", t(ts), value(seed ^ 0xdead, j * 2 + k as u64));
+            }
+        }
+        let to = t(last + 1 + suffix as u64 * step);
+        let spec = QuerySpec {
+            monitor: "m".into(),
+            from: t(0),
+            to,
+            window_nanos: window_secs * SEC,
+            agg,
+            groups: vec![QueryGroup { key: "g".into(), nodes: nodes.to_vec() }],
+            max_scan: 0,
+        };
+        let expected_tier = query::select_tier(spec.window_nanos, agg);
+        prop_assert_ne!(expected_tier, Resolution::Raw, "scenario windows are tier-serveable");
+
+        let tiered = store.query(&spec).unwrap();
+        prop_assert_eq!(tiered.stats.tier, expected_tier);
+        // reference: the same spec evaluated purely over raw samples
+        let reference = query::run_over_ranges(&spec, |n, m, f, to_| store.range(n, m, f, to_)).unwrap();
+
+        let a = &tiered.groups[0].points;
+        let b = &reference.groups[0].points;
+        prop_assert_eq!(a.len(), b.len(), "window count differs");
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(x.start, y.start);
+            prop_assert_eq!(x.count, y.count, "per-window counts must be exact");
+            match agg {
+                AggFunc::Min | AggFunc::Max | AggFunc::Count => {
+                    prop_assert_eq!(x.value.to_bits(), y.value.to_bits(), "{:?}", agg);
+                }
+                _ => prop_assert!(
+                    close(x.value, y.value),
+                    "{:?}: tier {} vs raw {}", agg, x.value, y.value
+                ),
+            }
+        }
+        // suffix really exercised the boundary when present
+        if suffix > 0 {
+            prop_assert!(tiered.stats.scanned_raw > 0, "suffix must be raw-scanned");
+        }
+        prop_assert!(tiered.stats.scanned_buckets > 0, "tiers must serve the body");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -4,7 +4,8 @@
 //! cwx simulate --nodes 32 --secs 600 [--seed 42] [--store DIR] [--fan-fail 4@300]...
 //! cwx clone    --nodes 100 --image-mb 650 [--loss 0.005] [--unicast]
 //! cwx lite     [--ticks 5]
-//! cwx history  --store DIR [--node N --monitor KEY] [--res raw|10s|5m] [--chart]
+//! cwx history  --store DIR [--node N --monitor KEY] [--res raw|10s|5m|1h] [--chart]
+//! cwx history  --store DIR --monitor KEY --agg p99 --window 1h [--group-by rack]
 //! cwx chaos    list | run <scenario> [--seed X] [--toml FILE] [--verbose] [--report FILE]
 //! cwx fed      sim [--clusters N --nodes M --secs S --seed X]
 //! cwx fed      serve [--listen ADDR --secs S] | join [--head ADDR --cluster C --nodes N]
@@ -23,7 +24,7 @@ use cwx_util::time::{SimDuration, SimTime};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  cwx simulate --nodes N --secs S [--seed X] [--store DIR] [--fan-fail NODE@SECS]... [--dump-history FILE --dump-node N]\n  cwx clone --nodes N --image-mb M [--loss P] [--unicast]\n  cwx lite [--ticks N]\n  cwx history --store DIR [--node N --monitor KEY] [--from S] [--to S] [--res raw|10s|5m] [--chart]\n  cwx chaos list\n  cwx chaos run SCENARIO [--seed X] [--verbose] [--report FILE]\n  cwx chaos run --toml FILE [--seed X] [--verbose] [--report FILE]\n  cwx fed sim [--clusters N] [--nodes M] [--secs S] [--seed X] [--uplink SECS]\n  cwx fed serve [--listen ADDR] [--secs S] [--stale-after SECS]\n  cwx fed join [--head ADDR] [--cluster C] [--nodes N] [--secs S] [--interval-ms MS]\n  cwx ingest serve [--listen ADDR] [--secs S] [--mode reactor|thread] [--lanes N] [--nodes-per-group N] [--retention N] [--store DIR]\n  cwx ingest drive [--addr ADDR] [--conns N] [--frames N] [--interval-ms MS] [--keys K] [--threads T]\n  cwx help"
+        "usage:\n  cwx simulate --nodes N --secs S [--seed X] [--store DIR] [--fan-fail NODE@SECS]... [--dump-history FILE --dump-node N]\n  cwx clone --nodes N --image-mb M [--loss P] [--unicast]\n  cwx lite [--ticks N]\n  cwx history --store DIR [--node N --monitor KEY] [--from S] [--to S] [--res raw|10s|5m|1h] [--chart]\n  cwx history --store DIR --monitor KEY --agg rate|avg|min|max|sum|count|p50|p95|p99 --window 10s|5m|1h|SECS [--group-by all|rack|node] [--node N] [--from S] [--to S] [--max-scan N]\n  cwx chaos list\n  cwx chaos run SCENARIO [--seed X] [--verbose] [--report FILE]\n  cwx chaos run --toml FILE [--seed X] [--verbose] [--report FILE]\n  cwx fed sim [--clusters N] [--nodes M] [--secs S] [--seed X] [--uplink SECS]\n  cwx fed serve [--listen ADDR] [--secs S] [--stale-after SECS]\n  cwx fed join [--head ADDR] [--cluster C] [--nodes N] [--secs S] [--interval-ms MS]\n  cwx ingest serve [--listen ADDR] [--secs S] [--mode reactor|thread] [--lanes N] [--nodes-per-group N] [--retention N] [--store DIR]\n  cwx ingest drive [--addr ADDR] [--conns N] [--frames N] [--interval-ms MS] [--keys K] [--threads T]\n  cwx help"
     );
     std::process::exit(2);
 }
@@ -227,6 +228,19 @@ fn cmd_lite(args: &Args) {
     }
 }
 
+/// Parse a window spec: `10s`, `5m`, `1h`, or plain seconds.
+fn parse_window(s: &str) -> Option<u64> {
+    const SEC: u64 = 1_000_000_000;
+    let (num, mult) = match s.as_bytes().last()? {
+        b's' => (&s[..s.len() - 1], SEC),
+        b'm' => (&s[..s.len() - 1], 60 * SEC),
+        b'h' => (&s[..s.len() - 1], 3_600 * SEC),
+        _ => (s, SEC),
+    };
+    let n: u64 = num.parse().ok()?;
+    (n > 0).then_some(n * mult)
+}
+
 fn cmd_history(args: &Args) {
     use cwx_monitor::history::HistoryStore;
     use cwx_monitor::monitor::MonitorKey;
@@ -271,6 +285,120 @@ fn cmd_history(args: &Args) {
         .rev()
         .find(|(k, _)| k == "node")
         .map(|(_, v)| v.clone());
+    // aggregation query path: `--agg p99 --window 1h [--group-by rack]`
+    // runs through the admission-controlled query executor, answering
+    // from the coarsest stored tier that satisfies the window
+    if let Some((_, agg_s)) = args.pairs.iter().rev().find(|(k, _)| k == "agg") {
+        use cwx_store::{AggFunc, QueryExecutor, QueryGroup, QueryLimits, QuerySpec};
+
+        let Some(agg) = AggFunc::parse(agg_s) else {
+            eprintln!("--agg wants rate|avg|min|max|sum|count|p50|p95|p99, got {agg_s}");
+            usage();
+        };
+        let Some(monitor) = monitor else {
+            eprintln!("`cwx history --agg` needs --monitor KEY");
+            usage();
+        };
+        let window_s: String = args.get("window", "10s".into());
+        let Some(window_nanos) = parse_window(&window_s) else {
+            eprintln!("--window wants 10s / 5m / 1h / SECS, got {window_s}");
+            usage();
+        };
+        let from = SimTime::ZERO + SimDuration::from_secs(args.get("from", 0u64));
+        let to = match args.pairs.iter().rev().find(|(k, _)| k == "to") {
+            Some((_, v)) => {
+                SimTime::ZERO + SimDuration::from_secs(v.parse().unwrap_or_else(|_| usage()))
+            }
+            None => store
+                .series()
+                .iter()
+                .filter(|(_, k)| *k == monitor)
+                .filter_map(|(n, k)| store.latest(*n, k).map(|s| s.time))
+                .max()
+                .unwrap_or(SimTime::ZERO),
+        };
+        // group membership: the nodes that actually hold this monitor
+        let mut nodes: Vec<u32> = store
+            .series()
+            .into_iter()
+            .filter(|(_, k)| *k == monitor)
+            .map(|(n, _)| n)
+            .collect();
+        if let Some(node_str) = &node_arg {
+            let node: u32 = node_str.parse().unwrap_or_else(|_| usage());
+            nodes.retain(|&n| n == node);
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        let group_by: String = args.get("group-by", "all".into());
+        let groups: Vec<QueryGroup> = match group_by.as_str() {
+            "all" => vec![QueryGroup {
+                key: "all".into(),
+                nodes,
+            }],
+            // chassis topology: rack0 = nodes 0-9, rack1 = 10-19, ...
+            "rack" => {
+                let mut by_rack: std::collections::BTreeMap<u32, Vec<u32>> = Default::default();
+                for n in nodes {
+                    by_rack.entry(n / 10).or_default().push(n);
+                }
+                by_rack
+                    .into_iter()
+                    .map(|(r, nodes)| QueryGroup {
+                        key: format!("rack{r}"),
+                        nodes,
+                    })
+                    .collect()
+            }
+            "node" => nodes
+                .into_iter()
+                .map(|n| QueryGroup {
+                    key: format!("node{n:03}"),
+                    nodes: vec![n],
+                })
+                .collect(),
+            other => {
+                eprintln!("--group-by wants all, rack or node, got {other}");
+                usage();
+            }
+        };
+        let spec = QuerySpec {
+            monitor,
+            from,
+            to,
+            window_nanos,
+            agg,
+            groups,
+            max_scan: args.get("max-scan", 0u64),
+        };
+        let exec = QueryExecutor::new(std::sync::Arc::new(store), QueryLimits::default());
+        match exec.execute(spec) {
+            Ok(r) => {
+                eprintln!(
+                    "served from {:?} tier | {} raw samples + {} buckets scanned | {} shards fell back",
+                    r.stats.tier, r.stats.scanned_raw, r.stats.scanned_buckets, r.stats.fallback_shards
+                );
+                println!("group,window_start_secs,{},count", agg.name());
+                for g in &r.groups {
+                    for p in &g.points {
+                        println!(
+                            "{},{:.0},{},{}",
+                            g.key,
+                            p.start.as_secs_f64(),
+                            p.value,
+                            p.count
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("query failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let (Some(monitor), Some(node_str)) = (monitor, node_arg) else {
         // no series selected: list what the store holds
         println!(
@@ -319,11 +447,11 @@ fn cmd_history(args: &Args) {
                 println!("{:.3},{}", s.time.as_secs_f64(), s.value);
             }
         }
-        tier @ ("10s" | "5m") => {
-            let res = if tier == "10s" {
-                Resolution::TenSeconds
-            } else {
-                Resolution::FiveMinutes
+        tier @ ("10s" | "5m" | "1h") => {
+            let res = match tier {
+                "10s" => Resolution::TenSeconds,
+                "5m" => Resolution::FiveMinutes,
+                _ => Resolution::OneHour,
             };
             println!("bucket_start_secs,count,min,mean,max,last");
             for b in store.range_agg(node, &monitor, from, to, res) {
@@ -339,7 +467,7 @@ fn cmd_history(args: &Args) {
             }
         }
         other => {
-            eprintln!("--res wants raw, 10s or 5m, got {other}");
+            eprintln!("--res wants raw, 10s, 5m or 1h, got {other}");
             usage();
         }
     }
