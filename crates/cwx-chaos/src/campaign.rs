@@ -78,7 +78,57 @@ impl fmt::Display for FaultKind {
     }
 }
 
+/// Every fault-kind slug, in declaration order. The scenario coverage
+/// scoreboard uses this as its denominator and manifest parsers as the
+/// legal `kind` vocabulary.
+pub const FAULT_SLUGS: [&str; 18] = [
+    "partition-rack",
+    "heal-rack",
+    "rack-loss",
+    "rack-bandwidth",
+    "chassis-restart",
+    "agent-crash",
+    "agent-hang",
+    "agent-delay",
+    "agent-duplicate",
+    "agent-recover",
+    "kernel-panic",
+    "fan-failure",
+    "psu-failure",
+    "memory-leak",
+    "probe-stuck",
+    "probe-skew",
+    "probe-clear",
+    "console-garbage",
+];
+
 impl FaultKind {
+    /// Stable kind-only name (no operands): the `kind` strings scenario
+    /// manifests use and the coverage scoreboard's row labels.
+    pub fn slug(&self) -> &'static str {
+        use FaultKind::*;
+        match self {
+            PartitionRack(_) => "partition-rack",
+            HealRack(_) => "heal-rack",
+            RackLoss(..) => "rack-loss",
+            RackBandwidth(..) => "rack-bandwidth",
+            ChassisRestart(_) => "chassis-restart",
+            AgentCrash(_) => "agent-crash",
+            AgentHang(..) => "agent-hang",
+            AgentDelay(..) => "agent-delay",
+            AgentDuplicate(_) => "agent-duplicate",
+            AgentRecover(_) => "agent-recover",
+            KernelPanic(_) => "kernel-panic",
+            FanFailure(_) => "fan-failure",
+            PsuFailure(_) => "psu-failure",
+            MemoryLeak(_) => "memory-leak",
+            ProbeStuck(_) => "probe-stuck",
+            ProbeSkew(..) => "probe-skew",
+            ProbeClear(_) => "probe-clear",
+            ConsoleGarbage(_) => "console-garbage",
+        }
+    }
+
     /// The node a fault targets, when it targets exactly one.
     pub fn node(&self) -> Option<u32> {
         use FaultKind::*;
@@ -187,143 +237,6 @@ impl Campaign {
         self.quarantine_release_secs = Some(secs);
         self
     }
-
-    /// Parse a campaign from the TOML subset below (hand-rolled — the
-    /// container builds without a TOML crate):
-    ///
-    /// ```toml
-    /// name = "example"
-    /// seed = 7
-    /// nodes = 40
-    /// duration = 1200
-    /// settle = 300
-    ///
-    /// [[fault]]
-    /// at = 300
-    /// kind = "partition-rack"
-    /// rack = 1
-    ///
-    /// [[fault]]
-    /// at = 500
-    /// kind = "agent-crash"
-    /// node = 12
-    /// ```
-    ///
-    /// Scalar keys per fault: `at`, `kind`, and the kind's operands
-    /// (`rack`, `node`, `secs`, `loss`, `bps`, `delta`).
-    pub fn from_toml(text: &str) -> Result<Campaign, String> {
-        let mut c = Campaign::new("unnamed", 0, 0, 0.0);
-        let mut faults: Vec<RawFault> = Vec::new();
-        let mut in_fault = false;
-        for (lineno, raw) in text.lines().enumerate() {
-            let line = raw.split('#').next().unwrap_or("").trim();
-            if line.is_empty() {
-                continue;
-            }
-            if line == "[[fault]]" {
-                faults.push(RawFault::default());
-                in_fault = true;
-                continue;
-            }
-            if line.starts_with('[') {
-                return Err(format!("line {}: unknown section {line}", lineno + 1));
-            }
-            let (key, value) = line
-                .split_once('=')
-                .ok_or_else(|| format!("line {}: expected key = value", lineno + 1))?;
-            let key = key.trim();
-            let value = value.trim().trim_matches('"');
-            if in_fault {
-                let f = faults.last_mut().unwrap();
-                match key {
-                    "at" => f.at = Some(parse_f64(key, value)?),
-                    "kind" => f.kind = Some(value.to_string()),
-                    "rack" => f.rack = Some(parse_f64(key, value)? as usize),
-                    "node" => f.node = Some(parse_f64(key, value)? as u32),
-                    "secs" => f.secs = Some(parse_f64(key, value)?),
-                    "loss" => f.loss = Some(parse_f64(key, value)?),
-                    "bps" => f.bps = Some(parse_f64(key, value)? as u64),
-                    "delta" => f.delta = Some(parse_f64(key, value)?),
-                    _ => return Err(format!("line {}: unknown fault key {key}", lineno + 1)),
-                }
-            } else {
-                match key {
-                    "name" => c.name = value.to_string(),
-                    "seed" => c.seed = parse_f64(key, value)? as u64,
-                    "nodes" => c.n_nodes = parse_f64(key, value)? as u32,
-                    "duration" => c.duration_secs = parse_f64(key, value)?,
-                    "settle" => c.settle_secs = parse_f64(key, value)?,
-                    "flap_threshold" => c.flap_threshold = Some(parse_f64(key, value)? as u32),
-                    "release" => c.quarantine_release_secs = Some(parse_f64(key, value)?),
-                    _ => return Err(format!("line {}: unknown key {key}", lineno + 1)),
-                }
-            }
-        }
-        if c.n_nodes == 0 {
-            return Err("campaign needs `nodes > 0`".into());
-        }
-        if c.duration_secs <= 0.0 {
-            return Err("campaign needs `duration > 0`".into());
-        }
-        for f in faults {
-            c.events.push(f.build()?);
-        }
-        Ok(c)
-    }
-}
-
-fn parse_f64(key: &str, value: &str) -> Result<f64, String> {
-    value
-        .parse::<f64>()
-        .map_err(|_| format!("{key}: expected a number, got {value:?}"))
-}
-
-#[derive(Default)]
-struct RawFault {
-    at: Option<f64>,
-    kind: Option<String>,
-    rack: Option<usize>,
-    node: Option<u32>,
-    secs: Option<f64>,
-    loss: Option<f64>,
-    bps: Option<u64>,
-    delta: Option<f64>,
-}
-
-impl RawFault {
-    fn build(self) -> Result<FaultEvent, String> {
-        let at_secs = self.at.ok_or("fault missing `at`")?;
-        let kind = self.kind.as_deref().ok_or("fault missing `kind`")?;
-        let rack = || self.rack.ok_or(format!("{kind} needs `rack`"));
-        let node = || self.node.ok_or(format!("{kind} needs `node`"));
-        let secs = || self.secs.ok_or(format!("{kind} needs `secs`"));
-        let kind = match kind {
-            "partition-rack" => FaultKind::PartitionRack(rack()?),
-            "heal-rack" => FaultKind::HealRack(rack()?),
-            "rack-loss" => FaultKind::RackLoss(rack()?, self.loss.ok_or("rack-loss needs `loss`")?),
-            "rack-bandwidth" => {
-                FaultKind::RackBandwidth(rack()?, self.bps.ok_or("rack-bandwidth needs `bps`")?)
-            }
-            "chassis-restart" => FaultKind::ChassisRestart(rack()?),
-            "agent-crash" => FaultKind::AgentCrash(node()?),
-            "agent-hang" => FaultKind::AgentHang(node()?, secs()?),
-            "agent-delay" => FaultKind::AgentDelay(node()?, secs()?),
-            "agent-duplicate" => FaultKind::AgentDuplicate(node()?),
-            "agent-recover" => FaultKind::AgentRecover(node()?),
-            "kernel-panic" => FaultKind::KernelPanic(node()?),
-            "fan-failure" => FaultKind::FanFailure(node()?),
-            "psu-failure" => FaultKind::PsuFailure(node()?),
-            "memory-leak" => FaultKind::MemoryLeak(node()?),
-            "probe-stuck" => FaultKind::ProbeStuck(node()?),
-            "probe-skew" => {
-                FaultKind::ProbeSkew(node()?, self.delta.ok_or("probe-skew needs `delta`")?)
-            }
-            "probe-clear" => FaultKind::ProbeClear(node()?),
-            "console-garbage" => FaultKind::ConsoleGarbage(node()?),
-            other => return Err(format!("unknown fault kind {other:?}")),
-        };
-        Ok(FaultEvent { at_secs, kind })
-    }
 }
 
 #[cfg(test)]
@@ -342,57 +255,35 @@ mod tests {
     }
 
     #[test]
-    fn toml_roundtrip_covers_operand_shapes() {
-        let text = r#"
-# a comment
-name = "demo"
-seed = 9
-nodes = 30
-duration = 900
-settle = 200
-
-[[fault]]
-at = 100
-kind = "partition-rack"
-rack = 2
-
-[[fault]]
-at = 150.5
-kind = "agent-hang"
-node = 4
-secs = 60
-
-[[fault]]
-at = 200
-kind = "rack-loss"
-rack = 1
-loss = 0.2
-
-[[fault]]
-at = 300
-kind = "probe-skew"
-node = 11
-delta = -5
-"#;
-        let c = Campaign::from_toml(text).expect("parses");
-        assert_eq!(c.name, "demo");
-        assert_eq!((c.seed, c.n_nodes), (9, 30));
-        assert_eq!(c.events.len(), 4);
-        assert_eq!(c.events[0].kind, FaultKind::PartitionRack(2));
-        assert_eq!(c.events[1].kind, FaultKind::AgentHang(4, 60.0));
-        assert_eq!(c.events[2].kind, FaultKind::RackLoss(1, 0.2));
-        assert_eq!(c.events[3].kind, FaultKind::ProbeSkew(11, -5.0));
-        assert_eq!(c.events[1].at_secs, 150.5);
-    }
-
-    #[test]
-    fn toml_rejects_nonsense() {
-        assert!(Campaign::from_toml("nodes = 0\nduration = 10").is_err());
-        assert!(Campaign::from_toml("nodes = 4\nduration = 10\n[[fault]]\nat = 1").is_err());
-        assert!(Campaign::from_toml(
-            "nodes = 4\nduration = 10\n[[fault]]\nat = 1\nkind = \"warp-core-breach\""
-        )
-        .is_err());
-        assert!(Campaign::from_toml("gibberish").is_err());
+    fn slugs_match_display_prefixes() {
+        use FaultKind::*;
+        let one_of_each = [
+            PartitionRack(1),
+            HealRack(1),
+            RackLoss(1, 0.1),
+            RackBandwidth(1, 1000),
+            ChassisRestart(1),
+            AgentCrash(1),
+            AgentHang(1, 1.0),
+            AgentDelay(1, 1.0),
+            AgentDuplicate(1),
+            AgentRecover(1),
+            KernelPanic(1),
+            FanFailure(1),
+            PsuFailure(1),
+            MemoryLeak(1),
+            ProbeStuck(1),
+            ProbeSkew(1, 1.0),
+            ProbeClear(1),
+            ConsoleGarbage(1),
+        ];
+        assert_eq!(one_of_each.len(), FAULT_SLUGS.len());
+        for (kind, slug) in one_of_each.iter().zip(FAULT_SLUGS) {
+            assert_eq!(kind.slug(), slug);
+            assert!(
+                kind.to_string().starts_with(slug),
+                "{kind} vs {slug}: Display must lead with the slug"
+            );
+        }
     }
 }

@@ -37,6 +37,18 @@ impl Default for InvariantPolicy {
     }
 }
 
+/// Stable names of every invariant the checker can report, in the
+/// order JUnit artifacts list them. Each [`Violation::invariant`] is
+/// one of these.
+pub const INVARIANT_NAMES: [&str; 6] = [
+    "illegal-transition",
+    "command-accounting",
+    "stuck-transient",
+    "hw-lifecycle-divergence",
+    "stale-engine-view",
+    "store-unreadable",
+];
+
 /// One broken promise.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Violation {

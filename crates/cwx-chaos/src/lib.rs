@@ -27,8 +27,8 @@ pub mod invariants;
 pub mod run;
 pub mod scenarios;
 
-pub use campaign::{Campaign, FaultEvent, FaultKind};
-pub use invariants::{audit_hash, InvariantChecker, InvariantPolicy, Violation};
+pub use campaign::{Campaign, FaultEvent, FaultKind, FAULT_SLUGS};
+pub use invariants::{audit_hash, InvariantChecker, InvariantPolicy, Violation, INVARIANT_NAMES};
 pub use run::{
     apply_fault, campaign_config, run_campaign, run_campaign_sim, run_campaign_with, CampaignReport,
 };

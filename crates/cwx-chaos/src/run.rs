@@ -51,72 +51,6 @@ pub struct CampaignReport {
     pub storms: u64,
 }
 
-impl CampaignReport {
-    /// Machine-readable JSON rendering (hand-rolled — the container
-    /// has no serde). `cwx chaos run` writes this as
-    /// `invariant_report.json` when an invariant fails so CI can stop
-    /// grepping human output.
-    pub fn to_json(&self) -> String {
-        fn esc(s: &str) -> String {
-            let mut out = String::with_capacity(s.len() + 2);
-            for c in s.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    '\t' => out.push_str("\\t"),
-                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                    c => out.push(c),
-                }
-            }
-            out
-        }
-        fn num(x: f64) -> String {
-            // JSON has no NaN; campaigns without outages report null
-            if x.is_finite() {
-                format!("{x}")
-            } else {
-                "null".to_string()
-            }
-        }
-        let violations: Vec<String> = self
-            .violations
-            .iter()
-            .map(|v| {
-                format!(
-                    "{{\"at_secs\":{},\"invariant\":\"{}\",\"detail\":\"{}\"}}",
-                    num(v.at_secs),
-                    esc(v.invariant),
-                    esc(&v.detail)
-                )
-            })
-            .collect();
-        let quarantined: Vec<String> = self.quarantined.iter().map(|n| n.to_string()).collect();
-        format!(
-            concat!(
-                "{{\"name\":\"{}\",\"seed\":{},\"n_nodes\":{},\"ok\":{},",
-                "\"violations\":[{}],\"audit_hash\":\"{:016x}\",\"audit_len\":{},",
-                "\"detection_latency_secs\":{},\"mttr_secs\":{},\"availability\":{},",
-                "\"final_up\":{},\"quarantined\":[{}],\"emails\":{},\"storms\":{}}}"
-            ),
-            esc(&self.name),
-            self.seed,
-            self.n_nodes,
-            self.violations.is_empty(),
-            violations.join(","),
-            self.audit_hash,
-            self.audit_len,
-            num(self.detection_latency_secs),
-            num(self.mttr_secs),
-            num(self.availability),
-            self.final_up,
-            quarantined.join(","),
-            self.emails,
-            self.storms
-        )
-    }
-}
-
 /// Per-outage bookkeeping for the detection/MTTR metrics.
 #[derive(Debug, Clone, Copy)]
 struct Outage {

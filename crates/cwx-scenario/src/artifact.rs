@@ -1,0 +1,172 @@
+//! Machine-readable artifact primitives: JSON string building (the
+//! container has no serde), the FNV-1a fingerprint that pins a run's
+//! deterministic body, and JUnit XML rendering for CI ingestion.
+
+use std::fmt::Write as _;
+
+/// Escape a string for embedding in JSON.
+pub fn esc_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a float for JSON; JSON has no NaN, so non-finite values
+/// become `null` (campaigns without outages report NaN latencies).
+pub fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// FNV-1a over raw bytes: the dependency-free fingerprint both the
+/// audit-trail hash and the `result.json` body fingerprint use.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// One evaluated `[assertions]` entry.
+#[derive(Debug, Clone)]
+pub struct AssertionResult {
+    /// Stable assertion name (the manifest key).
+    pub name: String,
+    /// What the manifest demanded.
+    pub expected: String,
+    /// What the run produced.
+    pub actual: String,
+    /// Whether the demand held.
+    pub ok: bool,
+}
+
+impl AssertionResult {
+    /// JSON object rendering for `result.json`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"expected\":\"{}\",\"actual\":\"{}\",\"ok\":{}}}",
+            esc_json(&self.name),
+            esc_json(&self.expected),
+            esc_json(&self.actual),
+            self.ok
+        )
+    }
+}
+
+/// Escape a string for XML text or attribute content.
+pub fn esc_xml(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One JUnit test case: an invariant promise or a manifest assertion.
+#[derive(Debug, Clone)]
+pub struct JunitCase {
+    /// Case name, e.g. `invariant:command-accounting`.
+    pub name: String,
+    /// `Some(message)` when the case failed.
+    pub failure: Option<String>,
+}
+
+/// Render a JUnit XML document with one `<testsuite>` for the run.
+pub fn junit_xml(suite: &str, cases: &[JunitCase], wall_secs: f64) -> String {
+    let failures = cases.iter().filter(|c| c.failure.is_some()).count();
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    let _ = writeln!(
+        out,
+        "<testsuites tests=\"{}\" failures=\"{failures}\">",
+        cases.len()
+    );
+    let _ = writeln!(
+        out,
+        "  <testsuite name=\"{}\" tests=\"{}\" failures=\"{failures}\" errors=\"0\" skipped=\"0\" time=\"{wall_secs:.3}\">",
+        esc_xml(suite),
+        cases.len()
+    );
+    for c in cases {
+        match &c.failure {
+            None => {
+                let _ = writeln!(
+                    out,
+                    "    <testcase classname=\"cwx.scenario\" name=\"{}\"/>",
+                    esc_xml(&c.name)
+                );
+            }
+            Some(msg) => {
+                let _ = writeln!(
+                    out,
+                    "    <testcase classname=\"cwx.scenario\" name=\"{}\">",
+                    esc_xml(&c.name)
+                );
+                let _ = writeln!(out, "      <failure message=\"{}\"/>", esc_xml(msg));
+                out.push_str("    </testcase>\n");
+            }
+        }
+    }
+    out.push_str("  </testsuite>\n</testsuites>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn junit_counts_and_escapes_failures() {
+        let xml = junit_xml(
+            "demo",
+            &[
+                JunitCase {
+                    name: "invariant:legal".into(),
+                    failure: None,
+                },
+                JunitCase {
+                    name: "assert:final_up".into(),
+                    failure: Some("expected \"all\" & got <39>".into()),
+                },
+            ],
+            1.25,
+        );
+        assert!(xml.contains("tests=\"2\" failures=\"1\""), "{xml}");
+        assert!(xml.contains("name=\"invariant:legal\"/>"), "{xml}");
+        assert!(
+            xml.contains("expected &quot;all&quot; &amp; got &lt;39&gt;"),
+            "{xml}"
+        );
+    }
+
+    #[test]
+    fn json_escaping_and_nan_policy() {
+        assert_eq!(esc_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(0.25), "0.25");
+        // the FNV constant matches the chaos audit hash implementation
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -1,0 +1,41 @@
+//! cwx-scenario — the unified scenario runtime for the ClusterWorX
+//! reproduction.
+//!
+//! One versioned TOML manifest (`scenario_version = 1`) composes
+//! everything a reproducible experiment needs: the cluster shape, a
+//! chaos campaign or federation topology, the invariant policy,
+//! resource limits and pass/fail assertions. `cwx run manifest.toml`
+//! executes it headless and emits machine-readable artifacts:
+//!
+//! - `result.json` — outcome, metrics, invariant verdicts, assertion
+//!   results and a coverage record, fingerprinted with FNV-1a over the
+//!   deterministic body (wall-clock timings sit outside the
+//!   fingerprint, in a separate `timing` section);
+//! - JUnit XML — one test case per invariant promise and assertion,
+//!   so CI dashboards ingest scenario runs natively;
+//! - `coverage.json` — a FaultKind × lifecycle-state × scale
+//!   scoreboard merged across runs.
+//!
+//! Exit codes are a contract: 0 pass, 1 assertion failure, 2 invariant
+//! violation, 3 manifest or operational error. The legacy `cwx chaos
+//! run` and `cwx fed sim` flag interfaces lower into [`Manifest`]
+//! values via [`Manifest::from_campaign`] / [`Manifest::federation`]
+//! and ride the same runtime, so there is exactly one execution path
+//! to trust.
+
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod coverage;
+pub mod json;
+pub mod manifest;
+pub mod run;
+pub mod toml;
+
+pub use artifact::{esc_json, fnv1a, json_num, junit_xml, AssertionResult, JunitCase};
+pub use coverage::{scale_band, state_slug, CoverageRun, Scoreboard, SCALE_BANDS, STATE_SLUGS};
+pub use manifest::{
+    Assertions, ChaosSpec, FedFault, FedSpec, FinalUp, Limits, Manifest, ManifestError, Mode,
+    SCENARIO_VERSION,
+};
+pub use run::{run_scenario, Outcome, ScenarioResult};

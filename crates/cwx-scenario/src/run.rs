@@ -1,0 +1,535 @@
+//! The headless scenario runtime: execute a validated [`Manifest`],
+//! evaluate its invariants and assertions, and render machine-readable
+//! artifacts (`result.json`, JUnit XML) plus a stable exit code.
+//!
+//! Artifact determinism is a contract: everything inside the result
+//! body is a pure function of (manifest, seed), and the body's FNV-1a
+//! fingerprint pins it. Wall-clock measurements live in a separate
+//! `timing` section appended *after* the fingerprint is computed, so
+//! they can never leak into it.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cwx_chaos::{campaign_config, run_campaign_sim, CampaignReport, INVARIANT_NAMES};
+use cwx_fed::{FederationConfig, FederationSim};
+use cwx_util::time::SimDuration;
+
+use crate::artifact::{esc_json, fnv1a, json_num, junit_xml, AssertionResult, JunitCase};
+use crate::coverage::{scale_band, state_slug, CoverageRun};
+use crate::manifest::{Assertions, ChaosSpec, FedFault, FedSpec, FinalUp, Manifest, Mode};
+
+/// How a scenario run ended, in exit-code order. These four codes are
+/// the CLI-wide contract: every `cwx` subcommand exits with one of
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every invariant held and every assertion passed.
+    Pass,
+    /// An `[assertions]` demand failed.
+    AssertionFail,
+    /// The management plane broke one of its own invariants.
+    InvariantViolation,
+    /// The run itself could not proceed (bad manifest, I/O failure,
+    /// blown resource limit).
+    Error,
+}
+
+impl Outcome {
+    /// The process exit code: 0 pass, 1 assertion failure, 2 invariant
+    /// violation, 3 manifest/operational error.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            Outcome::Pass => 0,
+            Outcome::AssertionFail => 1,
+            Outcome::InvariantViolation => 2,
+            Outcome::Error => 3,
+        }
+    }
+
+    /// Stable name artifacts carry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Pass => "pass",
+            Outcome::AssertionFail => "assertion-fail",
+            Outcome::InvariantViolation => "invariant-violation",
+            Outcome::Error => "error",
+        }
+    }
+}
+
+/// Everything a scenario run produced.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Final outcome (wall-limit breaches included).
+    pub outcome: Outcome,
+    /// FNV-1a fingerprint of the deterministic result body.
+    pub fingerprint: u64,
+    /// The full `result.json` document (body + fingerprint + timing).
+    pub result_json: String,
+    /// JUnit XML for CI ingestion.
+    pub junit: String,
+    /// This run's coverage contribution.
+    pub coverage: CoverageRun,
+    /// Human-readable summary lines for the CLI to print.
+    pub summary: Vec<String>,
+}
+
+/// Execute a manifest headlessly and render its artifacts.
+pub fn run_scenario(m: &Manifest) -> ScenarioResult {
+    let t0 = Instant::now();
+    let (body_tail, cases, coverage, mut summary, sim_outcome) = match &m.mode {
+        Mode::Chaos(spec) => run_chaos(m, spec),
+        Mode::Federation(spec) => run_federation(m, spec),
+    };
+    let wall_ms = t0.elapsed().as_millis() as u64;
+
+    // deterministic body: pure function of (manifest, seed)
+    let mut body = format!(
+        "{{\"schema\":\"cwx-result-v1\",\"name\":\"{}\",\"seed\":{},\"outcome\":\"{}\",\"exit_code\":{}",
+        esc_json(&m.name),
+        m.seed,
+        sim_outcome.as_str(),
+        sim_outcome.exit_code()
+    );
+    body.push_str(&body_tail);
+    body.push('}');
+    let fingerprint = fnv1a(body.as_bytes());
+
+    // the wall clock rides outside the fingerprint, always
+    let exceeded = m.limits.max_wall_ms.is_some_and(|mx| wall_ms > mx);
+    let mut timing = format!("\"wall_ms\":{wall_ms}");
+    if let Some(mx) = m.limits.max_wall_ms {
+        let _ = write!(timing, ",\"max_wall_ms\":{mx},\"exceeded\":{exceeded}");
+    }
+    let mut result_json = body;
+    result_json.pop();
+    let _ = write!(
+        result_json,
+        ",\"fingerprint\":\"{fingerprint:016x}\",\"timing\":{{{timing}}}}}"
+    );
+
+    let outcome = if exceeded {
+        summary.push(format!(
+            "wall limit exceeded: {wall_ms}ms > {}ms",
+            m.limits.max_wall_ms.unwrap_or(0)
+        ));
+        Outcome::Error
+    } else {
+        sim_outcome
+    };
+    summary.push(format!(
+        "outcome: {} (exit {}) | fingerprint {fingerprint:016x}",
+        outcome.as_str(),
+        outcome.exit_code()
+    ));
+
+    ScenarioResult {
+        outcome,
+        fingerprint,
+        result_json,
+        junit: junit_xml(&m.name, &cases, wall_ms as f64 / 1000.0),
+        coverage,
+        summary,
+    }
+}
+
+type ModeOutput = (String, Vec<JunitCase>, CoverageRun, Vec<String>, Outcome);
+
+fn push_assert(
+    cases: &mut Vec<JunitCase>,
+    results: &mut Vec<AssertionResult>,
+    name: &str,
+    expected: String,
+    actual: String,
+    ok: bool,
+) {
+    cases.push(JunitCase {
+        name: format!("assert:{name}"),
+        failure: (!ok).then(|| format!("expected {expected}, got {actual}")),
+    });
+    results.push(AssertionResult {
+        name: name.to_string(),
+        expected,
+        actual,
+        ok,
+    });
+}
+
+fn assertions_json(results: &[AssertionResult]) -> String {
+    let items = results
+        .iter()
+        .map(AssertionResult::to_json)
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("\"assertions\":[{items}]")
+}
+
+fn outcome_of(any_violation: bool, asserts: &[AssertionResult]) -> Outcome {
+    if any_violation {
+        Outcome::InvariantViolation
+    } else if asserts.iter().any(|a| !a.ok) {
+        Outcome::AssertionFail
+    } else {
+        Outcome::Pass
+    }
+}
+
+fn run_chaos(m: &Manifest, spec: &ChaosSpec) -> ModeOutput {
+    let campaign = &spec.campaign;
+    let mut cfg = campaign_config(campaign);
+    cfg.rack_network = spec.rack_network;
+    let (report, sim) = run_campaign_sim(campaign, cfg, spec.policy.to_policy());
+
+    // coverage: every injected kind × every lifecycle state any node
+    // touched, at this fleet's scale band
+    let w = sim.world();
+    let lc = w.control.lifecycle();
+    let mut states: BTreeSet<&'static str> = BTreeSet::new();
+    for t in lc.log() {
+        states.insert(state_slug(t.from));
+        states.insert(state_slug(t.to));
+    }
+    for node in 0..campaign.n_nodes {
+        states.insert(state_slug(lc.state(node)));
+    }
+    let coverage = CoverageRun {
+        scale: scale_band(campaign.n_nodes),
+        faults: campaign.events.iter().map(|e| e.kind.slug()).collect(),
+        states,
+    };
+
+    // one JUnit case per invariant promise
+    let mut cases = Vec::new();
+    let mut invariants_json = String::from("\"invariants\":[");
+    for (i, name) in INVARIANT_NAMES.iter().enumerate() {
+        let broken: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.invariant == *name)
+            .collect();
+        cases.push(JunitCase {
+            name: format!("invariant:{name}"),
+            failure: broken
+                .first()
+                .map(|v| format!("{} violation(s); first: {v}", broken.len())),
+        });
+        if i > 0 {
+            invariants_json.push(',');
+        }
+        let first = broken
+            .first()
+            .map(|v| format!("\"{}\"", esc_json(&v.to_string())))
+            .unwrap_or_else(|| "null".to_string());
+        let _ = write!(
+            invariants_json,
+            "{{\"name\":\"{name}\",\"violations\":{},\"first\":{first}}}",
+            broken.len()
+        );
+    }
+    invariants_json.push(']');
+
+    let mut asserts = Vec::new();
+    eval_chaos_assertions(&m.assertions, &report, &mut cases, &mut asserts);
+    let outcome = outcome_of(!report.violations.is_empty(), &asserts);
+
+    let tail = format!(
+        ",\"mode\":\"chaos\",\"nodes\":{},\"duration_secs\":{},\"settle_secs\":{},\
+         \"audit\":{{\"hash\":\"{:016x}\",\"records\":{}}},\
+         \"metrics\":{{\"availability\":{},\"detection_latency_secs\":{},\"mttr_secs\":{},\
+         \"final_up\":{},\"quarantined\":{},\"emails\":{},\"storms\":{}}},\
+         {invariants_json},{},\"coverage\":{}",
+        campaign.n_nodes,
+        json_num(campaign.duration_secs),
+        json_num(campaign.settle_secs),
+        report.audit_hash,
+        report.audit_len,
+        json_num(report.availability),
+        json_num(report.detection_latency_secs),
+        json_num(report.mttr_secs),
+        report.final_up,
+        report.quarantined.len(),
+        report.emails,
+        report.storms,
+        assertions_json(&asserts),
+        coverage.to_json()
+    );
+
+    let summary = vec![
+        format!(
+            "chaos `{}`: {} nodes, {}s + {}s settle, seed {}, {} faults",
+            report.name,
+            report.n_nodes,
+            campaign.duration_secs,
+            campaign.settle_secs,
+            report.seed,
+            campaign.events.len()
+        ),
+        format!(
+            "availability {:.4} | detection {:.1}s | mttr {:.1}s | {} up | {} quarantined | {} emails",
+            report.availability,
+            report.detection_latency_secs,
+            report.mttr_secs,
+            report.final_up,
+            report.quarantined.len(),
+            report.emails
+        ),
+        format!(
+            "audit {:016x} ({} records) | {} invariant violation(s)",
+            report.audit_hash,
+            report.audit_len,
+            report.violations.len()
+        ),
+    ];
+    (tail, cases, coverage, summary, outcome)
+}
+
+fn eval_chaos_assertions(
+    a: &Assertions,
+    report: &CampaignReport,
+    cases: &mut Vec<JunitCase>,
+    out: &mut Vec<AssertionResult>,
+) {
+    if let Some(min) = a.min_availability {
+        push_assert(
+            cases,
+            out,
+            "min_availability",
+            format!(">= {min}"),
+            format!("{:.4}", report.availability),
+            report.availability >= min,
+        );
+    }
+    if let Some(want) = a.final_up {
+        let expected = match want {
+            FinalUp::All => report.n_nodes as u64,
+            FinalUp::Exactly(n) => n,
+        };
+        push_assert(
+            cases,
+            out,
+            "final_up",
+            format!("{expected}"),
+            format!("{}", report.final_up),
+            report.final_up as u64 == expected,
+        );
+    }
+    if let Some(max) = a.max_emails {
+        push_assert(
+            cases,
+            out,
+            "max_emails",
+            format!("<= {max}"),
+            format!("{}", report.emails),
+            report.emails as u64 <= max,
+        );
+    }
+    if let Some(true) = a.quarantined_empty {
+        push_assert(
+            cases,
+            out,
+            "quarantined_empty",
+            "[]".to_string(),
+            format!("{:?}", report.quarantined),
+            report.quarantined.is_empty(),
+        );
+    }
+    if let Some(hash) = a.audit_hash {
+        push_assert(
+            cases,
+            out,
+            "audit_hash",
+            format!("{hash:016x}"),
+            format!("{:016x}", report.audit_hash),
+            report.audit_hash == hash,
+        );
+    }
+}
+
+fn run_federation(m: &Manifest, spec: &FedSpec) -> ModeOutput {
+    let mut cfg = FederationConfig::uniform(spec.clusters, spec.nodes_per_cluster, m.seed);
+    cfg.uplink_interval = SimDuration::from_secs_f64(spec.uplink_secs);
+    cfg.stale_after = SimDuration::from_secs_f64(spec.stale_after_secs);
+    let mut fed = FederationSim::build(cfg);
+
+    // piecewise advance to each scheduled uplink fault
+    let mut faults = spec.faults.clone();
+    faults.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut elapsed = 0.0;
+    for (at, fault) in &faults {
+        if *at > elapsed {
+            fed.run_for(SimDuration::from_secs_f64(at - elapsed));
+            elapsed = *at;
+        }
+        match fault {
+            FedFault::Disconnect(c) => fed.disconnect(*c),
+            FedFault::Heal(c) => fed.heal(*c),
+        }
+    }
+    let total = spec.duration_secs + spec.settle_secs;
+    if total > elapsed {
+        fed.run_for(SimDuration::from_secs_f64(total - elapsed));
+    }
+
+    let fleet = fed.aggregate();
+    let sum = fed.sub_counts_sum();
+    let census_match = fleet.counts == sum;
+    let audit_hash = fed.head().audit_hash();
+    let (frames, bytes) = fed.uplink_stats();
+
+    let mut states: BTreeSet<&'static str> = BTreeSet::new();
+    for c in 0..spec.clusters {
+        let lc = fed.sub_sim(c).world().control.lifecycle();
+        for t in lc.log() {
+            states.insert(state_slug(t.from));
+            states.insert(state_slug(t.to));
+        }
+        for node in 0..spec.nodes_per_cluster {
+            states.insert(state_slug(lc.state(node)));
+        }
+    }
+    let coverage = CoverageRun {
+        scale: scale_band(spec.clusters as u32 * spec.nodes_per_cluster),
+        faults: faults
+            .iter()
+            .map(|(_, f)| match f {
+                FedFault::Disconnect(_) => "cluster-disconnect",
+                FedFault::Heal(_) => "cluster-heal",
+            })
+            .collect(),
+        states,
+    };
+
+    let mut cases = Vec::new();
+    let mut asserts = Vec::new();
+    if m.assertions.census_match.unwrap_or(true) {
+        push_assert(
+            &mut cases,
+            &mut asserts,
+            "census_match",
+            "head census == sub-cluster sum".to_string(),
+            format!(
+                "head up {} failed {} vs sum up {} failed {}",
+                fleet.counts.up, fleet.counts.failed, sum.up, sum.failed
+            ),
+            census_match,
+        );
+    }
+    if let Some(want) = m.assertions.total_nodes {
+        push_assert(
+            &mut cases,
+            &mut asserts,
+            "total_nodes",
+            format!("{want}"),
+            format!("{}", fleet.total_nodes),
+            fleet.total_nodes as u64 == want,
+        );
+    }
+    let outcome = outcome_of(false, &asserts);
+
+    let tail = format!(
+        ",\"mode\":\"federation\",\
+         \"federation\":{{\"clusters\":{},\"nodes_per_cluster\":{},\"uplink_secs\":{},\"stale_after_secs\":{}}},\
+         \"duration_secs\":{},\"settle_secs\":{},\
+         \"audit\":{{\"hash\":\"{audit_hash:016x}\"}},\
+         \"metrics\":{{\"total_nodes\":{},\"up\":{},\"failed\":{},\"reachable\":{},\"stale\":{},\
+         \"census_match\":{census_match},\"uplink_frames\":{frames},\"uplink_bytes\":{bytes}}},\
+         \"invariants\":[],{},\"coverage\":{}",
+        spec.clusters,
+        spec.nodes_per_cluster,
+        json_num(spec.uplink_secs),
+        json_num(spec.stale_after_secs),
+        json_num(spec.duration_secs),
+        json_num(spec.settle_secs),
+        fleet.total_nodes,
+        fleet.counts.up,
+        fleet.counts.failed,
+        fleet.reachable,
+        fleet.stale,
+        assertions_json(&asserts),
+        coverage.to_json()
+    );
+
+    let summary = vec![
+        format!(
+            "federation `{}`: {} clusters x {} nodes, {}s + {}s settle, seed {}",
+            m.name, spec.clusters, spec.nodes_per_cluster, spec.duration_secs, spec.settle_secs, m.seed
+        ),
+        format!(
+            "head view: {} nodes | up {} | failed {} | reachable {} | {} stale | census match: {census_match}",
+            fleet.total_nodes, fleet.counts.up, fleet.counts.failed, fleet.reachable, fleet.stale
+        ),
+        format!("audit {audit_hash:016x} | {frames} uplink frames, {bytes} bytes"),
+    ];
+    (tail, cases, coverage, summary, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = r#"
+scenario_version = 1
+name = "tiny"
+seed = 11
+
+[cluster]
+nodes = 8
+
+[run]
+duration = 120
+settle = 120
+
+[[fault]]
+at = 30
+kind = "agent-crash"
+node = 3
+
+[[fault]]
+at = 60
+kind = "agent-recover"
+node = 3
+
+[assertions]
+final_up = "all"
+"#;
+
+    #[test]
+    fn same_manifest_same_seed_same_body() {
+        let m = Manifest::parse(TINY).expect("parses");
+        let a = run_scenario(&m);
+        let b = run_scenario(&m);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        // the bodies (everything before the fingerprint) are identical;
+        // only the timing section may differ
+        let cut = |s: &str| s[..s.find(",\"fingerprint\"").expect("fingerprint field")].to_string();
+        assert_eq!(cut(&a.result_json), cut(&b.result_json));
+        assert_eq!(a.outcome, Outcome::Pass);
+        assert!(a.result_json.contains("\"schema\":\"cwx-result-v1\""));
+        assert!(a.result_json.contains("\"timing\":{\"wall_ms\":"));
+        assert!(a.coverage.faults.contains("agent-crash"));
+        assert!(a.coverage.states.contains("Up"));
+        assert!(a.junit.contains("invariant:command-accounting"));
+        assert!(a.junit.contains("assert:final_up"));
+    }
+
+    #[test]
+    fn failed_assertion_is_exit_1() {
+        let text = TINY.replace("final_up = \"all\"", "max_emails = 0\nfinal_up = \"all\"");
+        let m = Manifest::parse(&text).expect("parses");
+        let r = run_scenario(&m);
+        // the crash alone emails the admin at least once
+        assert_eq!(r.outcome, Outcome::AssertionFail);
+        assert_eq!(r.outcome.exit_code(), 1);
+        assert!(r.result_json.contains("\"outcome\":\"assertion-fail\""));
+    }
+
+    #[test]
+    fn exit_codes_are_the_documented_ladder() {
+        assert_eq!(Outcome::Pass.exit_code(), 0);
+        assert_eq!(Outcome::AssertionFail.exit_code(), 1);
+        assert_eq!(Outcome::InvariantViolation.exit_code(), 2);
+        assert_eq!(Outcome::Error.exit_code(), 3);
+    }
+}

@@ -1,0 +1,310 @@
+//! A strict, line-oriented parser for the TOML subset scenario
+//! manifests use: top-level `key = value` pairs, `[section]` tables,
+//! `[[section]]` array tables, `#` comments, and scalar values
+//! (strings, integers, floats, booleans).
+//!
+//! Every entry remembers its 1-based source line so the manifest layer
+//! can reject unknown keys and bad enum values with context instead of
+//! silently ignoring typos — a `fault_kinds = "pannic"` must be a hard
+//! error naming the line, never a no-op.
+
+use std::fmt;
+
+/// A scalar value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Human name of the value's type (for error messages).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "a string",
+            Value::Int(_) => "an integer",
+            Value::Float(_) => "a float",
+            Value::Bool(_) => "a boolean",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// One `key = value` pair with its source line.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Key text.
+    pub key: String,
+    /// Parsed value.
+    pub value: Value,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A table: the top level, one `[section]`, or one `[[section]]`
+/// element.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Section name (`""` for the top level).
+    pub name: String,
+    /// 1-based line of the section header (0 for the top level).
+    pub line: usize,
+    /// Entries in source order.
+    pub entries: Vec<Entry>,
+}
+
+impl Table {
+    fn new(name: &str, line: usize) -> Table {
+        Table {
+            name: name.to_string(),
+            line,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+}
+
+/// A parsed document.
+#[derive(Debug, Clone)]
+pub struct Doc {
+    /// Top-level entries (before any section header).
+    pub top: Table,
+    /// `[section]` tables, in source order.
+    pub tables: Vec<Table>,
+    /// `[[section]]` array elements, in source order.
+    pub arrays: Vec<Table>,
+}
+
+impl Doc {
+    /// Look up a `[section]` table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// All `[[section]]` elements with the given name, in source order.
+    pub fn arrays_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Table> {
+        self.arrays.iter().filter(move |t| t.name == name)
+    }
+}
+
+/// Strip a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn check_name(name: &str, what: &str, line: usize) -> Result<(), String> {
+    if name.is_empty() {
+        return Err(format!("line {line}: empty {what} name"));
+    }
+    if let Some(c) = name
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || *c == '_' || *c == '-'))
+    {
+        return Err(format!(
+            "line {line}: invalid character {c:?} in {what} name {name:?}"
+        ));
+    }
+    Ok(())
+}
+
+fn parse_value(s: &str, line: usize) -> Result<Value, String> {
+    if let Some(rest) = s.strip_prefix('"') {
+        return match rest.strip_suffix('"') {
+            Some(inner) if !inner.contains('"') => Ok(Value::Str(inner.to_string())),
+            _ => Err(format!("line {line}: malformed string {s}")),
+        };
+    }
+    match s {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    // reject "nan"/"inf" spellings f64::from_str would accept: a
+    // manifest number is always finite and starts with a digit or sign
+    let numeric_shape = s
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+');
+    if numeric_shape {
+        if let Ok(x) = s.parse::<f64>() {
+            if x.is_finite() {
+                return Ok(Value::Float(x));
+            }
+        }
+    }
+    Err(format!(
+        "line {line}: cannot parse value {s:?} (expected a quoted string, number or boolean)"
+    ))
+}
+
+/// Parse `text` into a [`Doc`]. Every error names its source line.
+pub fn parse(text: &str) -> Result<Doc, String> {
+    enum Cur {
+        Top,
+        Table(usize),
+        Array(usize),
+    }
+    let mut doc = Doc {
+        top: Table::new("", 0),
+        tables: Vec::new(),
+        arrays: Vec::new(),
+    };
+    let mut cur = Cur::Top;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let name = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| format!("line {line_no}: malformed section header {line:?}"))?
+                .trim();
+            check_name(name, "section", line_no)?;
+            doc.arrays.push(Table::new(name, line_no));
+            cur = Cur::Array(doc.arrays.len() - 1);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| format!("line {line_no}: malformed section header {line:?}"))?
+                .trim();
+            check_name(name, "section", line_no)?;
+            if doc.tables.iter().any(|t| t.name == name) {
+                return Err(format!("line {line_no}: duplicate section [{name}]"));
+            }
+            doc.tables.push(Table::new(name, line_no));
+            cur = Cur::Table(doc.tables.len() - 1);
+            continue;
+        }
+        let (key, value) = line.split_once('=').ok_or_else(|| {
+            format!("line {line_no}: expected `key = value` or a `[section]` header, got {line:?}")
+        })?;
+        let key = key.trim();
+        check_name(key, "key", line_no)?;
+        let value = parse_value(value.trim(), line_no)?;
+        let table = match cur {
+            Cur::Top => &mut doc.top,
+            Cur::Table(i) => &mut doc.tables[i],
+            Cur::Array(i) => &mut doc.arrays[i],
+        };
+        if table.get(key).is_some() {
+            let at = if table.name.is_empty() {
+                "at the top level".to_string()
+            } else {
+                format!("in [{}]", table.name)
+            };
+            return Err(format!("line {line_no}: duplicate key `{key}` {at}"));
+        }
+        table.entries.push(Entry {
+            key: key.to_string(),
+            value,
+            line: line_no,
+        });
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_scalars() {
+        let doc = parse(
+            r#"
+# top comment
+scenario_version = 1
+name = "demo # not a comment"
+pi = 3.25
+neg = -4
+
+[cluster]
+nodes = 40
+rack_network = true
+
+[[fault]]
+at = 10
+kind = "agent-crash"
+
+[[fault]]
+at = 20.5
+kind = "heal-rack"
+"#,
+        )
+        .expect("parses");
+        assert_eq!(
+            doc.top.get("scenario_version").unwrap().value,
+            Value::Int(1)
+        );
+        assert_eq!(
+            doc.top.get("name").unwrap().value,
+            Value::Str("demo # not a comment".into())
+        );
+        assert_eq!(doc.top.get("pi").unwrap().value, Value::Float(3.25));
+        assert_eq!(doc.top.get("neg").unwrap().value, Value::Int(-4));
+        let cluster = doc.table("cluster").expect("cluster section");
+        assert_eq!(cluster.get("nodes").unwrap().value, Value::Int(40));
+        assert_eq!(
+            cluster.get("rack_network").unwrap().value,
+            Value::Bool(true)
+        );
+        let faults: Vec<_> = doc.arrays_named("fault").collect();
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[1].get("at").unwrap().value, Value::Float(20.5));
+        // line numbers survive for error context
+        assert_eq!(doc.top.get("pi").unwrap().line, 5);
+        assert_eq!(faults[0].line, 12);
+    }
+
+    #[test]
+    fn rejects_malformed_input_with_line_context() {
+        for (text, needle) in [
+            ("nodes 40", "line 1"),
+            ("[cluster\nnodes = 1", "malformed section"),
+            ("x = \"unterminated", "malformed string"),
+            ("x = banana", "cannot parse value"),
+            ("x = nan", "cannot parse value"),
+            ("x = inf", "cannot parse value"),
+            ("a = 1\na = 2", "duplicate key"),
+            ("[s]\n[s]", "duplicate section"),
+            ("bad key = 1", "invalid character"),
+        ] {
+            let err = parse(text).expect_err(text);
+            assert!(err.contains(needle), "{text:?}: {err}");
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! `cwx` — command-line frontend for the ClusterWorX reproduction.
 //!
 //! ```text
+//! cwx run      MANIFEST.toml [--seed X] [--out DIR] [--coverage FILE]
 //! cwx simulate --nodes 32 --secs 600 [--seed 42] [--store DIR] [--fan-fail 4@300]...
 //! cwx clone    --nodes 100 --image-mb 650 [--loss 0.005] [--unicast]
 //! cwx lite     [--ticks 5]
@@ -13,6 +14,10 @@
 //! cwx ingest   drive [--addr ADDR --conns N --frames N --interval-ms MS --keys K]
 //! cwx help
 //! ```
+//!
+//! Exit codes are uniform across every subcommand: 0 success, 1 an
+//! assertion or census check failed, 2 an invariant was violated,
+//! 3 bad usage / bad manifest / operational error.
 
 use clusterworx::world::schedule_fault;
 use clusterworx::{dashboard, Cluster, ClusterConfig, LiteMonitor, WorkloadMix};
@@ -24,9 +29,9 @@ use cwx_util::time::{SimDuration, SimTime};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  cwx simulate --nodes N --secs S [--seed X] [--store DIR] [--fan-fail NODE@SECS]... [--dump-history FILE --dump-node N]\n  cwx clone --nodes N --image-mb M [--loss P] [--unicast]\n  cwx lite [--ticks N]\n  cwx history --store DIR [--node N --monitor KEY] [--from S] [--to S] [--res raw|10s|5m|1h] [--chart]\n  cwx history --store DIR --monitor KEY --agg rate|avg|min|max|sum|count|p50|p95|p99 --window 10s|5m|1h|SECS [--group-by all|rack|node] [--node N] [--from S] [--to S] [--max-scan N]\n  cwx chaos list\n  cwx chaos run SCENARIO [--seed X] [--verbose] [--report FILE]\n  cwx chaos run --toml FILE [--seed X] [--verbose] [--report FILE]\n  cwx fed sim [--clusters N] [--nodes M] [--secs S] [--seed X] [--uplink SECS]\n  cwx fed serve [--listen ADDR] [--secs S] [--stale-after SECS]\n  cwx fed join [--head ADDR] [--cluster C] [--nodes N] [--secs S] [--interval-ms MS]\n  cwx ingest serve [--listen ADDR] [--secs S] [--mode reactor|thread] [--lanes N] [--nodes-per-group N] [--retention N] [--store DIR]\n  cwx ingest drive [--addr ADDR] [--conns N] [--frames N] [--interval-ms MS] [--keys K] [--threads T]\n  cwx help"
+        "usage:\n  cwx run MANIFEST.toml [--seed X] [--out DIR] [--coverage FILE]\n  cwx simulate --nodes N --secs S [--seed X] [--store DIR] [--fan-fail NODE@SECS]... [--dump-history FILE --dump-node N]\n  cwx clone --nodes N --image-mb M [--loss P] [--unicast]\n  cwx lite [--ticks N]\n  cwx history --store DIR [--node N --monitor KEY] [--from S] [--to S] [--res raw|10s|5m|1h] [--chart]\n  cwx history --store DIR --monitor KEY --agg rate|avg|min|max|sum|count|p50|p95|p99 --window 10s|5m|1h|SECS [--group-by all|rack|node] [--node N] [--from S] [--to S] [--max-scan N]\n  cwx chaos list\n  cwx chaos run SCENARIO [--seed X] [--verbose] [--report FILE]\n  cwx chaos run --toml FILE [--seed X] [--verbose] [--report FILE]\n  cwx fed sim [--clusters N] [--nodes M] [--secs S] [--seed X] [--uplink SECS]\n  cwx fed serve [--listen ADDR] [--secs S] [--stale-after SECS]\n  cwx fed join [--head ADDR] [--cluster C] [--nodes N] [--secs S] [--interval-ms MS]\n  cwx ingest serve [--listen ADDR] [--secs S] [--mode reactor|thread] [--lanes N] [--nodes-per-group N] [--retention N] [--store DIR]\n  cwx ingest drive [--addr ADDR] [--conns N] [--frames N] [--interval-ms MS] [--keys K] [--threads T]\n  cwx help\n\nexit codes (uniform across subcommands):\n  0  success: every invariant held, every assertion passed\n  1  an assertion failed (manifest [assertions], federation census)\n  2  an invariant was violated\n  3  bad usage, bad manifest, or operational error"
     );
-    std::process::exit(2);
+    std::process::exit(3);
 }
 
 /// Tiny flag parser: `--key value` pairs plus repeatable `--fan-fail`.
@@ -190,7 +195,7 @@ fn cmd_lite(args: &Args) {
     let src = cwx_proc::source::RealProc::new();
     if !src.available() {
         eprintln!("no /proc on this host; `cwx lite` needs Linux");
-        std::process::exit(1);
+        std::process::exit(3);
     }
     let mut lite = LiteMonitor::new(src, "localhost").expect("lite monitor");
     println!("ClusterWorX Lite on the local /proc ({ticks} ticks, 1 s apart):");
@@ -254,13 +259,13 @@ fn cmd_history(args: &Args) {
     // inspection must not create a store that isn't there
     if !std::path::Path::new(dir).is_dir() {
         eprintln!("no store at {dir}");
-        std::process::exit(1);
+        std::process::exit(3);
     }
     let store = match DiskStore::open(std::path::Path::new(dir), StoreConfig::default()) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("could not open store at {dir}: {e}");
-            std::process::exit(1);
+            std::process::exit(3);
         }
     };
     let rec = store.recovery();
@@ -393,7 +398,7 @@ fn cmd_history(args: &Args) {
             }
             Err(e) => {
                 eprintln!("query failed: {e}");
-                std::process::exit(1);
+                std::process::exit(3);
             }
         }
         return;
@@ -473,8 +478,84 @@ fn cmd_history(args: &Args) {
     }
 }
 
+/// `cwx run MANIFEST.toml`: the unified scenario runtime. Executes the
+/// manifest headless, writes `result.json` and `junit.xml` into
+/// `--out` (default `.`), optionally merges this run into a
+/// `--coverage` scoreboard file, and exits with the outcome code.
+fn cmd_run(rest: &[String]) {
+    use cwx_scenario::{run_scenario, Manifest, Scoreboard};
+
+    let (path, flag_args) = match rest.split_first() {
+        Some((first, more)) if !first.starts_with("--") => (first.as_str(), more),
+        _ => {
+            eprintln!("`cwx run` wants a manifest path");
+            usage();
+        }
+    };
+    let args = Args::parse(flag_args);
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("could not read {path}: {e}");
+        std::process::exit(3);
+    });
+    let mut manifest = Manifest::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(3);
+    });
+    if let Some((_, seed)) = args.pairs.iter().rev().find(|(k, _)| k == "seed") {
+        manifest.set_seed(seed.parse().unwrap_or_else(|_| usage()));
+    }
+    println!("scenario `{}` from {path}", manifest.name());
+    let r = run_scenario(&manifest);
+    for line in &r.summary {
+        println!("{line}");
+    }
+
+    let out_dir = std::path::PathBuf::from(args.get::<String>("out", ".".into()));
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("could not create {}: {e}", out_dir.display());
+        std::process::exit(3);
+    }
+    for (name, content) in [("result.json", &r.result_json), ("junit.xml", &r.junit)] {
+        let p = out_dir.join(name);
+        match std::fs::write(&p, content) {
+            Ok(()) => println!("wrote {}", p.display()),
+            Err(e) => {
+                eprintln!("could not write {}: {e}", p.display());
+                std::process::exit(3);
+            }
+        }
+    }
+    if let Some((_, cov_path)) = args.pairs.iter().rev().find(|(k, _)| k == "coverage") {
+        // merge into an existing scoreboard so one file accumulates a
+        // whole CI job's worth of runs
+        let mut board = match std::fs::read_to_string(cov_path) {
+            Ok(t) => Scoreboard::from_json(&t).unwrap_or_else(|e| {
+                eprintln!("{cov_path}: not a coverage scoreboard ({e}); refusing to overwrite");
+                std::process::exit(3);
+            }),
+            Err(_) => Scoreboard::new(),
+        };
+        board.record(&r.coverage);
+        match std::fs::write(cov_path, board.to_json()) {
+            Ok(()) => println!(
+                "coverage -> {cov_path}: {} runs, {} cells covered, {} faults / {} states never exercised",
+                board.runs(),
+                board.cells(),
+                board.uncovered_faults().len(),
+                board.uncovered_states().len()
+            ),
+            Err(e) => {
+                eprintln!("could not write {cov_path}: {e}");
+                std::process::exit(3);
+            }
+        }
+    }
+    std::process::exit(r.outcome.exit_code());
+}
+
 fn cmd_chaos(rest: &[String]) {
-    use cwx_chaos::{run_campaign, scenario, Campaign, SCENARIO_NAMES};
+    use cwx_chaos::{scenario, SCENARIO_NAMES};
+    use cwx_scenario::{run_scenario, Manifest, Mode, Outcome};
 
     match rest.split_first().map(|(s, t)| (s.as_str(), t)) {
         Some(("list", _)) => {
@@ -502,21 +583,27 @@ fn cmd_chaos(rest: &[String]) {
                 _ => (None, tail),
             };
             let args = Args::parse(flag_args);
-            let mut campaign: Campaign = match (name, args.pairs.iter().find(|(k, _)| k == "toml"))
-            {
-                (Some(n), None) => scenario(n).unwrap_or_else(|| {
+            // this subcommand is a thin shim: both entry points lower
+            // into a scenario manifest and ride the `cwx run` runtime
+            let mut manifest = match (name, args.pairs.iter().find(|(k, _)| k == "toml")) {
+                (Some(n), None) => Manifest::from_campaign(&scenario(n).unwrap_or_else(|| {
                     eprintln!("unknown scenario: {n} (try `cwx chaos list`)");
-                    std::process::exit(2);
-                }),
+                    std::process::exit(3);
+                })),
                 (None, Some((_, path))) => {
                     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
                         eprintln!("could not read {path}: {e}");
-                        std::process::exit(1);
+                        std::process::exit(3);
                     });
-                    Campaign::from_toml(&text).unwrap_or_else(|e| {
-                        eprintln!("bad campaign file {path}: {e}");
-                        std::process::exit(1);
-                    })
+                    let m = Manifest::parse(&text).unwrap_or_else(|e| {
+                        eprintln!("{path}: {e}");
+                        std::process::exit(3);
+                    });
+                    if !matches!(m.mode, Mode::Chaos(_)) {
+                        eprintln!("{path} is a federation manifest; run it with `cwx run {path}`");
+                        std::process::exit(3);
+                    }
+                    m
                 }
                 _ => {
                     eprintln!("`cwx chaos run` wants a scenario name or --toml FILE");
@@ -524,8 +611,9 @@ fn cmd_chaos(rest: &[String]) {
                 }
             };
             if let Some((_, seed)) = args.pairs.iter().rev().find(|(k, _)| k == "seed") {
-                campaign.seed = seed.parse().unwrap_or_else(|_| usage());
+                manifest.set_seed(seed.parse().unwrap_or_else(|_| usage()));
             }
+            let campaign = manifest.campaign().expect("chaos manifest");
             println!(
                 "campaign {} | seed {} | {} nodes | {} faults over {:.0}s (+{:.0}s settle)",
                 campaign.name,
@@ -535,48 +623,35 @@ fn cmd_chaos(rest: &[String]) {
                 campaign.duration_secs,
                 campaign.settle_secs
             );
-            let r = run_campaign(&campaign);
-            println!(
-                "detection latency {:.1}s | MTTR {:.1}s | availability {:.4}",
-                r.detection_latency_secs, r.mttr_secs, r.availability
-            );
-            println!(
-                "final: {}/{} up | quarantined {:?} | {} emails ({} storm-limited) | audit {} records, hash {:016x}",
-                r.final_up, r.n_nodes, r.quarantined, r.emails, r.storms, r.audit_len, r.audit_hash
-            );
             if args.flag("verbose") {
                 for ev in &campaign.events {
                     println!("  t={:>7.1}s  {}", ev.at_secs, ev.kind);
                 }
             }
-            // --report PATH always writes the machine-readable report;
-            // an invariant failure writes invariant_report.json even
-            // without the flag, so CI never has to grep human output
+            let r = run_scenario(&manifest);
+            for line in &r.summary {
+                println!("{line}");
+            }
+            // --report PATH always writes result.json there; a failing
+            // run writes invariant_report.json even without the flag,
+            // so CI never has to grep human output
             let report_path = args
                 .pairs
                 .iter()
                 .rev()
                 .find(|(k, _)| k == "report")
                 .map(|(_, v)| v.clone());
-            let write_report = |path: &str| match std::fs::write(path, r.to_json()) {
+            let write_report = |path: &str| match std::fs::write(path, &r.result_json) {
                 Ok(()) => println!("wrote machine-readable report to {path}"),
                 Err(e) => eprintln!("could not write {path}: {e}"),
             };
             if let Some(path) = &report_path {
                 write_report(path);
             }
-            if r.violations.is_empty() {
-                println!("invariants: all held");
-            } else {
-                println!("invariants VIOLATED ({}):", r.violations.len());
-                for v in &r.violations {
-                    println!("  {v}");
-                }
-                if report_path.is_none() {
-                    write_report("invariant_report.json");
-                }
-                std::process::exit(1);
+            if r.outcome != Outcome::Pass && report_path.is_none() {
+                write_report("invariant_report.json");
             }
+            std::process::exit(r.outcome.exit_code());
         }
         _ => usage(),
     }
@@ -584,7 +659,7 @@ fn cmd_chaos(rest: &[String]) {
 
 fn cmd_fed(rest: &[String]) {
     use clusterworx::{RealTimeConfig, RealTimeDeployment, RetryPolicy};
-    use cwx_fed::{FederationConfig, FederationSim, HeadServer};
+    use cwx_fed::HeadServer;
 
     let Some((sub, tail)) = rest.split_first() else {
         eprintln!("`cwx fed` wants sim, serve or join");
@@ -592,49 +667,25 @@ fn cmd_fed(rest: &[String]) {
     };
     let args = Args::parse(tail);
     match sub.as_str() {
-        // deterministic in-process federation: N simulated clusters
-        // under one head, one seed
+        // deterministic in-process federation: a thin shim lowering
+        // the legacy flags into a scenario manifest, so `fed sim` and
+        // `cwx run` share one runtime (the census check becomes a
+        // census_match assertion -> exit 1 on mismatch)
         "sim" => {
             let clusters: u16 = args.get("clusters", 4);
             let nodes: u32 = args.get("nodes", 16);
             let secs: u64 = args.get("secs", 600);
             let seed: u64 = args.get("seed", 42);
-            let mut cfg = FederationConfig::uniform(clusters, nodes, seed);
-            cfg.uplink_interval = SimDuration::from_secs(args.get("uplink", 10u64));
-            let mut fed = FederationSim::build(cfg);
-            fed.run_for(SimDuration::from_secs(secs));
-            let fleet = fed.aggregate();
-            let sum = fed.sub_counts_sum();
-            println!(
-                "federation: {} clusters x {} nodes, {}s simulated (seed {})",
-                clusters, nodes, secs, seed
-            );
-            println!(
-                "head view: {} nodes | up {} | failed {} | reachable {} | {} stale",
-                fleet.total_nodes,
-                fleet.counts.up,
-                fleet.counts.failed,
-                fleet.reachable,
-                fleet.stale
-            );
-            println!(
-                "ground truth sum: up {} | failed {} | match: {}",
-                sum.up,
-                sum.failed,
-                fleet.counts == sum
-            );
-            println!("audit hash {:016x}", fed.head().audit_hash());
-            let load = fed.load();
-            println!(
-                "load: head {:.3}s | subs {:.3}s | {} sub events",
-                load.head_busy.as_secs_f64(),
-                load.sub_busy.as_secs_f64(),
-                load.sub_events
-            );
-            if fleet.counts != sum {
-                eprintln!("AGGREGATION MISMATCH");
-                std::process::exit(1);
+            let mut manifest =
+                cwx_scenario::Manifest::federation("fed-sim", clusters, nodes, seed, secs as f64);
+            if let cwx_scenario::Mode::Federation(spec) = &mut manifest.mode {
+                spec.uplink_secs = args.get("uplink", 10u64) as f64;
             }
+            let r = cwx_scenario::run_scenario(&manifest);
+            for line in &r.summary {
+                println!("{line}");
+            }
+            std::process::exit(r.outcome.exit_code());
         }
         // realtime head process: accept sub-servers over TCP
         "serve" => {
@@ -648,7 +699,7 @@ fn cmd_fed(rest: &[String]) {
             )
             .unwrap_or_else(|e| {
                 eprintln!("could not bind {listen}: {e}");
-                std::process::exit(1);
+                std::process::exit(3);
             });
             println!("federation head on {} for {}s", head.addr(), secs);
             let deadline = std::time::Instant::now() + std::time::Duration::from_secs(secs);
@@ -707,7 +758,7 @@ fn cmd_fed(rest: &[String]) {
             })
             .unwrap_or_else(|e| {
                 eprintln!("could not reach head at {head_addr}: {e}");
-                std::process::exit(1);
+                std::process::exit(3);
             });
             let (sent, ingested) = dep.shutdown();
             println!(
@@ -761,7 +812,7 @@ fn cmd_ingest(rest: &[String]) {
                     Arc::new(
                         DiskStore::open(std::path::Path::new(dir), cfg).unwrap_or_else(|e| {
                             eprintln!("could not open store {dir}: {e}");
-                            std::process::exit(1);
+                            std::process::exit(3);
                         }),
                     )
                 });
@@ -787,7 +838,7 @@ fn cmd_ingest(rest: &[String]) {
             )
             .unwrap_or_else(|e| {
                 eprintln!("could not start ingest server: {e}");
-                std::process::exit(1);
+                std::process::exit(3);
             });
             println!(
                 "ingest server ({}) on {} for {}s",
@@ -842,7 +893,7 @@ fn cmd_ingest(rest: &[String]) {
             })
             .unwrap_or_else(|e| {
                 eprintln!("could not reach ingest server at {addr}: {e}");
-                std::process::exit(1);
+                std::process::exit(3);
             });
             println!(
                 "done: {} connected | {} frames / {} samples sent | {} write errors",
@@ -861,6 +912,9 @@ fn main() {
     let Some((cmd, rest)) = argv.split_first() else {
         usage()
     };
+    if cmd == "run" {
+        return cmd_run(rest);
+    }
     if cmd == "chaos" {
         return cmd_chaos(rest);
     }

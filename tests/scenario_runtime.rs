@@ -1,0 +1,157 @@
+//! The scenario runtime's cross-crate contracts: the shipped example
+//! manifests stay in lock-step with the programmatic scenarios they
+//! transcribe, the legacy `cwx chaos run` shim and the manifest path
+//! produce the same simulation (pinned by the audit hash), result
+//! bodies are deterministic under a fixed seed, and the exit-code
+//! ladder classifies assertion failures and invariant violations the
+//! way `cwx run --help` documents.
+
+use cwx_chaos::{campaign_config, run_campaign_sim, soak, Campaign, FaultKind, InvariantPolicy};
+use cwx_scenario::{run_scenario, Manifest, Outcome};
+
+/// Read a manifest from `examples/scenarios/` relative to the repo root.
+fn example(name: &str) -> String {
+    let path = format!("{}/examples/scenarios/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// `examples/scenarios/soak.toml` claims to be the TOML transcription
+/// of the programmatic [`soak`] scenario. Pin them to exact equality —
+/// same fleet, same schedule, same builder order — so neither can
+/// drift without this test forcing the other to follow.
+#[test]
+fn soak_manifest_is_the_programmatic_soak_campaign() {
+    let m = Manifest::parse(&example("soak.toml")).expect("soak.toml parses");
+    let campaign = m.campaign().expect("soak.toml is a chaos scenario");
+    assert_eq!(campaign, &soak(4001));
+}
+
+/// The other shipped chaos manifests must at least parse and carry the
+/// campaigns their comments describe.
+#[test]
+fn shipped_manifests_parse() {
+    let smoke = Manifest::parse(&example("smoke.toml")).expect("smoke.toml parses");
+    assert_eq!(smoke.campaign().expect("chaos").n_nodes, 60);
+    let rack = Manifest::parse(&example("rack-outage.toml")).expect("rack-outage.toml parses");
+    assert_eq!(rack.campaign().expect("chaos").events.len(), 6);
+    let fed = Manifest::parse(&example("federation-smoke.toml")).expect("fed smoke parses");
+    assert!(
+        fed.campaign().is_none(),
+        "federation manifest has no campaign"
+    );
+    Manifest::parse(&example("federation-partition.toml")).expect("fed partition parses");
+}
+
+/// The differential pin for the old-flag path: lowering a campaign
+/// through [`Manifest::from_campaign`] and running it via the scenario
+/// runtime must drive the exact same simulation as calling
+/// [`run_campaign_sim`] directly, byte-for-byte on the audit log.
+#[test]
+fn manifest_run_and_direct_run_agree_on_the_audit_hash() {
+    let campaign = Campaign::new("diff", 31, 16, 300.0)
+        .at(60.0, FaultKind::AgentCrash(3))
+        .at(90.0, FaultKind::KernelPanic(9))
+        .at(180.0, FaultKind::AgentRecover(3))
+        .settle(240.0);
+
+    // the old path: cwx chaos run built the config and ran the sim itself
+    let cfg = campaign_config(&campaign);
+    let (report, _sim) = run_campaign_sim(&campaign, cfg, InvariantPolicy::default());
+
+    // the new path: the same campaign lowered into a manifest
+    let r = run_scenario(&Manifest::from_campaign(&campaign));
+
+    let want = format!("\"hash\":\"{:016x}\"", report.audit_hash);
+    assert!(
+        r.result_json.contains(&want),
+        "manifest run diverged from direct run: wanted {want} in {}",
+        r.result_json
+    );
+    assert_eq!(r.outcome, Outcome::Pass);
+}
+
+/// Same manifest + same seed ⇒ byte-identical result body; a different
+/// seed must move the fingerprint.
+#[test]
+fn result_bodies_are_deterministic_modulo_timing() {
+    let text = example("rack-outage.toml").replace("nodes = 40", "nodes = 30");
+    let m = Manifest::parse(&text).expect("parses");
+    let a = run_scenario(&m);
+    let b = run_scenario(&m);
+    let body = |s: &str| s[..s.find(",\"fingerprint\"").expect("fingerprint")].to_string();
+    assert_eq!(body(&a.result_json), body(&b.result_json));
+    assert_eq!(a.fingerprint, b.fingerprint);
+
+    let mut reseeded = m;
+    reseeded.set_seed(100);
+    let c = run_scenario(&reseeded);
+    assert_ne!(a.fingerprint, c.fingerprint, "seed must reach the body");
+}
+
+/// A federation manifest runs headless and the default census check
+/// (head's aggregate vs sub-cluster ground truth) passes.
+#[test]
+fn federation_manifest_census_check_passes() {
+    let m = Manifest::parse(
+        r#"
+scenario_version = 1
+name = "fed-tiny"
+seed = 5
+
+[federation]
+clusters = 2
+nodes_per_cluster = 8
+
+[run]
+duration = 120
+
+[assertions]
+census_match = true
+total_nodes = 16
+"#,
+    )
+    .expect("parses");
+    let r = run_scenario(&m);
+    assert_eq!(r.outcome, Outcome::Pass, "summary: {:?}", r.summary);
+    assert!(r.result_json.contains("\"mode\":\"federation\""));
+    assert!(r.junit.contains("assert:census_match"));
+}
+
+/// An impossibly tight invariant policy turns a healthy reboot into a
+/// stuck-transient violation — and a violation outranks a failed
+/// assertion, so the run classifies as exit 2, not exit 1.
+#[test]
+fn invariant_violation_outranks_assertion_failure() {
+    let m = Manifest::parse(
+        r#"
+scenario_version = 1
+name = "strict"
+seed = 3
+
+[cluster]
+nodes = 8
+
+[run]
+duration = 300
+settle = 120
+
+[invariants]
+transient_deadline = 1.0
+
+[[fault]]
+at = 30
+kind = "kernel-panic"
+node = 2
+
+[assertions]
+max_emails = 0
+"#,
+    )
+    .expect("parses");
+    let r = run_scenario(&m);
+    assert_eq!(r.outcome, Outcome::InvariantViolation);
+    assert_eq!(r.outcome.exit_code(), 2);
+    assert!(r
+        .result_json
+        .contains("\"outcome\":\"invariant-violation\""));
+}
