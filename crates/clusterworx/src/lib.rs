@@ -42,6 +42,7 @@ pub mod provisioning;
 pub mod realtime;
 pub mod scheduler;
 pub mod server;
+pub mod snapshot;
 pub mod world;
 
 pub use actions::{

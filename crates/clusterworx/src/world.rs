@@ -109,10 +109,10 @@ pub struct World {
     action_plugins: std::collections::BTreeMap<String, ActionPlugin>,
     /// One-shot wake event for the control plane's timed work (retry
     /// backoffs, drain deadlines, reboot pauses): `(when, event)`.
-    control_wake: Option<(SimTime, EventId)>,
+    pub(crate) control_wake: Option<(SimTime, EventId)>,
     /// Command-loss draws for the chassis transport.
-    cmd_rng: StdRng,
-    rng: StdRng,
+    pub(crate) cmd_rng: StdRng,
+    pub(crate) rng: StdRng,
 }
 
 impl World {

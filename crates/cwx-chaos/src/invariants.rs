@@ -258,13 +258,9 @@ impl InvariantChecker {
 
 /// FNV-1a hash of the audit trail's debug rendering: a cheap,
 /// dependency-free fingerprint for byte-reproducibility assertions.
+/// Delegates to the workspace-canonical [`cwx_util::hash`] fold so the
+/// chaos report, the federation head and the snapshot subsystem all
+/// agree on what "the audit hash" means.
 pub fn audit_hash(audit: &[AuditRecord]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for r in audit {
-        for b in format!("{r:?}").bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-    }
-    h
+    cwx_util::hash::fnv1a_debug(audit)
 }

@@ -179,6 +179,28 @@ pub fn run_campaign_sim(
     cfg: ClusterConfig,
     policy: InvariantPolicy,
 ) -> (CampaignReport, Sim<World>) {
+    run_campaign_sim_observed(campaign, cfg, policy, &[], &mut |_, _| {})
+}
+
+/// Like [`run_campaign_sim`], pausing at each time in `observe_at`
+/// (simulated nanoseconds, strictly ascending — nanos, not seconds, so
+/// a capture time recorded in a snapshot file replays to the exact
+/// same instant) to hand the paused simulation to `observer`
+/// read-only — the snapshot subsystem's capture hook.
+///
+/// The pauses are fingerprint-neutral: the run is split with
+/// [`Sim::run_until`], which executes exactly the events a straight
+/// `run_for` would, allocates no sequence numbers, and advances the
+/// clock to each boundary exactly as the unsplit run does — so a run
+/// observed at any set of times is byte-identical to one never
+/// observed at all (pinned by `observed_run_is_fingerprint_neutral`).
+pub fn run_campaign_sim_observed(
+    campaign: &Campaign,
+    cfg: ClusterConfig,
+    policy: InvariantPolicy,
+    observe_at: &[u64],
+    observer: &mut dyn FnMut(u64, &Sim<World>),
+) -> (CampaignReport, Sim<World>) {
     assert_eq!(
         cfg.n_nodes, campaign.n_nodes,
         "config/campaign fleet mismatch"
@@ -274,9 +296,16 @@ pub fn run_campaign_sim(
         });
     }
 
-    sim.run_for(SimDuration::from_secs_f64(
-        campaign.duration_secs + campaign.settle_secs,
-    ));
+    let total = SimDuration::from_secs_f64(campaign.duration_secs + campaign.settle_secs);
+    debug_assert!(
+        observe_at.windows(2).all(|w| w[0] < w[1]),
+        "observe_at must be strictly ascending"
+    );
+    for &t in observe_at.iter().filter(|&&t| t <= total.as_nanos()) {
+        sim.run_until(SimTime::ZERO + SimDuration::from_nanos(t));
+        observer(t, &sim);
+    }
+    sim.run_until(SimTime::ZERO + total);
 
     // end-of-run checks over the full record
     let now = sim.now();
@@ -347,4 +376,39 @@ fn rack_nodes(w: &World, rack: usize) -> Vec<u32> {
     (0..w.nodes.len() as u32)
         .filter(|&n| World::rack_of(n).0 == rack)
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observed_run_is_fingerprint_neutral() {
+        let campaign = Campaign::new("observer-neutrality", 11, 20, 900.0)
+            .at(100.0, FaultKind::KernelPanic(3))
+            .at(250.0, FaultKind::AgentCrash(7))
+            .at(400.0, FaultKind::ProbeSkew(5, 12.0))
+            .settle(300.0);
+        let cfg = campaign_config(&campaign);
+        let straight = run_campaign_sim(&campaign, cfg.clone(), InvariantPolicy::default());
+        let mut captures = Vec::new();
+        let observed = run_campaign_sim_observed(
+            &campaign,
+            cfg,
+            InvariantPolicy::default(),
+            &[50_000_000_000, 250_000_000_000, 777_500_000_000],
+            &mut |t, sim| captures.push((t, sim.now().as_nanos(), sim.events_executed())),
+        );
+        assert_eq!(captures.len(), 3, "observer fires at every requested time");
+        assert_eq!(
+            straight.0.audit_hash, observed.0.audit_hash,
+            "pausing to observe must not change the audit trail"
+        );
+        assert_eq!(straight.0.final_up, observed.0.final_up);
+        assert_eq!(
+            straight.1.events_executed(),
+            observed.1.events_executed(),
+            "same events dispatched with and without pauses"
+        );
+    }
 }

@@ -564,22 +564,22 @@ impl FederationHead {
         self.audit.get(&cluster).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// FNV-1a fingerprint of one cluster's audit trail.
+    /// FNV-1a fingerprint of one cluster's audit trail (the
+    /// workspace-canonical [`cwx_util::hash`] debug fold).
     pub fn cluster_audit_hash(&self, cluster: u16) -> u64 {
-        fnv(0xcbf2_9ce4_8422_2325, self.cluster_audit(cluster))
+        cwx_util::hash::fnv1a_debug(self.cluster_audit(cluster))
     }
 
     /// The head audit hash: FNV-1a over the ordered per-cluster hashes
     /// (cluster-id order), so two heads that saw the same per-cluster
     /// histories agree even if interleaving differed.
     pub fn audit_hash(&self) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        use cwx_util::hash::{fnv1a_fold, FNV_OFFSET};
+        let mut h = FNV_OFFSET;
         for &cluster in self.audit.keys() {
             let ch = self.cluster_audit_hash(cluster);
-            for b in cluster.to_le_bytes().into_iter().chain(ch.to_le_bytes()) {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100_0000_01b3);
-            }
+            h = fnv1a_fold(h, &cluster.to_le_bytes());
+            h = fnv1a_fold(h, &ch.to_le_bytes());
         }
         h
     }
@@ -608,17 +608,6 @@ impl FederationHead {
             entry,
         });
     }
-}
-
-/// FNV-1a over the debug renderings of audit rows, continuing from `h`.
-fn fnv(mut h: u64, rows: &[HeadAuditRow]) -> u64 {
-    for r in rows {
-        for b in format!("{r:?}").bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-    }
-    h
 }
 
 #[cfg(test)]

@@ -197,6 +197,51 @@ impl FederationSim {
         sum
     }
 
+    /// The configured uplink (epoch) interval.
+    pub fn uplink_interval(&self) -> SimDuration {
+        self.uplink
+    }
+
+    /// Capture the complete federation state as named canonical
+    /// sections: a `fed` section (clock, link states, head audit and
+    /// command accounting) plus every sub-cluster's full world capture
+    /// with a `sub<id>/` prefix. Strictly read-only — no snapshot
+    /// export, no alarm drain — so capturing never perturbs the run.
+    ///
+    /// Only meaningful at an epoch boundary (which is the only place
+    /// [`FederationSim::run_for`] can stop anyway): between epochs the
+    /// head's view and the sub-worlds are mutually consistent.
+    pub fn capture_sections(&self) -> Vec<(String, Vec<u8>)> {
+        use cwx_util::hash::fnv1a_debug;
+        use cwx_util::snapshot::{put_str, put_u32, put_u64};
+        let mut sections: Vec<(String, Vec<u8>)> = Vec::new();
+        let mut b = Vec::new();
+        put_u64(&mut b, self.now.as_nanos());
+        put_u64(&mut b, self.uplink.as_nanos());
+        put_u32(&mut b, self.subs.len() as u32);
+        for s in &self.subs {
+            b.push(s.connected as u8);
+            b.push(s.resync_due as u8);
+            b.push(s.hello_sent as u8);
+            let (frames, bytes) = s.link.tx_stats();
+            put_u64(&mut b, frames);
+            put_u64(&mut b, bytes);
+        }
+        put_str(&mut b, &format!("{:?}", self.head.stats()));
+        put_u64(&mut b, self.head.audit_hash());
+        for c in self.head.cluster_ids() {
+            put_u64(&mut b, self.head.outstanding(c) as u64);
+            put_u64(&mut b, fnv1a_debug(&[self.head.status(self.now, c)]));
+        }
+        sections.push(("fed".to_string(), b));
+        for (i, s) in self.subs.iter().enumerate() {
+            for (name, data) in clusterworx::snapshot::capture_sections(&s.sim) {
+                sections.push((format!("sub{i}/{name}"), data));
+            }
+        }
+        sections
+    }
+
     /// Advance the whole federation by `span`, in uplink-interval
     /// epochs (a final partial epoch covers any remainder).
     pub fn run_for(&mut self, span: SimDuration) {

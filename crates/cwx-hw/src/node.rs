@@ -172,6 +172,29 @@ impl NodeHardware {
         &self.proc_
     }
 
+    /// Append a canonical byte encoding of the node's complete state to
+    /// `out` — every field, floats as exact IEEE-754 bit patterns.
+    ///
+    /// Two nodes that evolved through the same deterministic history
+    /// encode identically; the snapshot subsystem compares these bytes
+    /// to verify a resumed replay landed on the same hardware state.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        use cwx_util::snapshot::{put_f64, put_str, put_u64};
+        put_u64(out, self.id.0 as u64);
+        put_str(out, &format!("{:?}", self.config));
+        put_str(out, &format!("{:?}", self.power));
+        put_str(out, &format!("{:?}", self.health));
+        put_str(out, &format!("{:?}", self.workload));
+        put_f64(out, self.workload_state);
+        put_f64(out, self.cpu_temp_c);
+        put_f64(out, self.util);
+        out.push(self.booted as u8);
+        put_u64(out, self.leak_kb);
+        out.push(self.leaking as u8);
+        put_str(out, &format!("{:?}", self.proc_));
+        put_f64(out, self.age_secs);
+    }
+
     /// Instantaneous CPU utilisation, `[0,1]`.
     pub fn utilization(&self) -> f64 {
         self.util

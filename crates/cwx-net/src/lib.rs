@@ -251,6 +251,34 @@ impl<M: Clone> Network<M> {
         self.segments[id.0 as usize].partitioned = false;
     }
 
+    /// Canonical digest of the network's complete state: every segment
+    /// (bandwidth, latency, loss, partition flag, busy-until horizon,
+    /// traffic counters), topology, delivery counters, and the loss
+    /// RNG's stream position (probed by clone, not perturbed). Used by
+    /// the snapshot subsystem to verify replayed network state.
+    pub fn state_digest(&self) -> u64 {
+        use cwx_util::hash::{fnv1a_fold, fnv1a_fold_u64 as f, FNV_OFFSET};
+        use cwx_util::rng::stream_probe;
+        let mut h = FNV_OFFSET;
+        h = f(h, self.segments.len() as u64);
+        for s in &self.segments {
+            h = f(h, s.bandwidth_bps);
+            h = f(h, s.latency.as_nanos());
+            h = f(h, s.loss.to_bits());
+            h = f(h, s.partitioned as u64);
+            h = f(h, s.busy_until.as_nanos());
+            h = f(h, s.wire_bytes);
+            h = f(h, s.packets);
+        }
+        h = fnv1a_fold(h, format!("{:?}", self.backbone).as_bytes());
+        h = fnv1a_fold(h, format!("{:?}", self.attachment).as_bytes());
+        h = fnv1a_fold(h, format!("{:?}", self.groups).as_bytes());
+        h = f(h, self.stats.sent);
+        h = f(h, self.stats.delivered);
+        h = f(h, self.stats.lost);
+        f(h, stream_probe(&self.rng, 4))
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> NetStats {
         self.stats

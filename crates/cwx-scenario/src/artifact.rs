@@ -34,14 +34,8 @@ pub fn json_num(x: f64) -> String {
 
 /// FNV-1a over raw bytes: the dependency-free fingerprint both the
 /// audit-trail hash and the `result.json` body fingerprint use.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
+/// Re-exported from the workspace-canonical [`cwx_util::hash`].
+pub use cwx_util::hash::fnv1a;
 
 /// One evaluated `[assertions]` entry.
 #[derive(Debug, Clone)]

@@ -1,0 +1,267 @@
+//! `cwx bisect`: binary-search a failing scenario's fault schedule for
+//! the minimal chronological prefix that still fails, and name the
+//! culprit fault plus the first violated promise.
+//!
+//! Every probe is a **full replay** of the scenario with the schedule
+//! truncated to a prefix — determinism makes each probe exact, but a
+//! probe costs one complete run, so a schedule of `n` faults takes
+//! `O(log n) + 2` runs. Probes reuse the ordinary runtime
+//! ([`run_scenario`]), so a probe's verdict is precisely what
+//! `cwx run` would report for that truncated manifest.
+
+use std::fmt::Write as _;
+
+use crate::artifact::esc_json;
+use crate::manifest::Manifest;
+use crate::run::{run_scenario, Outcome};
+
+/// One bisection probe: a full run of a fault-prefix manifest.
+#[derive(Debug, Clone)]
+pub struct Probe {
+    /// How many faults (chronological prefix) this probe kept.
+    pub prefix: usize,
+    /// The probe run's outcome.
+    pub outcome: Outcome,
+    /// The probe run's result fingerprint.
+    pub fingerprint: u64,
+    /// First failed case of the probe, when it failed.
+    pub first_failure: Option<String>,
+}
+
+/// The bisection verdict.
+#[derive(Debug, Clone)]
+pub struct BisectReport {
+    /// Scenario name.
+    pub name: String,
+    /// Seed the probes ran under.
+    pub seed: u64,
+    /// Total faults in the schedule.
+    pub fault_count: usize,
+    /// Smallest chronological prefix that still fails. `0` means the
+    /// scenario fails with no faults at all (the failure is baked into
+    /// the assertions or the base world).
+    pub minimal_prefix: usize,
+    /// The last fault of the minimal prefix — the one whose addition
+    /// flips the run from pass to fail: `(chronological index, at
+    /// seconds, kind)`. `None` when `minimal_prefix` is zero.
+    pub culprit: Option<(usize, f64, String)>,
+    /// First violated promise of the minimal failing run
+    /// (`invariant:NAME` or `assert:NAME`).
+    pub first_failure: Option<String>,
+    /// Every probe, in execution order.
+    pub probes: Vec<Probe>,
+}
+
+impl BisectReport {
+    /// Render the machine-readable `bisect.json` document
+    /// (`cwx-bisect-v1`).
+    pub fn to_json(&self, schedule: &[(f64, String)]) -> String {
+        let mut out = format!(
+            "{{\"schema\":\"cwx-bisect-v1\",\"name\":\"{}\",\"seed\":{},\"fault_count\":{},\
+             \"minimal_prefix\":{}",
+            esc_json(&self.name),
+            self.seed,
+            self.fault_count,
+            self.minimal_prefix
+        );
+        match &self.culprit {
+            Some((i, at, kind)) => {
+                let _ = write!(
+                    out,
+                    ",\"culprit\":{{\"index\":{i},\"at\":{at},\"kind\":\"{}\"}}",
+                    esc_json(kind)
+                );
+            }
+            None => out.push_str(",\"culprit\":null"),
+        }
+        match &self.first_failure {
+            Some(f) => {
+                let _ = write!(out, ",\"first_failure\":\"{}\"", esc_json(f));
+            }
+            None => out.push_str(",\"first_failure\":null"),
+        }
+        out.push_str(",\"minimal_faults\":[");
+        for (i, (at, kind)) in schedule.iter().take(self.minimal_prefix).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"at\":{at},\"kind\":\"{}\"}}", esc_json(kind));
+        }
+        out.push_str("],\"probes\":[");
+        for (i, p) in self.probes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"prefix\":{},\"outcome\":\"{}\",\"exit_code\":{},\"fingerprint\":\"{:016x}\"}}",
+                p.prefix,
+                p.outcome.as_str(),
+                p.outcome.exit_code(),
+                p.fingerprint
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Human-readable summary lines for the CLI.
+    pub fn summary(&self) -> Vec<String> {
+        let mut lines = vec![format!(
+            "bisect `{}`: {} probes over {} faults -> minimal failing prefix {}",
+            self.name,
+            self.probes.len(),
+            self.fault_count,
+            self.minimal_prefix
+        )];
+        match &self.culprit {
+            Some((i, at, kind)) => lines.push(format!(
+                "culprit: fault #{i} at {at}s ({kind}) flips the run from pass to fail"
+            )),
+            None => lines.push("the scenario fails with no faults at all".to_string()),
+        }
+        if let Some(f) = &self.first_failure {
+            lines.push(format!("first violated promise: {f}"));
+        }
+        lines
+    }
+}
+
+/// Bisect a failing scenario. Errors (single-line, exit 3 at the CLI):
+/// an empty fault schedule, a full schedule that doesn't fail, or a
+/// probe that ends in an operational error.
+pub fn bisect_scenario(m: &Manifest) -> Result<BisectReport, String> {
+    let schedule = m.fault_schedule();
+    let n = schedule.len();
+    if n == 0 {
+        return Err("the scenario schedules no faults; nothing to bisect".to_string());
+    }
+
+    let mut probes: Vec<Probe> = Vec::new();
+    let probe = |k: usize, probes: &mut Vec<Probe>| -> Result<bool, String> {
+        let r = run_scenario(&m.with_fault_prefix(k));
+        if r.outcome == Outcome::Error {
+            return Err(format!(
+                "probe with fault prefix {k} ended in an operational error; cannot bisect"
+            ));
+        }
+        let fails = r.outcome != Outcome::Pass;
+        probes.push(Probe {
+            prefix: k,
+            outcome: r.outcome,
+            fingerprint: r.fingerprint,
+            first_failure: r.first_failure,
+        });
+        Ok(fails)
+    };
+
+    if !probe(n, &mut probes)? {
+        return Err(format!(
+            "the full schedule ({n} faults) passes; there is no failure to bisect"
+        ));
+    }
+    // invariant: lo passes, hi fails
+    let (mut lo, mut hi) = (0usize, n);
+    if probe(0, &mut probes)? {
+        hi = 0;
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if probe(mid, &mut probes)? {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let minimal = hi;
+    let culprit = minimal
+        .checked_sub(1)
+        .map(|i| (i, schedule[i].0, schedule[i].1.clone()));
+    let first_failure = probes
+        .iter()
+        .find(|p| p.prefix == minimal)
+        .and_then(|p| p.first_failure.clone());
+    Ok(BisectReport {
+        name: m.name.clone(),
+        seed: m.seed,
+        fault_count: n,
+        minimal_prefix: minimal,
+        culprit,
+        first_failure,
+        probes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // the lone crash at 30s emails the admin, so `max_emails = 0`
+    // fails as soon as the schedule includes it; the recover at 60s is
+    // noise the bisection must discard
+    const FAILING: &str = r#"
+scenario_version = 1
+name = "bisect-tiny"
+seed = 11
+
+[cluster]
+nodes = 8
+
+[run]
+duration = 120
+settle = 120
+
+[[fault]]
+at = 30
+kind = "agent-crash"
+node = 3
+
+[[fault]]
+at = 60
+kind = "agent-recover"
+node = 3
+
+[assertions]
+max_emails = 0
+"#;
+
+    #[test]
+    fn finds_the_minimal_failing_prefix() {
+        let m = Manifest::parse(FAILING).expect("parses");
+        let r = bisect_scenario(&m).expect("bisects");
+        assert_eq!(r.fault_count, 2);
+        assert_eq!(r.minimal_prefix, 1);
+        let (i, at, kind) = r.culprit.clone().expect("culprit");
+        assert_eq!(i, 0);
+        assert_eq!(at, 30.0);
+        assert!(
+            kind.contains("agent-crash") || kind.contains("AgentCrash"),
+            "{kind}"
+        );
+        assert_eq!(r.first_failure.as_deref(), Some("assert:max_emails"));
+        // the empty prefix passes, the full schedule fails
+        assert!(r
+            .probes
+            .iter()
+            .any(|p| p.prefix == 0 && p.outcome == Outcome::Pass));
+        assert!(r
+            .probes
+            .iter()
+            .any(|p| p.prefix == 2 && p.outcome != Outcome::Pass));
+        let json = r.to_json(&m.fault_schedule());
+        assert!(json.contains("\"schema\":\"cwx-bisect-v1\""), "{json}");
+        assert!(json.contains("\"minimal_prefix\":1"), "{json}");
+        assert!(
+            json.contains("\"first_failure\":\"assert:max_emails\""),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn passing_schedule_is_an_error() {
+        let text = FAILING.replace("max_emails = 0", "final_up = \"all\"");
+        let m = Manifest::parse(&text).expect("parses");
+        let err = bisect_scenario(&m).expect_err("nothing to bisect");
+        assert!(err.contains("passes"), "{err}");
+    }
+}

@@ -22,20 +22,32 @@
 //! values via [`Manifest::from_campaign`] / [`Manifest::federation`]
 //! and ride the same runtime, so there is exactly one execution path
 //! to trust.
+//!
+//! Because every run is deterministic, it can also be frozen and
+//! replayed: [`run_scenario_with`] captures `cwx-snapshot-v1` world
+//! snapshots at requested instants (or a `[checkpoints]` manifest
+//! section) and resumes from one via verified replay with a bit-exact
+//! fingerprint guarantee, and [`bisect_scenario`] binary-searches a
+//! failing scenario's fault schedule down to the minimal failing
+//! prefix. See the [`snapshot`] and [`bisect`] modules.
 
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod bisect;
 pub mod coverage;
 pub mod json;
 pub mod manifest;
 pub mod run;
+pub mod snapshot;
 pub mod toml;
 
 pub use artifact::{esc_json, fnv1a, json_num, junit_xml, AssertionResult, JunitCase};
+pub use bisect::{bisect_scenario, BisectReport};
 pub use coverage::{scale_band, state_slug, CoverageRun, Scoreboard, SCALE_BANDS, STATE_SLUGS};
 pub use manifest::{
     Assertions, ChaosSpec, FedFault, FedSpec, FinalUp, Limits, Manifest, ManifestError, Mode,
     SCENARIO_VERSION,
 };
-pub use run::{run_scenario, Outcome, ScenarioResult};
+pub use run::{run_scenario, run_scenario_with, Outcome, RunOptions, ScenarioResult};
+pub use snapshot::{build_snapshot, check_resumable, prefix_identity, secs_to_nanos};

@@ -174,6 +174,12 @@ pub struct Manifest {
     pub limits: Limits,
     /// Pass/fail demands.
     pub assertions: Assertions,
+    /// `[checkpoints] at = [...]` — simulated seconds at which the
+    /// runner captures a world snapshot. Strictly ascending, within
+    /// `[0, duration + settle]`. Deliberately *not* part of the
+    /// result.json body: snapshot capture is fingerprint-neutral, so
+    /// adding checkpoints must never change a scenario's fingerprint.
+    pub checkpoints: Vec<f64>,
 }
 
 // ---------- typed value extraction ----------
@@ -638,6 +644,58 @@ fn lower_run(t: Option<&Table>) -> Result<RunSection, ManifestError> {
     })
 }
 
+/// Lower `[checkpoints] at = [...]`: strictly ascending simulated
+/// seconds inside `[0, duration + settle]`.
+fn lower_checkpoints(t: Option<&Table>, horizon: f64) -> Result<Vec<f64>, ManifestError> {
+    let Some(t) = t else {
+        return Ok(Vec::new());
+    };
+    let mut at = None;
+    for e in &t.entries {
+        match e.key.as_str() {
+            "at" => {
+                let Value::Array(items) = &e.value else {
+                    return err(format!(
+                        "line {}: `at` must be an array of times, got {}",
+                        e.line,
+                        e.value.type_name()
+                    ));
+                };
+                let mut times = Vec::with_capacity(items.len());
+                for v in items {
+                    let x = match v {
+                        Value::Int(i) => *i as f64,
+                        Value::Float(x) => *x,
+                        other => {
+                            return err(format!(
+                                "line {}: checkpoint times must be numbers, got {}",
+                                e.line,
+                                other.type_name()
+                            ))
+                        }
+                    };
+                    if !(x.is_finite() && (0.0..=horizon).contains(&x)) {
+                        return err(format!(
+                            "line {}: checkpoint time {x} outside the run (0..={horizon} seconds)",
+                            e.line
+                        ));
+                    }
+                    if times.last().is_some_and(|&prev| x <= prev) {
+                        return err(format!(
+                            "line {}: checkpoint times must be strictly ascending",
+                            e.line
+                        ));
+                    }
+                    times.push(x);
+                }
+                at = Some(times);
+            }
+            _ => return Err(unknown_key("[checkpoints]", e, &["at"])),
+        }
+    }
+    at.ok_or_else(|| ManifestError(format!("line {}: [checkpoints] needs `at`", t.line)))
+}
+
 impl Manifest {
     /// Parse and fully validate a v1 manifest.
     pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
@@ -680,7 +738,13 @@ impl Manifest {
         for t in &doc.tables {
             if !matches!(
                 t.name.as_str(),
-                "cluster" | "federation" | "run" | "invariants" | "limits" | "assertions"
+                "cluster"
+                    | "federation"
+                    | "run"
+                    | "invariants"
+                    | "limits"
+                    | "assertions"
+                    | "checkpoints"
             ) {
                 return err(format!("line {}: unknown section [{}]", t.line, t.name));
             }
@@ -850,12 +914,18 @@ impl Manifest {
 
         let assertions =
             lower_assertions(doc.table("assertions"), matches!(mode, Mode::Federation(_)))?;
+        let horizon = match &mode {
+            Mode::Chaos(spec) => spec.campaign.duration_secs + spec.campaign.settle_secs,
+            Mode::Federation(spec) => spec.duration_secs + spec.settle_secs,
+        };
+        let checkpoints = lower_checkpoints(doc.table("checkpoints"), horizon)?;
         Ok(Manifest {
             name,
             seed,
             mode,
             limits,
             assertions,
+            checkpoints,
         })
     }
 
@@ -873,6 +943,7 @@ impl Manifest {
             }),
             limits: Limits::default(),
             assertions: Assertions::default(),
+            checkpoints: Vec::new(),
         }
     }
 
@@ -903,6 +974,7 @@ impl Manifest {
                 census_match: Some(true),
                 ..Assertions::default()
             },
+            checkpoints: Vec::new(),
         }
     }
 
@@ -926,6 +998,65 @@ impl Manifest {
             Mode::Chaos(spec) => Some(&spec.campaign),
             Mode::Federation(_) => None,
         }
+    }
+
+    /// Number of scheduled faults, in either mode.
+    pub fn fault_count(&self) -> usize {
+        match &self.mode {
+            Mode::Chaos(spec) => spec.campaign.events.len(),
+            Mode::Federation(spec) => spec.faults.len(),
+        }
+    }
+
+    /// The fault schedule in chronological order, rendered for reports:
+    /// `(seconds, description)`. Ties keep manifest order (the order
+    /// the runner applies them in).
+    pub fn fault_schedule(&self) -> Vec<(f64, String)> {
+        let mut v: Vec<(f64, String)> = match &self.mode {
+            Mode::Chaos(spec) => spec
+                .campaign
+                .events
+                .iter()
+                .map(|e| (e.at_secs, e.kind.to_string()))
+                .collect(),
+            Mode::Federation(spec) => spec
+                .faults
+                .iter()
+                .map(|(at, f)| {
+                    let d = match f {
+                        FedFault::Disconnect(c) => format!("cluster-disconnect {c}"),
+                        FedFault::Heal(c) => format!("cluster-heal {c}"),
+                    };
+                    (*at, d)
+                })
+                .collect(),
+        };
+        v.sort_by(|a, b| a.0.total_cmp(&b.0));
+        v
+    }
+
+    /// A copy of this manifest keeping only the first `k` faults in
+    /// chronological order (ties keep manifest order) — the probe
+    /// schedules `cwx bisect` binary-searches over. Checkpoints are
+    /// dropped: probes don't snapshot.
+    pub fn with_fault_prefix(&self, k: usize) -> Manifest {
+        let mut m = self.clone();
+        m.checkpoints = Vec::new();
+        match &mut m.mode {
+            Mode::Chaos(spec) => {
+                let mut ev = std::mem::take(&mut spec.campaign.events);
+                ev.sort_by(|a, b| a.at_secs.total_cmp(&b.at_secs));
+                ev.truncate(k);
+                spec.campaign.events = ev;
+            }
+            Mode::Federation(spec) => {
+                let mut ev = std::mem::take(&mut spec.faults);
+                ev.sort_by(|a, b| a.0.total_cmp(&b.0));
+                ev.truncate(k);
+                spec.faults = ev;
+            }
+        }
+        m
     }
 }
 

@@ -12,13 +12,21 @@ use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use cwx_chaos::{campaign_config, run_campaign_sim, CampaignReport, INVARIANT_NAMES};
+use cwx_chaos::{campaign_config, run_campaign_sim_observed, CampaignReport, INVARIANT_NAMES};
 use cwx_fed::{FederationConfig, FederationSim};
+use cwx_util::snapshot::SnapshotFile;
 use cwx_util::time::SimDuration;
 
 use crate::artifact::{esc_json, fnv1a, json_num, junit_xml, AssertionResult, JunitCase};
 use crate::coverage::{scale_band, state_slug, CoverageRun};
 use crate::manifest::{Assertions, ChaosSpec, FedFault, FedSpec, FinalUp, Manifest, Mode};
+use crate::snapshot::{
+    build_snapshot, check_resumable, fed_effective_times, fed_faults_at, fed_segment_ends,
+    secs_to_nanos,
+};
+
+/// World sections captured at one instant, as an engine produced them.
+type Captured = Vec<(u64, Vec<(String, Vec<u8>)>)>;
 
 /// How a scenario run ended, in exit-code order. These four codes are
 /// the CLI-wide contract: every `cwx` subcommand exits with one of
@@ -74,15 +82,123 @@ pub struct ScenarioResult {
     pub coverage: CoverageRun,
     /// Human-readable summary lines for the CLI to print.
     pub summary: Vec<String>,
+    /// World snapshots captured at the requested instants (manifest
+    /// `[checkpoints]` plus `--snapshot-at`), ready to encode to disk.
+    /// Capture is fingerprint-neutral: the same run with no snapshots
+    /// produces the identical `fingerprint`.
+    pub snapshots: Vec<SnapshotFile>,
+    /// Name of the first failed JUnit case (`invariant:NAME` or
+    /// `assert:NAME`), when the run did not pass — what `cwx bisect`
+    /// reports as the violated promise.
+    pub first_failure: Option<String>,
+}
+
+/// Snapshot capture/resume options for [`run_scenario_with`].
+#[derive(Debug, Default)]
+pub struct RunOptions {
+    /// Extra capture instants in simulated seconds (the CLI's
+    /// `--snapshot-at`), merged with the manifest's `[checkpoints]`.
+    pub snapshot_at: Vec<f64>,
+    /// Resume from this snapshot: re-derive the world from (manifest,
+    /// seed), replay to the snapshot instant with fingerprint-neutral
+    /// splits, byte-verify every section against the file, then
+    /// continue. Verification failure is a hard error, not a warning.
+    pub resume: Option<SnapshotFile>,
 }
 
 /// Execute a manifest headlessly and render its artifacts.
 pub fn run_scenario(m: &Manifest) -> ScenarioResult {
+    run_scenario_with(m, &RunOptions::default()).expect("a run without resume options cannot fail")
+}
+
+/// [`run_scenario`] with snapshot capture and resume. Errors are
+/// single-line operational failures (exit 3 at the CLI): an invalid
+/// capture time, an unacceptable snapshot file, or a resume replay
+/// that diverged from the file.
+pub fn run_scenario_with(m: &Manifest, opts: &RunOptions) -> Result<ScenarioResult, String> {
     let t0 = Instant::now();
-    let (body_tail, cases, coverage, mut summary, sim_outcome) = match &m.mode {
-        Mode::Chaos(spec) => run_chaos(m, spec),
-        Mode::Federation(spec) => run_federation(m, spec),
+
+    // the capture plan: manifest checkpoints + CLI instants + (for
+    // resume) the snapshot's own instant, on the nanosecond grid
+    let total_n = match &m.mode {
+        Mode::Chaos(spec) => secs_to_nanos(spec.campaign.duration_secs + spec.campaign.settle_secs),
+        Mode::Federation(spec) => secs_to_nanos(spec.duration_secs + spec.settle_secs),
     };
+    let mut emit_n: Vec<u64> = m.checkpoints.iter().map(|&t| secs_to_nanos(t)).collect();
+    for &t in &opts.snapshot_at {
+        if !t.is_finite() || t < 0.0 {
+            return Err(format!("snapshot time {t} is not a valid instant"));
+        }
+        let n = secs_to_nanos(t);
+        if n > total_n {
+            return Err(format!(
+                "snapshot time {t}s is beyond this run's horizon of {}s",
+                total_n as f64 / 1e9
+            ));
+        }
+        emit_n.push(n);
+    }
+    emit_n.sort_unstable();
+    emit_n.dedup();
+    if let Mode::Federation(spec) = &m.mode {
+        // federation pauses only on uplink-epoch boundaries
+        emit_n = fed_effective_times(spec, &emit_n);
+    }
+    let mut at_nanos = emit_n.clone();
+    if let Some(file) = &opts.resume {
+        check_resumable(m, file)?;
+        at_nanos.push(file.t_nanos);
+        at_nanos.sort_unstable();
+        at_nanos.dedup();
+        if let Mode::Federation(spec) = &m.mode {
+            if fed_effective_times(spec, &[file.t_nanos]) != vec![file.t_nanos] {
+                return Err(format!(
+                    "snapshot instant {}s does not land on an uplink-epoch boundary of this \
+                     schedule (was it taken under a different fault schedule?)",
+                    file.t_nanos as f64 / 1e9
+                ));
+            }
+        }
+    }
+
+    let mut captured: Captured = Vec::new();
+    let (body_tail, cases, coverage, mut summary, sim_outcome) = match &m.mode {
+        Mode::Chaos(spec) => run_chaos(m, spec, &at_nanos, &mut captured),
+        Mode::Federation(spec) => run_federation(m, spec, &at_nanos, &mut captured),
+    };
+
+    // verified replay: the rebuilt world at the snapshot instant must
+    // byte-match the file, section by section
+    if let Some(file) = &opts.resume {
+        let live = captured
+            .iter()
+            .find(|(t, _)| *t == file.t_nanos)
+            .map(|(_, s)| s)
+            .ok_or_else(|| {
+                format!(
+                    "snapshot instant {}s was never reached by the replay",
+                    file.t_nanos as f64 / 1e9
+                )
+            })?;
+        verify_sections(file, live)?;
+        summary.insert(
+            0,
+            format!(
+                "resumed from snapshot at t={}s: all {} sections verified bit-exact",
+                file.t_nanos as f64 / 1e9,
+                live.len()
+            ),
+        );
+    }
+    let snapshots: Vec<SnapshotFile> = captured
+        .into_iter()
+        .filter(|(t, _)| emit_n.contains(t))
+        .map(|(t, sections)| build_snapshot(m, t, sections))
+        .collect();
+    let first_failure = cases
+        .iter()
+        .find(|c| c.failure.is_some())
+        .map(|c| c.name.clone());
     let wall_ms = t0.elapsed().as_millis() as u64;
 
     // deterministic body: pure function of (manifest, seed)
@@ -125,14 +241,43 @@ pub fn run_scenario(m: &Manifest) -> ScenarioResult {
         outcome.exit_code()
     ));
 
-    ScenarioResult {
+    Ok(ScenarioResult {
         outcome,
         fingerprint,
         result_json,
         junit: junit_xml(&m.name, &cases, wall_ms as f64 / 1000.0),
         coverage,
         summary,
+        snapshots,
+        first_failure,
+    })
+}
+
+/// Byte-compare a snapshot file against the sections the replay
+/// captured at the same instant, naming the first divergence.
+fn verify_sections(file: &SnapshotFile, live: &[(String, Vec<u8>)]) -> Result<(), String> {
+    for ((fname, fbytes), (lname, lbytes)) in file.sections.iter().zip(live) {
+        if fname != lname {
+            return Err(format!(
+                "resume verification failed: section order diverged (file has `{fname}`, \
+                 replay produced `{lname}`)"
+            ));
+        }
+        if fbytes != lbytes {
+            return Err(format!(
+                "resume verification failed: section `{fname}` diverged — the replayed world \
+                 does not match the snapshot (different build or corrupted capture?)"
+            ));
+        }
     }
+    if file.sections.len() != live.len() {
+        return Err(format!(
+            "resume verification failed: snapshot has {} sections, replay produced {}",
+            file.sections.len(),
+            live.len()
+        ));
+    }
+    Ok(())
 }
 
 type ModeOutput = (String, Vec<JunitCase>, CoverageRun, Vec<String>, Outcome);
@@ -176,11 +321,22 @@ fn outcome_of(any_violation: bool, asserts: &[AssertionResult]) -> Outcome {
     }
 }
 
-fn run_chaos(m: &Manifest, spec: &ChaosSpec) -> ModeOutput {
+fn run_chaos(
+    m: &Manifest,
+    spec: &ChaosSpec,
+    at_nanos: &[u64],
+    captured: &mut Captured,
+) -> ModeOutput {
     let campaign = &spec.campaign;
     let mut cfg = campaign_config(campaign);
     cfg.rack_network = spec.rack_network;
-    let (report, sim) = run_campaign_sim(campaign, cfg, spec.policy.to_policy());
+    let (report, sim) = run_campaign_sim_observed(
+        campaign,
+        cfg,
+        spec.policy.to_policy(),
+        at_nanos,
+        &mut |t, sim| captured.push((t, clusterworx::snapshot::capture_sections(sim))),
+    );
 
     // coverage: every injected kind × every lifecycle state any node
     // touched, at this fleet's scale band
@@ -347,29 +503,54 @@ fn eval_chaos_assertions(
     }
 }
 
-fn run_federation(m: &Manifest, spec: &FedSpec) -> ModeOutput {
+fn run_federation(
+    m: &Manifest,
+    spec: &FedSpec,
+    at_nanos: &[u64],
+    captured: &mut Captured,
+) -> ModeOutput {
     let mut cfg = FederationConfig::uniform(spec.clusters, spec.nodes_per_cluster, m.seed);
     cfg.uplink_interval = SimDuration::from_secs_f64(spec.uplink_secs);
     cfg.stale_after = SimDuration::from_secs_f64(spec.stale_after_secs);
     let mut fed = FederationSim::build(cfg);
 
-    // piecewise advance to each scheduled uplink fault
-    let mut faults = spec.faults.clone();
-    faults.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let mut elapsed = 0.0;
-    for (at, fault) in &faults {
-        if *at > elapsed {
-            fed.run_for(SimDuration::from_secs_f64(at - elapsed));
-            elapsed = *at;
+    // piecewise advance on the nanosecond grid: each distinct fault
+    // instant ends a segment, and capture instants (already aligned to
+    // uplink-epoch boundaries by the caller) split segments without
+    // changing the epoch schedule. Captures that coincide with a fault
+    // instant see the world *before* the fault applies.
+    let apply = |fed: &mut FederationSim, at: u64| {
+        for f in fed_faults_at(spec, at) {
+            match f {
+                FedFault::Disconnect(c) => fed.disconnect(c),
+                FedFault::Heal(c) => fed.heal(c),
+            }
         }
-        match fault {
-            FedFault::Disconnect(c) => fed.disconnect(*c),
-            FedFault::Heal(c) => fed.heal(*c),
-        }
+    };
+    let mut req = at_nanos.iter().copied().peekable();
+    let mut now_n = 0u64;
+    if req.peek() == Some(&0) {
+        captured.push((0, fed.capture_sections()));
+        req.next();
     }
-    let total = spec.duration_secs + spec.settle_secs;
-    if total > elapsed {
-        fed.run_for(SimDuration::from_secs_f64(total - elapsed));
+    apply(&mut fed, 0);
+    for seg_end in fed_segment_ends(spec) {
+        while let Some(&t) = req.peek() {
+            if t > seg_end {
+                break;
+            }
+            if t > now_n {
+                fed.run_for(SimDuration::from_nanos(t - now_n));
+                now_n = t;
+            }
+            captured.push((t, fed.capture_sections()));
+            req.next();
+        }
+        if seg_end > now_n {
+            fed.run_for(SimDuration::from_nanos(seg_end - now_n));
+            now_n = seg_end;
+        }
+        apply(&mut fed, seg_end);
     }
 
     let fleet = fed.aggregate();
@@ -391,7 +572,8 @@ fn run_federation(m: &Manifest, spec: &FedSpec) -> ModeOutput {
     }
     let coverage = CoverageRun {
         scale: scale_band(spec.clusters as u32 * spec.nodes_per_cluster),
-        faults: faults
+        faults: spec
+            .faults
             .iter()
             .map(|(_, f)| match f {
                 FedFault::Disconnect(_) => "cluster-disconnect",
@@ -531,5 +713,151 @@ final_up = "all"
         assert_eq!(Outcome::AssertionFail.exit_code(), 1);
         assert_eq!(Outcome::InvariantViolation.exit_code(), 2);
         assert_eq!(Outcome::Error.exit_code(), 3);
+    }
+
+    #[test]
+    fn chaos_snapshot_capture_is_fingerprint_neutral_and_resumes_bit_exact() {
+        let m = Manifest::parse(TINY).expect("parses");
+        let plain = run_scenario(&m);
+        let opts = RunOptions {
+            snapshot_at: vec![50.0],
+            resume: None,
+        };
+        let snapped = run_scenario_with(&m, &opts).expect("capture run");
+        // capture must never perturb the run
+        assert_eq!(plain.fingerprint, snapped.fingerprint);
+        assert_eq!(snapped.snapshots.len(), 1);
+        let file = snapped.snapshots[0].clone();
+        assert_eq!(file.t_nanos, 50_000_000_000);
+        // the snapshot survives an encode/decode round trip
+        let file = SnapshotFile::decode(&file.encode()).expect("round trip");
+
+        let resumed = run_scenario_with(
+            &m,
+            &RunOptions {
+                snapshot_at: vec![],
+                resume: Some(file.clone()),
+            },
+        )
+        .expect("resume run");
+        assert_eq!(resumed.fingerprint, plain.fingerprint);
+        assert!(
+            resumed.summary[0].contains("resumed from snapshot"),
+            "{:?}",
+            resumed.summary
+        );
+
+        // a flipped byte inside a section is a named divergence
+        let mut bad = file.clone();
+        bad.sections[3].1[0] ^= 0x01;
+        let err = run_scenario_with(
+            &m,
+            &RunOptions {
+                snapshot_at: vec![],
+                resume: Some(bad),
+            },
+        )
+        .expect_err("diverged");
+        assert!(err.contains("resume verification failed"), "{err}");
+        assert!(err.contains(&file.sections[3].0), "{err}");
+
+        // a different seed is refused before any replay happens
+        let mut other = m.clone();
+        other.set_seed(777);
+        let err = run_scenario_with(
+            &other,
+            &RunOptions {
+                snapshot_at: vec![],
+                resume: Some(file),
+            },
+        )
+        .expect_err("identity mismatch");
+        assert!(err.contains("identity"), "{err}");
+    }
+
+    #[test]
+    fn federation_snapshot_aligns_to_epochs_and_resumes_bit_exact() {
+        let text = r#"
+scenario_version = 1
+name = "fed-snap"
+seed = 21
+
+[federation]
+clusters = 2
+nodes_per_cluster = 6
+uplink = 10
+
+[run]
+duration = 200
+settle = 40
+
+[[fault]]
+at = 45
+kind = "cluster-disconnect"
+cluster = 1
+
+[[fault]]
+at = 95
+kind = "cluster-heal"
+cluster = 1
+"#;
+        let m = Manifest::parse(text).expect("parses");
+        let plain = run_scenario(&m);
+        let snapped = run_scenario_with(
+            &m,
+            &RunOptions {
+                snapshot_at: vec![67.0],
+                resume: None,
+            },
+        )
+        .expect("capture run");
+        assert_eq!(plain.fingerprint, snapped.fingerprint);
+        assert_eq!(snapped.snapshots.len(), 1);
+        let file = snapped.snapshots[0].clone();
+        // 67s inside the [45, 95] fault segment rounds up to the next
+        // uplink epoch: 45 + 3*10 = 75s
+        assert_eq!(file.t_nanos, 75_000_000_000);
+
+        let resumed = run_scenario_with(
+            &m,
+            &RunOptions {
+                snapshot_at: vec![],
+                resume: Some(file),
+            },
+        )
+        .expect("resume run");
+        assert_eq!(resumed.fingerprint, plain.fingerprint);
+        assert!(
+            resumed.summary[0].contains("resumed from snapshot at t=75s"),
+            "{:?}",
+            resumed.summary
+        );
+    }
+
+    #[test]
+    fn manifest_checkpoints_drive_capture() {
+        let text = format!("{TINY}\n[checkpoints]\nat = [40, 80.5]\n");
+        let m = Manifest::parse(&text).expect("parses");
+        let r = run_scenario(&m);
+        assert_eq!(r.snapshots.len(), 2);
+        assert_eq!(r.snapshots[0].t_nanos, 40_000_000_000);
+        assert_eq!(r.snapshots[1].t_nanos, 80_500_000_000);
+        // checkpoints are fingerprint-neutral by contract
+        let plain = run_scenario(&Manifest::parse(TINY).expect("parses"));
+        assert_eq!(r.fingerprint, plain.fingerprint);
+    }
+
+    #[test]
+    fn out_of_range_snapshot_time_is_an_error() {
+        let m = Manifest::parse(TINY).expect("parses");
+        let err = run_scenario_with(
+            &m,
+            &RunOptions {
+                snapshot_at: vec![100_000.0],
+                resume: None,
+            },
+        )
+        .expect_err("beyond horizon");
+        assert!(err.contains("horizon"), "{err}");
     }
 }

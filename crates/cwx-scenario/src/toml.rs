@@ -10,7 +10,7 @@
 
 use std::fmt;
 
-/// A scalar value.
+/// A scalar value, or a single-line array of scalars.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// A quoted string.
@@ -21,6 +21,8 @@ pub enum Value {
     Float(f64),
     /// A boolean.
     Bool(bool),
+    /// A `[a, b, c]` array of scalars (no nesting).
+    Array(Vec<Value>),
 }
 
 impl Value {
@@ -31,6 +33,7 @@ impl Value {
             Value::Int(_) => "an integer",
             Value::Float(_) => "a float",
             Value::Bool(_) => "a boolean",
+            Value::Array(_) => "an array",
         }
     }
 }
@@ -42,6 +45,16 @@ impl fmt::Display for Value {
             Value::Int(i) => write!(f, "{i}"),
             Value::Float(x) => write!(f, "{x}"),
             Value::Bool(b) => write!(f, "{b}"),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
         }
     }
 }
@@ -136,6 +149,39 @@ fn check_name(name: &str, what: &str, line: usize) -> Result<(), String> {
 }
 
 fn parse_value(s: &str, line: usize) -> Result<Value, String> {
+    if let Some(rest) = s.strip_prefix('[') {
+        let inner = rest
+            .strip_suffix(']')
+            .ok_or_else(|| format!("line {line}: unterminated array {s:?}"))?
+            .trim();
+        let mut items = Vec::new();
+        if !inner.is_empty() {
+            // split on commas outside quotes; nested arrays are rejected
+            // because elements are parsed as scalars
+            let mut depth_q = false;
+            let mut start = 0usize;
+            let bytes = inner.as_bytes();
+            for i in 0..=bytes.len() {
+                let split = i == bytes.len() || (bytes[i] == b',' && !depth_q);
+                if i < bytes.len() && bytes[i] == b'"' {
+                    depth_q = !depth_q;
+                }
+                if split {
+                    let item = inner[start..i].trim();
+                    if item.is_empty() {
+                        return Err(format!("line {line}: empty array element in {s:?}"));
+                    }
+                    items.push(parse_scalar(item, line)?);
+                    start = i + 1;
+                }
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    parse_scalar(s, line)
+}
+
+fn parse_scalar(s: &str, line: usize) -> Result<Value, String> {
     if let Some(rest) = s.strip_prefix('"') {
         return match rest.strip_suffix('"') {
             Some(inner) if !inner.contains('"') => Ok(Value::Str(inner.to_string())),
@@ -288,6 +334,43 @@ kind = "heal-rack"
         // line numbers survive for error context
         assert_eq!(doc.top.get("pi").unwrap().line, 5);
         assert_eq!(faults[0].line, 12);
+    }
+
+    #[test]
+    fn parses_arrays() {
+        let doc = parse(
+            r#"
+empty = []
+times = [10, 20.5, 30] # trailing comment
+names = ["a, b", "c"]
+"#,
+        )
+        .expect("parses");
+        assert_eq!(doc.top.get("empty").unwrap().value, Value::Array(vec![]));
+        assert_eq!(
+            doc.top.get("times").unwrap().value,
+            Value::Array(vec![Value::Int(10), Value::Float(20.5), Value::Int(30)])
+        );
+        assert_eq!(
+            doc.top.get("names").unwrap().value,
+            Value::Array(vec![Value::Str("a, b".into()), Value::Str("c".into())])
+        );
+        assert_eq!(
+            doc.top.get("times").unwrap().value.to_string(),
+            "[10, 20.5, 30]"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_arrays() {
+        for (text, needle) in [
+            ("x = [1, 2", "unterminated array"),
+            ("x = [1,, 2]", "empty array element"),
+            ("x = [1, banana]", "cannot parse value"),
+        ] {
+            let err = parse(text).expect_err(text);
+            assert!(err.contains(needle), "{text:?}: {err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! The canonical FNV-1a hash used for every determinism fingerprint in
+//! the workspace: result.json fingerprints, audit-trail hashes, and
+//! snapshot section digests.
+//!
+//! Three crates grew their own copies of these two constants before
+//! this module existed; they now all route through here so a constant
+//! typo can never make one fingerprint silently diverge from another.
+
+/// FNV-1a 64-bit offset basis. `fnv1a(b"")` returns exactly this.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Hash `bytes` with 64-bit FNV-1a.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_fold(FNV_OFFSET, bytes)
+}
+
+/// Fold `bytes` into an existing FNV-1a state `h`.
+///
+/// `fnv1a_fold(fnv1a(a), b) == fnv1a(a ++ b)`, so callers can hash a
+/// logical stream without materializing it.
+pub fn fnv1a_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fold a `u64` into an FNV-1a state as its 8 little-endian bytes.
+pub fn fnv1a_fold_u64(h: u64, v: u64) -> u64 {
+    fnv1a_fold(h, &v.to_le_bytes())
+}
+
+/// Fold a sequence of `Debug` items into an FNV-1a state by hashing
+/// each item's debug rendering in order.
+///
+/// This is the canonical audit-trail hash: the chaos engine and the
+/// federation head both fingerprint their audit records this way, and
+/// snapshot sections reuse it for any state that is `Debug` but has no
+/// tighter canonical encoding.
+pub fn fnv1a_debug_fold<T: std::fmt::Debug>(mut h: u64, items: &[T]) -> u64 {
+    for it in items {
+        h = fnv1a_fold(h, format!("{it:?}").as_bytes());
+    }
+    h
+}
+
+/// Hash a sequence of `Debug` items from the offset basis. See
+/// [`fnv1a_debug_fold`].
+pub fn fnv1a_debug<T: std::fmt::Debug>(items: &[T]) -> u64 {
+    fnv1a_debug_fold(FNV_OFFSET, items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_the_offset_basis() {
+        assert_eq!(fnv1a(b""), FNV_OFFSET);
+    }
+
+    #[test]
+    fn known_vectors() {
+        // classic FNV-1a 64-bit test vectors
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fold_is_concatenation() {
+        let whole = fnv1a(b"hello world");
+        let split = fnv1a_fold(fnv1a(b"hello "), b"world");
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn fold_u64_matches_le_bytes() {
+        let v = 0x0123_4567_89ab_cdefu64;
+        assert_eq!(fnv1a_fold_u64(FNV_OFFSET, v), fnv1a(&v.to_le_bytes()));
+    }
+}

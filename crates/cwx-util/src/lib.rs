@@ -14,13 +14,19 @@
 //! * [`stats`] — summary statistics for the benchmark harness.
 //! * [`rng`] — seeded RNG construction plus the distribution samplers the
 //!   workload generators need (uniform, exponential, normal).
+//! * [`hash`] — the canonical FNV-1a used by every determinism
+//!   fingerprint (result.json, audit trails, snapshot sections).
+//! * [`snapshot`] — the `cwx-snapshot-v1` self-checking container for
+//!   captured world state (magic, version, CRC-32, named sections).
 
 #![warn(missing_docs)]
 
 pub mod compress;
+pub mod hash;
 pub mod ring;
 pub mod rng;
 pub mod sim;
+pub mod snapshot;
 pub mod stats;
 pub mod time;
 

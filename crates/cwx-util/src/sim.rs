@@ -193,6 +193,50 @@ impl<W> Sim<W> {
         self.world
     }
 
+    /// A canonical digest of the engine's scheduling state: clock,
+    /// sequence counter, every pending ticket (time, seq, slab index),
+    /// slab entry states and generations, and the free list.
+    ///
+    /// Two simulators that executed the same event history have equal
+    /// digests; any divergence in wheel contents, tie-break order or
+    /// slab reuse shows up here. Event closures themselves are opaque
+    /// and deliberately excluded — the snapshot design verifies them by
+    /// replay, not by serialization.
+    pub fn state_digest(&self) -> u64 {
+        use crate::hash::{fnv1a_fold_u64 as f, FNV_OFFSET};
+        let mut h = FNV_OFFSET;
+        h = f(h, self.now.as_nanos());
+        h = f(h, self.seq);
+        h = f(h, self.executed);
+        h = f(h, self.pending as u64);
+        h = f(h, self.wheel_now);
+        h = f(h, self.due_time);
+        for &idx in &self.due {
+            h = f(h, idx as u64);
+        }
+        for slot in &self.slots {
+            for t in slot {
+                h = f(h, t.time);
+                h = f(h, t.seq);
+                h = f(h, t.idx as u64);
+            }
+        }
+        h = f(h, self.entries.len() as u64);
+        for e in &self.entries {
+            let s = match e.state {
+                State::Free => 0u64,
+                State::Pending => 1,
+                State::Running => 2,
+                State::Cancelled => 3,
+            };
+            h = f(h, s | ((e.gen as u64) << 8));
+        }
+        for &idx in &self.free {
+            h = f(h, idx as u64);
+        }
+        h
+    }
+
     // ---- slab ----
 
     fn alloc(&mut self, payload: Payload<W>) -> EventId {

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! cwx run      MANIFEST.toml [--seed X] [--out DIR] [--coverage FILE]
+//!              [--snapshot-at SECS]... [--snapshots DIR] [--resume-from FILE]
+//! cwx bisect   MANIFEST.toml [--seed X] [--out DIR]
 //! cwx simulate --nodes 32 --secs 600 [--seed 42] [--store DIR] [--fan-fail 4@300]...
 //! cwx clone    --nodes 100 --image-mb 650 [--loss 0.005] [--unicast]
 //! cwx lite     [--ticks 5]
@@ -29,7 +31,7 @@ use cwx_util::time::{SimDuration, SimTime};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  cwx run MANIFEST.toml [--seed X] [--out DIR] [--coverage FILE]\n  cwx simulate --nodes N --secs S [--seed X] [--store DIR] [--fan-fail NODE@SECS]... [--dump-history FILE --dump-node N]\n  cwx clone --nodes N --image-mb M [--loss P] [--unicast]\n  cwx lite [--ticks N]\n  cwx history --store DIR [--node N --monitor KEY] [--from S] [--to S] [--res raw|10s|5m|1h] [--chart]\n  cwx history --store DIR --monitor KEY --agg rate|avg|min|max|sum|count|p50|p95|p99 --window 10s|5m|1h|SECS [--group-by all|rack|node] [--node N] [--from S] [--to S] [--max-scan N]\n  cwx chaos list\n  cwx chaos run SCENARIO [--seed X] [--verbose] [--report FILE]\n  cwx chaos run --toml FILE [--seed X] [--verbose] [--report FILE]\n  cwx fed sim [--clusters N] [--nodes M] [--secs S] [--seed X] [--uplink SECS]\n  cwx fed serve [--listen ADDR] [--secs S] [--stale-after SECS]\n  cwx fed join [--head ADDR] [--cluster C] [--nodes N] [--secs S] [--interval-ms MS]\n  cwx ingest serve [--listen ADDR] [--secs S] [--mode reactor|thread] [--lanes N] [--nodes-per-group N] [--retention N] [--store DIR]\n  cwx ingest drive [--addr ADDR] [--conns N] [--frames N] [--interval-ms MS] [--keys K] [--threads T]\n  cwx help\n\nexit codes (uniform across subcommands):\n  0  success: every invariant held, every assertion passed\n  1  an assertion failed (manifest [assertions], federation census)\n  2  an invariant was violated\n  3  bad usage, bad manifest, or operational error"
+        "usage:\n  cwx run MANIFEST.toml [--seed X] [--out DIR] [--coverage FILE] [--snapshot-at SECS]... [--snapshots DIR] [--resume-from FILE]\n  cwx bisect MANIFEST.toml [--seed X] [--out DIR]\n  cwx simulate --nodes N --secs S [--seed X] [--store DIR] [--fan-fail NODE@SECS]... [--dump-history FILE --dump-node N]\n  cwx clone --nodes N --image-mb M [--loss P] [--unicast]\n  cwx lite [--ticks N]\n  cwx history --store DIR [--node N --monitor KEY] [--from S] [--to S] [--res raw|10s|5m|1h] [--chart]\n  cwx history --store DIR --monitor KEY --agg rate|avg|min|max|sum|count|p50|p95|p99 --window 10s|5m|1h|SECS [--group-by all|rack|node] [--node N] [--from S] [--to S] [--max-scan N]\n  cwx chaos list\n  cwx chaos run SCENARIO [--seed X] [--verbose] [--report FILE]\n  cwx chaos run --toml FILE [--seed X] [--verbose] [--report FILE]\n  cwx fed sim [--clusters N] [--nodes M] [--secs S] [--seed X] [--uplink SECS]\n  cwx fed serve [--listen ADDR] [--secs S] [--stale-after SECS]\n  cwx fed join [--head ADDR] [--cluster C] [--nodes N] [--secs S] [--interval-ms MS]\n  cwx ingest serve [--listen ADDR] [--secs S] [--mode reactor|thread] [--lanes N] [--nodes-per-group N] [--retention N] [--store DIR]\n  cwx ingest drive [--addr ADDR] [--conns N] [--frames N] [--interval-ms MS] [--keys K] [--threads T]\n  cwx help\n\nexit codes (uniform across subcommands):\n  0  success: every invariant held, every assertion passed\n  1  an assertion failed (manifest [assertions], federation census)\n  2  an invariant was violated\n  3  bad usage, bad manifest, or operational error"
     );
     std::process::exit(3);
 }
@@ -478,12 +480,33 @@ fn cmd_history(args: &Args) {
     }
 }
 
+/// Parse a manifest path plus the shared `--seed` override.
+fn load_manifest(path: &str, args: &Args) -> cwx_scenario::Manifest {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("could not read {path}: {e}");
+        std::process::exit(3);
+    });
+    let mut manifest = cwx_scenario::Manifest::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(3);
+    });
+    if let Some((_, seed)) = args.pairs.iter().rev().find(|(k, _)| k == "seed") {
+        manifest.set_seed(seed.parse().unwrap_or_else(|_| usage()));
+    }
+    manifest
+}
+
 /// `cwx run MANIFEST.toml`: the unified scenario runtime. Executes the
 /// manifest headless, writes `result.json` and `junit.xml` into
 /// `--out` (default `.`), optionally merges this run into a
 /// `--coverage` scoreboard file, and exits with the outcome code.
+/// `--snapshot-at SECS` (repeatable, on top of the manifest's
+/// `[checkpoints]`) captures world snapshots into `--snapshots DIR`
+/// (default `--out`); `--resume-from FILE` replays and byte-verifies a
+/// previously captured snapshot before continuing the run.
 fn cmd_run(rest: &[String]) {
-    use cwx_scenario::{run_scenario, Manifest, Scoreboard};
+    use cwx_scenario::{run_scenario_with, RunOptions, Scoreboard};
+    use cwx_util::snapshot::SnapshotFile;
 
     let (path, flag_args) = match rest.split_first() {
         Some((first, more)) if !first.starts_with("--") => (first.as_str(), more),
@@ -493,19 +516,35 @@ fn cmd_run(rest: &[String]) {
         }
     };
     let args = Args::parse(flag_args);
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("could not read {path}: {e}");
-        std::process::exit(3);
-    });
-    let mut manifest = Manifest::parse(&text).unwrap_or_else(|e| {
-        eprintln!("{path}: {e}");
-        std::process::exit(3);
-    });
-    if let Some((_, seed)) = args.pairs.iter().rev().find(|(k, _)| k == "seed") {
-        manifest.set_seed(seed.parse().unwrap_or_else(|_| usage()));
+    let manifest = load_manifest(path, &args);
+
+    let mut opts = RunOptions::default();
+    for v in args.all("snapshot-at") {
+        match v.parse::<f64>() {
+            Ok(t) => opts.snapshot_at.push(t),
+            Err(_) => {
+                eprintln!("--snapshot-at wants a time in simulated seconds, got {v:?}");
+                std::process::exit(3);
+            }
+        }
     }
+    if let Some((_, snap_path)) = args.pairs.iter().rev().find(|(k, _)| k == "resume-from") {
+        let bytes = std::fs::read(snap_path).unwrap_or_else(|e| {
+            eprintln!("could not read {snap_path}: {e}");
+            std::process::exit(3);
+        });
+        let file = SnapshotFile::decode(&bytes).unwrap_or_else(|e| {
+            eprintln!("{snap_path}: {e}");
+            std::process::exit(3);
+        });
+        opts.resume = Some(file);
+    }
+
     println!("scenario `{}` from {path}", manifest.name());
-    let r = run_scenario(&manifest);
+    let r = run_scenario_with(&manifest, &opts).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(3);
+    });
     for line in &r.summary {
         println!("{line}");
     }
@@ -522,6 +561,30 @@ fn cmd_run(rest: &[String]) {
             Err(e) => {
                 eprintln!("could not write {}: {e}", p.display());
                 std::process::exit(3);
+            }
+        }
+    }
+    if !r.snapshots.is_empty() {
+        let snap_dir = std::path::PathBuf::from(
+            args.get::<String>("snapshots", out_dir.display().to_string()),
+        );
+        if let Err(e) = std::fs::create_dir_all(&snap_dir) {
+            eprintln!("could not create {}: {e}", snap_dir.display());
+            std::process::exit(3);
+        }
+        for file in &r.snapshots {
+            let t = file.t_nanos as f64 / 1e9;
+            let p = snap_dir.join(format!("snapshot-t{t}.cwxsnap"));
+            match std::fs::write(&p, file.encode()) {
+                Ok(()) => println!(
+                    "wrote {} ({} sections, world at t={t}s)",
+                    p.display(),
+                    file.sections.len()
+                ),
+                Err(e) => {
+                    eprintln!("could not write {}: {e}", p.display());
+                    std::process::exit(3);
+                }
             }
         }
     }
@@ -551,6 +614,50 @@ fn cmd_run(rest: &[String]) {
         }
     }
     std::process::exit(r.outcome.exit_code());
+}
+
+/// `cwx bisect MANIFEST.toml`: binary-search a failing scenario's
+/// fault schedule for the minimal chronological prefix that still
+/// fails, print the culprit fault, and write `bisect.json` into
+/// `--out` (default `.`). Exits 0 when the bisection completes, 3 when
+/// there is nothing to bisect or a probe errors out.
+fn cmd_bisect(rest: &[String]) {
+    use cwx_scenario::bisect_scenario;
+
+    let (path, flag_args) = match rest.split_first() {
+        Some((first, more)) if !first.starts_with("--") => (first.as_str(), more),
+        _ => {
+            eprintln!("`cwx bisect` wants a manifest path");
+            usage();
+        }
+    };
+    let args = Args::parse(flag_args);
+    let manifest = load_manifest(path, &args);
+    println!(
+        "bisecting `{}` from {path} ({} faults)",
+        manifest.name(),
+        manifest.fault_count()
+    );
+    let r = bisect_scenario(&manifest).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(3);
+    });
+    for line in r.summary() {
+        println!("{line}");
+    }
+    let out_dir = std::path::PathBuf::from(args.get::<String>("out", ".".into()));
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("could not create {}: {e}", out_dir.display());
+        std::process::exit(3);
+    }
+    let p = out_dir.join("bisect.json");
+    match std::fs::write(&p, r.to_json(&manifest.fault_schedule())) {
+        Ok(()) => println!("wrote {}", p.display()),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", p.display());
+            std::process::exit(3);
+        }
+    }
 }
 
 fn cmd_chaos(rest: &[String]) {
@@ -914,6 +1021,9 @@ fn main() {
     };
     if cmd == "run" {
         return cmd_run(rest);
+    }
+    if cmd == "bisect" {
+        return cmd_bisect(rest);
     }
     if cmd == "chaos" {
         return cmd_chaos(rest);
